@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 4a: training time vs the number of clients.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{run_training, Algo, BenchConfig};
+use std::time::Duration;
+
+fn tiny(m: usize) -> BenchConfig {
+    BenchConfig { m, n: 60, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4a_training_vs_m");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for m in [2usize, 3, 4] {
+        let cfg = tiny(m);
+        let data = cfg.classification_dataset();
+        g.bench_function(format!("pivot_basic/m={m}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))
+        });
+        g.bench_function(format!("pivot_enhanced/m={m}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotEnhanced, &data))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

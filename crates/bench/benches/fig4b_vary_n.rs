@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 4b: training time vs the number of samples.
+//! Expected shape: Basic nearly flat, Enhanced linear in n.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{run_training, Algo, BenchConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4b_training_vs_n");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [40usize, 80, 160] {
+        let cfg = BenchConfig { n, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+        let data = cfg.classification_dataset();
+        g.bench_function(format!("pivot_basic/n={n}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))
+        });
+        g.bench_function(format!("pivot_enhanced/n={n}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotEnhanced, &data))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

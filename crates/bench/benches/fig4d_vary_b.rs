@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 4d: training time vs max splits per feature.
+//! Expected shape: linear for both protocols.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{run_training, Algo, BenchConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4d_training_vs_b");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for b_splits in [2usize, 4, 8] {
+        let cfg = BenchConfig { b: b_splits, n: 60, d_per_client: 2, h: 2, classes: 2, keysize: 128, ..Default::default() };
+        let data = cfg.classification_dataset();
+        g.bench_function(format!("pivot_basic/b={b_splits}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))
+        });
+        g.bench_function(format!("pivot_enhanced/b={b_splits}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotEnhanced, &data))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 4e: training time vs maximum tree depth.
+//! Expected shape: roughly doubles per extra level (2^h − 1 internal nodes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{run_training, Algo, BenchConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4e_training_vs_h");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for h in [1usize, 2, 3] {
+        let cfg = BenchConfig { h, n: 60, d_per_client: 2, b: 3, classes: 2, keysize: 128, ..Default::default() };
+        let data = cfg.classification_dataset();
+        g.bench_function(format!("pivot_basic/h={h}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))
+        });
+        g.bench_function(format!("pivot_enhanced/h={h}"), |b| {
+            b.iter(|| run_training(&cfg, Algo::PivotEnhanced, &data))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 4f: ensemble training time vs tree count W.
+//! Expected order: GBDT-classification ≫ GBDT-regression ≈ RF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{Algo, BenchConfig};
+use pivot_core::ensemble::{train_gbdt, train_rf, GbdtProtocolParams, RfProtocolParams};
+use pivot_core::party::PartyContext;
+use pivot_data::partition_vertically;
+use pivot_transport::run_parties;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4f_ensembles_vs_w");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let cfg = BenchConfig { n: 40, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+    let clf = cfg.classification_dataset();
+    let reg = cfg.regression_dataset();
+    for w in [2usize, 4] {
+        let clf_part = partition_vertically(&clf, cfg.m, 0);
+        let reg_part = partition_vertically(&reg, cfg.m, 0);
+        let params = cfg.params(Algo::PivotBasic);
+        g.bench_function(format!("rf_classification/W={w}"), |b| {
+            b.iter(|| {
+                run_parties(cfg.m, |ep| {
+                    let view = clf_part.views[ep.id()].clone();
+                    let mut ctx = PartyContext::setup(&ep, view, params.clone());
+                    train_rf(&mut ctx, &RfProtocolParams { trees: w, ..Default::default() })
+                })
+            })
+        });
+        g.bench_function(format!("gbdt_regression/W={w}"), |b| {
+            b.iter(|| {
+                run_parties(cfg.m, |ep| {
+                    let view = reg_part.views[ep.id()].clone();
+                    let mut ctx = PartyContext::setup(&ep, view, params.clone());
+                    train_gbdt(&mut ctx, &GbdtProtocolParams { rounds: w, learning_rate: 0.3 })
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

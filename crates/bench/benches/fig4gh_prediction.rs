@@ -1,0 +1,48 @@
+//! Criterion bench for Figures 4g/4h: prediction time per sample vs m and
+//! h for the basic and enhanced protocols.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{Algo, BenchConfig};
+use pivot_core::party::PartyContext;
+use pivot_core::{predict_basic, predict_enhanced, train_basic, train_enhanced};
+use pivot_data::partition_vertically;
+use pivot_transport::run_parties;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4gh_prediction");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    // 4g: vary m at h=2; 4h: vary h at m=3.
+    for (label, m, h) in [("4g/m=2", 2usize, 2usize), ("4g/m=4", 4, 2), ("4h/h=1", 3, 1), ("4h/h=3", 3, 3)] {
+        let cfg = BenchConfig { m, h, n: 40, d_per_client: 2, b: 3, classes: 2, keysize: 128, ..Default::default() };
+        let data = cfg.classification_dataset();
+        let partition = partition_vertically(&data, cfg.m, 0);
+
+        let basic_params = cfg.params(Algo::PivotBasic);
+        g.bench_function(format!("basic/{label}"), |b| {
+            b.iter(|| {
+                run_parties(cfg.m, |ep| {
+                    let view = partition.views[ep.id()].clone();
+                    let mut ctx = PartyContext::setup(&ep, view.clone(), basic_params.clone());
+                    let tree = train_basic::train(&mut ctx);
+                    predict_basic::predict(&mut ctx, &tree, &view.features[0])
+                })
+            })
+        });
+        let enh_params = cfg.params(Algo::PivotEnhanced);
+        g.bench_function(format!("enhanced/{label}"), |b| {
+            b.iter(|| {
+                run_parties(cfg.m, |ep| {
+                    let view = partition.views[ep.id()].clone();
+                    let mut ctx = PartyContext::setup(&ep, view.clone(), enh_params.clone());
+                    let tree = train_enhanced::train(&mut ctx);
+                    predict_enhanced::predict(&mut ctx, &tree, &view.features[0])
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for Figure 5: Pivot vs SPDZ-DT vs NPD-DT.
+//! Expected shape: SPDZ-DT ≫ Pivot-Enhanced > Pivot-Basic ≫ NPD-DT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivot_bench::{run_training, Algo, BenchConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_baselines");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let cfg = BenchConfig { n: 60, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+    let data = cfg.classification_dataset();
+    for algo in [Algo::PivotBasic, Algo::PivotEnhanced, Algo::SpdzDt, Algo::NpdDt] {
+        g.bench_function(algo.label(), |b| b.iter(|| run_training(&cfg, algo, &data)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

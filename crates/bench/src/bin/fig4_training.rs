@@ -1,0 +1,117 @@
+//! Figures 4a–4e — training time vs m, n, d̄, b, h for Pivot-Basic,
+//! Pivot-Basic-PP, Pivot-Enhanced, Pivot-Enhanced-PP.
+//!
+//! Run: `cargo run --release -p pivot-bench --bin fig4_training -- --sweep m`
+//! Sweeps: `m`, `n`, `d`, `b`, `h`, or `all`. Values are scaled down from
+//! Table 4 by default; `--paper-scale` restores the paper's ranges (slow).
+//!
+//! Expected shapes (paper §8.3.1): Enhanced > Basic everywhere; Basic
+//! nearly flat in n while Enhanced grows linearly; both linear in d̄ and
+//! b; time ≈ doubles per extra depth level; `-PP` shrinks the gap.
+
+use pivot_bench::{run_training, Algo, BenchConfig};
+
+const ALGOS: [Algo; 4] = [
+    Algo::PivotBasic,
+    Algo::PivotBasicPp,
+    Algo::PivotEnhanced,
+    Algo::PivotEnhancedPp,
+];
+
+fn main() {
+    let sweep = pivot_bench::sweep_from_args("all");
+    let paper = std::env::args().any(|a| a == "--paper-scale");
+    if sweep == "m" || sweep == "all" {
+        sweep_m(paper);
+    }
+    if sweep == "n" || sweep == "all" {
+        sweep_n(paper);
+    }
+    if sweep == "d" || sweep == "all" {
+        sweep_d(paper);
+    }
+    if sweep == "b" || sweep == "all" {
+        sweep_b(paper);
+    }
+    if sweep == "h" || sweep == "all" {
+        sweep_h(paper);
+    }
+}
+
+fn header(fig: &str, axis: &str) {
+    println!();
+    println!("Figure {fig} — training time vs {axis}");
+    print!("{axis:>8}");
+    for algo in ALGOS {
+        print!(" {:>20}", algo.label());
+    }
+    println!();
+}
+
+fn run_row(value: usize, cfg: &BenchConfig) {
+    let data = cfg.classification_dataset();
+    print!("{value:>8}");
+    for algo in ALGOS {
+        let out = run_training(cfg, algo, &data);
+        print!(" {:>17.2?}ms", out.wall.as_secs_f64() * 1000.0);
+        let _ = out;
+    }
+    println!();
+}
+
+fn sweep_m(paper: bool) {
+    header("4a", "m");
+    let values: &[usize] = if paper { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4, 6] };
+    for &m in values {
+        let cfg = BenchConfig { m, ..base(paper) };
+        run_row(m, &cfg);
+    }
+}
+
+fn sweep_n(paper: bool) {
+    header("4b", "n");
+    let values: &[usize] = if paper {
+        &[5_000, 10_000, 50_000, 100_000, 200_000]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    for &n in values {
+        let cfg = BenchConfig { n, ..base(paper) };
+        run_row(n, &cfg);
+    }
+}
+
+fn sweep_d(paper: bool) {
+    header("4c", "d̄");
+    let values: &[usize] = if paper { &[5, 15, 30, 60, 120] } else { &[2, 3, 5, 8] };
+    for &d in values {
+        let cfg = BenchConfig { d_per_client: d, ..base(paper) };
+        run_row(d, &cfg);
+    }
+}
+
+fn sweep_b(paper: bool) {
+    header("4d", "b");
+    let values: &[usize] = if paper { &[2, 4, 8, 16, 32] } else { &[2, 4, 8] };
+    for &b in values {
+        let cfg = BenchConfig { b, ..base(paper) };
+        run_row(b, &cfg);
+    }
+}
+
+fn sweep_h(paper: bool) {
+    header("4e", "h");
+    let values: &[usize] = if paper { &[2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
+    for &h in values {
+        let cfg = BenchConfig { h, ..base(paper) };
+        run_row(h, &cfg);
+    }
+}
+
+fn base(paper: bool) -> BenchConfig {
+    if paper {
+        BenchConfig::paper_scale()
+    } else {
+        BenchConfig::default()
+    }
+}

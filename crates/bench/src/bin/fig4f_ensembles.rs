@@ -1,0 +1,81 @@
+//! Figure 4f — ensemble training time vs the number of trees `W`:
+//! RF / GBDT × classification / regression.
+//!
+//! Expected shape (paper §8.3.1): GBDT-classification ≫ GBDT-regression ≈
+//! RF-classification > RF-regression; all linear in W.
+//!
+//! Run: `cargo run --release -p pivot-bench --bin fig4f_ensembles`
+
+use pivot_bench::BenchConfig;
+use pivot_core::ensemble::{train_gbdt, train_rf, GbdtProtocolParams, RfProtocolParams};
+use pivot_core::party::PartyContext;
+use pivot_data::partition_vertically;
+use pivot_transport::run_parties;
+use std::time::Instant;
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper-scale");
+    let values: &[usize] = if paper { &[2, 4, 8, 16, 32] } else { &[2, 4, 8] };
+    let cfg = if paper {
+        BenchConfig { n: 5_000, ..BenchConfig::paper_scale() }
+    } else {
+        BenchConfig { n: 80, h: 2, ..Default::default() }
+    };
+
+    println!("Figure 4f — ensemble training time vs W (n={}, h={})", cfg.n, cfg.h);
+    println!(
+        "{:>4} {:>16} {:>16} {:>16} {:>16}",
+        "W", "RF-clf", "RF-reg", "GBDT-clf", "GBDT-reg"
+    );
+    for &w in values {
+        let rf_c = time_rf(&cfg, w, true);
+        let rf_r = time_rf(&cfg, w, false);
+        let gb_c = time_gbdt(&cfg, w, true);
+        let gb_r = time_gbdt(&cfg, w, false);
+        println!(
+            "{:>4} {:>14.2}ms {:>14.2}ms {:>14.2}ms {:>14.2}ms",
+            w,
+            rf_c * 1000.0,
+            rf_r * 1000.0,
+            gb_c * 1000.0,
+            gb_r * 1000.0
+        );
+    }
+}
+
+fn time_rf(cfg: &BenchConfig, w: usize, classification: bool) -> f64 {
+    let data = if classification {
+        cfg.classification_dataset()
+    } else {
+        cfg.regression_dataset()
+    };
+    let partition = partition_vertically(&data, cfg.m, 0);
+    let params = cfg.params(pivot_bench::Algo::PivotBasic);
+    let rf = RfProtocolParams { trees: w, ..Default::default() };
+    let start = Instant::now();
+    run_parties(cfg.m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        train_rf(&mut ctx, &rf)
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn time_gbdt(cfg: &BenchConfig, w: usize, classification: bool) -> f64 {
+    let data = if classification {
+        cfg.classification_dataset()
+    } else {
+        cfg.regression_dataset()
+    };
+    let partition = partition_vertically(&data, cfg.m, 0);
+    let mut params = cfg.params(pivot_bench::Algo::PivotBasic);
+    params.tree.stop_when_pure = false;
+    let gbdt = GbdtProtocolParams { rounds: w, learning_rate: 0.3 };
+    let start = Instant::now();
+    run_parties(cfg.m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        train_gbdt(&mut ctx, &gbdt)
+    });
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,66 @@
+//! Figures 4g/4h — prediction time per sample vs m (4g) and h (4h) for
+//! Pivot-Basic, Pivot-Enhanced, and NPD-DT.
+//!
+//! Expected shapes (paper §8.3.2): Basic grows linearly in m (round-robin
+//! ring) but stays nearly flat in h; Enhanced is nearly flat in m but
+//! grows with 2^h (secure comparisons per node); NPD-DT is ≈ free. The
+//! basic/enhanced crossover sits at small h.
+//!
+//! Run: `cargo run --release -p pivot-bench --bin fig4gh_prediction -- --sweep m`
+
+use pivot_bench::{run_prediction, Algo, BenchConfig};
+
+const ALGOS: [Algo; 3] = [Algo::PivotBasic, Algo::PivotEnhanced, Algo::NpdDt];
+
+fn main() {
+    let sweep = pivot_bench::sweep_from_args("all");
+    let paper = std::env::args().any(|a| a == "--paper-scale");
+    let samples = 5;
+
+    if sweep == "m" || sweep == "all" {
+        println!();
+        println!("Figure 4g — prediction time per sample vs m");
+        print_header();
+        let values: &[usize] = if paper { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4, 6] };
+        for &m in values {
+            let cfg = BenchConfig { m, ..base(paper) };
+            print_row(m, &cfg, samples);
+        }
+    }
+    if sweep == "h" || sweep == "all" {
+        println!();
+        println!("Figure 4h — prediction time per sample vs h");
+        print_header();
+        let values: &[usize] = if paper { &[2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
+        for &h in values {
+            let cfg = BenchConfig { h, ..base(paper) };
+            print_row(h, &cfg, samples);
+        }
+    }
+}
+
+fn print_header() {
+    print!("{:>6}", "x");
+    for algo in ALGOS {
+        print!(" {:>18}", algo.label());
+    }
+    println!();
+}
+
+fn print_row(x: usize, cfg: &BenchConfig, samples: usize) {
+    let data = cfg.classification_dataset();
+    print!("{x:>6}");
+    for algo in ALGOS {
+        let per_sample = run_prediction(cfg, algo, &data, samples);
+        print!(" {:>15.3}ms", per_sample.as_secs_f64() * 1000.0);
+    }
+    println!();
+}
+
+fn base(paper: bool) -> BenchConfig {
+    if paper {
+        BenchConfig { n: 2_000, ..BenchConfig::paper_scale() }
+    } else {
+        BenchConfig { n: 80, ..Default::default() }
+    }
+}

@@ -1,0 +1,78 @@
+//! Figures 5a/5b — Pivot vs the SPDZ-DT and NPD-DT baselines, varying m
+//! (5a) and n (5b).
+//!
+//! Expected shapes (paper §8.3.3): SPDZ-DT grows much faster than both
+//! Pivot protocols in m and n (up to 19.8×/37.5× over Pivot-Basic at the
+//! sweep ends in the paper); Pivot-Enhanced sits between; NPD-DT is near
+//! zero. The harness prints the measured speedup of each Pivot protocol
+//! over SPDZ-DT.
+//!
+//! Run: `cargo run --release -p pivot-bench --bin fig5_baselines -- --sweep m`
+
+use pivot_bench::{run_training, Algo, BenchConfig};
+
+const ALGOS: [Algo; 4] =
+    [Algo::PivotBasic, Algo::PivotEnhanced, Algo::SpdzDt, Algo::NpdDt];
+
+fn main() {
+    let sweep = pivot_bench::sweep_from_args("all");
+    let paper = std::env::args().any(|a| a == "--paper-scale");
+
+    if sweep == "m" || sweep == "all" {
+        println!();
+        println!("Figure 5a — training time vs m (baseline comparison)");
+        print_header();
+        let values: &[usize] = if paper { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4] };
+        for &m in values {
+            let cfg = BenchConfig { m, ..base(paper) };
+            print_row(m, &cfg);
+        }
+    }
+    if sweep == "n" || sweep == "all" {
+        println!();
+        println!("Figure 5b — training time vs n (baseline comparison)");
+        print_header();
+        let values: &[usize] = if paper {
+            &[5_000, 10_000, 50_000]
+        } else {
+            &[50, 100, 200]
+        };
+        for &n in values {
+            let cfg = BenchConfig { n, ..base(paper) };
+            print_row(n, &cfg);
+        }
+    }
+}
+
+fn print_header() {
+    print!("{:>8}", "x");
+    for algo in ALGOS {
+        print!(" {:>17}", algo.label());
+    }
+    println!(" {:>14} {:>14}", "basic-speedup", "enh-speedup");
+}
+
+fn print_row(x: usize, cfg: &BenchConfig) {
+    let data = cfg.classification_dataset();
+    print!("{x:>8}");
+    let mut times = Vec::new();
+    for algo in ALGOS {
+        let out = run_training(cfg, algo, &data);
+        times.push(out.wall.as_secs_f64());
+        print!(" {:>14.2}ms", out.wall.as_secs_f64() * 1000.0);
+    }
+    // Speedups of Pivot over SPDZ-DT (the paper's headline numbers).
+    let basic_speedup = times[2] / times[0];
+    let enh_speedup = times[2] / times[1];
+    println!(" {:>13.1}x {:>13.1}x", basic_speedup, enh_speedup);
+}
+
+fn base(paper: bool) -> BenchConfig {
+    if paper {
+        BenchConfig::paper_scale()
+    } else {
+        // SPDZ-DT at n=200 with the default depth already takes a while;
+        // shrink depth for the sweep.
+        BenchConfig { h: 2, ..Default::default() }
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 2 — theoretical cost analysis, validated empirically.
+//!
+//! Prints the measured operation counts (Ce encryptions/ops, Cd threshold
+//! decryptions, Cs secure multiplications, Cc secure comparisons) for both
+//! protocols next to the paper's asymptotic formulas, so the scaling
+//! claims can be checked directly.
+//!
+//! Run: `cargo run --release -p pivot-bench --bin table2_opcounts`
+
+use pivot_bench::{run_training, Algo};
+
+fn main() {
+    let cfg = pivot_bench::scale_from_args();
+    let data = cfg.classification_dataset();
+    let d = cfg.m * cfg.d_per_client;
+    println!("Table 2 — operation counts (measured at m={}, n={}, d̄={}, b={}, h={}, c={})",
+        cfg.m, cfg.n, cfg.d_per_client, cfg.b, cfg.h, cfg.classes);
+    println!();
+    println!(
+        "{:<18} {:>6} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "protocol", "nodes", "Ce(enc)", "Cd", "Cs(mults)", "Cc(cmps)", "bytes"
+    );
+    for algo in [Algo::PivotBasic, Algo::PivotEnhanced] {
+        let out = run_training(&cfg, algo, &data);
+        println!(
+            "{:<18} {:>6} {:>12} {:>10} {:>12} {:>12} {:>12}",
+            algo.label(),
+            out.internal_nodes,
+            out.encryptions,
+            out.decryptions,
+            out.mults,
+            out.comparisons,
+            out.bytes_sent,
+        );
+    }
+    println!();
+    println!("Paper formulas (t = internal nodes):");
+    println!("  Basic    training: O(n·c·d̄·b·t)·Ce + O(c·d·b·t)·(Cd+Cs) + O(d·b·t)·Cc");
+    println!("  Enhanced training: adds O(n·t)·Cd and O(n·b·t)·Ce in the model update");
+    println!(
+        "  with n={}, c={}, d̄={}, d={}, b={}: c·d·b = {} (per-node Cd basic), n = {} (extra per-node Cd enhanced)",
+        cfg.n,
+        cfg.classes,
+        cfg.d_per_client,
+        d,
+        cfg.b,
+        cfg.classes * d * cfg.b,
+        cfg.n
+    );
+}

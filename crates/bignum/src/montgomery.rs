@@ -1,0 +1,297 @@
+//! Montgomery modular arithmetic (CIOS) — the hot path of every Paillier
+//! operation. A [`Montgomery`] context precomputes everything needed for an
+//! odd modulus and then performs multiplication/exponentiation without any
+//! divisions.
+
+use crate::{BigUint, Limb};
+
+/// Precomputed Montgomery context for an odd modulus `n`.
+///
+/// Values in *Montgomery form* are stored as plain limb vectors of exactly
+/// `limbs` words, representing `x·R mod n` with `R = 2^(64·limbs)`.
+pub struct Montgomery {
+    n: Vec<Limb>,
+    /// `-n^{-1} mod 2^64`
+    n0_inv: Limb,
+    /// `R^2 mod n` (used to convert into Montgomery form).
+    r2: Vec<Limb>,
+    /// `R mod n` — the Montgomery form of 1.
+    r1: Vec<Limb>,
+    limbs: usize,
+}
+
+impl Montgomery {
+    /// Build a context for an odd modulus. Panics if `n` is even or < 2.
+    pub fn new(n: &BigUint) -> Montgomery {
+        assert!(n.is_odd(), "Montgomery requires an odd modulus");
+        assert!(!n.is_one(), "modulus must be > 1");
+        let limbs = n.limbs().len();
+
+        // n0_inv = -n^{-1} mod 2^64 via Newton–Hensel iteration.
+        let n0 = n.limbs()[0];
+        let mut inv: Limb = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R mod n and R² mod n by explicit division (one-time cost).
+        let r = BigUint::pow2(64 * limbs as u32);
+        let r1 = r.rem_of(n);
+        let r2 = (&r1 * &r1).rem_of(n);
+
+        Montgomery {
+            n: n.limbs().to_vec(),
+            n0_inv,
+            r2: Self::pad(&r2, limbs),
+            r1: Self::pad(&r1, limbs),
+            limbs,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    fn pad(v: &BigUint, limbs: usize) -> Vec<Limb> {
+        let mut out = v.limbs().to_vec();
+        out.resize(limbs, 0);
+        out
+    }
+
+    /// Convert into Montgomery form (`x → x·R mod n`).
+    pub fn to_mont(&self, x: &BigUint) -> Vec<Limb> {
+        let reduced = if x.bits() as usize > 64 * self.limbs { x.rem_of(&self.modulus()) } else { x.clone() };
+        let x_pad = Self::pad(&reduced, self.limbs);
+        self.mont_mul(&x_pad, &self.r2)
+    }
+
+    /// Convert out of Montgomery form (`x·R → x mod n`).
+    pub fn from_mont(&self, x: &[Limb]) -> BigUint {
+        let one = {
+            let mut v = vec![0 as Limb; self.limbs];
+            v[0] = 1;
+            v
+        };
+        BigUint::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
+    ///
+    /// Inputs must be `limbs` words long and reduced modulo `n`.
+    pub fn mont_mul(&self, a: &[Limb], b: &[Limb], ) -> Vec<Limb> {
+        let s = self.limbs;
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        let n = &self.n;
+        // t holds s+2 limbs of running state.
+        let mut t = vec![0 as Limb; s + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry: Limb = 0;
+            for j in 0..s {
+                let sum = t[j] as u128 + ai as u128 * b[j] as u128 + carry as u128;
+                t[j] = sum as Limb;
+                carry = (sum >> 64) as Limb;
+            }
+            let sum = t[s] as u128 + carry as u128;
+            t[s] = sum as Limb;
+            t[s + 1] = (sum >> 64) as Limb;
+
+            // m chosen so (t + m·n) ≡ 0 mod 2^64; then shift one limb.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let first = t[0] as u128 + m as u128 * n[0] as u128;
+            let mut carry = (first >> 64) as Limb;
+            debug_assert_eq!(first as Limb, 0);
+            for j in 1..s {
+                let sum = t[j] as u128 + m as u128 * n[j] as u128 + carry as u128;
+                t[j - 1] = sum as Limb;
+                carry = (sum >> 64) as Limb;
+            }
+            let sum = t[s] as u128 + carry as u128;
+            t[s - 1] = sum as Limb;
+            t[s] = t[s + 1].wrapping_add((sum >> 64) as Limb);
+            t[s + 1] = 0;
+        }
+        // Conditional final subtraction to bring the result below n.
+        let needs_sub = t[s] != 0 || ge(&t[..s], n);
+        let mut out = t;
+        out.truncate(s + 1);
+        if needs_sub {
+            sub_in_place(&mut out, n);
+        }
+        out.truncate(s);
+        out
+    }
+
+    /// Montgomery squaring (alias of `mont_mul(a, a)`).
+    pub fn mont_sqr(&self, a: &[Limb]) -> Vec<Limb> {
+        self.mont_mul(a, a)
+    }
+
+    /// `base^exp mod n` using 4-bit fixed windows over Montgomery form.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem_of(&self.modulus());
+        }
+        let base_m = self.to_mont(base);
+        let result_m = self.pow_mont(&base_m, exp);
+        self.from_mont(&result_m)
+    }
+
+    /// Exponentiation where the base is already in Montgomery form; result is
+    /// in Montgomery form too. 4-bit window.
+    pub fn pow_mont(&self, base_m: &[Limb], exp: &BigUint) -> Vec<Limb> {
+        if exp.is_zero() {
+            return self.r1.clone();
+        }
+        // Precompute base^0 .. base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(base_m.to_vec());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], base_m));
+        }
+
+        let bits = exp.bits();
+        let windows = bits.div_ceil(4);
+        let mut acc: Option<Vec<Limb>> = None;
+        for w in (0..windows).rev() {
+            if let Some(a) = acc.as_mut() {
+                let mut sq = self.mont_sqr(a);
+                sq = self.mont_sqr(&sq);
+                sq = self.mont_sqr(&sq);
+                sq = self.mont_sqr(&sq);
+                *a = sq;
+            }
+            let mut digit = 0usize;
+            for b in 0..4u32 {
+                let idx = w * 4 + b;
+                if idx < bits && exp.bit(idx) {
+                    digit |= 1 << b;
+                }
+            }
+            acc = Some(match acc {
+                None => table[digit].clone(),
+                Some(a) => {
+                    if digit == 0 {
+                        a
+                    } else {
+                        self.mont_mul(&a, &table[digit])
+                    }
+                }
+            });
+        }
+        acc.expect("exp is nonzero")
+    }
+
+    /// Modular multiplication convenience: `a·b mod n` on plain values.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+/// `a >= b` over equal-length limb slices (little-endian).
+fn ge(a: &[Limb], b: &[Limb]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` where `a` may have one extra high limb.
+fn sub_in_place(a: &mut [Limb], b: &[Limb]) {
+    let mut borrow = 0u64;
+    for i in 0..b.len() {
+        let diff = a[i] as i128 - b[i] as i128 - borrow as i128;
+        borrow = u64::from(diff < 0);
+        a[i] = diff as Limb;
+    }
+    if a.len() > b.len() {
+        a[b.len()] = a[b.len()].wrapping_sub(borrow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mod_pow;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn round_trip_mont_form() {
+        let n = big(1_000_000_007);
+        let ctx = Montgomery::new(&n);
+        for x in [0u128, 1, 2, 999_999_999, 123_456_789] {
+            let m = ctx.to_mont(&big(x));
+            assert_eq!(ctx.from_mont(&m), big(x), "round trip {x}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let n = big(0xffff_ffff_ffff_ffc5); // large odd (prime) modulus
+        let ctx = Montgomery::new(&n);
+        let a = big(0x1234_5678_9abc_def0);
+        let b = big(0xfedc_ba98_7654_3210);
+        assert_eq!(ctx.mul(&a, &b), (&a * &b).rem_of(&n));
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let n = big(97);
+        let ctx = Montgomery::new(&n);
+        assert_eq!(ctx.pow(&big(2), &big(0)), BigUint::one());
+        assert_eq!(ctx.pow(&big(2), &big(1)), big(2));
+        assert_eq!(ctx.pow(&big(2), &big(10)), big(1024 % 97));
+        assert_eq!(ctx.pow(&big(0), &big(5)), BigUint::zero());
+    }
+
+    #[test]
+    fn pow_matches_generic_mod_pow_multi_limb() {
+        // Multi-limb odd modulus.
+        let n = BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef01234567_89abcdef").unwrap();
+        let n = if n.is_even() { &n + &BigUint::one() } else { n };
+        let ctx = Montgomery::new(&n);
+        let base = BigUint::from_hex("deadbeefcafebabe0123456789").unwrap();
+        let exp = BigUint::from_hex("10001").unwrap();
+        // Reference: square-and-multiply with explicit division.
+        let mut reference = BigUint::one();
+        let mut acc = base.rem_of(&n);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                reference = (&reference * &acc).rem_of(&n);
+            }
+            acc = (&acc * &acc).rem_of(&n);
+        }
+        assert_eq!(ctx.pow(&base, &exp), reference);
+        assert_eq!(mod_pow(&base, &exp, &n), reference);
+    }
+
+    #[test]
+    fn base_larger_than_modulus_is_reduced() {
+        let n = big(1_000_003);
+        let ctx = Montgomery::new(&n);
+        let base = big(u128::MAX);
+        assert_eq!(
+            ctx.pow(&base, &big(3)),
+            mod_pow(&base.rem_of(&n), &big(3), &n)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        Montgomery::new(&big(100));
+    }
+}

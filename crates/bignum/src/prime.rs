@@ -1,0 +1,191 @@
+//! Primality testing and prime generation.
+//!
+//! Miller–Rabin with a small-prime sieve front end, plus safe-prime
+//! generation (`p = 2p' + 1`) needed by threshold Paillier key dealing.
+
+use crate::{mod_pow, rng, BigUint, Montgomery};
+use rand::Rng;
+
+/// Primes below 1000, used both for trial division and sieving candidates.
+const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419,
+    421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541,
+    547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653,
+    659, 661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787,
+    797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919,
+    929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+];
+
+/// Miller–Rabin rounds for a 2^-80 error bound on random candidates.
+const MR_ROUNDS: u32 = 40;
+
+/// Probabilistic primality test (small-prime sieve + Miller–Rabin).
+pub fn is_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if let Some(small) = n.to_u64() {
+        if small < 2 {
+            return false;
+        }
+        if SMALL_PRIMES.contains(&small) {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in SMALL_PRIMES {
+        let (_, r) = n.div_rem_limb(p);
+        if r == 0 {
+            return n.to_u64() == Some(p);
+        }
+    }
+    miller_rabin(n, MR_ROUNDS, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. `n` must be odd and > 3.
+pub fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let s = n_minus_1.trailing_zeros().expect("n > 1 is odd so n-1 > 0");
+    let d = n_minus_1.shr_bits(s);
+    let mont = Montgomery::new(n);
+
+    'witness: for _ in 0..rounds {
+        let two = BigUint::from_u64(2);
+        let a = rng::gen_range(rng, &two, &n_minus_1);
+        let mut x = mont.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mont.mul(&x, &x.clone());
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random prime with exactly `bits` bits.
+pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = rng::gen_exact_bits(rng, bits);
+        if candidate.is_even() {
+            candidate.add_assign_ref(&BigUint::one());
+        }
+        if candidate.bits() != bits {
+            continue; // the +1 overflowed the width
+        }
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generate a *safe prime* `p = 2q + 1` (both prime) with exactly `bits` bits.
+///
+/// Sieves `q` and `p` simultaneously against the small-prime table before
+/// running Miller–Rabin on either, which makes ~512-bit safe primes practical.
+pub fn gen_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> BigUint {
+    assert!(bits >= 4, "safe primes need at least 4 bits");
+    loop {
+        // q with bits-1 bits, odd, and q ≡ 1 (mod 2) forced below.
+        let mut q = rng::gen_exact_bits(rng, bits - 1);
+        if q.is_even() {
+            q.add_assign_ref(&BigUint::one());
+        }
+        if q.bits() != bits - 1 {
+            continue;
+        }
+        // p = 2q + 1
+        let p = {
+            let mut p = q.shl_bits(1);
+            p.add_assign_ref(&BigUint::one());
+            p
+        };
+        // Joint small-prime sieve: p and q must both avoid all small factors.
+        let mut sieved_out = false;
+        for &sp in SMALL_PRIMES.iter().skip(1) {
+            let (_, rq) = q.div_rem_limb(sp);
+            let (_, rp) = p.div_rem_limb(sp);
+            if (rq == 0 && q.to_u64() != Some(sp)) || (rp == 0 && p.to_u64() != Some(sp)) {
+                sieved_out = true;
+                break;
+            }
+        }
+        if sieved_out {
+            continue;
+        }
+        // Cheap Fermat filter on q before the expensive full tests.
+        if mod_pow(&BigUint::from_u64(2), &(&q - &BigUint::one()), &q) != BigUint::one() {
+            continue;
+        }
+        if is_prime(&q, rng) && is_prime(&p, rng) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn classifies_small_numbers() {
+        let mut r = rng();
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 541, 7919, 104729];
+        let composites = [0u64, 1, 4, 6, 9, 15, 91, 561, 1105, 104730]; // incl. Carmichael 561, 1105
+        for p in primes {
+            assert!(is_prime(&BigUint::from_u64(p), &mut r), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&BigUint::from_u64(c), &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn recognises_known_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let p = BigUint::pow2(127) - BigUint::one();
+        assert!(is_prime(&p, &mut rng()));
+        // 2^128 - 1 is famously composite.
+        let c = BigUint::pow2(128) - BigUint::one();
+        assert!(!is_prime(&c, &mut rng()));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_width() {
+        let mut r = rng();
+        for bits in [16u32, 32, 64, 128] {
+            let p = gen_prime(&mut r, bits);
+            assert_eq!(p.bits(), bits);
+            assert!(is_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut r = rng();
+        let p = gen_safe_prime(&mut r, 64);
+        assert_eq!(p.bits(), 64);
+        assert!(is_prime(&p, &mut r));
+        let q = (&p - &BigUint::one()).shr_bits(1);
+        assert!(is_prime(&q, &mut r), "q = (p-1)/2 must be prime");
+    }
+
+    #[test]
+    fn rejects_even() {
+        assert!(!is_prime(&BigUint::from_u64(1 << 20), &mut rng()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the big-integer substrate: ring laws, division
+//! invariants, and agreement between the fast paths (Karatsuba, Montgomery)
+//! and naive reference computations.
+
+use crate::{egcd, gcd, mod_inverse, mod_pow, BigInt, BigUint, Montgomery};
+use proptest::prelude::*;
+
+/// Arbitrary BigUint of up to ~320 bits built from raw limbs.
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..5).prop_map(BigUint::from_limbs)
+}
+
+fn arb_nonzero() -> impl Strategy<Value = BigUint> {
+    arb_biguint().prop_filter("nonzero", |v| !v.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_biguint(), b in arb_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_round_trip(a in arb_biguint(), s in 0u32..200) {
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn bytes_round_trip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_nonzero(), b in arb_nonzero()) {
+        let g = gcd(&a, &b);
+        prop_assert!(a.rem_of(&g).is_zero());
+        prop_assert!(b.rem_of(&g).is_zero());
+    }
+
+    #[test]
+    fn egcd_bezout(a in arb_nonzero(), b in arb_nonzero()) {
+        let (g, x, y) = egcd(&a, &b);
+        let lhs = &(&BigInt::from(a) * &x) + &(&BigInt::from(b) * &y);
+        prop_assert_eq!(lhs, BigInt::from(g));
+    }
+
+    #[test]
+    fn montgomery_matches_naive_mul(a in arb_biguint(), b in arb_biguint(), m in arb_nonzero()) {
+        // Force odd modulus > 1.
+        let mut m = m;
+        if m.is_even() { m.add_assign_ref(&BigUint::one()); }
+        if m.is_one() { m = BigUint::from_u64(3); }
+        let ctx = Montgomery::new(&m);
+        let expect = (&a.rem_of(&m) * &b.rem_of(&m)).rem_of(&m);
+        prop_assert_eq!(ctx.mul(&a.rem_of(&m), &b.rem_of(&m)), expect);
+    }
+
+    #[test]
+    fn mod_pow_matches_iterated_mul(a in arb_biguint(), e in 0u32..40, m in arb_nonzero()) {
+        let mut m = m;
+        if m.is_one() { m = BigUint::from_u64(2); }
+        let mut expect = BigUint::one().rem_of(&m);
+        let base = a.rem_of(&m);
+        for _ in 0..e {
+            expect = (&expect * &base).rem_of(&m);
+        }
+        prop_assert_eq!(mod_pow(&a, &BigUint::from_u64(e as u64), &m), expect);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in arb_nonzero(), m in arb_nonzero()) {
+        let mut m = m;
+        if m.is_one() { m = BigUint::from_u64(5); }
+        if let Some(inv) = mod_inverse(&a, &m) {
+            prop_assert_eq!((&a * &inv).rem_of(&m), BigUint::one());
+        } else {
+            // No inverse must mean gcd != 1 (or a ≡ 0).
+            let g = gcd(&a.rem_of(&m), &m);
+            prop_assert!(!g.is_one() || a.rem_of(&m).is_zero());
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        let (ba, bb) = (BigInt::from_i128(a), BigInt::from_i128(b));
+        prop_assert_eq!(&ba + &bb, BigInt::from_i128(a + b));
+        prop_assert_eq!(&ba - &bb, BigInt::from_i128(a - b));
+        prop_assert_eq!(&ba * &bb, BigInt::from_i128(a * b));
+        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+    }
+}

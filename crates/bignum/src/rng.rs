@@ -1,0 +1,113 @@
+//! Uniform random sampling of big integers.
+
+use crate::{BigUint, Limb, LIMB_BITS};
+use rand::Rng;
+
+/// Uniform random value in `[0, bound)`. Panics if `bound` is zero.
+pub fn gen_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "empty sampling range");
+    let bits = bound.bits();
+    // Rejection sampling from [0, 2^bits): accepts with probability > 1/2.
+    loop {
+        let candidate = gen_bits(rng, bits);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Uniform random value in `[low, high)`.
+pub fn gen_range<R: Rng + ?Sized>(rng: &mut R, low: &BigUint, high: &BigUint) -> BigUint {
+    assert!(low < high, "empty sampling range");
+    let width = high - low;
+    low + &gen_below(rng, &width)
+}
+
+/// Uniform random value with at most `bits` bits.
+pub fn gen_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(LIMB_BITS) as usize;
+    let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
+    let top_bits = bits % LIMB_BITS;
+    if top_bits != 0 {
+        v[limbs - 1] &= (1 << top_bits) - 1;
+    }
+    BigUint::from_limbs(v)
+}
+
+/// Random value with *exactly* `bits` bits (top bit forced to 1).
+pub fn gen_exact_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> BigUint {
+    assert!(bits > 0, "cannot sample a 0-bit value");
+    let mut v = gen_bits(rng, bits);
+    v.set_bit(bits - 1);
+    v
+}
+
+/// Random unit of `Z_n^*`: uniform `r` in `[1, n)` with `gcd(r, n) = 1`.
+pub fn gen_coprime<R: Rng + ?Sized>(rng: &mut R, n: &BigUint) -> BigUint {
+    loop {
+        let r = gen_below(rng, n);
+        if !r.is_zero() && crate::gcd(&r, n).is_one() {
+            return r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(gen_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn exact_bits_has_exact_width() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for bits in [1u32, 5, 64, 65, 200] {
+            assert_eq!(gen_exact_bits(&mut rng, bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let low = BigUint::from_u64(500);
+        let high = BigUint::from_u64(600);
+        for _ in 0..100 {
+            let v = gen_range(&mut rng, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn coprime_is_coprime() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = BigUint::from_u64(2 * 3 * 5 * 7 * 11);
+        for _ in 0..50 {
+            let r = gen_coprime(&mut rng, &n);
+            assert!(crate::gcd(&r, &n).is_one());
+        }
+    }
+
+    #[test]
+    fn distribution_covers_small_range() {
+        // All residues of [0, 8) should appear within a few hundred draws.
+        let mut rng = StdRng::seed_from_u64(11);
+        let bound = BigUint::from_u64(8);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[gen_below(&mut rng, &bound).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,153 @@
+//! Bit-level operations for [`BigUint`]: shifts and bit access.
+
+use super::{BigUint, Limb, LIMB_BITS};
+use std::ops::{Shl, Shr};
+
+impl BigUint {
+    /// `self << bits` for arbitrary bit counts.
+    pub fn shl_bits(&self, bits: u32) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        let bit_shift = bits % LIMB_BITS;
+        let mut limbs = vec![0 as Limb; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: Limb = 0;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// `self >> bits` for arbitrary bit counts (floor).
+    pub fn shr_bits(&self, bits: u32) -> BigUint {
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut limbs = Vec::with_capacity(src.len());
+        for (i, &l) in src.iter().enumerate() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            limbs.push((l >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Test bit `i` (little-endian bit numbering; out-of-range bits are 0).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / LIMB_BITS) as usize;
+        match self.limbs.get(limb) {
+            Some(&l) => (l >> (i % LIMB_BITS)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Set bit `i` to 1, growing the representation as needed.
+    pub fn set_bit(&mut self, i: u32) {
+        let limb = (i / LIMB_BITS) as usize;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % LIMB_BITS);
+    }
+
+    /// Number of trailing zero bits (`None` for zero).
+    pub fn trailing_zeros(&self) -> Option<u32> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u32 * LIMB_BITS + l.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// 2^k as a `BigUint`.
+    pub fn pow2(k: u32) -> BigUint {
+        let mut out = BigUint::zero();
+        out.set_bit(k);
+        out
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u32) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u32) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = 0x1234_5678_9abc_def0u128; // 61 bits, so s ≤ 67 stays in u128
+        for s in [0u32, 1, 7, 63, 64, 65, 67] {
+            assert_eq!(big(v).shl_bits(s), big(v << s), "left shift by {s}");
+        }
+        // Beyond u128 range: verify via the shr inverse instead.
+        assert_eq!(big(v).shl_bits(100).shr_bits(100), big(v));
+        let w = 0xffff_0000_ffff_0000_1111_2222_3333_4444u128;
+        for s in [0u32, 1, 17, 64, 100, 127] {
+            assert_eq!(big(w).shr_bits(s), big(w >> s), "right shift by {s}");
+        }
+    }
+
+    #[test]
+    fn shift_out_everything() {
+        assert_eq!(big(0xff).shr_bits(8), BigUint::zero());
+        assert_eq!(big(0xff).shr_bits(1000), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = big(0b1010);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(500));
+    }
+
+    #[test]
+    fn set_bit_grows() {
+        let mut v = BigUint::zero();
+        v.set_bit(130);
+        assert_eq!(v.bits(), 131);
+        assert!(v.bit(130));
+        assert_eq!(v, BigUint::pow2(130));
+    }
+
+    #[test]
+    fn trailing_zeros_counts() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(big(1).trailing_zeros(), Some(0));
+        assert_eq!(big(8).trailing_zeros(), Some(3));
+        assert_eq!(BigUint::pow2(100).trailing_zeros(), Some(100));
+    }
+}

@@ -1,0 +1,214 @@
+//! Division and remainder for [`BigUint`] — Knuth TAOCP vol. 2 Algorithm D,
+//! with a single-limb fast path.
+
+use super::{BigUint, Limb};
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Quotient and remainder of `self / divisor`.
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        div_rem_knuth(self, divisor)
+    }
+
+    /// Quotient and remainder by a single limb.
+    pub fn div_rem_limb(&self, divisor: Limb) -> (BigUint, Limb) {
+        assert!(divisor != 0, "BigUint division by zero");
+        let mut quotient = vec![0 as Limb; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | limb as u128;
+            quotient[i] = (cur / divisor as u128) as Limb;
+            rem = cur % divisor as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as Limb)
+    }
+
+    /// `self mod modulus` (convenience wrapper over [`BigUint::div_rem`]).
+    pub fn rem_of(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+}
+
+/// Knuth Algorithm D. Preconditions: `divisor.limbs.len() >= 2`,
+/// `dividend >= divisor`.
+fn div_rem_knuth(dividend: &BigUint, divisor: &BigUint) -> (BigUint, BigUint) {
+    let n = divisor.limbs.len();
+    let m = dividend.limbs.len() - n;
+
+    // D1: normalize so the top limb of v has its high bit set.
+    let shift = divisor.limbs[n - 1].leading_zeros();
+    let v = divisor.shl_bits(shift);
+    let mut u = dividend.shl_bits(shift).limbs;
+    u.resize(dividend.limbs.len() + 1, 0); // extra high limb u[m+n]
+
+    let v = &v.limbs;
+    let vn1 = v[n - 1] as u128;
+    let vn2 = v[n - 2] as u128;
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2–D7: main loop.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two limbs of u and the top limb of v.
+        let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = num / vn1;
+        let mut rhat = num % vn1;
+        loop {
+            if qhat >> 64 != 0 || qhat * vn2 > ((rhat << 64) | u[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += vn1;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract u[j..j+n+1] -= qhat * v.
+        let borrow = sub_mul(&mut u[j..=j + n], v, qhat as Limb);
+
+        // D5/D6: if we subtracted too much (probability ~2/2^64), add back.
+        if borrow {
+            qhat -= 1;
+            add_back(&mut u[j..=j + n], v);
+        }
+        q[j] = qhat as Limb;
+    }
+
+    // D8: denormalize the remainder.
+    let r = BigUint::from_limbs(u[..n].to_vec()).shr_bits(shift);
+    (BigUint::from_limbs(q), r)
+}
+
+/// `u -= qhat * v` over `u[0..=v.len()]`; returns true if it underflowed.
+fn sub_mul(u: &mut [Limb], v: &[Limb], qhat: Limb) -> bool {
+    let mut mul_carry: Limb = 0;
+    let mut borrow = false;
+    for i in 0..v.len() {
+        let prod = qhat as u128 * v[i] as u128 + mul_carry as u128;
+        mul_carry = (prod >> 64) as Limb;
+        let (d, b1) = u[i].overflowing_sub(prod as Limb);
+        let (d, b2) = d.overflowing_sub(borrow as Limb);
+        u[i] = d;
+        borrow = b1 || b2;
+    }
+    let (d, b1) = u[v.len()].overflowing_sub(mul_carry);
+    let (d, b2) = d.overflowing_sub(borrow as Limb);
+    u[v.len()] = d;
+    b1 || b2
+}
+
+/// `u += v` over `u[0..=v.len()]`, discarding the final carry (it cancels the
+/// earlier borrow in Algorithm D step D6).
+fn add_back(u: &mut [Limb], v: &[Limb]) {
+    let mut carry = false;
+    for i in 0..v.len() {
+        let (s, c1) = u[i].overflowing_add(v[i]);
+        let (s, c2) = s.overflowing_add(carry as Limb);
+        u[i] = s;
+        carry = c1 || c2;
+    }
+    u[v.len()] = u[v.len()].wrapping_add(carry as Limb);
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn single_limb_division() {
+        let (q, r) = big(1000).div_rem(&big(7));
+        assert_eq!((q, r), (big(142), big(6)));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = big(5).div_rem(&big(100));
+        assert_eq!((q, r), (BigUint::zero(), big(5)));
+    }
+
+    #[test]
+    fn exact_division() {
+        let a = big(1 << 77);
+        let b = big(1 << 13);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, big(1 << 64));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn u128_cross_check() {
+        let pairs = [
+            (u128::MAX, 3u128),
+            (u128::MAX - 7, u64::MAX as u128),
+            (0xdead_beef_cafe_babe_1234_5678_9abc_def0, 0x1_0000_0001),
+            (1 << 127, (1 << 65) - 1),
+        ];
+        for (a, b) in pairs {
+            let (q, r) = big(a).div_rem(&big(b));
+            assert_eq!(q, big(a / b), "quotient for {a} / {b}");
+            assert_eq!(r, big(a % b), "remainder for {a} % {b}");
+        }
+    }
+
+    #[test]
+    fn multi_limb_reconstruction() {
+        // a = q*b + r must hold for operands wider than 128 bits.
+        let a = BigUint::from_limbs(vec![0x1111, 0x2222, 0x3333, 0x4444, 0x5555]);
+        let b = BigUint::from_limbs(vec![0xabcdef, 0x123456, 0x789a]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn knuth_add_back_branch() {
+        // Crafted case from Hacker's Delight that exercises the rare D6 path:
+        // dividend 0x7fff_800000000001_00000000_00000000, divisor 0x8000_000000000001_00000000.
+        let a = BigUint::from_limbs(vec![0, 0, 0x8000_0000_0000_0001, 0x7fff]);
+        let b = BigUint::from_limbs(vec![0, 0x8000_0000_0000_0001, 0x8000]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(&big(100) / &big(7), big(14));
+        assert_eq!(&big(100) % &big(7), big(2));
+    }
+}

@@ -1,0 +1,157 @@
+//! Formatting and parsing for [`BigUint`] (hex and decimal).
+
+use super::BigUint;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid digit {:?} in big integer literal", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl BigUint {
+    /// Lower-case hex string without prefix ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        match self.limbs.last() {
+            None => "0".to_string(),
+            Some(top) => {
+                let mut s = format!("{top:x}");
+                for limb in self.limbs.iter().rev().skip(1) {
+                    s.push_str(&format!("{limb:016x}"));
+                }
+                s
+            }
+        }
+    }
+
+    /// Parse a hex string (optionally prefixed with `0x`).
+    pub fn from_hex(s: &str) -> Result<BigUint, ParseBigUintError> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let digit = c.to_digit(16).ok_or(ParseBigUintError { offending: c })? as u64;
+            out = out.shl_bits(4);
+            out.add_assign_ref(&BigUint::from_u64(digit));
+        }
+        Ok(out)
+    }
+
+    /// Decimal string.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel off 19 decimal digits at a time (10^19 < 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut v = self.clone();
+        let mut parts = Vec::new();
+        while !v.is_zero() {
+            let (q, r) = v.div_rem_limb(CHUNK);
+            parts.push(r);
+            v = q;
+        }
+        let mut s = parts.pop().map(|p| p.to_string()).unwrap_or_default();
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal(s: &str) -> Result<BigUint, ParseBigUintError> {
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let digit = c.to_digit(10).ok_or(ParseBigUintError { offending: c })? as u64;
+            out.mul_limb(10);
+            out.add_assign_ref(&BigUint::from_u64(digit));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            BigUint::from_hex(hex)
+        } else {
+            BigUint::from_decimal(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let v = BigUint::from_u128(0xdead_beef_0123_4567_89ab_cdef_dead_beef);
+        assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+        assert_eq!(BigUint::zero().to_hex(), "0");
+        assert_eq!(BigUint::from_hex("0x10").unwrap(), BigUint::from_u64(16));
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        let v = BigUint::from_u128(340_282_366_920_938_463_463_374_607_431_768_211_455);
+        assert_eq!(v.to_decimal(), "340282366920938463463374607431768211455");
+        assert_eq!(BigUint::from_decimal(&v.to_decimal()).unwrap(), v);
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+    }
+
+    #[test]
+    fn display_and_fromstr() {
+        let v: BigUint = "123456789012345678901234567890".parse().unwrap();
+        assert_eq!(v.to_string(), "123456789012345678901234567890");
+        let h: BigUint = "0xff".parse().unwrap();
+        assert_eq!(h, BigUint::from_u64(255));
+    }
+
+    #[test]
+    fn bad_digit_rejected() {
+        assert!(BigUint::from_decimal("12x").is_err());
+        assert!(BigUint::from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn underscores_ignored() {
+        assert_eq!(
+            BigUint::from_decimal("1_000_000").unwrap(),
+            BigUint::from_u64(1_000_000)
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Unsigned arbitrary-precision integers.
+//!
+//! Representation: little-endian vector of 64-bit limbs with no trailing
+//! zero limbs (`normalize` enforces this). Zero is the empty limb vector.
+
+mod add_sub;
+mod bits;
+mod div;
+mod fmt;
+mod mul;
+
+use std::cmp::Ordering;
+
+/// A single machine word of a [`BigUint`].
+pub type Limb = u64;
+/// Bits per limb.
+pub const LIMB_BITS: u32 = 64;
+
+/// Unsigned arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint { limbs: vec![lo, hi] };
+        out.normalize();
+        out
+    }
+
+    /// Construct from little-endian limbs (normalizing).
+    pub fn from_limbs(limbs: Vec<Limb>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Borrow the little-endian limbs (normalized; empty means zero).
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().map_or(false, |l| l & 1 == 1)
+    }
+
+    /// True iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u32 - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Bytes in big-endian order, no leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Construct from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = [0u8; 8];
+            limb[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(limb));
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Strip trailing zero limbs to keep the canonical representation.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+    }
+
+    #[test]
+    fn from_to_u64_u128() {
+        assert_eq!(BigUint::from_u64(42).to_u64(), Some(42));
+        let v = 0x1234_5678_9abc_def0_1111_2222_3333_4444u128;
+        assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
+        assert_eq!(BigUint::from_u128(u64::MAX as u128).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn normalization_strips_zero_limbs() {
+        let v = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(v.limbs().len(), 1);
+        assert_eq!(v, BigUint::from_u64(5));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = BigUint::from_u128(0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10);
+        let bytes = v.to_bytes_be();
+        assert_eq!(bytes[0], 0x01);
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+        assert_eq!(BigUint::from_bytes_be(&[]), BigUint::zero());
+        // Leading zero bytes are accepted and ignored.
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 7]), BigUint::from_u64(7));
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u128(1 << 70);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigUint::from_u64(1).bits(), 1);
+        assert_eq!(BigUint::from_u64(0xFF).bits(), 8);
+        assert_eq!(BigUint::from_u128(1 << 64).bits(), 65);
+    }
+}

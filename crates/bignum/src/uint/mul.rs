@@ -1,0 +1,205 @@
+//! Multiplication for [`BigUint`]: schoolbook for small operands, Karatsuba
+//! above [`KARATSUBA_THRESHOLD`] limbs.
+
+use super::{BigUint, Limb};
+use std::ops::{Mul, MulAssign};
+
+/// Operand size (in limbs) above which Karatsuba splitting pays off.
+/// 32 limbs = 2048 bits, i.e. around the Paillier `N²` size for 1024-bit keys.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// `out += a * b` (schoolbook), where `out` must have length ≥ `a.len() + b.len()`.
+fn mac_schoolbook(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u128 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let sum = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = sum as Limb;
+            carry = sum >> 64;
+        }
+        // Propagate the final carry (cannot overflow `out` given its length).
+        let mut k = i + b.len();
+        while carry != 0 {
+            let sum = out[k] as u128 + carry;
+            out[k] = sum as Limb;
+            carry = sum >> 64;
+            k += 1;
+        }
+    }
+}
+
+/// Karatsuba: split both operands at `half` limbs and recurse.
+fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let half = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+
+    let a0 = BigUint::from_limbs(a0.to_vec());
+    let a1 = BigUint::from_limbs(a1.to_vec());
+    let b0 = BigUint::from_limbs(b0.to_vec());
+    let b1 = BigUint::from_limbs(b1.to_vec());
+
+    let z0 = &a0 * &b0; // low product
+    let z2 = &a1 * &b1; // high product
+    // z1 = (a0+a1)(b0+b1) - z0 - z2 = a0*b1 + a1*b0
+    let mut z1 = &(&a0 + &a1) * &(&b0 + &b1);
+    z1.sub_assign_ref(&z0);
+    z1.sub_assign_ref(&z2);
+
+    // result = z0 + z1 << (64*half) + z2 << (64*2*half)
+    let mut out = z0;
+    out.add_shifted(&z1, half);
+    out.add_shifted(&z2, 2 * half);
+    out.limbs
+}
+
+impl BigUint {
+    /// `self += other << (64 * limb_shift)` without materialising the shift.
+    pub(crate) fn add_shifted(&mut self, other: &BigUint, limb_shift: usize) {
+        if other.is_zero() {
+            return;
+        }
+        let needed = other.limbs.len() + limb_shift;
+        if self.limbs.len() < needed {
+            self.limbs.resize(needed, 0);
+        }
+        let mut carry = 0u64;
+        for (i, &o) in other.limbs.iter().enumerate() {
+            let sum = self.limbs[i + limb_shift] as u128 + o as u128 + carry as u128;
+            self.limbs[i + limb_shift] = sum as Limb;
+            carry = (sum >> 64) as u64;
+        }
+        let mut k = needed;
+        while carry != 0 {
+            if k == self.limbs.len() {
+                self.limbs.push(carry);
+                break;
+            }
+            let sum = self.limbs[k] as u128 + carry as u128;
+            self.limbs[k] = sum as Limb;
+            carry = (sum >> 64) as u64;
+            k += 1;
+        }
+    }
+
+    /// Multiply by a single limb in place.
+    pub fn mul_limb(&mut self, v: Limb) {
+        if v == 0 {
+            self.limbs.clear();
+            return;
+        }
+        if v == 1 || self.is_zero() {
+            return;
+        }
+        let mut carry: u128 = 0;
+        for limb in self.limbs.iter_mut() {
+            let prod = *limb as u128 * v as u128 + carry;
+            *limb = prod as Limb;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as Limb);
+        }
+    }
+
+    /// `self * self` — convenience squaring (uses the generic multiply).
+    pub fn square(&self) -> BigUint {
+        self * self
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let small = self.limbs.len().min(rhs.limbs.len());
+        if small >= KARATSUBA_THRESHOLD {
+            return BigUint::from_limbs(mul_karatsuba(&self.limbs, &rhs.limbs));
+        }
+        let mut out = vec![0 as Limb; self.limbs.len() + rhs.limbs.len()];
+        mac_schoolbook(&mut out, &self.limbs, &rhs.limbs);
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn small_products() {
+        assert_eq!(&big(6) * &big(7), big(42));
+        assert_eq!(&big(0) * &big(7), BigUint::zero());
+        assert_eq!(&big(1) * &big(7), big(7));
+    }
+
+    #[test]
+    fn cross_limb_product() {
+        let a = big(u64::MAX as u128);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expect = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(&a * &a, big(expect));
+    }
+
+    #[test]
+    fn mul_limb_matches_full_mul() {
+        let mut a = big(0x1234_5678_9abc_def0_1122);
+        let b = a.clone();
+        a.mul_limb(1_000_003);
+        assert_eq!(a, &b * &big(1_000_003));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands big enough to trigger Karatsuba (> 32 limbs each).
+        let mut a = BigUint::one();
+        let mut b = BigUint::one();
+        for i in 0..40u64 {
+            a.limbs.push(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1));
+            b.limbs.push(0xc2b2_ae3d_27d4_eb4fu64.wrapping_mul(i + 3));
+        }
+        a.normalize();
+        b.normalize();
+        let fast = &a * &b;
+        // Schoolbook reference.
+        let mut slow = vec![0 as Limb; a.limbs.len() + b.limbs.len()];
+        mac_schoolbook(&mut slow, &a.limbs, &b.limbs);
+        assert_eq!(fast, BigUint::from_limbs(slow));
+    }
+
+    #[test]
+    fn distributive_law_spot_check() {
+        let a = big(0xdead_beef_cafe);
+        let b = big(0x1234_5678);
+        let c = big(0x9999_1111_2222);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = big(0xffff_ffff_ffff_fff1);
+        assert_eq!(a.square(), &a * &a);
+    }
+}

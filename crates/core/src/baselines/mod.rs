@@ -1,0 +1,12 @@
+//! Evaluation baselines (§8.1):
+//!
+//! * [`spdz_dt`] — the pure-MPC strawman: every feature, threshold and
+//!   label is secret-shared and the whole of CART runs inside SPDZ. Its
+//!   per-node cost is `O(n·c·d·b)` secure multiplications plus `O(n·d·b)`
+//!   secure comparisons once, versus Pivot's `O(c·d·b)` conversions —
+//!   that gap is Figure 5.
+//! * [`npd_dt`] — the non-private distributed trainer: plaintext labels
+//!   broadcast, plaintext statistics exchanged. The floor of Figures 4g/5.
+
+pub mod npd_dt;
+pub mod spdz_dt;

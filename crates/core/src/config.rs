@@ -1,0 +1,98 @@
+//! Protocol configuration (paper Table 4 parameters plus implementation
+//! knobs).
+
+use pivot_mpc::FixedConfig;
+use pivot_trees::TreeParams;
+
+/// Which Pivot protocol variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// §4: the trained tree is released in plaintext.
+    Basic,
+    /// §5: split thresholds and leaf labels stay concealed.
+    Enhanced,
+}
+
+/// Full parameter set for a Pivot training/prediction session.
+#[derive(Clone, Debug)]
+pub struct PivotParams {
+    /// Tree-growing parameters (`h`, pruning threshold, `b`).
+    pub tree: TreeParams,
+    /// Protocol variant.
+    pub protocol: Protocol,
+    /// Paillier modulus bits (the paper's "keysize": 1024 default,
+    /// 512 for accuracy runs; tests use 128–256).
+    pub keysize: u32,
+    /// MPC fixed-point layout.
+    pub fixed: FixedConfig,
+    /// Parallelize threshold decryptions (the paper's `-PP` variants,
+    /// which parallelize exactly this with 6 cores).
+    pub parallel_decrypt: bool,
+    /// Worker threads for parallel decryption (paper: 6).
+    pub decrypt_threads: usize,
+    /// Common seed for the simulated MPC offline phase.
+    pub dealer_seed: u64,
+}
+
+impl Default for PivotParams {
+    fn default() -> Self {
+        PivotParams {
+            tree: TreeParams::default(),
+            protocol: Protocol::Basic,
+            keysize: 256,
+            fixed: FixedConfig::default(),
+            parallel_decrypt: false,
+            decrypt_threads: 6,
+            dealer_seed: 0x9162_07,
+        }
+    }
+}
+
+impl PivotParams {
+    /// Parameters for the enhanced protocol. Purity-based early stopping is
+    /// disabled: checking purity would reveal one bit about concealed leaf
+    /// labels (see `TreeParams::stop_when_pure`).
+    pub fn enhanced() -> Self {
+        let mut p = PivotParams { protocol: Protocol::Enhanced, ..Default::default() };
+        p.tree.stop_when_pure = false;
+        p
+    }
+
+    /// Validate cross-parameter invariants before running a protocol.
+    pub fn assert_valid(&self, n_samples: usize) {
+        self.fixed.assert_valid();
+        // Gain-pipeline overflow bound: n²·2^f < p/2 (DESIGN.md §8).
+        let n_bits = (usize::BITS - n_samples.leading_zeros()) as u64;
+        assert!(
+            2 * n_bits as u32 + self.fixed.frac_bits + 1 < 61,
+            "{n_samples} samples overflow the fixed-point gain pipeline"
+        );
+        // Conversion (Algorithm 2) requires N ≫ masked values.
+        assert!(self.keysize >= 128, "keysize too small for share conversion");
+        assert!(self.tree.max_depth >= 1, "trees need at least one level");
+        assert!(self.tree.max_splits >= 1, "need at least one candidate split");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        PivotParams::default().assert_valid(10_000);
+    }
+
+    #[test]
+    fn enhanced_disables_purity_stop() {
+        let p = PivotParams::enhanced();
+        assert_eq!(p.protocol, Protocol::Enhanced);
+        assert!(!p.tree.stop_when_pure);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn too_many_samples_rejected() {
+        PivotParams::default().assert_valid(1 << 25);
+    }
+}

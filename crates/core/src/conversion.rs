@@ -1,0 +1,124 @@
+//! TPHE ↔ MPC conversions — the glue of the hybrid framework.
+//!
+//! * [`ciphers_to_shares`] is the paper's **Algorithm 2**: mask an
+//!   encrypted value with every client's random term, threshold-decrypt the
+//!   sum, and let each client keep the negation of its mask as its share.
+//!   Extended here with a public offset so signed fixed-point plaintexts
+//!   convert correctly.
+//! * [`shares_to_ciphers`] is the reverse direction used by the enhanced
+//!   protocol (§5.2): every client encrypts its own share and the
+//!   ciphertexts are summed homomorphically. The result's plaintext may
+//!   carry an additive multiple of the share modulus `p` (share sums wrap);
+//!   every consumer reduces modulo `p` on the next conversion, so the slack
+//!   is harmless — see DESIGN.md §8.
+
+use crate::decrypt::joint_decrypt_vec;
+use crate::party::PartyContext;
+use pivot_bignum::BigUint;
+use pivot_mpc::{Fp, Share, MODULUS};
+use pivot_paillier::Ciphertext;
+use rand::Rng;
+
+/// Reduce a decrypted plaintext into the share field, interpreting the
+/// upper half of `Z_N` as negative (signed Paillier encoding).
+pub fn plaintext_to_field(pk: &pivot_paillier::PublicKey, v: &BigUint) -> Fp {
+    let p = BigUint::from_u64(MODULUS);
+    if v > pk.half_n() {
+        // negative: v = N - |x|  ⇒  x ≡ -(N - v) (mod p)
+        let mag = pk.n() - v;
+        -Fp::new(mag.rem_of(&p).to_u64().expect("reduced below p"))
+    } else {
+        Fp::new(v.rem_of(&p).to_u64().expect("reduced below p"))
+    }
+}
+
+/// Algorithm 2 (batched): convert encrypted values into additive shares.
+///
+/// Plaintexts must be *signed integers of magnitude below `2^(int_bits-1)`*
+/// modulo any slack multiple of the share modulus (see module docs). Each
+/// client pays one encryption per value; the batch pays one joint
+/// decryption per value — exactly the paper's `O(·) Cd` accounting.
+pub fn ciphers_to_shares(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<Share> {
+    if cts.is_empty() {
+        return Vec::new();
+    }
+    let n = cts.len();
+    let k = ctx.params.fixed.int_bits;
+    let offset = BigUint::pow2(k - 1);
+
+    // Every client draws rᵢ uniform in [0, p) and encrypts it (line 2).
+    let my_masks: Vec<u64> = (0..n).map(|_| ctx.rng.gen_range(0..MODULUS)).collect();
+    let my_enc_masks: Vec<Ciphertext> = my_masks
+        .iter()
+        .map(|&r| ctx.pk.encrypt(&BigUint::from_u64(r), &mut ctx.rng))
+        .collect();
+    ctx.metrics.add_encryptions(n as u64);
+
+    // Exchange encrypted masks; everyone assembles [e] = [x + 2^(k-1) + Σ rᵢ]
+    // (line 4, plus the signedness offset).
+    let all_masks: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_enc_masks);
+    let mut masked: Vec<Ciphertext> = Vec::with_capacity(n);
+    for (j, ct) in cts.iter().enumerate() {
+        let mut acc = ctx.pk.add(ct, &ctx.pk.encrypt_trivial(&offset));
+        for party_masks in &all_masks {
+            acc = ctx.pk.add(&acc, &party_masks[j]);
+        }
+        masked.push(acc);
+    }
+    ctx.metrics.add_ciphertext_ops((n * (ctx.parties() + 1)) as u64);
+
+    // Joint decryption (line 5) — integer e = x + 2^(k-1) + Σ rᵢ, no mod-N
+    // wrap because N ≫ m·p + 2^k (checked in PivotParams::assert_valid).
+    let opened = joint_decrypt_vec(ctx, &masked);
+
+    // Shares (lines 6–8): party 0 keeps e − r₀ − 2^(k-1); others keep −rᵢ.
+    let p = BigUint::from_u64(MODULUS);
+    opened
+        .iter()
+        .zip(&my_masks)
+        .map(|(e, &r)| {
+            let mine = if ctx.id() == 0 {
+                let e_mod = Fp::new(e.rem_of(&p).to_u64().expect("reduced"));
+                e_mod - Fp::new(r) - Fp::pow2(k - 1)
+            } else {
+                -Fp::new(r)
+            };
+            Share(mine)
+        })
+        .collect()
+}
+
+/// Convert one encrypted value into a share.
+pub fn cipher_to_share(ctx: &mut PartyContext<'_>, ct: &Ciphertext) -> Share {
+    ciphers_to_shares(ctx, std::slice::from_ref(ct)).remove(0)
+}
+
+/// §5.2 reverse conversion: every client encrypts its own share and the
+/// ciphertexts are homomorphically summed. The plaintext equals the secret
+/// plus a slack multiple of `p` below `m·p ≪ N`.
+pub fn shares_to_ciphers(ctx: &mut PartyContext<'_>, shares: &[Share]) -> Vec<Ciphertext> {
+    if shares.is_empty() {
+        return Vec::new();
+    }
+    let my_encs: Vec<Ciphertext> = shares
+        .iter()
+        .map(|s| ctx.pk.encrypt(&BigUint::from_u64(s.0.value()), &mut ctx.rng))
+        .collect();
+    ctx.metrics.add_encryptions(shares.len() as u64);
+    let all: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_encs);
+    ctx.metrics.add_ciphertext_ops((shares.len() * ctx.parties()) as u64);
+    (0..shares.len())
+        .map(|j| {
+            let mut acc = all[0][j].clone();
+            for party in all.iter().skip(1) {
+                acc = ctx.pk.add(&acc, &party[j]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Convert one share into a ciphertext.
+pub fn share_to_cipher(ctx: &mut PartyContext<'_>, share: Share) -> Ciphertext {
+    shares_to_ciphers(ctx, &[share]).remove(0)
+}

@@ -1,0 +1,87 @@
+//! Joint threshold decryption: every client contributes a partial
+//! decryption, partials are exchanged, and each client combines locally.
+//! This is the paper's `Cd` operation — the dominant cost of both
+//! protocols — and the operation the `-PP` variants parallelize across
+//! ciphertexts (§8.3: "parallelism for threshold decryption of multiple
+//! ciphertexts with 6 cores").
+
+use crate::party::PartyContext;
+use pivot_bignum::BigUint;
+use pivot_paillier::threshold::{Combiner, PartialDecryption, SecretKeyShare};
+use pivot_paillier::Ciphertext;
+
+/// Jointly decrypt a batch of ciphertexts; all clients learn the plaintexts.
+pub fn joint_decrypt_vec(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<BigUint> {
+    if cts.is_empty() {
+        return Vec::new();
+    }
+    ctx.metrics.add_decryptions(cts.len() as u64);
+
+    // Partial decryptions (parallelizable — the `-PP` knob).
+    let partials: Vec<PartialDecryption> = if ctx.params.parallel_decrypt {
+        parallel_map(cts, ctx.params.decrypt_threads, |ct| ctx.key_share.partial_decrypt(ct))
+    } else {
+        cts.iter().map(|ct| ctx.key_share.partial_decrypt(ct)).collect()
+    };
+
+    // One all-to-all exchange of the whole batch.
+    let all: Vec<Vec<PartialDecryption>> = ctx.ep.exchange_all(&partials);
+
+    // Combine locally (also parallelizable).
+    let combine_one = |idx: usize| -> BigUint {
+        let parts: Vec<PartialDecryption> =
+            all.iter().map(|per_party| per_party[idx].clone()).collect();
+        ctx.combiner.combine(&parts)
+    };
+    if ctx.params.parallel_decrypt {
+        let indices: Vec<usize> = (0..cts.len()).collect();
+        parallel_map(&indices, ctx.params.decrypt_threads, |&i| combine_one(i))
+    } else {
+        (0..cts.len()).map(combine_one).collect()
+    }
+}
+
+/// Decrypt a single ciphertext.
+pub fn joint_decrypt(ctx: &mut PartyContext<'_>, ct: &Ciphertext) -> BigUint {
+    joint_decrypt_vec(ctx, std::slice::from_ref(ct)).remove(0)
+}
+
+/// Chunked parallel map over a slice using scoped threads.
+fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (ci, slice) in items.chunks(chunk).enumerate() {
+            let f = &f;
+            handles.push((ci, scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>())));
+        }
+        for (ci, handle) in handles {
+            let results = handle.join().expect("decryption worker panicked");
+            for (off, val) in results.into_iter().enumerate() {
+                out[ci * chunk + off] = Some(val);
+            }
+        }
+    });
+    out.into_iter().map(|v| v.expect("all chunks filled")).collect()
+}
+
+/// Stand-alone combiner used by tests that play all parties themselves.
+pub fn combine_partials(
+    combiner: &Combiner,
+    shares: &[SecretKeyShare],
+    ct: &Ciphertext,
+) -> BigUint {
+    let partials: Vec<PartialDecryption> =
+        shares.iter().map(|s| s.partial_decrypt(ct)).collect();
+    combiner.combine(&partials)
+}

@@ -1,0 +1,221 @@
+//! GBDT extension (§7.2): sequential regression trees on residuals that
+//! must stay hidden from everyone — including the super client.
+//!
+//! Training keeps the per-round label vectors `[Y_w]` encrypted: residuals
+//! are computed on shares, converted into encrypted `[γ₁] = [R]`,
+//! `[γ₂] = [R²]` vectors once per round (the paper's optimization), and
+//! the winning client updates them alongside `[α]` during tree building.
+//! Classification uses one-vs-rest with a **secure softmax** over the
+//! cumulative scores each round.
+
+use crate::conversion::{ciphers_to_shares, shares_to_ciphers};
+use crate::masks::initial_mask;
+use crate::party::PartyContext;
+use crate::predict_basic::predict_batch_encrypted;
+use crate::train_basic::{train_with_labels, NodeLabels};
+use pivot_data::Task;
+use pivot_mpc::{Fp, Share};
+use pivot_trees::DecisionTree;
+
+/// GBDT protocol parameters.
+#[derive(Clone, Debug)]
+pub struct GbdtProtocolParams {
+    /// Boosting rounds `W`.
+    pub rounds: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+}
+
+impl Default for GbdtProtocolParams {
+    fn default() -> Self {
+        GbdtProtocolParams { rounds: 4, learning_rate: 0.5 }
+    }
+}
+
+/// The released GBDT model (plaintext trees, §7.2 basic setting):
+/// `forests[k]` holds class `k`'s regression trees (single forest for
+/// regression).
+#[derive(Clone, Debug)]
+pub struct GbdtModel {
+    pub forests: Vec<Vec<DecisionTree>>,
+    pub learning_rate: f64,
+    pub task: Task,
+}
+
+/// Train a GBDT model with encrypted residual labels.
+pub fn train_gbdt(ctx: &mut PartyContext<'_>, gbdt: &GbdtProtocolParams) -> GbdtModel {
+    match ctx.view.task {
+        Task::Regression => train_gbdt_regression(ctx, gbdt),
+        Task::Classification { classes } => train_gbdt_classification(ctx, gbdt, classes),
+    }
+}
+
+fn train_gbdt_regression(ctx: &mut PartyContext<'_>, gbdt: &GbdtProtocolParams) -> GbdtModel {
+    let n = ctx.num_samples();
+    // The super client shares the (normalized) labels once.
+    let y = share_labels(ctx, |y| y);
+    let mut cumulative = vec![Share::ZERO; n];
+    let mut trees = Vec::with_capacity(gbdt.rounds);
+    for _ in 0..gbdt.rounds {
+        let residuals: Vec<Share> =
+            y.iter().zip(&cumulative).map(|(&t, &f)| t - f).collect();
+        let tree = train_residual_tree(ctx, &residuals);
+        accumulate_predictions(ctx, &tree, gbdt.learning_rate, &mut cumulative);
+        trees.push(tree);
+    }
+    GbdtModel {
+        forests: vec![trees],
+        learning_rate: gbdt.learning_rate,
+        task: Task::Regression,
+    }
+}
+
+fn train_gbdt_classification(
+    ctx: &mut PartyContext<'_>,
+    gbdt: &GbdtProtocolParams,
+    classes: usize,
+) -> GbdtModel {
+    let n = ctx.num_samples();
+    // One-vs-rest targets, shared by the super client.
+    let targets: Vec<Vec<Share>> = (0..classes)
+        .map(|k| share_labels(ctx, move |y| if y as usize == k { 1.0 } else { 0.0 }))
+        .collect();
+    let mut scores: Vec<Vec<Share>> = vec![vec![Share::ZERO; n]; classes];
+    let mut forests: Vec<Vec<DecisionTree>> = vec![Vec::new(); classes];
+
+    for _ in 0..gbdt.rounds {
+        // Secure softmax over the cumulative scores (row per sample).
+        let mut logits = Vec::with_capacity(n * classes);
+        for i in 0..n {
+            for class_scores in scores.iter() {
+                logits.push(class_scores[i]);
+            }
+        }
+        let probs = ctx.engine.softmax_rows(&logits, classes);
+
+        for (k, forest) in forests.iter_mut().enumerate() {
+            let residuals: Vec<Share> = (0..n)
+                .map(|i| targets[k][i] - probs[i * classes + k])
+                .collect();
+            let tree = train_residual_tree(ctx, &residuals);
+            accumulate_predictions(ctx, &tree, gbdt.learning_rate, &mut scores[k]);
+            forest.push(tree);
+        }
+    }
+    GbdtModel {
+        forests,
+        learning_rate: gbdt.learning_rate,
+        task: Task::Classification { classes },
+    }
+}
+
+/// Share the super client's labels (mapped through `f`) with all parties.
+fn share_labels(
+    ctx: &mut PartyContext<'_>,
+    f: impl Fn(f64) -> f64,
+) -> Vec<Share> {
+    let values: Option<Vec<Fp>> = ctx.is_super_client().then(|| {
+        let cfg = ctx.params.fixed;
+        ctx.view
+            .labels
+            .as_ref()
+            .expect("super client holds labels")
+            .iter()
+            .map(|&y| cfg.encode(f(y)))
+            .collect()
+    });
+    ctx.engine.share_input(ctx.super_client, values.as_deref())
+}
+
+/// One boosting stage: encrypt the residual moments and train a regression
+/// tree on them with the basic protocol.
+fn train_residual_tree(ctx: &mut PartyContext<'_>, residuals: &[Share]) -> DecisionTree {
+    // [γ₁] = [R], [γ₂] = [R²] — encrypted once per round (§7.2).
+    let squares = ctx.engine.fixmul_vec(residuals, residuals);
+    let gamma1 = shares_to_ciphers(ctx, residuals);
+    let gamma2 = shares_to_ciphers(ctx, &squares);
+    let alpha = initial_mask(ctx, &vec![true; residuals.len()]);
+    ctx.task_override = Some(Task::Regression);
+    let tree = train_with_labels(ctx, alpha, NodeLabels::Encrypted(vec![gamma1, gamma2]));
+    ctx.task_override = None;
+    tree
+}
+
+/// Predict all training samples with the new tree (Algorithm 4, encrypted
+/// outputs), convert to shares, and fold into the cumulative scores.
+fn accumulate_predictions(
+    ctx: &mut PartyContext<'_>,
+    tree: &DecisionTree,
+    learning_rate: f64,
+    cumulative: &mut [Share],
+) {
+    let local_samples: Vec<Vec<f64>> = (0..ctx.num_samples())
+        .map(|i| ctx.view.features[i].clone())
+        .collect();
+    ctx.task_override = Some(Task::Regression);
+    let enc_preds = predict_batch_encrypted(ctx, tree, &local_samples);
+    ctx.task_override = None;
+    let pred_shares = ciphers_to_shares(ctx, &enc_preds);
+    let scaled = ctx.engine.fixscale_vec(&pred_shares, learning_rate);
+    for (acc, s) in cumulative.iter_mut().zip(scaled) {
+        *acc = *acc + s;
+    }
+}
+
+/// Joint GBDT prediction (§7.2): per-tree Algorithm 4, homomorphic
+/// aggregation; classification picks the secure argmax over class scores.
+pub fn predict_gbdt(
+    ctx: &mut PartyContext<'_>,
+    model: &GbdtModel,
+    local_sample: &[f64],
+) -> f64 {
+    predict_gbdt_batch(ctx, model, std::slice::from_ref(&local_sample.to_vec()))[0]
+}
+
+/// Batched GBDT prediction.
+pub fn predict_gbdt_batch(
+    ctx: &mut PartyContext<'_>,
+    model: &GbdtModel,
+    local_samples: &[Vec<f64>],
+) -> Vec<f64> {
+    let n = local_samples.len();
+    // Per class: homomorphic sum of the encrypted tree predictions.
+    let mut class_scores: Vec<Vec<Share>> = Vec::with_capacity(model.forests.len());
+    for forest in &model.forests {
+        let mut acc: Option<Vec<_>> = None;
+        ctx.task_override = Some(Task::Regression);
+        for tree in forest {
+            let preds = predict_batch_encrypted(ctx, tree, local_samples);
+            acc = Some(match acc {
+                None => preds,
+                Some(prev) => {
+                    prev.iter().zip(&preds).map(|(a, b)| ctx.pk.add(a, b)).collect()
+                }
+            });
+        }
+        ctx.task_override = None;
+        let summed = acc.expect("at least one tree");
+        let shares = ciphers_to_shares(ctx, &summed);
+        let scaled = ctx.engine.fixscale_vec(&shares, model.learning_rate);
+        class_scores.push(scaled);
+    }
+
+    match model.task {
+        Task::Regression => {
+            let opened = ctx.engine.open_vec(&class_scores[0]);
+            opened.iter().map(|&v| ctx.params.fixed.decode(v)).collect()
+        }
+        Task::Classification { .. } => {
+            // Secure argmax over class scores per sample (softmax is
+            // monotone, so the argmax matches the paper's §7.2 decision).
+            (0..n)
+                .map(|i| {
+                    let row: Vec<Share> =
+                        class_scores.iter().map(|scores| scores[i]).collect();
+                    let (idx, _) = ctx.engine.argmax(&row);
+                    ctx.engine.open(idx).value() as f64
+                })
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Ensemble extensions of the basic protocol (§7): random forest and
+//! gradient-boosted decision trees.
+
+pub mod gbdt;
+pub mod rf;
+
+pub use gbdt::{predict_gbdt, predict_gbdt_batch, train_gbdt, GbdtModel, GbdtProtocolParams};
+pub use rf::{predict_rf, predict_rf_batch, train_rf, RfModel, RfProtocolParams};

@@ -1,0 +1,132 @@
+//! Random forest extension (§7.1): independently trained basic-protocol
+//! trees over public bootstrap masks; secure aggregation at prediction —
+//! majority vote via secure maximum for classification, homomorphic mean
+//! for regression.
+
+use crate::decrypt::joint_decrypt_vec;
+use crate::party::PartyContext;
+use crate::predict_basic::{decode_prediction, predict_batch_encrypted};
+use crate::train_basic::train_with_mask;
+use pivot_data::Task;
+use pivot_mpc::Share;
+use pivot_trees::DecisionTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-forest protocol parameters.
+#[derive(Clone, Debug)]
+pub struct RfProtocolParams {
+    /// Number of trees `W`.
+    pub trees: usize,
+    /// Bootstrap draw fraction (1.0 ⇒ `n` draws with replacement).
+    pub sample_fraction: f64,
+    /// Seed for the (public) bootstrap masks — must match across clients.
+    pub bootstrap_seed: u64,
+}
+
+impl Default for RfProtocolParams {
+    fn default() -> Self {
+        RfProtocolParams { trees: 4, sample_fraction: 1.0, bootstrap_seed: 0x5EED }
+    }
+}
+
+/// The released RF model: plaintext trees (basic protocol §7.1).
+#[derive(Clone, Debug)]
+pub struct RfModel {
+    pub trees: Vec<DecisionTree>,
+}
+
+/// Train `W` independent trees (each a full basic-protocol training run)
+/// over public bootstrap masks derived from a common seed.
+pub fn train_rf(ctx: &mut PartyContext<'_>, rf: &RfProtocolParams) -> RfModel {
+    assert!(rf.trees >= 1);
+    let n = ctx.num_samples();
+    let draws = ((n as f64) * rf.sample_fraction).round().max(1.0) as usize;
+    let trees = (0..rf.trees)
+        .map(|w| {
+            // Public bootstrap: every client derives the identical mask.
+            let mut rng = StdRng::seed_from_u64(rf.bootstrap_seed ^ (w as u64) << 16);
+            let mut mask = vec![false; n];
+            for _ in 0..draws {
+                mask[rng.gen_range(0..n)] = true;
+            }
+            train_with_mask(ctx, &mask)
+        })
+        .collect();
+    RfModel { trees }
+}
+
+/// Joint RF prediction on one sample (§7.1): each tree runs Algorithm 4 to
+/// an *encrypted* prediction; aggregation is secure.
+pub fn predict_rf(ctx: &mut PartyContext<'_>, model: &RfModel, local_sample: &[f64]) -> f64 {
+    let sample = vec![local_sample.to_vec()];
+    let per_tree: Vec<_> = model
+        .trees
+        .iter()
+        .map(|tree| predict_batch_encrypted(ctx, tree, &sample).remove(0))
+        .collect();
+
+    match ctx.current_task() {
+        Task::Regression => {
+            // Homomorphic mean: sum the encrypted predictions, decrypt,
+            // divide by W in public.
+            let mut acc = per_tree[0].clone();
+            for ct in &per_tree[1..] {
+                acc = ctx.pk.add(&acc, ct);
+            }
+            ctx.metrics.add_ciphertext_ops(per_tree.len() as u64);
+            let opened = joint_decrypt_vec(ctx, &[acc]).remove(0);
+            decode_prediction(ctx, &opened, Task::Regression) / model.trees.len() as f64
+        }
+        Task::Classification { classes } => {
+            // Convert each tree's encrypted label to shares, expand to
+            // one-hot votes, tally, and take the secure maximum.
+            let label_shares = crate::conversion::ciphers_to_shares(ctx, &per_tree);
+            let mut tallies = vec![Share::ZERO; classes];
+            for &label in &label_shares {
+                let onehot = ctx.engine.onehot_vec(label, classes);
+                for (k, vote) in onehot.into_iter().enumerate() {
+                    tallies[k] = tallies[k] + vote;
+                }
+            }
+            let (winner, _) = ctx.engine.argmax(&tallies);
+            ctx.engine.open(winner).value() as f64
+        }
+    }
+}
+
+/// Batch RF prediction (loops [`predict_rf`] per sample for classification;
+/// regression is aggregated in one homomorphic pass).
+pub fn predict_rf_batch(
+    ctx: &mut PartyContext<'_>,
+    model: &RfModel,
+    local_samples: &[Vec<f64>],
+) -> Vec<f64> {
+    match ctx.current_task() {
+        Task::Regression => {
+            let w = model.trees.len();
+            let mut acc: Option<Vec<_>> = None;
+            for tree in &model.trees {
+                let preds = predict_batch_encrypted(ctx, tree, local_samples);
+                acc = Some(match acc {
+                    None => preds,
+                    Some(prev) => prev
+                        .iter()
+                        .zip(&preds)
+                        .map(|(a, b)| ctx.pk.add(a, b))
+                        .collect(),
+                });
+            }
+            let summed = acc.expect("at least one tree");
+            let opened = joint_decrypt_vec(ctx, &summed);
+            opened
+                .iter()
+                .map(|v| decode_prediction(ctx, v, Task::Regression) / w as f64)
+                .collect()
+        }
+        Task::Classification { .. } => local_samples
+            .iter()
+            .map(|s| predict_rf(ctx, model, s))
+            .collect(),
+    }
+}

@@ -1,0 +1,311 @@
+//! The MPC computation step (§4.1): convert pooled encrypted statistics to
+//! shares (Algorithm 2), evaluate every split's impurity/variance gain
+//! (Eqns 5–6) on shares, and select the best split with secure argmax.
+//!
+//! Scale discipline (DESIGN.md §8): class counts stay *integer-valued*
+//! shares; reciprocals and label sums are fixed-point at scale `2^f`. The
+//! gain pipeline is arranged so no intermediate exceeds `n²·2^f < p/2`:
+//!
+//! * classification: `gain_side = Σ_k (g_k · recip) · g_k`
+//! * regression:     `gain_side = ((γ₁·recip)²) · n_side`
+//!
+//! Both equal the paper's gain up to a positive affine transform shared by
+//! all splits of the node, so the argmax — and therefore the trained tree —
+//! is identical.
+
+use crate::conversion::ciphers_to_shares;
+use crate::metrics::Stage;
+use crate::party::PartyContext;
+use crate::stats::{EncryptedStats, SplitLayout};
+use pivot_data::Task;
+use pivot_mpc::{Fp, Share};
+
+/// Share-domain statistics of one tree node.
+pub struct NodeShares {
+    /// Per split: `⟨n_l⟩` (integer-valued).
+    pub n_l: Vec<Share>,
+    /// Per label-vector, per split: `⟨g_l⟩` (integer counts for
+    /// classification, fixed-point sums for regression).
+    pub g_l: Vec<Vec<Share>>,
+    /// `⟨n̄⟩` — node size (integer-valued).
+    pub n_total: Share,
+    /// `⟨Σ γ_k⟩` per label vector.
+    pub g_totals: Vec<Share>,
+}
+
+/// Convert the pooled encrypted statistics into shares in one batched
+/// Algorithm-2 invocation.
+pub fn convert_stats(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    enc: &EncryptedStats,
+) -> NodeShares {
+    let stride = enc.gamma_totals.len() + 1;
+    let mut flat = Vec::with_capacity(layout.total() * stride + stride);
+    for split in &enc.per_split {
+        flat.extend(split.iter().cloned());
+    }
+    flat.push(enc.node_total.clone());
+    flat.extend(enc.gamma_totals.iter().cloned());
+
+    let started = std::time::Instant::now();
+    let shares = ciphers_to_shares(ctx, &flat);
+    ctx.metrics.add_time(Stage::MpcComputation, started.elapsed());
+
+    let gammas = stride - 1;
+    let mut n_l = Vec::with_capacity(layout.total());
+    let mut g_l: Vec<Vec<Share>> = vec![Vec::with_capacity(layout.total()); gammas];
+    for (s, chunk) in shares[..layout.total() * stride].chunks(stride).enumerate() {
+        debug_assert_eq!(s < layout.total(), true);
+        n_l.push(chunk[0]);
+        for (k, row) in g_l.iter_mut().enumerate() {
+            row.push(chunk[1 + k]);
+        }
+    }
+    let tail = &shares[layout.total() * stride..];
+    let mut node = NodeShares {
+        n_l,
+        g_l,
+        n_total: tail[0],
+        g_totals: tail[1..].to_vec(),
+    };
+    if enc.offset_encoded {
+        remove_label_offset(ctx, &mut node);
+    }
+    node
+}
+
+/// Totals-only offset correction for depth-forced leaves (no per-split
+/// statistics present).
+pub fn remove_totals_offset(ctx: &PartyContext<'_>, node: &mut NodeShares) {
+    let one_fx = ctx.params.fixed.one();
+    let n_fx = node.n_total.scale(one_fx);
+    let g1 = node.g_totals[0] - n_fx;
+    let g2 = node.g_totals[1] - g1.scale(Fp::new(2)) - n_fx;
+    node.g_totals[0] = g1;
+    node.g_totals[1] = g2;
+}
+
+/// Undo the +1 regression-label offset after conversion (linear):
+/// `γ₁ = γ₁' − n·1` and `γ₂ = γ₂' − 2·γ₁ − n·1`, where `1` is the
+/// fixed-point unit `2^f`.
+fn remove_label_offset(ctx: &PartyContext<'_>, node: &mut NodeShares) {
+    let one_fx = ctx.params.fixed.one();
+    debug_assert_eq!(node.g_l.len(), 2, "regression carries two moments");
+    for s in 0..node.n_l.len() {
+        let n_fx = node.n_l[s].scale(one_fx);
+        let g1 = node.g_l[0][s] - n_fx;
+        let g2 = node.g_l[1][s] - g1.scale(Fp::new(2)) - n_fx;
+        node.g_l[0][s] = g1;
+        node.g_l[1][s] = g2;
+    }
+    let n_fx = node.n_total.scale(one_fx);
+    let g1 = node.g_totals[0] - n_fx;
+    let g2 = node.g_totals[1] - g1.scale(Fp::new(2)) - n_fx;
+    node.g_totals[0] = g1;
+    node.g_totals[1] = g2;
+}
+
+/// Evaluate the gain of every split (scale `2^f`), with invalid splits
+/// (an empty side) pinned to `-1`.
+pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share> {
+    let n_splits = shares.n_l.len();
+    if n_splits == 0 {
+        return Vec::new();
+    }
+    let n_bound = ctx.num_samples() as f64;
+    let task = ctx.current_task();
+    let party = ctx.id();
+    let f = ctx.params.fixed.frac_bits;
+    let one_fx = ctx.params.fixed.one();
+
+    ctx.metrics.time(Stage::MpcComputation, || {
+        let engine = &mut ctx.engine;
+        // Right-side counts and sums by subtraction from totals.
+        let n_r: Vec<Share> = shares.n_l.iter().map(|&l| shares.n_total - l).collect();
+        let g_r: Vec<Vec<Share>> = shares
+            .g_l
+            .iter()
+            .enumerate()
+            .map(|(k, row)| row.iter().map(|&l| shares.g_totals[k] - l).collect())
+            .collect();
+
+        // Reciprocals of both side sizes in one batch (fixed-point).
+        let mut sides_fx: Vec<Share> = Vec::with_capacity(2 * n_splits);
+        sides_fx.extend(shares.n_l.iter().map(|s| s.scale(Fp::pow2(f))));
+        sides_fx.extend(n_r.iter().map(|s| s.scale(Fp::pow2(f))));
+        let recips = engine.recip_vec(&sides_fx, n_bound);
+        let (recip_l, recip_r) = recips.split_at(n_splits);
+
+        let gains_raw: Vec<Share> = match task {
+            Task::Classification { .. } => {
+                // p = g·recip (scale f), term = p·g (scale f); batch both
+                // sides and all classes into two multiplication rounds.
+                let classes = shares.g_l.len();
+                let mut gs = Vec::with_capacity(2 * classes * n_splits);
+                let mut rs = Vec::with_capacity(2 * classes * n_splits);
+                for k in 0..classes {
+                    for s in 0..n_splits {
+                        gs.push(shares.g_l[k][s]);
+                        rs.push(recip_l[s]);
+                    }
+                    for s in 0..n_splits {
+                        gs.push(g_r[k][s]);
+                        rs.push(recip_r[s]);
+                    }
+                }
+                let ps = engine.mul_vec(&gs, &rs);
+                let terms = engine.mul_vec(&ps, &gs);
+                let mut gains = vec![Share::ZERO; n_splits];
+                for k in 0..classes {
+                    let base = 2 * k * n_splits;
+                    for s in 0..n_splits {
+                        gains[s] = gains[s] + terms[base + s] + terms[base + n_splits + s];
+                    }
+                }
+                gains
+            }
+            Task::Regression => {
+                // mean = γ₁·recip (fixmul), gain_side = mean²·n_side.
+                let mut g1 = shares.g_l[0].clone();
+                g1.extend(g_r[0].iter().copied());
+                let mut recs = recip_l.to_vec();
+                recs.extend_from_slice(recip_r);
+                let means = engine.fixmul_vec(&g1, &recs);
+                let m2 = engine.fixmul_vec(&means, &means);
+                let mut counts = shares.n_l.clone();
+                counts.extend(n_r.iter().copied());
+                let terms = engine.mul_vec(&m2, &counts);
+                (0..n_splits)
+                    .map(|s| terms[s] + terms[n_splits + s])
+                    .collect()
+            }
+        };
+
+        // Validity: both sides non-empty. a = 1[n_l = 0], b = 1[n_r = 0];
+        // they cannot both be 1 (the node is non-empty), so
+        // valid = 1 − a − b is linear.
+        let mut sides = Vec::with_capacity(2 * n_splits);
+        sides.extend(
+            shares.n_l.iter().map(|s| s.sub_public(party, Fp::ONE)),
+        );
+        sides.extend(n_r.iter().map(|s| s.sub_public(party, Fp::ONE)));
+        let zero_flags = engine.ltz_vec(&sides);
+        let valid: Vec<Share> = (0..n_splits)
+            .map(|s| {
+                Share::from_public(party, Fp::ONE) - zero_flags[s] - zero_flags[n_splits + s]
+            })
+            .collect();
+
+        // gain_final = valid·(gain + 1) − 1 (scale f): invalid ⇒ −1.
+        let shifted: Vec<Share> =
+            gains_raw.iter().map(|&g| g.add_public(party, one_fx)).collect();
+        let gated = engine.mul_vec(&valid, &shifted);
+        gated
+            .into_iter()
+            .map(|g| g.sub_public(party, one_fx))
+            .collect()
+    })
+}
+
+/// Secure argmax over the gains; returns `(⟨global split index⟩, ⟨gain⟩)`.
+pub fn best_split(ctx: &mut PartyContext<'_>, gains: &[Share]) -> (Share, Share) {
+    ctx.metrics.time(Stage::MpcComputation, || ctx.engine.argmax(gains))
+}
+
+/// Basic protocol: open the winning index and map it to the public
+/// identifier `(i*, j*, s*)`.
+pub fn reveal_identifier(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    idx: Share,
+) -> (usize, usize, usize) {
+    let opened = ctx.engine.open(idx).value() as usize;
+    layout.locate(opened)
+}
+
+/// Enhanced protocol: reveal only the winning `(i*, j*)` block; `⟨s*⟩`
+/// stays secret. One batched comparison against the public block
+/// boundaries, then the boundary bits are opened (they reveal exactly the
+/// block, nothing else).
+pub fn reveal_block_only(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    idx: Share,
+) -> (usize, usize, Share) {
+    let party = ctx.id();
+    // Block start offsets in global order.
+    let mut blocks = Vec::new();
+    for (client, row) in layout.counts.iter().enumerate() {
+        for feature in 0..row.len() {
+            if row[feature] > 0 {
+                blocks.push((client, feature, layout.block(client, feature)));
+            }
+        }
+    }
+    // b_t = 1[idx < start_t] for every block start (skip the first: always 0).
+    let diffs: Vec<Share> = blocks
+        .iter()
+        .skip(1)
+        .map(|&(_, _, (start, _))| idx.sub_public(party, Fp::new(start as u64)))
+        .collect();
+    let bits = ctx.engine.ltz_vec(&diffs);
+    let opened = ctx.engine.open_vec(&bits);
+    // The winning block is the last one whose start ≤ idx.
+    let mut winner = 0usize;
+    for (t, bit) in opened.iter().enumerate() {
+        if bit.value() == 0 {
+            winner = t + 1;
+        }
+    }
+    let (client, feature, (start, _)) = blocks[winner];
+    let s_star = idx.sub_public(party, Fp::new(start as u64));
+    (client, feature, s_star)
+}
+
+/// Secure leaf label: argmax class (classification, integer share) or mean
+/// label (regression, fixed-point share).
+pub fn leaf_label_share(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Share {
+    let n_bound = ctx.num_samples() as f64;
+    let f = ctx.params.fixed.frac_bits;
+    let task = ctx.current_task();
+    ctx.metrics.time(Stage::MpcComputation, || match task {
+        Task::Classification { .. } => ctx.engine.argmax(&shares.g_totals).0,
+        Task::Regression => {
+            let n_fx = shares.n_total.scale(Fp::pow2(f));
+            let recip = ctx.engine.recip_vec(&[n_fx], n_bound);
+            ctx.engine.fixmul_vec(&[shares.g_totals[0]], &[recip[0]])[0]
+        }
+    })
+}
+
+/// Secure pruning decision (opened bit): node too small, or — basic
+/// protocol only — pure.
+pub fn prune_decision(
+    ctx: &mut PartyContext<'_>,
+    shares: &NodeShares,
+    check_purity: bool,
+) -> bool {
+    let party = ctx.id();
+    let min_samples = ctx.params.tree.min_samples as u64;
+    let is_classification = matches!(ctx.current_task(), Task::Classification { .. });
+    ctx.metrics.time(Stage::MpcComputation, || {
+        let small = {
+            let diff = shares.n_total.sub_public(party, Fp::new(min_samples));
+            ctx.engine.ltz_vec(&[diff])[0]
+        };
+        let decision = if check_purity && is_classification
+        {
+            // pure ⟺ max_k g_k = n̄ ⟺ (n̄ − max) − 1 < 0.
+            let max = ctx.engine.max_vec(&shares.g_totals);
+            let diff = (shares.n_total - max).sub_public(party, Fp::ONE);
+            let pure = ctx.engine.ltz_vec(&[diff])[0];
+            // stop = small ∨ pure = small + pure − small·pure.
+            let prod = ctx.engine.mul(small, pure);
+            small + pure - prod
+        } else {
+            small
+        };
+        ctx.engine.open(decision).value() == 1
+    })
+}

@@ -1,0 +1,170 @@
+//! Encrypted indicator vectors: the node mask `[α]` and the super client's
+//! label-mask vectors `[γ]` (§4.1, §4.2).
+
+use crate::metrics::Stage;
+use crate::party::PartyContext;
+use pivot_bignum::BigUint;
+use pivot_data::Task;
+use pivot_paillier::{vector, Ciphertext};
+
+/// The encrypted per-class / per-moment label vectors `[L] = {[γ_k]}`.
+///
+/// Classification: one vector per class `k` with `γ_k = β_k ⊙ α`.
+/// Regression: `γ_1 = (y+1) ⊙ α` and `γ_2 = (y+1)² ⊙ α` — labels are
+/// normalized into `[-1, 1]` and **offset by +1** so every plaintext the
+/// homomorphic pipeline touches is non-negative. Negative encodings would
+/// wrap mod `N` when multiplied into the enhanced protocol's
+/// slack-carrying masks and break the mod-`p` conversion (DESIGN.md §8);
+/// the offset is removed linearly after share conversion
+/// ([`crate::gain::convert_stats`]).
+pub struct LabelMasks {
+    pub gammas: Vec<Vec<Ciphertext>>,
+    /// True when regression labels carry the +1 offset encoding.
+    pub offset_encoded: bool,
+}
+
+/// Fresh root mask: `[α] = ([1], …, [1])` — all samples on the root
+/// (encrypted 0/1 per the given plaintext mask for ensemble bootstraps).
+///
+/// The super client encrypts and broadcasts so **every party holds the
+/// identical ciphertexts** — a hard protocol invariant: joint threshold
+/// decryption combines partial decryptions of what must be one ciphertext.
+pub fn initial_mask(ctx: &mut PartyContext<'_>, included: &[bool]) -> Vec<Ciphertext> {
+    let started = std::time::Instant::now();
+    let cts = if ctx.is_super_client() {
+        let cts: Vec<Ciphertext> = included
+            .iter()
+            .map(|&b| ctx.pk.encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng))
+            .collect();
+        ctx.metrics.add_encryptions(included.len() as u64);
+        ctx.ep.broadcast(&cts);
+        cts
+    } else {
+        ctx.ep.recv(ctx.super_client)
+    };
+    ctx.metrics.add_time(Stage::LocalComputation, started.elapsed());
+    cts
+}
+
+/// Super client: compute `[L]` for the current node and broadcast it; the
+/// other clients receive it (§4.1 local computation step, first half).
+pub fn compute_label_masks(
+    ctx: &mut PartyContext<'_>,
+    alpha: &[Ciphertext],
+    fixed_scale: bool,
+) -> LabelMasks {
+    let task = ctx.current_task();
+    let class_vectors = match task {
+        Task::Classification { classes } => classes,
+        Task::Regression => 2,
+    };
+    if ctx.is_super_client() {
+        let labels = ctx.view.labels.clone().expect("super client holds labels");
+        let mut gammas = Vec::with_capacity(class_vectors);
+        match task {
+            Task::Classification { classes } => {
+                for k in 0..classes {
+                    let beta: Vec<bool> =
+                        labels.iter().map(|&y| y as usize == k).collect();
+                    let gamma = vector::mask_binary(&ctx.pk, alpha, &beta, &mut ctx.rng);
+                    ctx.metrics.add_encryptions(alpha.len() as u64);
+                    gammas.push(gamma);
+                }
+            }
+            Task::Regression => {
+                // β₁ = (y+1), β₂ = (y+1)² in fixed-point (offset keeps the
+                // plaintexts non-negative); γ = β ⊗ [α] element-wise.
+                let scale = if fixed_scale {
+                    (1u64 << ctx.params.fixed.frac_bits) as f64
+                } else {
+                    1.0
+                };
+                for moment in 1..=2 {
+                    let gamma: Vec<Ciphertext> = labels
+                        .iter()
+                        .zip(alpha)
+                        .map(|(&y, a)| {
+                            assert!(
+                                y.abs() <= 1.0 + 1e-9,
+                                "regression labels must be normalized into [-1, 1]"
+                            );
+                            let shifted = y + 1.0;
+                            let v = if moment == 1 { shifted } else { shifted * shifted };
+                            let enc = encode_signed(ctx, v * scale);
+                            let ct = ctx.pk.mul_plain(a, &enc);
+                            ctx.pk.rerandomize(&ct, &mut ctx.rng)
+                        })
+                        .collect();
+                    ctx.metrics.add_ciphertext_ops(2 * alpha.len() as u64);
+                    gammas.push(gamma);
+                }
+            }
+        }
+        for gamma in &gammas {
+            ctx.ep.broadcast(gamma);
+        }
+        LabelMasks { gammas, offset_encoded: matches!(task, Task::Regression) }
+    } else {
+        let gammas = (0..class_vectors)
+            .map(|_| ctx.ep.recv::<Vec<Ciphertext>>(ctx.super_client))
+            .collect();
+        LabelMasks { gammas, offset_encoded: matches!(task, Task::Regression) }
+    }
+}
+
+/// Basic-protocol model update (§4.1): the winning client masks `[α]` with
+/// its plaintext split indicators and broadcasts `[α_l]`, `[α_r]`.
+pub fn update_mask_plain(
+    ctx: &mut PartyContext<'_>,
+    alpha: &[Ciphertext],
+    winner: usize,
+    left_indicator: Option<&[bool]>,
+) -> (Vec<Ciphertext>, Vec<Ciphertext>) {
+    let (l, r) = update_vectors_plain(ctx, std::slice::from_ref(&alpha.to_vec()), winner, left_indicator);
+    (l.into_iter().next().expect("one vector"), r.into_iter().next().expect("one vector"))
+}
+
+/// Generalized §7.2 model update: the winner masks `[α]` *and* any
+/// encrypted label vectors (`[γ₁]`, `[γ₂]` for GBDT) with the same split
+/// indicator, broadcasting the left/right versions of each.
+pub fn update_vectors_plain(
+    ctx: &mut PartyContext<'_>,
+    vectors: &[Vec<Ciphertext>],
+    winner: usize,
+    left_indicator: Option<&[bool]>,
+) -> (Vec<Vec<Ciphertext>>, Vec<Vec<Ciphertext>>) {
+    if ctx.id() == winner {
+        let v_l = left_indicator.expect("winner knows its split indicator");
+        let v_r: Vec<bool> = v_l.iter().map(|&b| !b).collect();
+        let mut lefts = Vec::with_capacity(vectors.len());
+        let mut rights = Vec::with_capacity(vectors.len());
+        for vec in vectors {
+            let l = vector::mask_binary(&ctx.pk, vec, v_l, &mut ctx.rng);
+            let r = vector::mask_binary(&ctx.pk, vec, &v_r, &mut ctx.rng);
+            ctx.metrics.add_encryptions(2 * vec.len() as u64);
+            ctx.ep.broadcast(&l);
+            ctx.ep.broadcast(&r);
+            lefts.push(l);
+            rights.push(r);
+        }
+        (lefts, rights)
+    } else {
+        let mut lefts = Vec::with_capacity(vectors.len());
+        let mut rights = Vec::with_capacity(vectors.len());
+        for _ in vectors {
+            lefts.push(ctx.ep.recv::<Vec<Ciphertext>>(winner));
+            rights.push(ctx.ep.recv::<Vec<Ciphertext>>(winner));
+        }
+        (lefts, rights)
+    }
+}
+
+/// Encode a signed real as a Paillier plaintext (upper half = negative).
+pub fn encode_signed(ctx: &PartyContext<'_>, v: f64) -> BigUint {
+    let rounded = v.round();
+    if rounded >= 0.0 {
+        BigUint::from_u64(rounded as u64)
+    } else {
+        ctx.pk.n() - &BigUint::from_u64((-rounded) as u64)
+    }
+}

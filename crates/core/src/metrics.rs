@@ -1,0 +1,141 @@
+//! Protocol cost accounting backing Table 2: counts of ciphertext
+//! operations (`Ce`), threshold decryptions (`Cd`) and stage timers.
+//! Secure-computation (`Cs`) and comparison (`Cc`) counts live in
+//! [`pivot_mpc::OpCounters`].
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// The three stages of every training iteration (§4.1) plus prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    LocalComputation,
+    MpcComputation,
+    ModelUpdate,
+    Prediction,
+}
+
+/// Per-party protocol metrics. Uses interior mutability so read-heavy
+/// protocol code can record without threading `&mut` everywhere.
+#[derive(Debug, Default)]
+pub struct ProtocolMetrics {
+    inner: RefCell<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    encryptions: u64,
+    ciphertext_ops: u64,
+    threshold_decryptions: u64,
+    stage_time: [Duration; 4],
+}
+
+fn stage_slot(stage: Stage) -> usize {
+    match stage {
+        Stage::LocalComputation => 0,
+        Stage::MpcComputation => 1,
+        Stage::ModelUpdate => 2,
+        Stage::Prediction => 3,
+    }
+}
+
+impl ProtocolMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` fresh encryptions (`Ce`).
+    pub fn add_encryptions(&self, n: u64) {
+        self.inner.borrow_mut().encryptions += n;
+    }
+
+    /// Record `n` homomorphic ciphertext operations (`Ce`).
+    pub fn add_ciphertext_ops(&self, n: u64) {
+        self.inner.borrow_mut().ciphertext_ops += n;
+    }
+
+    /// Record `n` threshold decryptions (`Cd`).
+    pub fn add_decryptions(&self, n: u64) {
+        self.inner.borrow_mut().threshold_decryptions += n;
+    }
+
+    /// Time a closure under a stage bucket.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.inner.borrow_mut().stage_time[stage_slot(stage)] += start.elapsed();
+        out
+    }
+
+    /// Add externally measured time to a stage.
+    pub fn add_time(&self, stage: Stage, d: Duration) {
+        self.inner.borrow_mut().stage_time[stage_slot(stage)] += d;
+    }
+
+    pub fn encryptions(&self) -> u64 {
+        self.inner.borrow().encryptions
+    }
+
+    pub fn ciphertext_ops(&self) -> u64 {
+        self.inner.borrow().ciphertext_ops
+    }
+
+    pub fn threshold_decryptions(&self) -> u64 {
+        self.inner.borrow().threshold_decryptions
+    }
+
+    pub fn stage_time(&self, stage: Stage) -> Duration {
+        self.inner.borrow().stage_time[stage_slot(stage)]
+    }
+
+    /// One-line summary (used by the bench harnesses).
+    pub fn summary(&self) -> String {
+        let i = self.inner.borrow();
+        format!(
+            "Ce(enc)={} Ce(ops)={} Cd={} local={:?} mpc={:?} update={:?} predict={:?}",
+            i.encryptions,
+            i.ciphertext_ops,
+            i.threshold_decryptions,
+            i.stage_time[0],
+            i.stage_time[1],
+            i.stage_time[2],
+            i.stage_time[3],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ProtocolMetrics::new();
+        m.add_encryptions(3);
+        m.add_encryptions(2);
+        m.add_ciphertext_ops(10);
+        m.add_decryptions(1);
+        assert_eq!(m.encryptions(), 5);
+        assert_eq!(m.ciphertext_ops(), 10);
+        assert_eq!(m.threshold_decryptions(), 1);
+    }
+
+    #[test]
+    fn stage_timer_records() {
+        let m = ProtocolMetrics::new();
+        let out = m.time(Stage::LocalComputation, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(m.stage_time(Stage::LocalComputation) >= Duration::from_millis(4));
+        assert_eq!(m.stage_time(Stage::MpcComputation), Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let m = ProtocolMetrics::new();
+        m.add_decryptions(7);
+        assert!(m.summary().contains("Cd=7"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Released model forms.
+//!
+//! The basic protocol releases a plaintext [`pivot_trees::DecisionTree`].
+//! The enhanced protocol releases a [`ConcealedTree`]: split *features* are
+//! public (client + global feature id), split *thresholds* are encrypted,
+//! and leaf labels are encrypted — exactly the disclosure set of §5.
+
+use pivot_data::Task;
+use pivot_paillier::Ciphertext;
+
+/// A node of the concealed model.
+#[derive(Clone, Debug)]
+pub enum ConcealedNode {
+    /// Internal node: the owning client and global feature id are public
+    /// (§5.2 releases the split feature); the threshold is encrypted.
+    Internal {
+        client: usize,
+        feature_global: usize,
+        enc_threshold: Ciphertext,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf with encrypted label (class index, or fixed-point regression
+    /// value at scale `2^f`).
+    Leaf { enc_value: Ciphertext },
+}
+
+/// The enhanced protocol's released model.
+#[derive(Clone, Debug)]
+pub struct ConcealedTree {
+    pub nodes: Vec<ConcealedNode>,
+    pub root: usize,
+    pub task: Task,
+}
+
+impl ConcealedTree {
+    /// Number of internal nodes `t`.
+    pub fn internal_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, ConcealedNode::Internal { .. }))
+            .count()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.len() - self.internal_count()
+    }
+
+    /// Leaves in left-to-right order with their root-to-leaf paths:
+    /// `(leaf node id, [(internal node id, went_left)])`.
+    pub fn leaf_paths(&self) -> Vec<(usize, Vec<(usize, bool)>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, Vec::new())];
+        while let Some((id, path)) = stack.pop() {
+            match &self.nodes[id] {
+                ConcealedNode::Leaf { .. } => out.push((id, path)),
+                ConcealedNode::Internal { left, right, .. } => {
+                    let mut rp = path.clone();
+                    rp.push((id, false));
+                    stack.push((*right, rp));
+                    let mut lp = path;
+                    lp.push((id, true));
+                    stack.push((*left, lp));
+                }
+            }
+        }
+        out
+    }
+
+    /// Internal nodes in id order: `(node id, client, global feature,
+    /// encrypted threshold)`.
+    pub fn internals(&self) -> Vec<(usize, usize, usize, &Ciphertext)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, n)| match n {
+                ConcealedNode::Internal { client, feature_global, enc_threshold, .. } => {
+                    Some((id, *client, *feature_global, enc_threshold))
+                }
+                ConcealedNode::Leaf { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_bignum::BigUint;
+
+    fn ct(v: u64) -> Ciphertext {
+        Ciphertext::from_raw(BigUint::from_u64(v))
+    }
+
+    fn sample_tree() -> ConcealedTree {
+        // node0 internal → left: leaf1, right: internal2 → leaves 3, 4
+        ConcealedTree {
+            nodes: vec![
+                ConcealedNode::Internal {
+                    client: 0,
+                    feature_global: 2,
+                    enc_threshold: ct(10),
+                    left: 1,
+                    right: 2,
+                },
+                ConcealedNode::Leaf { enc_value: ct(1) },
+                ConcealedNode::Internal {
+                    client: 1,
+                    feature_global: 5,
+                    enc_threshold: ct(20),
+                    left: 3,
+                    right: 4,
+                },
+                ConcealedNode::Leaf { enc_value: ct(2) },
+                ConcealedNode::Leaf { enc_value: ct(3) },
+            ],
+            root: 0,
+            task: Task::Classification { classes: 2 },
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample_tree();
+        assert_eq!(t.internal_count(), 2);
+        assert_eq!(t.leaf_count(), 3);
+    }
+
+    #[test]
+    fn leaf_paths_in_order() {
+        let t = sample_tree();
+        let paths = t.leaf_paths();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].0, 1);
+        assert_eq!(paths[0].1, vec![(0, true)]);
+        assert_eq!(paths[1].0, 3);
+        assert_eq!(paths[1].1, vec![(0, false), (2, true)]);
+        assert_eq!(paths[2].0, 4);
+        assert_eq!(paths[2].1, vec![(0, false), (2, false)]);
+    }
+
+    #[test]
+    fn internals_listed() {
+        let t = sample_tree();
+        let ints = t.internals();
+        assert_eq!(ints.len(), 2);
+        assert_eq!(ints[0].2, 2);
+        assert_eq!(ints[1].1, 1);
+    }
+}

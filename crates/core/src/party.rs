@@ -1,0 +1,119 @@
+//! Per-client protocol context: keys, data view, transport, MPC engine.
+
+use crate::config::PivotParams;
+use crate::metrics::ProtocolMetrics;
+use pivot_data::VerticalView;
+use pivot_mpc::MpcEngine;
+use pivot_paillier::threshold::{Combiner, SecretKeyShare};
+use pivot_paillier::{fixtures, PublicKey};
+use pivot_transport::Endpoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything one client needs to participate in the Pivot protocols.
+///
+/// Built once per session via [`PartyContext::setup`]; the protocol entry
+/// points (`train_basic`, `train_enhanced`, prediction, ensembles,
+/// baselines) all take `&mut PartyContext`.
+pub struct PartyContext<'a> {
+    pub ep: &'a Endpoint,
+    pub pk: PublicKey,
+    pub combiner: Combiner,
+    pub key_share: SecretKeyShare,
+    pub view: VerticalView,
+    /// The label-holding client (public protocol metadata, §3.1).
+    pub super_client: usize,
+    /// Owner client of every global feature (public schema metadata).
+    pub feature_owners: Vec<usize>,
+    pub engine: MpcEngine<'a>,
+    pub params: PivotParams,
+    pub metrics: ProtocolMetrics,
+    /// Private per-party randomness (encryption nonces, conversion masks).
+    pub rng: StdRng,
+    /// Task override for subprotocols (GBDT trains *regression* trees on
+    /// residuals even when the outer task is classification).
+    pub task_override: Option<pivot_data::Task>,
+}
+
+impl<'a> PartyContext<'a> {
+    /// Initialization stage (§3.4): agree on hyper-parameters, generate the
+    /// threshold keys, discover the super client.
+    ///
+    /// Key material comes from the deterministic fixture dealer
+    /// ([`pivot_paillier::fixtures`]) — the same trusted-dealer setup the
+    /// original implementation gets from libhcs.
+    pub fn setup(ep: &'a Endpoint, view: VerticalView, params: PivotParams) -> Self {
+        params.assert_valid(view.num_samples());
+        let m = ep.parties();
+        let keys = fixtures::threshold_keys(m, params.keysize);
+        let key_share = keys.shares[ep.id()].clone();
+
+        // Discover the super client (whoever holds labels announces it).
+        let flags = ep.exchange_all(&view.is_super_client());
+        let supers: Vec<usize> = flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect();
+        assert_eq!(supers.len(), 1, "exactly one client must hold the labels");
+        let super_client = supers[0];
+
+        // Publish the feature-ownership schema (indices only, no values).
+        let all_indices = ep.exchange_all(&view.feature_indices.clone());
+        let total_features: usize = all_indices.iter().map(|v| v.len()).sum();
+        let mut feature_owners = vec![usize::MAX; total_features];
+        for (client, indices) in all_indices.iter().enumerate() {
+            for &j in indices {
+                feature_owners[j] = client;
+            }
+        }
+        assert!(
+            feature_owners.iter().all(|&o| o != usize::MAX),
+            "feature ownership must cover every column"
+        );
+
+        let engine = MpcEngine::new(ep, params.dealer_seed, params.fixed);
+        let rng = StdRng::seed_from_u64(
+            params.dealer_seed ^ 0xACE0_FBA5E ^ ((ep.id() as u64 + 1) << 32),
+        );
+        PartyContext {
+            ep,
+            pk: keys.pk,
+            combiner: keys.combiner,
+            key_share,
+            view,
+            super_client,
+            feature_owners,
+            engine,
+            params,
+            metrics: ProtocolMetrics::new(),
+            rng,
+            task_override: None,
+        }
+    }
+
+    /// The task the *current* (sub)protocol trains for.
+    pub fn current_task(&self) -> pivot_data::Task {
+        self.task_override.unwrap_or(self.view.task)
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> usize {
+        self.ep.id()
+    }
+
+    /// Number of clients `m`.
+    pub fn parties(&self) -> usize {
+        self.ep.parties()
+    }
+
+    /// Whether this client holds the labels.
+    pub fn is_super_client(&self) -> bool {
+        self.id() == self.super_client
+    }
+
+    /// Number of training samples `n` (public).
+    pub fn num_samples(&self) -> usize {
+        self.view.num_samples()
+    }
+}

@@ -1,0 +1,160 @@
+//! Algorithm 4 — distributed prediction on the plaintext model (basic
+//! protocol, §4.3): the clients update an encrypted path-indicator vector
+//! `[η]` in a round-robin ring, the first client dot-products it with the
+//! leaf-label vector `z`, and the result is jointly decrypted. Nothing but
+//! the final prediction is revealed — in particular, not the path taken.
+
+use crate::decrypt::joint_decrypt_vec;
+use crate::masks::encode_signed;
+use crate::metrics::Stage;
+use crate::party::PartyContext;
+use pivot_bignum::BigUint;
+use pivot_data::Task;
+use pivot_paillier::{vector, Ciphertext};
+use pivot_trees::DecisionTree;
+
+/// Jointly predict one sample. `local_sample` holds this client's local
+/// feature values (in local feature order); returns the plaintext label.
+pub fn predict(ctx: &mut PartyContext<'_>, tree: &DecisionTree, local_sample: &[f64]) -> f64 {
+    predict_batch(ctx, tree, std::slice::from_ref(&local_sample.to_vec()))[0]
+}
+
+/// Batched Algorithm 4: one ring pass carries every sample's `[η]` vector.
+pub fn predict_batch(
+    ctx: &mut PartyContext<'_>,
+    tree: &DecisionTree,
+    local_samples: &[Vec<f64>],
+) -> Vec<f64> {
+    let enc = predict_batch_encrypted(ctx, tree, local_samples);
+    let opened = joint_decrypt_vec(ctx, &enc);
+    let task = ctx.current_task();
+    opened
+        .iter()
+        .map(|v| decode_prediction(ctx, v, task))
+        .collect()
+}
+
+/// Algorithm 4 up to (but not including) the final decryption — the GBDT
+/// extension consumes the *encrypted* per-sample predictions (§7.2).
+pub fn predict_batch_encrypted(
+    ctx: &mut PartyContext<'_>,
+    tree: &DecisionTree,
+    local_samples: &[Vec<f64>],
+) -> Vec<Ciphertext> {
+    let started = std::time::Instant::now();
+    let result = {
+        let m = ctx.parties();
+        let me = ctx.id();
+        let paths = tree.leaf_paths();
+        let n_leaves = paths.len();
+        let n_samples = local_samples.len();
+
+        // My per-sample, per-leaf consistency bits: a leaf stays possible
+        // unless one of MY internal nodes on its path contradicts my value.
+        let my_bits: Vec<Vec<bool>> = local_samples
+            .iter()
+            .map(|sample| {
+                paths
+                    .iter()
+                    .map(|(_, path)| {
+                        path.iter().all(|&(feature, threshold, went_left)| {
+                            if ctx.feature_owners[feature] != me {
+                                return true;
+                            }
+                            let local_idx = ctx
+                                .view
+                                .feature_indices
+                                .iter()
+                                .position(|&g| g == feature)
+                                .expect("owner has the feature");
+                            let goes_left = sample[local_idx] <= threshold;
+                            goes_left == went_left
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Ring pass from party m−1 down to 0 (paper's u_m → u_1).
+        let mut eta: Vec<Vec<Ciphertext>> = if me == m - 1 {
+            // Initialize [η] = ([1],…,[1]) masked by my own bits.
+            let out = my_bits
+                .iter()
+                .map(|bits| {
+                    bits.iter()
+                        .map(|&b| {
+                            ctx.pk.encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
+            out
+        } else {
+            // Receive from the next-higher party and apply my mask.
+            let received: Vec<Vec<Ciphertext>> =
+                (0..n_samples).map(|_| ctx.ep.recv(me + 1)).collect();
+            let out: Vec<Vec<Ciphertext>> = received
+                .iter()
+                .zip(&my_bits)
+                .map(|(cts, bits)| vector::mask_binary(&ctx.pk, cts, bits, &mut ctx.rng))
+                .collect();
+            ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
+            out
+        };
+
+        if me > 0 {
+            for sample_eta in &eta {
+                ctx.ep.send(me - 1, sample_eta);
+            }
+            // Party 0 broadcasts the final encrypted predictions.
+            (0..n_samples).map(|_| ctx.ep.recv(0)).collect()
+        } else {
+            // Party 0: [k̄] = z ⊙ [η] per sample, then broadcast.
+            let z: Vec<BigUint> = paths
+                .iter()
+                .map(|&(value, _)| encode_leaf(ctx, value))
+                .collect();
+            let outputs: Vec<Ciphertext> = eta
+                .drain(..)
+                .map(|sample_eta| vector::dot_plain(&ctx.pk, &sample_eta, &z))
+                .collect();
+            ctx.metrics
+                .add_ciphertext_ops((n_samples * n_leaves) as u64);
+            for output in &outputs {
+                ctx.ep.broadcast(output);
+            }
+            outputs
+        }
+    };
+    ctx.metrics.add_time(Stage::Prediction, started.elapsed());
+    result
+}
+
+/// Encode a plaintext leaf label for the dot product with `[η]`.
+fn encode_leaf(ctx: &PartyContext<'_>, value: f64) -> BigUint {
+    match ctx.current_task() {
+        Task::Classification { .. } => BigUint::from_u64(value as u64),
+        Task::Regression => {
+            let scaled = value * (1u64 << ctx.params.fixed.frac_bits) as f64;
+            encode_signed(ctx, scaled)
+        }
+    }
+}
+
+/// Decode a decrypted prediction.
+pub fn decode_prediction(ctx: &PartyContext<'_>, v: &BigUint, task: Task) -> f64 {
+    match task {
+        Task::Classification { .. } => {
+            v.to_u64().expect("class index fits u64") as f64
+        }
+        Task::Regression => {
+            let signed = if v > ctx.pk.half_n() {
+                -((ctx.pk.n() - v).to_u64().expect("bounded") as f64)
+            } else {
+                v.to_u64().expect("bounded") as f64
+            };
+            signed / (1u64 << ctx.params.fixed.frac_bits) as f64
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The local computation step (§4.1/§4.2): every client derives encrypted
+//! split statistics from `[L]` and its plaintext feature columns, then the
+//! encrypted statistics are pooled for the MPC step.
+
+use crate::masks::LabelMasks;
+use crate::metrics::Stage;
+use crate::party::PartyContext;
+use pivot_data::{candidate_splits, SplitCandidates};
+use pivot_paillier::{vector, Ciphertext};
+use pivot_transport::Endpoint;
+
+/// Public split-candidate layout: how many candidate splits every client
+/// holds per local feature (the counts are public; thresholds stay local).
+#[derive(Clone, Debug)]
+pub struct SplitLayout {
+    /// `counts[client][local_feature]`.
+    pub counts: Vec<Vec<usize>>,
+    /// Flattened start offset of every (client, feature) block.
+    offsets: Vec<Vec<usize>>,
+    total: usize,
+}
+
+impl SplitLayout {
+    /// Exchange local candidate counts and build the global layout.
+    pub fn build(ep: &Endpoint, local_counts: &[usize]) -> SplitLayout {
+        let counts = ep.exchange_all(&local_counts.to_vec());
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut running = 0usize;
+        for client_counts in &counts {
+            let mut row = Vec::with_capacity(client_counts.len());
+            for &c in client_counts {
+                row.push(running);
+                running += c;
+            }
+            offsets.push(row);
+        }
+        SplitLayout { counts, offsets, total: running }
+    }
+
+    /// Total number of candidate splits `Σ d_i·b_i`.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Global index of the `s`-th split of `client`'s local `feature`.
+    pub fn global_index(&self, client: usize, feature: usize, split: usize) -> usize {
+        debug_assert!(split < self.counts[client][feature]);
+        self.offsets[client][feature] + split
+    }
+
+    /// Map a global split index back to `(client, local_feature, split)`.
+    pub fn locate(&self, global: usize) -> (usize, usize, usize) {
+        assert!(global < self.total, "split index out of range");
+        for (client, row) in self.offsets.iter().enumerate() {
+            for (feature, &start) in row.iter().enumerate() {
+                let count = self.counts[client][feature];
+                if global >= start && global < start + count {
+                    return (client, feature, global - start);
+                }
+            }
+        }
+        unreachable!("covered by the total check")
+    }
+
+    /// Start/end of one (client, feature) block in global indices.
+    pub fn block(&self, client: usize, feature: usize) -> (usize, usize) {
+        let start = self.offsets[client][feature];
+        (start, start + self.counts[client][feature])
+    }
+}
+
+/// One client's precomputed local split data: candidate thresholds and the
+/// left-side indicator vector per split (plaintext, never leaves the
+/// client).
+pub struct LocalSplits {
+    pub candidates: Vec<SplitCandidates>,
+    /// `indicators[feature][split][sample]` — true iff sample goes left.
+    pub indicators: Vec<Vec<Vec<bool>>>,
+}
+
+impl LocalSplits {
+    /// Precompute from the client's vertical view.
+    pub fn precompute(ctx: &PartyContext<'_>) -> LocalSplits {
+        let view = &ctx.view;
+        let mut candidates = Vec::with_capacity(view.num_local_features());
+        let mut indicators = Vec::with_capacity(view.num_local_features());
+        for j in 0..view.num_local_features() {
+            let column = view.column(j);
+            let cand = candidate_splits(&column, ctx.params.tree.max_splits);
+            let per_split: Vec<Vec<bool>> = cand
+                .thresholds
+                .iter()
+                .map(|&t| column.iter().map(|&v| v <= t).collect())
+                .collect();
+            candidates.push(cand);
+            indicators.push(per_split);
+        }
+        LocalSplits { candidates, indicators }
+    }
+
+    /// Flat per-feature candidate counts (for [`SplitLayout::build`]).
+    pub fn counts(&self) -> Vec<usize> {
+        self.candidates.iter().map(|c| c.len()).collect()
+    }
+}
+
+/// Encrypted statistics for every global split, plus node totals.
+/// Layout: `per_split[global_split] = [n_l, g_l(γ₀), g_l(γ₁), …]`.
+pub struct EncryptedStats {
+    pub per_split: Vec<Vec<Ciphertext>>,
+    /// `[n̄]` — encrypted node size.
+    pub node_total: Ciphertext,
+    /// `[Σ γ_k]` per label vector (class counts / label moments).
+    pub gamma_totals: Vec<Ciphertext>,
+    /// Whether regression labels carry the +1 offset (see `LabelMasks`).
+    pub offset_encoded: bool,
+}
+
+/// Compute local encrypted statistics (Eqn 7 / Eqn 9) and pool them across
+/// clients so every party holds the full list.
+pub fn pooled_statistics(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    local: &LocalSplits,
+    alpha: &[Ciphertext],
+    masks: &LabelMasks,
+) -> EncryptedStats {
+    let stride = 1 + masks.gammas.len();
+    // Local stats, flattened in local split order.
+    let mine: Vec<Ciphertext> = ctx.metrics.time(Stage::LocalComputation, || {
+        let mut flat = Vec::new();
+        for feature in local.indicators.iter() {
+            for v_l in feature {
+                flat.push(vector::dot_binary(&ctx.pk, alpha, v_l));
+                for gamma in &masks.gammas {
+                    flat.push(vector::dot_binary(&ctx.pk, gamma, v_l));
+                }
+            }
+        }
+        ctx.metrics
+            .add_ciphertext_ops((alpha.len() * flat.len().max(1)) as u64);
+        flat
+    });
+
+    // Node totals (every client can compute them from [α] and [L]).
+    let all_true = vec![true; alpha.len()];
+    let node_total = vector::dot_binary(&ctx.pk, alpha, &all_true);
+    let gamma_totals: Vec<Ciphertext> = masks
+        .gammas
+        .iter()
+        .map(|g| vector::dot_binary(&ctx.pk, g, &all_true))
+        .collect();
+
+    // Pool everyone's statistics (ciphertexts are safe to publish).
+    let all: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&mine);
+    let mut per_split = Vec::with_capacity(layout.total());
+    for (client, client_stats) in all.iter().enumerate() {
+        let expected: usize = layout.counts[client].iter().sum::<usize>() * stride;
+        assert_eq!(client_stats.len(), expected, "stat shape from client {client}");
+        for split_stats in client_stats.chunks(stride) {
+            per_split.push(split_stats.to_vec());
+        }
+    }
+    assert_eq!(per_split.len(), layout.total());
+    EncryptedStats {
+        per_split,
+        node_total,
+        gamma_totals,
+        offset_encoded: masks.offset_encoded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips_indices() {
+        // Fake a 2-client layout directly (no network needed).
+        let counts = vec![vec![2, 3], vec![4]];
+        let mut offsets = Vec::new();
+        let mut running = 0;
+        for row in &counts {
+            let mut r = Vec::new();
+            for &c in row {
+                r.push(running);
+                running += c;
+            }
+            offsets.push(r);
+        }
+        let layout = SplitLayout { counts, offsets, total: running };
+        assert_eq!(layout.total(), 9);
+        assert_eq!(layout.global_index(0, 1, 2), 4);
+        assert_eq!(layout.locate(4), (0, 1, 2));
+        assert_eq!(layout.locate(0), (0, 0, 0));
+        assert_eq!(layout.locate(8), (1, 0, 3));
+        assert_eq!(layout.block(1, 0), (5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_overflow() {
+        let layout = SplitLayout {
+            counts: vec![vec![1]],
+            offsets: vec![vec![0]],
+            total: 1,
+        };
+        layout.locate(1);
+    }
+}

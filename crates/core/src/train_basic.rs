@@ -1,0 +1,184 @@
+//! Algorithm 3 — Pivot decision-tree training, basic protocol (§4).
+//!
+//! All clients run [`train`] in lockstep; the returned plaintext
+//! [`DecisionTree`] (identical at every client) is the released model.
+//! Nothing else is disclosed: label masks and statistics stay encrypted,
+//! split selection happens on shares, and only the agreed outputs (split
+//! identifier + threshold per node, leaf labels) are opened.
+//!
+//! [`train_with_labels`] additionally supports the GBDT mode of §7.2 where
+//! the label vectors are *pre-encrypted residuals*: the winning client then
+//! updates `[γ₁]`, `[γ₂]` alongside `[α]` with the same split indicator
+//! (the paper's optimization avoiding per-node ciphertext multiplications).
+
+use crate::conversion::ciphers_to_shares;
+use crate::gain::{
+    best_split, convert_stats, leaf_label_share, prune_decision, reveal_identifier,
+    split_gains, NodeShares,
+};
+use crate::masks::{compute_label_masks, initial_mask, update_vectors_plain, LabelMasks};
+use crate::metrics::Stage;
+use crate::party::PartyContext;
+use crate::stats::{pooled_statistics, LocalSplits, SplitLayout};
+use pivot_data::Task;
+use pivot_paillier::{vector, Ciphertext};
+use pivot_trees::{DecisionTree, Node};
+
+/// Where a node's label vectors `[L]` come from.
+pub enum NodeLabels {
+    /// §4: the super client recomputes `[γ] = β ⊙ [α]` at every node from
+    /// its plaintext labels.
+    SuperClient,
+    /// §7.2: node-masked encrypted label vectors, updated by the winning
+    /// client along with `[α]`.
+    Encrypted(Vec<Vec<Ciphertext>>),
+}
+
+/// Train a single decision tree on all samples (basic protocol).
+pub fn train(ctx: &mut PartyContext<'_>) -> DecisionTree {
+    let mask = vec![true; ctx.num_samples()];
+    train_with_mask(ctx, &mask)
+}
+
+/// Train on a subset of samples (public bootstrap mask — used by the
+/// random-forest extension, §7.1).
+pub fn train_with_mask(ctx: &mut PartyContext<'_>, included: &[bool]) -> DecisionTree {
+    assert_eq!(included.len(), ctx.num_samples());
+    let alpha = initial_mask(ctx, included);
+    train_with_labels(ctx, alpha, NodeLabels::SuperClient)
+}
+
+/// Train with an explicit root mask and label source (GBDT entry point).
+pub fn train_with_labels(
+    ctx: &mut PartyContext<'_>,
+    root_alpha: Vec<Ciphertext>,
+    labels: NodeLabels,
+) -> DecisionTree {
+    let local = LocalSplits::precompute(ctx);
+    let layout = SplitLayout::build(ctx.ep, &local.counts());
+    let mut nodes = Vec::new();
+    let task = ctx.current_task();
+    let root = build_node(ctx, &local, &layout, root_alpha, labels, 0, &mut nodes);
+    DecisionTree::new(nodes, root, task)
+}
+
+fn build_node(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    alpha: Vec<Ciphertext>,
+    labels: NodeLabels,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let masks = match &labels {
+        NodeLabels::SuperClient => compute_label_masks(ctx, &alpha, true),
+        // GBDT residual vectors are slack-positive share sums; they carry
+        // no +1 offset (see ensemble::gbdt).
+        NodeLabels::Encrypted(gammas) => {
+            LabelMasks { gammas: gammas.clone(), offset_encoded: false }
+        }
+    };
+
+    // Depth pruning is public; the remaining conditions are secure.
+    let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
+    if force_leaf {
+        let value = leaf_value_from_totals(ctx, &alpha, &masks);
+        nodes.push(Node::Leaf { value });
+        return nodes.len() - 1;
+    }
+
+    // Local computation + pooling, then MPC conversion (Algorithm 2).
+    let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
+    let shares = convert_stats(ctx, layout, &enc);
+
+    let check_purity = ctx.params.tree.stop_when_pure
+        && matches!(labels, NodeLabels::SuperClient);
+    if prune_decision(ctx, &shares, check_purity) {
+        let value = open_leaf(ctx, &shares);
+        nodes.push(Node::Leaf { value });
+        return nodes.len() - 1;
+    }
+
+    // MPC: gains + secure argmax; the identifier becomes public (§4.1
+    // model update step).
+    let gains = split_gains(ctx, &shares);
+    let (best_idx, _gain) = best_split(ctx, &gains);
+    let (winner, local_feature, split_idx) = reveal_identifier(ctx, layout, best_idx);
+
+    // The winner announces the global feature id and plaintext threshold
+    // (both part of the released model) and splits the masked vectors.
+    let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
+        if ctx.id() == winner {
+            let feature_global = ctx.view.feature_indices[local_feature];
+            let threshold = local.candidates[local_feature].thresholds[split_idx];
+            ctx.ep.broadcast(&(feature_global, threshold));
+            (feature_global, threshold)
+        } else {
+            ctx.ep.recv::<(usize, f64)>(winner)
+        }
+    });
+    let indicator = (ctx.id() == winner)
+        .then(|| local.indicators[local_feature][split_idx].clone());
+
+    // Mask [α] — and, in GBDT mode, the encrypted label vectors — with the
+    // winning indicator.
+    let mut vectors = vec![alpha];
+    if let NodeLabels::Encrypted(gammas) = &labels {
+        vectors.extend(gammas.iter().cloned());
+    }
+    let started = std::time::Instant::now();
+    let (mut lefts, mut rights) =
+        update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
+    ctx.metrics.add_time(Stage::ModelUpdate, started.elapsed());
+    let alpha_l = lefts.remove(0);
+    let alpha_r = rights.remove(0);
+    let (labels_l, labels_r) = match &labels {
+        NodeLabels::SuperClient => (NodeLabels::SuperClient, NodeLabels::SuperClient),
+        NodeLabels::Encrypted(_) => {
+            (NodeLabels::Encrypted(lefts), NodeLabels::Encrypted(rights))
+        }
+    };
+
+    let left = build_node(ctx, local, layout, alpha_l, labels_l, depth + 1, nodes);
+    let right = build_node(ctx, local, layout, alpha_r, labels_r, depth + 1, nodes);
+    nodes.push(Node::Internal { feature: feature_global, threshold, left, right });
+    nodes.len() - 1
+}
+
+/// Leaf label via node totals only (when the depth bound forces a leaf and
+/// per-split statistics are unnecessary).
+fn leaf_value_from_totals(
+    ctx: &mut PartyContext<'_>,
+    alpha: &[Ciphertext],
+    masks: &LabelMasks,
+) -> f64 {
+    let all = vec![true; alpha.len()];
+    let node_total = vector::dot_binary(&ctx.pk, alpha, &all);
+    let mut flat = vec![node_total];
+    for gamma in &masks.gammas {
+        flat.push(vector::dot_binary(&ctx.pk, gamma, &all));
+    }
+    ctx.metrics.add_ciphertext_ops((alpha.len() * flat.len()) as u64);
+    let shares = ciphers_to_shares(ctx, &flat);
+    let mut node = NodeShares {
+        n_l: Vec::new(),
+        g_l: vec![Vec::new(); shares.len() - 1],
+        n_total: shares[0],
+        g_totals: shares[1..].to_vec(),
+    };
+    if masks.offset_encoded {
+        crate::gain::remove_totals_offset(ctx, &mut node);
+    }
+    open_leaf(ctx, &node)
+}
+
+/// Open the secure leaf label (public in the basic protocol).
+fn open_leaf(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> f64 {
+    let label = leaf_label_share(ctx, shares);
+    let opened = ctx.engine.open(label);
+    match ctx.current_task() {
+        Task::Classification { .. } => opened.value() as f64,
+        Task::Regression => ctx.params.fixed.decode(opened),
+    }
+}

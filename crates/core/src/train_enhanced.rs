@@ -1,0 +1,235 @@
+//! Pivot enhanced protocol training (§5.2): the released model conceals
+//! split thresholds and leaf labels.
+//!
+//! Differences from the basic protocol, per node:
+//!
+//! * only the winning `(i*, j*)` block of the best split is revealed;
+//!   `⟨s*⟩` stays secret and is expanded into an encrypted one-hot `[λ]`;
+//! * the winner privately selects its split-indicator column via Theorem 2
+//!   (`[v] = V ⊗ [λ]`) and the encrypted threshold via a homomorphic dot
+//!   product with its candidate-value vector;
+//! * the mask update follows Eqn (10): `[α]` is converted to shares
+//!   (Algorithm 2) and every client contributes `⟨α_j⟩ᵢ ⊗ [v_j]`, summed
+//!   at the winner — `O(n)` threshold decryptions per node, the cost that
+//!   separates Pivot-Enhanced from Pivot-Basic in Figures 4–5;
+//! * leaf labels are converted share→ciphertext instead of being opened.
+
+use crate::config::Protocol;
+use crate::conversion::{ciphers_to_shares, shares_to_ciphers};
+use crate::gain::{
+    best_split, convert_stats, leaf_label_share, prune_decision, reveal_block_only,
+    split_gains, NodeShares,
+};
+use crate::masks::{compute_label_masks, initial_mask, LabelMasks};
+use crate::metrics::Stage;
+use crate::model::{ConcealedNode, ConcealedTree};
+use crate::party::PartyContext;
+use crate::stats::{pooled_statistics, LocalSplits, SplitLayout};
+use pivot_bignum::BigUint;
+use pivot_mpc::Share;
+use pivot_paillier::{vector, Ciphertext};
+
+/// Public offset added to fixed-point thresholds before encryption so the
+/// PIR dot product only ever sees non-negative plaintexts (negative
+/// encodings would wrap mod `N` and break the mod-`p` slack discipline).
+pub fn threshold_offset_bits(ctx: &PartyContext<'_>) -> u32 {
+    ctx.params.fixed.int_bits - 2
+}
+
+/// Train a single concealed decision tree (enhanced protocol).
+pub fn train(ctx: &mut PartyContext<'_>) -> ConcealedTree {
+    assert_eq!(
+        ctx.params.protocol,
+        Protocol::Enhanced,
+        "enhanced training requires Protocol::Enhanced parameters"
+    );
+    assert!(
+        ctx.params.keysize >= 192,
+        "enhanced protocol needs keysize ≥ 192 (Eqn-10 slack headroom)"
+    );
+    let mask = vec![true; ctx.num_samples()];
+    let local = LocalSplits::precompute(ctx);
+    let layout = SplitLayout::build(ctx.ep, &local.counts());
+    let alpha = initial_mask(ctx, &mask);
+    let mut nodes = Vec::new();
+    let root = build_node(ctx, &local, &layout, alpha, 0, &mut nodes);
+    ConcealedTree { nodes, root, task: ctx.current_task() }
+}
+
+fn build_node(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    alpha: Vec<Ciphertext>,
+    depth: usize,
+    nodes: &mut Vec<ConcealedNode>,
+) -> usize {
+    let masks = compute_label_masks(ctx, &alpha, true);
+
+    let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
+    if force_leaf {
+        let enc_value = concealed_leaf_from_totals(ctx, &alpha, &masks);
+        nodes.push(ConcealedNode::Leaf { enc_value });
+        return nodes.len() - 1;
+    }
+
+    let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
+    let shares = convert_stats(ctx, layout, &enc);
+
+    // No purity check: it would leak a bit about the concealed labels.
+    if prune_decision(ctx, &shares, false) {
+        let enc_value = concealed_leaf(ctx, &shares);
+        nodes.push(ConcealedNode::Leaf { enc_value });
+        return nodes.len() - 1;
+    }
+
+    let gains = split_gains(ctx, &shares);
+    let (best_idx, _gain) = best_split(ctx, &gains);
+    // Reveal only the (client, feature) block; ⟨s*⟩ stays secret.
+    let (winner, local_feature, s_share) = reveal_block_only(ctx, layout, best_idx);
+    let n_splits = layout.counts[winner][local_feature];
+
+    // ⟨λ⟩ one-hot of s*, then encrypted [λ] (§5.2 private split selection).
+    let lambda_shares = ctx
+        .metrics
+        .time(Stage::MpcComputation, || ctx.engine.onehot_vec(s_share, n_splits));
+    let lambda_enc = shares_to_ciphers(ctx, &lambda_shares);
+
+    // Winner: PIR-select [v_l], [v_r] and the encrypted threshold.
+    let (v_l, v_r, enc_threshold, feature_global) =
+        ctx.metrics.time(Stage::ModelUpdate, || {
+            if ctx.id() == winner {
+                let inds = &local.indicators[local_feature];
+                let n = ctx.view.num_samples();
+                let mut v_l = Vec::with_capacity(n);
+                let mut v_r = Vec::with_capacity(n);
+                for j in 0..n {
+                    let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
+                    let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
+                    v_l.push(vector::dot_binary(&ctx.pk, &lambda_enc, &row));
+                    v_r.push(vector::dot_binary(&ctx.pk, &lambda_enc, &comp));
+                }
+                ctx.metrics
+                    .add_ciphertext_ops((2 * n * n_splits) as u64);
+                let enc_vals: Vec<BigUint> = local.candidates[local_feature]
+                    .thresholds
+                    .iter()
+                    .map(|&t| encode_threshold(ctx, t))
+                    .collect();
+                let enc_threshold = vector::dot_plain(&ctx.pk, &lambda_enc, &enc_vals);
+                let feature_global = ctx.view.feature_indices[local_feature];
+                ctx.ep.broadcast(&v_l);
+                ctx.ep.broadcast(&v_r);
+                ctx.ep.broadcast(&enc_threshold);
+                ctx.ep.broadcast(&feature_global);
+                (v_l, v_r, enc_threshold, feature_global)
+            } else {
+                let v_l: Vec<Ciphertext> = ctx.ep.recv(winner);
+                let v_r: Vec<Ciphertext> = ctx.ep.recv(winner);
+                let enc_threshold: Ciphertext = ctx.ep.recv(winner);
+                let feature_global: usize = ctx.ep.recv(winner);
+                (v_l, v_r, enc_threshold, feature_global)
+            }
+        });
+
+    // Eqn (10): encrypted-mask updating through share conversion.
+    let alpha_shares = ciphers_to_shares(ctx, &alpha);
+    let alpha_l = masked_product(ctx, &alpha_shares, &v_l, winner);
+    let alpha_r = masked_product(ctx, &alpha_shares, &v_r, winner);
+    drop(alpha);
+
+    let left = build_node(ctx, local, layout, alpha_l, depth + 1, nodes);
+    let right = build_node(ctx, local, layout, alpha_r, depth + 1, nodes);
+    nodes.push(ConcealedNode::Internal {
+        client: winner,
+        feature_global,
+        enc_threshold,
+        left,
+        right,
+    });
+    nodes.len() - 1
+}
+
+/// `[α'_j] = Σᵢ [⟨α_j⟩ᵢ · v_j]` — every client scales the encrypted split
+/// indicator by its own share; the winner aggregates and broadcasts.
+fn masked_product(
+    ctx: &mut PartyContext<'_>,
+    alpha_shares: &[Share],
+    v: &[Ciphertext],
+    winner: usize,
+) -> Vec<Ciphertext> {
+    ctx.metrics.time(Stage::ModelUpdate, || {
+        let my_terms: Vec<Ciphertext> = alpha_shares
+            .iter()
+            .zip(v)
+            .map(|(s, vj)| ctx.pk.mul_plain(vj, &BigUint::from_u64(s.0.value())))
+            .collect();
+        ctx.metrics.add_ciphertext_ops(my_terms.len() as u64);
+        let gathered = ctx.ep.gather(winner, &my_terms);
+        if ctx.id() == winner {
+            let parts = gathered.expect("winner gathers");
+            let n = alpha_shares.len();
+            let sums: Vec<Ciphertext> = (0..n)
+                .map(|j| {
+                    let mut acc = parts[0][j].clone();
+                    for part in parts.iter().skip(1) {
+                        acc = ctx.pk.add(&acc, &part[j]);
+                    }
+                    acc
+                })
+                .collect();
+            ctx.metrics
+                .add_ciphertext_ops((n * ctx.parties()) as u64);
+            ctx.ep.broadcast(&sums);
+            sums
+        } else {
+            ctx.ep.recv(winner)
+        }
+    })
+}
+
+/// Encode a plaintext threshold for PIR selection: fixed-point plus the
+/// public positivity offset.
+fn encode_threshold(ctx: &PartyContext<'_>, threshold: f64) -> BigUint {
+    let f = ctx.params.fixed.frac_bits;
+    let off_bits = threshold_offset_bits(ctx);
+    let scaled = (threshold * (1u64 << f) as f64).round();
+    assert!(
+        scaled.abs() < (1u64 << off_bits) as f64,
+        "threshold {threshold} overflows the fixed-point layout"
+    );
+    let with_offset = scaled + (1u64 << off_bits) as f64;
+    BigUint::from_u64(with_offset as u64)
+}
+
+/// Concealed leaf from full node statistics.
+fn concealed_leaf(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Ciphertext {
+    let label = leaf_label_share(ctx, shares);
+    shares_to_ciphers(ctx, &[label]).remove(0)
+}
+
+/// Concealed leaf when the depth bound forces one (totals only).
+fn concealed_leaf_from_totals(
+    ctx: &mut PartyContext<'_>,
+    alpha: &[Ciphertext],
+    masks: &LabelMasks,
+) -> Ciphertext {
+    let all = vec![true; alpha.len()];
+    let node_total = vector::dot_binary(&ctx.pk, alpha, &all);
+    let mut flat = vec![node_total];
+    for gamma in &masks.gammas {
+        flat.push(vector::dot_binary(&ctx.pk, gamma, &all));
+    }
+    ctx.metrics.add_ciphertext_ops((alpha.len() * flat.len()) as u64);
+    let converted = ciphers_to_shares(ctx, &flat);
+    let mut node = NodeShares {
+        n_l: Vec::new(),
+        g_l: vec![Vec::new(); converted.len() - 1],
+        n_total: converted[0],
+        g_totals: converted[1..].to_vec(),
+    };
+    if masks.offset_encoded {
+        crate::gain::remove_totals_offset(ctx, &mut node);
+    }
+    concealed_leaf(ctx, &node)
+}

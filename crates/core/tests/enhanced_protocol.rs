@@ -1,0 +1,199 @@
+//! End-to-end tests for the Pivot enhanced protocol (§5): concealed models
+//! must classify like the basic protocol's plaintext models, while
+//! revealing only split features — never thresholds or leaf labels.
+
+use pivot_core::{
+    config::PivotParams, model::ConcealedNode, party::PartyContext, predict_enhanced,
+    train_basic, train_enhanced,
+};
+use pivot_data::{partition_vertically, synth, Dataset, Task};
+use pivot_transport::run_parties;
+use pivot_trees::TreeParams;
+
+fn enhanced_params(tree: TreeParams) -> PivotParams {
+    let mut p = PivotParams::enhanced();
+    p.tree = tree;
+    p.tree.stop_when_pure = false;
+    p.keysize = 192;
+    p
+}
+
+fn crisp_dataset() -> Dataset {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..24 {
+        // Asymmetric group sizes (16 vs 8) keep every split gain strictly
+        // distinct, so ±1-ulp truncation noise cannot flip a tie-break.
+        let x0 = if i < 16 { 10.0 } else { 0.0 };
+        let x1 = if i % 2 == 0 { -5.0 } else { 5.0 };
+        features.push(vec![x0, x1, (i % 7) as f64]);
+        labels.push(if x0 > 5.0 {
+            1.0
+        } else if x1 > 0.0 {
+            1.0
+        } else {
+            0.0
+        });
+    }
+    Dataset::new(features, labels, Task::Classification { classes: 2 })
+}
+
+#[test]
+fn enhanced_training_and_prediction() {
+    let data = crisp_dataset();
+    let m = 3;
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        stop_when_pure: false,
+        ..Default::default()
+    };
+    let params = enhanced_params(tree_params.clone());
+    let partition = partition_vertically(&data, m, 0);
+
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), params.clone());
+        let tree = train_enhanced::train(&mut ctx);
+        // Predict the training samples through the concealed model.
+        let local_samples: Vec<Vec<f64>> = (0..view.num_samples())
+            .map(|i| view.features[i].clone())
+            .collect();
+        let preds = predict_enhanced::predict_batch(&mut ctx, &tree, &local_samples);
+        (tree.internal_count(), tree.leaf_count(), preds)
+    });
+
+    let (internals, leaves, preds) = &results[0];
+    assert!(*internals >= 1, "tree must have split at least once");
+    assert_eq!(*leaves, internals + 1);
+    for (_, _, other) in &results[1..] {
+        assert_eq!(preds, other, "all parties agree on predictions");
+    }
+    // Concealed-model predictions must equal the true labels on this
+    // crisply separable data.
+    let correct = preds
+        .iter()
+        .zip(data.labels())
+        .filter(|(p, t)| (**p - **t).abs() < 0.5)
+        .count();
+    assert!(
+        correct >= 22,
+        "concealed model classified only {correct}/24 training samples"
+    );
+}
+
+#[test]
+fn enhanced_model_structure_is_concealed() {
+    let data = crisp_dataset();
+    let m = 2;
+    let params = enhanced_params(TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        stop_when_pure: false,
+        ..Default::default()
+    });
+    let partition = partition_vertically(&data, m, 0);
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        train_enhanced::train(&mut ctx)
+    });
+    let tree = &results[0];
+    // The concealed model exposes features but only ciphertexts for
+    // thresholds and leaf labels.
+    for node in &tree.nodes {
+        match node {
+            ConcealedNode::Internal { enc_threshold, client, .. } => {
+                assert!(*client < m);
+                // A ciphertext, not a plain encoding: must exceed the
+                // trivial encoding magnitude of any data value.
+                assert!(enc_threshold.raw().bits() > 64);
+            }
+            ConcealedNode::Leaf { enc_value } => {
+                assert!(enc_value.raw().bits() > 64);
+            }
+        }
+    }
+}
+
+#[test]
+fn enhanced_agrees_with_basic_on_predictions() {
+    let data = crisp_dataset();
+    let m = 2;
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        stop_when_pure: false,
+        ..Default::default()
+    };
+    let partition = partition_vertically(&data, m, 0);
+
+    // Train basic (plaintext model) and enhanced (concealed model) on the
+    // same data and compare predictions sample by sample.
+    let basic_params = PivotParams {
+        tree: tree_params.clone(),
+        keysize: 128,
+        ..Default::default()
+    };
+    let basic_trees = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view, basic_params.clone());
+        train_basic::train(&mut ctx)
+    });
+
+    let enh_params = enhanced_params(tree_params);
+    let enh_preds = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), enh_params.clone());
+        let tree = train_enhanced::train(&mut ctx);
+        let local_samples: Vec<Vec<f64>> = (0..view.num_samples())
+            .map(|i| view.features[i].clone())
+            .collect();
+        predict_enhanced::predict_batch(&mut ctx, &tree, &local_samples)
+    });
+
+    let basic_preds: Vec<f64> = (0..data.num_samples())
+        .map(|i| basic_trees[0].predict(data.sample(i)))
+        .collect();
+    assert_eq!(
+        basic_preds, enh_preds[0],
+        "basic and enhanced protocols must learn the same function here"
+    );
+}
+
+#[test]
+fn enhanced_regression() {
+    let data = synth::make_regression(&synth::RegressionSpec {
+        samples: 24,
+        features: 4,
+        informative: 2,
+        noise: 0.01,
+        seed: 17,
+    });
+    let m = 2;
+    let params = enhanced_params(TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        stop_when_pure: false,
+        ..Default::default()
+    });
+    let partition = partition_vertically(&data, m, 0);
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), params.clone());
+        let tree = train_enhanced::train(&mut ctx);
+        let local_samples: Vec<Vec<f64>> = (0..view.num_samples())
+            .map(|i| view.features[i].clone())
+            .collect();
+        predict_enhanced::predict_batch(&mut ctx, &tree, &local_samples)
+    });
+    // Predictions bounded by the normalized label range, and better than
+    // the trivial mean predictor on training data.
+    let preds = &results[0];
+    assert!(preds.iter().all(|p| p.abs() <= 1.5), "{preds:?}");
+    let mse = pivot_data::metrics::mse(preds, data.labels());
+    let mean: f64 = data.labels().iter().sum::<f64>() / data.num_samples() as f64;
+    let base: Vec<f64> = vec![mean; data.num_samples()];
+    let base_mse = pivot_data::metrics::mse(&base, data.labels());
+    assert!(mse < base_mse, "tree mse {mse} should beat mean baseline {base_mse}");
+}

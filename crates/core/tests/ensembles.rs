@@ -1,0 +1,162 @@
+//! End-to-end tests for the ensemble extensions (§7): random forest and
+//! GBDT with encrypted residual labels.
+
+use pivot_core::ensemble::{
+    gbdt::predict_gbdt_batch, rf::predict_rf_batch, train_gbdt, train_rf,
+    GbdtProtocolParams, RfProtocolParams,
+};
+use pivot_core::{config::PivotParams, party::PartyContext};
+use pivot_data::{metrics, partition_vertically, synth, Dataset, Task};
+use pivot_transport::run_parties;
+use pivot_trees::TreeParams;
+
+fn params(tree: TreeParams) -> PivotParams {
+    PivotParams { tree, keysize: 128, ..Default::default() }
+}
+
+#[test]
+fn random_forest_classification() {
+    let data = synth::make_classification(&synth::ClassificationSpec {
+        samples: 48,
+        features: 6,
+        informative: 4,
+        classes: 2,
+        class_sep: 2.5,
+        flip_y: 0.0,
+        seed: 31,
+    });
+    let m = 3;
+    let p = params(TreeParams { max_depth: 2, max_splits: 3, ..Default::default() });
+    let rf = RfProtocolParams { trees: 3, ..Default::default() };
+    let partition = partition_vertically(&data, m, 0);
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), p.clone());
+        let model = train_rf(&mut ctx, &rf);
+        let local: Vec<Vec<f64>> = (0..8).map(|i| view.features[i].clone()).collect();
+        let preds = predict_rf_batch(&mut ctx, &model, &local);
+        (model.trees.len(), preds)
+    });
+    let (count, preds) = &results[0];
+    assert_eq!(*count, 3);
+    for (c, p2) in &results[1..] {
+        assert_eq!(c, count);
+        assert_eq!(p2, preds);
+    }
+    // Majority vote should classify crisply separated data well.
+    let truth: Vec<f64> = (0..8).map(|i| data.label(i)).collect();
+    let acc = metrics::accuracy(preds, &truth);
+    assert!(acc >= 0.75, "rf accuracy {acc}");
+}
+
+#[test]
+fn random_forest_regression_mean() {
+    let data = synth::make_regression(&synth::RegressionSpec {
+        samples: 40,
+        features: 4,
+        informative: 2,
+        noise: 0.01,
+        seed: 77,
+    });
+    let m = 2;
+    let p = params(TreeParams { max_depth: 2, max_splits: 3, ..Default::default() });
+    let rf = RfProtocolParams { trees: 2, ..Default::default() };
+    let partition = partition_vertically(&data, m, 0);
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), p.clone());
+        let model = train_rf(&mut ctx, &rf);
+        let local: Vec<Vec<f64>> = (0..6).map(|i| view.features[i].clone()).collect();
+        let preds = predict_rf_batch(&mut ctx, &model, &local);
+        (model, preds)
+    });
+    let (model, preds) = &results[0];
+    // Distributed prediction must equal the centralized mean over trees.
+    for i in 0..6 {
+        let central: f64 = model
+            .trees
+            .iter()
+            .map(|t| t.predict(data.sample(i)))
+            .sum::<f64>()
+            / model.trees.len() as f64;
+        assert!(
+            (preds[i] - central).abs() < 1e-3,
+            "sample {i}: {} vs {central}",
+            preds[i]
+        );
+    }
+}
+
+#[test]
+fn gbdt_regression_learns() {
+    let data = synth::make_regression(&synth::RegressionSpec {
+        samples: 40,
+        features: 4,
+        informative: 3,
+        noise: 0.02,
+        seed: 21,
+    });
+    let m = 2;
+    let p = params(TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        stop_when_pure: false,
+        ..Default::default()
+    });
+    let g = GbdtProtocolParams { rounds: 3, learning_rate: 0.5 };
+    let partition = partition_vertically(&data, m, 0);
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), p.clone());
+        let model = train_gbdt(&mut ctx, &g);
+        let local: Vec<Vec<f64>> = (0..view.num_samples())
+            .map(|i| view.features[i].clone())
+            .collect();
+        let preds = predict_gbdt_batch(&mut ctx, &model, &local);
+        (model.forests[0].len(), preds)
+    });
+    let (rounds, preds) = &results[0];
+    assert_eq!(*rounds, 3);
+    for (r, p2) in &results[1..] {
+        assert_eq!(r, rounds);
+        assert_eq!(p2, preds);
+    }
+    // Boosted predictions must beat the mean baseline on training data.
+    let mse = metrics::mse(preds, data.labels());
+    let mean: f64 = data.labels().iter().sum::<f64>() / data.num_samples() as f64;
+    let base_mse = metrics::mse(&vec![mean; data.num_samples()], data.labels());
+    assert!(mse < base_mse, "gbdt mse {mse} vs baseline {base_mse}");
+}
+
+#[test]
+fn gbdt_classification_one_vs_rest() {
+    // Crisp two-feature data so 2 rounds suffice.
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..30 {
+        let x0 = if i % 2 == 0 { -3.0 } else { 3.0 };
+        features.push(vec![x0 + (i % 3) as f64 * 0.1, (i % 5) as f64]);
+        labels.push(f64::from(i % 2 == 1));
+    }
+    let data = Dataset::new(features, labels, Task::Classification { classes: 2 });
+    let m = 2;
+    let p = params(TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        stop_when_pure: false,
+        ..Default::default()
+    });
+    let g = GbdtProtocolParams { rounds: 2, learning_rate: 0.8 };
+    let partition = partition_vertically(&data, m, 0);
+    let results = run_parties(m, |ep| {
+        let view = partition.views[ep.id()].clone();
+        let mut ctx = PartyContext::setup(&ep, view.clone(), p.clone());
+        let model = train_gbdt(&mut ctx, &g);
+        let local: Vec<Vec<f64>> = (0..view.num_samples())
+            .map(|i| view.features[i].clone())
+            .collect();
+        predict_gbdt_batch(&mut ctx, &model, &local)
+    });
+    let acc = metrics::accuracy(&results[0], data.labels());
+    assert!(acc >= 0.9, "gbdt classification accuracy {acc}");
+}

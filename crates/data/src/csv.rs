@@ -1,0 +1,115 @@
+//! Minimal CSV reader/writer for numeric datasets (label in the last column,
+//! one optional header line).
+
+use crate::{Dataset, Task};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Read a numeric CSV with the label in the **last** column.
+///
+/// Lines starting with `#` are skipped; if the first data line fails to
+/// parse it is treated as a header and its names are attached.
+pub fn read_csv(path: &Path, task: Task) -> std::io::Result<Dataset> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    let mut names: Option<Vec<String>> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
+        match parsed {
+            Ok(mut row) => {
+                let label = row.pop().unwrap_or_else(|| {
+                    panic!("line {} has no columns", lineno + 1)
+                });
+                features.push(row);
+                labels.push(label);
+            }
+            Err(_) if features.is_empty() && names.is_none() => {
+                // Header line: remember the feature names (drop the label name).
+                let mut hdr: Vec<String> = fields.iter().map(|s| s.to_string()).collect();
+                hdr.pop();
+                names = Some(hdr);
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                ));
+            }
+        }
+    }
+    let mut ds = Dataset::new(features, labels, task);
+    if let Some(n) = names {
+        if n.len() == ds.num_features() {
+            ds = ds.with_feature_names(n);
+        }
+    }
+    Ok(ds)
+}
+
+/// Write a dataset as CSV (header + label in the last column).
+pub fn write_csv(path: &Path, ds: &Dataset) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut header = ds.feature_names().join(",");
+    header.push_str(",label");
+    writeln!(w, "{header}")?;
+    for i in 0..ds.num_samples() {
+        let mut row: Vec<String> = ds.sample(i).iter().map(|v| format!("{v}")).collect();
+        row.push(format!("{}", ds.label(i)));
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join("pivot_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        let ds = Dataset::new(
+            vec![vec![1.5, 2.0], vec![-3.0, 0.25]],
+            vec![0.0, 1.0],
+            Task::Classification { classes: 2 },
+        );
+        write_csv(&path, &ds).unwrap();
+        let back = read_csv(&path, Task::Classification { classes: 2 }).unwrap();
+        assert_eq!(back.num_samples(), 2);
+        assert_eq!(back.num_features(), 2);
+        assert_eq!(back.value(0, 0), 1.5);
+        assert_eq!(back.label(1), 1.0);
+        assert_eq!(back.feature_names(), ds.feature_names());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let dir = std::env::temp_dir().join("pivot_csv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("commented.csv");
+        std::fs::write(&path, "# comment\n\n1.0,2.0,0\n3.0,4.0,1\n").unwrap();
+        let ds = read_csv(&path, Task::Classification { classes: 2 }).unwrap();
+        assert_eq!(ds.num_samples(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        let dir = std::env::temp_dir().join("pivot_csv_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1.0,2.0,0\nnot,a,number\n").unwrap();
+        assert!(read_csv(&path, Task::Regression).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! Vertical partitioning: the same samples, disjoint feature subsets per
+//! client, labels held only by the super client (paper §3.1).
+
+use crate::{Dataset, Task};
+
+/// One client's view of a vertically partitioned dataset.
+#[derive(Clone, Debug)]
+pub struct VerticalView {
+    /// Client id in `0..m`.
+    pub client: usize,
+    /// Global feature indices this client owns.
+    pub feature_indices: Vec<usize>,
+    /// The client's local columns (`samples × local_features`).
+    pub features: Vec<Vec<f64>>,
+    /// Labels — `Some` only for the super client.
+    pub labels: Option<Vec<f64>>,
+    /// The task (public protocol metadata).
+    pub task: Task,
+}
+
+impl VerticalView {
+    /// Number of samples (shared across clients).
+    pub fn num_samples(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of local features `dᵢ`.
+    pub fn num_local_features(&self) -> usize {
+        self.feature_indices.len()
+    }
+
+    /// Local feature value.
+    pub fn value(&self, sample: usize, local_feature: usize) -> f64 {
+        self.features[sample][local_feature]
+    }
+
+    /// A local column (copied).
+    pub fn column(&self, local_feature: usize) -> Vec<f64> {
+        self.features.iter().map(|row| row[local_feature]).collect()
+    }
+
+    /// Whether this client holds the labels.
+    pub fn is_super_client(&self) -> bool {
+        self.labels.is_some()
+    }
+}
+
+/// The full vertical partition (used by test harnesses that play all
+/// parties; real deployments hand each [`VerticalView`] to its owner).
+#[derive(Clone, Debug)]
+pub struct VerticalPartition {
+    pub views: Vec<VerticalView>,
+}
+
+/// Split `dataset` vertically across `m` clients in contiguous feature
+/// blocks (as even as possible, matching the paper's "equally split w.r.t.
+/// features"); `super_client` receives the labels.
+pub fn partition_vertically(
+    dataset: &Dataset,
+    m: usize,
+    super_client: usize,
+) -> VerticalPartition {
+    assert!(m >= 1, "need at least one client");
+    assert!(super_client < m, "super client out of range");
+    let d = dataset.num_features();
+    assert!(d >= m, "cannot give every client at least one feature");
+
+    let base = d / m;
+    let extra = d % m;
+    let mut views = Vec::with_capacity(m);
+    let mut next = 0usize;
+    for client in 0..m {
+        let count = base + usize::from(client < extra);
+        let indices: Vec<usize> = (next..next + count).collect();
+        next += count;
+        let features: Vec<Vec<f64>> = (0..dataset.num_samples())
+            .map(|i| indices.iter().map(|&j| dataset.value(i, j)).collect())
+            .collect();
+        views.push(VerticalView {
+            client,
+            feature_indices: indices,
+            features,
+            labels: (client == super_client).then(|| dataset.labels().to_vec()),
+            task: dataset.task(),
+        });
+    }
+    VerticalPartition { views }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![1.0, 2.0, 3.0, 4.0, 5.0],
+                vec![6.0, 7.0, 8.0, 9.0, 10.0],
+            ],
+            vec![0.0, 1.0],
+            Task::Classification { classes: 2 },
+        )
+    }
+
+    #[test]
+    fn features_are_disjoint_and_complete() {
+        let p = partition_vertically(&toy(), 3, 0);
+        let mut all: Vec<usize> =
+            p.views.iter().flat_map(|v| v.feature_indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        // Sizes as even as possible: 2, 2, 1.
+        let sizes: Vec<usize> = p.views.iter().map(|v| v.num_local_features()).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn only_super_client_has_labels() {
+        let p = partition_vertically(&toy(), 3, 1);
+        assert!(!p.views[0].is_super_client());
+        assert!(p.views[1].is_super_client());
+        assert!(!p.views[2].is_super_client());
+        assert_eq!(p.views[1].labels.as_ref().unwrap(), &vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn values_match_source() {
+        let ds = toy();
+        let p = partition_vertically(&ds, 2, 0);
+        // Client 1 owns features 3, 4.
+        assert_eq!(p.views[1].feature_indices, vec![3, 4]);
+        assert_eq!(p.views[1].value(1, 0), ds.value(1, 3));
+        assert_eq!(p.views[1].column(1), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn too_many_clients_rejected() {
+        partition_vertically(&toy(), 6, 0);
+    }
+}

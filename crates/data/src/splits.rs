@@ -1,0 +1,114 @@
+//! Candidate-split discretization: at most `b` split values per feature
+//! (the paper's "maximum split number" parameter, Table 4), chosen at
+//! quantile boundaries. The privacy-preserving protocols and the plaintext
+//! baselines share this discretization so accuracy comparisons are
+//! apples-to-apples.
+
+/// Candidate split thresholds for one feature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplitCandidates {
+    /// Sorted candidate thresholds (`≤ b` values). A sample goes left iff
+    /// `value ≤ threshold`.
+    pub thresholds: Vec<f64>,
+}
+
+impl SplitCandidates {
+    /// Number of candidate splits.
+    pub fn len(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// True if the feature yielded no usable split (constant column).
+    pub fn is_empty(&self) -> bool {
+        self.thresholds.is_empty()
+    }
+}
+
+/// Compute quantile-based candidate splits for one feature column.
+///
+/// Midpoints between consecutive distinct quantile values are used as
+/// thresholds, capped at `max_splits` (= the paper's `b`).
+pub fn candidate_splits(column: &[f64], max_splits: usize) -> SplitCandidates {
+    assert!(max_splits >= 1, "need at least one candidate split");
+    let mut sorted: Vec<f64> = column.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.dedup();
+    if sorted.len() < 2 {
+        return SplitCandidates { thresholds: Vec::new() };
+    }
+    // At most max_splits thresholds ⇒ max_splits+1 buckets over distinct
+    // values; pick boundary midpoints at evenly spaced ranks.
+    let buckets = max_splits + 1;
+    let mut thresholds = Vec::with_capacity(max_splits);
+    if sorted.len() <= buckets {
+        // Few distinct values: midpoint between every consecutive pair.
+        for w in sorted.windows(2) {
+            thresholds.push((w[0] + w[1]) / 2.0);
+        }
+    } else {
+        for cut in 1..buckets {
+            let idx = cut * sorted.len() / buckets;
+            let lo = sorted[idx - 1];
+            let hi = sorted[idx];
+            let mid = (lo + hi) / 2.0;
+            if thresholds.last() != Some(&mid) {
+                thresholds.push(mid);
+            }
+        }
+    }
+    SplitCandidates { thresholds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_column_has_no_splits() {
+        let c = candidate_splits(&[5.0; 10], 8);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn two_values_one_midpoint() {
+        let c = candidate_splits(&[1.0, 3.0, 1.0, 3.0], 8);
+        assert_eq!(c.thresholds, vec![2.0]);
+    }
+
+    #[test]
+    fn respects_max_splits() {
+        let col: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let c = candidate_splits(&col, 8);
+        assert!(c.len() <= 8, "got {} splits", c.len());
+        assert!(c.len() >= 7, "too few splits: {}", c.len());
+        // Thresholds sorted and strictly increasing.
+        for w in c.thresholds.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn thresholds_actually_separate() {
+        let col = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let c = candidate_splits(&col, 4);
+        for &t in &c.thresholds {
+            let left = col.iter().filter(|&&v| v <= t).count();
+            assert!(left > 0 && left < col.len(), "threshold {t} separates nothing");
+        }
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let c = candidate_splits(&[1.0, f64::NAN, 2.0, f64::INFINITY], 4);
+        assert_eq!(c.thresholds, vec![1.5]);
+    }
+
+    #[test]
+    fn quantiles_balance_buckets() {
+        // Heavily skewed data: quantile cuts should still split the mass.
+        let mut col: Vec<f64> = (0..90).map(|_| 1.0).collect();
+        col.extend((0..10).map(|i| 100.0 + i as f64));
+        let c = candidate_splits(&col, 4);
+        assert!(!c.is_empty());
+    }
+}

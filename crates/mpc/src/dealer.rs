@@ -1,0 +1,244 @@
+//! The offline phase: correlated randomness for the online protocols.
+//!
+//! MP-SPDZ separates an input-independent offline phase (Beaver triples,
+//! shared random bits, masked-truncation pairs) from the online phase; the
+//! paper reports online time only (§8.1: "we report the running time of the
+//! online phase"). We reproduce that cost model with a *simulated trusted
+//! dealer*: every party derives the same preprocessing stream from a common
+//! seed and keeps its own component, so preprocessing costs zero online
+//! communication.
+//!
+//! This is a **simulation of the offline phase**, not a secure realization
+//! of it (each party could recompute the others' shares from the seed). The
+//! online protocols built on top are the real ones; swapping in genuine
+//! OT/HE-based preprocessing would not change any online message.
+
+use crate::field::{Fp, MODULUS};
+use crate::fixed::FixedConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Beaver multiplication triple share: `(⟨a⟩, ⟨b⟩, ⟨ab⟩)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TripleShare {
+    pub a: Fp,
+    pub b: Fp,
+    pub c: Fp,
+}
+
+/// Shares backing one exact-truncation / comparison mask:
+/// `r = r_high · 2^t + Σ bits_i · 2^i`, with the low part bit-decomposed.
+#[derive(Clone, Debug)]
+pub struct MaskedBitsShare {
+    /// Share of the full mask `r`.
+    pub r: Fp,
+    /// Share of the high part `r_high`.
+    pub r_high: Fp,
+    /// Shares of the `t` low bits (LSB first).
+    pub bits: Vec<Fp>,
+}
+
+/// Per-party client of the simulated dealer. All parties construct it with
+/// the same `seed` and call the same sequence of methods; each call advances
+/// an identical PRG stream and returns this party's component.
+pub struct DealerClient {
+    rng: StdRng,
+    party: usize,
+    m: usize,
+}
+
+impl DealerClient {
+    /// `seed` must be identical across parties; `party` is this party's id.
+    pub fn new(seed: u64, party: usize, m: usize) -> Self {
+        assert!(party < m);
+        DealerClient { rng: StdRng::seed_from_u64(seed), party, m }
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.m
+    }
+
+    fn uniform(&mut self) -> Fp {
+        Fp::new(self.rng.gen_range(0..MODULUS))
+    }
+
+    /// Split `value` into `m` additive shares and keep this party's.
+    /// Every party generates the identical share vector and indexes it.
+    fn split(&mut self, value: Fp) -> Fp {
+        let mut total = Fp::ZERO;
+        let mut mine = Fp::ZERO;
+        for i in 0..self.m - 1 {
+            let share = self.uniform();
+            total += share;
+            if i == self.party {
+                mine = share;
+            }
+        }
+        let last = value - total;
+        if self.party == self.m - 1 {
+            mine = last;
+        }
+        mine
+    }
+
+    /// Next Beaver triple.
+    pub fn triple(&mut self) -> TripleShare {
+        let a = self.uniform();
+        let b = self.uniform();
+        let c = a * b;
+        TripleShare { a: self.split(a), b: self.split(b), c: self.split(c) }
+    }
+
+    /// A batch of Beaver triples.
+    pub fn triples(&mut self, n: usize) -> Vec<TripleShare> {
+        (0..n).map(|_| self.triple()).collect()
+    }
+
+    /// Share of a uniformly random field element (unknown to all parties).
+    pub fn random_share(&mut self) -> Fp {
+        let v = self.uniform();
+        self.split(v)
+    }
+
+    /// Share of a uniformly random bit.
+    pub fn random_bit(&mut self) -> Fp {
+        let b = Fp::new(self.rng.gen_range(0..2u64));
+        self.split(b)
+    }
+
+    /// Masked-truncation material for `Mod2m` with `t` low bits: the low
+    /// part is bit-decomposed, the high part is uniform in
+    /// `[0, 2^(k + κ - t))` per `cfg`.
+    pub fn masked_bits(&mut self, t: u32, cfg: &FixedConfig) -> MaskedBitsShare {
+        let high_bits = cfg.int_bits + cfg.kappa - t;
+        debug_assert!(t + high_bits < 61);
+        let mut low_val = 0u64;
+        let mut bit_shares = Vec::with_capacity(t as usize);
+        for i in 0..t {
+            let bit = self.rng.gen_range(0..2u64);
+            low_val |= bit << i;
+            bit_shares.push(self.split(Fp::new(bit)));
+        }
+        let high = self.rng.gen_range(0..(1u64 << high_bits));
+        let r_val = Fp::new(high << t) + Fp::new(low_val);
+        let r = self.split(r_val);
+        let r_high = self.split(Fp::new(high));
+        MaskedBitsShare { r, r_high, bits: bit_shares }
+    }
+
+    /// Probabilistic-truncation mask: `(⟨r⟩, ⟨r_high⟩)` with
+    /// `r = r_high·2^t + r_low`, `r_low` uniform in `[0, 2^t)` (bits not
+    /// needed for the probabilistic variant).
+    pub fn trunc_pair(&mut self, t: u32, cfg: &FixedConfig) -> (Fp, Fp) {
+        let high_bits = cfg.int_bits + cfg.kappa - t;
+        let low = self.rng.gen_range(0..(1u64 << t));
+        let high = self.rng.gen_range(0..(1u64 << high_bits));
+        let r_val = Fp::new((high << t).wrapping_add(low));
+        (self.split(r_val), self.split(Fp::new(high)))
+    }
+
+    /// Shares of a uniform fixed-point value in `[0, 1)` (that is, a random
+    /// `f`-bit integer at scale `2^-f`) — used by the DP samplers (Alg. 5/6).
+    pub fn random_unit_fraction(&mut self, cfg: &FixedConfig) -> Fp {
+        let v = self.rng.gen_range(0..(1u64 << cfg.frac_bits));
+        self.split(Fp::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `m` dealer clients in lockstep and reconstruct their outputs.
+    fn clients(m: usize) -> Vec<DealerClient> {
+        (0..m).map(|p| DealerClient::new(7, p, m)).collect()
+    }
+
+    fn reconstruct(shares: impl IntoIterator<Item = Fp>) -> Fp {
+        shares.into_iter().fold(Fp::ZERO, |a, b| a + b)
+    }
+
+    #[test]
+    fn triples_multiply() {
+        let mut cs = clients(3);
+        for _ in 0..20 {
+            let ts: Vec<TripleShare> = cs.iter_mut().map(|c| c.triple()).collect();
+            let a = reconstruct(ts.iter().map(|t| t.a));
+            let b = reconstruct(ts.iter().map(|t| t.b));
+            let c = reconstruct(ts.iter().map(|t| t.c));
+            assert_eq!(a * b, c);
+        }
+    }
+
+    #[test]
+    fn random_bits_are_bits() {
+        let mut cs = clients(4);
+        let mut seen = [false; 2];
+        for _ in 0..50 {
+            let shares: Vec<Fp> = cs.iter_mut().map(|c| c.random_bit()).collect();
+            let b = reconstruct(shares).value();
+            assert!(b <= 1, "reconstructed {b} is not a bit");
+            seen[b as usize] = true;
+        }
+        assert!(seen[0] && seen[1], "both bit values should occur");
+    }
+
+    #[test]
+    fn masked_bits_consistent() {
+        let cfg = FixedConfig::default();
+        let mut cs = clients(2);
+        for _ in 0..10 {
+            let ms: Vec<MaskedBitsShare> =
+                cs.iter_mut().map(|c| c.masked_bits(16, &cfg)).collect();
+            let r = reconstruct(ms.iter().map(|m| m.r)).value();
+            let r_high = reconstruct(ms.iter().map(|m| m.r_high)).value();
+            let mut low = 0u64;
+            for i in 0..16 {
+                let bit = reconstruct(ms.iter().map(|m| m.bits[i])).value();
+                assert!(bit <= 1);
+                low |= bit << i;
+            }
+            assert_eq!(r, (r_high << 16) + low, "r = r_high·2^16 + r_low");
+        }
+    }
+
+    #[test]
+    fn trunc_pair_structure() {
+        let cfg = FixedConfig::default();
+        let mut cs = clients(3);
+        for _ in 0..10 {
+            let ps: Vec<(Fp, Fp)> = cs.iter_mut().map(|c| c.trunc_pair(16, &cfg)).collect();
+            let r = reconstruct(ps.iter().map(|p| p.0)).value();
+            let high = reconstruct(ps.iter().map(|p| p.1)).value();
+            assert_eq!(r >> 16, high, "high part matches");
+            assert!(high < 1 << (cfg.int_bits + cfg.kappa - 16));
+        }
+    }
+
+    #[test]
+    fn streams_identical_across_parties() {
+        // Two independent sets of clients with the same seed produce the
+        // same reconstructed values.
+        let mut a = clients(2);
+        let mut b = clients(2);
+        let ta: Vec<TripleShare> = a.iter_mut().map(|c| c.triple()).collect();
+        let tb: Vec<TripleShare> = b.iter_mut().map(|c| c.triple()).collect();
+        assert_eq!(
+            reconstruct(ta.iter().map(|t| t.a)),
+            reconstruct(tb.iter().map(|t| t.a))
+        );
+    }
+
+    #[test]
+    fn unit_fraction_in_range() {
+        let cfg = FixedConfig::default();
+        let mut cs = clients(2);
+        for _ in 0..20 {
+            let shares: Vec<Fp> =
+                cs.iter_mut().map(|c| c.random_unit_fraction(&cfg)).collect();
+            let v = reconstruct(shares).value();
+            assert!(v < 1 << cfg.frac_bits);
+        }
+    }
+}

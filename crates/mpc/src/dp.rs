@@ -1,0 +1,117 @@
+//! Differential privacy inside MPC (paper §9.2): secretly shared Laplace
+//! sampling (Algorithm 5) and exponential-mechanism selection (Algorithm 6).
+//! No party ever sees the plaintext noise or the sampled index.
+
+use crate::engine::MpcEngine;
+use crate::field::Fp;
+use crate::share::Share;
+
+/// Algorithm 5: sample `⟨X⟩ ~ Laplace(mu, b)` in secret-shared form.
+///
+/// Follows the paper exactly: draw uniform `⟨U⟩ ∈ (−1/2, 1/2)`, extract the
+/// sign and magnitude with secure comparison/selection, and apply the
+/// inverse CDF `X = µ − b · sgn(U) · ln(1 − 2|U|)`.
+pub fn laplace_sample(engine: &mut MpcEngine<'_>, mu: f64, b: f64) -> Share {
+    laplace_sample_vec(engine, mu, b, 1)[0]
+}
+
+/// Vectorized Algorithm 5: `count` independent Laplace samples.
+pub fn laplace_sample_vec(
+    engine: &mut MpcEngine<'_>,
+    mu: f64,
+    b: f64,
+    count: usize,
+) -> Vec<Share> {
+    let party = engine.party();
+    let cfg = engine.cfg;
+    let half = cfg.encode(0.5);
+    // U = u − 1/2 with u uniform in [0, 1) from the offline phase.
+    let u: Vec<Share> = (0..count)
+        .map(|_| {
+            let frac = engine.dealer_mut().random_unit_fraction(&cfg);
+            Share(frac).sub_public(party, half)
+        })
+        .collect();
+
+    // ⟨Us⟩ = sign, ⟨Ua⟩ = |U| (lines 2–8 of Algorithm 5).
+    let neg = engine.ltz_vec(&u); // 1 iff U < 0
+    let minus_u: Vec<Share> = u.iter().map(|&x| -x).collect();
+    let ua = engine.select_vec(&neg, &minus_u, &u);
+
+    // ln(1 − 2·Ua); the argument lies in (0, 1]. Add one ulp so the series
+    // never sees an exact zero.
+    let one = engine.cfg.encode(1.0);
+    let args: Vec<Share> = ua
+        .iter()
+        .map(|&a| {
+            (Share::from_public(party, one) - a.scale(Fp::new(2)))
+                .add_public(party, Fp::ONE)
+        })
+        .collect();
+    let lns = engine.ln_unit_vec(&args);
+
+    // Us = 1 − 2·neg ∈ {−1, +1} (integer-valued share), X = µ − b·Us·ln(...).
+    let us: Vec<Share> = neg
+        .iter()
+        .map(|&s| Share::from_public(party, Fp::ONE) - s.scale(Fp::new(2)))
+        .collect();
+    let signed_ln = engine.mul_vec(&us, &lns); // integer × fixed → scale f
+    let scaled = engine.fixscale_vec(&signed_ln, b);
+    let mu_enc = engine.cfg.encode(mu);
+    scaled
+        .into_iter()
+        .map(|t| (-t).add_public(party, mu_enc))
+        .collect()
+}
+
+/// Algorithm 6: select a secretly shared index from `scores` with the
+/// exponential mechanism (`Pr[r] ∝ exp(ε·score_r / 2Δ)`).
+///
+/// Returns `⟨index⟩`. Uses the max-shift form of the softmax so the
+/// normalizing sum stays in `[1, R]` for the secure reciprocal.
+pub fn exponential_mechanism(
+    engine: &mut MpcEngine<'_>,
+    scores: &[Share],
+    epsilon: f64,
+    sensitivity: f64,
+) -> Share {
+    let r = scores.len();
+    assert!(r >= 1, "need at least one candidate");
+    let party = engine.party();
+
+    // Scaled scores ε·s/(2Δ) (public scaling), then probabilities via the
+    // shifted secure softmax (lines 1–2 of Algorithm 6, with the standard
+    // max-shift so the sum is at least 1).
+    let scale = epsilon / (2.0 * sensitivity);
+    let scaled = engine.fixscale_vec(scores, scale);
+    let probs = engine.softmax_rows(&scaled, r);
+
+    // Cumulative distribution F_r (line 5–7; linear, no communication).
+    let mut cums = Vec::with_capacity(r);
+    let mut acc = Share::ZERO;
+    for &p in &probs {
+        acc = acc + p;
+        cums.push(acc);
+    }
+
+    // Uniform ⟨U⟩ ∈ [0, 1) and the interval test (lines 8–14).
+    let cfg = engine.cfg;
+    let u = Share(engine.dealer_mut().random_unit_fraction(&cfg));
+    // b_j = 1[U < F_j]; the selected index is Σ_j j·(b_j − b_{j−1}), which
+    // is linear in the b_j: Σ_j j·b_j − Σ_j j·b_{j-1} = Σ_j (j)·b_j − (j+1)·b_j + (R−1)·b_{R−1}…
+    // equivalently index = (R−1) − Σ_{j<R−1} b_j  …because b is a step
+    // function: b_j = 1 exactly for j ≥ selected index.
+    let diffs: Vec<Share> = cums.iter().map(|&f| u - f).collect();
+    let bs = engine.ltz_vec(&diffs); // b_j = 1[U < F_j]
+    let mut index = Share::from_public(party, Fp::new(r as u64 - 1));
+    for b in bs.iter().take(r - 1) {
+        index = index - *b;
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    // End-to-end DP tests need multiple parties; they live in the crate's
+    // integration tests (tests/engine.rs) where a party harness exists.
+}

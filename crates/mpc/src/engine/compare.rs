@@ -1,0 +1,235 @@
+//! Comparison protocols: exact `mod 2^t`, sign extraction (LTZ), selection,
+//! equality against public constants, and secure argmax — the machinery
+//! behind the paper's "secure comparison" (`Cc`) operations.
+//!
+//! The construction is Catrina–de Hoogh style: open a statistically masked
+//! value, compare the public low bits against dealer-supplied shared bits
+//! (`BitLT`), and correct the wrap. Everything is vectorized: one `ltz_vec`
+//! call performs the whole batch in `O(t)` rounds regardless of batch size.
+
+use super::MpcEngine;
+use crate::field::Fp;
+use crate::share::Share;
+
+impl MpcEngine<'_> {
+    /// Exact `y mod 2^t` for shared `y` guaranteed in `[0, 2^int_bits)`.
+    pub fn mod2m_vec(&mut self, y: &[Share], t: u32) -> Vec<Share> {
+        let n = y.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let party = self.party();
+        let cfg = self.cfg;
+        let masks: Vec<_> = (0..n).map(|_| self.dealer_mut().masked_bits(t, &cfg)).collect();
+        let masked: Vec<Share> =
+            y.iter().zip(&masks).map(|(&x, m)| x + Share(m.r)).collect();
+        let opened = self.open_vec(&masked);
+
+        // Public low parts and the BitLT against the shared bits of r_low.
+        let low_mask = (1u64 << t) - 1;
+        let c_lows: Vec<u64> = opened.iter().map(|c| c.value() & low_mask).collect();
+        let bit_rows: Vec<&[Fp]> = masks.iter().map(|m| m.bits.as_slice()).collect();
+        let wraps = self.bitlt_pub(&c_lows, &bit_rows, t);
+
+        c_lows
+            .iter()
+            .zip(&masks)
+            .zip(wraps)
+            .map(|((&c_low, m), wrap)| {
+                // r_low as a share: Σ bits_i · 2^i (local).
+                let mut r_low = Share::ZERO;
+                for (i, &b) in m.bits.iter().enumerate() {
+                    r_low = r_low + Share(b).scale(Fp::pow2(i as u32));
+                }
+                // y mod 2^t = c_low − r_low + wrap·2^t.
+                (Share::from_public(party, Fp::new(c_low)) - r_low)
+                    + wrap.scale(Fp::pow2(t))
+            })
+            .collect()
+    }
+
+    /// Batched `BitLT`: for each row, the shared bit `1[a < b]` where `a` is
+    /// public (`t` bits) and `b` is given by shared bits (LSB first).
+    ///
+    /// `O(t)` rounds for the entire batch.
+    fn bitlt_pub(&mut self, pub_vals: &[u64], shared_bits: &[&[Fp]], t: u32) -> Vec<Share> {
+        let n = pub_vals.len();
+        let t = t as usize;
+        // d_i = a_i XOR b_i, linear because a_i is public.
+        // Row-major layout: d[row][bit].
+        let mut d = vec![vec![Share::ZERO; t]; n];
+        for (row, (&a, bits)) in pub_vals.iter().zip(shared_bits).enumerate() {
+            assert_eq!(bits.len(), t);
+            for i in 0..t {
+                let b = Share(bits[i]);
+                d[row][i] = if (a >> i) & 1 == 1 {
+                    // 1 ⊕ b = 1 − b
+                    Share::from_public(self.party(), Fp::ONE) - b
+                } else {
+                    b
+                };
+            }
+        }
+        // Prefix OR from the MSB down: p_i = p_{i+1} ∨ d_i.
+        // p[row][i] = OR of d[row][i..t); computed in t−1 batched rounds.
+        let mut p = vec![vec![Share::ZERO; t]; n];
+        for row in 0..n {
+            p[row][t - 1] = d[row][t - 1];
+        }
+        for i in (0..t - 1).rev() {
+            // x ∨ y = x + y − x·y, batched across rows.
+            let xs: Vec<Share> = (0..n).map(|r| p[r][i + 1]).collect();
+            let ys: Vec<Share> = (0..n).map(|r| d[r][i]).collect();
+            let prods = self.mul_vec(&xs, &ys);
+            for row in 0..n {
+                p[row][i] = xs[row] + ys[row] - prods[row];
+            }
+        }
+        // g_i = p_i − p_{i+1} marks the most significant differing bit;
+        // result = Σ g_i·b_i (at that bit a≠b, so b_i = 1 ⟺ a < b).
+        let mut gs = Vec::with_capacity(n * t);
+        let mut bs = Vec::with_capacity(n * t);
+        for (row, bits) in shared_bits.iter().enumerate() {
+            for i in 0..t {
+                let g = if i == t - 1 { p[row][i] } else { p[row][i] - p[row][i + 1] };
+                gs.push(g);
+                bs.push(Share(bits[i]));
+            }
+        }
+        let prods = self.mul_vec(&gs, &bs);
+        (0..n)
+            .map(|row| {
+                prods[row * t..(row + 1) * t]
+                    .iter()
+                    .fold(Share::ZERO, |acc, &x| acc + x)
+            })
+            .collect()
+    }
+
+    /// Exact sign test: `1[x < 0]` for signed `x` with `|x| < 2^(k−1)`.
+    /// `O(int_bits)` rounds for the whole batch.
+    pub fn ltz_vec(&mut self, x: &[Share]) -> Vec<Share> {
+        let n = x.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.bump_comparisons(n as u64);
+        let k = self.cfg.int_bits;
+        let party = self.party();
+        // y = x + 2^(k−1) ∈ [0, 2^k); sign(x) = 1 − bit_{k−1}(y).
+        let y: Vec<Share> =
+            x.iter().map(|&v| v.add_public(party, Fp::pow2(k - 1))).collect();
+        let low = self.mod2m_vec(&y, k - 1);
+        let inv = Fp::inv_pow2(k - 1);
+        y.iter()
+            .zip(low)
+            .map(|(&yv, l)| {
+                let high_bit = (yv - l).scale(inv); // exact division by 2^(k−1)
+                Share::from_public(party, Fp::ONE) - high_bit
+            })
+            .collect()
+    }
+
+    /// `1[a < b]` element-wise.
+    pub fn lt_vec(&mut self, a: &[Share], b: &[Share]) -> Vec<Share> {
+        let diff: Vec<Share> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+        self.ltz_vec(&diff)
+    }
+
+    /// Oblivious select: `cond·a + (1−cond)·b` element-wise (`cond ∈ {0,1}`).
+    /// One multiplication round.
+    pub fn select_vec(&mut self, cond: &[Share], a: &[Share], b: &[Share]) -> Vec<Share> {
+        assert_eq!(cond.len(), a.len());
+        assert_eq!(a.len(), b.len());
+        let diff: Vec<Share> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+        let gated = self.mul_vec(cond, &diff);
+        gated.into_iter().zip(b).map(|(g, &y)| y + g).collect()
+    }
+
+    /// One-hot expansion of a shared index over `0..domain`:
+    /// `eq_j = 1 − 1[idx < j] − 1[j < idx]` (linear after one batched LTZ).
+    pub fn onehot_vec(&mut self, idx: Share, domain: usize) -> Vec<Share> {
+        let party = self.party();
+        // Concatenate idx−j and j−idx into one LTZ batch.
+        let mut batch = Vec::with_capacity(2 * domain);
+        for j in 0..domain {
+            batch.push(idx.sub_public(party, Fp::new(j as u64)));
+        }
+        for j in 0..domain {
+            batch.push(Share::from_public(party, Fp::new(j as u64)) - idx);
+        }
+        let signs = self.ltz_vec(&batch);
+        (0..domain)
+            .map(|j| {
+                Share::from_public(party, Fp::ONE) - signs[j] - signs[domain + j]
+            })
+            .collect()
+    }
+
+    /// Secure argmax by pairwise tournament: returns `(⟨index⟩, ⟨max⟩)`.
+    /// `O(log n)` comparison batches.
+    pub fn argmax(&mut self, vals: &[Share]) -> (Share, Share) {
+        assert!(!vals.is_empty(), "argmax of empty vector");
+        let party = self.party();
+        let mut idx: Vec<Share> = (0..vals.len())
+            .map(|j| Share::from_public(party, Fp::new(j as u64)))
+            .collect();
+        let mut cur: Vec<Share> = vals.to_vec();
+        while cur.len() > 1 {
+            let pairs = cur.len() / 2;
+            let a_vals: Vec<Share> = (0..pairs).map(|i| cur[2 * i]).collect();
+            let b_vals: Vec<Share> = (0..pairs).map(|i| cur[2 * i + 1]).collect();
+            // sel = 1[a < b] → winner is b; ties keep the earlier element
+            // `a`, matching the plaintext argmax and the sequential scan.
+            let sel = self.lt_vec(&a_vals, &b_vals);
+            // Batch value- and index-selection into one multiplication round.
+            let mut conds = Vec::with_capacity(2 * pairs);
+            let mut xs = Vec::with_capacity(2 * pairs);
+            let mut ys = Vec::with_capacity(2 * pairs);
+            for i in 0..pairs {
+                conds.push(sel[i]);
+                xs.push(b_vals[i]);
+                ys.push(a_vals[i]);
+            }
+            for i in 0..pairs {
+                conds.push(sel[i]);
+                xs.push(idx[2 * i + 1]);
+                ys.push(idx[2 * i]);
+            }
+            let chosen = self.select_vec(&conds, &xs, &ys);
+            let mut next_vals: Vec<Share> = chosen[..pairs].to_vec();
+            let mut next_idx: Vec<Share> = chosen[pairs..].to_vec();
+            if cur.len() % 2 == 1 {
+                next_vals.push(*cur.last().expect("odd leftover"));
+                next_idx.push(*idx.last().expect("odd leftover"));
+            }
+            cur = next_vals;
+            idx = next_idx;
+        }
+        (idx[0], cur[0])
+    }
+
+    /// Paper-faithful sequential secure maximum (§4.1): scans splits one by
+    /// one, updating `⟨gain_max⟩` and the identifier with secure selects.
+    /// `O(n)` comparison rounds — kept for the ablation benchmarks.
+    pub fn argmax_sequential(&mut self, vals: &[Share]) -> (Share, Share) {
+        assert!(!vals.is_empty(), "argmax of empty vector");
+        let party = self.party();
+        // Initialize with ⟨−1⟩ like Algorithm 3's description.
+        let mut best_val = Share::from_public(party, Fp::from_i64(-1));
+        let mut best_idx = Share::from_public(party, Fp::from_i64(-1));
+        for (j, &v) in vals.iter().enumerate() {
+            let sign = self.lt_vec(&[best_val], &[v])[0]; // 1 if v is better
+            let j_share = Share::from_public(party, Fp::new(j as u64));
+            let chosen = self.select_vec(&[sign, sign], &[v, j_share], &[best_val, best_idx]);
+            best_val = chosen[0];
+            best_idx = chosen[1];
+        }
+        (best_idx, best_val)
+    }
+
+    /// Secure maximum value only.
+    pub fn max_vec(&mut self, vals: &[Share]) -> Share {
+        self.argmax(vals).1
+    }
+}

@@ -1,0 +1,257 @@
+//! The online MPC engine: one instance per party, driving SPMD protocols
+//! over a [`pivot_transport::Endpoint`].
+//!
+//! Every collective method must be called by **all** parties in the same
+//! order with equal vector lengths — exactly the programming model of the
+//! SPDZ virtual machine the paper runs on.
+
+mod arith;
+mod compare;
+
+use crate::dealer::DealerClient;
+use crate::field::Fp;
+use crate::fixed::FixedConfig;
+use crate::share::Share;
+use pivot_transport::Endpoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operation counters backing the paper's Table 2 cost model
+/// (`Cs` = secure ops, `Cc` = secure comparisons).
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// Communication rounds executed.
+    pub rounds: AtomicU64,
+    /// Beaver multiplications (vector elements, not rounds).
+    pub multiplications: AtomicU64,
+    /// Secure comparisons (vector elements).
+    pub comparisons: AtomicU64,
+    /// Values opened.
+    pub openings: AtomicU64,
+}
+
+impl OpCounters {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.rounds.load(Ordering::Relaxed),
+            self.multiplications.load(Ordering::Relaxed),
+            self.comparisons.load(Ordering::Relaxed),
+            self.openings.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Per-party online engine.
+pub struct MpcEngine<'a> {
+    ep: &'a Endpoint,
+    dealer: DealerClient,
+    /// Fixed-point layout shared by all parties.
+    pub cfg: FixedConfig,
+    counters: OpCounters,
+    /// Private randomness (per party, for input sharing).
+    rng: StdRng,
+}
+
+impl<'a> MpcEngine<'a> {
+    /// Create the engine. `dealer_seed` must match across parties (it keys
+    /// the simulated offline phase); private randomness is derived from the
+    /// party id and entropy.
+    pub fn new(ep: &'a Endpoint, dealer_seed: u64, cfg: FixedConfig) -> Self {
+        cfg.assert_valid();
+        let dealer = DealerClient::new(dealer_seed, ep.id(), ep.parties());
+        let rng = StdRng::seed_from_u64(
+            dealer_seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(ep.id() as u64 + 1),
+        );
+        MpcEngine { ep, dealer, cfg, counters: OpCounters::default(), rng }
+    }
+
+    /// This party's id.
+    pub fn party(&self) -> usize {
+        self.ep.id()
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.ep.parties()
+    }
+
+    /// The transport endpoint (for protocol layers that mix MPC with other
+    /// messaging, e.g. the TPHE↔MPC conversions of Algorithm 2).
+    pub fn endpoint(&self) -> &Endpoint {
+        self.ep
+    }
+
+    /// The offline-phase client.
+    pub fn dealer_mut(&mut self) -> &mut DealerClient {
+        &mut self.dealer
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Share of a public constant (no communication).
+    pub fn constant(&self, v: Fp) -> Share {
+        Share::from_public(self.party(), v)
+    }
+
+    /// Encode a public real as a constant share.
+    pub fn constant_f64(&self, x: f64) -> Share {
+        self.constant(self.cfg.encode(x))
+    }
+
+    // ------------------------------------------------------------------
+    // Input sharing and opening
+    // ------------------------------------------------------------------
+
+    /// Secret-share private inputs held by `owner`. The owner passes
+    /// `Some(values)`, everyone else `None`; all parties receive their share
+    /// vector. One round.
+    pub fn share_input(&mut self, owner: usize, values: Option<&[Fp]>) -> Vec<Share> {
+        let my_shares: Vec<Fp> = if self.party() == owner {
+            let values = values.expect("owner must supply inputs");
+            let m = self.parties();
+            // Build per-party share vectors.
+            let mut per_party: Vec<Vec<Fp>> = vec![Vec::with_capacity(values.len()); m];
+            for &v in values {
+                let mut acc = Fp::ZERO;
+                for party_shares in per_party.iter_mut().take(m - 1) {
+                    let r = Fp::new(self.rng.gen_range(0..crate::field::MODULUS));
+                    party_shares.push(r);
+                    acc += r;
+                }
+                per_party[m - 1].push(v - acc);
+            }
+            for (to, shares) in per_party.iter().enumerate() {
+                if to != owner {
+                    self.ep.send(to, shares);
+                }
+            }
+            per_party.swap_remove(owner)
+        } else {
+            assert!(values.is_none(), "non-owner must not supply inputs");
+            self.ep.recv(owner)
+        };
+        OpCounters::bump(&self.counters.rounds, 1);
+        my_shares.into_iter().map(Share).collect()
+    }
+
+    /// Open a vector of shares to all parties. One round.
+    pub fn open_vec(&mut self, shares: &[Share]) -> Vec<Fp> {
+        let mine: Vec<Fp> = shares.iter().map(|s| s.0).collect();
+        let all = self.ep.exchange_all(&mine);
+        OpCounters::bump(&self.counters.rounds, 1);
+        OpCounters::bump(&self.counters.openings, shares.len() as u64);
+        let mut out = vec![Fp::ZERO; shares.len()];
+        for party_vec in &all {
+            assert_eq!(party_vec.len(), shares.len(), "open length mismatch");
+            for (acc, &v) in out.iter_mut().zip(party_vec) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// Open a single share.
+    pub fn open(&mut self, share: Share) -> Fp {
+        self.open_vec(&[share])[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Multiplication (Beaver) and truncation
+    // ------------------------------------------------------------------
+
+    /// Element-wise secure multiplication. One round.
+    pub fn mul_vec(&mut self, a: &[Share], b: &[Share]) -> Vec<Share> {
+        assert_eq!(a.len(), b.len(), "mul_vec length mismatch");
+        let n = a.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let triples = self.dealer.triples(n);
+        // e = a - ta, f = b - tb, opened together in one round.
+        let mut masked = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            masked.push(a[i] - Share(triples[i].a));
+        }
+        for i in 0..n {
+            masked.push(b[i] - Share(triples[i].b));
+        }
+        let opened = self.open_vec(&masked);
+        OpCounters::bump(&self.counters.multiplications, n as u64);
+        let party = self.party();
+        (0..n)
+            .map(|i| {
+                let e = opened[i];
+                let f = opened[n + i];
+                // z = c + e·⟨b⟩ + f·⟨a⟩ + e·f (public part at party 0).
+                let z = Share(triples[i].c)
+                    + Share(triples[i].b).scale(e)
+                    + Share(triples[i].a).scale(f);
+                z.add_public(party, e * f)
+            })
+            .collect()
+    }
+
+    /// Secure multiplication of two scalars.
+    pub fn mul(&mut self, a: Share, b: Share) -> Share {
+        self.mul_vec(&[a], &[b])[0]
+    }
+
+    /// Probabilistic truncation by `t` bits (±1 ulp error, 1 round).
+    ///
+    /// Inputs must be signed values of magnitude below `2^(int_bits - 1)`.
+    pub fn trunc_vec(&mut self, v: &[Share], t: u32) -> Vec<Share> {
+        let n = v.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = self.cfg.int_bits;
+        assert!(t < k, "truncation by {t} exceeds {k}-bit layout");
+        let offset = Fp::pow2(k - 1);
+        let party = self.party();
+        let pairs: Vec<(Fp, Fp)> = (0..n).map(|_| self.dealer.trunc_pair(t, &self.cfg)).collect();
+        let masked: Vec<Share> = v
+            .iter()
+            .zip(&pairs)
+            .map(|(&x, &(r, _))| (x + Share(r)).add_public(party, offset))
+            .collect();
+        let opened = self.open_vec(&masked);
+        opened
+            .iter()
+            .zip(&pairs)
+            .map(|(&c, &(_, r_high))| {
+                // c = (v + 2^(k-1)) + r exactly over the integers (no wrap),
+                // so c >> t = r_high + (v + 2^(k-1)) >> t + {0,1}.
+                let c_shift = Fp::new(c.value() >> t);
+                (Share::from_public(party, c_shift) - Share(r_high))
+                    .sub_public(party, Fp::pow2(k - 1 - t))
+            })
+            .collect()
+    }
+
+    /// Fixed-point multiplication: multiply then truncate the extra scale.
+    /// Two rounds.
+    pub fn fixmul_vec(&mut self, a: &[Share], b: &[Share]) -> Vec<Share> {
+        let prod = self.mul_vec(a, b);
+        self.trunc_vec(&prod, self.cfg.frac_bits)
+    }
+
+    /// Fixed-point scalar multiplication by a public real (local scale, then
+    /// one truncation round).
+    pub fn fixscale_vec(&mut self, a: &[Share], c: f64) -> Vec<Share> {
+        let enc = self.cfg.encode(c);
+        let scaled: Vec<Share> = a.iter().map(|&x| x.scale(enc)).collect();
+        self.trunc_vec(&scaled, self.cfg.frac_bits)
+    }
+
+    pub(crate) fn bump_comparisons(&self, n: u64) {
+        OpCounters::bump(&self.counters.comparisons, n);
+    }
+}

@@ -1,0 +1,173 @@
+//! Additive shares and their free (local) linear algebra.
+
+use crate::field::Fp;
+use pivot_transport::wire::{Wire, WireError};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// One party's additive share of a secret field element: the paper's `⟨a⟩ᵢ`.
+///
+/// Linear operations (addition, subtraction, multiplication by a public
+/// constant) are local; anything else goes through [`crate::MpcEngine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Share(pub Fp);
+
+impl Share {
+    /// The all-parties share of the public constant zero.
+    pub const ZERO: Share = Share(Fp::ZERO);
+
+    /// Share of a public constant: party 0 holds the value, others hold 0.
+    /// (Every party must call this with the same constant.)
+    pub fn from_public(party: usize, value: Fp) -> Share {
+        if party == 0 {
+            Share(value)
+        } else {
+            Share(Fp::ZERO)
+        }
+    }
+
+    /// Add a public constant (party 0 adjusts its share).
+    pub fn add_public(self, party: usize, value: Fp) -> Share {
+        if party == 0 {
+            Share(self.0 + value)
+        } else {
+            self
+        }
+    }
+
+    /// Subtract a public constant.
+    pub fn sub_public(self, party: usize, value: Fp) -> Share {
+        if party == 0 {
+            Share(self.0 - value)
+        } else {
+            self
+        }
+    }
+
+    /// Multiply by a public constant (local for every party).
+    pub fn scale(self, c: Fp) -> Share {
+        Share(self.0 * c)
+    }
+}
+
+impl Add for Share {
+    type Output = Share;
+    fn add(self, rhs: Share) -> Share {
+        Share(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Share {
+    type Output = Share;
+    fn sub(self, rhs: Share) -> Share {
+        Share(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Share {
+    type Output = Share;
+    fn neg(self) -> Share {
+        Share(-self.0)
+    }
+}
+
+impl Mul<Fp> for Share {
+    type Output = Share;
+    fn mul(self, rhs: Fp) -> Share {
+        self.scale(rhs)
+    }
+}
+
+impl Wire for Share {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Share(Fp::decode(buf)?))
+    }
+}
+
+/// Element-wise addition of share vectors.
+pub fn add_vec(a: &[Share], b: &[Share]) -> Vec<Share> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Element-wise subtraction of share vectors.
+pub fn sub_vec(a: &[Share], b: &[Share]) -> Vec<Share> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Scale a share vector by a public constant.
+pub fn scale_vec(a: &[Share], c: Fp) -> Vec<Share> {
+    a.iter().map(|&x| x.scale(c)).collect()
+}
+
+/// Local sum of a share vector (share of the sum of secrets).
+pub fn sum_shares(a: &[Share]) -> Share {
+    a.iter().fold(Share::ZERO, |acc, &x| acc + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Split a secret into `m` additive shares (test helper).
+    fn split(secret: Fp, m: usize, seed: u64) -> Vec<Share> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shares: Vec<Share> =
+            (0..m - 1).map(|_| Share(Fp::new(rng.gen::<u64>()))).collect();
+        let partial = shares.iter().fold(Fp::ZERO, |acc, s| acc + s.0);
+        shares.push(Share(secret - partial));
+        shares
+    }
+
+    fn reconstruct(shares: &[Share]) -> Fp {
+        shares.iter().fold(Fp::ZERO, |acc, s| acc + s.0)
+    }
+
+    #[test]
+    fn split_reconstruct() {
+        let secret = Fp::new(123456);
+        let shares = split(secret, 4, 1);
+        assert_eq!(reconstruct(&shares), secret);
+    }
+
+    #[test]
+    fn linear_ops_commute_with_reconstruction() {
+        let a = Fp::new(100);
+        let b = Fp::new(999);
+        let sa = split(a, 3, 2);
+        let sb = split(b, 3, 3);
+        let sum: Vec<Share> = add_vec(&sa, &sb);
+        assert_eq!(reconstruct(&sum), a + b);
+        let diff = sub_vec(&sa, &sb);
+        assert_eq!(reconstruct(&diff), a - b);
+        let scaled = scale_vec(&sa, Fp::new(7));
+        assert_eq!(reconstruct(&scaled), a * Fp::new(7));
+    }
+
+    #[test]
+    fn public_constant_shares() {
+        let shares: Vec<Share> =
+            (0..3).map(|p| Share::from_public(p, Fp::new(42))).collect();
+        assert_eq!(reconstruct(&shares), Fp::new(42));
+        let adjusted: Vec<Share> =
+            shares.iter().enumerate().map(|(p, s)| s.add_public(p, Fp::new(8))).collect();
+        assert_eq!(reconstruct(&adjusted), Fp::new(50));
+    }
+
+    #[test]
+    fn sum_of_share_vector() {
+        let secrets = [Fp::new(1), Fp::new(2), Fp::new(3)];
+        let per_party: Vec<Vec<Share>> =
+            (0..3).map(|i| split(secrets[i], 2, 10 + i as u64)).collect();
+        // Party p's vector of shares across the 3 secrets:
+        let party0: Vec<Share> = per_party.iter().map(|s| s[0]).collect();
+        let party1: Vec<Share> = per_party.iter().map(|s| s[1]).collect();
+        let total = sum_shares(&party0) + sum_shares(&party1);
+        assert_eq!(total.0, Fp::new(6));
+    }
+}

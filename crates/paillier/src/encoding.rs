@@ -1,0 +1,146 @@
+//! Signed fixed-point encoding of real values into the Paillier plaintext
+//! space, matching the paper's "we convert the floating point datasets into
+//! fixed-point integer representation" (§8).
+//!
+//! A real `x` is encoded as `round(x · 2^f) mod N`; negative values wrap to
+//! the upper half of `Z_N`, and decoding treats anything above `N/2` as
+//! negative. After a homomorphic multiplication by another encoded value the
+//! scale doubles — [`FixedPointCodec::decode_f64_scaled`] takes the scale
+//! level explicitly.
+
+use crate::PublicKey;
+use pivot_bignum::BigUint;
+
+/// Default number of fractional bits used across the Pivot reproduction.
+pub const DEFAULT_PRECISION: u32 = 16;
+
+/// Encoder/decoder between `f64`/`i64` and `Z_N`.
+#[derive(Clone)]
+pub struct FixedPointCodec {
+    n: BigUint,
+    half_n: BigUint,
+    /// Fractional bits.
+    pub precision: u32,
+}
+
+impl FixedPointCodec {
+    /// Codec bound to a public key's plaintext space.
+    pub fn new(pk: &PublicKey, precision: u32) -> Self {
+        FixedPointCodec { n: pk.n().clone(), half_n: pk.half_n().clone(), precision }
+    }
+
+    /// Codec with the default precision.
+    pub fn with_default(pk: &PublicKey) -> Self {
+        Self::new(pk, DEFAULT_PRECISION)
+    }
+
+    /// Encode a signed integer (no fractional scaling).
+    pub fn encode_i64(&self, v: i64) -> BigUint {
+        if v >= 0 {
+            BigUint::from_u64(v as u64)
+        } else {
+            &self.n - &BigUint::from_u64(v.unsigned_abs())
+        }
+    }
+
+    /// Decode to a signed integer (values above `N/2` are negative).
+    pub fn decode_i64(&self, v: &BigUint) -> i64 {
+        if v > &self.half_n {
+            let mag = &self.n - v;
+            -(mag.to_u64().expect("magnitude fits i64") as i64)
+        } else {
+            v.to_u64().expect("value fits i64") as i64
+        }
+    }
+
+    /// Decode to a signed i128 (for products of two encoded i64).
+    pub fn decode_i128(&self, v: &BigUint) -> i128 {
+        if v > &self.half_n {
+            let mag = &self.n - v;
+            -(mag.to_u128().expect("magnitude fits i128") as i128)
+        } else {
+            v.to_u128().expect("value fits i128") as i128
+        }
+    }
+
+    /// Encode a real with `precision` fractional bits.
+    pub fn encode_f64(&self, x: f64) -> BigUint {
+        assert!(x.is_finite(), "cannot encode NaN/inf");
+        let scaled = (x * (1u64 << self.precision) as f64).round();
+        self.encode_i64(scaled as i64)
+    }
+
+    /// Decode a real at scale level 1 (one factor of `2^f`).
+    pub fn decode_f64(&self, v: &BigUint) -> f64 {
+        self.decode_f64_scaled(v, 1)
+    }
+
+    /// Decode a real whose scale is `2^(f·levels)` — after `levels - 1`
+    /// homomorphic multiplications of encoded values.
+    pub fn decode_f64_scaled(&self, v: &BigUint, levels: u32) -> f64 {
+        let signed = self.decode_i128(v);
+        signed as f64 / 2f64.powi((self.precision * levels) as i32)
+    }
+
+    /// The plaintext modulus this codec reduces into.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn codec() -> FixedPointCodec {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = keygen(&mut rng, 128);
+        FixedPointCodec::with_default(&kp.pk)
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        let c = codec();
+        for v in [0i64, 1, -1, 42, -42, i32::MAX as i64, -(1 << 40)] {
+            assert_eq!(c.decode_i64(&c.encode_i64(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_within_precision() {
+        let c = codec();
+        for v in [0.0f64, 1.5, -2.25, 3.140625, -100.001, 65535.9] {
+            let decoded = c.decode_f64(&c.encode_f64(v));
+            assert!((decoded - v).abs() < 1e-4, "value {v} decoded {decoded}");
+        }
+    }
+
+    #[test]
+    fn additive_homomorphism_of_encoding() {
+        // encode(a) + encode(b) mod N decodes to a + b (same scale).
+        let c = codec();
+        let a = c.encode_f64(1.5);
+        let b = c.encode_f64(-0.75);
+        let sum = (&a + &b).rem_of(c.modulus());
+        assert!((c.decode_f64(&sum) - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scaled_decode_after_product() {
+        // encode(a) * encode(b) mod N decodes at level 2 to a*b.
+        let c = codec();
+        let a = c.encode_f64(3.0);
+        let b = c.encode_f64(-1.25);
+        let prod = (&a * &b).rem_of(c.modulus());
+        assert!((c.decode_f64_scaled(&prod, 2) - -3.75).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        codec().encode_f64(f64::NAN);
+    }
+}

@@ -1,0 +1,133 @@
+//! The Paillier public key and encryption.
+
+use crate::Ciphertext;
+use pivot_bignum::{rng as brng, BigUint, Montgomery};
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Paillier public key `(N, g = N+1)` with a shared Montgomery context for
+/// `N²` (the hot path of every homomorphic operation).
+///
+/// Cloning is cheap (`Arc` inside); the key is `Send + Sync` so all client
+/// threads share one context.
+#[derive(Clone)]
+pub struct PublicKey {
+    inner: Arc<PkInner>,
+}
+
+struct PkInner {
+    n: BigUint,
+    n2: BigUint,
+    half_n: BigUint,
+    mont_n2: Montgomery,
+}
+
+impl PublicKey {
+    /// Build a public key from the modulus `N`.
+    pub fn from_n(n: BigUint) -> Self {
+        assert!(n.is_odd() && n.bits() >= 16, "implausible Paillier modulus");
+        let n2 = &n * &n;
+        let half_n = n.shr_bits(1);
+        let mont_n2 = Montgomery::new(&n2);
+        PublicKey { inner: Arc::new(PkInner { n, n2, half_n, mont_n2 }) }
+    }
+
+    /// The modulus `N` (also the plaintext space size).
+    pub fn n(&self) -> &BigUint {
+        &self.inner.n
+    }
+
+    /// `N²` — the ciphertext space modulus.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.inner.n2
+    }
+
+    /// `⌊N/2⌋`, the signed-encoding boundary.
+    pub fn half_n(&self) -> &BigUint {
+        &self.inner.half_n
+    }
+
+    /// Montgomery context modulo `N²`.
+    pub(crate) fn mont(&self) -> &Montgomery {
+        &self.inner.mont_n2
+    }
+
+    /// Bits of `N` (the paper's "keysize").
+    pub fn keysize(&self) -> u32 {
+        self.inner.n.bits()
+    }
+
+    /// Encrypt a plaintext in `[0, N)`.
+    ///
+    /// `c = (1+N)^x · r^N mod N²`, using the binomial identity
+    /// `(1+N)^x ≡ 1 + xN (mod N²)` so only one exponentiation (`r^N`) is paid.
+    pub fn encrypt<R: Rng + ?Sized>(&self, x: &BigUint, rng: &mut R) -> Ciphertext {
+        let r = brng::gen_coprime(rng, self.n());
+        self.encrypt_with(x, &r)
+    }
+
+    /// Encrypt with caller-supplied randomness (used by ZKP provers and
+    /// deterministic tests).
+    pub fn encrypt_with(&self, x: &BigUint, r: &BigUint) -> Ciphertext {
+        let x = x.rem_of(self.n());
+        // (1+N)^x = 1 + xN mod N²
+        let gx = (BigUint::one() + &x * self.n()).rem_of(self.n_squared());
+        // r^N mod N²
+        let rn = self.mont().pow(r, self.n());
+        let c = self.mont().mul(&gx, &rn);
+        Ciphertext::from_raw(c)
+    }
+
+    /// The trivial (deterministic, randomness = 1) encryption of `x`.
+    /// Used for public constants; NOT semantically secure on its own.
+    pub fn encrypt_trivial(&self, x: &BigUint) -> Ciphertext {
+        let x = x.rem_of(self.n());
+        Ciphertext::from_raw((BigUint::one() + &x * self.n()).rem_of(self.n_squared()))
+    }
+
+    /// Homomorphic addition (paper Eqn 1): `[x1] ⊕ [x2] = [x1 + x2]`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext::from_raw(self.mont().mul(a.raw(), b.raw()))
+    }
+
+    /// Homomorphic plaintext multiplication (paper Eqn 2):
+    /// `k ⊗ [x] = [k·x]`.
+    pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext::from_raw(self.mont().pow(a.raw(), k))
+    }
+
+    /// Homomorphic subtraction: `[x1] ⊖ [x2] = [x1 - x2]` (mod `N`).
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let neg_b = self.neg(b);
+        self.add(a, &neg_b)
+    }
+
+    /// Homomorphic negation: `[x] → [N - x]`.
+    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
+        // c^{N-1} = [ (N-1) x ] = [-x mod N]
+        let exp = self.n() - &BigUint::one();
+        self.mul_plain(a, &exp)
+    }
+
+    /// Re-randomize a ciphertext (multiply by a fresh encryption of zero).
+    pub fn rerandomize<R: Rng + ?Sized>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
+        let r = brng::gen_coprime(rng, self.n());
+        let rn = self.mont().pow(&r, self.n());
+        Ciphertext::from_raw(self.mont().mul(a.raw(), &rn))
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey(keysize={})", self.keysize())
+    }
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.n == other.inner.n
+    }
+}
+
+impl Eq for PublicKey {}

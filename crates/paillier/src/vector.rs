@@ -1,0 +1,188 @@
+//! Encrypted-vector helpers: the homomorphic dot products of paper Eqn (3)
+//! and the PIR-style private selection of Theorem 2 (§5.2).
+
+use crate::{Ciphertext, PublicKey};
+use pivot_bignum::BigUint;
+use rand::Rng;
+
+/// Encrypt every element of a plaintext vector.
+pub fn encrypt_vec<R: Rng + ?Sized>(
+    pk: &PublicKey,
+    values: &[BigUint],
+    rng: &mut R,
+) -> Vec<Ciphertext> {
+    values.iter().map(|v| pk.encrypt(v, rng)).collect()
+}
+
+/// Homomorphic dot product `x ⊙ [v]` with a **binary** plaintext vector
+/// (paper Eqn 3 where `x ∈ {0,1}^n` — the dominant case in Pivot: indicator
+/// vectors selecting samples). Only ciphertext multiplications are needed.
+pub fn dot_binary(pk: &PublicKey, enc: &[Ciphertext], select: &[bool]) -> Ciphertext {
+    assert_eq!(enc.len(), select.len(), "dimension mismatch in dot product");
+    let mut acc = pk.encrypt_trivial(&BigUint::zero());
+    for (c, &keep) in enc.iter().zip(select) {
+        if keep {
+            acc = pk.add(&acc, c);
+        }
+    }
+    acc
+}
+
+/// Homomorphic dot product `x ⊙ [v]` with an arbitrary plaintext vector
+/// (paper Eqn 3): `Π [vᵢ]^{xᵢ} = [Σ xᵢ·vᵢ]`.
+pub fn dot_plain(pk: &PublicKey, enc: &[Ciphertext], plain: &[BigUint]) -> Ciphertext {
+    assert_eq!(enc.len(), plain.len(), "dimension mismatch in dot product");
+    let mut acc = pk.encrypt_trivial(&BigUint::zero());
+    for (c, x) in enc.iter().zip(plain) {
+        if x.is_zero() {
+            continue;
+        }
+        let term = if x.is_one() { c.clone() } else { pk.mul_plain(c, x) };
+        acc = pk.add(&acc, &term);
+    }
+    acc
+}
+
+/// Element-wise homomorphic multiplication of an encrypted vector by a
+/// plaintext binary vector — the paper's `βₖ ⊙ [α]`-style mask refinement,
+/// where a 0 entry must become a fresh encryption of 0 (not a trivial one,
+/// which would leak the position).
+pub fn mask_binary<R: Rng + ?Sized>(
+    pk: &PublicKey,
+    enc: &[Ciphertext],
+    mask: &[bool],
+    rng: &mut R,
+) -> Vec<Ciphertext> {
+    assert_eq!(enc.len(), mask.len(), "dimension mismatch in mask");
+    enc.iter()
+        .zip(mask)
+        .map(|(c, &keep)| {
+            if keep {
+                pk.rerandomize(c, rng)
+            } else {
+                pk.encrypt(&BigUint::zero(), rng)
+            }
+        })
+        .collect()
+}
+
+/// Theorem 2 private selection: given the plaintext indicator **matrix**
+/// `V (rows × cols)` and an encrypted one-hot column `[λ]` of length `cols`,
+/// returns `[V·λ]` — the encryption of the selected column, without the
+/// holder of `V` learning which column was taken.
+pub fn matrix_select_binary(
+    pk: &PublicKey,
+    rows: &[Vec<bool>],
+    enc_onehot: &[Ciphertext],
+) -> Vec<Ciphertext> {
+    rows.iter()
+        .map(|row| dot_binary(pk, enc_onehot, row))
+        .collect()
+}
+
+/// Same selection with arbitrary plaintext matrix entries (used to extract
+/// the encrypted split *threshold* from the candidate-value table).
+pub fn select_plain_values(
+    pk: &PublicKey,
+    values: &[BigUint],
+    enc_onehot: &[Ciphertext],
+) -> Ciphertext {
+    dot_plain(pk, enc_onehot, values)
+}
+
+/// Homomorphic sum of an encrypted vector.
+pub fn sum(pk: &PublicKey, enc: &[Ciphertext]) -> Ciphertext {
+    let mut acc = pk.encrypt_trivial(&BigUint::zero());
+    for c in enc {
+        acc = pk.add(&acc, c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(21);
+        (keygen(&mut rng, 128), rng)
+    }
+
+    fn nums(vals: &[u64]) -> Vec<BigUint> {
+        vals.iter().map(|&v| BigUint::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn binary_dot_product() {
+        let (kp, mut rng) = setup();
+        let enc = encrypt_vec(&kp.pk, &nums(&[10, 20, 30, 40]), &mut rng);
+        let sel = [true, false, true, false];
+        let c = dot_binary(&kp.pk, &enc, &sel);
+        assert_eq!(kp.sk.decrypt(&c), BigUint::from_u64(40));
+    }
+
+    #[test]
+    fn plain_dot_product() {
+        let (kp, mut rng) = setup();
+        let enc = encrypt_vec(&kp.pk, &nums(&[1, 2, 3]), &mut rng);
+        let weights = nums(&[5, 0, 7]);
+        let c = dot_plain(&kp.pk, &enc, &weights);
+        assert_eq!(kp.sk.decrypt(&c), BigUint::from_u64(5 + 21));
+    }
+
+    #[test]
+    fn empty_selection_is_zero() {
+        let (kp, mut rng) = setup();
+        let enc = encrypt_vec(&kp.pk, &nums(&[9, 9]), &mut rng);
+        let c = dot_binary(&kp.pk, &enc, &[false, false]);
+        assert_eq!(kp.sk.decrypt(&c), BigUint::zero());
+    }
+
+    #[test]
+    fn mask_zeroes_hidden_entries() {
+        let (kp, mut rng) = setup();
+        let enc = encrypt_vec(&kp.pk, &nums(&[3, 4, 5]), &mut rng);
+        let masked = mask_binary(&kp.pk, &enc, &[true, false, true], &mut rng);
+        let dec: Vec<u64> =
+            masked.iter().map(|c| kp.sk.decrypt(c).to_u64().unwrap()).collect();
+        assert_eq!(dec, vec![3, 0, 5]);
+        // Re-randomization: ciphertexts differ from the originals.
+        assert_ne!(masked[0].raw(), enc[0].raw());
+    }
+
+    #[test]
+    fn theorem2_selects_matrix_column() {
+        let (kp, mut rng) = setup();
+        // V is 3×4; one-hot selects column 2.
+        let rows = vec![
+            vec![true, false, true, false],
+            vec![false, false, false, true],
+            vec![false, true, true, true],
+        ];
+        let onehot = encrypt_vec(&kp.pk, &nums(&[0, 0, 1, 0]), &mut rng);
+        let picked = matrix_select_binary(&kp.pk, &rows, &onehot);
+        let dec: Vec<u64> =
+            picked.iter().map(|c| kp.sk.decrypt(c).to_u64().unwrap()).collect();
+        // Column 2 of V is (1, 0, 1).
+        assert_eq!(dec, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn select_value_by_onehot() {
+        let (kp, mut rng) = setup();
+        let values = nums(&[100, 200, 300]);
+        let onehot = encrypt_vec(&kp.pk, &nums(&[0, 1, 0]), &mut rng);
+        let c = select_plain_values(&kp.pk, &values, &onehot);
+        assert_eq!(kp.sk.decrypt(&c), BigUint::from_u64(200));
+    }
+
+    #[test]
+    fn vector_sum() {
+        let (kp, mut rng) = setup();
+        let enc = encrypt_vec(&kp.pk, &nums(&[1, 2, 3, 4]), &mut rng);
+        assert_eq!(kp.sk.decrypt(&sum(&kp.pk, &enc)), BigUint::from_u64(10));
+    }
+}

@@ -1,0 +1,50 @@
+//! Wire-codec implementations so ciphertexts and partial decryptions can
+//! cross the party network.
+
+use crate::threshold::PartialDecryption;
+use crate::Ciphertext;
+use pivot_bignum::BigUint;
+use pivot_transport::wire::{Wire, WireError};
+
+impl Wire for Ciphertext {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.raw().encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Ciphertext::from_raw(BigUint::decode(buf)?))
+    }
+}
+
+impl Wire for PartialDecryption {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.value.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PartialDecryption {
+            index: usize::decode(buf)?,
+            value: BigUint::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ciphertext_round_trip() {
+        let c = Ciphertext::from_raw(BigUint::from_hex("deadbeef123456").unwrap());
+        let encoded = c.to_wire();
+        assert_eq!(Ciphertext::from_wire(&encoded).unwrap(), c);
+    }
+
+    #[test]
+    fn partial_decryption_round_trip() {
+        let p = PartialDecryption { index: 3, value: BigUint::from_u64(999) };
+        let encoded = p.to_wire();
+        let back = PartialDecryption::from_wire(&encoded).unwrap();
+        assert_eq!(back.index, 3);
+        assert_eq!(back.value, BigUint::from_u64(999));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the Paillier layer: homomorphism laws and
+//! threshold-decryption round trips under random plaintexts.
+
+use pivot_bignum::BigUint;
+use pivot_paillier::{fixtures, keygen, KeyPair};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared 128-bit key pair (keygen dominates test time otherwise).
+fn kp() -> &'static KeyPair {
+    static KP: OnceLock<KeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(404);
+        keygen(&mut rng, 128)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn enc_dec_round_trip(x in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = kp();
+        let x = BigUint::from_u64(x);
+        let c = kp.pk.encrypt(&x, &mut rng);
+        prop_assert_eq!(kp.sk.decrypt(&c), x);
+    }
+
+    #[test]
+    fn additive_homomorphism(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = kp();
+        let ca = kp.pk.encrypt(&BigUint::from_u64(a as u64), &mut rng);
+        let cb = kp.pk.encrypt(&BigUint::from_u64(b as u64), &mut rng);
+        let sum = kp.pk.add(&ca, &cb);
+        prop_assert_eq!(kp.sk.decrypt(&sum), BigUint::from_u64(a as u64 + b as u64));
+    }
+
+    #[test]
+    fn scalar_homomorphism(x in any::<u32>(), k in 0u32..1000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = kp();
+        let c = kp.pk.encrypt(&BigUint::from_u64(x as u64), &mut rng);
+        let scaled = kp.pk.mul_plain(&c, &BigUint::from_u64(k as u64));
+        prop_assert_eq!(
+            kp.sk.decrypt(&scaled),
+            BigUint::from_u64(x as u64 * k as u64)
+        );
+    }
+
+    #[test]
+    fn sub_then_add_cancels(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = kp();
+        let ca = kp.pk.encrypt(&BigUint::from_u64(a as u64), &mut rng);
+        let cb = kp.pk.encrypt(&BigUint::from_u64(b as u64), &mut rng);
+        let diff = kp.pk.sub(&ca, &cb);
+        let back = kp.pk.add(&diff, &cb);
+        prop_assert_eq!(kp.sk.decrypt(&back), BigUint::from_u64(a as u64));
+    }
+
+    #[test]
+    fn rerandomization_invariant(x in any::<u32>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = kp();
+        let x = BigUint::from_u64(x as u64);
+        let c = kp.pk.encrypt(&x, &mut rng);
+        let c2 = kp.pk.rerandomize(&c, &mut rng);
+        prop_assert_ne!(c.raw(), c2.raw());
+        prop_assert_eq!(kp.sk.decrypt(&c2), x);
+    }
+}
+
+proptest! {
+    // Threshold decryption is slower — fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn threshold_round_trip(x in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = fixtures::threshold_keys(3, 128);
+        let x = BigUint::from_u64(x);
+        let c = keys.pk.encrypt(&x, &mut rng);
+        let partials: Vec<_> =
+            keys.shares.iter().map(|s| s.partial_decrypt(&c)).collect();
+        prop_assert_eq!(keys.combiner.combine(&partials), x);
+    }
+}

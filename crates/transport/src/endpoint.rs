@@ -1,0 +1,335 @@
+//! Endpoints and the in-process network.
+
+use crate::stats::NetStats;
+use crate::wire::Wire;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring the protocol wedged.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Optional LAN simulation: `(per-message latency, seconds per byte)`.
+///
+/// The in-process channels are orders of magnitude faster than the paper's
+/// LAN cluster; benchmarks that care about wall-clock *shape* (Figure 5's
+/// Pivot-vs-SPDZ-DT comparison hinges on communication being expensive)
+/// enable this via the environment:
+/// `PIVOT_NET_LATENCY_US` (default 0) and `PIVOT_NET_BANDWIDTH_MBPS`
+/// (default unlimited). Read once per process.
+fn lan_simulation() -> (Duration, f64) {
+    use std::sync::OnceLock;
+    static CONF: OnceLock<(Duration, f64)> = OnceLock::new();
+    *CONF.get_or_init(|| {
+        let latency_us: u64 = std::env::var("PIVOT_NET_LATENCY_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mbps: f64 = std::env::var("PIVOT_NET_BANDWIDTH_MBPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(f64::INFINITY);
+        let secs_per_byte =
+            if mbps.is_finite() && mbps > 0.0 { 8.0 / (mbps * 1e6) } else { 0.0 };
+        (Duration::from_micros(latency_us), secs_per_byte)
+    })
+}
+
+/// Charge the sender for one message under the simulated LAN.
+fn charge_send(bytes: usize) {
+    let (latency, secs_per_byte) = lan_simulation();
+    if latency.is_zero() && secs_per_byte == 0.0 {
+        return;
+    }
+    let wire_time = Duration::from_secs_f64(bytes as f64 * secs_per_byte);
+    std::thread::sleep(latency + wire_time);
+}
+
+/// A fully connected `m`-party network. Construct once, then hand one
+/// [`Endpoint`] to each party thread.
+pub struct Network {
+    endpoints: Vec<Endpoint>,
+}
+
+/// One party's connection to all peers.
+pub struct Endpoint {
+    id: usize,
+    m: usize,
+    /// `senders[j]` delivers to party `j` (entry `id` is unused).
+    senders: Vec<Sender<Vec<u8>>>,
+    /// `receivers[j]` yields messages from party `j` (entry `id` is unused).
+    receivers: Vec<Receiver<Vec<u8>>>,
+    stats: Arc<NetStats>,
+}
+
+impl Network {
+    /// Create a fully connected network of `m` parties.
+    pub fn new(m: usize) -> Network {
+        assert!(m >= 1, "network needs at least one party");
+        // channels[from][to]
+        let mut txs: Vec<Vec<Option<Sender<Vec<u8>>>>> = (0..m)
+            .map(|_| (0..m).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Vec<u8>>>>> = (0..m)
+            .map(|_| (0..m).map(|_| None).collect())
+            .collect();
+        for from in 0..m {
+            for to in 0..m {
+                if from == to {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                txs[from][to] = Some(tx);
+                rxs[to][from] = Some(rx);
+            }
+        }
+        let endpoints = (0..m)
+            .map(|id| {
+                let senders = txs[id]
+                    .iter_mut()
+                    .map(|s| s.take().unwrap_or_else(|| unbounded().0))
+                    .collect();
+                let receivers = rxs[id]
+                    .iter_mut()
+                    .map(|r| r.take().unwrap_or_else(|| unbounded().1))
+                    .collect();
+                Endpoint { id, m, senders, receivers, stats: NetStats::new() }
+            })
+            .collect();
+        Network { endpoints }
+    }
+
+    /// Take the endpoints (one per party, in id order).
+    pub fn into_endpoints(self) -> Vec<Endpoint> {
+        self.endpoints
+    }
+}
+
+impl Endpoint {
+    /// This party's id in `0..m`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.m
+    }
+
+    /// Traffic counters for this endpoint.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Send a message to party `to`.
+    pub fn send<T: Wire>(&self, to: usize, msg: &T) {
+        assert!(to != self.id, "party {to} sending to itself");
+        let bytes = msg.to_wire();
+        self.stats.record_send(bytes.len());
+        charge_send(bytes.len());
+        self.senders[to]
+            .send(bytes)
+            .unwrap_or_else(|_| panic!("party {to} hung up (send from {})", self.id));
+    }
+
+    /// Blocking receive of one message from party `from`.
+    pub fn recv<T: Wire>(&self, from: usize) -> T {
+        assert!(from != self.id, "party {} receiving from itself", self.id);
+        let bytes = self.receivers[from]
+            .recv_timeout(RECV_TIMEOUT)
+            .unwrap_or_else(|e| {
+                panic!("party {} timed out waiting for party {from}: {e}", self.id)
+            });
+        self.stats.record_recv(bytes.len());
+        T::from_wire(&bytes).unwrap_or_else(|e| {
+            panic!("party {} got malformed message from {from}: {e}", self.id)
+        })
+    }
+
+    /// Send `msg` to every other party.
+    pub fn broadcast<T: Wire>(&self, msg: &T) {
+        let bytes = msg.to_wire();
+        for to in 0..self.m {
+            if to == self.id {
+                continue;
+            }
+            self.stats.record_send(bytes.len());
+            charge_send(bytes.len());
+            self.senders[to]
+                .send(bytes.clone())
+                .unwrap_or_else(|_| panic!("party {to} hung up (broadcast from {})", self.id));
+        }
+    }
+
+    /// All-to-all exchange: every party broadcasts `msg` and receives one
+    /// value from each peer. Returns the vector indexed by party id (own
+    /// value included at `self.id()`).
+    pub fn exchange_all<T: Wire + Clone>(&self, msg: &T) -> Vec<T> {
+        self.broadcast(msg);
+        (0..self.m)
+            .map(|from| if from == self.id { msg.clone() } else { self.recv(from) })
+            .collect()
+    }
+
+    /// Gather at party `at`: everyone sends `msg` to `at`; `at` returns the
+    /// full vector (indexed by party id), the rest return `None`.
+    pub fn gather<T: Wire + Clone>(&self, at: usize, msg: &T) -> Option<Vec<T>> {
+        if self.id == at {
+            Some(
+                (0..self.m)
+                    .map(|from| if from == at { msg.clone() } else { self.recv(from) })
+                    .collect(),
+            )
+        } else {
+            self.send(at, msg);
+            None
+        }
+    }
+
+    /// Scatter from party `root`: the root provides one value per party and
+    /// each party receives its own (the root keeps element `root`).
+    pub fn scatter<T: Wire + Clone>(&self, root: usize, values: Option<&[T]>) -> T {
+        if self.id == root {
+            let values = values.expect("root must supply scatter values");
+            assert_eq!(values.len(), self.m, "scatter needs one value per party");
+            for (to, v) in values.iter().enumerate() {
+                if to != root {
+                    self.send(to, v);
+                }
+            }
+            values[root].clone()
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Broadcast from a single designated `root`: root sends, others receive.
+    pub fn broadcast_from<T: Wire + Clone>(&self, root: usize, msg: Option<&T>) -> T {
+        if self.id == root {
+            let msg = msg.expect("root must supply the broadcast value");
+            self.broadcast(msg);
+            msg.clone()
+        } else {
+            self.recv(root)
+        }
+    }
+}
+
+/// Run an SPMD closure on `m` threads, one per party, and collect the
+/// results in party order. This mirrors the paper's "one process per client"
+/// deployment.
+pub fn run_parties<T, F>(m: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Send + Sync,
+{
+    let endpoints = Network::new(m).into_endpoints();
+    let mut slots: Vec<Option<T>> = (0..m).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(m);
+        for ep in endpoints {
+            let f = &f;
+            handles.push(scope.spawn(move || f(ep)));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            slots[i] = Some(h.join().unwrap_or_else(|_| panic!("party {i} panicked")));
+        }
+    });
+    slots.into_iter().map(|s| s.expect("all parties joined")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point() {
+        let results = run_parties(2, |ep| {
+            if ep.id() == 0 {
+                ep.send(1, &42u64);
+                0u64
+            } else {
+                ep.recv::<u64>(0)
+            }
+        });
+        assert_eq!(results, vec![0, 42]);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let results = run_parties(4, |ep| {
+            if ep.id() == 0 {
+                ep.broadcast(&"hello".to_string());
+                "root".to_string()
+            } else {
+                ep.recv::<String>(0)
+            }
+        });
+        assert_eq!(results[1], "hello");
+        assert_eq!(results[3], "hello");
+    }
+
+    #[test]
+    fn exchange_all_collects_in_order() {
+        let results = run_parties(3, |ep| ep.exchange_all(&(ep.id() as u64 * 10)));
+        for r in results {
+            assert_eq!(r, vec![0, 10, 20]);
+        }
+    }
+
+    #[test]
+    fn gather_only_root_sees_values() {
+        let results = run_parties(3, |ep| ep.gather(1, &(ep.id() as u64)));
+        assert!(results[0].is_none());
+        assert_eq!(results[1], Some(vec![0, 1, 2]));
+        assert!(results[2].is_none());
+    }
+
+    #[test]
+    fn scatter_distributes_values() {
+        let results = run_parties(3, |ep| {
+            let vals = if ep.id() == 0 { Some(vec![100u64, 200, 300]) } else { None };
+            ep.scatter(0, vals.as_deref())
+        });
+        assert_eq!(results, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn broadcast_from_root_round() {
+        let results = run_parties(3, |ep| {
+            let msg = if ep.id() == 2 { Some(7u64) } else { None };
+            ep.broadcast_from(2, msg.as_ref())
+        });
+        assert_eq!(results, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let results = run_parties(2, |ep| {
+            if ep.id() == 0 {
+                ep.send(1, &vec![1u64, 2, 3]);
+                ep.stats().bytes_sent()
+            } else {
+                let _: Vec<u64> = ep.recv(0);
+                ep.stats().bytes_received()
+            }
+        });
+        // 8 (length) + 3*8 (elements) = 32 bytes.
+        assert_eq!(results, vec![32, 32]);
+    }
+
+    #[test]
+    fn many_messages_in_flight() {
+        let results = run_parties(2, |ep| {
+            if ep.id() == 0 {
+                for i in 0..1000u64 {
+                    ep.send(1, &i);
+                }
+                0
+            } else {
+                (0..1000).map(|_| ep.recv::<u64>(0)).sum::<u64>()
+            }
+        });
+        assert_eq!(results[1], 499_500);
+    }
+}

@@ -1,0 +1,21 @@
+//! In-process multi-party messaging substrate.
+//!
+//! The original Pivot evaluation runs one process per client on a LAN
+//! cluster, wired together with `libscapi`. This crate reproduces that
+//! topology inside one process: each client is an OS thread holding an
+//! [`Endpoint`]; endpoints exchange length-prefixed binary messages over
+//! crossbeam channels, and every byte crossing a channel is accounted in
+//! [`NetStats`] so the benchmarks can report communication volume.
+//!
+//! The [`wire`] module is a tiny self-contained binary codec (no serde):
+//! every protocol message type implements [`Wire`] and is encoded into a
+//! flat byte buffer — that is exactly what would travel over a socket, so
+//! byte counts are faithful.
+
+mod endpoint;
+mod stats;
+pub mod wire;
+
+pub use endpoint::{run_parties, Endpoint, Network};
+pub use stats::NetStats;
+pub use wire::{Wire, WireError};

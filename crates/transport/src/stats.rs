@@ -1,0 +1,58 @@
+//! Network traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for one party's traffic. All endpoints of a network hold
+/// `Arc`s to their own stats; protocol harnesses read them afterwards.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+}
+
+impl NetStats {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recv(&self, bytes: usize) {
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes this party put on the wire.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes this party consumed from the wire.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Number of messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Number of messages received.
+    pub fn messages_received(&self) -> u64 {
+        self.messages_received.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters (between benchmark phases).
+    pub fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.messages_received.store(0, Ordering::Relaxed);
+    }
+}

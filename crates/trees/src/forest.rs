@@ -1,0 +1,148 @@
+//! Random forests (paper §7.1): independently trained CART trees over
+//! bootstrap samples; majority vote (classification) or mean (regression).
+
+use crate::cart::{CartTrainer, TreeParams};
+use crate::model::DecisionTree;
+use pivot_data::{Dataset, Task};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-forest hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct RandomForestParams {
+    /// Number of trees `W`.
+    pub trees: usize,
+    /// Per-tree CART parameters.
+    pub tree: TreeParams,
+    /// Bootstrap-sample fraction (1.0 = n samples drawn with replacement).
+    pub sample_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            trees: 8,
+            tree: TreeParams::default(),
+            sample_fraction: 1.0,
+            seed: 13,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    pub trees: Vec<DecisionTree>,
+    task: Task,
+}
+
+impl RandomForest {
+    /// Train `params.trees` CART trees on bootstrap masks.
+    pub fn train(data: &Dataset, params: &RandomForestParams) -> Self {
+        assert!(params.trees >= 1);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let trainer = CartTrainer::new(data, params.tree.clone());
+        let n = data.num_samples();
+        let draws = ((n as f64) * params.sample_fraction).round().max(1.0) as usize;
+        let trees = (0..params.trees)
+            .map(|_| {
+                let mut mask = vec![false; n];
+                for _ in 0..draws {
+                    mask[rng.gen_range(0..n)] = true;
+                }
+                trainer.train_masked(&mask)
+            })
+            .collect();
+        RandomForest { trees, task: data.task() }
+    }
+
+    /// Predict one sample: majority vote or mean over trees (§7.1).
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        match self.task {
+            Task::Classification { classes } => {
+                let mut votes = vec![0usize; classes];
+                for tree in &self.trees {
+                    votes[tree.predict(sample) as usize] += 1;
+                }
+                let mut best = 0usize;
+                for (k, &v) in votes.iter().enumerate() {
+                    if v > votes[best] {
+                        best = k;
+                    }
+                }
+                best as f64
+            }
+            Task::Regression => {
+                let sum: f64 = self.trees.iter().map(|t| t.predict(sample)).sum();
+                sum / self.trees.len() as f64
+            }
+        }
+    }
+
+    /// Predict a batch.
+    pub fn predict_batch(&self, samples: &[Vec<f64>]) -> Vec<f64> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_data::synth;
+
+    #[test]
+    fn forest_beats_or_matches_a_stump_task() {
+        let ds = synth::make_classification(&synth::ClassificationSpec {
+            samples: 500,
+            classes: 2,
+            class_sep: 1.5,
+            flip_y: 0.02,
+            ..Default::default()
+        });
+        let (train, test) = ds.train_test_split(0.3);
+        let rf = RandomForest::train(&train, &RandomForestParams::default());
+        let preds = rf.predict_batch(
+            &(0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect::<Vec<_>>(),
+        );
+        let acc = pivot_data::metrics::accuracy(&preds, test.labels());
+        assert!(acc > 0.75, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn regression_averages_trees() {
+        let ds = synth::make_regression(&synth::RegressionSpec {
+            samples: 400,
+            noise: 0.05,
+            ..Default::default()
+        });
+        let (train, test) = ds.train_test_split(0.25);
+        let rf = RandomForest::train(
+            &train,
+            &RandomForestParams { trees: 12, ..Default::default() },
+        );
+        let preds = rf.predict_batch(
+            &(0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect::<Vec<_>>(),
+        );
+        let mse = pivot_data::metrics::mse(&preds, test.labels());
+        assert!(mse < 0.2, "forest regression mse {mse}");
+    }
+
+    #[test]
+    fn tree_count_respected() {
+        let ds = synth::make_classification(&Default::default());
+        let rf = RandomForest::train(
+            &ds,
+            &RandomForestParams { trees: 5, ..Default::default() },
+        );
+        assert_eq!(rf.trees.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let ds = synth::make_classification(&Default::default());
+        let a = RandomForest::train(&ds, &RandomForestParams::default());
+        let b = RandomForest::train(&ds, &RandomForestParams::default());
+        assert_eq!(a.predict(ds.sample(0)), b.predict(ds.sample(0)));
+    }
+}

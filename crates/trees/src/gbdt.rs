@@ -1,0 +1,195 @@
+//! Gradient-boosted decision trees (paper §7.2): squared-loss residual
+//! boosting for regression; one-vs-rest with softmax for classification.
+
+use crate::cart::{train_tree, TreeParams};
+use crate::model::DecisionTree;
+use pivot_data::{Dataset, Task};
+
+/// GBDT hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct GbdtParams {
+    /// Boosting rounds `W`.
+    pub rounds: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Per-tree CART parameters (regression trees internally).
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            rounds: 8,
+            learning_rate: 0.3,
+            tree: TreeParams { max_depth: 3, stop_when_pure: false, ..Default::default() },
+        }
+    }
+}
+
+/// A trained GBDT model: for classification, `forests[k]` is the regression
+/// forest of class `k` (one-vs-rest); for regression there is one forest.
+#[derive(Clone, Debug)]
+pub struct Gbdt {
+    forests: Vec<Vec<DecisionTree>>,
+    base: Vec<f64>,
+    learning_rate: f64,
+    task: Task,
+}
+
+impl Gbdt {
+    /// Train with squared-loss residual boosting.
+    pub fn train(data: &Dataset, params: &GbdtParams) -> Self {
+        match data.task() {
+            Task::Regression => {
+                let (trees, base) = Self::train_regressor(data, data.labels(), params);
+                Gbdt {
+                    forests: vec![trees],
+                    base: vec![base],
+                    learning_rate: params.learning_rate,
+                    task: Task::Regression,
+                }
+            }
+            Task::Classification { classes } => {
+                // One-vs-rest: binary targets per class, boosted separately
+                // (§7.2: "build a GBDT regression forest for each class").
+                let mut forests = Vec::with_capacity(classes);
+                let mut bases = Vec::with_capacity(classes);
+                for k in 0..classes {
+                    let targets: Vec<f64> = data
+                        .labels()
+                        .iter()
+                        .map(|&y| if y as usize == k { 1.0 } else { 0.0 })
+                        .collect();
+                    let (trees, base) = Self::train_regressor(data, &targets, params);
+                    forests.push(trees);
+                    bases.push(base);
+                }
+                Gbdt {
+                    forests,
+                    base: bases,
+                    learning_rate: params.learning_rate,
+                    task: data.task(),
+                }
+            }
+        }
+    }
+
+    /// Core boosting loop on explicit targets. Returns (trees, base score).
+    fn train_regressor(
+        data: &Dataset,
+        targets: &[f64],
+        params: &GbdtParams,
+    ) -> (Vec<DecisionTree>, f64) {
+        let n = data.num_samples() as f64;
+        let base = targets.iter().sum::<f64>() / n;
+        let mut predictions = vec![base; targets.len()];
+        let mut trees = Vec::with_capacity(params.rounds);
+        for _ in 0..params.rounds {
+            // Squared loss ⇒ residuals are the negative gradients.
+            let residuals: Vec<f64> = targets
+                .iter()
+                .zip(&predictions)
+                .map(|(t, p)| t - p)
+                .collect();
+            let stage = data.with_labels(residuals, Task::Regression);
+            let tree = train_tree(&stage, &params.tree);
+            for (i, pred) in predictions.iter_mut().enumerate() {
+                *pred += params.learning_rate * tree.predict(data.sample(i));
+            }
+            trees.push(tree);
+        }
+        (trees, base)
+    }
+
+    /// Raw additive score(s): one for regression, one per class otherwise.
+    pub fn scores(&self, sample: &[f64]) -> Vec<f64> {
+        self.forests
+            .iter()
+            .zip(&self.base)
+            .map(|(trees, &base)| {
+                base + self.learning_rate
+                    * trees.iter().map(|t| t.predict(sample)).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Predict: regression value, or argmax of per-class scores (the
+    /// plaintext analogue of the secure softmax decision — softmax is
+    /// monotone, so argmax over scores equals argmax over probabilities).
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        let scores = self.scores(sample);
+        match self.task {
+            Task::Regression => scores[0],
+            Task::Classification { .. } => {
+                let mut best = 0usize;
+                for (k, &s) in scores.iter().enumerate() {
+                    if s > scores[best] {
+                        best = k;
+                    }
+                }
+                best as f64
+            }
+        }
+    }
+
+    /// Predict a batch.
+    pub fn predict_batch(&self, samples: &[Vec<f64>]) -> Vec<f64> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Number of boosting rounds trained.
+    pub fn rounds(&self) -> usize {
+        self.forests.first().map_or(0, |f| f.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_data::synth;
+
+    #[test]
+    fn boosting_reduces_training_error() {
+        let ds = synth::make_regression(&synth::RegressionSpec {
+            samples: 300,
+            noise: 0.02,
+            ..Default::default()
+        });
+        let short = Gbdt::train(&ds, &GbdtParams { rounds: 1, ..Default::default() });
+        let long = Gbdt::train(&ds, &GbdtParams { rounds: 12, ..Default::default() });
+        let samples: Vec<Vec<f64>> =
+            (0..ds.num_samples()).map(|i| ds.sample(i).to_vec()).collect();
+        let mse_short = pivot_data::metrics::mse(&short.predict_batch(&samples), ds.labels());
+        let mse_long = pivot_data::metrics::mse(&long.predict_batch(&samples), ds.labels());
+        assert!(
+            mse_long < mse_short,
+            "more rounds should fit better: {mse_long} vs {mse_short}"
+        );
+    }
+
+    #[test]
+    fn classification_one_vs_rest() {
+        let ds = synth::make_classification(&synth::ClassificationSpec {
+            samples: 400,
+            classes: 3,
+            class_sep: 2.0,
+            flip_y: 0.0,
+            ..Default::default()
+        });
+        let (train, test) = ds.train_test_split(0.25);
+        let model = Gbdt::train(&train, &GbdtParams::default());
+        let preds = model.predict_batch(
+            &(0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect::<Vec<_>>(),
+        );
+        let acc = pivot_data::metrics::accuracy(&preds, test.labels());
+        assert!(acc > 0.75, "gbdt accuracy {acc}");
+        assert_eq!(model.scores(test.sample(0)).len(), 3);
+    }
+
+    #[test]
+    fn rounds_counted() {
+        let ds = synth::make_regression(&Default::default());
+        let model = Gbdt::train(&ds, &GbdtParams { rounds: 5, ..Default::default() });
+        assert_eq!(model.rounds(), 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Plaintext tree learners: CART decision trees (Algorithm 1), random
+//! forests, and gradient-boosted decision trees.
+//!
+//! These serve two roles in the reproduction:
+//!
+//! 1. the **non-private baselines** of Table 3 (NP-DT / NP-RF / NP-GBDT,
+//!    which the paper takes from sklearn), and
+//! 2. the **reference semantics** for the Pivot protocols — both sides use
+//!    the same `b`-bucket candidate splits ([`pivot_data::candidate_splits`])
+//!    and the same gain formulation, so the privacy-preserving training can
+//!    be tested for *structural equality* against the plaintext trainer.
+
+mod cart;
+mod forest;
+mod gbdt;
+mod model;
+
+pub use cart::{train_tree, CartTrainer, TreeParams};
+pub use forest::{RandomForest, RandomForestParams};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use model::{DecisionTree, Node, NodeId};

@@ -1,0 +1,219 @@
+//! The decision-tree model representation shared by plaintext and
+//! privacy-preserving trainers: an arena of nodes addressed by [`NodeId`].
+
+use pivot_data::Task;
+
+/// Index into a tree's node arena.
+pub type NodeId = usize;
+
+/// One tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// Internal split: go left iff `value(feature) ≤ threshold`.
+    Internal { feature: usize, threshold: f64, left: NodeId, right: NodeId },
+    /// Leaf carrying the prediction (class index or regression value).
+    Leaf { value: f64 },
+}
+
+/// A CART-style binary decision tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    task: Task,
+}
+
+impl DecisionTree {
+    /// Build from an arena and root (validated).
+    pub fn new(nodes: Vec<Node>, root: NodeId, task: Task) -> Self {
+        assert!(root < nodes.len(), "root out of range");
+        for node in &nodes {
+            if let Node::Internal { left, right, .. } = node {
+                assert!(*left < nodes.len() && *right < nodes.len(), "dangling child");
+            }
+        }
+        DecisionTree { nodes, root, task }
+    }
+
+    /// A single-leaf tree.
+    pub fn leaf(value: f64, task: Task) -> Self {
+        DecisionTree { nodes: vec![Node::Leaf { value }], root: 0, task }
+    }
+
+    /// The node arena.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Root id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The task this tree was trained for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Number of internal nodes (the paper's `t`).
+    pub fn internal_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Internal { .. }))
+            .count()
+    }
+
+    /// Number of leaves (`t + 1` for a full binary tree).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.len() - self.internal_count()
+    }
+
+    /// Maximum depth (root = depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: NodeId) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, self.root)
+    }
+
+    /// Predict a single sample.
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { value } => return *value,
+                Node::Internal { feature, threshold, left, right } => {
+                    id = if sample[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predict a batch of samples.
+    pub fn predict_batch(&self, samples: &[Vec<f64>]) -> Vec<f64> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Enumerate leaves in left-to-right order as
+    /// `(leaf value, path: Vec<(feature, threshold, went_left)>)` — the
+    /// leaf-label vector `z` and prediction paths of Algorithm 4.
+    pub fn leaf_paths(&self) -> Vec<(f64, Vec<(usize, f64, bool)>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, Vec::new())];
+        while let Some((id, path)) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Leaf { value } => out.push((*value, path)),
+                Node::Internal { feature, threshold, left, right } => {
+                    // Push right first so left-to-right order pops left first.
+                    let mut right_path = path.clone();
+                    right_path.push((*feature, *threshold, false));
+                    stack.push((*right, right_path));
+                    let mut left_path = path;
+                    left_path.push((*feature, *threshold, true));
+                    stack.push((*left, left_path));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as an indented text diagram (for examples / debugging).
+    pub fn render(&self, feature_names: &[String]) -> String {
+        fn walk(
+            nodes: &[Node],
+            id: NodeId,
+            names: &[String],
+            depth: usize,
+            out: &mut String,
+        ) {
+            let pad = "  ".repeat(depth);
+            match &nodes[id] {
+                Node::Leaf { value } => {
+                    out.push_str(&format!("{pad}leaf: {value:.4}\n"));
+                }
+                Node::Internal { feature, threshold, left, right } => {
+                    let name = names
+                        .get(*feature)
+                        .cloned()
+                        .unwrap_or_else(|| format!("f{feature}"));
+                    out.push_str(&format!("{pad}{name} <= {threshold:.4}\n"));
+                    walk(nodes, *left, names, depth + 1, out);
+                    out.push_str(&format!("{pad}{name} >  {threshold:.4}\n"));
+                    walk(nodes, *right, names, depth + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(&self.nodes, self.root, feature_names, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stump() -> DecisionTree {
+        // f0 <= 2.0 → 0.0 else 1.0
+        DecisionTree::new(
+            vec![
+                Node::Internal { feature: 0, threshold: 2.0, left: 1, right: 2 },
+                Node::Leaf { value: 0.0 },
+                Node::Leaf { value: 1.0 },
+            ],
+            0,
+            Task::Classification { classes: 2 },
+        )
+    }
+
+    #[test]
+    fn prediction_follows_thresholds() {
+        let t = stump();
+        assert_eq!(t.predict(&[1.0]), 0.0);
+        assert_eq!(t.predict(&[2.0]), 0.0); // boundary goes left
+        assert_eq!(t.predict(&[3.0]), 1.0);
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = stump();
+        assert_eq!(t.internal_count(), 1);
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(DecisionTree::leaf(5.0, Task::Regression).depth(), 0);
+    }
+
+    #[test]
+    fn leaf_paths_enumerate_left_to_right() {
+        let t = stump();
+        let paths = t.leaf_paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].0, 0.0);
+        assert_eq!(paths[0].1, vec![(0, 2.0, true)]);
+        assert_eq!(paths[1].0, 1.0);
+        assert_eq!(paths[1].1, vec![(0, 2.0, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling child")]
+    fn dangling_child_rejected() {
+        DecisionTree::new(
+            vec![Node::Internal { feature: 0, threshold: 0.0, left: 5, right: 6 }],
+            0,
+            Task::Regression,
+        );
+    }
+
+    #[test]
+    fn render_contains_structure() {
+        let t = stump();
+        let txt = t.render(&["age".to_string()]);
+        assert!(txt.contains("age <= 2.0000"));
+        assert!(txt.contains("leaf: 1.0000"));
+    }
+}

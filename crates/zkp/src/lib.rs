@@ -1,0 +1,38 @@
+//! Zero-knowledge building blocks for Pivot's malicious-model extension
+//! (§9.1): Σ-protocols proving correct use of Paillier ciphertexts, made
+//! non-interactive with Fiat–Shamir over a from-scratch SHA-256.
+//!
+//! * [`popk`] — **P**roof **o**f **P**laintext **K**nowledge: the prover
+//!   knows `(x, r)` with `c = g^x·r^N` (used when clients commit their
+//!   split-indicator and label vectors before training).
+//! * [`popcm`] — proof of plaintext–ciphertext multiplication:
+//!   `Dec(c₃) = x·Dec(c₂)` for a committed `x` (used for the `β ⊗ [α]`
+//!   mask refinements and the η updates of Algorithm 4).
+//! * [`pohdp`] — proof of homomorphic dot product:
+//!   `Dec(c_out) = Σ xᵢ·Dec(cᵢ)` for a committed vector `x` (used for the
+//!   encrypted split statistics, Eqn 7).
+//!
+//! The protocols follow Cramer–Damgård–Nielsen (the paper's [24]) and
+//! Helen (the paper's [81]). Soundness relies on the challenge being
+//! smaller than the factors of `N`; [`challenge_bits`] picks the size from
+//! the key.
+
+pub mod pohdp;
+pub mod popcm;
+pub mod popk;
+pub mod sha256;
+pub mod transcript;
+
+pub use pohdp::DotProductProof;
+pub use popcm::MultiplicationProof;
+pub use popk::PlaintextProof;
+pub use sha256::Sha256;
+pub use transcript::Transcript;
+
+use pivot_paillier::PublicKey;
+
+/// Fiat–Shamir challenge width for a key: must stay below the smallest
+/// prime factor of `N` for special soundness; capped at 128 bits.
+pub fn challenge_bits(pk: &PublicKey) -> u32 {
+    (pk.keysize() / 2).saturating_sub(8).clamp(16, 128)
+}

@@ -1,0 +1,257 @@
+//! POHDP — proof of homomorphic dot product (§9.1.1, from Helen [81]):
+//! given commitments `cxᵢ = Enc(xᵢ)`, inputs `cᵢ`, and output `c_out`,
+//! prove `Dec(c_out) = Σ xᵢ·Dec(cᵢ)` for the committed vector `x`.
+//!
+//! This is the vector generalization of [`crate::popcm`]; the clients use
+//! it to prove their encrypted split statistics (Eqn 7) were computed with
+//! the committed indicator vectors.
+
+use crate::{challenge_bits, Transcript};
+use pivot_bignum::{mod_pow, rng as brng, BigUint};
+use pivot_paillier::{Ciphertext, PublicKey};
+use rand::Rng;
+
+/// Non-interactive dot-product proof.
+#[derive(Clone, Debug)]
+pub struct DotProductProof {
+    /// Per-element commitments `aᵢ = g^{uᵢ}·vᵢ^N`.
+    pub a: Vec<BigUint>,
+    /// Aggregate commitment `b = Π cᵢ^{uᵢ}·w'^N`.
+    pub b: BigUint,
+    pub z: Vec<BigUint>,
+    pub w1: Vec<BigUint>,
+    pub w2: BigUint,
+}
+
+impl DotProductProof {
+    /// Compute `c_out = Π cᵢ^{xᵢ}·s^N` with fresh randomness `s`.
+    pub fn dot<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        inputs: &[Ciphertext],
+        x: &[BigUint],
+        rng: &mut R,
+    ) -> (Ciphertext, BigUint) {
+        assert_eq!(inputs.len(), x.len());
+        let n2 = pk.n_squared();
+        let s = brng::gen_coprime(rng, pk.n());
+        let mut acc = mod_pow(&s, pk.n(), n2);
+        for (c, xi) in inputs.iter().zip(x) {
+            if !xi.is_zero() {
+                acc = (&acc * &mod_pow(c.raw(), xi, n2)).rem_of(n2);
+            }
+        }
+        (Ciphertext::from_raw(acc), s)
+    }
+
+    /// Prove the dot-product relation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prove<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        commitments: &[Ciphertext],
+        inputs: &[Ciphertext],
+        output: &Ciphertext,
+        x: &[BigUint],
+        r: &[BigUint],
+        s: &BigUint,
+        rng: &mut R,
+    ) -> DotProductProof {
+        let n = pk.n();
+        let n2 = pk.n_squared();
+        let len = x.len();
+        assert_eq!(commitments.len(), len);
+        assert_eq!(inputs.len(), len);
+        assert_eq!(r.len(), len);
+
+        let u: Vec<BigUint> = (0..len).map(|_| brng::gen_below(rng, n)).collect();
+        let v: Vec<BigUint> = (0..len).map(|_| brng::gen_coprime(rng, n)).collect();
+        let w_prime = brng::gen_coprime(rng, n);
+
+        let a: Vec<BigUint> = u
+            .iter()
+            .zip(&v)
+            .map(|(ui, vi)| pk.encrypt_with(ui, vi).into_raw())
+            .collect();
+        let b = {
+            let mut acc = mod_pow(&w_prime, n, n2);
+            for (c, ui) in inputs.iter().zip(&u) {
+                acc = (&acc * &mod_pow(c.raw(), ui, n2)).rem_of(n2);
+            }
+            acc
+        };
+
+        let e = Self::derive_challenge(pk, commitments, inputs, output, &a, &b);
+
+        let mut z = Vec::with_capacity(len);
+        let mut w1 = Vec::with_capacity(len);
+        let mut w2 = (&w_prime * &mod_pow(s, &e, n)).rem_of(n);
+        for i in 0..len {
+            let full = &u[i] + &(&e * &x[i]);
+            let (t_i, z_i) = full.div_rem(n);
+            z.push(z_i);
+            w1.push((&v[i] * &mod_pow(&r[i], &e, n)).rem_of(n));
+            // Fold each carry factor cᵢ^{tᵢ} into w₂.
+            let c_t = mod_pow(&inputs[i].raw().rem_of(n), &t_i, n);
+            w2 = (&w2 * &c_t).rem_of(n);
+        }
+        DotProductProof { a, b, z, w1, w2 }
+    }
+
+    /// Verify against `(commitments, inputs, output)`.
+    pub fn verify(
+        &self,
+        pk: &PublicKey,
+        commitments: &[Ciphertext],
+        inputs: &[Ciphertext],
+        output: &Ciphertext,
+    ) -> bool {
+        let n = pk.n();
+        let n2 = pk.n_squared();
+        let len = commitments.len();
+        if self.a.len() != len
+            || self.z.len() != len
+            || self.w1.len() != len
+            || inputs.len() != len
+        {
+            return false;
+        }
+        if self.z.iter().any(|z| z >= n)
+            || self.w1.iter().any(|w| w >= n)
+            || self.w2 >= *n
+        {
+            return false;
+        }
+        let e = Self::derive_challenge(pk, commitments, inputs, output, &self.a, &self.b);
+
+        // Per-element: g^{zᵢ}·w1ᵢ^N = aᵢ·cxᵢ^e.
+        for i in 0..len {
+            let lhs = pk.encrypt_with(&self.z[i], &self.w1[i]).into_raw();
+            let rhs =
+                (&self.a[i] * &mod_pow(commitments[i].raw(), &e, n2)).rem_of(n2);
+            if lhs != rhs {
+                return false;
+            }
+        }
+        // Aggregate: Π cᵢ^{zᵢ}·w₂^N = b·c_out^e.
+        let mut lhs = mod_pow(&self.w2, n, n2);
+        for (c, z_i) in inputs.iter().zip(&self.z) {
+            lhs = (&lhs * &mod_pow(c.raw(), z_i, n2)).rem_of(n2);
+        }
+        let rhs = (&self.b * &mod_pow(output.raw(), &e, n2)).rem_of(n2);
+        lhs == rhs
+    }
+
+    fn derive_challenge(
+        pk: &PublicKey,
+        commitments: &[Ciphertext],
+        inputs: &[Ciphertext],
+        output: &Ciphertext,
+        a: &[BigUint],
+        b: &BigUint,
+    ) -> BigUint {
+        let mut t = Transcript::new("pohdp");
+        t.absorb("N", pk.n());
+        for c in commitments {
+            t.absorb("cx", c.raw());
+        }
+        for c in inputs {
+            t.absorb("c", c.raw());
+        }
+        t.absorb("out", output.raw());
+        for ai in a {
+            t.absorb("a", ai);
+        }
+        t.absorb("b", b);
+        t.challenge("e", challenge_bits(pk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_paillier::keygen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (pivot_paillier::KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(303);
+        (keygen(&mut rng, 192), rng)
+    }
+
+    fn commit_vector(
+        pk: &PublicKey,
+        x: &[u64],
+        rng: &mut StdRng,
+    ) -> (Vec<Ciphertext>, Vec<BigUint>, Vec<BigUint>) {
+        let mut cts = Vec::new();
+        let mut rs = Vec::new();
+        let mut xs = Vec::new();
+        for &v in x {
+            let r = pivot_bignum::rng::gen_coprime(rng, pk.n());
+            let xv = BigUint::from_u64(v);
+            cts.push(pk.encrypt_with(&xv, &r));
+            rs.push(r);
+            xs.push(xv);
+        }
+        (cts, xs, rs)
+    }
+
+    #[test]
+    fn honest_dot_product_verifies() {
+        let (kp, mut rng) = setup();
+        // Indicator vector (1,0,1) against encrypted values (10,20,30).
+        let (commitments, x, r) = commit_vector(&kp.pk, &[1, 0, 1], &mut rng);
+        let inputs: Vec<Ciphertext> = [10u64, 20, 30]
+            .iter()
+            .map(|&v| kp.pk.encrypt(&BigUint::from_u64(v), &mut rng))
+            .collect();
+        let (output, s) = DotProductProof::dot(&kp.pk, &inputs, &x, &mut rng);
+        assert_eq!(kp.sk.decrypt(&output), BigUint::from_u64(40));
+        let proof =
+            DotProductProof::prove(&kp.pk, &commitments, &inputs, &output, &x, &r, &s, &mut rng);
+        assert!(proof.verify(&kp.pk, &commitments, &inputs, &output));
+    }
+
+    #[test]
+    fn forged_output_rejected() {
+        let (kp, mut rng) = setup();
+        let (commitments, x, r) = commit_vector(&kp.pk, &[1, 1], &mut rng);
+        let inputs: Vec<Ciphertext> = [5u64, 6]
+            .iter()
+            .map(|&v| kp.pk.encrypt(&BigUint::from_u64(v), &mut rng))
+            .collect();
+        let (output, s) = DotProductProof::dot(&kp.pk, &inputs, &x, &mut rng);
+        let proof =
+            DotProductProof::prove(&kp.pk, &commitments, &inputs, &output, &x, &r, &s, &mut rng);
+        let forged = kp.pk.encrypt(&BigUint::from_u64(12), &mut rng);
+        assert!(!proof.verify(&kp.pk, &commitments, &inputs, &forged));
+    }
+
+    #[test]
+    fn vector_substitution_rejected() {
+        // Prover committed to (1,0) but computes the dot with (0,1).
+        let (kp, mut rng) = setup();
+        let (commitments, _x, r) = commit_vector(&kp.pk, &[1, 0], &mut rng);
+        let other: Vec<BigUint> = vec![BigUint::zero(), BigUint::one()];
+        let inputs: Vec<Ciphertext> = [5u64, 6]
+            .iter()
+            .map(|&v| kp.pk.encrypt(&BigUint::from_u64(v), &mut rng))
+            .collect();
+        let (output, s) = DotProductProof::dot(&kp.pk, &inputs, &other, &mut rng);
+        let proof = DotProductProof::prove(
+            &kp.pk, &commitments, &inputs, &output, &other, &r, &s, &mut rng,
+        );
+        assert!(!proof.verify(&kp.pk, &commitments, &inputs, &output));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (kp, mut rng) = setup();
+        let (commitments, x, r) = commit_vector(&kp.pk, &[1], &mut rng);
+        let inputs = vec![kp.pk.encrypt(&BigUint::from_u64(5), &mut rng)];
+        let (output, s) = DotProductProof::dot(&kp.pk, &inputs, &x, &mut rng);
+        let proof =
+            DotProductProof::prove(&kp.pk, &commitments, &inputs, &output, &x, &r, &s, &mut rng);
+        let extra = vec![commitments[0].clone(), commitments[0].clone()];
+        assert!(!proof.verify(&kp.pk, &extra, &inputs, &output));
+    }
+}

@@ -1,0 +1,203 @@
+//! POPCM — proof of plaintext–ciphertext multiplication (§9.1.1, CDN
+//! [24]): given `c₁ = Enc(x)`, `c₂`, and `c₃`, prove
+//! `Dec(c₃) = x·Dec(c₂)` for the committed `x`.
+//!
+//! Witness: `(x, r₁, s)` with `c₁ = g^x·r₁^N` and `c₃ = c₂^x·s^N`.
+
+use crate::{challenge_bits, Transcript};
+use pivot_bignum::{mod_pow, rng as brng, BigUint};
+use pivot_paillier::{Ciphertext, PublicKey};
+use rand::Rng;
+
+/// Non-interactive multiplication proof.
+#[derive(Clone, Debug)]
+pub struct MultiplicationProof {
+    /// `a = g^u·v^N`.
+    pub a: BigUint,
+    /// `b = c₂^u·w'^N`.
+    pub b: BigUint,
+    pub z: BigUint,
+    pub w1: BigUint,
+    pub w2: BigUint,
+}
+
+impl MultiplicationProof {
+    /// Compute `c₃ = c₂^x·s^N` (the operation being proven) — helper so
+    /// prover and protocol agree on the randomness `s`.
+    pub fn multiply<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        c2: &Ciphertext,
+        x: &BigUint,
+        rng: &mut R,
+    ) -> (Ciphertext, BigUint) {
+        let s = brng::gen_coprime(rng, pk.n());
+        let base = pk.mul_plain(c2, x);
+        let s_n = mod_pow(&s, pk.n(), pk.n_squared());
+        let c3 = Ciphertext::from_raw((base.raw() * &s_n).rem_of(pk.n_squared()));
+        (c3, s)
+    }
+
+    /// Prove `Dec(c₃) = x·Dec(c₂)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prove<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        c1: &Ciphertext,
+        c2: &Ciphertext,
+        c3: &Ciphertext,
+        x: &BigUint,
+        r1: &BigUint,
+        s: &BigUint,
+        rng: &mut R,
+    ) -> MultiplicationProof {
+        let n = pk.n();
+        let n2 = pk.n_squared();
+        let u = brng::gen_below(rng, n);
+        let v = brng::gen_coprime(rng, n);
+        let w_prime = brng::gen_coprime(rng, n);
+
+        let a = pk.encrypt_with(&u, &v).into_raw();
+        let b = {
+            let c2_u = mod_pow(c2.raw(), &u, n2);
+            let wn = mod_pow(&w_prime, n, n2);
+            (&c2_u * &wn).rem_of(n2)
+        };
+
+        let e = Self::derive_challenge(pk, c1, c2, c3, &a, &b);
+
+        let full = &u + &(&e * x);
+        let (t, z) = full.div_rem(n);
+        let w1 = (&v * &mod_pow(r1, &e, n)).rem_of(n);
+        // w₂ = w'·s^e·(c₂^t mod N) mod N.
+        let c2_t = mod_pow(&c2.raw().rem_of(n), &t, n);
+        let w2 = (&(&w_prime * &mod_pow(s, &e, n)).rem_of(n) * &c2_t).rem_of(n);
+        MultiplicationProof { a, b, z, w1, w2 }
+    }
+
+    /// Verify against `(c₁, c₂, c₃)`.
+    pub fn verify(
+        &self,
+        pk: &PublicKey,
+        c1: &Ciphertext,
+        c2: &Ciphertext,
+        c3: &Ciphertext,
+    ) -> bool {
+        let n = pk.n();
+        let n2 = pk.n_squared();
+        if self.z >= *n || self.w1 >= *n || self.w2 >= *n {
+            return false;
+        }
+        let e = Self::derive_challenge(pk, c1, c2, c3, &self.a, &self.b);
+
+        // (1) g^z·w₁^N = a·c₁^e.
+        let lhs1 = pk.encrypt_with(&self.z, &self.w1).into_raw();
+        let rhs1 = (&self.a * &mod_pow(c1.raw(), &e, n2)).rem_of(n2);
+        if lhs1 != rhs1 {
+            return false;
+        }
+        // (2) c₂^z·w₂^N = b·c₃^e.
+        let lhs2 = {
+            let c2_z = mod_pow(c2.raw(), &self.z, n2);
+            let w2_n = mod_pow(&self.w2, n, n2);
+            (&c2_z * &w2_n).rem_of(n2)
+        };
+        let rhs2 = (&self.b * &mod_pow(c3.raw(), &e, n2)).rem_of(n2);
+        lhs2 == rhs2
+    }
+
+    fn derive_challenge(
+        pk: &PublicKey,
+        c1: &Ciphertext,
+        c2: &Ciphertext,
+        c3: &Ciphertext,
+        a: &BigUint,
+        b: &BigUint,
+    ) -> BigUint {
+        let mut t = Transcript::new("popcm");
+        t.absorb("N", pk.n());
+        t.absorb("c1", c1.raw());
+        t.absorb("c2", c2.raw());
+        t.absorb("c3", c3.raw());
+        t.absorb("a", a);
+        t.absorb("b", b);
+        t.challenge("e", challenge_bits(pk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_paillier::keygen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (pivot_paillier::KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(202);
+        (keygen(&mut rng, 192), rng)
+    }
+
+    #[test]
+    fn honest_multiplication_verifies() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(6);
+        let r1 = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c1 = kp.pk.encrypt_with(&x, &r1);
+        let c2 = kp.pk.encrypt(&BigUint::from_u64(7), &mut rng);
+        let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &x, &mut rng);
+        // Semantics: c₃ decrypts to 42.
+        assert_eq!(kp.sk.decrypt(&c3), BigUint::from_u64(42));
+        let proof =
+            MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        assert!(proof.verify(&kp.pk, &c1, &c2, &c3));
+    }
+
+    #[test]
+    fn mismatched_product_rejected() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(6);
+        let r1 = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c1 = kp.pk.encrypt_with(&x, &r1);
+        let c2 = kp.pk.encrypt(&BigUint::from_u64(7), &mut rng);
+        let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &x, &mut rng);
+        let proof =
+            MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        // Claiming the product is an encryption of something else fails.
+        let fake_c3 = kp.pk.encrypt(&BigUint::from_u64(41), &mut rng);
+        assert!(!proof.verify(&kp.pk, &c1, &c2, &fake_c3));
+    }
+
+    #[test]
+    fn wrong_multiplier_rejected() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(6);
+        let r1 = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c1 = kp.pk.encrypt_with(&x, &r1);
+        let c2 = kp.pk.encrypt(&BigUint::from_u64(7), &mut rng);
+        // A malicious prover uses x' = 5 in the product but claims c1.
+        let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &BigUint::from_u64(5), &mut rng);
+        let proof = MultiplicationProof::prove(
+            &kp.pk,
+            &c1,
+            &c2,
+            &c3,
+            &BigUint::from_u64(5),
+            &r1,
+            &s,
+            &mut rng,
+        );
+        assert!(!proof.verify(&kp.pk, &c1, &c2, &c3));
+    }
+
+    #[test]
+    fn multiply_by_zero() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::zero();
+        let r1 = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c1 = kp.pk.encrypt_with(&x, &r1);
+        let c2 = kp.pk.encrypt(&BigUint::from_u64(9), &mut rng);
+        let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &x, &mut rng);
+        assert_eq!(kp.sk.decrypt(&c3), BigUint::zero());
+        let proof =
+            MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        assert!(proof.verify(&kp.pk, &c1, &c2, &c3));
+    }
+}

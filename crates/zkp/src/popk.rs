@@ -1,0 +1,146 @@
+//! POPK — proof of plaintext knowledge (paper §9.1.1, from CDN [24]).
+//!
+//! Statement: ciphertext `c`. Witness: `(x, r)` with `c = g^x·r^N mod N²`.
+//!
+//! Σ-protocol (using `g = 1+N`, so `g^N ≡ 1 (mod N²)`):
+//! commitment `a = g^u·v^N`; challenge `e`; response
+//! `z = u + e·x mod N`, `w = v·r^e mod N`. Verification:
+//! `g^z·w^N ≡ a·c^e (mod N²)`.
+
+use crate::{challenge_bits, Transcript};
+use pivot_bignum::{rng as brng, BigUint};
+use pivot_paillier::{Ciphertext, PublicKey};
+use rand::Rng;
+
+/// A non-interactive proof of plaintext knowledge.
+#[derive(Clone, Debug)]
+pub struct PlaintextProof {
+    pub commitment: BigUint,
+    pub z: BigUint,
+    pub w: BigUint,
+}
+
+impl PlaintextProof {
+    /// Prove knowledge of `(x, r)` for `c = Enc(x; r)`.
+    pub fn prove<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        c: &Ciphertext,
+        x: &BigUint,
+        r: &BigUint,
+        rng: &mut R,
+    ) -> PlaintextProof {
+        let n = pk.n();
+        let u = brng::gen_below(rng, n);
+        let v = brng::gen_coprime(rng, n);
+        let a = pk.encrypt_with(&u, &v); // g^u·v^N — same shape as Enc
+
+        let e = Self::derive_challenge(pk, c, a.raw());
+
+        // z = u + e·x mod N; w = v·r^e mod N.
+        let z = (&u + &(&e * x)).rem_of(n);
+        let r_e = pivot_bignum::mod_pow(r, &e, n);
+        let w = (&v * &r_e).rem_of(n);
+        PlaintextProof { commitment: a.into_raw(), z, w }
+    }
+
+    /// Verify against the ciphertext.
+    pub fn verify(&self, pk: &PublicKey, c: &Ciphertext) -> bool {
+        let n2 = pk.n_squared();
+        if self.z >= *pk.n() || self.w >= *pk.n() || self.w.is_zero() {
+            return false;
+        }
+        let e = Self::derive_challenge(pk, c, &self.commitment);
+        // lhs = g^z·w^N; rhs = a·c^e.
+        let lhs = pk
+            .encrypt_with(&self.z, &self.w)
+            .into_raw();
+        let c_e = pivot_bignum::mod_pow(c.raw(), &e, n2);
+        let rhs = (&self.commitment * &c_e).rem_of(n2);
+        lhs == rhs
+    }
+
+    fn derive_challenge(pk: &PublicKey, c: &Ciphertext, a: &BigUint) -> BigUint {
+        let mut t = Transcript::new("popk");
+        t.absorb("N", pk.n());
+        t.absorb("c", c.raw());
+        t.absorb("a", a);
+        t.challenge("e", challenge_bits(pk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_paillier::keygen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (pivot_paillier::KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(101);
+        (keygen(&mut rng, 192), rng)
+    }
+
+    #[test]
+    fn honest_proof_verifies() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(42);
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c = kp.pk.encrypt_with(&x, &r);
+        let proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+        assert!(proof.verify(&kp.pk, &c));
+    }
+
+    #[test]
+    fn zero_plaintext_proves() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::zero();
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c = kp.pk.encrypt_with(&x, &r);
+        let proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+        assert!(proof.verify(&kp.pk, &c));
+    }
+
+    #[test]
+    fn wrong_ciphertext_rejected() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(42);
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c = kp.pk.encrypt_with(&x, &r);
+        let proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+        let other = kp.pk.encrypt(&BigUint::from_u64(43), &mut rng);
+        assert!(!proof.verify(&kp.pk, &other));
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(7);
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c = kp.pk.encrypt_with(&x, &r);
+        let mut proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+        proof.z = (&proof.z + &BigUint::one()).rem_of(kp.pk.n());
+        assert!(!proof.verify(&kp.pk, &c));
+    }
+
+    #[test]
+    fn tampered_commitment_rejected() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(7);
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c = kp.pk.encrypt_with(&x, &r);
+        let mut proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+        proof.commitment = (&proof.commitment + &BigUint::one()).rem_of(kp.pk.n_squared());
+        assert!(!proof.verify(&kp.pk, &c));
+    }
+
+    #[test]
+    fn out_of_range_fields_rejected() {
+        let (kp, mut rng) = setup();
+        let x = BigUint::from_u64(7);
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+        let c = kp.pk.encrypt_with(&x, &r);
+        let mut proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+        proof.w = kp.pk.n().clone(); // ≥ N must be rejected outright
+        assert!(!proof.verify(&kp.pk, &c));
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's motivating scenario (Figure 1): a bank and a Fintech
+//! company jointly evaluate credit-card applications **without revealing
+//! the model internals** — the enhanced protocol conceals every split
+//! threshold and leaf label, closing the collusion leakages of §5.1.
+//!
+//! Run: `cargo run --release --example credit_scoring`
+
+use pivot::core::{config::PivotParams, party::PartyContext, predict_enhanced, train_enhanced};
+use pivot::data::{metrics, partition_vertically, synth};
+use pivot::transport::run_parties;
+
+fn main() {
+    // Matched-shape stand-in for the UCI credit-card dataset (Table 3).
+    let data = synth::credit_card_like(300, 11);
+    let (train, test) = data.train_test_split(0.25);
+
+    // Two organizations: the bank (client 0, holds the repayment labels)
+    // and the Fintech company (client 1).
+    let m = 2;
+    let train_part = partition_vertically(&train, m, 0);
+    let test_part = partition_vertically(&test, m, 0);
+
+    let mut params = PivotParams::enhanced();
+    params.tree.max_depth = 3;
+    params.tree.max_splits = 4;
+    params.keysize = 256;
+
+    let results = run_parties(m, |ep| {
+        let role = if ep.id() == 0 { "bank" } else { "fintech" };
+        let view = train_part.views[ep.id()].clone();
+        let test_view = &test_part.views[ep.id()];
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+
+        // Train the concealed model: split features are public, but the
+        // thresholds and approval decisions stay encrypted.
+        let model = train_enhanced::train(&mut ctx);
+
+        let applications: Vec<Vec<f64>> = (0..test_view.num_samples().min(40))
+            .map(|i| test_view.features[i].clone())
+            .collect();
+        let decisions = predict_enhanced::predict_batch(&mut ctx, &model, &applications);
+        (role, model.internal_count(), decisions)
+    });
+
+    let (_, internal, decisions) = &results[0];
+    println!("Concealed model: {internal} internal nodes — thresholds and leaf");
+    println!("labels exist only as ciphertexts; neither party can replay §5.1's");
+    println!("training-label or feature-value inference attacks.\n");
+
+    let truth: Vec<f64> = (0..decisions.len()).map(|i| test.label(i)).collect();
+    let accuracy = metrics::accuracy(decisions, &truth);
+    println!("Joint credit decisions on {} held-out applications", decisions.len());
+    println!("agreement with ground truth: {accuracy:.3}");
+    println!("(every decision required one secure prediction — only the final");
+    println!("approve/deny bit was ever revealed to the two parties)");
+}

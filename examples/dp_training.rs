@@ -1,0 +1,55 @@
+//! Differentially private federated training (§9.2): the privacy budget
+//! trades model accuracy for protection of individual training samples —
+//! with all noise sampled *inside* MPC (Algorithms 5 and 6), so no client
+//! ever sees it.
+//!
+//! Run: `cargo run --release --example dp_training`
+
+use pivot::core::dp::{train_dp, DpParams};
+use pivot::core::{config::PivotParams, party::PartyContext};
+use pivot::data::{metrics, partition_vertically, synth};
+use pivot::transport::run_parties;
+
+fn main() {
+    let data = synth::make_classification(&synth::ClassificationSpec {
+        samples: 150,
+        features: 6,
+        informative: 4,
+        classes: 2,
+        class_sep: 2.0,
+        flip_y: 0.0,
+        seed: 23,
+    });
+    let m = 2;
+    let partition = partition_vertically(&data, m, 0);
+
+    let mut params = PivotParams::default();
+    params.tree.max_depth = 2;
+    params.tree.max_splits = 4;
+    params.tree.stop_when_pure = false;
+    params.keysize = 256;
+
+    let samples: Vec<Vec<f64>> =
+        (0..data.num_samples()).map(|i| data.sample(i).to_vec()).collect();
+
+    println!("Per-query ε → total budget B = 2(h+1)ε → training accuracy:");
+    for eps in [0.05f64, 0.5, 4.0] {
+        let dp = DpParams { epsilon_per_query: eps };
+        let trees = run_parties(m, |ep| {
+            let view = partition.views[ep.id()].clone();
+            let mut ctx = PartyContext::setup(&ep, view, params.clone());
+            train_dp(&mut ctx, &dp)
+        });
+        let preds = trees[0].predict_batch(&samples);
+        let acc = metrics::accuracy(&preds, data.labels());
+        println!(
+            "  ε = {eps:>5.2}  →  B = {:>5.1}  →  accuracy {acc:.3}",
+            dp.total_budget(params.tree.max_depth)
+        );
+    }
+    println!();
+    println!("Low budgets randomize split selection (exponential mechanism)");
+    println!("and leaf labels (Laplace on the class counts); high budgets");
+    println!("converge to the non-DP tree. The noise itself is secret-shared —");
+    println!("Algorithms 5 and 6 run entirely inside SPDZ.");
+}

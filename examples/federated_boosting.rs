@@ -1,0 +1,48 @@
+//! Federated GBDT (§7.2) on an energy-prediction-shaped regression task:
+//! the boosting residuals — which would reveal every client's running
+//! prediction error — stay encrypted end to end.
+//!
+//! Run: `cargo run --release --example federated_boosting`
+
+use pivot::core::ensemble::{predict_gbdt_batch, train_gbdt, GbdtProtocolParams};
+use pivot::core::{config::PivotParams, party::PartyContext};
+use pivot::data::{metrics, partition_vertically, synth};
+use pivot::transport::run_parties;
+
+fn main() {
+    // Matched-shape stand-in for the appliances-energy dataset (Table 3).
+    let data = synth::energy_like(200, 5);
+    let (train, test) = data.train_test_split(0.25);
+
+    let m = 3;
+    let train_part = partition_vertically(&train, m, 0);
+    let test_part = partition_vertically(&test, m, 0);
+
+    let mut params = PivotParams::default();
+    params.tree.max_depth = 2;
+    params.tree.max_splits = 4;
+    params.tree.stop_when_pure = false;
+    params.keysize = 256;
+
+    println!("Boosting with encrypted residual labels (W rounds → test MSE):");
+    for rounds in [1usize, 2, 4] {
+        let gbdt = GbdtProtocolParams { rounds, learning_rate: 0.5 };
+        let preds = run_parties(m, |ep| {
+            let view = train_part.views[ep.id()].clone();
+            let test_view = &test_part.views[ep.id()];
+            let mut ctx = PartyContext::setup(&ep, view, params.clone());
+            let model = train_gbdt(&mut ctx, &gbdt);
+            let local: Vec<Vec<f64>> = (0..test_view.num_samples())
+                .map(|i| test_view.features[i].clone())
+                .collect();
+            predict_gbdt_batch(&mut ctx, &model, &local)
+        });
+        let mse = metrics::mse(&preds[0], test.labels());
+        println!("  W = {rounds}: MSE = {mse:.4}");
+    }
+    println!();
+    println!("Each round the clients jointly predicted all training samples");
+    println!("(Algorithm 4, encrypted outputs), updated the residuals on");
+    println!("secret shares, and re-encrypted [γ₁], [γ₂] for the next tree —");
+    println!("the super client never saw an intermediate label (§7.2).");
+}

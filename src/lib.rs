@@ -1,0 +1,20 @@
+//! Facade crate for the Pivot reproduction: re-exports every sub-crate.
+//!
+//! See the individual crates for detail:
+//! - [`bignum`] arbitrary-precision integers
+//! - [`paillier`] threshold Paillier cryptosystem
+//! - [`transport`] multi-party in-process network
+//! - [`mpc`] additive secret sharing (SPDZ-style, semi-honest)
+//! - [`data`] datasets, synthesis, vertical partitioning
+//! - [`trees`] plaintext CART / random forest / GBDT baselines
+//! - [`core`] the Pivot protocols (basic, enhanced, ensembles, baselines)
+//! - [`zkp`] Σ-protocol building blocks for the malicious extension
+
+pub use pivot_bignum as bignum;
+pub use pivot_core as core;
+pub use pivot_data as data;
+pub use pivot_mpc as mpc;
+pub use pivot_paillier as paillier;
+pub use pivot_transport as transport;
+pub use pivot_trees as trees;
+pub use pivot_zkp as zkp;

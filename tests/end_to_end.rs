@@ -1,0 +1,99 @@
+//! Cross-crate integration tests on the facade crate: the full pipeline
+//! from data synthesis through vertical partitioning, privacy-preserving
+//! training, and joint prediction.
+
+use pivot::core::{config::PivotParams, party::PartyContext, predict_basic, train_basic};
+use pivot::data::{metrics, partition_vertically, synth};
+use pivot::transport::run_parties;
+use pivot::trees::{train_tree, TreeParams};
+
+#[test]
+fn full_pipeline_classification() {
+    let data = synth::make_classification(&synth::ClassificationSpec {
+        samples: 90,
+        features: 6,
+        informative: 4,
+        classes: 3,
+        class_sep: 2.0,
+        flip_y: 0.0,
+        seed: 99,
+    });
+    let (train, test) = data.train_test_split(0.3);
+    let m = 3;
+    let train_part = partition_vertically(&train, m, 0);
+    let test_part = partition_vertically(&test, m, 0);
+    let params = PivotParams {
+        tree: TreeParams { max_depth: 3, max_splits: 4, ..Default::default() },
+        keysize: 128,
+        ..Default::default()
+    };
+
+    let results = run_parties(m, |ep| {
+        let view = train_part.views[ep.id()].clone();
+        let test_view = &test_part.views[ep.id()];
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        let tree = train_basic::train(&mut ctx);
+        let local: Vec<Vec<f64>> = (0..test_view.num_samples())
+            .map(|i| test_view.features[i].clone())
+            .collect();
+        predict_basic::predict_batch(&mut ctx, &tree, &local)
+    });
+
+    let acc = metrics::accuracy(&results[0], test.labels());
+    assert!(acc > 0.75, "federated accuracy {acc}");
+
+    // Sanity: close to what a centralized tree achieves.
+    let central = train_tree(
+        &train,
+        &TreeParams { max_depth: 3, max_splits: 4, ..Default::default() },
+    );
+    let central_preds: Vec<f64> =
+        (0..test.num_samples()).map(|i| central.predict(test.sample(i))).collect();
+    let central_acc = metrics::accuracy(&central_preds, test.labels());
+    assert!(
+        (acc - central_acc).abs() < 0.1,
+        "federated {acc} vs centralized {central_acc}"
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time checks that the facade exposes every subsystem.
+    let _ = pivot::bignum::BigUint::from_u64(1);
+    let _ = pivot::mpc::Fp::new(5);
+    let _ = pivot::paillier::fixtures::threshold_keys(2, 128);
+    let _ = pivot::zkp::Sha256::digest(b"pivot");
+    let cfg = pivot::mpc::FixedConfig::default();
+    cfg.assert_valid();
+}
+
+#[test]
+fn different_super_client_positions() {
+    // The label holder need not be client 0.
+    let data = synth::make_classification(&synth::ClassificationSpec {
+        samples: 40,
+        features: 6,
+        informative: 3,
+        classes: 2,
+        class_sep: 2.0,
+        flip_y: 0.0,
+        seed: 4,
+    });
+    let m = 3;
+    for super_client in [0usize, 1, 2] {
+        let partition = partition_vertically(&data, m, super_client);
+        let params = PivotParams {
+            tree: TreeParams { max_depth: 2, max_splits: 3, ..Default::default() },
+            keysize: 128,
+            ..Default::default()
+        };
+        let trees = run_parties(m, |ep| {
+            let view = partition.views[ep.id()].clone();
+            let mut ctx = PartyContext::setup(&ep, view, params.clone());
+            assert_eq!(ctx.super_client, super_client);
+            train_basic::train(&mut ctx)
+        });
+        assert_eq!(trees[0], trees[1]);
+        assert_eq!(trees[1], trees[2]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Malicious-model integration (§9.1): clients commit their indicator
+//! vectors with POPK and prove their encrypted split statistics with
+//! POHDP; a cheating client's forged statistic is detected.
+
+use pivot::bignum::{rng as brng, BigUint};
+use pivot::paillier::{fixtures, vector, Ciphertext};
+use pivot::zkp::{DotProductProof, MultiplicationProof, PlaintextProof};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn committed_statistics_verify_and_forgeries_fail() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = fixtures::threshold_keys(3, 192);
+    let pk = &keys.pk;
+
+    // The super client publishes an encrypted label-mask vector [γ].
+    let gamma_plain: Vec<u64> = vec![1, 0, 1, 1, 0];
+    let gamma: Vec<Ciphertext> = gamma_plain
+        .iter()
+        .map(|&v| pk.encrypt(&BigUint::from_u64(v), &mut rng))
+        .collect();
+
+    // A client commits its split-indicator vector v = (1,1,0,0,1) with
+    // POPK per element (§9.1.2 "commit the pre-computed split indicator
+    // vectors").
+    let v: Vec<u64> = vec![1, 1, 0, 0, 1];
+    let mut commitments = Vec::new();
+    let mut v_rand = Vec::new();
+    let v_big: Vec<BigUint> = v.iter().map(|&b| BigUint::from_u64(b)).collect();
+    for xv in &v_big {
+        let r = brng::gen_coprime(&mut rng, pk.n());
+        let c = pk.encrypt_with(xv, &r);
+        let proof = PlaintextProof::prove(pk, &c, xv, &r, &mut rng);
+        assert!(proof.verify(pk, &c), "commitment proof must verify");
+        commitments.push(c);
+        v_rand.push(r);
+    }
+
+    // The client computes its encrypted statistic g = v ⊙ [γ] and proves
+    // it with POHDP.
+    let (stat, s) = DotProductProof::dot(pk, &gamma, &v_big, &mut rng);
+    let proof =
+        DotProductProof::prove(pk, &commitments, &gamma, &stat, &v_big, &v_rand, &s, &mut rng);
+    assert!(proof.verify(pk, &commitments, &gamma, &stat));
+
+    // Decrypts to the honest dot product: samples 0 and 4 match → 1+0 = 1…
+    // v·γ = 1·1 + 1·0 + 0·1 + 0·1 + 1·0 = 1.
+    let partials: Vec<_> = keys.shares.iter().map(|sh| sh.partial_decrypt(&stat)).collect();
+    assert_eq!(keys.combiner.combine(&partials), BigUint::from_u64(1));
+
+    // Forgery: the client swaps in a different statistic — verification
+    // fails, the honest clients abort (§9.1.2).
+    let forged = vector::dot_binary(pk, &gamma, &[true, true, true, true, true]);
+    assert!(!proof.verify(pk, &commitments, &gamma, &forged));
+}
+
+#[test]
+fn eta_update_proof_for_prediction() {
+    // Algorithm 4's η updates are plaintext-ciphertext multiplications;
+    // POPCM proves each one (§9.1.2 model prediction).
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys = fixtures::threshold_keys(2, 192);
+    let pk = &keys.pk;
+
+    let eta_j = pk.encrypt(&BigUint::one(), &mut rng);
+    // The client's path bit (here: eliminate the path, bit = 0), committed.
+    let bit = BigUint::zero();
+    let r1 = brng::gen_coprime(&mut rng, pk.n());
+    let c1 = pk.encrypt_with(&bit, &r1);
+    let (updated, s) = MultiplicationProof::multiply(pk, &eta_j, &bit, &mut rng);
+    let proof =
+        MultiplicationProof::prove(pk, &c1, &eta_j, &updated, &bit, &r1, &s, &mut rng);
+    assert!(proof.verify(pk, &c1, &eta_j, &updated));
+
+    // The updated entry decrypts to 0 (path eliminated) without revealing
+    // which client eliminated it.
+    let partials: Vec<_> =
+        keys.shares.iter().map(|sh| sh.partial_decrypt(&updated)).collect();
+    assert_eq!(keys.combiner.combine(&partials), BigUint::zero());
+
+    // A cheater claiming a different η' fails.
+    let wrong = pk.encrypt(&BigUint::one(), &mut rng);
+    assert!(!proof.verify(pk, &c1, &eta_j, &wrong));
+}
