@@ -9,8 +9,9 @@ use std::time::Duration;
 fn argmax_run(n_vals: usize, sequential: bool) {
     run_parties(3, |ep| {
         let mut e = MpcEngine::new(&ep, 42, FixedConfig::default());
-        let vals: Vec<Share> =
-            (0..n_vals).map(|i| e.constant_f64((i % 17) as f64)).collect();
+        let vals: Vec<Share> = (0..n_vals)
+            .map(|i| e.constant_f64((i % 17) as f64))
+            .collect();
         let (idx, _) = if sequential {
             e.argmax_sequential(&vals)
         } else {
@@ -24,8 +25,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_argmax");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     for n in [8usize, 32] {
-        g.bench_function(format!("tournament/{n}"), |b| b.iter(|| argmax_run(n, false)));
-        g.bench_function(format!("sequential/{n}"), |b| b.iter(|| argmax_run(n, true)));
+        g.bench_function(format!("tournament/{n}"), |b| {
+            b.iter(|| argmax_run(n, false))
+        });
+        g.bench_function(format!("sequential/{n}"), |b| {
+            b.iter(|| argmax_run(n, true))
+        });
     }
     g.finish();
 }

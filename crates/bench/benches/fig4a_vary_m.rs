@@ -5,7 +5,16 @@ use pivot_bench::{run_training, Algo, BenchConfig};
 use std::time::Duration;
 
 fn tiny(m: usize) -> BenchConfig {
-    BenchConfig { m, n: 60, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() }
+    BenchConfig {
+        m,
+        n: 60,
+        d_per_client: 2,
+        b: 3,
+        h: 2,
+        classes: 2,
+        keysize: 128,
+        ..Default::default()
+    }
 }
 
 fn bench(c: &mut Criterion) {

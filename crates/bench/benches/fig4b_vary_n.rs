@@ -9,7 +9,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4b_training_vs_n");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for n in [40usize, 80, 160] {
-        let cfg = BenchConfig { n, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+        let cfg = BenchConfig {
+            n,
+            d_per_client: 2,
+            b: 3,
+            h: 2,
+            classes: 2,
+            keysize: 128,
+            ..Default::default()
+        };
         let data = cfg.classification_dataset();
         g.bench_function(format!("pivot_basic/n={n}"), |b| {
             b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))

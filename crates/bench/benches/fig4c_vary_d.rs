@@ -9,7 +9,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4c_training_vs_d");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for d in [2usize, 4, 6] {
-        let cfg = BenchConfig { d_per_client: d, n: 60, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+        let cfg = BenchConfig {
+            d_per_client: d,
+            n: 60,
+            b: 3,
+            h: 2,
+            classes: 2,
+            keysize: 128,
+            ..Default::default()
+        };
         let data = cfg.classification_dataset();
         g.bench_function(format!("pivot_basic/d={d}"), |b| {
             b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))

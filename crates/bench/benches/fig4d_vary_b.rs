@@ -9,7 +9,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4d_training_vs_b");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for b_splits in [2usize, 4, 8] {
-        let cfg = BenchConfig { b: b_splits, n: 60, d_per_client: 2, h: 2, classes: 2, keysize: 128, ..Default::default() };
+        let cfg = BenchConfig {
+            b: b_splits,
+            n: 60,
+            d_per_client: 2,
+            h: 2,
+            classes: 2,
+            keysize: 128,
+            ..Default::default()
+        };
         let data = cfg.classification_dataset();
         g.bench_function(format!("pivot_basic/b={b_splits}"), |b| {
             b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))

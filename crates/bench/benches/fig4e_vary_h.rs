@@ -9,7 +9,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4e_training_vs_h");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for h in [1usize, 2, 3] {
-        let cfg = BenchConfig { h, n: 60, d_per_client: 2, b: 3, classes: 2, keysize: 128, ..Default::default() };
+        let cfg = BenchConfig {
+            h,
+            n: 60,
+            d_per_client: 2,
+            b: 3,
+            classes: 2,
+            keysize: 128,
+            ..Default::default()
+        };
         let data = cfg.classification_dataset();
         g.bench_function(format!("pivot_basic/h={h}"), |b| {
             b.iter(|| run_training(&cfg, Algo::PivotBasic, &data))

@@ -12,7 +12,15 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4f_ensembles_vs_w");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
-    let cfg = BenchConfig { n: 40, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+    let cfg = BenchConfig {
+        n: 40,
+        d_per_client: 2,
+        b: 3,
+        h: 2,
+        classes: 2,
+        keysize: 128,
+        ..Default::default()
+    };
     let clf = cfg.classification_dataset();
     let reg = cfg.regression_dataset();
     for w in [2usize, 4] {
@@ -24,7 +32,13 @@ fn bench(c: &mut Criterion) {
                 run_parties(cfg.m, |ep| {
                     let view = clf_part.views[ep.id()].clone();
                     let mut ctx = PartyContext::setup(&ep, view, params.clone());
-                    train_rf(&mut ctx, &RfProtocolParams { trees: w, ..Default::default() })
+                    train_rf(
+                        &mut ctx,
+                        &RfProtocolParams {
+                            trees: w,
+                            ..Default::default()
+                        },
+                    )
                 })
             })
         });
@@ -33,7 +47,13 @@ fn bench(c: &mut Criterion) {
                 run_parties(cfg.m, |ep| {
                     let view = reg_part.views[ep.id()].clone();
                     let mut ctx = PartyContext::setup(&ep, view, params.clone());
-                    train_gbdt(&mut ctx, &GbdtProtocolParams { rounds: w, learning_rate: 0.3 })
+                    train_gbdt(
+                        &mut ctx,
+                        &GbdtProtocolParams {
+                            rounds: w,
+                            learning_rate: 0.3,
+                        },
+                    )
                 })
             })
         });

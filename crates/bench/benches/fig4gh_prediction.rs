@@ -13,8 +13,22 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4gh_prediction");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     // 4g: vary m at h=2; 4h: vary h at m=3.
-    for (label, m, h) in [("4g/m=2", 2usize, 2usize), ("4g/m=4", 4, 2), ("4h/h=1", 3, 1), ("4h/h=3", 3, 3)] {
-        let cfg = BenchConfig { m, h, n: 40, d_per_client: 2, b: 3, classes: 2, keysize: 128, ..Default::default() };
+    for (label, m, h) in [
+        ("4g/m=2", 2usize, 2usize),
+        ("4g/m=4", 4, 2),
+        ("4h/h=1", 3, 1),
+        ("4h/h=3", 3, 3),
+    ] {
+        let cfg = BenchConfig {
+            m,
+            h,
+            n: 40,
+            d_per_client: 2,
+            b: 3,
+            classes: 2,
+            keysize: 128,
+            ..Default::default()
+        };
         let data = cfg.classification_dataset();
         let partition = partition_vertically(&data, cfg.m, 0);
 

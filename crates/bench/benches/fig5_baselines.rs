@@ -8,9 +8,22 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_baselines");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
-    let cfg = BenchConfig { n: 60, d_per_client: 2, b: 3, h: 2, classes: 2, keysize: 128, ..Default::default() };
+    let cfg = BenchConfig {
+        n: 60,
+        d_per_client: 2,
+        b: 3,
+        h: 2,
+        classes: 2,
+        keysize: 128,
+        ..Default::default()
+    };
     let data = cfg.classification_dataset();
-    for algo in [Algo::PivotBasic, Algo::PivotEnhanced, Algo::SpdzDt, Algo::NpdDt] {
+    for algo in [
+        Algo::PivotBasic,
+        Algo::PivotEnhanced,
+        Algo::SpdzDt,
+        Algo::NpdDt,
+    ] {
         g.bench_function(algo.label(), |b| b.iter(|| run_training(&cfg, algo, &data)));
     }
     g.finish();

@@ -61,7 +61,11 @@ fn run_row(value: usize, cfg: &BenchConfig) {
 
 fn sweep_m(paper: bool) {
     header("4a", "m");
-    let values: &[usize] = if paper { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4, 6] };
+    let values: &[usize] = if paper {
+        &[2, 3, 4, 6, 8, 10]
+    } else {
+        &[2, 3, 4, 6]
+    };
     for &m in values {
         let cfg = BenchConfig { m, ..base(paper) };
         run_row(m, &cfg);
@@ -83,16 +87,27 @@ fn sweep_n(paper: bool) {
 
 fn sweep_d(paper: bool) {
     header("4c", "d̄");
-    let values: &[usize] = if paper { &[5, 15, 30, 60, 120] } else { &[2, 3, 5, 8] };
+    let values: &[usize] = if paper {
+        &[5, 15, 30, 60, 120]
+    } else {
+        &[2, 3, 5, 8]
+    };
     for &d in values {
-        let cfg = BenchConfig { d_per_client: d, ..base(paper) };
+        let cfg = BenchConfig {
+            d_per_client: d,
+            ..base(paper)
+        };
         run_row(d, &cfg);
     }
 }
 
 fn sweep_b(paper: bool) {
     header("4d", "b");
-    let values: &[usize] = if paper { &[2, 4, 8, 16, 32] } else { &[2, 4, 8] };
+    let values: &[usize] = if paper {
+        &[2, 4, 8, 16, 32]
+    } else {
+        &[2, 4, 8]
+    };
     for &b in values {
         let cfg = BenchConfig { b, ..base(paper) };
         run_row(b, &cfg);
@@ -101,7 +116,11 @@ fn sweep_b(paper: bool) {
 
 fn sweep_h(paper: bool) {
     header("4e", "h");
-    let values: &[usize] = if paper { &[2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
+    let values: &[usize] = if paper {
+        &[2, 3, 4, 5, 6]
+    } else {
+        &[1, 2, 3, 4]
+    };
     for &h in values {
         let cfg = BenchConfig { h, ..base(paper) };
         run_row(h, &cfg);

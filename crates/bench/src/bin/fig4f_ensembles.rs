@@ -15,14 +15,28 @@ use std::time::Instant;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper-scale");
-    let values: &[usize] = if paper { &[2, 4, 8, 16, 32] } else { &[2, 4, 8] };
-    let cfg = if paper {
-        BenchConfig { n: 5_000, ..BenchConfig::paper_scale() }
+    let values: &[usize] = if paper {
+        &[2, 4, 8, 16, 32]
     } else {
-        BenchConfig { n: 80, h: 2, ..Default::default() }
+        &[2, 4, 8]
+    };
+    let cfg = if paper {
+        BenchConfig {
+            n: 5_000,
+            ..BenchConfig::paper_scale()
+        }
+    } else {
+        BenchConfig {
+            n: 80,
+            h: 2,
+            ..Default::default()
+        }
     };
 
-    println!("Figure 4f — ensemble training time vs W (n={}, h={})", cfg.n, cfg.h);
+    println!(
+        "Figure 4f — ensemble training time vs W (n={}, h={})",
+        cfg.n, cfg.h
+    );
     println!(
         "{:>4} {:>16} {:>16} {:>16} {:>16}",
         "W", "RF-clf", "RF-reg", "GBDT-clf", "GBDT-reg"
@@ -51,7 +65,10 @@ fn time_rf(cfg: &BenchConfig, w: usize, classification: bool) -> f64 {
     };
     let partition = partition_vertically(&data, cfg.m, 0);
     let params = cfg.params(pivot_bench::Algo::PivotBasic);
-    let rf = RfProtocolParams { trees: w, ..Default::default() };
+    let rf = RfProtocolParams {
+        trees: w,
+        ..Default::default()
+    };
     let start = Instant::now();
     run_parties(cfg.m, |ep| {
         let view = partition.views[ep.id()].clone();
@@ -70,7 +87,10 @@ fn time_gbdt(cfg: &BenchConfig, w: usize, classification: bool) -> f64 {
     let partition = partition_vertically(&data, cfg.m, 0);
     let mut params = cfg.params(pivot_bench::Algo::PivotBasic);
     params.tree.stop_when_pure = false;
-    let gbdt = GbdtProtocolParams { rounds: w, learning_rate: 0.3 };
+    let gbdt = GbdtProtocolParams {
+        rounds: w,
+        learning_rate: 0.3,
+    };
     let start = Instant::now();
     run_parties(cfg.m, |ep| {
         let view = partition.views[ep.id()].clone();

@@ -21,7 +21,11 @@ fn main() {
         println!();
         println!("Figure 4g — prediction time per sample vs m");
         print_header();
-        let values: &[usize] = if paper { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4, 6] };
+        let values: &[usize] = if paper {
+            &[2, 3, 4, 6, 8, 10]
+        } else {
+            &[2, 3, 4, 6]
+        };
         for &m in values {
             let cfg = BenchConfig { m, ..base(paper) };
             print_row(m, &cfg, samples);
@@ -31,7 +35,11 @@ fn main() {
         println!();
         println!("Figure 4h — prediction time per sample vs h");
         print_header();
-        let values: &[usize] = if paper { &[2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
+        let values: &[usize] = if paper {
+            &[2, 3, 4, 5, 6]
+        } else {
+            &[1, 2, 3, 4]
+        };
         for &h in values {
             let cfg = BenchConfig { h, ..base(paper) };
             print_row(h, &cfg, samples);
@@ -59,8 +67,14 @@ fn print_row(x: usize, cfg: &BenchConfig, samples: usize) {
 
 fn base(paper: bool) -> BenchConfig {
     if paper {
-        BenchConfig { n: 2_000, ..BenchConfig::paper_scale() }
+        BenchConfig {
+            n: 2_000,
+            ..BenchConfig::paper_scale()
+        }
     } else {
-        BenchConfig { n: 80, ..Default::default() }
+        BenchConfig {
+            n: 80,
+            ..Default::default()
+        }
     }
 }

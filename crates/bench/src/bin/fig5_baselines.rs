@@ -11,8 +11,12 @@
 
 use pivot_bench::{run_training, Algo, BenchConfig};
 
-const ALGOS: [Algo; 4] =
-    [Algo::PivotBasic, Algo::PivotEnhanced, Algo::SpdzDt, Algo::NpdDt];
+const ALGOS: [Algo; 4] = [
+    Algo::PivotBasic,
+    Algo::PivotEnhanced,
+    Algo::SpdzDt,
+    Algo::NpdDt,
+];
 
 fn main() {
     let sweep = pivot_bench::sweep_from_args("all");
@@ -22,7 +26,11 @@ fn main() {
         println!();
         println!("Figure 5a — training time vs m (baseline comparison)");
         print_header();
-        let values: &[usize] = if paper { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4] };
+        let values: &[usize] = if paper {
+            &[2, 3, 4, 6, 8, 10]
+        } else {
+            &[2, 3, 4]
+        };
         for &m in values {
             let cfg = BenchConfig { m, ..base(paper) };
             print_row(m, &cfg);
@@ -73,6 +81,9 @@ fn base(paper: bool) -> BenchConfig {
     } else {
         // SPDZ-DT at n=200 with the default depth already takes a while;
         // shrink depth for the sweep.
-        BenchConfig { h: 2, ..Default::default() }
+        BenchConfig {
+            h: 2,
+            ..Default::default()
+        }
     }
 }

@@ -13,8 +13,10 @@ fn main() {
     let cfg = pivot_bench::scale_from_args();
     let data = cfg.classification_dataset();
     let d = cfg.m * cfg.d_per_client;
-    println!("Table 2 — operation counts (measured at m={}, n={}, d̄={}, b={}, h={}, c={})",
-        cfg.m, cfg.n, cfg.d_per_client, cfg.b, cfg.h, cfg.classes);
+    println!(
+        "Table 2 — operation counts (measured at m={}, n={}, d̄={}, b={}, h={}, c={})",
+        cfg.m, cfg.n, cfg.d_per_client, cfg.b, cfg.h, cfg.classes
+    );
     println!();
     println!(
         "{:<18} {:>6} {:>12} {:>10} {:>12} {:>12} {:>12}",

@@ -9,8 +9,8 @@
 //! (add `--paper-scale` for the full dataset sizes; slow).
 
 use pivot_core::ensemble::{
-    gbdt::predict_gbdt_batch, rf::predict_rf_batch, train_gbdt, train_rf,
-    GbdtProtocolParams, RfProtocolParams,
+    gbdt::predict_gbdt_batch, rf::predict_rf_batch, train_gbdt, train_rf, GbdtProtocolParams,
+    RfProtocolParams,
 };
 use pivot_core::{config::PivotParams, party::PartyContext, train_basic};
 use pivot_data::{metrics, partition_vertically, synth, Dataset, Task};
@@ -40,8 +40,15 @@ fn main() {
     ];
 
     let m = 3;
-    let tree = TreeParams { max_depth: 4, max_splits: 8, ..Default::default() };
-    println!("Table 3 — accuracy (classification) / MSE (regression), {} runs", 1);
+    let tree = TreeParams {
+        max_depth: 4,
+        max_splits: 8,
+        ..Default::default()
+    };
+    println!(
+        "Table 3 — accuracy (classification) / MSE (regression), {} runs",
+        1
+    );
     println!(
         "{:<20} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
         "dataset", "Pivot-DT", "NP-DT", "Pivot-RF", "NP-RF", "Pivot-GBDT", "NP-GBDT"
@@ -51,8 +58,13 @@ fn main() {
         let row = evaluate(name, &data, m, &tree);
         println!(
             "{:<20} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>11.4} {:>10.4}",
-            row.dataset, row.pivot_dt, row.np_dt, row.pivot_rf, row.np_rf,
-            row.pivot_gbdt, row.np_gbdt
+            row.dataset,
+            row.pivot_dt,
+            row.np_dt,
+            row.pivot_rf,
+            row.np_rf,
+            row.pivot_gbdt,
+            row.np_gbdt
         );
         let gap = (row.pivot_dt - row.np_dt).abs();
         let rel = gap / row.np_dt.abs().max(1e-9);
@@ -69,8 +81,9 @@ fn main() {
 
 fn evaluate(name: &'static str, data: &Dataset, m: usize, tree: &TreeParams) -> Row {
     let (train, test) = data.train_test_split(0.25);
-    let test_samples: Vec<Vec<f64>> =
-        (0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect();
+    let test_samples: Vec<Vec<f64>> = (0..test.num_samples())
+        .map(|i| test.sample(i).to_vec())
+        .collect();
     let task = data.task();
     let metric = |preds: &[f64]| match task {
         Task::Classification { .. } => metrics::accuracy(preds, test.labels()),
@@ -83,20 +96,32 @@ fn evaluate(name: &'static str, data: &Dataset, m: usize, tree: &TreeParams) -> 
     let np_rf = metric(
         &RandomForest::train(
             &train,
-            &RandomForestParams { trees: 4, tree: tree.clone(), ..Default::default() },
+            &RandomForestParams {
+                trees: 4,
+                tree: tree.clone(),
+                ..Default::default()
+            },
         )
         .predict_batch(&test_samples),
     );
     let np_gbdt = metric(
         &Gbdt::train(
             &train,
-            &GbdtParams { rounds: 4, tree: tree.clone(), ..Default::default() },
+            &GbdtParams {
+                rounds: 4,
+                tree: tree.clone(),
+                ..Default::default()
+            },
         )
         .predict_batch(&test_samples),
     );
 
     // Pivot protocols.
-    let params = PivotParams { tree: tree.clone(), keysize: 256, ..Default::default() };
+    let params = PivotParams {
+        tree: tree.clone(),
+        keysize: 256,
+        ..Default::default()
+    };
     let train_part = partition_vertically(&train, m, 0);
     let test_part = partition_vertically(&test, m, 0);
 
@@ -110,7 +135,10 @@ fn evaluate(name: &'static str, data: &Dataset, m: usize, tree: &TreeParams) -> 
     };
 
     let pivot_rf = {
-        let rf = RfProtocolParams { trees: 4, ..Default::default() };
+        let rf = RfProtocolParams {
+            trees: 4,
+            ..Default::default()
+        };
         let preds = run_parties(m, |ep| {
             let view = train_part.views[ep.id()].clone();
             let test_view = &test_part.views[ep.id()];
@@ -125,7 +153,10 @@ fn evaluate(name: &'static str, data: &Dataset, m: usize, tree: &TreeParams) -> 
     };
 
     let pivot_gbdt = {
-        let g = GbdtProtocolParams { rounds: 4, learning_rate: 0.5 };
+        let g = GbdtProtocolParams {
+            rounds: 4,
+            learning_rate: 0.5,
+        };
         let mut gp = params.clone();
         gp.tree.stop_when_pure = false;
         gp.tree.max_depth = tree.max_depth.min(3);
@@ -142,5 +173,14 @@ fn evaluate(name: &'static str, data: &Dataset, m: usize, tree: &TreeParams) -> 
         metric(&preds[0])
     };
 
-    Row { dataset: name, task, pivot_dt, np_dt, pivot_rf, np_rf, pivot_gbdt, np_gbdt }
+    Row {
+        dataset: name,
+        task,
+        pivot_dt,
+        np_dt,
+        pivot_rf,
+        np_rf,
+        pivot_gbdt,
+        np_gbdt,
+    }
 }

@@ -130,23 +130,32 @@ impl BenchConfig {
             max_splits: self.b,
             stop_when_pure: false, // full trees, matching the paper's 2^h−1
         };
-        match algo {
-            Algo::PivotEnhanced | Algo::PivotEnhancedPp => {
-                let mut p = PivotParams::enhanced();
-                p.tree = tree;
-                p.keysize = self.keysize.max(192);
-                p.parallel_decrypt = algo == Algo::PivotEnhancedPp;
-                p.dealer_seed = self.seed;
-                p
-            }
-            _ => PivotParams {
-                tree,
-                keysize: self.keysize,
-                parallel_decrypt: algo == Algo::PivotBasicPp,
-                dealer_seed: self.seed,
-                ..Default::default()
-            },
+        algo_params(algo, tree, self.keysize, self.seed)
+    }
+}
+
+/// The single source of algorithm-to-parameter policy, shared by the bench
+/// harness and `pivot-cli`: enhanced variants get `PivotParams::enhanced()`
+/// plus a keysize floor of 192 bits (the share-conversion mask needs
+/// headroom, DESIGN.md §8), and the `-PP` variants switch on parallel
+/// threshold decryption.
+pub fn algo_params(algo: Algo, tree: TreeParams, keysize: u32, dealer_seed: u64) -> PivotParams {
+    match algo {
+        Algo::PivotEnhanced | Algo::PivotEnhancedPp => {
+            let mut p = PivotParams::enhanced();
+            p.tree = tree;
+            p.keysize = keysize.max(192);
+            p.parallel_decrypt = algo == Algo::PivotEnhancedPp;
+            p.dealer_seed = dealer_seed;
+            p
         }
+        _ => PivotParams {
+            tree,
+            keysize,
+            parallel_decrypt: algo == Algo::PivotBasicPp,
+            dealer_seed,
+            ..Default::default()
+        },
     }
 }
 
@@ -177,9 +186,7 @@ pub fn run_training(cfg: &BenchConfig, algo: Algo, data: &Dataset) -> TrainOutco
         let view = partition.views[ep.id()].clone();
         let mut ctx = PartyContext::setup(&ep, view, params.clone());
         let internal = match algo {
-            Algo::PivotBasic | Algo::PivotBasicPp => {
-                train_basic::train(&mut ctx).internal_count()
-            }
+            Algo::PivotBasic | Algo::PivotBasicPp => train_basic::train(&mut ctx).internal_count(),
             Algo::PivotEnhanced | Algo::PivotEnhancedPp => {
                 train_enhanced::train(&mut ctx).internal_count()
             }
@@ -210,12 +217,7 @@ pub fn run_training(cfg: &BenchConfig, algo: Algo, data: &Dataset) -> TrainOutco
 }
 
 /// Time distributed prediction (`per-sample` average over `count` samples).
-pub fn run_prediction(
-    cfg: &BenchConfig,
-    algo: Algo,
-    data: &Dataset,
-    count: usize,
-) -> Duration {
+pub fn run_prediction(cfg: &BenchConfig, algo: Algo, data: &Dataset, count: usize) -> Duration {
     use pivot_core::{predict_basic, predict_enhanced};
     let partition = partition_vertically(data, cfg.m, 0);
     let params = cfg.params(algo);
@@ -224,8 +226,7 @@ pub fn run_prediction(
     let elapsed: Vec<Duration> = run_parties(cfg.m, |ep| {
         let view = partition.views[ep.id()].clone();
         let mut ctx = PartyContext::setup(&ep, view.clone(), params.clone());
-        let samples: Vec<Vec<f64>> =
-            (0..count).map(|i| view.features[i].clone()).collect();
+        let samples: Vec<Vec<f64>> = (0..count).map(|i| view.features[i].clone()).collect();
         match algo {
             Algo::PivotEnhanced | Algo::PivotEnhancedPp => {
                 let tree = train_enhanced::train(&mut ctx);

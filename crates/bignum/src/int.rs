@@ -25,12 +25,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value 0.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
     }
 
     /// Construct from a sign and magnitude (canonicalizing zero).
@@ -108,7 +114,10 @@ impl From<BigUint> for BigInt {
         if mag.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, mag }
+            BigInt {
+                sign: Sign::Positive,
+                mag,
+            }
         }
     }
 }
@@ -121,7 +130,10 @@ impl Neg for BigInt {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        BigInt { sign, mag: self.mag }
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
     }
 }
 
@@ -145,7 +157,11 @@ impl Add<&BigInt> for &BigInt {
                     Ordering::Equal => BigInt::zero(),
                     Ordering::Greater => BigInt::from_parts(a, &self.mag - &rhs.mag),
                     Ordering::Less => BigInt::from_parts(
-                        if a == Sign::Positive { Sign::Negative } else { Sign::Positive },
+                        if a == Sign::Positive {
+                            Sign::Negative
+                        } else {
+                            Sign::Positive
+                        },
                         &rhs.mag - &self.mag,
                     ),
                 }
@@ -167,7 +183,11 @@ impl Mul<&BigInt> for &BigInt {
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         BigInt::from_parts(sign, &self.mag * &rhs.mag)
     }
 }

@@ -47,9 +47,7 @@ pub fn egcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
     let (mut x0, mut x1) = (BigInt::one(), BigInt::zero());
     let (mut y0, mut y1) = (BigInt::zero(), BigInt::one());
     while !r1.is_zero() {
-        let q = BigInt::from(
-            r0.magnitude().div_rem(r1.magnitude()).0,
-        );
+        let q = BigInt::from(r0.magnitude().div_rem(r1.magnitude()).0);
         // r0, r1 stay non-negative throughout so quotient from magnitudes is fine.
         let r2 = &r0 - &(&q * &r1);
         let x2 = &x0 - &(&q * &x1);
@@ -178,7 +176,7 @@ mod tests {
         let cases = [
             (3u128, 1000u128, 1_000_000_007u128), // odd modulus → Montgomery
             (2, 127, 1_000_000_007),
-            (5, 117, 1 << 32),                    // even modulus → fallback
+            (5, 117, 1 << 32), // even modulus → fallback
             (7, 0, 13),
             (0, 5, 13),
         ];

@@ -63,7 +63,11 @@ impl Montgomery {
 
     /// Convert into Montgomery form (`x → x·R mod n`).
     pub fn to_mont(&self, x: &BigUint) -> Vec<Limb> {
-        let reduced = if x.bits() as usize > 64 * self.limbs { x.rem_of(&self.modulus()) } else { x.clone() };
+        let reduced = if x.bits() as usize > 64 * self.limbs {
+            x.rem_of(&self.modulus())
+        } else {
+            x.clone()
+        };
         let x_pad = Self::pad(&reduced, self.limbs);
         self.mont_mul(&x_pad, &self.r2)
     }
@@ -81,7 +85,7 @@ impl Montgomery {
     /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
     ///
     /// Inputs must be `limbs` words long and reduced modulo `n`.
-    pub fn mont_mul(&self, a: &[Limb], b: &[Limb], ) -> Vec<Limb> {
+    pub fn mont_mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
         let s = self.limbs;
         debug_assert_eq!(a.len(), s);
         debug_assert_eq!(b.len(), s);
@@ -260,7 +264,9 @@ mod tests {
     #[test]
     fn pow_matches_generic_mod_pow_multi_limb() {
         // Multi-limb odd modulus.
-        let n = BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef01234567_89abcdef").unwrap();
+        let n =
+            BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef01234567_89abcdef")
+                .unwrap();
         let n = if n.is_even() { &n + &BigUint::one() } else { n };
         let ctx = Montgomery::new(&n);
         let base = BigUint::from_hex("deadbeefcafebabe0123456789").unwrap();

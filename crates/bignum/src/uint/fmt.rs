@@ -12,7 +12,11 @@ pub struct ParseBigUintError {
 
 impl fmt::Display for ParseBigUintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid digit {:?} in big integer literal", self.offending)
+        write!(
+            f,
+            "invalid digit {:?} in big integer literal",
+            self.offending
+        )
     }
 }
 

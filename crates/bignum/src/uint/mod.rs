@@ -47,7 +47,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = BigUint { limbs: vec![lo, hi] };
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }
@@ -197,7 +199,10 @@ mod tests {
         assert_eq!(BigUint::from_u64(42).to_u64(), Some(42));
         let v = 0x1234_5678_9abc_def0_1111_2222_3333_4444u128;
         assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
-        assert_eq!(BigUint::from_u128(u64::MAX as u128).to_u64(), Some(u64::MAX));
+        assert_eq!(
+            BigUint::from_u128(u64::MAX as u128).to_u64(),
+            Some(u64::MAX)
+        );
     }
 
     #[test]

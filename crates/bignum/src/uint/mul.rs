@@ -44,7 +44,7 @@ fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
 
     let z0 = &a0 * &b0; // low product
     let z2 = &a1 * &b1; // high product
-    // z1 = (a0+a1)(b0+b1) - z0 - z2 = a0*b1 + a1*b0
+                        // z1 = (a0+a1)(b0+b1) - z0 - z2 = a0*b1 + a1*b0
     let mut z1 = &(&a0 + &a1) * &(&b0 + &b1);
     z1.sub_assign_ref(&z0);
     z1.sub_assign_ref(&z2);

@@ -1,0 +1,23 @@
+//! `pivot-cli`: the scenario-driven operational layer of the Pivot
+//! reproduction.
+//!
+//! A *scenario file* (TOML or JSON, see [`scenario`]) declares one run —
+//! dataset or synthesis parameters, party count, protocol parameters,
+//! algorithm, LAN-simulation knobs — and the `pivot` binary executes it
+//! and emits a machine-readable JSON [`report`]: per-stage wall-clock,
+//! bytes sent/received per party, operation counts, and the test metric,
+//! together with an echo of the scenario and seed so runs recorded months
+//! apart stay comparable.
+//!
+//! Subcommands:
+//! - `pivot train --scenario <file>` — train + evaluate, full report;
+//! - `pivot predict --scenario <file>` — same run, prediction-latency
+//!   focus (per-sample time, prediction-phase traffic);
+//! - `pivot bench --scenario <file>` — a Figure-4-style sweep over one
+//!   axis (`[sweep]` section) × the listed algorithms.
+
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod toml;

@@ -1,0 +1,194 @@
+//! The `pivot` binary: scenario-driven train / predict / bench runs.
+
+use pivot_cli::report;
+use pivot_cli::runner::execute;
+use pivot_cli::scenario::Scenario;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pivot — privacy preserving vertical federated learning for tree-based models
+
+USAGE:
+    pivot <train|predict|bench> --scenario <FILE> [--out <FILE>] [--quiet]
+    pivot --help | --version
+
+SUBCOMMANDS:
+    train      Train on the scenario's dataset, evaluate the held-out
+               split, and write a full JSON report
+    predict    Same run, reported around prediction latency (per-sample
+               time, prediction-phase traffic)
+    bench      Run the scenario's [sweep] axis across its algorithms
+               (a Figure-4-style sweep) and report every point
+
+OPTIONS:
+    --scenario <FILE>   TOML or JSON scenario (see examples/scenarios/)
+    --out <FILE>        Report path (default: <scenario-stem>-report.json
+                        in the current directory)
+    --quiet             Suppress the human-readable summary on stdout
+    -h, --help          Show this help
+    -V, --version       Show the version
+";
+
+struct Args {
+    command: String,
+    scenario: PathBuf,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut command = None;
+    let mut scenario = None;
+    let mut out = None;
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "train" | "predict" | "bench" if command.is_none() => {
+                command = Some(arg.clone());
+            }
+            "--scenario" => {
+                let v = it.next().ok_or("--scenario needs a file path")?;
+                scenario = Some(PathBuf::from(v));
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--quiet" => quiet = true,
+            other => {
+                return Err(format!("unexpected argument {other:?} (see pivot --help)"));
+            }
+        }
+    }
+    let command = command.ok_or("missing subcommand (train, predict, or bench)")?;
+    let scenario = scenario.ok_or("missing --scenario <FILE>")?;
+    Ok(Args {
+        command,
+        scenario,
+        out,
+        quiet,
+    })
+}
+
+fn default_out(scenario_path: &Path) -> PathBuf {
+    let stem = scenario_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "pivot".into());
+    PathBuf::from(format!("{stem}-report.json"))
+}
+
+fn human_bytes(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1} MiB", n as f64 / (1024.0 * 1024.0))
+    } else if n >= 10_000 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let scenario = Scenario::load(&args.scenario)?;
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| default_out(&args.scenario));
+
+    let report = match args.command.as_str() {
+        "train" | "predict" => {
+            let algo = scenario.sole_algorithm()?;
+            let exec = execute(&scenario, algo, false)?;
+            if !args.quiet {
+                let p0 = &exec.parties[0];
+                println!(
+                    "{} [{}] m={} n={} d={}: trained {} internal nodes in {:.2}s \
+                     ({} sent by party 0), predicted {} samples in {:.2}s",
+                    scenario.name,
+                    algo.label(),
+                    scenario.parties,
+                    exec.train_samples,
+                    exec.features,
+                    p0.internal_nodes,
+                    p0.train_wall_s,
+                    human_bytes(p0.train_bytes_sent),
+                    exec.test_samples,
+                    p0.predict_wall_s,
+                );
+                if let Some(metric) = exec.metric {
+                    println!("test {} = {metric:.4}", exec.metric_name);
+                }
+            }
+            if args.command == "train" {
+                report::train_report(&scenario, &exec)
+            } else {
+                report::predict_report(&scenario, &exec)
+            }
+        }
+        "bench" => {
+            let sweep = scenario
+                .sweep
+                .clone()
+                .ok_or("bench needs a [sweep] section (vary + values)")?;
+            let mut results = Vec::new();
+            for &value in &sweep.values {
+                let point = scenario.with_axis(&sweep.vary, value);
+                // A sweep value can make an otherwise-valid scenario
+                // invalid (e.g. parties = 0); check per point.
+                point
+                    .validate()
+                    .map_err(|e| format!("sweep point {}={value}: {e}", sweep.vary))?;
+                for &algo in &point.algorithms {
+                    let exec = execute(&point, algo, true)?;
+                    if !args.quiet {
+                        println!(
+                            "{}={value} {}: train {:.2}s, {} sent by party 0",
+                            sweep.vary,
+                            algo.label(),
+                            exec.parties[0].train_wall_s,
+                            human_bytes(exec.parties[0].train_bytes_sent),
+                        );
+                    }
+                    results.push((value, exec));
+                }
+            }
+            report::bench_report(&scenario, &sweep.vary, &results)
+        }
+        other => return Err(format!("unknown subcommand {other:?}")),
+    };
+
+    std::fs::write(&out_path, report.to_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    if !args.quiet {
+        println!("report written to {}", out_path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--version" || a == "-V") {
+        println!("pivot-cli {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

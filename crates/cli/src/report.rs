@@ -1,0 +1,309 @@
+//! JSON report construction.
+//!
+//! Reports are self-describing: every run embeds the effective scenario,
+//! the seed, and the tool version, so results collected months apart stay
+//! comparable (`schema_version` bumps on any incompatible shape change).
+
+use crate::json::Json;
+use crate::runner::Execution;
+use crate::scenario::Scenario;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn header(command: &str, scenario: &Scenario) -> Json {
+    let unix_time_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("tool", format!("pivot-cli {}", env!("CARGO_PKG_VERSION")))
+        .with("command", command)
+        .with("unix_time_s", unix_time_s)
+        .with("scenario", scenario.to_json())
+        .with("seed", scenario.seed)
+}
+
+fn party_json(exec: &Execution) -> Json {
+    Json::Arr(
+        exec.parties
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("party", p.party)
+                    .with(
+                        "train",
+                        Json::obj()
+                            .with("bytes_sent", p.train_bytes_sent)
+                            .with("bytes_received", p.train_bytes_received)
+                            .with("messages_sent", p.train_messages_sent),
+                    )
+                    .with(
+                        "predict",
+                        Json::obj()
+                            .with("bytes_sent", p.predict_bytes_sent)
+                            .with("bytes_received", p.predict_bytes_received),
+                    )
+                    .with(
+                        "stages_s",
+                        Json::obj()
+                            .with("local_computation", p.stage_s[0])
+                            .with("mpc_computation", p.stage_s[1])
+                            .with("model_update", p.stage_s[2])
+                            .with("prediction", p.stage_s[3]),
+                    )
+            })
+            .collect(),
+    )
+}
+
+fn counters_json(exec: &Execution) -> Json {
+    let p0 = &exec.parties[0];
+    Json::obj()
+        .with("encryptions", p0.encryptions)
+        .with("ciphertext_ops", p0.ciphertext_ops)
+        .with("threshold_decryptions", p0.threshold_decryptions)
+        .with("mpc_rounds", p0.mpc_rounds)
+        .with("secure_mults", p0.secure_mults)
+        .with("secure_comparisons", p0.secure_comparisons)
+}
+
+fn dataset_json(exec: &Execution) -> Json {
+    Json::obj()
+        .with("train_samples", exec.train_samples)
+        .with("test_samples", exec.test_samples)
+        .with("features", exec.features)
+        .with("task", format!("{:?}", exec.task))
+}
+
+fn model_json(exec: &Execution) -> Json {
+    let p0 = &exec.parties[0];
+    Json::obj()
+        .with("internal_nodes", p0.internal_nodes)
+        .with("depth", p0.tree_depth.map(|d| d as u64))
+}
+
+fn evaluation_json(exec: &Execution) -> Json {
+    Json::obj()
+        .with("metric", exec.metric_name)
+        .with("value", exec.metric)
+        .with("test_samples", exec.test_samples)
+}
+
+fn totals_json(exec: &Execution) -> Json {
+    let total_sent: u64 = exec
+        .parties
+        .iter()
+        .map(|p| p.train_bytes_sent + p.predict_bytes_sent)
+        .sum();
+    let total_msgs: u64 = exec.parties.iter().map(|p| p.train_messages_sent).sum();
+    Json::obj()
+        .with("bytes_sent_all_parties", total_sent)
+        .with("train_messages_all_parties", total_msgs)
+}
+
+/// Report for `pivot train`.
+pub fn train_report(scenario: &Scenario, exec: &Execution) -> Json {
+    let p0 = &exec.parties[0];
+    header("train", scenario)
+        .with("algorithm", exec.algo.label())
+        .with("dataset", dataset_json(exec))
+        .with(
+            "timing",
+            Json::obj()
+                .with("wall_total_s", exec.wall_s)
+                .with("train_s", p0.train_wall_s)
+                .with("predict_s", p0.predict_wall_s)
+                .with(
+                    "stages_s",
+                    Json::obj()
+                        .with("local_computation", p0.stage_s[0])
+                        .with("mpc_computation", p0.stage_s[1])
+                        .with("model_update", p0.stage_s[2])
+                        .with("prediction", p0.stage_s[3]),
+                ),
+        )
+        .with(
+            "network",
+            Json::obj()
+                .with("per_party", party_json(exec))
+                .with("totals", totals_json(exec)),
+        )
+        .with("counters", counters_json(exec))
+        .with("model", model_json(exec))
+        .with("evaluation", evaluation_json(exec))
+}
+
+/// Report for `pivot predict` (same run shape, prediction-centric fields).
+pub fn predict_report(scenario: &Scenario, exec: &Execution) -> Json {
+    let p0 = &exec.parties[0];
+    let per_sample_s = if exec.test_samples > 0 {
+        Json::Num(p0.predict_wall_s / exec.test_samples as f64)
+    } else {
+        Json::Null
+    };
+    header("predict", scenario)
+        .with("algorithm", exec.algo.label())
+        .with("dataset", dataset_json(exec))
+        .with(
+            "timing",
+            Json::obj()
+                .with("wall_total_s", exec.wall_s)
+                .with("train_s", p0.train_wall_s)
+                .with("predict_s", p0.predict_wall_s)
+                .with("predict_per_sample_s", per_sample_s),
+        )
+        .with(
+            "network",
+            Json::obj()
+                .with("per_party", party_json(exec))
+                .with("totals", totals_json(exec)),
+        )
+        .with("counters", counters_json(exec))
+        .with("model", model_json(exec))
+        .with("evaluation", evaluation_json(exec))
+}
+
+/// Report for `pivot bench`: one entry per (axis value × algorithm).
+pub fn bench_report(scenario: &Scenario, axis: &str, results: &[(usize, Execution)]) -> Json {
+    let entries: Vec<Json> = results
+        .iter()
+        .map(|(value, exec)| {
+            let p0 = &exec.parties[0];
+            Json::obj()
+                .with(axis, *value)
+                .with("algorithm", exec.algo.label())
+                .with("train_wall_s", p0.train_wall_s)
+                .with("bytes_sent_party0", p0.train_bytes_sent)
+                .with(
+                    "bytes_sent_all_parties",
+                    exec.parties.iter().map(|p| p.train_bytes_sent).sum::<u64>(),
+                )
+                .with("internal_nodes", p0.internal_nodes)
+                .with("counters", counters_json(exec))
+        })
+        .collect();
+    header("bench", scenario)
+        .with("vary", axis)
+        .with("results", Json::Arr(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PartyOutcome;
+    use pivot_bench::Algo;
+    use pivot_data::Task;
+
+    fn fake_exec() -> Execution {
+        let party = |id: usize| PartyOutcome {
+            party: id,
+            train_bytes_sent: 1000 + id as u64,
+            train_bytes_received: 900,
+            train_messages_sent: 10,
+            predict_bytes_sent: 50,
+            predict_bytes_received: 40,
+            stage_s: [0.1, 0.2, 0.3, 0.05],
+            train_wall_s: 0.6,
+            predict_wall_s: 0.1,
+            encryptions: 12,
+            ciphertext_ops: 34,
+            threshold_decryptions: 5,
+            mpc_rounds: 7,
+            secure_mults: 8,
+            secure_comparisons: 9,
+            internal_nodes: 3,
+            tree_depth: Some(2),
+            predictions: vec![0.0, 1.0],
+        };
+        Execution {
+            algo: Algo::PivotBasic,
+            wall_s: 0.75,
+            train_samples: 30,
+            test_samples: 2,
+            features: 4,
+            task: Task::Classification { classes: 2 },
+            parties: vec![party(0), party(1)],
+            metric: Some(0.5),
+            metric_name: "accuracy",
+        }
+    }
+
+    fn scenario() -> Scenario {
+        let tmp =
+            std::env::temp_dir().join(format!("pivot-report-test-{}.toml", std::process::id()));
+        std::fs::write(&tmp, "name = \"report test\"\nparties = 2").unwrap();
+        let s = Scenario::load(&tmp).unwrap();
+        std::fs::remove_file(&tmp).ok();
+        s
+    }
+
+    #[test]
+    fn train_report_is_valid_json_with_required_fields() {
+        let report = train_report(&scenario(), &fake_exec());
+        let text = report.to_pretty();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.get("command").unwrap().as_str(), Some("train"));
+        assert_eq!(parsed.path("evaluation.value").unwrap().as_f64(), Some(0.5));
+        assert!(
+            parsed
+                .path("timing.stages_s.mpc_computation")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        let per_party = parsed
+            .path("network.per_party")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(per_party.len(), 2);
+        assert_eq!(
+            per_party[1].path("train.bytes_sent").unwrap().as_u64(),
+            Some(1001)
+        );
+        assert_eq!(
+            parsed.path("scenario.name").unwrap().as_str(),
+            Some("report test")
+        );
+        assert_eq!(
+            parsed
+                .path("counters.threshold_decryptions")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn bench_report_lists_every_point() {
+        let results = vec![(2usize, fake_exec()), (3, fake_exec())];
+        let report = bench_report(&scenario(), "parties", &results);
+        let parsed = crate::json::Json::parse(&report.to_pretty()).unwrap();
+        let entries = parsed.get("results").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].get("parties").unwrap().as_u64(), Some(3));
+        assert!(
+            entries[0]
+                .path("counters.secure_mults")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn predict_report_has_per_sample_latency() {
+        let report = predict_report(&scenario(), &fake_exec());
+        let v = report
+            .path("timing.predict_per_sample_s")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((v - 0.05).abs() < 1e-12);
+    }
+}

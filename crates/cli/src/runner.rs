@@ -1,0 +1,328 @@
+//! Scenario execution: SPMD protocol runs with per-stage timing and
+//! per-party traffic accounting.
+
+use crate::scenario::{ModelKind, Scenario};
+use pivot_bench::Algo;
+use pivot_core::baselines::{npd_dt, spdz_dt};
+use pivot_core::ensemble::{
+    predict_gbdt_batch, predict_rf_batch, train_gbdt, train_rf, GbdtProtocolParams,
+    RfProtocolParams,
+};
+use pivot_core::metrics::Stage;
+use pivot_core::model::ConcealedTree;
+use pivot_core::party::PartyContext;
+use pivot_core::{predict_basic, predict_enhanced, train_basic, train_enhanced};
+use pivot_data::{metrics, partition_vertically, Task};
+use pivot_trees::DecisionTree;
+use std::time::Instant;
+
+/// Everything one party reports back from an SPMD run.
+#[derive(Clone, Debug)]
+pub struct PartyOutcome {
+    pub party: usize,
+    /// Training-phase traffic.
+    pub train_bytes_sent: u64,
+    pub train_bytes_received: u64,
+    pub train_messages_sent: u64,
+    /// Prediction-phase traffic (zero when no test samples).
+    pub predict_bytes_sent: u64,
+    pub predict_bytes_received: u64,
+    /// Stage timers, in seconds: local, MPC, model update, prediction.
+    pub stage_s: [f64; 4],
+    pub train_wall_s: f64,
+    pub predict_wall_s: f64,
+    /// Paillier / MPC operation counts (the paper's Ce, Cd, Cs, Cc).
+    pub encryptions: u64,
+    pub ciphertext_ops: u64,
+    pub threshold_decryptions: u64,
+    pub mpc_rounds: u64,
+    pub secure_mults: u64,
+    pub secure_comparisons: u64,
+    /// Trained-model shape.
+    pub internal_nodes: usize,
+    pub tree_depth: Option<usize>,
+    /// Test-set predictions (identical across parties by protocol).
+    pub predictions: Vec<f64>,
+}
+
+/// One full scenario execution.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    pub algo: Algo,
+    pub wall_s: f64,
+    pub train_samples: usize,
+    pub test_samples: usize,
+    pub features: usize,
+    pub task: Task,
+    pub parties: Vec<PartyOutcome>,
+    /// Test metric: accuracy (classification) or MSE (regression); `None`
+    /// when the scenario holds out no test data or prediction is skipped.
+    pub metric: Option<f64>,
+    pub metric_name: &'static str,
+}
+
+enum Trained {
+    Plain(DecisionTree),
+    Concealed(ConcealedTree),
+    Gbdt(pivot_core::ensemble::GbdtModel),
+    Rf(pivot_core::ensemble::RfModel),
+}
+
+impl Trained {
+    fn internal_nodes(&self) -> usize {
+        match self {
+            Trained::Plain(t) => t.internal_count(),
+            Trained::Concealed(t) => t.internal_count(),
+            Trained::Gbdt(m) => m
+                .forests
+                .iter()
+                .flatten()
+                .map(DecisionTree::internal_count)
+                .sum(),
+            Trained::Rf(m) => m.trees.iter().map(DecisionTree::internal_count).sum(),
+        }
+    }
+
+    fn depth(&self) -> Option<usize> {
+        match self {
+            Trained::Plain(t) => Some(t.depth()),
+            // Concealed trees do not reveal their realized shape.
+            Trained::Concealed(_) => None,
+            Trained::Gbdt(m) => m.forests.iter().flatten().map(DecisionTree::depth).max(),
+            Trained::Rf(m) => m.trees.iter().map(DecisionTree::depth).max(),
+        }
+    }
+}
+
+/// Export the LAN-simulation knobs before the transport reads them (they
+/// are latched once per process on first use).
+pub fn apply_network_simulation(scenario: &Scenario) {
+    if scenario.network.latency_us > 0 {
+        std::env::set_var(
+            "PIVOT_NET_LATENCY_US",
+            scenario.network.latency_us.to_string(),
+        );
+    }
+    if scenario.network.bandwidth_mbps > 0.0 {
+        std::env::set_var(
+            "PIVOT_NET_BANDWIDTH_MBPS",
+            scenario.network.bandwidth_mbps.to_string(),
+        );
+    }
+}
+
+/// Run one scenario end to end: train on every party thread, then (unless
+/// `skip_prediction`) jointly predict the held-out test split.
+pub fn execute(
+    scenario: &Scenario,
+    algo: Algo,
+    skip_prediction: bool,
+) -> Result<Execution, String> {
+    // Re-check invariants: callers may hand in programmatically built
+    // scenarios (e.g. sweep points) that never went through parsing.
+    scenario.validate()?;
+    let dataset = scenario.build_dataset()?;
+    let m = scenario.parties;
+    if dataset.num_features() < m {
+        return Err(format!(
+            "dataset has {} features, fewer than {m} parties — every party needs \
+             at least one column",
+            dataset.num_features()
+        ));
+    }
+    let (train_set, test_set) = dataset.train_test_split(scenario.data.test_fraction);
+    let params = scenario.pivot_params(algo);
+    // Surface invalid parameter combinations as errors, not thread panics.
+    let n = train_set.num_samples();
+    let validation = std::panic::catch_unwind(|| params.assert_valid(n));
+    if validation.is_err() {
+        return Err(format!(
+            "invalid parameters for n={n} (keysize {}, depth {}): see message above",
+            params.keysize, params.tree.max_depth
+        ));
+    }
+
+    apply_network_simulation(scenario);
+    let train_part = partition_vertically(&train_set, m, 0);
+    let test_part = partition_vertically(&test_set, m, 0);
+    let model_spec = scenario.model.clone();
+
+    let start = Instant::now();
+    let outcomes = pivot_transport::run_parties(m, |ep| {
+        let view = train_part.views[ep.id()].clone();
+        let test_view = &test_part.views[ep.id()];
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+
+        let train_start = Instant::now();
+        let model = match (&model_spec.kind, algo) {
+            (ModelKind::Gbdt, _) => Trained::Gbdt(train_gbdt(
+                &mut ctx,
+                &GbdtProtocolParams {
+                    rounds: model_spec.rounds,
+                    learning_rate: model_spec.learning_rate,
+                },
+            )),
+            (ModelKind::RandomForest, _) => Trained::Rf(train_rf(
+                &mut ctx,
+                &RfProtocolParams {
+                    trees: model_spec.trees,
+                    sample_fraction: model_spec.sample_fraction,
+                    bootstrap_seed: params.dealer_seed,
+                },
+            )),
+            (ModelKind::DecisionTree, Algo::PivotBasic | Algo::PivotBasicPp) => {
+                Trained::Plain(train_basic::train(&mut ctx))
+            }
+            (ModelKind::DecisionTree, Algo::PivotEnhanced | Algo::PivotEnhancedPp) => {
+                Trained::Concealed(train_enhanced::train(&mut ctx))
+            }
+            (ModelKind::DecisionTree, Algo::SpdzDt) => Trained::Plain(spdz_dt::train(&mut ctx)),
+            (ModelKind::DecisionTree, Algo::NpdDt) => Trained::Plain(npd_dt::train(&mut ctx)),
+        };
+        let train_wall_s = train_start.elapsed().as_secs_f64();
+
+        let stats = ctx.ep.stats();
+        let train_bytes_sent = stats.bytes_sent();
+        let train_bytes_received = stats.bytes_received();
+        let train_messages_sent = stats.messages_sent();
+        stats.reset();
+
+        let predict_start = Instant::now();
+        let predictions = if skip_prediction || test_view.num_samples() == 0 {
+            Vec::new()
+        } else {
+            let local: Vec<Vec<f64>> = (0..test_view.num_samples())
+                .map(|i| test_view.features[i].clone())
+                .collect();
+            match &model {
+                Trained::Plain(tree) => predict_basic::predict_batch(&mut ctx, tree, &local),
+                Trained::Concealed(tree) => predict_enhanced::predict_batch(&mut ctx, tree, &local),
+                Trained::Gbdt(gbdt) => predict_gbdt_batch(&mut ctx, gbdt, &local),
+                Trained::Rf(rf) => predict_rf_batch(&mut ctx, rf, &local),
+            }
+        };
+        let predict_wall_s = predict_start.elapsed().as_secs_f64();
+
+        let (mpc_rounds, secure_mults, secure_comparisons, _openings) =
+            ctx.engine.counters().snapshot();
+        PartyOutcome {
+            party: ctx.id(),
+            train_bytes_sent,
+            train_bytes_received,
+            train_messages_sent,
+            predict_bytes_sent: stats.bytes_sent(),
+            predict_bytes_received: stats.bytes_received(),
+            stage_s: [
+                ctx.metrics
+                    .stage_time(Stage::LocalComputation)
+                    .as_secs_f64(),
+                ctx.metrics.stage_time(Stage::MpcComputation).as_secs_f64(),
+                ctx.metrics.stage_time(Stage::ModelUpdate).as_secs_f64(),
+                ctx.metrics.stage_time(Stage::Prediction).as_secs_f64(),
+            ],
+            train_wall_s,
+            predict_wall_s,
+            encryptions: ctx.metrics.encryptions(),
+            ciphertext_ops: ctx.metrics.ciphertext_ops(),
+            threshold_decryptions: ctx.metrics.threshold_decryptions(),
+            mpc_rounds,
+            secure_mults,
+            secure_comparisons,
+            internal_nodes: model.internal_nodes(),
+            tree_depth: model.depth(),
+            predictions,
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let task = train_set.task();
+    let (metric, metric_name) = match &outcomes[0].predictions {
+        preds if preds.is_empty() => (None, metric_name_for(task)),
+        preds => {
+            let truth = test_set.labels();
+            let value = match task {
+                Task::Classification { .. } => metrics::accuracy(preds, truth),
+                Task::Regression => metrics::mse(preds, truth),
+            };
+            (Some(value), metric_name_for(task))
+        }
+    };
+
+    Ok(Execution {
+        algo,
+        wall_s,
+        train_samples: train_set.num_samples(),
+        test_samples: test_set.num_samples(),
+        features: dataset.num_features(),
+        task,
+        parties: outcomes,
+        metric,
+        metric_name,
+    })
+}
+
+fn metric_name_for(task: Task) -> &'static str {
+    match task {
+        Task::Classification { .. } => "accuracy",
+        Task::Regression => "mse",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario(tag: &str, extra: &str) -> Scenario {
+        let text = format!(
+            "seed = 11\nparties = 2\n[data]\nkind = \"synthetic-classification\"\n\
+             samples = 40\nfeatures_per_party = 2\nclasses = 2\n[params]\n\
+             max_depth = 2\nmax_splits = 3\nkeysize = 128\n{extra}"
+        );
+        let tmp =
+            std::env::temp_dir().join(format!("pivot-cli-test-{}-{tag}.toml", std::process::id()));
+        std::fs::write(&tmp, text).unwrap();
+        let s = Scenario::load(&tmp).unwrap();
+        std::fs::remove_file(&tmp).ok();
+        s
+    }
+
+    #[test]
+    fn basic_execution_produces_metric_and_traffic() {
+        let s = tiny_scenario("basic", "");
+        let exec = execute(&s, Algo::PivotBasic, false).unwrap();
+        assert_eq!(exec.parties.len(), 2);
+        assert!(exec.test_samples > 0);
+        let m = exec.metric.expect("test split exists");
+        assert!((0.0..=1.0).contains(&m), "accuracy {m}");
+        let p0 = &exec.parties[0];
+        assert!(p0.train_bytes_sent > 0);
+        assert!(p0.predict_bytes_sent > 0);
+        assert!(p0.threshold_decryptions > 0);
+        assert!(p0.internal_nodes >= 1);
+        assert_eq!(p0.tree_depth, Some(p0.tree_depth.unwrap().min(2)));
+        // All parties agree on the predictions.
+        assert_eq!(exec.parties[0].predictions, exec.parties[1].predictions);
+    }
+
+    #[test]
+    fn bench_mode_skips_prediction() {
+        let s = tiny_scenario("benchmode", "");
+        let exec = execute(&s, Algo::NpdDt, true).unwrap();
+        assert!(exec.metric.is_none());
+        assert_eq!(exec.parties[0].predict_bytes_sent, 0);
+        assert!(exec.parties[0].train_bytes_sent > 0);
+    }
+
+    #[test]
+    fn csv_with_fewer_features_than_parties_rejected() {
+        let csv =
+            std::env::temp_dir().join(format!("pivot-cli-test-{}-narrow.csv", std::process::id()));
+        std::fs::write(&csv, "f0,label\n1.0,0\n2.0,1\n3.0,0\n4.0,1\n").unwrap();
+        let mut s = tiny_scenario("narrowcsv", "");
+        s.data.kind = crate::scenario::DataKind::Csv;
+        s.data.path = Some(csv.to_string_lossy().into_owned());
+        let err = execute(&s, Algo::PivotBasic, true).unwrap_err();
+        std::fs::remove_file(&csv).ok();
+        assert!(err.contains("features"), "{err}");
+    }
+}

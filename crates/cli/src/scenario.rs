@@ -1,0 +1,1170 @@
+//! Scenario files: the declarative description of one `pivot` run.
+//!
+//! A scenario is TOML (see [`crate::toml`] for the supported subset) or
+//! JSON with the same structure, selected by file extension. Every knob
+//! has a default, so a minimal classification scenario is just:
+//!
+//! ```toml
+//! [data]
+//! kind = "synthetic-classification"
+//! ```
+//!
+//! Unknown sections or keys are hard errors: a typo like `max_dept = 5`
+//! must not silently benchmark the wrong configuration.
+
+use crate::json::Json;
+use crate::toml::{TomlDoc, TomlValue};
+use pivot_bench::Algo;
+use pivot_core::config::PivotParams;
+use pivot_data::{synth, Dataset, Task};
+use pivot_trees::TreeParams;
+use std::path::Path;
+
+/// Where the dataset comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DataKind {
+    SyntheticClassification,
+    SyntheticRegression,
+    /// Named synthetic stand-ins for the paper's Table 3 datasets.
+    CreditCardLike,
+    BankMarketLike,
+    EnergyLike,
+    Csv,
+}
+
+impl DataKind {
+    fn parse(s: &str) -> Result<DataKind, String> {
+        match s {
+            "synthetic-classification" => Ok(DataKind::SyntheticClassification),
+            "synthetic-regression" => Ok(DataKind::SyntheticRegression),
+            "credit-card-like" => Ok(DataKind::CreditCardLike),
+            "bank-market-like" => Ok(DataKind::BankMarketLike),
+            "energy-like" => Ok(DataKind::EnergyLike),
+            "csv" => Ok(DataKind::Csv),
+            other => Err(format!(
+                "unknown data.kind {other:?} (expected synthetic-classification, \
+                 synthetic-regression, credit-card-like, bank-market-like, \
+                 energy-like, or csv)"
+            )),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            DataKind::SyntheticClassification => "synthetic-classification",
+            DataKind::SyntheticRegression => "synthetic-regression",
+            DataKind::CreditCardLike => "credit-card-like",
+            DataKind::BankMarketLike => "bank-market-like",
+            DataKind::EnergyLike => "energy-like",
+            DataKind::Csv => "csv",
+        }
+    }
+}
+
+/// `[data]` section.
+#[derive(Clone, Debug)]
+pub struct DataSpec {
+    pub kind: DataKind,
+    pub samples: usize,
+    pub features_per_party: usize,
+    pub classes: usize,
+    pub class_sep: f64,
+    pub flip_y: f64,
+    pub noise: f64,
+    /// Informative feature count for the synthetic generators
+    /// (default: half the total features, rounded up).
+    pub informative: Option<usize>,
+    pub test_fraction: f64,
+    /// CSV only: file path (relative paths resolve against the scenario
+    /// file's directory).
+    pub path: Option<String>,
+    /// CSV only: "classification" (with `classes`) or "regression".
+    pub task: Option<String>,
+}
+
+impl Default for DataSpec {
+    fn default() -> Self {
+        DataSpec {
+            kind: DataKind::SyntheticClassification,
+            samples: 200,
+            features_per_party: 3,
+            classes: 2,
+            class_sep: 1.5,
+            flip_y: 0.01,
+            noise: 0.1,
+            informative: None,
+            test_fraction: 0.25,
+            path: None,
+            task: None,
+        }
+    }
+}
+
+/// `[model]` section: what gets trained on top of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelKind {
+    DecisionTree,
+    Gbdt,
+    RandomForest,
+}
+
+impl ModelKind {
+    fn parse(s: &str) -> Result<ModelKind, String> {
+        match s {
+            "decision-tree" => Ok(ModelKind::DecisionTree),
+            "gbdt" => Ok(ModelKind::Gbdt),
+            "random-forest" => Ok(ModelKind::RandomForest),
+            other => Err(format!(
+                "unknown model.kind {other:?} (expected decision-tree, gbdt, or random-forest)"
+            )),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            ModelKind::DecisionTree => "decision-tree",
+            ModelKind::Gbdt => "gbdt",
+            ModelKind::RandomForest => "random-forest",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    pub kind: ModelKind,
+    /// GBDT boosting rounds `W`.
+    pub rounds: usize,
+    pub learning_rate: f64,
+    /// Random-forest tree count `W`.
+    pub trees: usize,
+    pub sample_fraction: f64,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec {
+            kind: ModelKind::DecisionTree,
+            rounds: 4,
+            learning_rate: 0.5,
+            trees: 4,
+            sample_fraction: 1.0,
+        }
+    }
+}
+
+/// `[params]` section → [`PivotParams`].
+#[derive(Clone, Debug)]
+pub struct ParamSpec {
+    pub max_depth: usize,
+    pub max_splits: usize,
+    pub min_samples: usize,
+    pub keysize: u32,
+    pub parallel_decrypt: bool,
+    pub decrypt_threads: usize,
+}
+
+impl Default for ParamSpec {
+    fn default() -> Self {
+        ParamSpec {
+            max_depth: 3,
+            max_splits: 4,
+            min_samples: 2,
+            keysize: 256,
+            parallel_decrypt: false,
+            decrypt_threads: 6,
+        }
+    }
+}
+
+/// `[network]` section: the LAN-simulation knobs
+/// (`PIVOT_NET_LATENCY_US` / `PIVOT_NET_BANDWIDTH_MBPS`).
+#[derive(Clone, Debug, Default)]
+pub struct NetworkSpec {
+    pub latency_us: u64,
+    /// 0 = unlimited.
+    pub bandwidth_mbps: f64,
+}
+
+/// `[sweep]` section (the `bench` subcommand).
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Which knob varies: parties | samples | features_per_party |
+    /// max_splits | max_depth (the paper's Figure 4 axes).
+    pub vary: String,
+    pub values: Vec<usize>,
+}
+
+/// A fully parsed scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub name: String,
+    pub seed: u64,
+    pub parties: usize,
+    pub algorithms: Vec<Algo>,
+    pub data: DataSpec,
+    pub params: ParamSpec,
+    pub model: ModelSpec,
+    pub network: NetworkSpec,
+    pub sweep: Option<SweepSpec>,
+}
+
+pub fn parse_algo(s: &str) -> Result<Algo, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "pivot-basic" => Ok(Algo::PivotBasic),
+        "pivot-basic-pp" => Ok(Algo::PivotBasicPp),
+        "pivot-enhanced" => Ok(Algo::PivotEnhanced),
+        "pivot-enhanced-pp" => Ok(Algo::PivotEnhancedPp),
+        "spdz-dt" => Ok(Algo::SpdzDt),
+        "npd-dt" => Ok(Algo::NpdDt),
+        other => Err(format!(
+            "unknown algorithm {other:?} (expected pivot-basic, pivot-basic-pp, \
+             pivot-enhanced, pivot-enhanced-pp, spdz-dt, or npd-dt)"
+        )),
+    }
+}
+
+/// Typed accessor shim so TOML and JSON scenarios share one extraction
+/// path.
+struct Doc {
+    toml: Option<TomlDoc>,
+    json: Option<Json>,
+}
+
+impl Doc {
+    fn get_str(&self, section: &str, key: &str) -> Result<Option<String>, String> {
+        match self.raw_kind(section, key)? {
+            None => Ok(None),
+            Some(RawValue::Str(s)) => Ok(Some(s)),
+            Some(_) => Err(format!("{}: expected a string", loc(section, key))),
+        }
+    }
+
+    /// Integers must stay below 2^53 on both backends: JSON scenario
+    /// values at or above that may already have arrived rounded (2^53 + 1
+    /// parses to exactly 2^53, indistinguishable from a legitimate 2^53),
+    /// and even exact TOML values could not be echoed faithfully in the
+    /// JSON report. Rejecting beats silently running or reporting a
+    /// different value, so the bound is exclusive.
+    const INT_LIMIT: i64 = 1 << 53;
+
+    fn get_u64(&self, section: &str, key: &str) -> Result<Option<u64>, String> {
+        match self.raw_kind(section, key)? {
+            None => Ok(None),
+            Some(RawValue::Int(v)) if (0..Self::INT_LIMIT).contains(&v) => Ok(Some(v as u64)),
+            Some(RawValue::Num(v))
+                if v >= 0.0 && v.fract() == 0.0 && v < Self::INT_LIMIT as f64 =>
+            {
+                Ok(Some(v as u64))
+            }
+            Some(_) => Err(format!(
+                "{}: expected a non-negative integer below 2^53 (larger values \
+                 cannot round-trip through JSON reports)",
+                loc(section, key)
+            )),
+        }
+    }
+
+    fn get_usize(&self, section: &str, key: &str) -> Result<Option<usize>, String> {
+        Ok(self.get_u64(section, key)?.map(|v| v as usize))
+    }
+
+    fn get_f64(&self, section: &str, key: &str) -> Result<Option<f64>, String> {
+        match self.raw_kind(section, key)? {
+            None => Ok(None),
+            Some(RawValue::Num(v)) => Ok(Some(v)),
+            Some(RawValue::Int(v)) => Ok(Some(v as f64)),
+            Some(_) => Err(format!("{}: expected a number", loc(section, key))),
+        }
+    }
+
+    fn get_bool(&self, section: &str, key: &str) -> Result<Option<bool>, String> {
+        match self.raw_kind(section, key)? {
+            None => Ok(None),
+            Some(RawValue::Bool(b)) => Ok(Some(b)),
+            Some(_) => Err(format!("{}: expected a boolean", loc(section, key))),
+        }
+    }
+
+    fn get_str_array(&self, section: &str, key: &str) -> Result<Option<Vec<String>>, String> {
+        match self.raw_kind(section, key)? {
+            None => Ok(None),
+            Some(RawValue::StrArr(v)) => Ok(Some(v)),
+            Some(_) => Err(format!(
+                "{}: expected an array of strings",
+                loc(section, key)
+            )),
+        }
+    }
+
+    fn get_usize_array(&self, section: &str, key: &str) -> Result<Option<Vec<usize>>, String> {
+        match self.raw_kind(section, key)? {
+            None => Ok(None),
+            Some(RawValue::NumArr(v)) => v
+                .iter()
+                .map(|&x| {
+                    if x >= 0.0 && x.fract() == 0.0 {
+                        Ok(x as usize)
+                    } else {
+                        Err(format!(
+                            "{}: expected non-negative integers",
+                            loc(section, key)
+                        ))
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+            Some(_) => Err(format!(
+                "{}: expected an array of integers",
+                loc(section, key)
+            )),
+        }
+    }
+
+    fn raw_kind(&self, section: &str, key: &str) -> Result<Option<RawValue>, String> {
+        if let Some(t) = &self.toml {
+            return Ok(t.get(section, key).map(RawValue::from_toml));
+        }
+        let j = self.json.as_ref().expect("doc has one backend");
+        let holder = if section.is_empty() {
+            Some(j)
+        } else {
+            j.get(section)
+        };
+        Ok(holder.and_then(|h| h.get(key)).map(RawValue::from_json))
+    }
+
+    fn keys(&self, section: &str) -> Vec<String> {
+        if let Some(t) = &self.toml {
+            return t
+                .section_keys(section)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+        }
+        let j = self.json.as_ref().expect("doc has one backend");
+        let holder = if section.is_empty() {
+            Some(j)
+        } else {
+            j.get(section)
+        };
+        holder
+            .map(|h| {
+                h.keys()
+                    .into_iter()
+                    // Top-level objects are sections, not root keys.
+                    .filter(|k| !(section.is_empty() && matches!(h.get(k), Some(Json::Obj(_)))))
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn sections(&self) -> Vec<String> {
+        if let Some(t) = &self.toml {
+            return t.section_names().into_iter().map(str::to_string).collect();
+        }
+        let j = self.json.as_ref().expect("doc has one backend");
+        j.keys()
+            .into_iter()
+            .filter(|k| matches!(j.get(k), Some(Json::Obj(_))))
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+enum RawValue {
+    Str(String),
+    /// TOML integer, kept exact (f64 would round above 2^53).
+    Int(i64),
+    Num(f64),
+    Bool(bool),
+    StrArr(Vec<String>),
+    NumArr(Vec<f64>),
+    Other,
+}
+
+impl RawValue {
+    fn from_toml(v: &TomlValue) -> RawValue {
+        match v {
+            TomlValue::Str(s) => RawValue::Str(s.clone()),
+            TomlValue::Int(i) => RawValue::Int(*i),
+            TomlValue::Float(f) => RawValue::Num(*f),
+            TomlValue::Bool(b) => RawValue::Bool(*b),
+            TomlValue::Arr(items) => {
+                if items.iter().all(|i| i.as_str().is_some()) {
+                    RawValue::StrArr(
+                        items
+                            .iter()
+                            .map(|i| i.as_str().unwrap().to_string())
+                            .collect(),
+                    )
+                } else if items.iter().all(|i| i.as_f64().is_some()) {
+                    RawValue::NumArr(items.iter().map(|i| i.as_f64().unwrap()).collect())
+                } else {
+                    RawValue::Other
+                }
+            }
+        }
+    }
+
+    fn from_json(v: &Json) -> RawValue {
+        match v {
+            Json::Str(s) => RawValue::Str(s.clone()),
+            Json::Num(n) => RawValue::Num(*n),
+            Json::Bool(b) => RawValue::Bool(*b),
+            Json::Arr(items) => {
+                if items.iter().all(|i| i.as_str().is_some()) {
+                    RawValue::StrArr(
+                        items
+                            .iter()
+                            .map(|i| i.as_str().unwrap().to_string())
+                            .collect(),
+                    )
+                } else if items.iter().all(|i| i.as_f64().is_some()) {
+                    RawValue::NumArr(items.iter().map(|i| i.as_f64().unwrap()).collect())
+                } else {
+                    RawValue::Other
+                }
+            }
+            _ => RawValue::Other,
+        }
+    }
+}
+
+fn loc(section: &str, key: &str) -> String {
+    if section.is_empty() {
+        key.to_string()
+    } else {
+        format!("{section}.{key}")
+    }
+}
+
+const ROOT_KEYS: &[&str] = &["name", "seed", "parties", "algorithm", "algorithms"];
+const DATA_KEYS: &[&str] = &[
+    "kind",
+    "samples",
+    "features_per_party",
+    "classes",
+    "class_sep",
+    "flip_y",
+    "noise",
+    "informative",
+    "test_fraction",
+    "path",
+    "task",
+];
+const PARAM_KEYS: &[&str] = &[
+    "max_depth",
+    "max_splits",
+    "min_samples",
+    "keysize",
+    "parallel_decrypt",
+    "decrypt_threads",
+];
+const MODEL_KEYS: &[&str] = &[
+    "kind",
+    "rounds",
+    "learning_rate",
+    "trees",
+    "sample_fraction",
+];
+const NETWORK_KEYS: &[&str] = &["latency_us", "bandwidth_mbps"];
+const SWEEP_KEYS: &[&str] = &["vary", "values"];
+const SECTIONS: &[(&str, &[&str])] = &[
+    ("", ROOT_KEYS),
+    ("data", DATA_KEYS),
+    ("params", PARAM_KEYS),
+    ("model", MODEL_KEYS),
+    ("network", NETWORK_KEYS),
+    ("sweep", SWEEP_KEYS),
+];
+
+impl Scenario {
+    /// Load a scenario from a `.toml` or `.json` file.
+    pub fn load(path: &Path) -> Result<Scenario, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let is_json = path
+            .extension()
+            .map(|e| e.eq_ignore_ascii_case("json"))
+            .unwrap_or(false);
+        let doc = if is_json {
+            Doc {
+                toml: None,
+                json: Some(Json::parse(&text)?),
+            }
+        } else {
+            Doc {
+                toml: Some(TomlDoc::parse(&text)?),
+                json: None,
+            }
+        };
+        let mut scenario = Scenario::from_doc(&doc)?;
+        // Resolve a relative CSV path against the scenario's directory.
+        if let Some(csv) = &scenario.data.path {
+            let csv_path = Path::new(csv);
+            if csv_path.is_relative() {
+                if let Some(dir) = path.parent() {
+                    scenario.data.path = Some(dir.join(csv_path).to_string_lossy().into_owned());
+                }
+            }
+        }
+        Ok(scenario)
+    }
+
+    fn from_doc(doc: &Doc) -> Result<Scenario, String> {
+        // Reject unknown sections/keys before reading anything.
+        let known_sections: Vec<&str> = SECTIONS
+            .iter()
+            .map(|(s, _)| *s)
+            .filter(|s| !s.is_empty())
+            .collect();
+        for s in doc.sections() {
+            if !known_sections.contains(&s.as_str()) {
+                return Err(format!(
+                    "unknown section [{s}] (expected one of: {})",
+                    known_sections.join(", ")
+                ));
+            }
+        }
+        for (section, keys) in SECTIONS {
+            for k in doc.keys(section) {
+                if !keys.contains(&k.as_str()) {
+                    return Err(format!(
+                        "unknown key {} (known keys: {})",
+                        loc(section, &k),
+                        keys.join(", ")
+                    ));
+                }
+            }
+        }
+
+        let mut algorithms = Vec::new();
+        if let Some(one) = doc.get_str("", "algorithm")? {
+            algorithms.push(parse_algo(&one)?);
+        }
+        if let Some(many) = doc.get_str_array("", "algorithms")? {
+            if !algorithms.is_empty() {
+                return Err("give either `algorithm` or `algorithms`, not both".into());
+            }
+            for a in many {
+                algorithms.push(parse_algo(&a)?);
+            }
+        }
+        if algorithms.is_empty() {
+            algorithms.push(Algo::PivotBasic);
+        }
+
+        let data_defaults = DataSpec::default();
+        let data = DataSpec {
+            kind: match doc.get_str("data", "kind")? {
+                Some(k) => DataKind::parse(&k)?,
+                None => data_defaults.kind,
+            },
+            samples: doc
+                .get_usize("data", "samples")?
+                .unwrap_or(data_defaults.samples),
+            features_per_party: doc
+                .get_usize("data", "features_per_party")?
+                .unwrap_or(data_defaults.features_per_party),
+            classes: doc
+                .get_usize("data", "classes")?
+                .unwrap_or(data_defaults.classes),
+            class_sep: doc
+                .get_f64("data", "class_sep")?
+                .unwrap_or(data_defaults.class_sep),
+            flip_y: doc
+                .get_f64("data", "flip_y")?
+                .unwrap_or(data_defaults.flip_y),
+            noise: doc.get_f64("data", "noise")?.unwrap_or(data_defaults.noise),
+            informative: doc.get_usize("data", "informative")?,
+            test_fraction: doc
+                .get_f64("data", "test_fraction")?
+                .unwrap_or(data_defaults.test_fraction),
+            path: doc.get_str("data", "path")?,
+            task: doc.get_str("data", "task")?,
+        };
+
+        let pd = ParamSpec::default();
+        let params = ParamSpec {
+            max_depth: doc
+                .get_usize("params", "max_depth")?
+                .unwrap_or(pd.max_depth),
+            max_splits: doc
+                .get_usize("params", "max_splits")?
+                .unwrap_or(pd.max_splits),
+            min_samples: doc
+                .get_usize("params", "min_samples")?
+                .unwrap_or(pd.min_samples),
+            keysize: doc
+                .get_u64("params", "keysize")?
+                .map(|v| v as u32)
+                .unwrap_or(pd.keysize),
+            parallel_decrypt: doc
+                .get_bool("params", "parallel_decrypt")?
+                .unwrap_or(pd.parallel_decrypt),
+            decrypt_threads: doc
+                .get_usize("params", "decrypt_threads")?
+                .unwrap_or(pd.decrypt_threads),
+        };
+
+        let md = ModelSpec::default();
+        let model = ModelSpec {
+            kind: match doc.get_str("model", "kind")? {
+                Some(k) => ModelKind::parse(&k)?,
+                None => md.kind,
+            },
+            rounds: doc.get_usize("model", "rounds")?.unwrap_or(md.rounds),
+            learning_rate: doc
+                .get_f64("model", "learning_rate")?
+                .unwrap_or(md.learning_rate),
+            trees: doc.get_usize("model", "trees")?.unwrap_or(md.trees),
+            sample_fraction: doc
+                .get_f64("model", "sample_fraction")?
+                .unwrap_or(md.sample_fraction),
+        };
+
+        let network = NetworkSpec {
+            latency_us: doc.get_u64("network", "latency_us")?.unwrap_or(0),
+            bandwidth_mbps: doc.get_f64("network", "bandwidth_mbps")?.unwrap_or(0.0),
+        };
+
+        let sweep = match doc.get_str("sweep", "vary")? {
+            None => {
+                if doc.get_usize_array("sweep", "values")?.is_some() {
+                    return Err("sweep.values given without sweep.vary".into());
+                }
+                None
+            }
+            Some(vary) => {
+                const AXES: &[&str] = &[
+                    "parties",
+                    "samples",
+                    "features_per_party",
+                    "max_splits",
+                    "max_depth",
+                ];
+                if !AXES.contains(&vary.as_str()) {
+                    return Err(format!(
+                        "unknown sweep.vary {vary:?} (expected one of: {})",
+                        AXES.join(", ")
+                    ));
+                }
+                let values = doc
+                    .get_usize_array("sweep", "values")?
+                    .ok_or("sweep.vary given without sweep.values")?;
+                if values.is_empty() {
+                    return Err("sweep.values must not be empty".into());
+                }
+                Some(SweepSpec { vary, values })
+            }
+        };
+
+        let scenario = Scenario {
+            name: doc
+                .get_str("", "name")?
+                .unwrap_or_else(|| "unnamed scenario".into()),
+            seed: doc.get_u64("", "seed")?.unwrap_or(0xBE7C4),
+            parties: doc.get_usize("", "parties")?.unwrap_or(3),
+            algorithms,
+            data,
+            params,
+            model,
+            network,
+            sweep,
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Cross-field checks. Public because sweep points built by
+    /// [`Scenario::with_axis`] must be re-validated before execution (a
+    /// sweep value like `parties = 0` is only detectable per point).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.parties < 2 {
+            return Err("parties must be >= 2 (vertical FL needs multiple clients)".into());
+        }
+        if self.data.kind == DataKind::Csv && self.data.path.is_none() {
+            return Err("data.kind = \"csv\" requires data.path".into());
+        }
+        if self.data.kind != DataKind::Csv && self.data.features_per_party == 0 {
+            return Err("data.features_per_party must be >= 1".into());
+        }
+        if let Some(informative) = self.data.informative {
+            if !matches!(
+                self.data.kind,
+                DataKind::SyntheticClassification | DataKind::SyntheticRegression
+            ) {
+                return Err("data.informative only applies to the synthetic-* generators".into());
+            }
+            let total_features = self.parties * self.data.features_per_party;
+            if informative == 0 || informative > total_features {
+                return Err(format!(
+                    "data.informative must be in 1..={total_features} \
+                     (parties x features_per_party)"
+                ));
+            }
+        }
+        if !(0.0..1.0).contains(&self.data.test_fraction) {
+            return Err("data.test_fraction must be in [0, 1)".into());
+        }
+        if self.data.kind != DataKind::Csv && self.data.samples < 10 {
+            return Err("data.samples must be >= 10".into());
+        }
+        if self.model.kind != ModelKind::DecisionTree {
+            for algo in &self.algorithms {
+                if !matches!(algo, Algo::PivotBasic | Algo::PivotBasicPp) {
+                    return Err(format!(
+                        "model.kind = \"{}\" trains via the basic protocol (§7's \
+                         plaintext-ensemble setting) and does not support baseline or \
+                         enhanced algorithm {}",
+                        self.model.kind.label(),
+                        algo.label()
+                    ));
+                }
+            }
+        }
+        if self.params.max_depth == 0 || self.params.max_splits == 0 {
+            return Err("params.max_depth and params.max_splits must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The single algorithm of a train/predict scenario.
+    pub fn sole_algorithm(&self) -> Result<Algo, String> {
+        match self.algorithms.as_slice() {
+            [one] => Ok(*one),
+            many => Err(format!(
+                "this subcommand needs exactly one algorithm, scenario lists {}",
+                many.len()
+            )),
+        }
+    }
+
+    /// Task of the configured dataset.
+    pub fn task(&self) -> Result<Task, String> {
+        Ok(match self.data.kind {
+            DataKind::SyntheticClassification
+            | DataKind::CreditCardLike
+            | DataKind::BankMarketLike => Task::Classification {
+                classes: self.effective_classes(),
+            },
+            DataKind::SyntheticRegression | DataKind::EnergyLike => Task::Regression,
+            DataKind::Csv => match self.data.task.as_deref() {
+                Some("classification") | None => Task::Classification {
+                    classes: self.effective_classes(),
+                },
+                Some("regression") => Task::Regression,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown data.task {other:?} (expected classification or regression)"
+                    ))
+                }
+            },
+        })
+    }
+
+    fn effective_classes(&self) -> usize {
+        match self.data.kind {
+            // The named Table 3 stand-ins are binary tasks.
+            DataKind::CreditCardLike | DataKind::BankMarketLike => 2,
+            _ => self.data.classes,
+        }
+    }
+
+    /// Build (or load) the dataset this scenario describes.
+    pub fn build_dataset(&self) -> Result<Dataset, String> {
+        let features = self.parties * self.data.features_per_party;
+        let informative = self
+            .data
+            .informative
+            .unwrap_or_else(|| features.div_ceil(2));
+        Ok(match self.data.kind {
+            DataKind::SyntheticClassification => {
+                synth::make_classification(&synth::ClassificationSpec {
+                    samples: self.data.samples,
+                    features,
+                    informative,
+                    classes: self.data.classes,
+                    class_sep: self.data.class_sep,
+                    flip_y: self.data.flip_y,
+                    seed: self.seed,
+                })
+            }
+            DataKind::SyntheticRegression => synth::make_regression(&synth::RegressionSpec {
+                samples: self.data.samples,
+                features,
+                informative,
+                noise: self.data.noise,
+                seed: self.seed,
+            }),
+            DataKind::CreditCardLike => synth::credit_card_like(self.data.samples, self.seed),
+            DataKind::BankMarketLike => synth::bank_market_like(self.data.samples, self.seed),
+            DataKind::EnergyLike => synth::energy_like(self.data.samples, self.seed),
+            DataKind::Csv => {
+                let path = self.data.path.as_ref().expect("validated");
+                let task = self.task()?;
+                let mut ds = pivot_data::read_csv(Path::new(path), task)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                if task == Task::Regression {
+                    // Pivot's fixed-point pipeline needs bounded labels.
+                    ds.normalize_labels();
+                }
+                ds
+            }
+        })
+    }
+
+    /// [`PivotParams`] for one algorithm under this scenario. The
+    /// algorithm-to-parameter policy (enhanced keysize floor, `-PP`
+    /// parallel decryption) lives in [`pivot_bench::algo_params`] so CLI
+    /// runs and the bench binaries can never diverge.
+    pub fn pivot_params(&self, algo: Algo) -> PivotParams {
+        let tree = TreeParams {
+            max_depth: self.params.max_depth,
+            min_samples: self.params.min_samples,
+            max_splits: self.params.max_splits,
+            stop_when_pure: false,
+        };
+        let mut p = pivot_bench::algo_params(algo, tree, self.params.keysize, self.seed);
+        // Scenario-level knobs on top of the shared policy.
+        p.parallel_decrypt |= self.params.parallel_decrypt;
+        p.decrypt_threads = self.params.decrypt_threads;
+        p
+    }
+
+    /// Echo of the effective configuration, embedded in every report so
+    /// runs stay interpretable months later.
+    pub fn to_json(&self) -> Json {
+        let mut data = Json::obj()
+            .with("kind", self.data.kind.label())
+            .with("test_fraction", self.data.test_fraction);
+        if self.data.kind == DataKind::Csv {
+            data.set("path", self.data.path.clone());
+            data.set("task", self.data.task.clone());
+        } else {
+            data.set("samples", self.data.samples);
+            data.set("features_per_party", self.data.features_per_party);
+        }
+        if matches!(self.data.kind, DataKind::SyntheticClassification) {
+            data.set("classes", self.data.classes);
+            data.set("class_sep", self.data.class_sep);
+            data.set("flip_y", self.data.flip_y);
+        }
+        if matches!(self.data.kind, DataKind::SyntheticRegression) {
+            data.set("noise", self.data.noise);
+        }
+        if matches!(
+            self.data.kind,
+            DataKind::SyntheticClassification | DataKind::SyntheticRegression
+        ) {
+            // Echo the *effective* value so reports are self-contained.
+            let features = self.parties * self.data.features_per_party;
+            data.set(
+                "informative",
+                self.data
+                    .informative
+                    .unwrap_or_else(|| features.div_ceil(2)),
+            );
+        }
+
+        let mut model = Json::obj().with("kind", self.model.kind.label());
+        match self.model.kind {
+            ModelKind::Gbdt => {
+                model.set("rounds", self.model.rounds);
+                model.set("learning_rate", self.model.learning_rate);
+            }
+            ModelKind::RandomForest => {
+                model.set("trees", self.model.trees);
+                model.set("sample_fraction", self.model.sample_fraction);
+            }
+            ModelKind::DecisionTree => {}
+        }
+
+        let mut root = Json::obj()
+            .with("name", self.name.clone())
+            .with("seed", self.seed)
+            .with("parties", self.parties)
+            .with(
+                "algorithms",
+                self.algorithms
+                    .iter()
+                    .map(|a| a.label())
+                    .collect::<Vec<_>>(),
+            )
+            .with("data", data)
+            .with(
+                "params",
+                Json::obj()
+                    .with("max_depth", self.params.max_depth)
+                    .with("max_splits", self.params.max_splits)
+                    .with("min_samples", self.params.min_samples)
+                    .with("keysize", u64::from(self.params.keysize))
+                    .with("parallel_decrypt", self.params.parallel_decrypt)
+                    .with("decrypt_threads", self.params.decrypt_threads),
+            )
+            .with("model", model)
+            .with(
+                "network",
+                Json::obj()
+                    .with("latency_us", self.network.latency_us)
+                    .with(
+                        "bandwidth_mbps",
+                        if self.network.bandwidth_mbps > 0.0 {
+                            Json::Num(self.network.bandwidth_mbps)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+            );
+        if let Some(sweep) = &self.sweep {
+            root.set(
+                "sweep",
+                Json::obj()
+                    .with("vary", sweep.vary.clone())
+                    .with("values", sweep.values.clone()),
+            );
+        }
+        root
+    }
+
+    /// Clone with one sweep axis set to `value` (the sweep itself is
+    /// removed from the clone).
+    pub fn with_axis(&self, axis: &str, value: usize) -> Scenario {
+        let mut s = self.clone();
+        s.sweep = None;
+        match axis {
+            "parties" => s.parties = value,
+            "samples" => s.data.samples = value,
+            "features_per_party" => s.data.features_per_party = value,
+            "max_splits" => s.params.max_splits = value,
+            "max_depth" => s.params.max_depth = value,
+            other => panic!("unvalidated sweep axis {other:?}"),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivot_core::config::Protocol;
+
+    fn parse_toml(text: &str) -> Result<Scenario, String> {
+        let doc = Doc {
+            toml: Some(TomlDoc::parse(text).unwrap()),
+            json: None,
+        };
+        Scenario::from_doc(&doc)
+    }
+
+    #[test]
+    fn minimal_scenario_gets_defaults() {
+        let s = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert_eq!(s.parties, 3);
+        assert_eq!(s.seed, 0xBE7C4);
+        assert_eq!(s.algorithms, vec![Algo::PivotBasic]);
+        assert_eq!(s.model.kind, ModelKind::DecisionTree);
+        assert!(s.sweep.is_none());
+        let ds = s.build_dataset().unwrap();
+        assert_eq!(ds.num_samples(), 200);
+        assert_eq!(ds.num_features(), 9);
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let err = parse_toml("[params]\nmax_dept = 5").unwrap_err();
+        assert!(err.contains("max_dept"), "{err}");
+        let err = parse_toml("[paramz]\nmax_depth = 5").unwrap_err();
+        assert!(err.contains("paramz"), "{err}");
+        let err = parse_toml("algorithm = \"magic\"").unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn enhanced_keysize_floor_applied() {
+        let s = parse_toml("algorithm = \"pivot-enhanced\"\n[params]\nkeysize = 128").unwrap();
+        let p = s.pivot_params(Algo::PivotEnhanced);
+        assert_eq!(p.keysize, 192);
+        assert_eq!(p.protocol, Protocol::Enhanced);
+        let basic = parse_toml("[params]\nkeysize = 128").unwrap();
+        assert_eq!(basic.pivot_params(Algo::PivotBasic).keysize, 128);
+    }
+
+    #[test]
+    fn pp_variants_force_parallel_decrypt() {
+        let s = parse_toml("algorithm = \"pivot-basic-pp\"").unwrap();
+        assert!(s.pivot_params(Algo::PivotBasicPp).parallel_decrypt);
+        let s2 = parse_toml("algorithm = \"pivot-basic\"").unwrap();
+        assert!(!s2.pivot_params(Algo::PivotBasic).parallel_decrypt);
+    }
+
+    #[test]
+    fn sweep_parses_and_applies() {
+        let s = parse_toml(
+            "algorithms = [\"pivot-basic\", \"npd-dt\"]\n\
+             [sweep]\nvary = \"parties\"\nvalues = [2, 3, 4]",
+        )
+        .unwrap();
+        let sweep = s.sweep.clone().unwrap();
+        assert_eq!(sweep.values, vec![2, 3, 4]);
+        let point = s.with_axis("parties", 4);
+        assert_eq!(point.parties, 4);
+        assert!(point.sweep.is_none());
+    }
+
+    #[test]
+    fn informative_is_honoured_and_bounded() {
+        let s = parse_toml(
+            "parties = 2\n[data]\nkind = \"synthetic-classification\"\n\
+             features_per_party = 3\ninformative = 5",
+        )
+        .unwrap();
+        assert_eq!(s.data.informative, Some(5));
+        assert_eq!(
+            s.to_json().path("data.informative").unwrap().as_u64(),
+            Some(5)
+        );
+        s.build_dataset().unwrap();
+
+        let err = parse_toml(
+            "parties = 2\n[data]\nkind = \"synthetic-classification\"\n\
+             features_per_party = 2\ninformative = 9",
+        )
+        .unwrap_err();
+        assert!(err.contains("informative"), "{err}");
+        let err = parse_toml("[data]\nkind = \"energy-like\"\ninformative = 2").unwrap_err();
+        assert!(err.contains("synthetic"), "{err}");
+    }
+
+    #[test]
+    fn oversized_integers_rejected_exactly_at_2_pow_53() {
+        // 2^53 - 1 is the largest integer accepted; 2^53 itself must be
+        // rejected on both backends because JSON cannot distinguish it
+        // from a rounded 2^53 + 1 (not silently run a different value).
+        let s = parse_toml("seed = 9007199254740991").unwrap();
+        assert_eq!(s.seed, 9_007_199_254_740_991);
+        let err = parse_toml("seed = 9007199254740992").unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        for json_text in [
+            "{\"seed\": 9007199254740992}",
+            "{\"seed\": 9007199254740993}",
+        ] {
+            let doc = Doc {
+                toml: None,
+                json: Some(Json::parse(json_text).unwrap()),
+            };
+            let err = Scenario::from_doc(&doc).unwrap_err();
+            assert!(err.contains("seed"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sweep_points_revalidate() {
+        let s = parse_toml(
+            "[sweep]\nvary = \"parties\"\nvalues = [2]\n\
+             [data]\nkind = \"synthetic-classification\"",
+        )
+        .unwrap();
+        let bad = s.with_axis("parties", 0);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("parties"), "{err}");
+        assert!(s.with_axis("parties", 2).validate().is_ok());
+    }
+
+    #[test]
+    fn cli_params_match_bench_params() {
+        // The CLI must produce byte-identical policy to the bench harness
+        // for every algorithm (shared helper, but lock the equivalence).
+        let s = parse_toml("seed = 99\n[params]\nkeysize = 128\nmin_samples = 2").unwrap();
+        for algo in [
+            Algo::PivotBasic,
+            Algo::PivotBasicPp,
+            Algo::PivotEnhanced,
+            Algo::PivotEnhancedPp,
+            Algo::SpdzDt,
+            Algo::NpdDt,
+        ] {
+            let cli = s.pivot_params(algo);
+            let bench = pivot_bench::algo_params(
+                algo,
+                TreeParams {
+                    max_depth: s.params.max_depth,
+                    min_samples: s.params.min_samples,
+                    max_splits: s.params.max_splits,
+                    stop_when_pure: false,
+                },
+                s.params.keysize,
+                s.seed,
+            );
+            assert_eq!(cli.keysize, bench.keysize, "{algo:?}");
+            assert_eq!(cli.parallel_decrypt, bench.parallel_decrypt, "{algo:?}");
+            assert_eq!(cli.protocol, bench.protocol, "{algo:?}");
+            assert_eq!(cli.dealer_seed, bench.dealer_seed, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_sweeps_rejected() {
+        assert!(parse_toml("[sweep]\nvary = \"keysize\"\nvalues = [1]").is_err());
+        assert!(parse_toml("[sweep]\nvary = \"parties\"").is_err());
+        assert!(parse_toml("[sweep]\nvalues = [2]").is_err());
+    }
+
+    #[test]
+    fn baseline_plus_ensemble_rejected() {
+        let err = parse_toml("algorithm = \"npd-dt\"\n[model]\nkind = \"gbdt\"").unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn regression_scenario_task() {
+        let s = parse_toml("[data]\nkind = \"synthetic-regression\"").unwrap();
+        assert_eq!(s.task().unwrap(), Task::Regression);
+        let ds = s.build_dataset().unwrap();
+        assert!(ds.labels().iter().all(|y| y.abs() <= 1.0));
+    }
+
+    #[test]
+    fn json_echo_round_trips() {
+        let s = parse_toml(
+            "name = \"echo\"\nseed = 7\n[data]\nkind = \"synthetic-regression\"\n\
+             [model]\nkind = \"gbdt\"\nrounds = 2",
+        )
+        .unwrap();
+        let echo = s.to_json();
+        assert_eq!(echo.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(echo.path("model.rounds").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            echo.path("data.kind").unwrap().as_str(),
+            Some("synthetic-regression")
+        );
+        // The echo itself must serialize and re-parse.
+        let text = echo.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), echo);
+    }
+
+    #[test]
+    fn json_scenarios_parse_identically() {
+        let doc = Doc {
+            toml: None,
+            json: Some(
+                Json::parse(
+                    r#"{
+                        "name": "from json",
+                        "parties": 2,
+                        "algorithm": "pivot-basic",
+                        "data": {"kind": "synthetic-classification", "samples": 40},
+                        "params": {"max_depth": 2}
+                    }"#,
+                )
+                .unwrap(),
+            ),
+        };
+        let s = Scenario::from_doc(&doc).unwrap();
+        assert_eq!(s.name, "from json");
+        assert_eq!(s.parties, 2);
+        assert_eq!(s.data.samples, 40);
+        assert_eq!(s.params.max_depth, 2);
+    }
+}

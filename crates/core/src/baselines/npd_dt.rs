@@ -36,14 +36,9 @@ pub fn train(ctx: &mut PartyContext<'_>) -> DecisionTree {
 fn label_rows(task: Task, labels: &[f64]) -> Vec<Vec<f64>> {
     match task {
         Task::Classification { classes } => (0..classes)
-            .map(|k| {
-                labels.iter().map(|&y| f64::from(y as usize == k)).collect()
-            })
+            .map(|k| labels.iter().map(|&y| f64::from(y as usize == k)).collect())
             .collect(),
-        Task::Regression => vec![
-            labels.to_vec(),
-            labels.iter().map(|&y| y * y).collect(),
-        ],
+        Task::Regression => vec![labels.to_vec(), labels.iter().map(|&y| y * y).collect()],
     }
 }
 
@@ -79,7 +74,9 @@ fn build_node(
         || (ctx.params.tree.stop_when_pure && pure)
         || layout.total() == 0
     {
-        nodes.push(Node::Leaf { value: leaf_value(task, labels, &mask) });
+        nodes.push(Node::Leaf {
+            value: leaf_value(task, labels, &mask),
+        });
         return nodes.len() - 1;
     }
 
@@ -115,7 +112,11 @@ fn build_node(
     let g_totals: Vec<f64> = rows
         .iter()
         .map(|row| {
-            row.iter().zip(&mask).filter(|(_, &b)| b).map(|(v, _)| v).sum()
+            row.iter()
+                .zip(&mask)
+                .filter(|(_, &b)| b)
+                .map(|(v, _)| v)
+                .sum()
         })
         .collect();
     let mut best: Option<(usize, f64)> = None; // (global index, score)
@@ -149,7 +150,9 @@ fn build_node(
     }
 
     let Some((best_global, _)) = best else {
-        nodes.push(Node::Leaf { value: leaf_value(task, labels, &mask) });
+        nodes.push(Node::Leaf {
+            value: leaf_value(task, labels, &mask),
+        });
         return nodes.len() - 1;
     };
     let (winner, local_feature, split_idx) = layout.locate(best_global);
@@ -159,8 +162,7 @@ fn build_node(
         let feature_global = ctx.view.feature_indices[local_feature];
         let threshold = local.candidates[local_feature].thresholds[split_idx];
         let indicator = &local.indicators[local_feature][split_idx];
-        let left: Vec<bool> =
-            mask.iter().zip(indicator).map(|(&m, &v)| m && v).collect();
+        let left: Vec<bool> = mask.iter().zip(indicator).map(|(&m, &v)| m && v).collect();
         ctx.ep.broadcast(&(feature_global, threshold));
         ctx.ep.broadcast(&left);
         (feature_global, threshold, left)
@@ -169,12 +171,20 @@ fn build_node(
         let left: Vec<bool> = ctx.ep.recv(winner);
         (feature_global, threshold, left)
     };
-    let right_mask: Vec<bool> =
-        mask.iter().zip(&left_mask).map(|(&m, &l)| m && !l).collect();
+    let right_mask: Vec<bool> = mask
+        .iter()
+        .zip(&left_mask)
+        .map(|(&m, &l)| m && !l)
+        .collect();
 
     let left = build_node(ctx, local, layout, labels, left_mask, depth + 1, nodes);
     let right = build_node(ctx, local, layout, labels, right_mask, depth + 1, nodes);
-    nodes.push(Node::Internal { feature: feature_global, threshold, left, right });
+    nodes.push(Node::Internal {
+        feature: feature_global,
+        threshold,
+        left,
+        right,
+    });
     nodes.len() - 1
 }
 

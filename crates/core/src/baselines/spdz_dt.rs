@@ -59,9 +59,7 @@ pub fn train(ctx: &mut PartyContext<'_>) -> DecisionTree {
         let neg = ctx.engine.ltz_vec(&diffs);
         for split in 0..total_splits {
             let col: Vec<Share> = (0..n)
-                .map(|i| {
-                    Share::from_public(party, Fp::ONE) - neg[split * n + i]
-                })
+                .map(|i| Share::from_public(party, Fp::ONE) - neg[split * n + i])
                 .collect();
             indicator_cols.push(col);
         }
@@ -71,8 +69,7 @@ pub fn train(ctx: &mut PartyContext<'_>) -> DecisionTree {
     let label_rows: Vec<Vec<Share>> = share_label_rows(ctx);
 
     // 3. Recursive CART with a shared node mask.
-    let root_mask: Vec<Share> =
-        (0..n).map(|_| Share::from_public(party, Fp::ONE)).collect();
+    let root_mask: Vec<Share> = (0..n).map(|_| Share::from_public(party, Fp::ONE)).collect();
     let mut nodes = Vec::new();
     let root = build_node(
         ctx,
@@ -200,12 +197,16 @@ fn build_node(
     for split in 0..total_splits {
         let base = split * stride;
         n_l.push(
-            products[base..base + n].iter().fold(Share::ZERO, |acc, &x| acc + x),
+            products[base..base + n]
+                .iter()
+                .fold(Share::ZERO, |acc, &x| acc + x),
         );
         for (k, row) in g_l.iter_mut().enumerate() {
             let start = base + (k + 1) * n;
             row.push(
-                products[start..start + n].iter().fold(Share::ZERO, |acc, &x| acc + x),
+                products[start..start + n]
+                    .iter()
+                    .fold(Share::ZERO, |acc, &x| acc + x),
             );
         }
     }
@@ -233,13 +234,34 @@ fn build_node(
 
     // Mask update in MPC: α_l = α·ind_best, α_r = α − α_l.
     let left_mask = ctx.engine.mul_vec(&mask, &indicators[global]);
-    let right_mask: Vec<Share> =
-        mask.iter().zip(&left_mask).map(|(&a, &l)| a - l).collect();
+    let right_mask: Vec<Share> = mask.iter().zip(&left_mask).map(|(&a, &l)| a - l).collect();
 
-    let left = build_node(ctx, local, layout, indicators, label_rows, left_mask, depth + 1, nodes);
-    let right =
-        build_node(ctx, local, layout, indicators, label_rows, right_mask, depth + 1, nodes);
-    nodes.push(Node::Internal { feature: feature_global, threshold, left, right });
+    let left = build_node(
+        ctx,
+        local,
+        layout,
+        indicators,
+        label_rows,
+        left_mask,
+        depth + 1,
+        nodes,
+    );
+    let right = build_node(
+        ctx,
+        local,
+        layout,
+        indicators,
+        label_rows,
+        right_mask,
+        depth + 1,
+        nodes,
+    );
+    nodes.push(Node::Internal {
+        feature: feature_global,
+        threshold,
+        left,
+        right,
+    });
     nodes.len() - 1
 }
 

@@ -53,7 +53,10 @@ impl PivotParams {
     /// disabled: checking purity would reveal one bit about concealed leaf
     /// labels (see `TreeParams::stop_when_pure`).
     pub fn enhanced() -> Self {
-        let mut p = PivotParams { protocol: Protocol::Enhanced, ..Default::default() };
+        let mut p = PivotParams {
+            protocol: Protocol::Enhanced,
+            ..Default::default()
+        };
         p.tree.stop_when_pure = false;
         p
     }
@@ -68,9 +71,15 @@ impl PivotParams {
             "{n_samples} samples overflow the fixed-point gain pipeline"
         );
         // Conversion (Algorithm 2) requires N ≫ masked values.
-        assert!(self.keysize >= 128, "keysize too small for share conversion");
+        assert!(
+            self.keysize >= 128,
+            "keysize too small for share conversion"
+        );
         assert!(self.tree.max_depth >= 1, "trees need at least one level");
-        assert!(self.tree.max_splits >= 1, "need at least one candidate split");
+        assert!(
+            self.tree.max_splits >= 1,
+            "need at least one candidate split"
+        );
     }
 }
 

@@ -65,7 +65,8 @@ pub fn ciphers_to_shares(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<
         }
         masked.push(acc);
     }
-    ctx.metrics.add_ciphertext_ops((n * (ctx.parties() + 1)) as u64);
+    ctx.metrics
+        .add_ciphertext_ops((n * (ctx.parties() + 1)) as u64);
 
     // Joint decryption (line 5) — integer e = x + 2^(k-1) + Σ rᵢ, no mod-N
     // wrap because N ≫ m·p + 2^k (checked in PivotParams::assert_valid).
@@ -102,11 +103,15 @@ pub fn shares_to_ciphers(ctx: &mut PartyContext<'_>, shares: &[Share]) -> Vec<Ci
     }
     let my_encs: Vec<Ciphertext> = shares
         .iter()
-        .map(|s| ctx.pk.encrypt(&BigUint::from_u64(s.0.value()), &mut ctx.rng))
+        .map(|s| {
+            ctx.pk
+                .encrypt(&BigUint::from_u64(s.0.value()), &mut ctx.rng)
+        })
         .collect();
     ctx.metrics.add_encryptions(shares.len() as u64);
     let all: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_encs);
-    ctx.metrics.add_ciphertext_ops((shares.len() * ctx.parties()) as u64);
+    ctx.metrics
+        .add_ciphertext_ops((shares.len() * ctx.parties()) as u64);
     (0..shares.len())
         .map(|j| {
             let mut acc = all[0][j].clone();

@@ -19,9 +19,13 @@ pub fn joint_decrypt_vec(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<
 
     // Partial decryptions (parallelizable — the `-PP` knob).
     let partials: Vec<PartialDecryption> = if ctx.params.parallel_decrypt {
-        parallel_map(cts, ctx.params.decrypt_threads, |ct| ctx.key_share.partial_decrypt(ct))
+        parallel_map(cts, ctx.params.decrypt_threads, |ct| {
+            ctx.key_share.partial_decrypt(ct)
+        })
     } else {
-        cts.iter().map(|ct| ctx.key_share.partial_decrypt(ct)).collect()
+        cts.iter()
+            .map(|ct| ctx.key_share.partial_decrypt(ct))
+            .collect()
     };
 
     // One all-to-all exchange of the whole batch.
@@ -63,7 +67,10 @@ where
         let mut handles = Vec::new();
         for (ci, slice) in items.chunks(chunk).enumerate() {
             let f = &f;
-            handles.push((ci, scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>())));
+            handles.push((
+                ci,
+                scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>()),
+            ));
         }
         for (ci, handle) in handles {
             let results = handle.join().expect("decryption worker panicked");
@@ -72,7 +79,9 @@ where
             }
         }
     });
-    out.into_iter().map(|v| v.expect("all chunks filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all chunks filled"))
+        .collect()
 }
 
 /// Stand-alone combiner used by tests that play all parties themselves.
@@ -81,7 +90,6 @@ pub fn combine_partials(
     shares: &[SecretKeyShare],
     ct: &Ciphertext,
 ) -> BigUint {
-    let partials: Vec<PartialDecryption> =
-        shares.iter().map(|s| s.partial_decrypt(ct)).collect();
+    let partials: Vec<PartialDecryption> = shares.iter().map(|s| s.partial_decrypt(ct)).collect();
     combiner.combine(&partials)
 }

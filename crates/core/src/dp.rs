@@ -30,7 +30,11 @@ impl DpParams {
 
 /// Train a differentially private decision tree (basic protocol + §9.2).
 pub fn train_dp(ctx: &mut PartyContext<'_>, dp: &DpParams) -> DecisionTree {
-    assert_eq!(ctx.params.protocol, Protocol::Basic, "DP extends the basic protocol");
+    assert_eq!(
+        ctx.params.protocol,
+        Protocol::Basic,
+        "DP extends the basic protocol"
+    );
     assert!(dp.epsilon_per_query > 0.0, "need a positive budget");
     let local = LocalSplits::precompute(ctx);
     let layout = SplitLayout::build(ctx.ep, &local.counts());
@@ -56,13 +60,12 @@ fn build_node(
     // DP pruning-condition query: Lap(Δ/ε) with Δ = 1 on the node count.
     let force = depth >= ctx.params.tree.max_depth || layout.total() == 0;
     let prune = force || {
-        let noise = laplace_sample_vec(&mut ctx.engine, 0.0, 1.0 / dp.epsilon_per_query, 1)
-            .remove(0);
+        let noise =
+            laplace_sample_vec(&mut ctx.engine, 0.0, 1.0 / dp.epsilon_per_query, 1).remove(0);
         // n̄ is integer-valued; lift to fixed-point before adding the noise.
         let f = ctx.params.fixed.frac_bits;
         let noisy = shares.n_total.scale(Fp::pow2(f)) + noise;
-        let threshold =
-            ctx.engine.constant_f64(ctx.params.tree.min_samples as f64);
+        let threshold = ctx.engine.constant_f64(ctx.params.tree.min_samples as f64);
         let below = ctx.engine.lt_vec(&[noisy], &[threshold]);
         ctx.engine.open(below[0]).value() == 1
     };
@@ -86,17 +89,21 @@ fn build_node(
     } else {
         ctx.ep.recv::<(usize, f64)>(winner)
     };
-    let indicator = (ctx.id() == winner)
-        .then(|| local.indicators[local_feature][split_idx].clone());
+    let indicator =
+        (ctx.id() == winner).then(|| local.indicators[local_feature][split_idx].clone());
     let vectors = vec![alpha];
-    let (mut lefts, mut rights) =
-        update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
+    let (mut lefts, mut rights) = update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
     let alpha_l = lefts.remove(0);
     let alpha_r = rights.remove(0);
 
     let left = build_node(ctx, local, layout, dp, alpha_l, depth + 1, nodes);
     let right = build_node(ctx, local, layout, dp, alpha_r, depth + 1, nodes);
-    nodes.push(Node::Internal { feature: feature_global, threshold, left, right });
+    nodes.push(Node::Internal {
+        feature: feature_global,
+        threshold,
+        left,
+        right,
+    });
     nodes.len() - 1
 }
 
@@ -128,8 +135,7 @@ fn dp_leaf(ctx: &mut PartyContext<'_>, dp: &DpParams, shares: &NodeShares) -> f6
             let label = crate::gain::leaf_label_share(ctx, shares);
             let sens = 2.0 / (ctx.params.tree.min_samples.max(1) as f64);
             let noise =
-                laplace_sample_vec(&mut ctx.engine, 0.0, sens / dp.epsilon_per_query, 1)
-                    .remove(0);
+                laplace_sample_vec(&mut ctx.engine, 0.0, sens / dp.epsilon_per_query, 1).remove(0);
             let noisy = label + noise;
             let opened = ctx.engine.open(noisy);
             ctx.params.fixed.decode(opened)

@@ -28,7 +28,10 @@ pub struct GbdtProtocolParams {
 
 impl Default for GbdtProtocolParams {
     fn default() -> Self {
-        GbdtProtocolParams { rounds: 4, learning_rate: 0.5 }
+        GbdtProtocolParams {
+            rounds: 4,
+            learning_rate: 0.5,
+        }
     }
 }
 
@@ -57,8 +60,7 @@ fn train_gbdt_regression(ctx: &mut PartyContext<'_>, gbdt: &GbdtProtocolParams) 
     let mut cumulative = vec![Share::ZERO; n];
     let mut trees = Vec::with_capacity(gbdt.rounds);
     for _ in 0..gbdt.rounds {
-        let residuals: Vec<Share> =
-            y.iter().zip(&cumulative).map(|(&t, &f)| t - f).collect();
+        let residuals: Vec<Share> = y.iter().zip(&cumulative).map(|(&t, &f)| t - f).collect();
         let tree = train_residual_tree(ctx, &residuals);
         accumulate_predictions(ctx, &tree, gbdt.learning_rate, &mut cumulative);
         trees.push(tree);
@@ -110,10 +112,7 @@ fn train_gbdt_classification(
 }
 
 /// Share the super client's labels (mapped through `f`) with all parties.
-fn share_labels(
-    ctx: &mut PartyContext<'_>,
-    f: impl Fn(f64) -> f64,
-) -> Vec<Share> {
+fn share_labels(ctx: &mut PartyContext<'_>, f: impl Fn(f64) -> f64) -> Vec<Share> {
     let values: Option<Vec<Fp>> = ctx.is_super_client().then(|| {
         let cfg = ctx.params.fixed;
         ctx.view
@@ -164,11 +163,7 @@ fn accumulate_predictions(
 
 /// Joint GBDT prediction (§7.2): per-tree Algorithm 4, homomorphic
 /// aggregation; classification picks the secure argmax over class scores.
-pub fn predict_gbdt(
-    ctx: &mut PartyContext<'_>,
-    model: &GbdtModel,
-    local_sample: &[f64],
-) -> f64 {
+pub fn predict_gbdt(ctx: &mut PartyContext<'_>, model: &GbdtModel, local_sample: &[f64]) -> f64 {
     predict_gbdt_batch(ctx, model, std::slice::from_ref(&local_sample.to_vec()))[0]
 }
 
@@ -188,9 +183,11 @@ pub fn predict_gbdt_batch(
             let preds = predict_batch_encrypted(ctx, tree, local_samples);
             acc = Some(match acc {
                 None => preds,
-                Some(prev) => {
-                    prev.iter().zip(&preds).map(|(a, b)| ctx.pk.add(a, b)).collect()
-                }
+                Some(prev) => prev
+                    .iter()
+                    .zip(&preds)
+                    .map(|(a, b)| ctx.pk.add(a, b))
+                    .collect(),
             });
         }
         ctx.task_override = None;
@@ -210,8 +207,7 @@ pub fn predict_gbdt_batch(
             // monotone, so the argmax matches the paper's §7.2 decision).
             (0..n)
                 .map(|i| {
-                    let row: Vec<Share> =
-                        class_scores.iter().map(|scores| scores[i]).collect();
+                    let row: Vec<Share> = class_scores.iter().map(|scores| scores[i]).collect();
                     let (idx, _) = ctx.engine.argmax(&row);
                     ctx.engine.open(idx).value() as f64
                 })

@@ -26,7 +26,11 @@ pub struct RfProtocolParams {
 
 impl Default for RfProtocolParams {
     fn default() -> Self {
-        RfProtocolParams { trees: 4, sample_fraction: 1.0, bootstrap_seed: 0x5EED }
+        RfProtocolParams {
+            trees: 4,
+            sample_fraction: 1.0,
+            bootstrap_seed: 0x5EED,
+        }
     }
 }
 

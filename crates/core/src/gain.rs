@@ -50,7 +50,8 @@ pub fn convert_stats(
 
     let started = std::time::Instant::now();
     let shares = ciphers_to_shares(ctx, &flat);
-    ctx.metrics.add_time(Stage::MpcComputation, started.elapsed());
+    ctx.metrics
+        .add_time(Stage::MpcComputation, started.elapsed());
 
     let gammas = stride - 1;
     let mut n_l = Vec::with_capacity(layout.total());
@@ -186,20 +187,18 @@ pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share
         // they cannot both be 1 (the node is non-empty), so
         // valid = 1 − a − b is linear.
         let mut sides = Vec::with_capacity(2 * n_splits);
-        sides.extend(
-            shares.n_l.iter().map(|s| s.sub_public(party, Fp::ONE)),
-        );
+        sides.extend(shares.n_l.iter().map(|s| s.sub_public(party, Fp::ONE)));
         sides.extend(n_r.iter().map(|s| s.sub_public(party, Fp::ONE)));
         let zero_flags = engine.ltz_vec(&sides);
         let valid: Vec<Share> = (0..n_splits)
-            .map(|s| {
-                Share::from_public(party, Fp::ONE) - zero_flags[s] - zero_flags[n_splits + s]
-            })
+            .map(|s| Share::from_public(party, Fp::ONE) - zero_flags[s] - zero_flags[n_splits + s])
             .collect();
 
         // gain_final = valid·(gain + 1) − 1 (scale f): invalid ⇒ −1.
-        let shifted: Vec<Share> =
-            gains_raw.iter().map(|&g| g.add_public(party, one_fx)).collect();
+        let shifted: Vec<Share> = gains_raw
+            .iter()
+            .map(|&g| g.add_public(party, one_fx))
+            .collect();
         let gated = engine.mul_vec(&valid, &shifted);
         gated
             .into_iter()
@@ -210,7 +209,8 @@ pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share
 
 /// Secure argmax over the gains; returns `(⟨global split index⟩, ⟨gain⟩)`.
 pub fn best_split(ctx: &mut PartyContext<'_>, gains: &[Share]) -> (Share, Share) {
-    ctx.metrics.time(Stage::MpcComputation, || ctx.engine.argmax(gains))
+    ctx.metrics
+        .time(Stage::MpcComputation, || ctx.engine.argmax(gains))
 }
 
 /// Basic protocol: open the winning index and map it to the public
@@ -281,11 +281,7 @@ pub fn leaf_label_share(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Shar
 
 /// Secure pruning decision (opened bit): node too small, or — basic
 /// protocol only — pure.
-pub fn prune_decision(
-    ctx: &mut PartyContext<'_>,
-    shares: &NodeShares,
-    check_purity: bool,
-) -> bool {
+pub fn prune_decision(ctx: &mut PartyContext<'_>, shares: &NodeShares, check_purity: bool) -> bool {
     let party = ctx.id();
     let min_samples = ctx.params.tree.min_samples as u64;
     let is_classification = matches!(ctx.current_task(), Task::Classification { .. });
@@ -294,8 +290,7 @@ pub fn prune_decision(
             let diff = shares.n_total.sub_public(party, Fp::new(min_samples));
             ctx.engine.ltz_vec(&[diff])[0]
         };
-        let decision = if check_purity && is_classification
-        {
+        let decision = if check_purity && is_classification {
             // pure ⟺ max_k g_k = n̄ ⟺ (n̄ − max) − 1 < 0.
             let max = ctx.engine.max_vec(&shares.g_totals);
             let diff = (shares.n_total - max).sub_public(party, Fp::ONE);

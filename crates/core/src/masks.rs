@@ -34,7 +34,10 @@ pub fn initial_mask(ctx: &mut PartyContext<'_>, included: &[bool]) -> Vec<Cipher
     let cts = if ctx.is_super_client() {
         let cts: Vec<Ciphertext> = included
             .iter()
-            .map(|&b| ctx.pk.encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng))
+            .map(|&b| {
+                ctx.pk
+                    .encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng)
+            })
             .collect();
         ctx.metrics.add_encryptions(included.len() as u64);
         ctx.ep.broadcast(&cts);
@@ -42,7 +45,8 @@ pub fn initial_mask(ctx: &mut PartyContext<'_>, included: &[bool]) -> Vec<Cipher
     } else {
         ctx.ep.recv(ctx.super_client)
     };
-    ctx.metrics.add_time(Stage::LocalComputation, started.elapsed());
+    ctx.metrics
+        .add_time(Stage::LocalComputation, started.elapsed());
     cts
 }
 
@@ -64,8 +68,7 @@ pub fn compute_label_masks(
         match task {
             Task::Classification { classes } => {
                 for k in 0..classes {
-                    let beta: Vec<bool> =
-                        labels.iter().map(|&y| y as usize == k).collect();
+                    let beta: Vec<bool> = labels.iter().map(|&y| y as usize == k).collect();
                     let gamma = vector::mask_binary(&ctx.pk, alpha, &beta, &mut ctx.rng);
                     ctx.metrics.add_encryptions(alpha.len() as u64);
                     gammas.push(gamma);
@@ -89,7 +92,11 @@ pub fn compute_label_masks(
                                 "regression labels must be normalized into [-1, 1]"
                             );
                             let shifted = y + 1.0;
-                            let v = if moment == 1 { shifted } else { shifted * shifted };
+                            let v = if moment == 1 {
+                                shifted
+                            } else {
+                                shifted * shifted
+                            };
                             let enc = encode_signed(ctx, v * scale);
                             let ct = ctx.pk.mul_plain(a, &enc);
                             ctx.pk.rerandomize(&ct, &mut ctx.rng)
@@ -103,12 +110,18 @@ pub fn compute_label_masks(
         for gamma in &gammas {
             ctx.ep.broadcast(gamma);
         }
-        LabelMasks { gammas, offset_encoded: matches!(task, Task::Regression) }
+        LabelMasks {
+            gammas,
+            offset_encoded: matches!(task, Task::Regression),
+        }
     } else {
         let gammas = (0..class_vectors)
             .map(|_| ctx.ep.recv::<Vec<Ciphertext>>(ctx.super_client))
             .collect();
-        LabelMasks { gammas, offset_encoded: matches!(task, Task::Regression) }
+        LabelMasks {
+            gammas,
+            offset_encoded: matches!(task, Task::Regression),
+        }
     }
 }
 
@@ -120,8 +133,16 @@ pub fn update_mask_plain(
     winner: usize,
     left_indicator: Option<&[bool]>,
 ) -> (Vec<Ciphertext>, Vec<Ciphertext>) {
-    let (l, r) = update_vectors_plain(ctx, std::slice::from_ref(&alpha.to_vec()), winner, left_indicator);
-    (l.into_iter().next().expect("one vector"), r.into_iter().next().expect("one vector"))
+    let (l, r) = update_vectors_plain(
+        ctx,
+        std::slice::from_ref(&alpha.to_vec()),
+        winner,
+        left_indicator,
+    );
+    (
+        l.into_iter().next().expect("one vector"),
+        r.into_iter().next().expect("one vector"),
+    )
 }
 
 /// Generalized §7.2 model update: the winner masks `[α]` *and* any

@@ -75,9 +75,12 @@ impl ConcealedTree {
             .iter()
             .enumerate()
             .filter_map(|(id, n)| match n {
-                ConcealedNode::Internal { client, feature_global, enc_threshold, .. } => {
-                    Some((id, *client, *feature_global, enc_threshold))
-                }
+                ConcealedNode::Internal {
+                    client,
+                    feature_global,
+                    enc_threshold,
+                    ..
+                } => Some((id, *client, *feature_global, enc_threshold)),
                 ConcealedNode::Leaf { .. } => None,
             })
             .collect()

@@ -73,9 +73,8 @@ impl<'a> PartyContext<'a> {
         );
 
         let engine = MpcEngine::new(ep, params.dealer_seed, params.fixed);
-        let rng = StdRng::seed_from_u64(
-            params.dealer_seed ^ 0xACE0_FBA5E ^ ((ep.id() as u64 + 1) << 32),
-        );
+        let rng =
+            StdRng::seed_from_u64(params.dealer_seed ^ 0xACE0_FBA5E ^ ((ep.id() as u64 + 1) << 32));
         PartyContext {
             ep,
             pk: keys.pk,

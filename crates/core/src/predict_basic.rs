@@ -83,7 +83,8 @@ pub fn predict_batch_encrypted(
                 .map(|bits| {
                     bits.iter()
                         .map(|&b| {
-                            ctx.pk.encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng)
+                            ctx.pk
+                                .encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng)
                         })
                         .collect::<Vec<_>>()
                 })
@@ -145,9 +146,7 @@ fn encode_leaf(ctx: &PartyContext<'_>, value: f64) -> BigUint {
 /// Decode a decrypted prediction.
 pub fn decode_prediction(ctx: &PartyContext<'_>, v: &BigUint, task: Task) -> f64 {
     match task {
-        Task::Classification { .. } => {
-            v.to_u64().expect("class index fits u64") as f64
-        }
+        Task::Classification { .. } => v.to_u64().expect("class index fits u64") as f64,
         Task::Regression => {
             let signed = if v > ctx.pk.half_n() {
                 -((ctx.pk.n() - v).to_u64().expect("bounded") as f64)

@@ -88,8 +88,7 @@ pub fn predict_batch(
         });
         let shared = ctx.engine.share_input(owner, values.as_deref());
         for (slot, &pos) in owned.iter().enumerate() {
-            node_feature_shares[pos] =
-                shared[slot * n_samples..(slot + 1) * n_samples].to_vec();
+            node_feature_shares[pos] = shared[slot * n_samples..(slot + 1) * n_samples].to_vec();
         }
     }
 
@@ -109,8 +108,11 @@ pub fn predict_batch(
         let one = Share::from_public(party, Fp::ONE);
 
         // Node-id → position in `internals`.
-        let node_pos: HashMap<usize, usize> =
-            internals.iter().enumerate().map(|(pos, (id, ..))| (*id, pos)).collect();
+        let node_pos: HashMap<usize, usize> = internals
+            .iter()
+            .enumerate()
+            .map(|(pos, (id, ..))| (*id, pos))
+            .collect();
 
         // Walk the tree top-down, one multiplication batch per level:
         // marker(left) = marker·left_bit, marker(right) = marker − marker(left).
@@ -140,8 +142,7 @@ pub fn predict_batch(
             }
             let products = ctx.engine.mul_vec(&lhs, &rhs);
             for (i, (id, left, right)) in meta.iter().enumerate() {
-                let left_marker: Vec<Share> =
-                    products[i * n_samples..(i + 1) * n_samples].to_vec();
+                let left_marker: Vec<Share> = products[i * n_samples..(i + 1) * n_samples].to_vec();
                 let parent = markers[id].clone();
                 let right_marker: Vec<Share> = parent
                     .iter()

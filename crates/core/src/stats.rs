@@ -34,7 +34,11 @@ impl SplitLayout {
             }
             offsets.push(row);
         }
-        SplitLayout { counts, offsets, total: running }
+        SplitLayout {
+            counts,
+            offsets,
+            total: running,
+        }
     }
 
     /// Total number of candidate splits `Σ d_i·b_i`.
@@ -95,7 +99,10 @@ impl LocalSplits {
             candidates.push(cand);
             indicators.push(per_split);
         }
-        LocalSplits { candidates, indicators }
+        LocalSplits {
+            candidates,
+            indicators,
+        }
     }
 
     /// Flat per-feature candidate counts (for [`SplitLayout::build`]).
@@ -156,7 +163,11 @@ pub fn pooled_statistics(
     let mut per_split = Vec::with_capacity(layout.total());
     for (client, client_stats) in all.iter().enumerate() {
         let expected: usize = layout.counts[client].iter().sum::<usize>() * stride;
-        assert_eq!(client_stats.len(), expected, "stat shape from client {client}");
+        assert_eq!(
+            client_stats.len(),
+            expected,
+            "stat shape from client {client}"
+        );
         for split_stats in client_stats.chunks(stride) {
             per_split.push(split_stats.to_vec());
         }
@@ -188,7 +199,11 @@ mod tests {
             }
             offsets.push(r);
         }
-        let layout = SplitLayout { counts, offsets, total: running };
+        let layout = SplitLayout {
+            counts,
+            offsets,
+            total: running,
+        };
         assert_eq!(layout.total(), 9);
         assert_eq!(layout.global_index(0, 1, 2), 4);
         assert_eq!(layout.locate(4), (0, 1, 2));

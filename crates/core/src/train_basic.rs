@@ -13,8 +13,8 @@
 
 use crate::conversion::ciphers_to_shares;
 use crate::gain::{
-    best_split, convert_stats, leaf_label_share, prune_decision, reveal_identifier,
-    split_gains, NodeShares,
+    best_split, convert_stats, leaf_label_share, prune_decision, reveal_identifier, split_gains,
+    NodeShares,
 };
 use crate::masks::{compute_label_masks, initial_mask, update_vectors_plain, LabelMasks};
 use crate::metrics::Stage;
@@ -75,9 +75,10 @@ fn build_node(
         NodeLabels::SuperClient => compute_label_masks(ctx, &alpha, true),
         // GBDT residual vectors are slack-positive share sums; they carry
         // no +1 offset (see ensemble::gbdt).
-        NodeLabels::Encrypted(gammas) => {
-            LabelMasks { gammas: gammas.clone(), offset_encoded: false }
-        }
+        NodeLabels::Encrypted(gammas) => LabelMasks {
+            gammas: gammas.clone(),
+            offset_encoded: false,
+        },
     };
 
     // Depth pruning is public; the remaining conditions are secure.
@@ -92,8 +93,7 @@ fn build_node(
     let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
     let shares = convert_stats(ctx, layout, &enc);
 
-    let check_purity = ctx.params.tree.stop_when_pure
-        && matches!(labels, NodeLabels::SuperClient);
+    let check_purity = ctx.params.tree.stop_when_pure && matches!(labels, NodeLabels::SuperClient);
     if prune_decision(ctx, &shares, check_purity) {
         let value = open_leaf(ctx, &shares);
         nodes.push(Node::Leaf { value });
@@ -118,8 +118,8 @@ fn build_node(
             ctx.ep.recv::<(usize, f64)>(winner)
         }
     });
-    let indicator = (ctx.id() == winner)
-        .then(|| local.indicators[local_feature][split_idx].clone());
+    let indicator =
+        (ctx.id() == winner).then(|| local.indicators[local_feature][split_idx].clone());
 
     // Mask [α] — and, in GBDT mode, the encrypted label vectors — with the
     // winning indicator.
@@ -128,21 +128,23 @@ fn build_node(
         vectors.extend(gammas.iter().cloned());
     }
     let started = std::time::Instant::now();
-    let (mut lefts, mut rights) =
-        update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
+    let (mut lefts, mut rights) = update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
     ctx.metrics.add_time(Stage::ModelUpdate, started.elapsed());
     let alpha_l = lefts.remove(0);
     let alpha_r = rights.remove(0);
     let (labels_l, labels_r) = match &labels {
         NodeLabels::SuperClient => (NodeLabels::SuperClient, NodeLabels::SuperClient),
-        NodeLabels::Encrypted(_) => {
-            (NodeLabels::Encrypted(lefts), NodeLabels::Encrypted(rights))
-        }
+        NodeLabels::Encrypted(_) => (NodeLabels::Encrypted(lefts), NodeLabels::Encrypted(rights)),
     };
 
     let left = build_node(ctx, local, layout, alpha_l, labels_l, depth + 1, nodes);
     let right = build_node(ctx, local, layout, alpha_r, labels_r, depth + 1, nodes);
-    nodes.push(Node::Internal { feature: feature_global, threshold, left, right });
+    nodes.push(Node::Internal {
+        feature: feature_global,
+        threshold,
+        left,
+        right,
+    });
     nodes.len() - 1
 }
 
@@ -159,7 +161,8 @@ fn leaf_value_from_totals(
     for gamma in &masks.gammas {
         flat.push(vector::dot_binary(&ctx.pk, gamma, &all));
     }
-    ctx.metrics.add_ciphertext_ops((alpha.len() * flat.len()) as u64);
+    ctx.metrics
+        .add_ciphertext_ops((alpha.len() * flat.len()) as u64);
     let shares = ciphers_to_shares(ctx, &flat);
     let mut node = NodeShares {
         n_l: Vec::new(),

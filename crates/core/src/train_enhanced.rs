@@ -17,8 +17,8 @@
 use crate::config::Protocol;
 use crate::conversion::{ciphers_to_shares, shares_to_ciphers};
 use crate::gain::{
-    best_split, convert_stats, leaf_label_share, prune_decision, reveal_block_only,
-    split_gains, NodeShares,
+    best_split, convert_stats, leaf_label_share, prune_decision, reveal_block_only, split_gains,
+    NodeShares,
 };
 use crate::masks::{compute_label_masks, initial_mask, LabelMasks};
 use crate::metrics::Stage;
@@ -53,7 +53,11 @@ pub fn train(ctx: &mut PartyContext<'_>) -> ConcealedTree {
     let alpha = initial_mask(ctx, &mask);
     let mut nodes = Vec::new();
     let root = build_node(ctx, &local, &layout, alpha, 0, &mut nodes);
-    ConcealedTree { nodes, root, task: ctx.current_task() }
+    ConcealedTree {
+        nodes,
+        root,
+        task: ctx.current_task(),
+    }
 }
 
 fn build_node(
@@ -90,47 +94,45 @@ fn build_node(
     let n_splits = layout.counts[winner][local_feature];
 
     // ⟨λ⟩ one-hot of s*, then encrypted [λ] (§5.2 private split selection).
-    let lambda_shares = ctx
-        .metrics
-        .time(Stage::MpcComputation, || ctx.engine.onehot_vec(s_share, n_splits));
+    let lambda_shares = ctx.metrics.time(Stage::MpcComputation, || {
+        ctx.engine.onehot_vec(s_share, n_splits)
+    });
     let lambda_enc = shares_to_ciphers(ctx, &lambda_shares);
 
     // Winner: PIR-select [v_l], [v_r] and the encrypted threshold.
-    let (v_l, v_r, enc_threshold, feature_global) =
-        ctx.metrics.time(Stage::ModelUpdate, || {
-            if ctx.id() == winner {
-                let inds = &local.indicators[local_feature];
-                let n = ctx.view.num_samples();
-                let mut v_l = Vec::with_capacity(n);
-                let mut v_r = Vec::with_capacity(n);
-                for j in 0..n {
-                    let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
-                    let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
-                    v_l.push(vector::dot_binary(&ctx.pk, &lambda_enc, &row));
-                    v_r.push(vector::dot_binary(&ctx.pk, &lambda_enc, &comp));
-                }
-                ctx.metrics
-                    .add_ciphertext_ops((2 * n * n_splits) as u64);
-                let enc_vals: Vec<BigUint> = local.candidates[local_feature]
-                    .thresholds
-                    .iter()
-                    .map(|&t| encode_threshold(ctx, t))
-                    .collect();
-                let enc_threshold = vector::dot_plain(&ctx.pk, &lambda_enc, &enc_vals);
-                let feature_global = ctx.view.feature_indices[local_feature];
-                ctx.ep.broadcast(&v_l);
-                ctx.ep.broadcast(&v_r);
-                ctx.ep.broadcast(&enc_threshold);
-                ctx.ep.broadcast(&feature_global);
-                (v_l, v_r, enc_threshold, feature_global)
-            } else {
-                let v_l: Vec<Ciphertext> = ctx.ep.recv(winner);
-                let v_r: Vec<Ciphertext> = ctx.ep.recv(winner);
-                let enc_threshold: Ciphertext = ctx.ep.recv(winner);
-                let feature_global: usize = ctx.ep.recv(winner);
-                (v_l, v_r, enc_threshold, feature_global)
+    let (v_l, v_r, enc_threshold, feature_global) = ctx.metrics.time(Stage::ModelUpdate, || {
+        if ctx.id() == winner {
+            let inds = &local.indicators[local_feature];
+            let n = ctx.view.num_samples();
+            let mut v_l = Vec::with_capacity(n);
+            let mut v_r = Vec::with_capacity(n);
+            for j in 0..n {
+                let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
+                let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
+                v_l.push(vector::dot_binary(&ctx.pk, &lambda_enc, &row));
+                v_r.push(vector::dot_binary(&ctx.pk, &lambda_enc, &comp));
             }
-        });
+            ctx.metrics.add_ciphertext_ops((2 * n * n_splits) as u64);
+            let enc_vals: Vec<BigUint> = local.candidates[local_feature]
+                .thresholds
+                .iter()
+                .map(|&t| encode_threshold(ctx, t))
+                .collect();
+            let enc_threshold = vector::dot_plain(&ctx.pk, &lambda_enc, &enc_vals);
+            let feature_global = ctx.view.feature_indices[local_feature];
+            ctx.ep.broadcast(&v_l);
+            ctx.ep.broadcast(&v_r);
+            ctx.ep.broadcast(&enc_threshold);
+            ctx.ep.broadcast(&feature_global);
+            (v_l, v_r, enc_threshold, feature_global)
+        } else {
+            let v_l: Vec<Ciphertext> = ctx.ep.recv(winner);
+            let v_r: Vec<Ciphertext> = ctx.ep.recv(winner);
+            let enc_threshold: Ciphertext = ctx.ep.recv(winner);
+            let feature_global: usize = ctx.ep.recv(winner);
+            (v_l, v_r, enc_threshold, feature_global)
+        }
+    });
 
     // Eqn (10): encrypted-mask updating through share conversion.
     let alpha_shares = ciphers_to_shares(ctx, &alpha);
@@ -178,8 +180,7 @@ fn masked_product(
                     acc
                 })
                 .collect();
-            ctx.metrics
-                .add_ciphertext_ops((n * ctx.parties()) as u64);
+            ctx.metrics.add_ciphertext_ops((n * ctx.parties()) as u64);
             ctx.ep.broadcast(&sums);
             sums
         } else {
@@ -220,7 +221,8 @@ fn concealed_leaf_from_totals(
     for gamma in &masks.gammas {
         flat.push(vector::dot_binary(&ctx.pk, gamma, &all));
     }
-    ctx.metrics.add_ciphertext_ops((alpha.len() * flat.len()) as u64);
+    ctx.metrics
+        .add_ciphertext_ops((alpha.len() * flat.len()) as u64);
     let converted = ciphers_to_shares(ctx, &flat);
     let mut node = NodeShares {
         n_l: Vec::new(),

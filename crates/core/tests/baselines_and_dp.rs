@@ -9,7 +9,11 @@ use pivot_transport::run_parties;
 use pivot_trees::{train_tree, TreeParams};
 
 fn params(tree: TreeParams) -> PivotParams {
-    PivotParams { tree, keysize: 128, ..Default::default() }
+    PivotParams {
+        tree,
+        keysize: 128,
+        ..Default::default()
+    }
 }
 
 fn crisp_dataset() -> Dataset {
@@ -45,7 +49,11 @@ fn npd_dt_equals_centralized_cart() {
         seed: 13,
     });
     for data in [class_data, reg_data] {
-        let tree_params = TreeParams { max_depth: 3, max_splits: 4, ..Default::default() };
+        let tree_params = TreeParams {
+            max_depth: 3,
+            max_splits: 4,
+            ..Default::default()
+        };
         let reference = train_tree(&data, &tree_params);
         let partition = partition_vertically(&data, 3, 0);
         let p = params(tree_params);
@@ -63,7 +71,11 @@ fn npd_dt_equals_centralized_cart() {
 #[test]
 fn spdz_dt_matches_cart_on_crisp_data() {
     let data = crisp_dataset();
-    let tree_params = TreeParams { max_depth: 2, max_splits: 4, ..Default::default() };
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        ..Default::default()
+    };
     let reference = train_tree(&data, &tree_params);
     let partition = partition_vertically(&data, 2, 0);
     let p = params(tree_params);
@@ -105,8 +117,9 @@ fn spdz_dt_regression() {
     let reference = train_tree(&data, &tree_params);
     // Same split structure; leaf values agree to fixed-point precision.
     assert_eq!(trees[0].internal_count(), reference.internal_count());
-    let samples: Vec<Vec<f64>> =
-        (0..data.num_samples()).map(|i| data.sample(i).to_vec()).collect();
+    let samples: Vec<Vec<f64>> = (0..data.num_samples())
+        .map(|i| data.sample(i).to_vec())
+        .collect();
     let ref_preds = reference.predict_batch(&samples);
     let got_preds = trees[0].predict_batch(&samples);
     for (g, r) in got_preds.iter().zip(&ref_preds) {
@@ -128,7 +141,11 @@ fn spdz_dt_costs_more_mpc_than_pivot() {
         flip_y: 0.0,
         seed: 55,
     });
-    let tree_params = TreeParams { max_depth: 2, max_splits: 4, ..Default::default() };
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        ..Default::default()
+    };
     let partition = partition_vertically(&data, 2, 0);
     let p = params(tree_params);
 
@@ -164,7 +181,9 @@ fn dp_training_produces_valid_tree() {
     let partition = partition_vertically(&data, 2, 0);
     let p = params(tree_params);
     // Large ε ⇒ low noise ⇒ the tree should still be sensible.
-    let dp = DpParams { epsilon_per_query: 8.0 };
+    let dp = DpParams {
+        epsilon_per_query: 8.0,
+    };
     assert!((dp.total_budget(2) - 48.0).abs() < 1e-9);
     let trees = run_parties(2, |ep| {
         let view = partition.views[ep.id()].clone();
@@ -174,8 +193,9 @@ fn dp_training_produces_valid_tree() {
     // All parties hold the same DP tree (the mechanism is jointly sampled).
     assert_eq!(trees[0], trees[1]);
     // With generous budget the tree should classify most training samples.
-    let preds: Vec<f64> =
-        (0..data.num_samples()).map(|i| trees[0].predict(data.sample(i))).collect();
+    let preds: Vec<f64> = (0..data.num_samples())
+        .map(|i| trees[0].predict(data.sample(i)))
+        .collect();
     let acc = pivot_data::metrics::accuracy(&preds, data.labels());
     assert!(acc > 0.7, "dp tree accuracy {acc}");
 }
@@ -192,7 +212,9 @@ fn dp_noise_actually_randomizes_small_budget() {
         ..Default::default()
     };
     let partition = partition_vertically(&data, 2, 0);
-    let dp = DpParams { epsilon_per_query: 0.01 };
+    let dp = DpParams {
+        epsilon_per_query: 0.01,
+    };
     let mut distinct = std::collections::HashSet::new();
     for seed in 0..4u64 {
         let p = PivotParams {
@@ -206,8 +228,9 @@ fn dp_noise_actually_randomizes_small_budget() {
             let mut ctx = PartyContext::setup(&ep, view, p.clone());
             train_dp(&mut ctx, &dp)
         });
-        if let pivot_trees::Node::Internal { feature, threshold, .. } =
-            &trees[0].nodes()[trees[0].root()]
+        if let pivot_trees::Node::Internal {
+            feature, threshold, ..
+        } = &trees[0].nodes()[trees[0].root()]
         {
             distinct.insert((*feature, (threshold * 1000.0) as i64));
         }

@@ -17,7 +17,10 @@ fn toy_view(client: usize, m: usize) -> VerticalView {
 
 #[test]
 fn joint_decrypt_round_trip() {
-    let params = PivotParams { keysize: 128, ..Default::default() };
+    let params = PivotParams {
+        keysize: 128,
+        ..Default::default()
+    };
     let results = run_parties(2, |ep| {
         let view = toy_view(ep.id(), 2);
         let mut ctx = PartyContext::setup(&ep, view, params.clone());

@@ -3,8 +3,8 @@
 //! revealing only split features — never thresholds or leaf labels.
 
 use pivot_core::{
-    config::PivotParams, model::ConcealedNode, party::PartyContext, predict_enhanced,
-    train_basic, train_enhanced,
+    config::PivotParams, model::ConcealedNode, party::PartyContext, predict_enhanced, train_basic,
+    train_enhanced,
 };
 use pivot_data::{partition_vertically, synth, Dataset, Task};
 use pivot_transport::run_parties;
@@ -103,7 +103,11 @@ fn enhanced_model_structure_is_concealed() {
     // thresholds and leaf labels.
     for node in &tree.nodes {
         match node {
-            ConcealedNode::Internal { enc_threshold, client, .. } => {
+            ConcealedNode::Internal {
+                enc_threshold,
+                client,
+                ..
+            } => {
                 assert!(*client < m);
                 // A ciphertext, not a plain encoding: must exceed the
                 // trivial encoding magnitude of any data value.
@@ -195,5 +199,8 @@ fn enhanced_regression() {
     let mean: f64 = data.labels().iter().sum::<f64>() / data.num_samples() as f64;
     let base: Vec<f64> = vec![mean; data.num_samples()];
     let base_mse = pivot_data::metrics::mse(&base, data.labels());
-    assert!(mse < base_mse, "tree mse {mse} should beat mean baseline {base_mse}");
+    assert!(
+        mse < base_mse,
+        "tree mse {mse} should beat mean baseline {base_mse}"
+    );
 }

@@ -2,8 +2,8 @@
 //! GBDT with encrypted residual labels.
 
 use pivot_core::ensemble::{
-    gbdt::predict_gbdt_batch, rf::predict_rf_batch, train_gbdt, train_rf,
-    GbdtProtocolParams, RfProtocolParams,
+    gbdt::predict_gbdt_batch, rf::predict_rf_batch, train_gbdt, train_rf, GbdtProtocolParams,
+    RfProtocolParams,
 };
 use pivot_core::{config::PivotParams, party::PartyContext};
 use pivot_data::{metrics, partition_vertically, synth, Dataset, Task};
@@ -11,7 +11,11 @@ use pivot_transport::run_parties;
 use pivot_trees::TreeParams;
 
 fn params(tree: TreeParams) -> PivotParams {
-    PivotParams { tree, keysize: 128, ..Default::default() }
+    PivotParams {
+        tree,
+        keysize: 128,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -26,8 +30,15 @@ fn random_forest_classification() {
         seed: 31,
     });
     let m = 3;
-    let p = params(TreeParams { max_depth: 2, max_splits: 3, ..Default::default() });
-    let rf = RfProtocolParams { trees: 3, ..Default::default() };
+    let p = params(TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        ..Default::default()
+    });
+    let rf = RfProtocolParams {
+        trees: 3,
+        ..Default::default()
+    };
     let partition = partition_vertically(&data, m, 0);
     let results = run_parties(m, |ep| {
         let view = partition.views[ep.id()].clone();
@@ -59,8 +70,15 @@ fn random_forest_regression_mean() {
         seed: 77,
     });
     let m = 2;
-    let p = params(TreeParams { max_depth: 2, max_splits: 3, ..Default::default() });
-    let rf = RfProtocolParams { trees: 2, ..Default::default() };
+    let p = params(TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        ..Default::default()
+    });
+    let rf = RfProtocolParams {
+        trees: 2,
+        ..Default::default()
+    };
     let partition = partition_vertically(&data, m, 0);
     let results = run_parties(m, |ep| {
         let view = partition.views[ep.id()].clone();
@@ -103,7 +121,10 @@ fn gbdt_regression_learns() {
         stop_when_pure: false,
         ..Default::default()
     });
-    let g = GbdtProtocolParams { rounds: 3, learning_rate: 0.5 };
+    let g = GbdtProtocolParams {
+        rounds: 3,
+        learning_rate: 0.5,
+    };
     let partition = partition_vertically(&data, m, 0);
     let results = run_parties(m, |ep| {
         let view = partition.views[ep.id()].clone();
@@ -146,7 +167,10 @@ fn gbdt_classification_one_vs_rest() {
         stop_when_pure: false,
         ..Default::default()
     });
-    let g = GbdtProtocolParams { rounds: 2, learning_rate: 0.8 };
+    let g = GbdtProtocolParams {
+        rounds: 2,
+        learning_rate: 0.8,
+    };
     let partition = partition_vertically(&data, m, 0);
     let results = run_parties(m, |ep| {
         let view = partition.views[ep.id()].clone();

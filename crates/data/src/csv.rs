@@ -25,9 +25,9 @@ pub fn read_csv(path: &Path, task: Task) -> std::io::Result<Dataset> {
         let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
         match parsed {
             Ok(mut row) => {
-                let label = row.pop().unwrap_or_else(|| {
-                    panic!("line {} has no columns", lineno + 1)
-                });
+                let label = row
+                    .pop()
+                    .unwrap_or_else(|| panic!("line {} has no columns", lineno + 1));
                 features.push(row);
                 labels.push(label);
             }

@@ -54,7 +54,12 @@ impl Dataset {
             }
         }
         let feature_names = (0..d).map(|j| format!("f{j}")).collect();
-        Dataset { features, labels, task, feature_names }
+        Dataset {
+            features,
+            labels,
+            task,
+            feature_names,
+        }
     }
 
     /// Attach human-readable feature names (for examples and model dumps).
@@ -140,8 +145,7 @@ impl Dataset {
         (
             Dataset::new(train_x, train_y, self.task)
                 .with_feature_names(self.feature_names.clone()),
-            Dataset::new(test_x, test_y, self.task)
-                .with_feature_names(self.feature_names.clone()),
+            Dataset::new(test_x, test_y, self.task).with_feature_names(self.feature_names.clone()),
         )
     }
 
@@ -193,7 +197,12 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::new(
-            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0], vec![7.0, 8.0]],
+            vec![
+                vec![1.0, 2.0],
+                vec![3.0, 4.0],
+                vec![5.0, 6.0],
+                vec![7.0, 8.0],
+            ],
             vec![0.0, 1.0, 0.0, 1.0],
             Task::Classification { classes: 2 },
         )

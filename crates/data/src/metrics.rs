@@ -28,7 +28,11 @@ pub fn mse(predicted: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(predicted: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(predicted.len(), truth.len());
     assert!(!predicted.is_empty(), "empty prediction set");
-    let sum: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum();
+    let sum: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum();
     sum / predicted.len() as f64
 }
 

@@ -55,11 +55,7 @@ pub struct VerticalPartition {
 /// Split `dataset` vertically across `m` clients in contiguous feature
 /// blocks (as even as possible, matching the paper's "equally split w.r.t.
 /// features"); `super_client` receives the labels.
-pub fn partition_vertically(
-    dataset: &Dataset,
-    m: usize,
-    super_client: usize,
-) -> VerticalPartition {
+pub fn partition_vertically(dataset: &Dataset, m: usize, super_client: usize) -> VerticalPartition {
     assert!(m >= 1, "need at least one client");
     assert!(super_client < m, "super client out of range");
     let d = dataset.num_features();
@@ -105,8 +101,11 @@ mod tests {
     #[test]
     fn features_are_disjoint_and_complete() {
         let p = partition_vertically(&toy(), 3, 0);
-        let mut all: Vec<usize> =
-            p.views.iter().flat_map(|v| v.feature_indices.clone()).collect();
+        let mut all: Vec<usize> = p
+            .views
+            .iter()
+            .flat_map(|v| v.feature_indices.clone())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4]);
         // Sizes as even as possible: 2, 2, 1.

@@ -34,7 +34,9 @@ pub fn candidate_splits(column: &[f64], max_splits: usize) -> SplitCandidates {
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     sorted.dedup();
     if sorted.len() < 2 {
-        return SplitCandidates { thresholds: Vec::new() };
+        return SplitCandidates {
+            thresholds: Vec::new(),
+        };
     }
     // At most max_splits thresholds ⇒ max_splits+1 buckets over distinct
     // values; pick boundary midpoints at evenly spaced ranks.
@@ -93,7 +95,10 @@ mod tests {
         let c = candidate_splits(&col, 4);
         for &t in &c.thresholds {
             let left = col.iter().filter(|&&v| v <= t).count();
-            assert!(left > 0 && left < col.len(), "threshold {t} separates nothing");
+            assert!(
+                left > 0 && left < col.len(),
+                "threshold {t} separates nothing"
+            );
         }
     }
 

@@ -99,7 +99,13 @@ pub fn make_classification(spec: &ClassificationSpec) -> Dataset {
         features.push(row);
         labels.push(label as f64);
     }
-    Dataset::new(features, labels, Task::Classification { classes: spec.classes })
+    Dataset::new(
+        features,
+        labels,
+        Task::Classification {
+            classes: spec.classes,
+        },
+    )
 }
 
 /// Parameters for [`make_regression`].
@@ -115,7 +121,13 @@ pub struct RegressionSpec {
 
 impl Default for RegressionSpec {
     fn default() -> Self {
-        RegressionSpec { samples: 1000, features: 15, informative: 8, noise: 0.1, seed: 7 }
+        RegressionSpec {
+            samples: 1000,
+            features: 15,
+            informative: 8,
+            noise: 0.1,
+            seed: 7,
+        }
     }
 }
 
@@ -124,7 +136,9 @@ impl Default for RegressionSpec {
 pub fn make_regression(spec: &RegressionSpec) -> Dataset {
     assert!(spec.informative >= 1 && spec.informative <= spec.features);
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let coef: Vec<f64> = (0..spec.informative).map(|_| gaussian(&mut rng) * 2.0).collect();
+    let coef: Vec<f64> = (0..spec.informative)
+        .map(|_| gaussian(&mut rng) * 2.0)
+        .collect();
 
     let mut features = Vec::with_capacity(spec.samples);
     let mut labels = Vec::with_capacity(spec.samples);

@@ -51,7 +51,11 @@ impl DealerClient {
     /// `seed` must be identical across parties; `party` is this party's id.
     pub fn new(seed: u64, party: usize, m: usize) -> Self {
         assert!(party < m);
-        DealerClient { rng: StdRng::seed_from_u64(seed), party, m }
+        DealerClient {
+            rng: StdRng::seed_from_u64(seed),
+            party,
+            m,
+        }
     }
 
     /// Number of parties.
@@ -87,7 +91,11 @@ impl DealerClient {
         let a = self.uniform();
         let b = self.uniform();
         let c = a * b;
-        TripleShare { a: self.split(a), b: self.split(b), c: self.split(c) }
+        TripleShare {
+            a: self.split(a),
+            b: self.split(b),
+            c: self.split(c),
+        }
     }
 
     /// A batch of Beaver triples.
@@ -124,7 +132,11 @@ impl DealerClient {
         let r_val = Fp::new(high << t) + Fp::new(low_val);
         let r = self.split(r_val);
         let r_high = self.split(Fp::new(high));
-        MaskedBitsShare { r, r_high, bits: bit_shares }
+        MaskedBitsShare {
+            r,
+            r_high,
+            bits: bit_shares,
+        }
     }
 
     /// Probabilistic-truncation mask: `(⟨r⟩, ⟨r_high⟩)` with
@@ -189,8 +201,7 @@ mod tests {
         let cfg = FixedConfig::default();
         let mut cs = clients(2);
         for _ in 0..10 {
-            let ms: Vec<MaskedBitsShare> =
-                cs.iter_mut().map(|c| c.masked_bits(16, &cfg)).collect();
+            let ms: Vec<MaskedBitsShare> = cs.iter_mut().map(|c| c.masked_bits(16, &cfg)).collect();
             let r = reconstruct(ms.iter().map(|m| m.r)).value();
             let r_high = reconstruct(ms.iter().map(|m| m.r_high)).value();
             let mut low = 0u64;
@@ -235,8 +246,10 @@ mod tests {
         let cfg = FixedConfig::default();
         let mut cs = clients(2);
         for _ in 0..20 {
-            let shares: Vec<Fp> =
-                cs.iter_mut().map(|c| c.random_unit_fraction(&cfg)).collect();
+            let shares: Vec<Fp> = cs
+                .iter_mut()
+                .map(|c| c.random_unit_fraction(&cfg))
+                .collect();
             let v = reconstruct(shares).value();
             assert!(v < 1 << cfg.frac_bits);
         }

@@ -16,12 +16,7 @@ pub fn laplace_sample(engine: &mut MpcEngine<'_>, mu: f64, b: f64) -> Share {
 }
 
 /// Vectorized Algorithm 5: `count` independent Laplace samples.
-pub fn laplace_sample_vec(
-    engine: &mut MpcEngine<'_>,
-    mu: f64,
-    b: f64,
-    count: usize,
-) -> Vec<Share> {
+pub fn laplace_sample_vec(engine: &mut MpcEngine<'_>, mu: f64, b: f64, count: usize) -> Vec<Share> {
     let party = engine.party();
     let cfg = engine.cfg;
     let half = cfg.encode(0.5);
@@ -43,10 +38,7 @@ pub fn laplace_sample_vec(
     let one = engine.cfg.encode(1.0);
     let args: Vec<Share> = ua
         .iter()
-        .map(|&a| {
-            (Share::from_public(party, one) - a.scale(Fp::new(2)))
-                .add_public(party, Fp::ONE)
-        })
+        .map(|&a| (Share::from_public(party, one) - a.scale(Fp::new(2))).add_public(party, Fp::ONE))
         .collect();
     let lns = engine.ln_unit_vec(&args);
 

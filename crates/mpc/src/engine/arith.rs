@@ -80,9 +80,7 @@ impl MpcEngine<'_> {
         let c_init = self.cfg.encode(2.9142);
         let mut w: Vec<Share> = d_norm
             .iter()
-            .map(|&dn| {
-                Share::from_public(party, c_init) - dn.scale(Fp::new(2))
-            })
+            .map(|&dn| Share::from_public(party, c_init) - dn.scale(Fp::new(2)))
             .collect();
         // w ← w·(2 − d_norm·w), quadratic convergence.
         let two = self.cfg.encode(2.0);
@@ -154,10 +152,7 @@ impl MpcEngine<'_> {
         let t = 8u32;
         let shifted = self.trunc_vec(&clamped, t);
         let one = self.cfg.encode(1.0);
-        let mut acc: Vec<Share> = shifted
-            .iter()
-            .map(|&v| v.add_public(party, one))
-            .collect();
+        let mut acc: Vec<Share> = shifted.iter().map(|&v| v.add_public(party, one)).collect();
         for _ in 0..t {
             acc = self.fixmul_vec(&acc, &acc);
         }
@@ -187,10 +182,7 @@ impl MpcEngine<'_> {
         for i in (1..TERMS).rev() {
             let zi = self.fixmul_vec(&acc, &z);
             let coeff = self.cfg.encode(1.0 / i as f64);
-            acc = zi
-                .into_iter()
-                .map(|v| v.add_public(party, coeff))
-                .collect();
+            acc = zi.into_iter().map(|v| v.add_public(party, coeff)).collect();
         }
         let total = self.fixmul_vec(&acc, &z);
         total.into_iter().map(|v| -v).collect()

@@ -20,9 +20,10 @@ impl MpcEngine<'_> {
         }
         let party = self.party();
         let cfg = self.cfg;
-        let masks: Vec<_> = (0..n).map(|_| self.dealer_mut().masked_bits(t, &cfg)).collect();
-        let masked: Vec<Share> =
-            y.iter().zip(&masks).map(|(&x, m)| x + Share(m.r)).collect();
+        let masks: Vec<_> = (0..n)
+            .map(|_| self.dealer_mut().masked_bits(t, &cfg))
+            .collect();
+        let masked: Vec<Share> = y.iter().zip(&masks).map(|(&x, m)| x + Share(m.r)).collect();
         let opened = self.open_vec(&masked);
 
         // Public low parts and the BitLT against the shared bits of r_low.
@@ -42,8 +43,7 @@ impl MpcEngine<'_> {
                     r_low = r_low + Share(b).scale(Fp::pow2(i as u32));
                 }
                 // y mod 2^t = c_low − r_low + wrap·2^t.
-                (Share::from_public(party, Fp::new(c_low)) - r_low)
-                    + wrap.scale(Fp::pow2(t))
+                (Share::from_public(party, Fp::new(c_low)) - r_low) + wrap.scale(Fp::pow2(t))
             })
             .collect()
     }
@@ -91,7 +91,11 @@ impl MpcEngine<'_> {
         let mut bs = Vec::with_capacity(n * t);
         for (row, bits) in shared_bits.iter().enumerate() {
             for i in 0..t {
-                let g = if i == t - 1 { p[row][i] } else { p[row][i] - p[row][i + 1] };
+                let g = if i == t - 1 {
+                    p[row][i]
+                } else {
+                    p[row][i] - p[row][i + 1]
+                };
                 gs.push(g);
                 bs.push(Share(bits[i]));
             }
@@ -117,8 +121,10 @@ impl MpcEngine<'_> {
         let k = self.cfg.int_bits;
         let party = self.party();
         // y = x + 2^(k−1) ∈ [0, 2^k); sign(x) = 1 − bit_{k−1}(y).
-        let y: Vec<Share> =
-            x.iter().map(|&v| v.add_public(party, Fp::pow2(k - 1))).collect();
+        let y: Vec<Share> = x
+            .iter()
+            .map(|&v| v.add_public(party, Fp::pow2(k - 1)))
+            .collect();
         let low = self.mod2m_vec(&y, k - 1);
         let inv = Fp::inv_pow2(k - 1);
         y.iter()
@@ -160,9 +166,7 @@ impl MpcEngine<'_> {
         }
         let signs = self.ltz_vec(&batch);
         (0..domain)
-            .map(|j| {
-                Share::from_public(party, Fp::ONE) - signs[j] - signs[domain + j]
-            })
+            .map(|j| Share::from_public(party, Fp::ONE) - signs[j] - signs[domain + j])
             .collect()
     }
 

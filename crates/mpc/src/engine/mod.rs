@@ -67,7 +67,13 @@ impl<'a> MpcEngine<'a> {
         let rng = StdRng::seed_from_u64(
             dealer_seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(ep.id() as u64 + 1),
         );
-        MpcEngine { ep, dealer, cfg, counters: OpCounters::default(), rng }
+        MpcEngine {
+            ep,
+            dealer,
+            cfg,
+            counters: OpCounters::default(),
+            rng,
+        }
     }
 
     /// This party's id.
@@ -216,7 +222,9 @@ impl<'a> MpcEngine<'a> {
         assert!(t < k, "truncation by {t} exceeds {k}-bit layout");
         let offset = Fp::pow2(k - 1);
         let party = self.party();
-        let pairs: Vec<(Fp, Fp)> = (0..n).map(|_| self.dealer.trunc_pair(t, &self.cfg)).collect();
+        let pairs: Vec<(Fp, Fp)> = (0..n)
+            .map(|_| self.dealer.trunc_pair(t, &self.cfg))
+            .collect();
         let masked: Vec<Share> = v
             .iter()
             .zip(&pairs)

@@ -117,7 +117,11 @@ impl Sub for Fp {
     type Output = Fp;
     #[inline(always)]
     fn sub(self, rhs: Fp) -> Fp {
-        Fp(if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + MODULUS - rhs.0 })
+        Fp(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        })
     }
 }
 

@@ -25,7 +25,11 @@ impl Default for FixedConfig {
     /// DESIGN.md §8), and `κ = 14` statistical masking bits exactly fill
     /// the 61-bit field (`45 + 14 + 1 = 60 < 61`).
     fn default() -> Self {
-        FixedConfig { frac_bits: 20, int_bits: 45, kappa: 14 }
+        FixedConfig {
+            frac_bits: 20,
+            int_bits: 45,
+            kappa: 14,
+        }
     }
 }
 
@@ -109,6 +113,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds the 61-bit field")]
     fn invalid_layout_rejected() {
-        FixedConfig { frac_bits: 20, int_bits: 50, kappa: 20 }.assert_valid();
+        FixedConfig {
+            frac_bits: 20,
+            int_bits: 50,
+            kappa: 20,
+        }
+        .assert_valid();
     }
 }

@@ -117,8 +117,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut shares: Vec<Share> =
-            (0..m - 1).map(|_| Share(Fp::new(rng.gen::<u64>()))).collect();
+        let mut shares: Vec<Share> = (0..m - 1)
+            .map(|_| Share(Fp::new(rng.gen::<u64>())))
+            .collect();
         let partial = shares.iter().fold(Fp::ZERO, |acc, s| acc + s.0);
         shares.push(Share(secret - partial));
         shares
@@ -151,19 +152,22 @@ mod tests {
 
     #[test]
     fn public_constant_shares() {
-        let shares: Vec<Share> =
-            (0..3).map(|p| Share::from_public(p, Fp::new(42))).collect();
+        let shares: Vec<Share> = (0..3).map(|p| Share::from_public(p, Fp::new(42))).collect();
         assert_eq!(reconstruct(&shares), Fp::new(42));
-        let adjusted: Vec<Share> =
-            shares.iter().enumerate().map(|(p, s)| s.add_public(p, Fp::new(8))).collect();
+        let adjusted: Vec<Share> = shares
+            .iter()
+            .enumerate()
+            .map(|(p, s)| s.add_public(p, Fp::new(8)))
+            .collect();
         assert_eq!(reconstruct(&adjusted), Fp::new(50));
     }
 
     #[test]
     fn sum_of_share_vector() {
         let secrets = [Fp::new(1), Fp::new(2), Fp::new(3)];
-        let per_party: Vec<Vec<Share>> =
-            (0..3).map(|i| split(secrets[i], 2, 10 + i as u64)).collect();
+        let per_party: Vec<Vec<Share>> = (0..3)
+            .map(|i| split(secrets[i], 2, 10 + i as u64))
+            .collect();
         // Party p's vector of shares across the 3 secrets:
         let party0: Vec<Share> = per_party.iter().map(|s| s[0]).collect();
         let party1: Vec<Share> = per_party.iter().map(|s| s[1]).collect();

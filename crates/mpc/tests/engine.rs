@@ -124,7 +124,10 @@ fn comparison_lt() {
         let a = [e.constant_f64(1.5), e.constant_f64(3.0)];
         let b = [e.constant_f64(2.0), e.constant_f64(-3.0)];
         let lt = e.lt_vec(&a, &b);
-        e.open_vec(&lt).iter().map(|v| v.value()).collect::<Vec<_>>()
+        e.open_vec(&lt)
+            .iter()
+            .map(|v| v.value())
+            .collect::<Vec<_>>()
     });
     for r in results {
         assert_eq!(r, vec![1, 0]);
@@ -138,7 +141,10 @@ fn oblivious_select() {
         let a = [e.constant(Fp::new(111)), e.constant(Fp::new(222))];
         let b = [e.constant(Fp::new(333)), e.constant(Fp::new(444))];
         let sel = e.select_vec(&cond, &a, &b);
-        e.open_vec(&sel).iter().map(|v| v.value()).collect::<Vec<_>>()
+        e.open_vec(&sel)
+            .iter()
+            .map(|v| v.value())
+            .collect::<Vec<_>>()
     });
     for r in results {
         assert_eq!(r, vec![111, 444]);
@@ -185,7 +191,10 @@ fn onehot_encodes_index() {
     let results = mpc(2, |e| {
         let idx = e.constant(Fp::new(3));
         let hot = e.onehot_vec(idx, 6);
-        e.open_vec(&hot).iter().map(|v| v.value()).collect::<Vec<_>>()
+        e.open_vec(&hot)
+            .iter()
+            .map(|v| v.value())
+            .collect::<Vec<_>>()
     });
     for r in results {
         assert_eq!(r, vec![0, 0, 0, 1, 0, 0]);
@@ -354,7 +363,11 @@ fn works_with_many_parties() {
 
 #[test]
 fn fixed_config_is_honoured() {
-    let narrow = FixedConfig { frac_bits: 10, int_bits: 30, kappa: 14 };
+    let narrow = FixedConfig {
+        frac_bits: 10,
+        int_bits: 30,
+        kappa: 14,
+    };
     let results = run_parties(2, |ep| {
         let mut e = MpcEngine::new(&ep, SEED, narrow);
         let a = e.constant(narrow.encode(1.5));

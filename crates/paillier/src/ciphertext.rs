@@ -36,7 +36,9 @@ impl Ciphertext {
 
     /// Deserialize from big-endian bytes.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        Ciphertext { raw: BigUint::from_bytes_be(bytes) }
+        Ciphertext {
+            raw: BigUint::from_bytes_be(bytes),
+        }
     }
 }
 

@@ -26,7 +26,11 @@ pub struct FixedPointCodec {
 impl FixedPointCodec {
     /// Codec bound to a public key's plaintext space.
     pub fn new(pk: &PublicKey, precision: u32) -> Self {
-        FixedPointCodec { n: pk.n().clone(), half_n: pk.half_n().clone(), precision }
+        FixedPointCodec {
+            n: pk.n().clone(),
+            half_n: pk.half_n().clone(),
+            precision,
+        }
     }
 
     /// Codec with the default precision.

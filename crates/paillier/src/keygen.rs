@@ -41,7 +41,14 @@ pub fn keygen<R: Rng + ?Sized>(rng: &mut R, n_bits: u32) -> KeyPair {
             continue; // gcd(λ, N) ≠ 1 is astronomically unlikely; retry
         };
         let pk = PublicKey::from_n(n);
-        return KeyPair { sk: PrivateKey { pk: pk.clone(), lambda, mu }, pk };
+        return KeyPair {
+            sk: PrivateKey {
+                pk: pk.clone(),
+                lambda,
+                mu,
+            },
+            pk,
+        };
     }
 }
 
@@ -52,7 +59,14 @@ pub fn keypair_from_primes(p: &BigUint, q: &BigUint) -> KeyPair {
     let lambda = lcm(&(p - &one), &(q - &one));
     let mu = mod_inverse(&lambda, &n).expect("gcd(λ, N) = 1 for valid primes");
     let pk = PublicKey::from_n(n);
-    KeyPair { sk: PrivateKey { pk: pk.clone(), lambda, mu }, pk }
+    KeyPair {
+        sk: PrivateKey {
+            pk: pk.clone(),
+            lambda,
+            mu,
+        },
+        pk,
+    }
 }
 
 impl PrivateKey {

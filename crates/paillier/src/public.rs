@@ -30,7 +30,14 @@ impl PublicKey {
         let n2 = &n * &n;
         let half_n = n.shr_bits(1);
         let mont_n2 = Montgomery::new(&n2);
-        PublicKey { inner: Arc::new(PkInner { n, n2, half_n, mont_n2 }) }
+        PublicKey {
+            inner: Arc::new(PkInner {
+                n,
+                n2,
+                half_n,
+                mont_n2,
+            }),
+        }
     }
 
     /// The modulus `N` (also the plaintext space size).

@@ -121,7 +121,12 @@ pub fn threshold_from_safe_primes<R: Rng + ?Sized>(
     let shares = (1..=m)
         .map(|i| {
             let s_i = eval_poly(&coeffs, i as u64, &nm);
-            SecretKeyShare { index: i, s_i, pk: pk.clone(), delta: Arc::clone(&delta) }
+            SecretKeyShare {
+                index: i,
+                s_i,
+                pk: pk.clone(),
+                delta: Arc::clone(&delta),
+            }
         })
         .collect();
 
@@ -133,7 +138,11 @@ pub fn threshold_from_safe_primes<R: Rng + ?Sized>(
         threshold: t,
         delta,
     };
-    Some(ThresholdKeyPair { pk, combiner, shares })
+    Some(ThresholdKeyPair {
+        pk,
+        combiner,
+        shares,
+    })
 }
 
 /// Horner evaluation of the sharing polynomial mod `nm`.
@@ -226,7 +235,11 @@ fn lagrange_at_zero(delta: &BigUint, i: i128, indices: &[i128]) -> BigInt {
     // Exact division: Δ clears every denominator.
     let (q, r) = num.magnitude().div_rem(den.magnitude());
     assert!(r.is_zero(), "Lagrange coefficient must be integral");
-    let sign = if num.is_negative() == den.is_negative() { Sign::Positive } else { Sign::Negative };
+    let sign = if num.is_negative() == den.is_negative() {
+        Sign::Positive
+    } else {
+        Sign::Negative
+    };
     if q.is_zero() {
         BigInt::zero()
     } else {
@@ -294,8 +307,12 @@ mod tests {
         let mut r = rng();
         let kp = small_threshold_keys(3, 3);
         let c = kp.pk.encrypt(&BigUint::from_u64(1), &mut r);
-        let partials: Vec<_> =
-            kp.shares.iter().take(2).map(|s| s.partial_decrypt(&c)).collect();
+        let partials: Vec<_> = kp
+            .shares
+            .iter()
+            .take(2)
+            .map(|s| s.partial_decrypt(&c))
+            .collect();
         kp.combiner.combine(&partials);
     }
 

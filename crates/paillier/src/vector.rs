@@ -37,7 +37,11 @@ pub fn dot_plain(pk: &PublicKey, enc: &[Ciphertext], plain: &[BigUint]) -> Ciphe
         if x.is_zero() {
             continue;
         }
-        let term = if x.is_one() { c.clone() } else { pk.mul_plain(c, x) };
+        let term = if x.is_one() {
+            c.clone()
+        } else {
+            pk.mul_plain(c, x)
+        };
         acc = pk.add(&acc, &term);
     }
     acc
@@ -146,8 +150,10 @@ mod tests {
         let (kp, mut rng) = setup();
         let enc = encrypt_vec(&kp.pk, &nums(&[3, 4, 5]), &mut rng);
         let masked = mask_binary(&kp.pk, &enc, &[true, false, true], &mut rng);
-        let dec: Vec<u64> =
-            masked.iter().map(|c| kp.sk.decrypt(c).to_u64().unwrap()).collect();
+        let dec: Vec<u64> = masked
+            .iter()
+            .map(|c| kp.sk.decrypt(c).to_u64().unwrap())
+            .collect();
         assert_eq!(dec, vec![3, 0, 5]);
         // Re-randomization: ciphertexts differ from the originals.
         assert_ne!(masked[0].raw(), enc[0].raw());
@@ -164,8 +170,10 @@ mod tests {
         ];
         let onehot = encrypt_vec(&kp.pk, &nums(&[0, 0, 1, 0]), &mut rng);
         let picked = matrix_select_binary(&kp.pk, &rows, &onehot);
-        let dec: Vec<u64> =
-            picked.iter().map(|c| kp.sk.decrypt(c).to_u64().unwrap()).collect();
+        let dec: Vec<u64> = picked
+            .iter()
+            .map(|c| kp.sk.decrypt(c).to_u64().unwrap())
+            .collect();
         // Column 2 of V is (1, 0, 1).
         assert_eq!(dec, vec![1, 0, 1]);
     }

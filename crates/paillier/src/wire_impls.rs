@@ -41,7 +41,10 @@ mod tests {
 
     #[test]
     fn partial_decryption_round_trip() {
-        let p = PartialDecryption { index: 3, value: BigUint::from_u64(999) };
+        let p = PartialDecryption {
+            index: 3,
+            value: BigUint::from_u64(999),
+        };
         let encoded = p.to_wire();
         let back = PartialDecryption::from_wire(&encoded).unwrap();
         assert_eq!(back.index, 3);

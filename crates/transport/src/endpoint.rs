@@ -29,8 +29,11 @@ fn lan_simulation() -> (Duration, f64) {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(f64::INFINITY);
-        let secs_per_byte =
-            if mbps.is_finite() && mbps > 0.0 { 8.0 / (mbps * 1e6) } else { 0.0 };
+        let secs_per_byte = if mbps.is_finite() && mbps > 0.0 {
+            8.0 / (mbps * 1e6)
+        } else {
+            0.0
+        };
         (Duration::from_micros(latency_us), secs_per_byte)
     })
 }
@@ -67,12 +70,10 @@ impl Network {
     pub fn new(m: usize) -> Network {
         assert!(m >= 1, "network needs at least one party");
         // channels[from][to]
-        let mut txs: Vec<Vec<Option<Sender<Vec<u8>>>>> = (0..m)
-            .map(|_| (0..m).map(|_| None).collect())
-            .collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Vec<u8>>>>> = (0..m)
-            .map(|_| (0..m).map(|_| None).collect())
-            .collect();
+        let mut txs: Vec<Vec<Option<Sender<Vec<u8>>>>> =
+            (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Vec<u8>>>>> =
+            (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
         for from in 0..m {
             for to in 0..m {
                 if from == to {
@@ -93,7 +94,13 @@ impl Network {
                     .iter_mut()
                     .map(|r| r.take().unwrap_or_else(|| unbounded().1))
                     .collect();
-                Endpoint { id, m, senders, receivers, stats: NetStats::new() }
+                Endpoint {
+                    id,
+                    m,
+                    senders,
+                    receivers,
+                    stats: NetStats::new(),
+                }
             })
             .collect();
         Network { endpoints }
@@ -141,9 +148,8 @@ impl Endpoint {
                 panic!("party {} timed out waiting for party {from}: {e}", self.id)
             });
         self.stats.record_recv(bytes.len());
-        T::from_wire(&bytes).unwrap_or_else(|e| {
-            panic!("party {} got malformed message from {from}: {e}", self.id)
-        })
+        T::from_wire(&bytes)
+            .unwrap_or_else(|e| panic!("party {} got malformed message from {from}: {e}", self.id))
     }
 
     /// Send `msg` to every other party.
@@ -167,7 +173,13 @@ impl Endpoint {
     pub fn exchange_all<T: Wire + Clone>(&self, msg: &T) -> Vec<T> {
         self.broadcast(msg);
         (0..self.m)
-            .map(|from| if from == self.id { msg.clone() } else { self.recv(from) })
+            .map(|from| {
+                if from == self.id {
+                    msg.clone()
+                } else {
+                    self.recv(from)
+                }
+            })
             .collect()
     }
 
@@ -177,7 +189,13 @@ impl Endpoint {
         if self.id == at {
             Some(
                 (0..self.m)
-                    .map(|from| if from == at { msg.clone() } else { self.recv(from) })
+                    .map(|from| {
+                        if from == at {
+                            msg.clone()
+                        } else {
+                            self.recv(from)
+                        }
+                    })
                     .collect(),
             )
         } else {
@@ -235,7 +253,10 @@ where
             slots[i] = Some(h.join().unwrap_or_else(|_| panic!("party {i} panicked")));
         }
     });
-    slots.into_iter().map(|s| s.expect("all parties joined")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all parties joined"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -288,7 +309,11 @@ mod tests {
     #[test]
     fn scatter_distributes_values() {
         let results = run_parties(3, |ep| {
-            let vals = if ep.id() == 0 { Some(vec![100u64, 200, 300]) } else { None };
+            let vals = if ep.id() == 0 {
+                Some(vec![100u64, 200, 300])
+            } else {
+                None
+            };
             ep.scatter(0, vals.as_deref())
         });
         assert_eq!(results, vec![100, 200, 300]);

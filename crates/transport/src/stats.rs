@@ -24,7 +24,8 @@ impl NetStats {
     }
 
     pub(crate) fn record_recv(&self, bytes: usize) {
-        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.messages_received.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -22,7 +22,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 4, min_samples: 2, max_splits: 8, stop_when_pure: true }
+        TreeParams {
+            max_depth: 4,
+            min_samples: 2,
+            max_splits: 8,
+            stop_when_pure: true,
+        }
     }
 }
 
@@ -44,7 +49,11 @@ impl<'a> CartTrainer<'a> {
         let candidates = (0..data.num_features())
             .map(|j| candidate_splits(&data.feature_column(j), params.max_splits))
             .collect();
-        CartTrainer { data, params, candidates }
+        CartTrainer {
+            data,
+            params,
+            candidates,
+        }
     }
 
     /// Candidate thresholds per feature (shared with the Pivot protocols).
@@ -97,7 +106,12 @@ impl<'a> CartTrainer<'a> {
                 }
                 let left = self.build(&left_mask, depth + 1, nodes);
                 let right = self.build(&right_mask, depth + 1, nodes);
-                nodes.push(Node::Internal { feature, threshold, left, right });
+                nodes.push(Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                });
                 nodes.len() - 1
             }
         }
@@ -281,7 +295,10 @@ mod tests {
         for depth in [1usize, 2, 3] {
             let tree = train_tree(
                 &ds,
-                &TreeParams { max_depth: depth, ..Default::default() },
+                &TreeParams {
+                    max_depth: depth,
+                    ..Default::default()
+                },
             );
             assert!(tree.depth() <= depth, "depth {} > {}", tree.depth(), depth);
         }
@@ -294,7 +311,13 @@ mod tests {
             vec![0.1, 0.2, 0.9, 1.0],
             Task::Regression,
         );
-        let tree = train_tree(&data, &TreeParams { max_depth: 1, ..Default::default() });
+        let tree = train_tree(
+            &data,
+            &TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         assert!((tree.predict(&[0.5]) - 0.15).abs() < 1e-9);
         assert!((tree.predict(&[10.5]) - 0.95).abs() < 1e-9);
     }
@@ -320,7 +343,11 @@ mod tests {
         );
         let tree = train_tree(
             &data,
-            &TreeParams { stop_when_pure: false, max_depth: 2, ..Default::default() },
+            &TreeParams {
+                stop_when_pure: false,
+                max_depth: 2,
+                ..Default::default()
+            },
         );
         // Splits exist (features vary) even though gain is flat.
         assert!(tree.depth() > 0);
@@ -336,7 +363,10 @@ mod tests {
         );
         let tree = train_tree(
             &data,
-            &TreeParams { min_samples: 10, ..Default::default() },
+            &TreeParams {
+                min_samples: 10,
+                ..Default::default()
+            },
         );
         assert_eq!(tree.depth(), 0, "root below min_samples must be a leaf");
     }
@@ -351,9 +381,16 @@ mod tests {
             ..Default::default()
         });
         let (train, test) = ds.train_test_split(0.3);
-        let tree = train_tree(&train, &TreeParams { max_depth: 6, ..Default::default() });
-        let preds: Vec<f64> =
-            (0..test.num_samples()).map(|i| tree.predict(test.sample(i))).collect();
+        let tree = train_tree(
+            &train,
+            &TreeParams {
+                max_depth: 6,
+                ..Default::default()
+            },
+        );
+        let preds: Vec<f64> = (0..test.num_samples())
+            .map(|i| tree.predict(test.sample(i)))
+            .collect();
         let acc = pivot_data::metrics::accuracy(&preds, test.labels());
         assert!(acc > 0.8, "accuracy {acc} too low");
     }

@@ -54,7 +54,10 @@ impl RandomForest {
                 trainer.train_masked(&mask)
             })
             .collect();
-        RandomForest { trees, task: data.task() }
+        RandomForest {
+            trees,
+            task: data.task(),
+        }
     }
 
     /// Predict one sample: majority vote or mean over trees (§7.1).
@@ -103,7 +106,9 @@ mod tests {
         let (train, test) = ds.train_test_split(0.3);
         let rf = RandomForest::train(&train, &RandomForestParams::default());
         let preds = rf.predict_batch(
-            &(0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect::<Vec<_>>(),
+            &(0..test.num_samples())
+                .map(|i| test.sample(i).to_vec())
+                .collect::<Vec<_>>(),
         );
         let acc = pivot_data::metrics::accuracy(&preds, test.labels());
         assert!(acc > 0.75, "forest accuracy {acc}");
@@ -119,10 +124,15 @@ mod tests {
         let (train, test) = ds.train_test_split(0.25);
         let rf = RandomForest::train(
             &train,
-            &RandomForestParams { trees: 12, ..Default::default() },
+            &RandomForestParams {
+                trees: 12,
+                ..Default::default()
+            },
         );
         let preds = rf.predict_batch(
-            &(0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect::<Vec<_>>(),
+            &(0..test.num_samples())
+                .map(|i| test.sample(i).to_vec())
+                .collect::<Vec<_>>(),
         );
         let mse = pivot_data::metrics::mse(&preds, test.labels());
         assert!(mse < 0.2, "forest regression mse {mse}");
@@ -133,7 +143,10 @@ mod tests {
         let ds = synth::make_classification(&Default::default());
         let rf = RandomForest::train(
             &ds,
-            &RandomForestParams { trees: 5, ..Default::default() },
+            &RandomForestParams {
+                trees: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(rf.trees.len(), 5);
     }

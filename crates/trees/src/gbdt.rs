@@ -21,7 +21,11 @@ impl Default for GbdtParams {
         GbdtParams {
             rounds: 8,
             learning_rate: 0.3,
-            tree: TreeParams { max_depth: 3, stop_when_pure: false, ..Default::default() },
+            tree: TreeParams {
+                max_depth: 3,
+                stop_when_pure: false,
+                ..Default::default()
+            },
         }
     }
 }
@@ -107,8 +111,7 @@ impl Gbdt {
             .iter()
             .zip(&self.base)
             .map(|(trees, &base)| {
-                base + self.learning_rate
-                    * trees.iter().map(|t| t.predict(sample)).sum::<f64>()
+                base + self.learning_rate * trees.iter().map(|t| t.predict(sample)).sum::<f64>()
             })
             .collect()
     }
@@ -155,10 +158,23 @@ mod tests {
             noise: 0.02,
             ..Default::default()
         });
-        let short = Gbdt::train(&ds, &GbdtParams { rounds: 1, ..Default::default() });
-        let long = Gbdt::train(&ds, &GbdtParams { rounds: 12, ..Default::default() });
-        let samples: Vec<Vec<f64>> =
-            (0..ds.num_samples()).map(|i| ds.sample(i).to_vec()).collect();
+        let short = Gbdt::train(
+            &ds,
+            &GbdtParams {
+                rounds: 1,
+                ..Default::default()
+            },
+        );
+        let long = Gbdt::train(
+            &ds,
+            &GbdtParams {
+                rounds: 12,
+                ..Default::default()
+            },
+        );
+        let samples: Vec<Vec<f64>> = (0..ds.num_samples())
+            .map(|i| ds.sample(i).to_vec())
+            .collect();
         let mse_short = pivot_data::metrics::mse(&short.predict_batch(&samples), ds.labels());
         let mse_long = pivot_data::metrics::mse(&long.predict_batch(&samples), ds.labels());
         assert!(
@@ -179,7 +195,9 @@ mod tests {
         let (train, test) = ds.train_test_split(0.25);
         let model = Gbdt::train(&train, &GbdtParams::default());
         let preds = model.predict_batch(
-            &(0..test.num_samples()).map(|i| test.sample(i).to_vec()).collect::<Vec<_>>(),
+            &(0..test.num_samples())
+                .map(|i| test.sample(i).to_vec())
+                .collect::<Vec<_>>(),
         );
         let acc = pivot_data::metrics::accuracy(&preds, test.labels());
         assert!(acc > 0.75, "gbdt accuracy {acc}");
@@ -189,7 +207,13 @@ mod tests {
     #[test]
     fn rounds_counted() {
         let ds = synth::make_regression(&Default::default());
-        let model = Gbdt::train(&ds, &GbdtParams { rounds: 5, ..Default::default() });
+        let model = Gbdt::train(
+            &ds,
+            &GbdtParams {
+                rounds: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(model.rounds(), 5);
     }
 }

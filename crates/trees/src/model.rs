@@ -10,7 +10,12 @@ pub type NodeId = usize;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Node {
     /// Internal split: go left iff `value(feature) ≤ threshold`.
-    Internal { feature: usize, threshold: f64, left: NodeId, right: NodeId },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: NodeId,
+        right: NodeId,
+    },
     /// Leaf carrying the prediction (class index or regression value).
     Leaf { value: f64 },
 }
@@ -29,7 +34,10 @@ impl DecisionTree {
         assert!(root < nodes.len(), "root out of range");
         for node in &nodes {
             if let Node::Internal { left, right, .. } = node {
-                assert!(*left < nodes.len() && *right < nodes.len(), "dangling child");
+                assert!(
+                    *left < nodes.len() && *right < nodes.len(),
+                    "dangling child"
+                );
             }
         }
         DecisionTree { nodes, root, task }
@@ -37,7 +45,11 @@ impl DecisionTree {
 
     /// A single-leaf tree.
     pub fn leaf(value: f64, task: Task) -> Self {
-        DecisionTree { nodes: vec![Node::Leaf { value }], root: 0, task }
+        DecisionTree {
+            nodes: vec![Node::Leaf { value }],
+            root: 0,
+            task,
+        }
     }
 
     /// The node arena.
@@ -87,8 +99,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[id] {
                 Node::Leaf { value } => return *value,
-                Node::Internal { feature, threshold, left, right } => {
-                    id = if sample[*feature] <= *threshold { *left } else { *right };
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -108,7 +129,12 @@ impl DecisionTree {
         while let Some((id, path)) = stack.pop() {
             match &self.nodes[id] {
                 Node::Leaf { value } => out.push((*value, path)),
-                Node::Internal { feature, threshold, left, right } => {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     // Push right first so left-to-right order pops left first.
                     let mut right_path = path.clone();
                     right_path.push((*feature, *threshold, false));
@@ -124,19 +150,18 @@ impl DecisionTree {
 
     /// Render as an indented text diagram (for examples / debugging).
     pub fn render(&self, feature_names: &[String]) -> String {
-        fn walk(
-            nodes: &[Node],
-            id: NodeId,
-            names: &[String],
-            depth: usize,
-            out: &mut String,
-        ) {
+        fn walk(nodes: &[Node], id: NodeId, names: &[String], depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             match &nodes[id] {
                 Node::Leaf { value } => {
                     out.push_str(&format!("{pad}leaf: {value:.4}\n"));
                 }
-                Node::Internal { feature, threshold, left, right } => {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let name = names
                         .get(*feature)
                         .cloned()
@@ -162,7 +187,12 @@ mod tests {
         // f0 <= 2.0 → 0.0 else 1.0
         DecisionTree::new(
             vec![
-                Node::Internal { feature: 0, threshold: 2.0, left: 1, right: 2 },
+                Node::Internal {
+                    feature: 0,
+                    threshold: 2.0,
+                    left: 1,
+                    right: 2,
+                },
                 Node::Leaf { value: 0.0 },
                 Node::Leaf { value: 1.0 },
             ],
@@ -203,7 +233,12 @@ mod tests {
     #[should_panic(expected = "dangling child")]
     fn dangling_child_rejected() {
         DecisionTree::new(
-            vec![Node::Internal { feature: 0, threshold: 0.0, left: 5, right: 6 }],
+            vec![Node::Internal {
+                feature: 0,
+                threshold: 0.0,
+                left: 5,
+                right: 6,
+            }],
             0,
             Task::Regression,
         );

@@ -107,17 +107,11 @@ impl DotProductProof {
         let n = pk.n();
         let n2 = pk.n_squared();
         let len = commitments.len();
-        if self.a.len() != len
-            || self.z.len() != len
-            || self.w1.len() != len
-            || inputs.len() != len
+        if self.a.len() != len || self.z.len() != len || self.w1.len() != len || inputs.len() != len
         {
             return false;
         }
-        if self.z.iter().any(|z| z >= n)
-            || self.w1.iter().any(|w| w >= n)
-            || self.w2 >= *n
-        {
+        if self.z.iter().any(|z| z >= n) || self.w1.iter().any(|w| w >= n) || self.w2 >= *n {
             return false;
         }
         let e = Self::derive_challenge(pk, commitments, inputs, output, &self.a, &self.b);
@@ -125,8 +119,7 @@ impl DotProductProof {
         // Per-element: g^{zᵢ}·w1ᵢ^N = aᵢ·cxᵢ^e.
         for i in 0..len {
             let lhs = pk.encrypt_with(&self.z[i], &self.w1[i]).into_raw();
-            let rhs =
-                (&self.a[i] * &mod_pow(commitments[i].raw(), &e, n2)).rem_of(n2);
+            let rhs = (&self.a[i] * &mod_pow(commitments[i].raw(), &e, n2)).rem_of(n2);
             if lhs != rhs {
                 return false;
             }
@@ -238,7 +231,14 @@ mod tests {
             .collect();
         let (output, s) = DotProductProof::dot(&kp.pk, &inputs, &other, &mut rng);
         let proof = DotProductProof::prove(
-            &kp.pk, &commitments, &inputs, &output, &other, &r, &s, &mut rng,
+            &kp.pk,
+            &commitments,
+            &inputs,
+            &output,
+            &other,
+            &r,
+            &s,
+            &mut rng,
         );
         assert!(!proof.verify(&kp.pk, &commitments, &inputs, &output));
     }

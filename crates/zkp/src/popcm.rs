@@ -145,8 +145,7 @@ mod tests {
         let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &x, &mut rng);
         // Semantics: c₃ decrypts to 42.
         assert_eq!(kp.sk.decrypt(&c3), BigUint::from_u64(42));
-        let proof =
-            MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        let proof = MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
         assert!(proof.verify(&kp.pk, &c1, &c2, &c3));
     }
 
@@ -158,8 +157,7 @@ mod tests {
         let c1 = kp.pk.encrypt_with(&x, &r1);
         let c2 = kp.pk.encrypt(&BigUint::from_u64(7), &mut rng);
         let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &x, &mut rng);
-        let proof =
-            MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        let proof = MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
         // Claiming the product is an encryption of something else fails.
         let fake_c3 = kp.pk.encrypt(&BigUint::from_u64(41), &mut rng);
         assert!(!proof.verify(&kp.pk, &c1, &c2, &fake_c3));
@@ -196,8 +194,7 @@ mod tests {
         let c2 = kp.pk.encrypt(&BigUint::from_u64(9), &mut rng);
         let (c3, s) = MultiplicationProof::multiply(&kp.pk, &c2, &x, &mut rng);
         assert_eq!(kp.sk.decrypt(&c3), BigUint::zero());
-        let proof =
-            MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        let proof = MultiplicationProof::prove(&kp.pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
         assert!(proof.verify(&kp.pk, &c1, &c2, &c3));
     }
 }

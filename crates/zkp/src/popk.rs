@@ -40,7 +40,11 @@ impl PlaintextProof {
         let z = (&u + &(&e * x)).rem_of(n);
         let r_e = pivot_bignum::mod_pow(r, &e, n);
         let w = (&v * &r_e).rem_of(n);
-        PlaintextProof { commitment: a.into_raw(), z, w }
+        PlaintextProof {
+            commitment: a.into_raw(),
+            z,
+            w,
+        }
     }
 
     /// Verify against the ciphertext.
@@ -51,9 +55,7 @@ impl PlaintextProof {
         }
         let e = Self::derive_challenge(pk, c, &self.commitment);
         // lhs = g^z·w^N; rhs = a·c^e.
-        let lhs = pk
-            .encrypt_with(&self.z, &self.w)
-            .into_raw();
+        let lhs = pk.encrypt_with(&self.z, &self.w).into_raw();
         let c_e = pivot_bignum::mod_pow(c.raw(), &e, n2);
         let rhs = (&self.commitment * &c_e).rem_of(n2);
         lhs == rhs

@@ -49,7 +49,10 @@ fn main() {
 
     let truth: Vec<f64> = (0..decisions.len()).map(|i| test.label(i)).collect();
     let accuracy = metrics::accuracy(decisions, &truth);
-    println!("Joint credit decisions on {} held-out applications", decisions.len());
+    println!(
+        "Joint credit decisions on {} held-out applications",
+        decisions.len()
+    );
     println!("agreement with ground truth: {accuracy:.3}");
     println!("(every decision required one secure prediction — only the final");
     println!("approve/deny bit was ever revealed to the two parties)");

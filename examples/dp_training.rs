@@ -29,12 +29,15 @@ fn main() {
     params.tree.stop_when_pure = false;
     params.keysize = 256;
 
-    let samples: Vec<Vec<f64>> =
-        (0..data.num_samples()).map(|i| data.sample(i).to_vec()).collect();
+    let samples: Vec<Vec<f64>> = (0..data.num_samples())
+        .map(|i| data.sample(i).to_vec())
+        .collect();
 
     println!("Per-query ε → total budget B = 2(h+1)ε → training accuracy:");
     for eps in [0.05f64, 0.5, 4.0] {
-        let dp = DpParams { epsilon_per_query: eps };
+        let dp = DpParams {
+            epsilon_per_query: eps,
+        };
         let trees = run_parties(m, |ep| {
             let view = partition.views[ep.id()].clone();
             let mut ctx = PartyContext::setup(&ep, view, params.clone());

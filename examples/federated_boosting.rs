@@ -26,7 +26,10 @@ fn main() {
 
     println!("Boosting with encrypted residual labels (W rounds → test MSE):");
     for rounds in [1usize, 2, 4] {
-        let gbdt = GbdtProtocolParams { rounds, learning_rate: 0.5 };
+        let gbdt = GbdtProtocolParams {
+            rounds,
+            learning_rate: 0.5,
+        };
         let preds = run_parties(m, |ep| {
             let view = train_part.views[ep.id()].clone();
             let test_view = &test_part.views[ep.id()];

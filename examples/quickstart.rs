@@ -28,7 +28,11 @@ fn main() {
     let test_part = partition_vertically(&test, m, 0);
 
     let params = PivotParams {
-        tree: TreeParams { max_depth: 3, max_splits: 4, ..Default::default() },
+        tree: TreeParams {
+            max_depth: 3,
+            max_splits: 4,
+            ..Default::default()
+        },
         keysize: 256,
         ..Default::default()
     };
@@ -54,6 +58,9 @@ fn main() {
     println!("Jointly trained decision tree:\n{}", tree.render(&names));
 
     let accuracy = pivot::data::metrics::accuracy(predictions, test.labels());
-    println!("Test accuracy over {} samples: {accuracy:.3}", predictions.len());
+    println!(
+        "Test accuracy over {} samples: {accuracy:.3}",
+        predictions.len()
+    );
     println!("Party-0 protocol costs: {metrics}");
 }

@@ -23,7 +23,11 @@ fn full_pipeline_classification() {
     let train_part = partition_vertically(&train, m, 0);
     let test_part = partition_vertically(&test, m, 0);
     let params = PivotParams {
-        tree: TreeParams { max_depth: 3, max_splits: 4, ..Default::default() },
+        tree: TreeParams {
+            max_depth: 3,
+            max_splits: 4,
+            ..Default::default()
+        },
         keysize: 128,
         ..Default::default()
     };
@@ -45,10 +49,15 @@ fn full_pipeline_classification() {
     // Sanity: close to what a centralized tree achieves.
     let central = train_tree(
         &train,
-        &TreeParams { max_depth: 3, max_splits: 4, ..Default::default() },
+        &TreeParams {
+            max_depth: 3,
+            max_splits: 4,
+            ..Default::default()
+        },
     );
-    let central_preds: Vec<f64> =
-        (0..test.num_samples()).map(|i| central.predict(test.sample(i))).collect();
+    let central_preds: Vec<f64> = (0..test.num_samples())
+        .map(|i| central.predict(test.sample(i)))
+        .collect();
     let central_acc = metrics::accuracy(&central_preds, test.labels());
     assert!(
         (acc - central_acc).abs() < 0.1,
@@ -83,7 +92,11 @@ fn different_super_client_positions() {
     for super_client in [0usize, 1, 2] {
         let partition = partition_vertically(&data, m, super_client);
         let params = PivotParams {
-            tree: TreeParams { max_depth: 2, max_splits: 3, ..Default::default() },
+            tree: TreeParams {
+                max_depth: 2,
+                max_splits: 3,
+                ..Default::default()
+            },
             keysize: 128,
             ..Default::default()
         };

@@ -40,13 +40,25 @@ fn committed_statistics_verify_and_forgeries_fail() {
     // The client computes its encrypted statistic g = v ⊙ [γ] and proves
     // it with POHDP.
     let (stat, s) = DotProductProof::dot(pk, &gamma, &v_big, &mut rng);
-    let proof =
-        DotProductProof::prove(pk, &commitments, &gamma, &stat, &v_big, &v_rand, &s, &mut rng);
+    let proof = DotProductProof::prove(
+        pk,
+        &commitments,
+        &gamma,
+        &stat,
+        &v_big,
+        &v_rand,
+        &s,
+        &mut rng,
+    );
     assert!(proof.verify(pk, &commitments, &gamma, &stat));
 
     // Decrypts to the honest dot product: samples 0 and 4 match → 1+0 = 1…
     // v·γ = 1·1 + 1·0 + 0·1 + 0·1 + 1·0 = 1.
-    let partials: Vec<_> = keys.shares.iter().map(|sh| sh.partial_decrypt(&stat)).collect();
+    let partials: Vec<_> = keys
+        .shares
+        .iter()
+        .map(|sh| sh.partial_decrypt(&stat))
+        .collect();
     assert_eq!(keys.combiner.combine(&partials), BigUint::from_u64(1));
 
     // Forgery: the client swaps in a different statistic — verification
@@ -69,14 +81,16 @@ fn eta_update_proof_for_prediction() {
     let r1 = brng::gen_coprime(&mut rng, pk.n());
     let c1 = pk.encrypt_with(&bit, &r1);
     let (updated, s) = MultiplicationProof::multiply(pk, &eta_j, &bit, &mut rng);
-    let proof =
-        MultiplicationProof::prove(pk, &c1, &eta_j, &updated, &bit, &r1, &s, &mut rng);
+    let proof = MultiplicationProof::prove(pk, &c1, &eta_j, &updated, &bit, &r1, &s, &mut rng);
     assert!(proof.verify(pk, &c1, &eta_j, &updated));
 
     // The updated entry decrypts to 0 (path eliminated) without revealing
     // which client eliminated it.
-    let partials: Vec<_> =
-        keys.shares.iter().map(|sh| sh.partial_decrypt(&updated)).collect();
+    let partials: Vec<_> = keys
+        .shares
+        .iter()
+        .map(|sh| sh.partial_decrypt(&updated))
+        .collect();
     assert_eq!(keys.combiner.combine(&partials), BigUint::zero());
 
     // A cheater claiming a different η' fails.

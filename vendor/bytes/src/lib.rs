@@ -1,0 +1,145 @@
+//! Offline drop-in subset of the `bytes` crate: the [`Buf`] / [`BufMut`]
+//! cursor traits over `&[u8]` and `Vec<u8>`, little-endian accessors only
+//! (plus `u8`). The `Bytes`/`BytesMut` reference-counted buffer types are
+//! not provided — the wire codec only needs the traits.
+
+macro_rules! get_le {
+    ($($fn_name:ident -> $t:ty),* $(,)?) => {$(
+        /// Read a little-endian value from the front, advancing the cursor.
+        /// Panics if the buffer is too short (as upstream does).
+        fn $fn_name(&mut self) -> $t {
+            const N: usize = core::mem::size_of::<$t>();
+            let mut bytes = [0u8; N];
+            bytes.copy_from_slice(&self.chunk_prefix(N));
+            self.advance(N);
+            <$t>::from_le_bytes(bytes)
+        }
+    )*};
+}
+
+macro_rules! put_le {
+    ($($fn_name:ident($t:ty)),* $(,)?) => {$(
+        /// Append a value in little-endian byte order.
+        fn $fn_name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Borrow the first `n` unconsumed bytes (panics if unavailable).
+    fn chunk_prefix(&self, n: usize) -> &[u8];
+
+    /// Skip `n` bytes (panics if unavailable).
+    fn advance(&mut self, n: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk_prefix(1)[0];
+        self.advance(1);
+        b
+    }
+
+    get_le! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_u128_le -> u128,
+        get_i16_le -> i16,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_i128_le -> i128,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk_prefix(&self, n: usize) -> &[u8] {
+        &self[..n]
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_u128_le(u128),
+        put_i16_le(i16),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_i128_le(i128),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_u128_le(u128::MAX - 2);
+        buf.put_i64_le(-7);
+        buf.put_i128_le(-9);
+        buf.put_f64_le(2.5);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_u128_le(), u128::MAX - 2);
+        assert_eq!(r.get_i64_le(), -7);
+        assert_eq!(r.get_i128_le(), -9);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underrun_panics() {
+        let mut r: &[u8] = &[1u8];
+        r.get_u64_le();
+    }
+}

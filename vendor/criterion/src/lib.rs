@@ -1,0 +1,219 @@
+//! Offline drop-in subset of the `criterion` 0.5 benchmarking API.
+//!
+//! Supports the surface the `pivot-bench` suite uses: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros (which require `harness = false` bench
+//! targets, exactly as upstream does).
+//!
+//! Instead of upstream's statistical pipeline (outlier classification,
+//! bootstrap confidence intervals, HTML reports) this shim runs a fixed
+//! warm-up iteration followed by up to `sample_size` timed iterations,
+//! stopping early once `measurement_time` is exhausted, and prints
+//! `name ... time: [min mean max]` lines in a criterion-like format.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Run the routine repeatedly, recording one wall-clock sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let budget_start = Instant::now();
+        for done in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            // Keep at least 2 timed samples so min/max are meaningful.
+            if done >= 1 && budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        samples: &mut samples,
+    };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{name:<40} (no samples recorded)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} time: [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Honour a subset of criterion's CLI arguments (ignores the rest,
+    /// including the `--bench` flag cargo passes to bench binaries).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        run_one(
+            &name,
+            self.default_sample_size,
+            self.default_measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (upstream requires >= 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size too small");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for each benchmark's timed iterations.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Finish the group (upstream emits summary reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declare a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        g.bench_function("counting", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + up to 3 timed iterations.
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]` inner
+//! attribute), `any::<T>()` for primitive `T`, integer-range strategies,
+//! [`collection::vec`], `prop_map` / `prop_filter` combinators, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! no shrinking (a failing case reports the generated inputs via `Debug`
+//! but is not minimized), no persisted failure seeds (generation is
+//! deterministic per test name instead, so failures always reproduce), and
+//! a fixed-seed RNG rather than an entropy-seeded one.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Top-level entry point: declares one `#[test]` per contained function,
+/// each running its body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut rng,
+                    );
+                )*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)*),
+                    $(&$arg),*
+                );
+                let run = || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(e) = run() {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: {}",
+                    stringify!($cond)
+                )),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __lhs = $lhs;
+        let __rhs = $rhs;
+        if !(__lhs == __rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assert_eq failed: {:?} != {:?}",
+                __lhs, __rhs
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __lhs = $lhs;
+        let __rhs = $rhs;
+        if __lhs == __rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assert_ne failed: both sides are {:?}",
+                __lhs
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        #[test]
+        fn range_strategy_in_bounds(x in 10u32..20) {
+            prop_assert!((10..20).contains(&x));
+        }
+
+        #[test]
+        fn signed_range(x in -50i128..50) {
+            prop_assert!(x >= -50 && x < 50);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_len(v in crate::collection::vec(any::<u64>(), 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn map_and_filter(
+            x in (1u64..1000).prop_map(|v| v * 2).prop_filter("even", |v| v % 2 == 0)
+        ) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x >= 2);
+        }
+    }
+
+    // No #[test] attribute: the macro also accepts plain functions, which
+    // lets this one be invoked manually to observe the failure path.
+    proptest! {
+        fn always_fails(x in any::<u8>()) {
+            prop_assert_eq!(x as u16 + 1, 0u16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_eq failed")]
+    fn failing_case_panics_with_inputs() {
+        always_fails();
+    }
+}

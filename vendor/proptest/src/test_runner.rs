@@ -1,0 +1,121 @@
+//! Test-case configuration, errors, and the deterministic RNG.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed assertion inside a generated test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generation RNG (SplitMix64).
+///
+/// Seeded from the test's name so every test gets an independent stream and
+/// every failure reproduces by simply re-running the test — the shim's
+/// replacement for upstream's persisted failure seeds.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name picks the stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Unbiased value in `[0, span)` by rejection sampling.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0);
+        let zone = (u64::MAX / span) * span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Unbiased value in `[0, span)` for 128-bit spans.
+    pub fn below_u128(&mut self, span: u128) -> u128 {
+        assert!(span > 0);
+        let zone = (u128::MAX / span) * span;
+        loop {
+            let v = self.next_u128();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_differ_by_name() {
+        let a = TestRng::deterministic("alpha").next_u64();
+        let b = TestRng::deterministic("beta").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::deterministic("below");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            assert!(rng.below_u128(u64::MAX as u128 + 5) < u64::MAX as u128 + 5);
+        }
+    }
+}
