@@ -9,7 +9,7 @@
 use pivot_core::baselines::{npd_dt, spdz_dt};
 use pivot_core::{config::PivotParams, party::PartyContext, train_basic, train_enhanced};
 use pivot_data::{partition_vertically, synth, Dataset, Task};
-use pivot_transport::run_parties;
+use pivot_transport::{run_parties_with, NetConfig};
 use pivot_trees::TreeParams;
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,11 @@ pub struct BenchConfig {
     pub keysize: u32,
     /// Dataset / dealer seed.
     pub seed: u64,
+    /// Per-run network settings (LAN simulation + wedge timeout). The
+    /// default reads the legacy `PIVOT_NET_*` environment variables once
+    /// per config, so existing bench invocations keep working; sweeps can
+    /// override per configuration instead of per process.
+    pub net: NetConfig,
 }
 
 impl Default for BenchConfig {
@@ -78,6 +83,7 @@ impl Default for BenchConfig {
             classes: 4,
             keysize: 256,
             seed: 0xBE7C4,
+            net: NetConfig::from_env(),
         }
     }
 }
@@ -94,6 +100,7 @@ impl BenchConfig {
             classes: 4,
             keysize: 1024,
             seed: 0xBE7C4,
+            net: NetConfig::from_env(),
         }
     }
 
@@ -182,7 +189,7 @@ pub fn run_training(cfg: &BenchConfig, algo: Algo, data: &Dataset) -> TrainOutco
     let partition = partition_vertically(data, cfg.m, 0);
     let params = cfg.params(algo);
     let start = Instant::now();
-    let results = run_parties(cfg.m, |ep| {
+    let results = run_parties_with(cfg.m, cfg.net.clone(), |ep| {
         let view = partition.views[ep.id()].clone();
         let mut ctx = PartyContext::setup(&ep, view, params.clone());
         let internal = match algo {
@@ -223,7 +230,7 @@ pub fn run_prediction(cfg: &BenchConfig, algo: Algo, data: &Dataset, count: usiz
     let params = cfg.params(algo);
     let count = count.min(data.num_samples());
 
-    let elapsed: Vec<Duration> = run_parties(cfg.m, |ep| {
+    let elapsed: Vec<Duration> = run_parties_with(cfg.m, cfg.net.clone(), |ep| {
         let view = partition.views[ep.id()].clone();
         let mut ctx = PartyContext::setup(&ep, view.clone(), params.clone());
         let samples: Vec<Vec<f64>> = (0..count).map(|i| view.features[i].clone()).collect();

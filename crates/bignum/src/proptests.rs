@@ -102,6 +102,29 @@ proptest! {
     }
 
     #[test]
+    fn sliding_window_pow_matches_mod_pow(a in arb_biguint(), e in arb_biguint(), m in arb_nonzero()) {
+        // Montgomery::pow uses 4-bit sliding windows; check it against a
+        // naive square-and-multiply reference AND the generic mod_pow
+        // entry point, over multi-limb exponents (so window boundaries,
+        // zero runs, and the trailing partial window all get exercised).
+        let mut m = m;
+        if m.is_even() { m.add_assign_ref(&BigUint::one()); }
+        if m.is_one() { m = BigUint::from_u64(3); }
+        let ctx = Montgomery::new(&m);
+        let base = a.rem_of(&m);
+        let mut expect = BigUint::one().rem_of(&m);
+        let mut acc = base.clone();
+        for i in 0..e.bits() {
+            if e.bit(i) {
+                expect = (&expect * &acc).rem_of(&m);
+            }
+            acc = (&acc * &acc).rem_of(&m);
+        }
+        prop_assert_eq!(ctx.pow(&a, &e), expect.clone());
+        prop_assert_eq!(mod_pow(&a, &e, &m), expect);
+    }
+
+    #[test]
     fn mod_inverse_is_inverse(a in arb_nonzero(), m in arb_nonzero()) {
         let mut m = m;
         if m.is_one() { m = BigUint::from_u64(5); }

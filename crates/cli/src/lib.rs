@@ -10,13 +10,20 @@
 //! apart stay comparable.
 //!
 //! Subcommands:
-//! - `pivot train --scenario <file>` — train + evaluate, full report;
+//! - `pivot train --scenario <file>` — train + evaluate, full report
+//!   (all parties as threads of this process);
 //! - `pivot predict --scenario <file>` — same run, prediction-latency
 //!   focus (per-sample time, prediction-phase traffic);
 //! - `pivot bench --scenario <file>` — a Figure-4-style sweep over one
-//!   axis (`[sweep]` section) × the listed algorithms.
+//!   axis (`[sweep]` section, including `[network]` latency/bandwidth)
+//!   × the listed algorithms;
+//! - `pivot party --scenario <file> --id <N> --peers <a0,a1,…>` — run
+//!   ONE party of the scenario over TCP, one process per client (the
+//!   paper's deployment shape); reports match the threaded run
+//!   bit-for-bit.
 
 pub mod json;
+pub mod party;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -3,7 +3,7 @@
 use pivot_cli::report;
 use pivot_cli::runner::execute;
 use pivot_cli::scenario::Scenario;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -11,21 +11,34 @@ pivot — privacy preserving vertical federated learning for tree-based models
 
 USAGE:
     pivot <train|predict|bench> --scenario <FILE> [--out <FILE>] [--quiet]
+    pivot party --scenario <FILE> --id <N> --peers <ADDR0,ADDR1,...>
+                [--listen <ADDR>] [--out <FILE>] [--quiet]
     pivot --help | --version
 
 SUBCOMMANDS:
     train      Train on the scenario's dataset, evaluate the held-out
-               split, and write a full JSON report
+               split, and write a full JSON report (all parties run as
+               threads of this process)
     predict    Same run, reported around prediction latency (per-sample
                time, prediction-phase traffic)
     bench      Run the scenario's [sweep] axis across its algorithms
-               (a Figure-4-style sweep) and report every point
+               (a Figure-4-style sweep) and report every point; network
+               axes (latency_us, bandwidth_mbps) sweep within one process
+    party      Run ONE party of the scenario over TCP — one process per
+               client, the paper's deployment shape. Start m processes
+               with ids 0..m-1 and the same --peers list; each writes a
+               per-party report matching the in-process run bit-for-bit
 
 OPTIONS:
     --scenario <FILE>   TOML or JSON scenario (see examples/scenarios/)
-    --out <FILE>        Report path (default: <scenario-stem>-report.json
-                        in the current directory)
+    --out <FILE>        Report path (default: <scenario-stem>-report.json,
+                        or <scenario-stem>-party<N>-report.json for party)
     --quiet             Suppress the human-readable summary on stdout
+    --id <N>            party only: this process's party id in 0..m
+    --peers <LIST>      party only: comma-separated addresses of all m
+                        parties in id order (same list for every process)
+    --listen <ADDR>     party only: local bind address (default: the
+                        --peers entry for --id)
     -h, --help          Show this help
     -V, --version       Show the version
 ";
@@ -35,6 +48,63 @@ struct Args {
     scenario: PathBuf,
     out: Option<PathBuf>,
     quiet: bool,
+}
+
+fn parse_party_args(argv: &[String]) -> Result<pivot_cli::party::PartyArgs, String> {
+    let mut scenario = None;
+    let mut id = None;
+    let mut listen = None;
+    let mut peers = None;
+    let mut out = None;
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "party" if scenario.is_none() && id.is_none() => {}
+            "--scenario" => {
+                let v = it.next().ok_or("--scenario needs a file path")?;
+                scenario = Some(PathBuf::from(v));
+            }
+            "--id" => {
+                let v = it.next().ok_or("--id needs a party id")?;
+                id = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--id {v:?} is not a party id"))?,
+                );
+            }
+            "--listen" => {
+                let v = it.next().ok_or("--listen needs an address")?;
+                listen = Some(v.clone());
+            }
+            "--peers" => {
+                let v = it
+                    .next()
+                    .ok_or("--peers needs a comma-separated address list")?;
+                peers = Some(
+                    v.split(',')
+                        .map(|a| a.trim().to_string())
+                        .filter(|a| !a.is_empty())
+                        .collect::<Vec<_>>(),
+                );
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--quiet" => quiet = true,
+            other => {
+                return Err(format!("unexpected argument {other:?} (see pivot --help)"));
+            }
+        }
+    }
+    Ok(pivot_cli::party::PartyArgs {
+        scenario: scenario.ok_or("missing --scenario <FILE>")?,
+        id: id.ok_or("party needs --id <N>")?,
+        listen,
+        peers: peers.ok_or("party needs --peers <ADDR0,ADDR1,...>")?,
+        out,
+        quiet,
+    })
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -72,14 +142,6 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     })
 }
 
-fn default_out(scenario_path: &Path) -> PathBuf {
-    let stem = scenario_path
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "pivot".into());
-    PathBuf::from(format!("{stem}-report.json"))
-}
-
 fn human_bytes(n: u64) -> String {
     if n >= 10_000_000 {
         format!("{:.1} MiB", n as f64 / (1024.0 * 1024.0))
@@ -95,7 +157,7 @@ fn run(args: &Args) -> Result<(), String> {
     let out_path = args
         .out
         .clone()
-        .unwrap_or_else(|| default_out(&args.scenario));
+        .unwrap_or_else(|| report::default_report_path(&args.scenario, ""));
 
     let report = match args.command.as_str() {
         "train" | "predict" => {
@@ -176,6 +238,16 @@ fn main() -> ExitCode {
     if argv.iter().any(|a| a == "--version" || a == "-V") {
         println!("pivot-cli {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
+    }
+    if argv.first().map(String::as_str) == Some("party") {
+        let result = parse_party_args(&argv).and_then(|args| pivot_cli::party::run(&args));
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let args = match parse_args(&argv) {
         Ok(args) => args,

@@ -1,0 +1,122 @@
+//! `pivot party`: run ONE party of a scenario as its own OS process,
+//! talking to the other `m - 1` processes over TCP.
+//!
+//! This is the paper's actual deployment shape — one process per client
+//! on a LAN — where `pivot train` folds all parties into threads of a
+//! single process. Every process loads the *same* scenario file, derives
+//! the same dataset from the scenario seed, and runs the same
+//! [`crate::runner::run_party_protocol`] body the threaded backend runs,
+//! so the trained model, test metric, and per-party byte counts match the
+//! in-process run bit-for-bit.
+//!
+//! Rendezvous: `--peers` lists all `m` addresses in party-id order
+//! (identical across processes); each process binds `--listen` (default:
+//! its own `--peers` entry), dials lower ids, and accepts higher ids.
+
+use crate::report;
+use crate::runner::{compute_metric, metric_name_for, prepare, run_party_protocol, Execution};
+use crate::scenario::Scenario;
+use pivot_data::partition_vertically;
+use pivot_transport::tcp::connect_mesh;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parsed arguments of the `party` subcommand.
+pub struct PartyArgs {
+    pub scenario: PathBuf,
+    pub id: usize,
+    /// Local bind address; defaults to `peers[id]`.
+    pub listen: Option<String>,
+    /// All party addresses in id order (shared verbatim by every process).
+    pub peers: Vec<String>,
+    pub out: Option<PathBuf>,
+    pub quiet: bool,
+}
+
+/// Execute one party end to end and write its JSON report.
+pub fn run(args: &PartyArgs) -> Result<(), String> {
+    let scenario = Scenario::load(&args.scenario)?;
+    let algo = scenario.sole_algorithm()?;
+    let m = scenario.parties;
+    if args.peers.len() != m {
+        return Err(format!(
+            "--peers lists {} addresses but the scenario has {m} parties",
+            args.peers.len()
+        ));
+    }
+    if args.id >= m {
+        return Err(format!("--id {} out of range for {m} parties", args.id));
+    }
+
+    // Same deterministic pipeline as the threaded runner: every process
+    // synthesizes the full dataset from the scenario seed, splits, and
+    // keeps only its own vertical view.
+    let (train_set, test_set, params) = prepare(&scenario, algo)?;
+    let train_part = partition_vertically(&train_set, m, 0);
+    let test_part = partition_vertically(&test_set, m, 0);
+
+    let listen = args
+        .listen
+        .clone()
+        .unwrap_or_else(|| args.peers[args.id].clone());
+    if !args.quiet {
+        println!(
+            "party {}/{m} [{}]: listening on {listen}, rendezvous with {:?}",
+            args.id,
+            algo.label(),
+            args.peers
+        );
+    }
+    let start = Instant::now();
+    let ep = connect_mesh(args.id, &listen, &args.peers, scenario.net_config())?;
+    let outcome = run_party_protocol(
+        &ep,
+        train_part.views[args.id].clone(),
+        &test_part.views[args.id],
+        &params,
+        &scenario.model,
+        algo,
+        false,
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let task = train_set.task();
+    let metric = compute_metric(task, &outcome.predictions, test_set.labels());
+    let exec = Execution {
+        algo,
+        wall_s,
+        train_samples: train_set.num_samples(),
+        test_samples: test_set.num_samples(),
+        features: train_set.num_features(),
+        task,
+        parties: vec![outcome],
+        metric,
+        metric_name: metric_name_for(task),
+    };
+
+    let out_path = args.out.clone().unwrap_or_else(|| {
+        report::default_report_path(&args.scenario, &format!("-party{}", args.id))
+    });
+    let report = report::party_report(&scenario, args.id, &exec);
+    std::fs::write(&out_path, report.to_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+
+    if !args.quiet {
+        let p = &exec.parties[0];
+        println!(
+            "party {} done: trained {} internal nodes in {:.2}s ({} B sent), \
+             predicted {} samples in {:.2}s",
+            args.id,
+            p.internal_nodes,
+            p.train_wall_s,
+            p.train_bytes_sent,
+            exec.test_samples,
+            p.predict_wall_s,
+        );
+        if let Some(metric) = exec.metric {
+            println!("test {} = {metric:.4}", exec.metric_name);
+        }
+        println!("report written to {}", out_path.display());
+    }
+    Ok(())
+}

@@ -7,9 +7,21 @@
 use crate::json::Json;
 use crate::runner::Execution;
 use crate::scenario::Scenario;
+use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default report path for a scenario file:
+/// `<scenario-stem><suffix>-report.json` in the current directory (the
+/// suffix distinguishes per-party reports, e.g. `-party2`).
+pub fn default_report_path(scenario: &Path, suffix: &str) -> PathBuf {
+    let stem = scenario
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "pivot".into());
+    PathBuf::from(format!("{stem}{suffix}-report.json"))
+}
 
 fn header(command: &str, scenario: &Scenario) -> Json {
     let unix_time_s = SystemTime::now()
@@ -25,6 +37,33 @@ fn header(command: &str, scenario: &Scenario) -> Json {
         .with("seed", scenario.seed)
 }
 
+/// Training-phase traffic of one party. One definition feeds the
+/// per-party array of train/predict reports *and* the `pivot party`
+/// report, so the cross-backend parity contract (distributed reports
+/// comparable field-for-field with in-process ones) holds mechanically.
+fn train_traffic_json(p: &crate::runner::PartyOutcome) -> Json {
+    Json::obj()
+        .with("bytes_sent", p.train_bytes_sent)
+        .with("bytes_received", p.train_bytes_received)
+        .with("messages_sent", p.train_messages_sent)
+}
+
+/// Prediction-phase traffic of one party (same contract as above).
+fn predict_traffic_json(p: &crate::runner::PartyOutcome) -> Json {
+    Json::obj()
+        .with("bytes_sent", p.predict_bytes_sent)
+        .with("bytes_received", p.predict_bytes_received)
+}
+
+/// The paper's four protocol stages, in seconds.
+fn stages_json(stage_s: &[f64; 4]) -> Json {
+    Json::obj()
+        .with("local_computation", stage_s[0])
+        .with("mpc_computation", stage_s[1])
+        .with("model_update", stage_s[2])
+        .with("prediction", stage_s[3])
+}
+
 fn party_json(exec: &Execution) -> Json {
     Json::Arr(
         exec.parties
@@ -32,27 +71,9 @@ fn party_json(exec: &Execution) -> Json {
             .map(|p| {
                 Json::obj()
                     .with("party", p.party)
-                    .with(
-                        "train",
-                        Json::obj()
-                            .with("bytes_sent", p.train_bytes_sent)
-                            .with("bytes_received", p.train_bytes_received)
-                            .with("messages_sent", p.train_messages_sent),
-                    )
-                    .with(
-                        "predict",
-                        Json::obj()
-                            .with("bytes_sent", p.predict_bytes_sent)
-                            .with("bytes_received", p.predict_bytes_received),
-                    )
-                    .with(
-                        "stages_s",
-                        Json::obj()
-                            .with("local_computation", p.stage_s[0])
-                            .with("mpc_computation", p.stage_s[1])
-                            .with("model_update", p.stage_s[2])
-                            .with("prediction", p.stage_s[3]),
-                    )
+                    .with("train", train_traffic_json(p))
+                    .with("predict", predict_traffic_json(p))
+                    .with("stages_s", stages_json(&p.stage_s))
             })
             .collect(),
     )
@@ -115,14 +136,7 @@ pub fn train_report(scenario: &Scenario, exec: &Execution) -> Json {
                 .with("wall_total_s", exec.wall_s)
                 .with("train_s", p0.train_wall_s)
                 .with("predict_s", p0.predict_wall_s)
-                .with(
-                    "stages_s",
-                    Json::obj()
-                        .with("local_computation", p0.stage_s[0])
-                        .with("mpc_computation", p0.stage_s[1])
-                        .with("model_update", p0.stage_s[2])
-                        .with("prediction", p0.stage_s[3]),
-                ),
+                .with("stages_s", stages_json(&p0.stage_s)),
         )
         .with(
             "network",
@@ -163,6 +177,42 @@ pub fn predict_report(scenario: &Scenario, exec: &Execution) -> Json {
         .with("counters", counters_json(exec))
         .with("model", model_json(exec))
         .with("evaluation", evaluation_json(exec))
+}
+
+/// Report for `pivot party`: one party's view of a distributed TCP run.
+///
+/// Carries the same `network`/`counters`/`model`/`evaluation` shapes as
+/// the train report (so tooling can diff a distributed run against the
+/// in-process run party by party) plus the raw prediction vector, which
+/// lets a harness assert that all `m` processes agree on the jointly
+/// computed model output bit for bit.
+pub fn party_report(scenario: &Scenario, party: usize, exec: &Execution) -> Json {
+    let p = &exec.parties[0];
+    header("party", scenario)
+        .with("algorithm", exec.algo.label())
+        .with("party", party)
+        .with("dataset", dataset_json(exec))
+        .with(
+            "timing",
+            Json::obj()
+                .with("wall_total_s", exec.wall_s)
+                .with("train_s", p.train_wall_s)
+                .with("predict_s", p.predict_wall_s)
+                .with("stages_s", stages_json(&p.stage_s)),
+        )
+        .with(
+            "network",
+            Json::obj()
+                .with("train", train_traffic_json(p))
+                .with("predict", predict_traffic_json(p)),
+        )
+        .with("counters", counters_json(exec))
+        .with("model", model_json(exec))
+        .with("evaluation", evaluation_json(exec))
+        .with(
+            "predictions",
+            Json::Arr(p.predictions.iter().map(|&v| Json::Num(v)).collect()),
+        )
 }
 
 /// Report for `pivot bench`: one entry per (axis value × algorithm).

@@ -1,9 +1,10 @@
 //! Scenario execution: SPMD protocol runs with per-stage timing and
 //! per-party traffic accounting.
 
-use crate::scenario::{ModelKind, Scenario};
+use crate::scenario::{ModelKind, ModelSpec, Scenario};
 use pivot_bench::Algo;
 use pivot_core::baselines::{npd_dt, spdz_dt};
+use pivot_core::config::PivotParams;
 use pivot_core::ensemble::{
     predict_gbdt_batch, predict_rf_batch, train_gbdt, train_rf, GbdtProtocolParams,
     RfProtocolParams,
@@ -12,7 +13,8 @@ use pivot_core::metrics::Stage;
 use pivot_core::model::ConcealedTree;
 use pivot_core::party::PartyContext;
 use pivot_core::{predict_basic, predict_enhanced, train_basic, train_enhanced};
-use pivot_data::{metrics, partition_vertically, Task};
+use pivot_data::{metrics, partition_vertically, Task, VerticalView};
+use pivot_transport::Endpoint;
 use pivot_trees::DecisionTree;
 use std::time::Instant;
 
@@ -94,32 +96,109 @@ impl Trained {
     }
 }
 
-/// Export the LAN-simulation knobs before the transport reads them (they
-/// are latched once per process on first use).
-pub fn apply_network_simulation(scenario: &Scenario) {
-    if scenario.network.latency_us > 0 {
-        std::env::set_var(
-            "PIVOT_NET_LATENCY_US",
-            scenario.network.latency_us.to_string(),
-        );
-    }
-    if scenario.network.bandwidth_mbps > 0.0 {
-        std::env::set_var(
-            "PIVOT_NET_BANDWIDTH_MBPS",
-            scenario.network.bandwidth_mbps.to_string(),
-        );
+/// One party's full protocol run: train, then (unless `skip_prediction`)
+/// jointly predict the test split. This is the body every backend shares —
+/// `execute` calls it from `m` threads over in-process channels, and
+/// `pivot party` calls it once per OS process over a TCP endpoint — so a
+/// distributed run is byte-for-byte the run the threaded backend performs.
+pub fn run_party_protocol(
+    ep: &Endpoint,
+    view: VerticalView,
+    test_view: &VerticalView,
+    params: &PivotParams,
+    model_spec: &ModelSpec,
+    algo: Algo,
+    skip_prediction: bool,
+) -> PartyOutcome {
+    let mut ctx = PartyContext::setup(ep, view, params.clone());
+
+    let train_start = Instant::now();
+    let model = match (&model_spec.kind, algo) {
+        (ModelKind::Gbdt, _) => Trained::Gbdt(train_gbdt(
+            &mut ctx,
+            &GbdtProtocolParams {
+                rounds: model_spec.rounds,
+                learning_rate: model_spec.learning_rate,
+            },
+        )),
+        (ModelKind::RandomForest, _) => Trained::Rf(train_rf(
+            &mut ctx,
+            &RfProtocolParams {
+                trees: model_spec.trees,
+                sample_fraction: model_spec.sample_fraction,
+                bootstrap_seed: params.dealer_seed,
+            },
+        )),
+        (ModelKind::DecisionTree, Algo::PivotBasic | Algo::PivotBasicPp) => {
+            Trained::Plain(train_basic::train(&mut ctx))
+        }
+        (ModelKind::DecisionTree, Algo::PivotEnhanced | Algo::PivotEnhancedPp) => {
+            Trained::Concealed(train_enhanced::train(&mut ctx))
+        }
+        (ModelKind::DecisionTree, Algo::SpdzDt) => Trained::Plain(spdz_dt::train(&mut ctx)),
+        (ModelKind::DecisionTree, Algo::NpdDt) => Trained::Plain(npd_dt::train(&mut ctx)),
+    };
+    let train_wall_s = train_start.elapsed().as_secs_f64();
+
+    let stats = ctx.ep.stats();
+    let train_bytes_sent = stats.bytes_sent();
+    let train_bytes_received = stats.bytes_received();
+    let train_messages_sent = stats.messages_sent();
+    stats.reset();
+
+    let predict_start = Instant::now();
+    let predictions = if skip_prediction || test_view.num_samples() == 0 {
+        Vec::new()
+    } else {
+        let local: Vec<Vec<f64>> = (0..test_view.num_samples())
+            .map(|i| test_view.features[i].clone())
+            .collect();
+        match &model {
+            Trained::Plain(tree) => predict_basic::predict_batch(&mut ctx, tree, &local),
+            Trained::Concealed(tree) => predict_enhanced::predict_batch(&mut ctx, tree, &local),
+            Trained::Gbdt(gbdt) => predict_gbdt_batch(&mut ctx, gbdt, &local),
+            Trained::Rf(rf) => predict_rf_batch(&mut ctx, rf, &local),
+        }
+    };
+    let predict_wall_s = predict_start.elapsed().as_secs_f64();
+
+    let (mpc_rounds, secure_mults, secure_comparisons, _openings) =
+        ctx.engine.counters().snapshot();
+    PartyOutcome {
+        party: ctx.id(),
+        train_bytes_sent,
+        train_bytes_received,
+        train_messages_sent,
+        predict_bytes_sent: stats.bytes_sent(),
+        predict_bytes_received: stats.bytes_received(),
+        stage_s: [
+            ctx.metrics
+                .stage_time(Stage::LocalComputation)
+                .as_secs_f64(),
+            ctx.metrics.stage_time(Stage::MpcComputation).as_secs_f64(),
+            ctx.metrics.stage_time(Stage::ModelUpdate).as_secs_f64(),
+            ctx.metrics.stage_time(Stage::Prediction).as_secs_f64(),
+        ],
+        train_wall_s,
+        predict_wall_s,
+        encryptions: ctx.metrics.encryptions(),
+        ciphertext_ops: ctx.metrics.ciphertext_ops(),
+        threshold_decryptions: ctx.metrics.threshold_decryptions(),
+        mpc_rounds,
+        secure_mults,
+        secure_comparisons,
+        internal_nodes: model.internal_nodes(),
+        tree_depth: model.depth(),
+        predictions,
     }
 }
 
-/// Run one scenario end to end: train on every party thread, then (unless
-/// `skip_prediction`) jointly predict the held-out test split.
-pub fn execute(
+/// Pre-flight checks + dataset/parameter construction shared by the
+/// threaded runner and `pivot party`.
+pub fn prepare(
     scenario: &Scenario,
     algo: Algo,
-    skip_prediction: bool,
-) -> Result<Execution, String> {
-    // Re-check invariants: callers may hand in programmatically built
-    // scenarios (e.g. sweep points) that never went through parsing.
+) -> Result<(pivot_data::Dataset, pivot_data::Dataset, PivotParams), String> {
     scenario.validate()?;
     let dataset = scenario.build_dataset()?;
     let m = scenario.parties;
@@ -141,119 +220,63 @@ pub fn execute(
             params.keysize, params.tree.max_depth
         ));
     }
+    Ok((train_set, test_set, params))
+}
 
-    apply_network_simulation(scenario);
+/// Test metric over the jointly computed predictions (all parties hold
+/// identical prediction vectors by protocol, and — datasets being
+/// derived deterministically from the scenario seed — identical truth).
+pub fn compute_metric(task: Task, preds: &[f64], truth: &[f64]) -> Option<f64> {
+    if preds.is_empty() {
+        return None;
+    }
+    Some(match task {
+        Task::Classification { .. } => metrics::accuracy(preds, truth),
+        Task::Regression => metrics::mse(preds, truth),
+    })
+}
+
+/// Run one scenario end to end: train on every party thread, then (unless
+/// `skip_prediction`) jointly predict the held-out test split.
+pub fn execute(
+    scenario: &Scenario,
+    algo: Algo,
+    skip_prediction: bool,
+) -> Result<Execution, String> {
+    // Re-check invariants: callers may hand in programmatically built
+    // scenarios (e.g. sweep points) that never went through parsing.
+    let (train_set, test_set, params) = prepare(scenario, algo)?;
+    let m = scenario.parties;
     let train_part = partition_vertically(&train_set, m, 0);
     let test_part = partition_vertically(&test_set, m, 0);
     let model_spec = scenario.model.clone();
 
     let start = Instant::now();
-    let outcomes = pivot_transport::run_parties(m, |ep| {
+    let outcomes = pivot_transport::run_parties_with(m, scenario.net_config(), |ep| {
         let view = train_part.views[ep.id()].clone();
         let test_view = &test_part.views[ep.id()];
-        let mut ctx = PartyContext::setup(&ep, view, params.clone());
-
-        let train_start = Instant::now();
-        let model = match (&model_spec.kind, algo) {
-            (ModelKind::Gbdt, _) => Trained::Gbdt(train_gbdt(
-                &mut ctx,
-                &GbdtProtocolParams {
-                    rounds: model_spec.rounds,
-                    learning_rate: model_spec.learning_rate,
-                },
-            )),
-            (ModelKind::RandomForest, _) => Trained::Rf(train_rf(
-                &mut ctx,
-                &RfProtocolParams {
-                    trees: model_spec.trees,
-                    sample_fraction: model_spec.sample_fraction,
-                    bootstrap_seed: params.dealer_seed,
-                },
-            )),
-            (ModelKind::DecisionTree, Algo::PivotBasic | Algo::PivotBasicPp) => {
-                Trained::Plain(train_basic::train(&mut ctx))
-            }
-            (ModelKind::DecisionTree, Algo::PivotEnhanced | Algo::PivotEnhancedPp) => {
-                Trained::Concealed(train_enhanced::train(&mut ctx))
-            }
-            (ModelKind::DecisionTree, Algo::SpdzDt) => Trained::Plain(spdz_dt::train(&mut ctx)),
-            (ModelKind::DecisionTree, Algo::NpdDt) => Trained::Plain(npd_dt::train(&mut ctx)),
-        };
-        let train_wall_s = train_start.elapsed().as_secs_f64();
-
-        let stats = ctx.ep.stats();
-        let train_bytes_sent = stats.bytes_sent();
-        let train_bytes_received = stats.bytes_received();
-        let train_messages_sent = stats.messages_sent();
-        stats.reset();
-
-        let predict_start = Instant::now();
-        let predictions = if skip_prediction || test_view.num_samples() == 0 {
-            Vec::new()
-        } else {
-            let local: Vec<Vec<f64>> = (0..test_view.num_samples())
-                .map(|i| test_view.features[i].clone())
-                .collect();
-            match &model {
-                Trained::Plain(tree) => predict_basic::predict_batch(&mut ctx, tree, &local),
-                Trained::Concealed(tree) => predict_enhanced::predict_batch(&mut ctx, tree, &local),
-                Trained::Gbdt(gbdt) => predict_gbdt_batch(&mut ctx, gbdt, &local),
-                Trained::Rf(rf) => predict_rf_batch(&mut ctx, rf, &local),
-            }
-        };
-        let predict_wall_s = predict_start.elapsed().as_secs_f64();
-
-        let (mpc_rounds, secure_mults, secure_comparisons, _openings) =
-            ctx.engine.counters().snapshot();
-        PartyOutcome {
-            party: ctx.id(),
-            train_bytes_sent,
-            train_bytes_received,
-            train_messages_sent,
-            predict_bytes_sent: stats.bytes_sent(),
-            predict_bytes_received: stats.bytes_received(),
-            stage_s: [
-                ctx.metrics
-                    .stage_time(Stage::LocalComputation)
-                    .as_secs_f64(),
-                ctx.metrics.stage_time(Stage::MpcComputation).as_secs_f64(),
-                ctx.metrics.stage_time(Stage::ModelUpdate).as_secs_f64(),
-                ctx.metrics.stage_time(Stage::Prediction).as_secs_f64(),
-            ],
-            train_wall_s,
-            predict_wall_s,
-            encryptions: ctx.metrics.encryptions(),
-            ciphertext_ops: ctx.metrics.ciphertext_ops(),
-            threshold_decryptions: ctx.metrics.threshold_decryptions(),
-            mpc_rounds,
-            secure_mults,
-            secure_comparisons,
-            internal_nodes: model.internal_nodes(),
-            tree_depth: model.depth(),
-            predictions,
-        }
+        run_party_protocol(
+            &ep,
+            view,
+            test_view,
+            &params,
+            &model_spec,
+            algo,
+            skip_prediction,
+        )
     });
     let wall_s = start.elapsed().as_secs_f64();
 
     let task = train_set.task();
-    let (metric, metric_name) = match &outcomes[0].predictions {
-        preds if preds.is_empty() => (None, metric_name_for(task)),
-        preds => {
-            let truth = test_set.labels();
-            let value = match task {
-                Task::Classification { .. } => metrics::accuracy(preds, truth),
-                Task::Regression => metrics::mse(preds, truth),
-            };
-            (Some(value), metric_name_for(task))
-        }
-    };
+    let metric = compute_metric(task, &outcomes[0].predictions, test_set.labels());
+    let metric_name = metric_name_for(task);
 
     Ok(Execution {
         algo,
         wall_s,
         train_samples: train_set.num_samples(),
         test_samples: test_set.num_samples(),
-        features: dataset.num_features(),
+        features: train_set.num_features(),
         task,
         parties: outcomes,
         metric,
@@ -261,7 +284,7 @@ pub fn execute(
     })
 }
 
-fn metric_name_for(task: Task) -> &'static str {
+pub(crate) fn metric_name_for(task: Task) -> &'static str {
     match task {
         Task::Classification { .. } => "accuracy",
         Task::Regression => "mse",

@@ -17,6 +17,7 @@ use crate::toml::{TomlDoc, TomlValue};
 use pivot_bench::Algo;
 use pivot_core::config::PivotParams;
 use pivot_data::{synth, Dataset, Task};
+use pivot_transport::NetConfig;
 use pivot_trees::TreeParams;
 use std::path::Path;
 
@@ -176,13 +177,21 @@ impl Default for ParamSpec {
     }
 }
 
-/// `[network]` section: the LAN-simulation knobs
-/// (`PIVOT_NET_LATENCY_US` / `PIVOT_NET_BANDWIDTH_MBPS`).
+/// `[network]` section: per-run LAN simulation and liveness, materialized
+/// as a [`pivot_transport::NetConfig`] on every endpoint the run builds.
+///
+/// Unset keys fall back to the deprecated `PIVOT_NET_LATENCY_US` /
+/// `PIVOT_NET_BANDWIDTH_MBPS` / `PIVOT_NET_RECV_TIMEOUT_S` environment
+/// variables (then to "no simulation, 120 s timeout"), so old invocations
+/// keep working — but explicit keys always win, and because the config is
+/// per-endpoint a `[sweep]` can now vary these within one process.
 #[derive(Clone, Debug, Default)]
 pub struct NetworkSpec {
-    pub latency_us: u64,
+    pub latency_us: Option<u64>,
     /// 0 = unlimited.
-    pub bandwidth_mbps: f64,
+    pub bandwidth_mbps: Option<f64>,
+    /// Wedge timeout for every blocking receive (default 120 s).
+    pub recv_timeout_s: Option<f64>,
 }
 
 /// `[sweep]` section (the `bench` subcommand).
@@ -468,7 +477,7 @@ const MODEL_KEYS: &[&str] = &[
     "trees",
     "sample_fraction",
 ];
-const NETWORK_KEYS: &[&str] = &["latency_us", "bandwidth_mbps"];
+const NETWORK_KEYS: &[&str] = &["latency_us", "bandwidth_mbps", "recv_timeout_s"];
 const SWEEP_KEYS: &[&str] = &["vary", "values"];
 const SECTIONS: &[(&str, &[&str])] = &[
     ("", ROOT_KEYS),
@@ -625,8 +634,9 @@ impl Scenario {
         };
 
         let network = NetworkSpec {
-            latency_us: doc.get_u64("network", "latency_us")?.unwrap_or(0),
-            bandwidth_mbps: doc.get_f64("network", "bandwidth_mbps")?.unwrap_or(0.0),
+            latency_us: doc.get_u64("network", "latency_us")?,
+            bandwidth_mbps: doc.get_f64("network", "bandwidth_mbps")?,
+            recv_timeout_s: doc.get_f64("network", "recv_timeout_s")?,
         };
 
         let sweep = match doc.get_str("sweep", "vary")? {
@@ -643,6 +653,8 @@ impl Scenario {
                     "features_per_party",
                     "max_splits",
                     "max_depth",
+                    "latency_us",
+                    "bandwidth_mbps",
                 ];
                 if !AXES.contains(&vary.as_str()) {
                     return Err(format!(
@@ -726,6 +738,20 @@ impl Scenario {
         }
         if self.params.max_depth == 0 || self.params.max_splits == 0 {
             return Err("params.max_depth and params.max_splits must be >= 1".into());
+        }
+        if let Some(secs) = self.network.recv_timeout_s {
+            if !secs.is_finite() || secs <= 0.0 || secs > pivot_transport::MAX_RECV_TIMEOUT_SECS {
+                return Err(format!(
+                    "network.recv_timeout_s must be a positive number of seconds \
+                     (at most {:e})",
+                    pivot_transport::MAX_RECV_TIMEOUT_SECS
+                ));
+            }
+        }
+        if let Some(mbps) = self.network.bandwidth_mbps {
+            if !mbps.is_finite() || mbps < 0.0 {
+                return Err("network.bandwidth_mbps must be >= 0 (0 means unlimited)".into());
+            }
         }
         Ok(())
     }
@@ -813,6 +839,23 @@ impl Scenario {
                 ds
             }
         })
+    }
+
+    /// The [`NetConfig`] every endpoint of this run carries: explicit
+    /// `[network]` keys over the deprecated `PIVOT_NET_*` environment
+    /// fallback over "no simulation".
+    pub fn net_config(&self) -> NetConfig {
+        let mut net = NetConfig::from_env();
+        if let Some(us) = self.network.latency_us {
+            net.latency = std::time::Duration::from_micros(us);
+        }
+        if let Some(mbps) = self.network.bandwidth_mbps {
+            net.bandwidth_mbps = mbps;
+        }
+        if let Some(secs) = self.network.recv_timeout_s {
+            net.recv_timeout = std::time::Duration::from_secs_f64(secs);
+        }
+        net
     }
 
     /// [`PivotParams`] for one algorithm under this scenario. The
@@ -904,19 +947,23 @@ impl Scenario {
                     .with("decrypt_threads", self.params.decrypt_threads),
             )
             .with("model", model)
-            .with(
-                "network",
+            .with("network", {
+                // Echo the *effective* settings (explicit keys merged over
+                // the deprecated env fallback) so reports are
+                // self-contained.
+                let net = self.net_config();
                 Json::obj()
-                    .with("latency_us", self.network.latency_us)
+                    .with("latency_us", net.latency.as_micros() as u64)
                     .with(
                         "bandwidth_mbps",
-                        if self.network.bandwidth_mbps > 0.0 {
-                            Json::Num(self.network.bandwidth_mbps)
+                        if net.secs_per_byte() > 0.0 {
+                            Json::Num(net.bandwidth_mbps)
                         } else {
                             Json::Null
                         },
-                    ),
-            );
+                    )
+                    .with("recv_timeout_s", net.recv_timeout.as_secs_f64())
+            });
         if let Some(sweep) = &self.sweep {
             root.set(
                 "sweep",
@@ -939,6 +986,10 @@ impl Scenario {
             "features_per_party" => s.data.features_per_party = value,
             "max_splits" => s.params.max_splits = value,
             "max_depth" => s.params.max_depth = value,
+            // Network axes: per-endpoint NetConfig makes these sweepable
+            // within one process (the old env-var latch could not).
+            "latency_us" => s.network.latency_us = Some(value as u64),
+            "bandwidth_mbps" => s.network.bandwidth_mbps = Some(value as f64),
             other => panic!("unvalidated sweep axis {other:?}"),
         }
         s
@@ -1102,6 +1153,54 @@ mod tests {
             assert_eq!(cli.protocol, bench.protocol, "{algo:?}");
             assert_eq!(cli.dealer_seed, bench.dealer_seed, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn network_section_builds_per_run_net_config() {
+        let s =
+            parse_toml("[network]\nlatency_us = 250\nbandwidth_mbps = 1000\nrecv_timeout_s = 5")
+                .unwrap();
+        let net = s.net_config();
+        assert_eq!(net.latency, std::time::Duration::from_micros(250));
+        assert_eq!(net.bandwidth_mbps, 1000.0);
+        assert_eq!(net.recv_timeout, std::time::Duration::from_secs(5));
+        // Unset sections leave the defaults (no simulation, 120 s).
+        let plain = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert!(!plain.net_config().simulates());
+        // Echo carries the effective values.
+        let echo = s.to_json();
+        assert_eq!(echo.path("network.latency_us").unwrap().as_u64(), Some(250));
+        assert_eq!(
+            echo.path("network.recv_timeout_s").unwrap().as_f64(),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn network_axes_are_sweepable() {
+        let s = parse_toml("[sweep]\nvary = \"latency_us\"\nvalues = [0, 200, 1000]").unwrap();
+        let point = s.with_axis("latency_us", 1000);
+        assert_eq!(
+            point.net_config().latency,
+            std::time::Duration::from_millis(1)
+        );
+        let s = parse_toml("[sweep]\nvary = \"bandwidth_mbps\"\nvalues = [100, 1000]").unwrap();
+        let point = s.with_axis("bandwidth_mbps", 100);
+        assert!(point.net_config().secs_per_byte() > 0.0);
+    }
+
+    #[test]
+    fn invalid_network_values_rejected() {
+        let err = parse_toml("[network]\nrecv_timeout_s = 0").unwrap_err();
+        assert!(err.contains("recv_timeout_s"), "{err}");
+        // Values beyond Duration's float range must be a clean error, not
+        // a panic inside Duration::from_secs_f64.
+        let err = parse_toml("[network]\nrecv_timeout_s = 1e30").unwrap_err();
+        assert!(err.contains("recv_timeout_s"), "{err}");
+        let err = parse_toml("[network]\nbandwidth_mbps = -1").unwrap_err();
+        assert!(err.contains("bandwidth_mbps"), "{err}");
+        let err = parse_toml("[network]\nlatency = 5").unwrap_err();
+        assert!(err.contains("latency"), "{err}");
     }
 
     #[test]

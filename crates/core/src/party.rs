@@ -14,7 +14,9 @@ use rand::SeedableRng;
 ///
 /// Built once per session via [`PartyContext::setup`]; the protocol entry
 /// points (`train_basic`, `train_enhanced`, prediction, ensembles,
-/// baselines) all take `&mut PartyContext`.
+/// baselines) all take `&mut PartyContext`. The [`Endpoint`] is
+/// backend-agnostic — the same context drives a thread of an in-process
+/// run and a standalone `pivot party` process over TCP.
 pub struct PartyContext<'a> {
     pub ep: &'a Endpoint,
     pub pk: PublicKey,

@@ -3,7 +3,10 @@
 //!
 //! Every collective method must be called by **all** parties in the same
 //! order with equal vector lengths — exactly the programming model of the
-//! SPDZ virtual machine the paper runs on.
+//! SPDZ virtual machine the paper runs on. The endpoint is
+//! backend-agnostic (in-process channels or TCP links): the engine never
+//! sees which, so the same protocol code runs threaded or one process
+//! per party.
 
 mod arith;
 mod compare;

@@ -1,0 +1,134 @@
+//! Per-endpoint network configuration: LAN simulation and liveness.
+//!
+//! The paper evaluates Pivot on a real 1 Gbps LAN; the in-process backend
+//! is orders of magnitude faster than that, so benchmarks that care about
+//! wall-clock *shape* (Figure 5's Pivot-vs-SPDZ-DT comparison hinges on
+//! communication being expensive) attach a [`NetConfig`] to every
+//! endpoint. The config travels with the endpoint — two networks in the
+//! same process can simulate different links, which is what lets a single
+//! `pivot bench` invocation sweep `[network]` settings.
+
+use std::time::Duration;
+
+/// Per-endpoint network settings.
+///
+/// `latency`/`bandwidth_mbps` shape the simulated LAN (the sender sleeps
+/// for the per-message latency plus the serialization delay of the payload
+/// at the configured bandwidth). `recv_timeout` bounds every blocking
+/// receive before the endpoint declares the protocol wedged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Per-message one-way latency added at the sender.
+    pub latency: Duration,
+    /// Link bandwidth in Mbit/s; `0.0` (or any non-finite / non-positive
+    /// value) means unlimited.
+    pub bandwidth_mbps: f64,
+    /// How long a blocking receive waits before panicking with a wedge
+    /// diagnostic naming the pending peer.
+    pub recv_timeout: Duration,
+}
+
+/// Default wedge timeout (the old hard-coded `RECV_TIMEOUT`).
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Largest accepted wedge timeout, in seconds (~31 years). Anything
+/// bigger is a configuration mistake, and values beyond ~5.8e19 would
+/// panic inside `Duration::from_secs_f64`.
+pub const MAX_RECV_TIMEOUT_SECS: f64 = 1e9;
+
+impl Default for NetConfig {
+    /// No simulation, 120 s wedge timeout.
+    fn default() -> Self {
+        NetConfig {
+            latency: Duration::ZERO,
+            bandwidth_mbps: 0.0,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Deprecated fallback: read the legacy environment knobs
+    /// (`PIVOT_NET_LATENCY_US`, `PIVOT_NET_BANDWIDTH_MBPS`,
+    /// `PIVOT_NET_RECV_TIMEOUT_S`). Unlike the old `OnceLock`, the
+    /// variables are re-read on every call, so they are no longer latched
+    /// for the process lifetime — but prefer passing a `NetConfig`
+    /// explicitly (scenario `[network]` section / constructor argument).
+    pub fn from_env() -> NetConfig {
+        let mut cfg = NetConfig::default();
+        if let Some(us) = read_env::<u64>("PIVOT_NET_LATENCY_US") {
+            cfg.latency = Duration::from_micros(us);
+        }
+        if let Some(mbps) = read_env::<f64>("PIVOT_NET_BANDWIDTH_MBPS") {
+            cfg.bandwidth_mbps = mbps;
+        }
+        if let Some(secs) = read_env::<f64>("PIVOT_NET_RECV_TIMEOUT_S") {
+            if secs.is_finite() && secs > 0.0 {
+                cfg.recv_timeout = Duration::from_secs_f64(secs.min(MAX_RECV_TIMEOUT_SECS));
+            }
+        }
+        cfg
+    }
+
+    /// Simulated wire seconds per payload byte (`0.0` when unlimited).
+    pub fn secs_per_byte(&self) -> f64 {
+        if self.bandwidth_mbps.is_finite() && self.bandwidth_mbps > 0.0 {
+            8.0 / (self.bandwidth_mbps * 1e6)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether any LAN simulation is active.
+    pub fn simulates(&self) -> bool {
+        !self.latency.is_zero() || self.secs_per_byte() > 0.0
+    }
+
+    /// Charge the sender for one `bytes`-byte message under the simulated
+    /// LAN (no-op when simulation is off).
+    pub(crate) fn charge_send(&self, bytes: usize) {
+        if !self.simulates() {
+            return;
+        }
+        let wire_time = Duration::from_secs_f64(bytes as f64 * self.secs_per_byte());
+        std::thread::sleep(self.latency + wire_time);
+    }
+}
+
+fn read_env<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_no_simulation() {
+        let cfg = NetConfig::default();
+        assert!(!cfg.simulates());
+        assert_eq!(cfg.secs_per_byte(), 0.0);
+        assert_eq!(cfg.recv_timeout, DEFAULT_RECV_TIMEOUT);
+    }
+
+    #[test]
+    fn bandwidth_translates_to_secs_per_byte() {
+        let cfg = NetConfig {
+            bandwidth_mbps: 8.0, // 1 MB/s
+            ..NetConfig::default()
+        };
+        assert!((cfg.secs_per_byte() - 1e-6).abs() < 1e-12);
+        assert!(cfg.simulates());
+    }
+
+    #[test]
+    fn nonpositive_bandwidth_is_unlimited() {
+        for mbps in [0.0, -5.0, f64::INFINITY, f64::NAN] {
+            let cfg = NetConfig {
+                bandwidth_mbps: mbps,
+                ..NetConfig::default()
+            };
+            assert_eq!(cfg.secs_per_byte(), 0.0, "{mbps}");
+        }
+    }
+}

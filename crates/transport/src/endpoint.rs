@@ -1,107 +1,61 @@
-//! Endpoints and the in-process network.
+//! The backend-agnostic endpoint and the in-process network.
+//!
+//! [`Endpoint`] implements every collective the protocols use — `send`,
+//! `recv`, `broadcast`, `exchange_all`, `gather`, `scatter`,
+//! `broadcast_from` — plus [`NetStats`] accounting and LAN simulation,
+//! over a vector of boxed [`Link`]s. Which backend the links use
+//! (in-process channels, TCP sockets) is invisible above this layer, so
+//! byte counts and protocol behaviour are identical across deployments.
 
+use crate::config::NetConfig;
+use crate::link::{ChannelLink, Link};
 use crate::stats::NetStats;
 use crate::wire::Wire;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
-use std::time::Duration;
 
-/// How long a blocking receive waits before declaring the protocol wedged.
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
-
-/// Optional LAN simulation: `(per-message latency, seconds per byte)`.
-///
-/// The in-process channels are orders of magnitude faster than the paper's
-/// LAN cluster; benchmarks that care about wall-clock *shape* (Figure 5's
-/// Pivot-vs-SPDZ-DT comparison hinges on communication being expensive)
-/// enable this via the environment:
-/// `PIVOT_NET_LATENCY_US` (default 0) and `PIVOT_NET_BANDWIDTH_MBPS`
-/// (default unlimited). Read once per process.
-fn lan_simulation() -> (Duration, f64) {
-    use std::sync::OnceLock;
-    static CONF: OnceLock<(Duration, f64)> = OnceLock::new();
-    *CONF.get_or_init(|| {
-        let latency_us: u64 = std::env::var("PIVOT_NET_LATENCY_US")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        let mbps: f64 = std::env::var("PIVOT_NET_BANDWIDTH_MBPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(f64::INFINITY);
-        let secs_per_byte = if mbps.is_finite() && mbps > 0.0 {
-            8.0 / (mbps * 1e6)
-        } else {
-            0.0
-        };
-        (Duration::from_micros(latency_us), secs_per_byte)
-    })
-}
-
-/// Charge the sender for one message under the simulated LAN.
-fn charge_send(bytes: usize) {
-    let (latency, secs_per_byte) = lan_simulation();
-    if latency.is_zero() && secs_per_byte == 0.0 {
-        return;
-    }
-    let wire_time = Duration::from_secs_f64(bytes as f64 * secs_per_byte);
-    std::thread::sleep(latency + wire_time);
-}
-
-/// A fully connected `m`-party network. Construct once, then hand one
-/// [`Endpoint`] to each party thread.
+/// A fully connected `m`-party in-process network. Construct once, then
+/// hand one [`Endpoint`] to each party thread.
 pub struct Network {
     endpoints: Vec<Endpoint>,
 }
 
-/// One party's connection to all peers.
+/// One party's connection to all peers: `m - 1` links plus traffic
+/// accounting and the per-endpoint [`NetConfig`].
 pub struct Endpoint {
     id: usize,
     m: usize,
-    /// `senders[j]` delivers to party `j` (entry `id` is unused).
-    senders: Vec<Sender<Vec<u8>>>,
-    /// `receivers[j]` yields messages from party `j` (entry `id` is unused).
-    receivers: Vec<Receiver<Vec<u8>>>,
+    /// `links[j]` reaches party `j`; entry `id` is `None`.
+    links: Vec<Option<Box<dyn Link>>>,
     stats: Arc<NetStats>,
+    net: NetConfig,
 }
 
 impl Network {
-    /// Create a fully connected network of `m` parties.
+    /// Create a fully connected in-process network of `m` parties with the
+    /// deprecated environment-variable LAN simulation as fallback
+    /// ([`NetConfig::from_env`]). Prefer [`Network::with_config`].
     pub fn new(m: usize) -> Network {
+        Network::with_config(m, NetConfig::from_env())
+    }
+
+    /// Create a fully connected in-process network of `m` parties, every
+    /// endpoint carrying a clone of `net`.
+    pub fn with_config(m: usize, net: NetConfig) -> Network {
         assert!(m >= 1, "network needs at least one party");
-        // channels[from][to]
-        let mut txs: Vec<Vec<Option<Sender<Vec<u8>>>>> =
+        // links[party][peer]; the diagonal stays None — no self link.
+        let mut links: Vec<Vec<Option<Box<dyn Link>>>> =
             (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Vec<u8>>>>> =
-            (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
-        for from in 0..m {
-            for to in 0..m {
-                if from == to {
-                    continue;
-                }
-                let (tx, rx) = unbounded();
-                txs[from][to] = Some(tx);
-                rxs[to][from] = Some(rx);
+        for a in 0..m {
+            for b in a + 1..m {
+                let (at_a, at_b) = ChannelLink::pair(a, b);
+                links[a][b] = Some(Box::new(at_a));
+                links[b][a] = Some(Box::new(at_b));
             }
         }
-        let endpoints = (0..m)
-            .map(|id| {
-                let senders = txs[id]
-                    .iter_mut()
-                    .map(|s| s.take().unwrap_or_else(|| unbounded().0))
-                    .collect();
-                let receivers = rxs[id]
-                    .iter_mut()
-                    .map(|r| r.take().unwrap_or_else(|| unbounded().1))
-                    .collect();
-                Endpoint {
-                    id,
-                    m,
-                    senders,
-                    receivers,
-                    stats: NetStats::new(),
-                }
-            })
+        let endpoints = links
+            .into_iter()
+            .enumerate()
+            .map(|(id, links)| Endpoint::from_links(id, links, net.clone()))
             .collect();
         Network { endpoints }
     }
@@ -113,6 +67,31 @@ impl Network {
 }
 
 impl Endpoint {
+    /// Assemble an endpoint from explicit links. `links[j]` must be a link
+    /// whose `peer()` is `j` for every `j != id`, and `links[id]` must be
+    /// `None` — there is no self link (and no placeholder channel standing
+    /// in for one).
+    pub fn from_links(id: usize, links: Vec<Option<Box<dyn Link>>>, net: NetConfig) -> Endpoint {
+        let m = links.len();
+        assert!(id < m, "party id {id} out of range for {m} links");
+        for (j, link) in links.iter().enumerate() {
+            match link {
+                None => assert_eq!(j, id, "missing link to party {j}"),
+                Some(l) => {
+                    assert_ne!(j, id, "party {id} must not hold a self link");
+                    assert_eq!(l.peer(), j, "slot {j} holds a link to party {}", l.peer());
+                }
+            }
+        }
+        Endpoint {
+            id,
+            m,
+            links,
+            stats: NetStats::new(),
+            net,
+        }
+    }
+
     /// This party's id in `0..m`.
     pub fn id(&self) -> usize {
         self.id
@@ -128,24 +107,49 @@ impl Endpoint {
         &self.stats
     }
 
-    /// Send a message to party `to`.
-    pub fn send<T: Wire>(&self, to: usize, msg: &T) {
-        assert!(to != self.id, "party {to} sending to itself");
-        let bytes = msg.to_wire();
-        self.stats.record_send(bytes.len());
-        charge_send(bytes.len());
-        self.senders[to]
-            .send(bytes)
-            .unwrap_or_else(|_| panic!("party {to} hung up (send from {})", self.id));
+    /// The network settings this endpoint operates under.
+    pub fn net(&self) -> &NetConfig {
+        &self.net
     }
 
-    /// Blocking receive of one message from party `from`.
+    fn link(&self, to: usize) -> &dyn Link {
+        assert!(
+            to < self.m,
+            "party {} addressing party {to} of {}",
+            self.id,
+            self.m
+        );
+        assert_ne!(to, self.id, "party {to} has no link to itself");
+        self.links[to].as_deref().expect("validated in from_links")
+    }
+
+    /// Account + simulate + hand one encoded message to a link.
+    fn push(&self, to: usize, bytes: Vec<u8>) {
+        self.stats.record_send(bytes.len());
+        self.net.charge_send(bytes.len());
+        self.link(to)
+            .send_bytes(bytes)
+            .unwrap_or_else(|e| panic!("party {} wedged: send to party {to} failed: {e}", self.id));
+    }
+
+    /// Send a message to party `to`.
+    pub fn send<T: Wire>(&self, to: usize, msg: &T) {
+        self.push(to, msg.to_wire());
+    }
+
+    /// Blocking receive of one message from party `from`. Panics with the
+    /// pending peer and direction if nothing arrives within the
+    /// [`NetConfig::recv_timeout`] wedge deadline.
     pub fn recv<T: Wire>(&self, from: usize) -> T {
-        assert!(from != self.id, "party {} receiving from itself", self.id);
-        let bytes = self.receivers[from]
-            .recv_timeout(RECV_TIMEOUT)
+        let bytes = self
+            .link(from)
+            .recv_bytes(self.net.recv_timeout)
             .unwrap_or_else(|e| {
-                panic!("party {} timed out waiting for party {from}: {e}", self.id)
+                panic!(
+                    "party {} wedged: receive from party {from} failed: {e} \
+                     (direction {from} -> {}, recv_timeout {:?})",
+                    self.id, self.id, self.net.recv_timeout
+                )
             });
         self.stats.record_recv(bytes.len());
         T::from_wire(&bytes)
@@ -159,11 +163,7 @@ impl Endpoint {
             if to == self.id {
                 continue;
             }
-            self.stats.record_send(bytes.len());
-            charge_send(bytes.len());
-            self.senders[to]
-                .send(bytes.clone())
-                .unwrap_or_else(|_| panic!("party {to} hung up (broadcast from {})", self.id));
+            self.push(to, bytes.clone());
         }
     }
 
@@ -234,23 +234,59 @@ impl Endpoint {
 }
 
 /// Run an SPMD closure on `m` threads, one per party, and collect the
-/// results in party order. This mirrors the paper's "one process per client"
-/// deployment.
+/// results in party order, with the deprecated environment-variable LAN
+/// simulation as fallback. This mirrors the paper's "one process per
+/// client" deployment at thread granularity; `pivot party` runs the same
+/// closure shape across real processes over TCP.
 pub fn run_parties<T, F>(m: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Endpoint) -> T + Send + Sync,
 {
-    let endpoints = Network::new(m).into_endpoints();
+    run_parties_with(m, NetConfig::from_env(), f)
+}
+
+/// [`run_parties`] with an explicit per-run [`NetConfig`] — the form bench
+/// sweeps use to vary network settings across runs within one process.
+pub fn run_parties_with<T, F>(m: usize, net: NetConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Send + Sync,
+{
+    let endpoints: Vec<std::sync::Mutex<Option<Endpoint>>> = Network::with_config(m, net)
+        .into_endpoints()
+        .into_iter()
+        .map(|ep| std::sync::Mutex::new(Some(ep)))
+        .collect();
+    join_parties(m, |i| {
+        let ep = endpoints[i]
+            .lock()
+            .expect("endpoint slot poisoned")
+            .take()
+            .expect("each slot taken once");
+        f(ep)
+    })
+}
+
+/// Shared SPMD scaffolding: one thread per party running `run(i)`,
+/// results collected in party order, with a `party N panicked` diagnostic
+/// on failure. Both the in-process backend and the loopback-TCP helper
+/// ([`crate::tcp::run_parties_tcp`]) drive their threads through this one
+/// definition.
+pub(crate) fn join_parties<T, R>(m: usize, run: R) -> Vec<T>
+where
+    T: Send,
+    R: Fn(usize) -> T + Send + Sync,
+{
     let mut slots: Vec<Option<T>> = (0..m).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(m);
-        for ep in endpoints {
-            let f = &f;
-            handles.push(scope.spawn(move || f(ep)));
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let run = &run;
+            handles.push(scope.spawn(move || *slot = Some(run(i))));
         }
         for (i, h) in handles.into_iter().enumerate() {
-            slots[i] = Some(h.join().unwrap_or_else(|_| panic!("party {i} panicked")));
+            h.join().unwrap_or_else(|_| panic!("party {i} panicked"));
         }
     });
     slots
@@ -262,6 +298,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn point_to_point() {
@@ -356,5 +393,93 @@ mod tests {
             }
         });
         assert_eq!(results[1], 499_500);
+    }
+
+    #[test]
+    fn per_endpoint_latency_is_charged() {
+        // 20 sends × 2 ms latency ⇒ at least 40 ms of simulated wire time,
+        // configured per run rather than via process-global env vars.
+        let net = NetConfig {
+            latency: Duration::from_millis(2),
+            ..NetConfig::default()
+        };
+        let start = std::time::Instant::now();
+        run_parties_with(2, net, |ep| {
+            if ep.id() == 0 {
+                for i in 0..20u64 {
+                    ep.send(1, &i);
+                }
+            } else {
+                for _ in 0..20 {
+                    let _: u64 = ep.recv(0);
+                }
+            }
+        });
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "latency not charged: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn two_configs_coexist_in_one_process() {
+        // The old OnceLock latched the first configuration forever; now a
+        // sweep can build back-to-back networks with different settings.
+        let timed = |net: NetConfig| {
+            let start = std::time::Instant::now();
+            run_parties_with(2, net, |ep| {
+                if ep.id() == 0 {
+                    for i in 0..10u64 {
+                        ep.send(1, &i);
+                    }
+                } else {
+                    for _ in 0..10 {
+                        let _: u64 = ep.recv(0);
+                    }
+                }
+            });
+            start.elapsed()
+        };
+        let slow = timed(NetConfig {
+            latency: Duration::from_millis(3),
+            ..NetConfig::default()
+        });
+        let fast = timed(NetConfig::default());
+        assert!(slow >= Duration::from_millis(30), "slow run {slow:?}");
+        assert!(fast < slow, "fast {fast:?} vs slow {slow:?}");
+    }
+
+    #[test]
+    fn wedge_panic_names_pending_peer_and_direction() {
+        let net = NetConfig {
+            recv_timeout: Duration::from_millis(30),
+            ..NetConfig::default()
+        };
+        let mut endpoints = Network::with_config(2, net).into_endpoints();
+        let ep1 = endpoints.remove(1);
+        let handle = std::thread::spawn(move || ep1.recv::<u64>(0));
+        let payload = handle.join().expect_err("recv must panic on wedge");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("party 1 wedged"), "{msg}");
+        assert!(msg.contains("receive from party 0"), "{msg}");
+        assert!(msg.contains("direction 0 -> 1"), "{msg}");
+        assert!(msg.contains("30ms"), "{msg}");
+    }
+
+    #[test]
+    fn from_links_rejects_misrouted_links() {
+        let (at_a, _at_b) = ChannelLink::pair(0, 1);
+        // Slot 1 holding a link whose peer is 1 is fine...
+        let ep = Endpoint::from_links(0, vec![None, Some(Box::new(at_a))], NetConfig::default());
+        assert_eq!(ep.parties(), 2);
+        // ...but a link in the wrong slot must be refused.
+        let (at_a, _at_b) = ChannelLink::pair(0, 2);
+        let misrouted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Endpoint::from_links(0, vec![None, Some(Box::new(at_a))], NetConfig::default())
+        }));
+        assert!(misrouted.is_err());
     }
 }

@@ -1,21 +1,33 @@
-//! In-process multi-party messaging substrate.
+//! Multi-party messaging substrate with pluggable backends.
 //!
 //! The original Pivot evaluation runs one process per client on a LAN
 //! cluster, wired together with `libscapi`. This crate reproduces that
-//! topology inside one process: each client is an OS thread holding an
-//! [`Endpoint`]; endpoints exchange length-prefixed binary messages over
-//! crossbeam channels, and every byte crossing a channel is accounted in
-//! [`NetStats`] so the benchmarks can report communication volume.
+//! topology behind a backend-agnostic [`Endpoint`]: all collectives
+//! (send/recv/broadcast/gather/scatter/exchange), traffic accounting
+//! ([`NetStats`]), and LAN simulation ([`NetConfig`]) are implemented once
+//! over byte-level [`Link`]s, with two shipped backends:
+//!
+//! - **in-process channels** ([`Network`], [`run_parties`]): each client
+//!   is an OS thread; links are crossbeam channel pairs;
+//! - **TCP** ([`tcp::connect_mesh`]): each client is a real process;
+//!   links are sockets carrying length-prefixed frames, rendezvoused via
+//!   a shared peer-address list and a party-id handshake.
 //!
 //! The [`wire`] module is a tiny self-contained binary codec (no serde):
 //! every protocol message type implements [`Wire`] and is encoded into a
-//! flat byte buffer — that is exactly what would travel over a socket, so
-//! byte counts are faithful.
+//! flat byte buffer — that buffer is exactly what travels over a socket
+//! in TCP mode, so byte counts are faithful and identical across
+//! backends.
 
+mod config;
 mod endpoint;
+mod link;
 mod stats;
+pub mod tcp;
 pub mod wire;
 
-pub use endpoint::{run_parties, Endpoint, Network};
+pub use config::{NetConfig, DEFAULT_RECV_TIMEOUT, MAX_RECV_TIMEOUT_SECS};
+pub use endpoint::{run_parties, run_parties_with, Endpoint, Network};
+pub use link::{ChannelLink, Link, LinkError};
 pub use stats::NetStats;
 pub use wire::{Wire, WireError};

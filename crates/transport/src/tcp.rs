@@ -1,0 +1,374 @@
+//! TCP backend: one socket per peer, length-prefixed frames, and a
+//! party-id rendezvous so `m` independent processes assemble the same
+//! fully connected mesh the in-process backend builds from channels.
+//!
+//! Topology: every party listens on its own address (entry `id` of the
+//! shared peer list), *connects* to every lower-id peer, and *accepts*
+//! from every higher-id peer. A 12-byte handshake (`b"PVT1"` + the
+//! sender's party id) travels in each direction so both sides verify who
+//! is on the line before protocol bytes flow.
+//!
+//! Frames are `u64` little-endian payload length + payload — the same
+//! bytes [`crate::Wire`] produces, so [`crate::NetStats`] byte counts are
+//! identical across backends (framing overhead is transport-internal and
+//! deliberately not accounted).
+//!
+//! Sends are queued to a per-link writer thread: the SPMD collectives
+//! assume sends never block on the peer making progress (true for
+//! unbounded channels), and a naive blocking `write_all` on a full socket
+//! buffer could deadlock two parties sending large frames to each other.
+
+use crate::config::NetConfig;
+use crate::endpoint::Endpoint;
+use crate::link::{Link, LinkError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Handshake preamble: protocol magic + version.
+const MAGIC: &[u8; 4] = b"PVT1";
+/// How long rendezvous waits for the full mesh before giving up.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
+/// Retry interval while a peer's listener is not up yet.
+const CONNECT_RETRY: Duration = Duration::from_millis(25);
+/// Upper bound on a single frame; a length above this is a desynced or
+/// hostile stream, not a real message.
+const MAX_FRAME_BYTES: u64 = 1 << 32;
+/// Cap on the handshake read for *inbound* connections: a real peer's
+/// hello is already buffered by the time we accept, so only a stray
+/// silent client ever waits this long.
+const INBOUND_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Cap on how long one blocked socket write may stall the writer thread.
+/// In a healthy run peers drain their sockets continuously, so a write
+/// that makes no progress for this long means the peer is wedged or gone
+/// — the writer gives up, which also bounds how long `Drop` (which joins
+/// the writer to flush a fast-exiting process's final frames) can wait.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A framed TCP connection to one peer.
+pub struct TcpLink {
+    peer: usize,
+    /// Queue into the writer thread (`None` only during drop).
+    tx: Option<Sender<Vec<u8>>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+    reader: Mutex<ReadHalf>,
+}
+
+/// Read side of the socket plus the last-applied read timeout, so the hot
+/// receive path only pays the `setsockopt` when the deadline changes.
+struct ReadHalf {
+    stream: TcpStream,
+    timeout: Option<Duration>,
+}
+
+impl TcpLink {
+    /// Wrap an established, handshaken stream.
+    pub fn new(peer: usize, stream: TcpStream) -> io::Result<TcpLink> {
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        write_half.set_write_timeout(Some(WRITE_STALL_TIMEOUT))?;
+        let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+        let writer = std::thread::Builder::new()
+            .name(format!("pivot-tcp-writer-{peer}"))
+            .spawn(move || write_loop(write_half, rx))
+            .expect("spawn TCP writer thread");
+        Ok(TcpLink {
+            peer,
+            tx: Some(tx),
+            writer: Some(writer),
+            reader: Mutex::new(ReadHalf {
+                stream,
+                timeout: None,
+            }),
+        })
+    }
+}
+
+/// Drain the send queue onto the socket until the link is dropped or the
+/// connection breaks (errors surface at the peer as a recv timeout with a
+/// wedge diagnostic, so this loop just exits).
+fn write_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    while let Ok(frame) = rx.recv() {
+        if stream
+            .write_all(&(frame.len() as u64).to_le_bytes())
+            .is_err()
+            || stream.write_all(&frame).is_err()
+        {
+            return;
+        }
+    }
+    // Queue closed: flush and let the socket shut down with the process.
+    let _ = stream.flush();
+}
+
+impl Link for TcpLink {
+    fn peer(&self) -> usize {
+        self.peer
+    }
+
+    fn send_bytes(&self, bytes: Vec<u8>) -> Result<(), LinkError> {
+        self.tx
+            .as_ref()
+            .expect("send after drop")
+            .send(bytes)
+            .map_err(|_| LinkError::Disconnected("writer thread exited".into()))
+    }
+
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, LinkError> {
+        let mut half = self.reader.lock().expect("reader poisoned");
+        // Zero would mean "no timeout" to the OS; clamp to something tiny.
+        let effective = timeout.max(Duration::from_millis(1));
+        if half.timeout != Some(effective) {
+            half.stream
+                .set_read_timeout(Some(effective))
+                .map_err(|e| LinkError::Disconnected(format!("set_read_timeout: {e}")))?;
+            half.timeout = Some(effective);
+        }
+        let map_err = |e: io::Error| match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => LinkError::Timeout(timeout),
+            io::ErrorKind::UnexpectedEof => LinkError::Disconnected("connection closed".into()),
+            _ => LinkError::Disconnected(e.to_string()),
+        };
+        let mut len_buf = [0u8; 8];
+        half.stream.read_exact(&mut len_buf).map_err(map_err)?;
+        let len = u64::from_le_bytes(len_buf);
+        if len > MAX_FRAME_BYTES {
+            return Err(LinkError::Disconnected(format!(
+                "implausible frame length {len} (desynced stream?)"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        half.stream.read_exact(&mut payload).map_err(map_err)?;
+        Ok(payload)
+    }
+}
+
+impl Drop for TcpLink {
+    fn drop(&mut self) {
+        // Close the queue, then wait for the writer to flush what was
+        // already queued — otherwise a fast-exiting process could tear the
+        // socket down under its final protocol messages.
+        drop(self.tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// Rendezvous with every peer and build this party's [`Endpoint`].
+///
+/// `peers` is the full address list in party-id order (shared verbatim by
+/// all `m` processes); `listen` is the local bind address, normally
+/// `peers[id]` but separable for NAT-style setups where the reachable
+/// address differs from the bindable one.
+pub fn connect_mesh(
+    id: usize,
+    listen: &str,
+    peers: &[String],
+    net: NetConfig,
+) -> Result<Endpoint, String> {
+    let m = peers.len();
+    assert!(id < m, "party id {id} out of range for {m} peers");
+    let mut links: Vec<Option<Box<dyn Link>>> = (0..m).map(|_| None).collect();
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+
+    // Bind before dialing anyone, so peers that are ahead of us in the
+    // rendezvous can already reach our listener.
+    let listener =
+        TcpListener::bind(listen).map_err(|e| format!("party {id}: cannot bind {listen}: {e}"))?;
+
+    // Dial every lower-id peer (their listeners may not be up yet; retry).
+    for (peer, addr) in peers.iter().enumerate().take(id) {
+        let stream = connect_with_retry(addr, deadline)
+            .map_err(|e| format!("party {id}: cannot reach party {peer} at {addr}: {e}"))?;
+        // Dialer speaks first, then waits for the acceptor's reply — which
+        // may take most of the rendezvous window if the acceptor parked
+        // this connection in its backlog while dialing its own lower-id
+        // peers, so the read is bounded only by the shared deadline. An
+        // acceptor that rejects us (duplicate id, bad magic) closes the
+        // socket instead of replying, surfacing here as a clean error.
+        send_hello(&stream, id)
+            .and_then(|()| read_hello(&stream, deadline, Duration::MAX))
+            .and_then(|claimed| {
+                if claimed == peer {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(format!(
+                        "address {addr} answered as party {claimed}, expected {peer}"
+                    )))
+                }
+            })
+            .map_err(|e| format!("party {id}: handshake with party {peer} failed: {e}"))?;
+        links[peer] = Some(Box::new(
+            TcpLink::new(peer, stream).map_err(|e| format!("party {id}: link setup: {e}"))?,
+        ));
+    }
+
+    // Accept every higher-id peer (in whatever order they dial in). A
+    // connection that fails the handshake or claims a bad id is a stray
+    // client (port scanner, health check, misconfigured duplicate), not a
+    // reason to abort the run: drop it *without replying* — so the rejected
+    // dialer fails fast on a closed socket instead of believing rendezvous
+    // succeeded — and keep listening until the deadline.
+    let mut pending = m - (id + 1);
+    while pending > 0 {
+        let stream = accept_with_deadline(&listener, deadline)
+            .map_err(|e| format!("party {id}: waiting for higher-id peers: {e}"))?;
+        // A real peer wrote its hello right after connecting (possibly
+        // long ago, while parked in our backlog), so the bytes are
+        // already buffered: cap the wait so a silent stray connection
+        // cannot eat the whole rendezvous window.
+        let peer = match read_hello(&stream, deadline, INBOUND_HANDSHAKE_TIMEOUT) {
+            Ok(peer) => peer,
+            Err(e) => {
+                eprintln!("party {id}: dropping stray inbound connection ({e})");
+                continue;
+            }
+        };
+        if peer <= id || peer >= m || links[peer].is_some() {
+            eprintln!(
+                "party {id}: dropping inbound connection claiming party id {peer} \
+                 (invalid or duplicate)"
+            );
+            continue;
+        }
+        // Validated: complete the handshake so the dialer proceeds.
+        if let Err(e) = send_hello(&stream, id) {
+            eprintln!("party {id}: inbound connection from party {peer} broke ({e})");
+            continue;
+        }
+        links[peer] = Some(Box::new(
+            TcpLink::new(peer, stream).map_err(|e| format!("party {id}: link setup: {e}"))?,
+        ));
+        pending -= 1;
+    }
+
+    Ok(Endpoint::from_links(id, links, net))
+}
+
+/// Write this party's 12-byte hello (magic + id).
+fn send_hello(mut stream: &TcpStream, own_id: usize) -> io::Result<()> {
+    let mut hello = Vec::with_capacity(12);
+    hello.extend_from_slice(MAGIC);
+    hello.extend_from_slice(&(own_id as u64).to_le_bytes());
+    stream.write_all(&hello)
+}
+
+/// Read and validate the peer's hello; returns its claimed party id. The
+/// read wait is bounded by the shared rendezvous deadline, further capped
+/// by `max_wait`.
+fn read_hello(mut stream: &TcpStream, deadline: Instant, max_wait: Duration) -> io::Result<usize> {
+    let remaining = deadline
+        .saturating_duration_since(Instant::now())
+        .min(max_wait)
+        .max(Duration::from_millis(1));
+    stream.set_read_timeout(Some(remaining))?;
+    let mut hello = [0u8; 12];
+    stream.read_exact(&mut hello)?;
+    if &hello[..4] != MAGIC {
+        return Err(io::Error::other("bad handshake magic"));
+    }
+    let peer = u64::from_le_bytes(hello[4..].try_into().expect("4..12 is 8 bytes"));
+    usize::try_from(peer).map_err(|_| io::Error::other("peer id overflows usize"))
+}
+
+fn connect_with_retry(addr: &str, deadline: Instant) -> io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining < CONNECT_RETRY {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("gave up after {RENDEZVOUS_TIMEOUT:?}"),
+            ));
+        }
+        // Resolve and dial with the remaining budget as the attempt
+        // timeout: a blackholed address (firewall DROP) must not let the
+        // kernel's SYN retransmits overrun the rendezvous deadline. Try
+        // every resolved address (dual-stack hostnames may list an
+        // unreachable family first), like `TcpStream::connect` does.
+        let attempt = addr.to_socket_addrs().and_then(|addrs| {
+            let mut last = io::Error::other(format!("{addr} resolves to no address"));
+            for resolved in addrs {
+                // Re-derive the budget per address so several blackholed
+                // addresses cannot jointly overrun the deadline.
+                let budget = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                match TcpStream::connect_timeout(&resolved, budget) {
+                    Ok(stream) => return Ok(stream),
+                    Err(e) => last = e,
+                }
+            }
+            Err(last)
+        });
+        match attempt {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() + CONNECT_RETRY >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("gave up after {RENDEZVOUS_TIMEOUT:?}: {e}"),
+                    ));
+                }
+                std::thread::sleep(CONNECT_RETRY);
+            }
+        }
+    }
+}
+
+fn accept_with_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("no connection within {RENDEZVOUS_TIMEOUT:?}"),
+                    ));
+                }
+                std::thread::sleep(CONNECT_RETRY);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reserve `m` distinct loopback addresses by binding OS-chosen ports and
+/// immediately releasing them for the mesh to re-bind. The tiny window in
+/// which another process could grab a released port is acceptable for the
+/// tests and smoke runs this serves; production deployments pass fixed
+/// addresses.
+pub fn loopback_peers(m: usize) -> Vec<String> {
+    // Hold all probes simultaneously before releasing any, so the kernel
+    // cannot hand a just-released port to a later probe.
+    let probes: Vec<TcpListener> = (0..m)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind probe"))
+        .collect();
+    probes
+        .iter()
+        .map(|p| format!("127.0.0.1:{}", p.local_addr().expect("probe addr").port()))
+        .collect()
+}
+
+/// Test/bench helper: spawn `m` OS threads, each building its mesh
+/// endpoint over loopback TCP, and run the SPMD closure — the socket
+/// analogue of [`crate::run_parties`]. Ports are chosen by the OS.
+pub fn run_parties_tcp<T, F>(m: usize, net: NetConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Send + Sync,
+{
+    let peers = loopback_peers(m);
+    crate::endpoint::join_parties(m, |id| {
+        let ep = connect_mesh(id, &peers[id], &peers, net.clone()).expect("mesh rendezvous");
+        f(ep)
+    })
+}
