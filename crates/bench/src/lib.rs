@@ -60,6 +60,9 @@ pub struct BenchConfig {
     pub classes: usize,
     /// Paillier modulus bits.
     pub keysize: u32,
+    /// Worker threads for the batched crypto runtime under `-PP`
+    /// (paper §8.3: 6 cores).
+    pub crypto_threads: usize,
     /// Dataset / dealer seed.
     pub seed: u64,
     /// Per-run network settings (LAN simulation + wedge timeout). The
@@ -82,6 +85,7 @@ impl Default for BenchConfig {
             h: 3,
             classes: 4,
             keysize: 256,
+            crypto_threads: 6,
             seed: 0xBE7C4,
             net: NetConfig::from_env(),
         }
@@ -99,6 +103,7 @@ impl BenchConfig {
             h: 4,
             classes: 4,
             keysize: 1024,
+            crypto_threads: 6,
             seed: 0xBE7C4,
             net: NetConfig::from_env(),
         }
@@ -137,7 +142,9 @@ impl BenchConfig {
             max_splits: self.b,
             stop_when_pure: false, // full trees, matching the paper's 2^h−1
         };
-        algo_params(algo, tree, self.keysize, self.seed)
+        let mut p = algo_params(algo, tree, self.keysize, self.seed);
+        p.crypto_threads = self.crypto_threads;
+        p
     }
 }
 

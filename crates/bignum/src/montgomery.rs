@@ -213,6 +213,79 @@ impl Montgomery {
         let bm = self.to_mont(b);
         self.from_mont(&self.mont_mul(&am, &bm))
     }
+
+    /// Simultaneous multi-exponentiation: `Π baseᵢ^expᵢ mod n` via
+    /// interleaved k-ary windows (generalized Shamir's trick).
+    ///
+    /// One shared squaring chain serves every base — the per-bit squaring
+    /// cost of `k` separate [`Montgomery::pow`] calls collapses to a single
+    /// chain, with one table multiplication per non-zero window digit. The
+    /// window width adapts to the largest exponent so short exponents (the
+    /// Lagrange-coefficient case of threshold combination) skip table
+    /// construction entirely. This is the hot path of
+    /// `Combiner::combine`'s `Π cᵢ^{2λᵢ}` and of encrypted dot products
+    /// with plaintext weights.
+    pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        // Drop exp = 0 terms (base^0 = 1 contributes nothing).
+        let active: Vec<(Vec<Limb>, &BigUint)> = pairs
+            .iter()
+            .filter(|(_, e)| !e.is_zero())
+            .map(|&(b, e)| (self.to_mont(b), e))
+            .collect();
+        if active.is_empty() {
+            return BigUint::one().rem_of(&self.modulus());
+        }
+        let max_bits = active
+            .iter()
+            .map(|(_, e)| e.bits())
+            .max()
+            .expect("nonempty");
+        // Window width by exponent size: the 2^w − 2 table multiplications
+        // per base must amortize over ⌈bits/w⌉ windows.
+        let w: u32 = match max_bits {
+            0..=32 => 1,
+            33..=128 => 2,
+            129..=384 => 3,
+            _ => 4,
+        };
+        // Per-base tables of powers base^1 .. base^(2^w − 1), Montgomery form.
+        let tables: Vec<Vec<Vec<Limb>>> = active
+            .iter()
+            .map(|(bm, _)| {
+                let mut t = Vec::with_capacity((1usize << w) - 1);
+                t.push(bm.clone());
+                for d in 2..(1usize << w) {
+                    let next = self.mont_mul(&t[d - 2], bm);
+                    t.push(next);
+                }
+                t
+            })
+            .collect();
+
+        let windows = max_bits.div_ceil(w);
+        let mut acc: Option<Vec<Limb>> = None;
+        for wi in (0..windows).rev() {
+            if let Some(a) = acc.as_mut() {
+                for _ in 0..w {
+                    *a = self.mont_sqr(a);
+                }
+            }
+            for (i, (_, e)) in active.iter().enumerate() {
+                let mut digit = 0usize;
+                for b in (wi * w..(wi + 1) * w).rev() {
+                    digit = (digit << 1) | usize::from(b < e.bits() && e.bit(b));
+                }
+                if digit != 0 {
+                    let term = &tables[i][digit - 1];
+                    acc = Some(match acc.take() {
+                        None => term.clone(),
+                        Some(a) => self.mont_mul(&a, term),
+                    });
+                }
+            }
+        }
+        self.from_mont(&acc.expect("at least one nonzero exponent digit"))
+    }
 }
 
 /// `a >= b` over equal-length limb slices (little-endian).
@@ -344,5 +417,45 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn even_modulus_rejected() {
         Montgomery::new(&big(100));
+    }
+
+    #[test]
+    fn multi_pow_small_cases() {
+        let n = big(1_000_000_007);
+        let ctx = Montgomery::new(&n);
+        // Empty product and all-zero exponents are 1.
+        assert_eq!(ctx.multi_pow(&[]), BigUint::one());
+        let (b, z) = (big(5), big(0));
+        assert_eq!(ctx.multi_pow(&[(&b, &z)]), BigUint::one());
+        // 2^10 · 3^4 · 5^0 = 1024 · 81.
+        let pairs = [(big(2), big(10)), (big(3), big(4)), (big(5), big(0))];
+        let refs: Vec<(&BigUint, &BigUint)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+        assert_eq!(ctx.multi_pow(&refs), big(1024 * 81));
+    }
+
+    #[test]
+    fn multi_pow_wide_exponents_match_pow_product() {
+        // ≥385-bit exponents force the 4-bit window arm; cross-check the
+        // shared-squaring chain against independent Montgomery::pow calls.
+        let n =
+            BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+                .unwrap();
+        let ctx = Montgomery::new(&n);
+        let bases = [big(0xdead_beef), big(0x1234_5678_9abc), big(3)];
+        let exps = [
+            BigUint::from_hex(
+                "8000000000000000000000000000000000000000000000000000000000000000\
+                 0000000000000000000000000001",
+            )
+            .unwrap(),
+            BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffff").unwrap(),
+            big(1),
+        ];
+        let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(&exps).collect();
+        let mut expect = BigUint::one();
+        for (b, e) in &pairs {
+            expect = ctx.mul(&expect, &ctx.pow(b, e));
+        }
+        assert_eq!(ctx.multi_pow(&pairs), expect);
     }
 }

@@ -125,6 +125,31 @@ proptest! {
     }
 
     #[test]
+    fn multi_pow_matches_naive_product(
+        bases in proptest::collection::vec(arb_biguint(), 0..5),
+        exps in proptest::collection::vec(arb_biguint(), 0..5),
+        m in arb_nonzero(),
+    ) {
+        // Interleaved-window multi-exponentiation must agree with the
+        // naive Π mod_pow(baseᵢ, expᵢ) product for every base count and
+        // every window width the adaptive rule can pick (exponents here
+        // span 0..~320 bits, covering w = 1..=3; the 384+-bit w = 4 arm
+        // is exercised by the dedicated unit test below).
+        let mut m = m;
+        if m.is_even() { m.add_assign_ref(&BigUint::one()); }
+        if m.is_one() { m = BigUint::from_u64(3); }
+        let ctx = Montgomery::new(&m);
+        let k = bases.len().min(exps.len());
+        let pairs: Vec<(&BigUint, &BigUint)> =
+            bases[..k].iter().zip(&exps[..k]).collect();
+        let mut expect = BigUint::one().rem_of(&m);
+        for (b, e) in &pairs {
+            expect = (&expect * &mod_pow(b, e, &m)).rem_of(&m);
+        }
+        prop_assert_eq!(ctx.multi_pow(&pairs), expect);
+    }
+
+    #[test]
     fn mod_inverse_is_inverse(a in arb_nonzero(), m in arb_nonzero()) {
         let mut m = m;
         if m.is_one() { m = BigUint::from_u64(5); }

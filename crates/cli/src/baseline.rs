@@ -1,0 +1,259 @@
+//! Machine-readable perf baselines: `pivot bench --baseline out.json`.
+//!
+//! A baseline record captures, for one machine and one scenario, (a) the
+//! protocol-level wall clocks per algorithm (with per-stage split, op
+//! counters, and randomness-pool behavior), (b) micro-benchmark ops/sec
+//! for the batched crypto primitives against their serial references, and
+//! (c) derived serial→`-PP` speedups. Records are stable JSON committed
+//! next to the repo (`BENCH_PR3.json` is the first datum) so the perf
+//! trajectory across PRs is a diff, not an anecdote. Gate on *presence*,
+//! not thresholds — wall clocks are machine-dependent trend data.
+
+use crate::json::Json;
+use crate::report::SCHEMA_VERSION;
+use crate::runner::Execution;
+use crate::scenario::Scenario;
+use pivot_bignum::BigUint;
+use pivot_paillier::threshold::PartialDecryption;
+use pivot_paillier::{batch, fixtures, vector, NoncePool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Number of ciphertexts per micro-benchmark batch: small enough for CI,
+/// large enough to amortize dispatch.
+const MICRO_BATCH: usize = 32;
+
+fn ops_per_s(count: usize, elapsed_s: f64) -> f64 {
+    if elapsed_s > 0.0 {
+        count as f64 / elapsed_s
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Micro-benchmarks of the batched crypto primitives on fixture keys.
+fn micro_json(keysize: u32, threads: usize, pool_size: usize) -> Json {
+    // The micro section measures the *mechanism*, not the scenario's
+    // tuning: a pool smaller than two batches would make the "online
+    // warm pool" number silently include inline exponentiations.
+    let pool_size = pool_size.max(2 * MICRO_BATCH);
+    let kp = fixtures::threshold_keys(3, keysize);
+    let values: Vec<BigUint> = (0..MICRO_BATCH as u64)
+        .map(|i| BigUint::from_u64(i * 977 + 1))
+        .collect();
+
+    // Encryption: serial RNG path vs the online batched path over a
+    // *warm* pool — the offline `r^N` fill happens outside the timer, so
+    // the batch number is the online cost the protocol actually pays when
+    // precomputation overlapped an idle phase.
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    let (serial_cts, serial_enc_s) = timed(|| vector::encrypt_vec(&kp.pk, &values, &mut rng));
+    let pool = NoncePool::new(kp.pk.clone(), 0xBA5E, pool_size);
+    pool.refill();
+    pool.wait_ready();
+    let (batch_cts, batch_enc_s) = timed(|| batch::encrypt_batch(&kp.pk, &values, &pool, threads));
+    assert_eq!(serial_cts, batch_cts, "parity violated in micro bench");
+    let cts = batch_cts;
+
+    // Online-only cost: warm pool, plain `take` (no background top-up
+    // runs during the timed section), single thread. This is the per-
+    // ciphertext latency once precomputation overlapped an idle phase:
+    // one modular multiplication instead of a full `r^N` exponentiation.
+    pool.wait_ready();
+    let (online_cts, online_enc_s) = timed(|| {
+        values
+            .iter()
+            .map(|x| kp.pk.encrypt_with_rn(x, &pool.take()))
+            .collect::<Vec<_>>()
+    });
+    drop(online_cts);
+
+    // Partial decryption: serial loop vs batch.
+    let share = &kp.shares[0];
+    let (serial_parts, serial_dec_s) = timed(|| {
+        cts.iter()
+            .map(|c| share.partial_decrypt(c))
+            .collect::<Vec<_>>()
+    });
+    let (_, batch_dec_s) = timed(|| batch::partial_decrypt_batch(share, &cts, threads));
+    drop(serial_parts);
+
+    // Combination: serial loop vs batch over full partial sets.
+    let per_ct: Vec<Vec<PartialDecryption>> = cts
+        .iter()
+        .map(|c| kp.shares.iter().map(|s| s.partial_decrypt(c)).collect())
+        .collect();
+    let (serial_combined, serial_comb_s) = timed(|| {
+        per_ct
+            .iter()
+            .map(|parts| kp.combiner.combine(parts))
+            .collect::<Vec<_>>()
+    });
+    let (batch_combined, batch_comb_s) =
+        timed(|| batch::combine_batch(&kp.combiner, &per_ct, threads));
+    assert_eq!(serial_combined, batch_combined, "combine parity violated");
+
+    // Multi-exponentiation: dot_plain (interleaved windows) vs the naive
+    // per-term mul_plain product.
+    let weights: Vec<BigUint> = (0..MICRO_BATCH as u64)
+        .map(|i| BigUint::from_u64(i * 31 + 2))
+        .collect();
+    let (naive_dot, naive_s) = timed(|| {
+        let mut acc = kp.pk.trivial_zero().clone();
+        for (c, w) in cts.iter().zip(&weights) {
+            acc = kp.pk.add(&acc, &kp.pk.mul_plain(c, w));
+        }
+        acc
+    });
+    let (multi_dot, multi_s) = timed(|| vector::dot_plain(&kp.pk, &cts, &weights));
+    assert_eq!(naive_dot, multi_dot, "multi-exponentiation parity violated");
+
+    Json::obj()
+        .with("keysize", u64::from(keysize))
+        .with("batch_size", MICRO_BATCH)
+        .with("threads", threads)
+        .with(
+            "encrypt",
+            Json::obj()
+                .with("serial_ops_per_s", ops_per_s(MICRO_BATCH, serial_enc_s))
+                .with("batch_ops_per_s", ops_per_s(MICRO_BATCH, batch_enc_s))
+                .with(
+                    "online_warm_pool_ops_per_s",
+                    ops_per_s(MICRO_BATCH, online_enc_s),
+                ),
+        )
+        .with(
+            "partial_decrypt",
+            Json::obj()
+                .with("serial_ops_per_s", ops_per_s(MICRO_BATCH, serial_dec_s))
+                .with("batch_ops_per_s", ops_per_s(MICRO_BATCH, batch_dec_s)),
+        )
+        .with(
+            "combine",
+            Json::obj()
+                .with("serial_ops_per_s", ops_per_s(MICRO_BATCH, serial_comb_s))
+                .with("batch_ops_per_s", ops_per_s(MICRO_BATCH, batch_comb_s)),
+        )
+        .with(
+            "multi_exp_dot",
+            Json::obj()
+                .with("naive_s", naive_s)
+                .with("multi_pow_s", multi_s)
+                .with(
+                    "speedup",
+                    if multi_s > 0.0 {
+                        Json::Num(naive_s / multi_s)
+                    } else {
+                        Json::Null
+                    },
+                ),
+        )
+        .with("pool", crate::report::pool_json(&pool.stats()))
+}
+
+fn algo_json(exec: &Execution) -> Json {
+    let p0 = &exec.parties[0];
+    Json::obj()
+        .with("algorithm", exec.algo.label())
+        .with("train_wall_s", p0.train_wall_s)
+        .with(
+            "stages_s",
+            Json::obj()
+                .with("local_computation", p0.stage_s[0])
+                .with("mpc_computation", p0.stage_s[1])
+                .with("model_update", p0.stage_s[2])
+                .with("prediction", p0.stage_s[3]),
+        )
+        .with("bytes_sent_party0", p0.train_bytes_sent)
+        .with("encryptions", p0.encryptions)
+        .with("threshold_decryptions", p0.threshold_decryptions)
+        .with(
+            "pool_hit_rate",
+            match p0.pool.hit_rate() {
+                Some(r) => Json::Num(r),
+                None => Json::Null,
+            },
+        )
+}
+
+/// Serial → `-PP` speedups derivable from the executed algorithm list.
+fn speedups_json(execs: &[Execution]) -> Json {
+    let wall = |label: &str| {
+        execs
+            .iter()
+            .find(|e| e.algo.label() == label)
+            .map(|e| e.parties[0].train_wall_s)
+    };
+    let mut out = Json::obj();
+    for (base, pp, key) in [
+        ("Pivot-Basic", "Pivot-Basic-PP", "basic_pp_over_serial"),
+        (
+            "Pivot-Enhanced",
+            "Pivot-Enhanced-PP",
+            "enhanced_pp_over_serial",
+        ),
+    ] {
+        if let (Some(b), Some(p)) = (wall(base), wall(pp)) {
+            if p > 0.0 {
+                out.set(key, b / p);
+            }
+        }
+    }
+    out
+}
+
+/// Build the full baseline record for one scenario run.
+pub fn baseline_report(scenario: &Scenario, execs: &[Execution]) -> Json {
+    let unix_time_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let threads = scenario.params.crypto_threads.max(1);
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("kind", "perf-baseline")
+        .with("tool", format!("pivot-cli {}", env!("CARGO_PKG_VERSION")))
+        .with("unix_time_s", unix_time_s)
+        .with("scenario", scenario.to_json())
+        .with("seed", scenario.seed)
+        .with(
+            "algorithms",
+            Json::Arr(execs.iter().map(algo_json).collect()),
+        )
+        .with("speedups", speedups_json(execs))
+        .with(
+            "micro",
+            micro_json(
+                scenario.params.keysize,
+                threads,
+                scenario.params.randomness_pool,
+            ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_benches_produce_positive_rates() {
+        let j = micro_json(128, 2, 8);
+        for path in [
+            "encrypt.serial_ops_per_s",
+            "encrypt.batch_ops_per_s",
+            "partial_decrypt.batch_ops_per_s",
+            "combine.batch_ops_per_s",
+        ] {
+            let v = j.path(path).unwrap().as_f64().unwrap();
+            assert!(v > 0.0, "{path} = {v}");
+        }
+        assert!(j.path("pool.hit_rate").unwrap().as_f64().is_some());
+    }
+}

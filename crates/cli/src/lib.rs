@@ -22,6 +22,7 @@
 //!   paper's deployment shape); reports match the threaded run
 //!   bit-for-bit.
 
+pub mod baseline;
 pub mod json;
 pub mod party;
 pub mod report;

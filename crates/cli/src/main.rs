@@ -10,7 +10,8 @@ const USAGE: &str = "\
 pivot — privacy preserving vertical federated learning for tree-based models
 
 USAGE:
-    pivot <train|predict|bench> --scenario <FILE> [--out <FILE>] [--quiet]
+    pivot <train|predict> --scenario <FILE> [--out <FILE>] [--quiet]
+    pivot bench --scenario <FILE> [--out <FILE>] [--baseline <FILE>] [--quiet]
     pivot party --scenario <FILE> --id <N> --peers <ADDR0,ADDR1,...>
                 [--listen <ADDR>] [--out <FILE>] [--quiet]
     pivot --help | --version
@@ -23,7 +24,11 @@ SUBCOMMANDS:
                time, prediction-phase traffic)
     bench      Run the scenario's [sweep] axis across its algorithms
                (a Figure-4-style sweep) and report every point; network
-               axes (latency_us, bandwidth_mbps) sweep within one process
+               axes (latency_us, bandwidth_mbps) sweep within one process.
+               With --baseline, write a machine-readable perf record
+               (per-stage wall clock, batched-crypto ops/sec, randomness-
+               pool hit rate) instead of sweeping: each algorithm runs
+               once at the base point and [sweep] must be absent
     party      Run ONE party of the scenario over TCP — one process per
                client, the paper's deployment shape. Start m processes
                with ids 0..m-1 and the same --peers list; each writes a
@@ -33,6 +38,8 @@ OPTIONS:
     --scenario <FILE>   TOML or JSON scenario (see examples/scenarios/)
     --out <FILE>        Report path (default: <scenario-stem>-report.json,
                         or <scenario-stem>-party<N>-report.json for party)
+    --baseline <FILE>   bench only: also write a perf-baseline JSON record
+                        (see BENCH_PR3.json for the committed trajectory)
     --quiet             Suppress the human-readable summary on stdout
     --id <N>            party only: this process's party id in 0..m
     --peers <LIST>      party only: comma-separated addresses of all m
@@ -47,6 +54,7 @@ struct Args {
     command: String,
     scenario: PathBuf,
     out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -111,6 +119,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut command = None;
     let mut scenario = None;
     let mut out = None;
+    let mut baseline = None;
     let mut quiet = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -126,6 +135,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--out needs a file path")?;
                 out = Some(PathBuf::from(v));
             }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file path")?;
+                baseline = Some(PathBuf::from(v));
+            }
             "--quiet" => quiet = true,
             other => {
                 return Err(format!("unexpected argument {other:?} (see pivot --help)"));
@@ -134,10 +147,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     let command = command.ok_or("missing subcommand (train, predict, or bench)")?;
     let scenario = scenario.ok_or("missing --scenario <FILE>")?;
+    if baseline.is_some() && command != "bench" {
+        return Err("--baseline only applies to the bench subcommand".into());
+    }
     Ok(Args {
         command,
         scenario,
         out,
+        baseline,
         quiet,
     })
 }
@@ -190,24 +207,42 @@ fn run(args: &Args) -> Result<(), String> {
             }
         }
         "bench" => {
-            let sweep = scenario
-                .sweep
-                .clone()
-                .ok_or("bench needs a [sweep] section (vary + values)")?;
+            if scenario.sweep.is_none() && args.baseline.is_none() {
+                return Err("bench needs a [sweep] section (vary + values), \
+                            or --baseline for a single-point perf record"
+                    .into());
+            }
+            // A baseline is a single-point record: mixing it with a sweep
+            // would repeat algorithms across points with no axis tag and
+            // make the derived speedups meaningless.
+            if scenario.sweep.is_some() && args.baseline.is_some() {
+                return Err("--baseline records a single configuration; remove the \
+                            [sweep] section (run the sweep separately)"
+                    .into());
+            }
+            // Without a sweep (--baseline mode) every algorithm runs once
+            // at the base point, reported under a degenerate axis.
+            let (axis, points): (String, Vec<usize>) = match &scenario.sweep {
+                Some(sweep) => (sweep.vary.clone(), sweep.values.clone()),
+                None => ("point".into(), vec![0]),
+            };
             let mut results = Vec::new();
-            for &value in &sweep.values {
-                let point = scenario.with_axis(&sweep.vary, value);
+            for &value in &points {
+                let point = if scenario.sweep.is_some() {
+                    scenario.with_axis(&axis, value)
+                } else {
+                    scenario.clone()
+                };
                 // A sweep value can make an otherwise-valid scenario
                 // invalid (e.g. parties = 0); check per point.
                 point
                     .validate()
-                    .map_err(|e| format!("sweep point {}={value}: {e}", sweep.vary))?;
+                    .map_err(|e| format!("sweep point {axis}={value}: {e}"))?;
                 for &algo in &point.algorithms {
                     let exec = execute(&point, algo, true)?;
                     if !args.quiet {
                         println!(
-                            "{}={value} {}: train {:.2}s, {} sent by party 0",
-                            sweep.vary,
+                            "{axis}={value} {}: train {:.2}s, {} sent by party 0",
                             algo.label(),
                             exec.parties[0].train_wall_s,
                             human_bytes(exec.parties[0].train_bytes_sent),
@@ -216,7 +251,16 @@ fn run(args: &Args) -> Result<(), String> {
                     results.push((value, exec));
                 }
             }
-            report::bench_report(&scenario, &sweep.vary, &results)
+            if let Some(baseline_path) = &args.baseline {
+                let execs: Vec<_> = results.iter().map(|(_, e)| e.clone()).collect();
+                let record = pivot_cli::baseline::baseline_report(&scenario, &execs);
+                std::fs::write(baseline_path, record.to_pretty())
+                    .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+                if !args.quiet {
+                    println!("perf baseline written to {}", baseline_path.display());
+                }
+            }
+            report::bench_report(&scenario, &axis, &results)
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     };

@@ -88,6 +88,24 @@ fn counters_json(exec: &Execution) -> Json {
         .with("mpc_rounds", p0.mpc_rounds)
         .with("secure_mults", p0.secure_mults)
         .with("secure_comparisons", p0.secure_comparisons)
+        .with("randomness_pool", pool_json(&p0.pool))
+}
+
+/// Offline randomness-pool behavior of one party (hit rate is null when
+/// the pool never served a take — e.g. a pure-MPC baseline run).
+pub(crate) fn pool_json(stats: &pivot_paillier::NonceStats) -> Json {
+    Json::obj()
+        .with("target", stats.target)
+        .with("hits", stats.hits)
+        .with("misses", stats.misses)
+        .with("precomputed", stats.produced)
+        .with(
+            "hit_rate",
+            match stats.hit_rate() {
+                Some(r) => Json::Num(r),
+                None => Json::Null,
+            },
+        )
 }
 
 fn dataset_json(exec: &Execution) -> Json {
@@ -263,6 +281,12 @@ mod tests {
             mpc_rounds: 7,
             secure_mults: 8,
             secure_comparisons: 9,
+            pool: pivot_paillier::NonceStats {
+                hits: 6,
+                misses: 2,
+                produced: 8,
+                target: 16,
+            },
             internal_nodes: 3,
             tree_depth: Some(2),
             predictions: vec![0.0, 1.0],
@@ -325,6 +349,20 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(5)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.randomness_pool.hits")
+                .unwrap()
+                .as_u64(),
+            Some(6)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.randomness_pool.hit_rate")
+                .unwrap()
+                .as_f64(),
+            Some(0.75)
         );
     }
 

@@ -40,6 +40,9 @@ pub struct PartyOutcome {
     pub mpc_rounds: u64,
     pub secure_mults: u64,
     pub secure_comparisons: u64,
+    /// Offline randomness-pool behavior (timing-dependent, *not* part of
+    /// the cross-backend parity contract).
+    pub pool: pivot_paillier::NonceStats,
     /// Trained-model shape.
     pub internal_nodes: usize,
     pub tree_depth: Option<usize>,
@@ -164,6 +167,7 @@ pub fn run_party_protocol(
 
     let (mpc_rounds, secure_mults, secure_comparisons, _openings) =
         ctx.engine.counters().snapshot();
+    let pool = ctx.nonces.stats();
     PartyOutcome {
         party: ctx.id(),
         train_bytes_sent,
@@ -187,6 +191,7 @@ pub fn run_party_protocol(
         mpc_rounds,
         secure_mults,
         secure_comparisons,
+        pool,
         internal_nodes: model.internal_nodes(),
         tree_depth: model.depth(),
         predictions,

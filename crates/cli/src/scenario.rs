@@ -161,7 +161,11 @@ pub struct ParamSpec {
     pub min_samples: usize,
     pub keysize: u32,
     pub parallel_decrypt: bool,
-    pub decrypt_threads: usize,
+    /// Worker threads for the batched crypto runtime (generalizes the
+    /// deprecated `decrypt_threads` key, still accepted as an alias).
+    pub crypto_threads: usize,
+    /// Offline randomness-pool size (precomputed `r^N` nonce powers).
+    pub randomness_pool: usize,
 }
 
 impl Default for ParamSpec {
@@ -172,7 +176,8 @@ impl Default for ParamSpec {
             min_samples: 2,
             keysize: 256,
             parallel_decrypt: false,
-            decrypt_threads: 6,
+            crypto_threads: 6,
+            randomness_pool: 256,
         }
     }
 }
@@ -468,7 +473,10 @@ const PARAM_KEYS: &[&str] = &[
     "min_samples",
     "keysize",
     "parallel_decrypt",
+    "crypto_threads",
+    // Deprecated alias of crypto_threads (PR-2 name, decryption-only).
     "decrypt_threads",
+    "randomness_pool",
 ];
 const MODEL_KEYS: &[&str] = &[
     "kind",
@@ -595,6 +603,13 @@ impl Scenario {
         };
 
         let pd = ParamSpec::default();
+        let crypto_threads = doc.get_usize("params", "crypto_threads")?;
+        let decrypt_threads = doc.get_usize("params", "decrypt_threads")?;
+        if crypto_threads.is_some() && decrypt_threads.is_some() {
+            return Err("give either params.crypto_threads or the deprecated alias \
+                 params.decrypt_threads, not both"
+                .into());
+        }
         let params = ParamSpec {
             max_depth: doc
                 .get_usize("params", "max_depth")?
@@ -612,9 +627,12 @@ impl Scenario {
             parallel_decrypt: doc
                 .get_bool("params", "parallel_decrypt")?
                 .unwrap_or(pd.parallel_decrypt),
-            decrypt_threads: doc
-                .get_usize("params", "decrypt_threads")?
-                .unwrap_or(pd.decrypt_threads),
+            crypto_threads: crypto_threads
+                .or(decrypt_threads)
+                .unwrap_or(pd.crypto_threads),
+            randomness_pool: doc
+                .get_usize("params", "randomness_pool")?
+                .unwrap_or(pd.randomness_pool),
         };
 
         let md = ModelSpec::default();
@@ -872,7 +890,8 @@ impl Scenario {
         let mut p = pivot_bench::algo_params(algo, tree, self.params.keysize, self.seed);
         // Scenario-level knobs on top of the shared policy.
         p.parallel_decrypt |= self.params.parallel_decrypt;
-        p.decrypt_threads = self.params.decrypt_threads;
+        p.crypto_threads = self.params.crypto_threads;
+        p.randomness_pool = self.params.randomness_pool;
         p
     }
 
@@ -944,7 +963,8 @@ impl Scenario {
                     .with("min_samples", self.params.min_samples)
                     .with("keysize", u64::from(self.params.keysize))
                     .with("parallel_decrypt", self.params.parallel_decrypt)
-                    .with("decrypt_threads", self.params.decrypt_threads),
+                    .with("crypto_threads", self.params.crypto_threads)
+                    .with("randomness_pool", self.params.randomness_pool),
             )
             .with("model", model)
             .with("network", {
@@ -1048,6 +1068,32 @@ mod tests {
         assert!(s.pivot_params(Algo::PivotBasicPp).parallel_decrypt);
         let s2 = parse_toml("algorithm = \"pivot-basic\"").unwrap();
         assert!(!s2.pivot_params(Algo::PivotBasic).parallel_decrypt);
+    }
+
+    #[test]
+    fn crypto_threads_and_deprecated_alias() {
+        let s = parse_toml("[params]\ncrypto_threads = 4\nrandomness_pool = 64").unwrap();
+        assert_eq!(s.params.crypto_threads, 4);
+        assert_eq!(s.params.randomness_pool, 64);
+        let p = s.pivot_params(Algo::PivotBasicPp);
+        assert_eq!(p.crypto_threads, 4);
+        assert_eq!(p.randomness_pool, 64);
+        // PR-2 scenarios using decrypt_threads keep working.
+        let old = parse_toml("[params]\ndecrypt_threads = 8").unwrap();
+        assert_eq!(old.params.crypto_threads, 8);
+        // …but giving both is ambiguous.
+        let err = parse_toml("[params]\ncrypto_threads = 4\ndecrypt_threads = 8").unwrap_err();
+        assert!(err.contains("decrypt_threads"), "{err}");
+        // Echo carries the generalized keys.
+        let echo = s.to_json();
+        assert_eq!(
+            echo.path("params.crypto_threads").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            echo.path("params.randomness_pool").unwrap().as_u64(),
+            Some(64)
+        );
     }
 
     #[test]

@@ -25,11 +25,22 @@ pub struct PivotParams {
     pub keysize: u32,
     /// MPC fixed-point layout.
     pub fixed: FixedConfig,
-    /// Parallelize threshold decryptions (the paper's `-PP` variants,
-    /// which parallelize exactly this with 6 cores).
+    /// Parallelize the homomorphic bulk operations (the paper's `-PP`
+    /// variants — §8.3 parallelizes threshold decryption with 6 cores;
+    /// this reproduction batches *every* bulk crypto operation through the
+    /// shared worker pool and enables the offline randomness pool).
+    /// Off or on, the trained model and per-party traffic are
+    /// bit-identical: batches are order-preserving and encryption nonces
+    /// come from the same seeded stream in the same order.
     pub parallel_decrypt: bool,
-    /// Worker threads for parallel decryption (paper: 6).
-    pub decrypt_threads: usize,
+    /// Worker threads for batched crypto operations (paper: 6).
+    /// Generalizes the former `decrypt_threads`, which only fed partial
+    /// decryption.
+    pub crypto_threads: usize,
+    /// Offline randomness-pool size: how many `r^N mod N²` nonce powers
+    /// background workers keep precomputed (0 disables precomputation).
+    /// Only active under `parallel_decrypt`; has no effect on outputs.
+    pub randomness_pool: usize,
     /// Common seed for the simulated MPC offline phase.
     pub dealer_seed: u64,
 }
@@ -42,7 +53,8 @@ impl Default for PivotParams {
             keysize: 256,
             fixed: FixedConfig::default(),
             parallel_decrypt: false,
-            decrypt_threads: 6,
+            crypto_threads: 6,
+            randomness_pool: 256,
             dealer_seed: 0x9162_07,
         }
     }
@@ -59,6 +71,26 @@ impl PivotParams {
         };
         p.tree.stop_when_pure = false;
         p
+    }
+
+    /// Worker threads the batched crypto operations may use:
+    /// `crypto_threads` under the `-PP` knob, else 1 (the serial path).
+    pub fn effective_crypto_threads(&self) -> usize {
+        if self.parallel_decrypt {
+            self.crypto_threads.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Offline randomness-pool target: 0 (no background precomputation)
+    /// on the serial path.
+    pub fn effective_randomness_pool(&self) -> usize {
+        if self.parallel_decrypt {
+            self.randomness_pool
+        } else {
+            0
+        }
     }
 
     /// Validate cross-parameter invariants before running a protocol.

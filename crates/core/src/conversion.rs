@@ -16,7 +16,7 @@ use crate::decrypt::joint_decrypt_vec;
 use crate::party::PartyContext;
 use pivot_bignum::BigUint;
 use pivot_mpc::{Fp, Share, MODULUS};
-use pivot_paillier::Ciphertext;
+use pivot_paillier::{batch, Ciphertext};
 use rand::Rng;
 
 /// Reduce a decrypted plaintext into the share field, interpreting the
@@ -48,23 +48,25 @@ pub fn ciphers_to_shares(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<
 
     // Every client draws rᵢ uniform in [0, p) and encrypts it (line 2).
     let my_masks: Vec<u64> = (0..n).map(|_| ctx.rng.gen_range(0..MODULUS)).collect();
-    let my_enc_masks: Vec<Ciphertext> = my_masks
-        .iter()
-        .map(|&r| ctx.pk.encrypt(&BigUint::from_u64(r), &mut ctx.rng))
-        .collect();
+    let mask_values: Vec<BigUint> = my_masks.iter().map(|&r| BigUint::from_u64(r)).collect();
+    let threads = ctx.crypto_threads();
+    let my_enc_masks = batch::encrypt_batch(&ctx.pk, &mask_values, &ctx.nonces, threads);
     ctx.metrics.add_encryptions(n as u64);
 
     // Exchange encrypted masks; everyone assembles [e] = [x + 2^(k-1) + Σ rᵢ]
-    // (line 4, plus the signedness offset).
+    // (line 4, plus the signedness offset). The offset ciphertext is the
+    // same public constant for every value — encode it once.
+    ctx.nonces.refill();
     let all_masks: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_enc_masks);
-    let mut masked: Vec<Ciphertext> = Vec::with_capacity(n);
-    for (j, ct) in cts.iter().enumerate() {
-        let mut acc = ctx.pk.add(ct, &ctx.pk.encrypt_trivial(&offset));
+    let enc_offset = ctx.pk.encrypt_trivial(&offset);
+    let indices: Vec<usize> = (0..n).collect();
+    let masked: Vec<Ciphertext> = pivot_runtime::global().map(threads, &indices, |&j| {
+        let mut acc = ctx.pk.add(&cts[j], &enc_offset);
         for party_masks in &all_masks {
             acc = ctx.pk.add(&acc, &party_masks[j]);
         }
-        masked.push(acc);
-    }
+        acc
+    });
     ctx.metrics
         .add_ciphertext_ops((n * (ctx.parties() + 1)) as u64);
 
@@ -101,26 +103,25 @@ pub fn shares_to_ciphers(ctx: &mut PartyContext<'_>, shares: &[Share]) -> Vec<Ci
     if shares.is_empty() {
         return Vec::new();
     }
-    let my_encs: Vec<Ciphertext> = shares
+    let share_values: Vec<BigUint> = shares
         .iter()
-        .map(|s| {
-            ctx.pk
-                .encrypt(&BigUint::from_u64(s.0.value()), &mut ctx.rng)
-        })
+        .map(|s| BigUint::from_u64(s.0.value()))
         .collect();
+    let threads = ctx.crypto_threads();
+    let my_encs = batch::encrypt_batch(&ctx.pk, &share_values, &ctx.nonces, threads);
     ctx.metrics.add_encryptions(shares.len() as u64);
+    ctx.nonces.refill();
     let all: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_encs);
     ctx.metrics
         .add_ciphertext_ops((shares.len() * ctx.parties()) as u64);
-    (0..shares.len())
-        .map(|j| {
-            let mut acc = all[0][j].clone();
-            for party in all.iter().skip(1) {
-                acc = ctx.pk.add(&acc, &party[j]);
-            }
-            acc
-        })
-        .collect()
+    let indices: Vec<usize> = (0..shares.len()).collect();
+    pivot_runtime::global().map(threads, &indices, |&j| {
+        let mut acc = all[0][j].clone();
+        for party in all.iter().skip(1) {
+            acc = ctx.pk.add(&acc, &party[j]);
+        }
+        acc
+    })
 }
 
 /// Convert one share into a ciphertext.

@@ -4,9 +4,16 @@
 //! protocols — and the operation the `-PP` variants parallelize across
 //! ciphertexts (§8.3: "parallelism for threshold decryption of multiple
 //! ciphertexts with 6 cores").
+//!
+//! Both phases run through the batched crypto runtime
+//! ([`pivot_paillier::batch`]) on the shared worker pool; the former
+//! spawn-per-batch `parallel_map` is gone. The network exchange between
+//! them is an idle phase for this party's CPU, so the offline randomness
+//! pool is topped up right before blocking on it.
 
 use crate::party::PartyContext;
 use pivot_bignum::BigUint;
+use pivot_paillier::batch;
 use pivot_paillier::threshold::{Combiner, PartialDecryption, SecretKeyShare};
 use pivot_paillier::Ciphertext;
 
@@ -16,72 +23,26 @@ pub fn joint_decrypt_vec(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<
         return Vec::new();
     }
     ctx.metrics.add_decryptions(cts.len() as u64);
+    let threads = ctx.crypto_threads();
 
-    // Partial decryptions (parallelizable — the `-PP` knob).
-    let partials: Vec<PartialDecryption> = if ctx.params.parallel_decrypt {
-        parallel_map(cts, ctx.params.decrypt_threads, |ct| {
-            ctx.key_share.partial_decrypt(ct)
-        })
-    } else {
-        cts.iter()
-            .map(|ct| ctx.key_share.partial_decrypt(ct))
-            .collect()
-    };
+    // Partial decryptions (the `-PP` knob: parallel across ciphertexts).
+    let partials = batch::partial_decrypt_batch(&ctx.key_share, cts, threads);
 
-    // One all-to-all exchange of the whole batch.
+    // One all-to-all exchange of the whole batch. The wait is idle time —
+    // let the background workers refill the randomness pool meanwhile.
+    ctx.nonces.refill();
     let all: Vec<Vec<PartialDecryption>> = ctx.ep.exchange_all(&partials);
 
-    // Combine locally (also parallelizable).
-    let combine_one = |idx: usize| -> BigUint {
-        let parts: Vec<PartialDecryption> =
-            all.iter().map(|per_party| per_party[idx].clone()).collect();
-        ctx.combiner.combine(&parts)
-    };
-    if ctx.params.parallel_decrypt {
-        let indices: Vec<usize> = (0..cts.len()).collect();
-        parallel_map(&indices, ctx.params.decrypt_threads, |&i| combine_one(i))
-    } else {
-        (0..cts.len()).map(combine_one).collect()
-    }
+    // Combine locally, batched across ciphertexts.
+    let per_ct: Vec<Vec<PartialDecryption>> = (0..cts.len())
+        .map(|idx| all.iter().map(|per_party| per_party[idx].clone()).collect())
+        .collect();
+    batch::combine_batch(&ctx.combiner, &per_ct, threads)
 }
 
 /// Decrypt a single ciphertext.
 pub fn joint_decrypt(ctx: &mut PartyContext<'_>, ct: &Ciphertext) -> BigUint {
     joint_decrypt_vec(ctx, std::slice::from_ref(ct)).remove(0)
-}
-
-/// Chunked parallel map over a slice using scoped threads.
-fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (ci, slice) in items.chunks(chunk).enumerate() {
-            let f = &f;
-            handles.push((
-                ci,
-                scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>()),
-            ));
-        }
-        for (ci, handle) in handles {
-            let results = handle.join().expect("decryption worker panicked");
-            for (off, val) in results.into_iter().enumerate() {
-                out[ci * chunk + off] = Some(val);
-            }
-        }
-    });
-    out.into_iter()
-        .map(|v| v.expect("all chunks filled"))
-        .collect()
 }
 
 /// Stand-alone combiner used by tests that play all parties themselves.

@@ -5,7 +5,7 @@ use crate::metrics::Stage;
 use crate::party::PartyContext;
 use pivot_bignum::BigUint;
 use pivot_data::Task;
-use pivot_paillier::{vector, Ciphertext};
+use pivot_paillier::{batch, Ciphertext};
 
 /// The encrypted per-class / per-moment label vectors `[L] = {[γ_k]}`.
 ///
@@ -32,13 +32,11 @@ pub struct LabelMasks {
 pub fn initial_mask(ctx: &mut PartyContext<'_>, included: &[bool]) -> Vec<Ciphertext> {
     let started = std::time::Instant::now();
     let cts = if ctx.is_super_client() {
-        let cts: Vec<Ciphertext> = included
+        let values: Vec<BigUint> = included
             .iter()
-            .map(|&b| {
-                ctx.pk
-                    .encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng)
-            })
+            .map(|&b| BigUint::from_u64(u64::from(b)))
             .collect();
+        let cts = batch::encrypt_batch(&ctx.pk, &values, &ctx.nonces, ctx.crypto_threads());
         ctx.metrics.add_encryptions(included.len() as u64);
         ctx.ep.broadcast(&cts);
         cts
@@ -69,7 +67,13 @@ pub fn compute_label_masks(
             Task::Classification { classes } => {
                 for k in 0..classes {
                     let beta: Vec<bool> = labels.iter().map(|&y| y as usize == k).collect();
-                    let gamma = vector::mask_binary(&ctx.pk, alpha, &beta, &mut ctx.rng);
+                    let gamma = batch::mask_binary_batch(
+                        &ctx.pk,
+                        alpha,
+                        &beta,
+                        &ctx.nonces,
+                        ctx.crypto_threads(),
+                    );
                     ctx.metrics.add_encryptions(alpha.len() as u64);
                     gammas.push(gamma);
                 }
@@ -83,10 +87,9 @@ pub fn compute_label_masks(
                     1.0
                 };
                 for moment in 1..=2 {
-                    let gamma: Vec<Ciphertext> = labels
+                    let encodings: Vec<BigUint> = labels
                         .iter()
-                        .zip(alpha)
-                        .map(|(&y, a)| {
+                        .map(|&y| {
                             assert!(
                                 y.abs() <= 1.0 + 1e-9,
                                 "regression labels must be normalized into [-1, 1]"
@@ -97,11 +100,12 @@ pub fn compute_label_masks(
                             } else {
                                 shifted * shifted
                             };
-                            let enc = encode_signed(ctx, v * scale);
-                            let ct = ctx.pk.mul_plain(a, &enc);
-                            ctx.pk.rerandomize(&ct, &mut ctx.rng)
+                            encode_signed(ctx, v * scale)
                         })
                         .collect();
+                    let threads = ctx.crypto_threads();
+                    let scaled = batch::mul_plain_batch(&ctx.pk, alpha, &encodings, threads);
+                    let gamma = batch::rerandomize_batch(&ctx.pk, &scaled, &ctx.nonces, threads);
                     ctx.metrics.add_ciphertext_ops(2 * alpha.len() as u64);
                     gammas.push(gamma);
                 }
@@ -159,9 +163,10 @@ pub fn update_vectors_plain(
         let v_r: Vec<bool> = v_l.iter().map(|&b| !b).collect();
         let mut lefts = Vec::with_capacity(vectors.len());
         let mut rights = Vec::with_capacity(vectors.len());
+        let threads = ctx.crypto_threads();
         for vec in vectors {
-            let l = vector::mask_binary(&ctx.pk, vec, v_l, &mut ctx.rng);
-            let r = vector::mask_binary(&ctx.pk, vec, &v_r, &mut ctx.rng);
+            let l = batch::mask_binary_batch(&ctx.pk, vec, v_l, &ctx.nonces, threads);
+            let r = batch::mask_binary_batch(&ctx.pk, vec, &v_r, &ctx.nonces, threads);
             ctx.metrics.add_encryptions(2 * vec.len() as u64);
             ctx.ep.broadcast(&l);
             ctx.ep.broadcast(&r);

@@ -5,10 +5,11 @@ use crate::metrics::ProtocolMetrics;
 use pivot_data::VerticalView;
 use pivot_mpc::MpcEngine;
 use pivot_paillier::threshold::{Combiner, SecretKeyShare};
-use pivot_paillier::{fixtures, PublicKey};
+use pivot_paillier::{fixtures, NoncePool, PublicKey};
 use pivot_transport::Endpoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Everything one client needs to participate in the Pivot protocols.
 ///
@@ -30,8 +31,15 @@ pub struct PartyContext<'a> {
     pub engine: MpcEngine<'a>,
     pub params: PivotParams,
     pub metrics: ProtocolMetrics,
-    /// Private per-party randomness (encryption nonces, conversion masks).
+    /// Private per-party randomness (conversion masks and other
+    /// non-encryption draws). Paillier encryption nonces live in the
+    /// dedicated [`NoncePool`] stream below.
     pub rng: StdRng,
+    /// The party's Paillier nonce stream plus the offline randomness pool
+    /// precomputing `r^N mod N²` powers during idle phases. All protocol
+    /// encryptions draw from this stream in a defined order, so the
+    /// batched/pooled path is bit-identical to the serial path.
+    pub nonces: Arc<NoncePool>,
     /// Task override for subprotocols (GBDT trains *regression* trees on
     /// residuals even when the outer task is classification).
     pub task_override: Option<pivot_data::Task>,
@@ -77,6 +85,16 @@ impl<'a> PartyContext<'a> {
         let engine = MpcEngine::new(ep, params.dealer_seed, params.fixed);
         let rng =
             StdRng::seed_from_u64(params.dealer_seed ^ 0xACE0_FBA5E ^ ((ep.id() as u64 + 1) << 32));
+        // Dedicated per-party nonce stream; keygen/setup is an idle phase,
+        // so kick off the first background prefill right here.
+        let nonce_seed =
+            params.dealer_seed ^ 0x0FF1_CE_9A11 ^ ((ep.id() as u64 + 1).rotate_left(40));
+        let nonces = NoncePool::new(
+            keys.pk.clone(),
+            nonce_seed,
+            params.effective_randomness_pool(),
+        );
+        nonces.refill();
         PartyContext {
             ep,
             pk: keys.pk,
@@ -89,8 +107,15 @@ impl<'a> PartyContext<'a> {
             params,
             metrics: ProtocolMetrics::new(),
             rng,
+            nonces,
             task_override: None,
         }
+    }
+
+    /// Worker threads available to this party's batched crypto operations
+    /// (1 on the serial path).
+    pub fn crypto_threads(&self) -> usize {
+        self.params.effective_crypto_threads()
     }
 
     /// The task the *current* (sub)protocol trains for.

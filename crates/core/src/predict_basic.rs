@@ -10,7 +10,7 @@ use crate::metrics::Stage;
 use crate::party::PartyContext;
 use pivot_bignum::BigUint;
 use pivot_data::Task;
-use pivot_paillier::{vector, Ciphertext};
+use pivot_paillier::{batch, vector, Ciphertext};
 use pivot_trees::DecisionTree;
 
 /// Jointly predict one sample. `local_sample` holds this client's local
@@ -76,18 +76,20 @@ pub fn predict_batch_encrypted(
             .collect();
 
         // Ring pass from party m−1 down to 0 (paper's u_m → u_1).
+        let threads = ctx.crypto_threads();
         let mut eta: Vec<Vec<Ciphertext>> = if me == m - 1 {
-            // Initialize [η] = ([1],…,[1]) masked by my own bits.
-            let out = my_bits
+            // Initialize [η] = ([1],…,[1]) masked by my own bits. Batched
+            // over the flattened (sample-major) layout — the same nonce
+            // draw order as the per-element serial loop.
+            let values: Vec<BigUint> = my_bits
                 .iter()
-                .map(|bits| {
-                    bits.iter()
-                        .map(|&b| {
-                            ctx.pk
-                                .encrypt(&BigUint::from_u64(u64::from(b)), &mut ctx.rng)
-                        })
-                        .collect::<Vec<_>>()
-                })
+                .flatten()
+                .map(|&b| BigUint::from_u64(u64::from(b)))
+                .collect();
+            let flat = batch::encrypt_batch(&ctx.pk, &values, &ctx.nonces, threads);
+            let out = flat
+                .chunks(n_leaves.max(1))
+                .map(<[Ciphertext]>::to_vec)
                 .collect();
             ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
             out
@@ -98,7 +100,9 @@ pub fn predict_batch_encrypted(
             let out: Vec<Vec<Ciphertext>> = received
                 .iter()
                 .zip(&my_bits)
-                .map(|(cts, bits)| vector::mask_binary(&ctx.pk, cts, bits, &mut ctx.rng))
+                .map(|(cts, bits)| {
+                    batch::mask_binary_batch(&ctx.pk, cts, bits, &ctx.nonces, threads)
+                })
                 .collect();
             ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
             out
@@ -116,10 +120,11 @@ pub fn predict_batch_encrypted(
                 .iter()
                 .map(|&(value, _)| encode_leaf(ctx, value))
                 .collect();
-            let outputs: Vec<Ciphertext> = eta
-                .drain(..)
-                .map(|sample_eta| vector::dot_plain(&ctx.pk, &sample_eta, &z))
-                .collect();
+            let outputs: Vec<Ciphertext> =
+                pivot_runtime::global().map(threads, &eta, |sample_eta| {
+                    vector::dot_plain(&ctx.pk, sample_eta, &z)
+                });
+            eta.clear();
             ctx.metrics
                 .add_ciphertext_ops((n_samples * n_leaves) as u64);
             for output in &outputs {

@@ -133,17 +133,22 @@ pub fn pooled_statistics(
     masks: &LabelMasks,
 ) -> EncryptedStats {
     let stride = 1 + masks.gammas.len();
-    // Local stats, flattened in local split order.
+    // Local stats, flattened in local split order. Every split's dot
+    // products are independent, so the batch runs on the shared worker
+    // pool (order-preserving: the flattened layout is identical to the
+    // serial loop's).
     let mine: Vec<Ciphertext> = ctx.metrics.time(Stage::LocalComputation, || {
-        let mut flat = Vec::new();
-        for feature in local.indicators.iter() {
-            for v_l in feature {
-                flat.push(vector::dot_binary(&ctx.pk, alpha, v_l));
+        let splits: Vec<&Vec<bool>> = local.indicators.iter().flatten().collect();
+        let per_split: Vec<Vec<Ciphertext>> =
+            pivot_runtime::global().map(ctx.crypto_threads(), &splits, |v_l| {
+                let mut stats = Vec::with_capacity(stride);
+                stats.push(vector::dot_binary(&ctx.pk, alpha, v_l));
                 for gamma in &masks.gammas {
-                    flat.push(vector::dot_binary(&ctx.pk, gamma, v_l));
+                    stats.push(vector::dot_binary(&ctx.pk, gamma, v_l));
                 }
-            }
-        }
+                stats
+            });
+        let flat: Vec<Ciphertext> = per_split.into_iter().flatten().collect();
         ctx.metrics
             .add_ciphertext_ops((alpha.len() * flat.len().max(1)) as u64);
         flat

@@ -27,7 +27,7 @@ use crate::party::PartyContext;
 use crate::stats::{pooled_statistics, LocalSplits, SplitLayout};
 use pivot_bignum::BigUint;
 use pivot_mpc::Share;
-use pivot_paillier::{vector, Ciphertext};
+use pivot_paillier::{batch, vector, Ciphertext};
 
 /// Public offset added to fixed-point thresholds before encryption so the
 /// PIR dot product only ever sees non-negative plaintexts (negative
@@ -104,14 +104,19 @@ fn build_node(
         if ctx.id() == winner {
             let inds = &local.indicators[local_feature];
             let n = ctx.view.num_samples();
-            let mut v_l = Vec::with_capacity(n);
-            let mut v_r = Vec::with_capacity(n);
-            for j in 0..n {
-                let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
-                let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
-                v_l.push(vector::dot_binary(&ctx.pk, &lambda_enc, &row));
-                v_r.push(vector::dot_binary(&ctx.pk, &lambda_enc, &comp));
-            }
+            // Theorem-2 PIR selection per sample: independent dot
+            // products, batched over the worker pool.
+            let samples: Vec<usize> = (0..n).collect();
+            let pairs: Vec<(Ciphertext, Ciphertext)> =
+                pivot_runtime::global().map(ctx.crypto_threads(), &samples, |&j| {
+                    let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
+                    let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
+                    (
+                        vector::dot_binary(&ctx.pk, &lambda_enc, &row),
+                        vector::dot_binary(&ctx.pk, &lambda_enc, &comp),
+                    )
+                });
+            let (v_l, v_r): (Vec<Ciphertext>, Vec<Ciphertext>) = pairs.into_iter().unzip();
             ctx.metrics.add_ciphertext_ops((2 * n * n_splits) as u64);
             let enc_vals: Vec<BigUint> = local.candidates[local_feature]
                 .thresholds
@@ -161,25 +166,27 @@ fn masked_product(
     winner: usize,
 ) -> Vec<Ciphertext> {
     ctx.metrics.time(Stage::ModelUpdate, || {
-        let my_terms: Vec<Ciphertext> = alpha_shares
+        let threads = ctx.crypto_threads();
+        let share_values: Vec<BigUint> = alpha_shares
             .iter()
-            .zip(v)
-            .map(|(s, vj)| ctx.pk.mul_plain(vj, &BigUint::from_u64(s.0.value())))
+            .map(|s| BigUint::from_u64(s.0.value()))
             .collect();
+        let my_terms = batch::mul_plain_batch(&ctx.pk, v, &share_values, threads);
         ctx.metrics.add_ciphertext_ops(my_terms.len() as u64);
+        // The gather wait is CPU-idle: top up the randomness pool.
+        ctx.nonces.refill();
         let gathered = ctx.ep.gather(winner, &my_terms);
         if ctx.id() == winner {
             let parts = gathered.expect("winner gathers");
             let n = alpha_shares.len();
-            let sums: Vec<Ciphertext> = (0..n)
-                .map(|j| {
-                    let mut acc = parts[0][j].clone();
-                    for part in parts.iter().skip(1) {
-                        acc = ctx.pk.add(&acc, &part[j]);
-                    }
-                    acc
-                })
-                .collect();
+            let indices: Vec<usize> = (0..n).collect();
+            let sums: Vec<Ciphertext> = pivot_runtime::global().map(threads, &indices, |&j| {
+                let mut acc = parts[0][j].clone();
+                for part in parts.iter().skip(1) {
+                    acc = ctx.pk.add(&acc, &part[j]);
+                }
+                acc
+            });
             ctx.metrics.add_ciphertext_ops((n * ctx.parties()) as u64);
             ctx.ep.broadcast(&sums);
             sums

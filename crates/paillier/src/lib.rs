@@ -19,10 +19,12 @@
 //! 512-bit for accuracy experiments; tests use smaller fixture keys from
 //! [`fixtures`] to stay fast.
 
+pub mod batch;
 mod ciphertext;
 pub mod encoding;
 pub mod fixtures;
 mod keygen;
+pub mod nonce;
 mod public;
 pub mod threshold;
 pub mod vector;
@@ -30,5 +32,6 @@ mod wire_impls;
 
 pub use ciphertext::Ciphertext;
 pub use keygen::{keygen, keypair_from_primes, KeyPair, PrivateKey};
+pub use nonce::{NoncePool, NonceStats};
 pub use public::PublicKey;
 pub use threshold::{threshold_keygen, PartialDecryption, SecretKeyShare, ThresholdKeyPair};

@@ -1,0 +1,307 @@
+//! Offline randomness pool: precomputed Paillier nonce powers.
+//!
+//! Every online Paillier encryption pays one full `r^N mod N²`
+//! exponentiation — by far its dominant cost. Those powers are *input
+//! independent*: they can be precomputed during idle phases (keygen/setup,
+//! the network waits between threshold-decryption rounds) by background
+//! workers, turning an online `encrypt` into one modular multiplication
+//! plus a binomial add.
+//!
+//! # Determinism contract
+//!
+//! The pool owns a seeded RNG — the party's dedicated *nonce stream* — and
+//! draws `r` values from it **in a single defined order** under one lock:
+//! refills draw in FIFO order and consumers pop in FIFO order, so the i-th
+//! nonce handed out is always the i-th draw of the stream, whether it was
+//! precomputed by a background worker or computed inline on a miss. A run
+//! with the pool disabled (`target = 0`) therefore produces bit-identical
+//! ciphertexts to a run with any pool size, and the parallel `-PP` path
+//! stays byte-identical to the serial path.
+
+use crate::PublicKey;
+use pivot_bignum::{rng as brng, BigUint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counters describing how the pool behaved during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NonceStats {
+    /// Takes served by an already-computed precomputed power.
+    pub hits: u64,
+    /// Takes that had to compute (or wait for) the power online.
+    pub misses: u64,
+    /// Powers precomputed by background workers.
+    pub produced: u64,
+    /// Configured pool size (0 = offline precomputation disabled).
+    pub target: u64,
+}
+
+impl NonceStats {
+    /// Hit rate in `[0, 1]`, or `None` when nothing was taken.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// One queued nonce power, filled asynchronously by a worker — or
+/// *stolen* by the consumer: if the background job has not started when
+/// the slot is taken, the consumer grabs the drawn `r` and computes
+/// `r^N` inline rather than waiting behind the worker queue (a take must
+/// never cost more than one exponentiation).
+enum SlotState {
+    /// `r` drawn, background job not started yet (stealable).
+    Pending(BigUint),
+    /// A thread is computing `r^N` right now.
+    Computing,
+    /// Ready for pickup.
+    Done(BigUint),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+struct PoolState {
+    /// The party's nonce stream; every `r` is drawn from here under the
+    /// state lock, in refill/inline order.
+    rng: StdRng,
+    /// Precomputed (or in-flight) nonce powers in draw order.
+    queue: VecDeque<Arc<Slot>>,
+}
+
+/// Per-party pool of precomputed Paillier nonce powers `r^N mod N²`.
+pub struct NoncePool {
+    pk: PublicKey,
+    state: Mutex<PoolState>,
+    /// Desired number of precomputed powers; 0 disables background work
+    /// entirely (every take computes inline from the same stream).
+    target: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    produced: AtomicU64,
+}
+
+impl NoncePool {
+    /// Create a pool over `pk` with its own seeded nonce stream.
+    pub fn new(pk: PublicKey, seed: u64, target: usize) -> Arc<NoncePool> {
+        Arc::new(NoncePool {
+            pk,
+            state: Mutex::new(PoolState {
+                rng: StdRng::seed_from_u64(seed),
+                queue: VecDeque::new(),
+            }),
+            target,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            produced: AtomicU64::new(0),
+        })
+    }
+
+    /// Configured pool size.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> NonceStats {
+        NonceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            produced: self.produced.load(Ordering::Relaxed),
+            target: self.target as u64,
+        }
+    }
+
+    /// Top the pool back up to `target` using background workers. Cheap to
+    /// call opportunistically (no-ops when the pool is full or disabled);
+    /// call it during idle phases — after setup, before a blocking
+    /// network exchange — so the exponentiations overlap the wait.
+    pub fn refill(self: &Arc<Self>) {
+        if self.target == 0 {
+            return;
+        }
+        // Draw the r values under the state lock so the stream order is
+        // defined, then farm the exponentiations out. Jobs hold only a
+        // Weak pool reference: dropping the pool (end of a party run)
+        // turns any still-queued backlog into no-ops instead of letting
+        // it burn workers under the next timed run.
+        let mut work: Vec<Arc<Slot>> = Vec::new();
+        {
+            let mut st = self.state.lock().expect("nonce pool poisoned");
+            while st.queue.len() < self.target {
+                let r = brng::gen_coprime(&mut st.rng, self.pk.n());
+                let slot = Arc::new(Slot {
+                    state: Mutex::new(SlotState::Pending(r)),
+                    done: Condvar::new(),
+                });
+                st.queue.push_back(Arc::clone(&slot));
+                work.push(slot);
+            }
+        }
+        for slot in work {
+            let weak = Arc::downgrade(self);
+            pivot_runtime::global().spawn(move || {
+                let Some(pool) = weak.upgrade() else { return };
+                let r = {
+                    let mut state = slot.state.lock().expect("slot poisoned");
+                    match std::mem::replace(&mut *state, SlotState::Computing) {
+                        SlotState::Pending(r) => r,
+                        // Stolen by the consumer (or already finished):
+                        // nothing left to do; restore what we displaced.
+                        other => {
+                            *state = other;
+                            return;
+                        }
+                    }
+                };
+                let rn = pool.pk.mont().pow(&r, pool.pk.n());
+                *slot.state.lock().expect("slot poisoned") = SlotState::Done(rn);
+                slot.done.notify_all();
+                pool.produced.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Take the next nonce power `r^N mod N²` from the stream.
+    pub fn take(self: &Arc<Self>) -> BigUint {
+        let slot = {
+            let mut st = self.state.lock().expect("nonce pool poisoned");
+            match st.queue.pop_front() {
+                Some(slot) => Ok(slot),
+                // Queue empty: draw the next r inline, same stream order.
+                None => Err(brng::gen_coprime(&mut st.rng, self.pk.n())),
+            }
+        };
+        match slot {
+            Ok(slot) => {
+                let mut state = slot.state.lock().expect("slot poisoned");
+                match std::mem::replace(&mut *state, SlotState::Computing) {
+                    SlotState::Done(rn) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        rn
+                    }
+                    SlotState::Pending(r) => {
+                        // Background job hasn't started: steal it and
+                        // compute inline (the job will see `Computing`
+                        // and bail). Bounds the miss cost to one pow —
+                        // no waiting behind the worker queue.
+                        drop(state);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.pk.mont().pow(&r, self.pk.n())
+                    }
+                    SlotState::Computing => {
+                        // A worker is mid-exponentiation: wait for it.
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        loop {
+                            match std::mem::replace(&mut *state, SlotState::Computing) {
+                                SlotState::Done(rn) => break rn,
+                                _ => {
+                                    state = slot.done.wait(state).expect("slot poisoned");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Err(r) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.pk.mont().pow(&r, self.pk.n())
+            }
+        }
+    }
+
+    /// Block until every currently queued precomputation has finished —
+    /// a benchmarking helper separating the offline fill cost from the
+    /// online (one-multiplication) encryption cost. Consumes nothing.
+    pub fn wait_ready(&self) {
+        let slots: Vec<Arc<Slot>> = {
+            let st = self.state.lock().expect("nonce pool poisoned");
+            st.queue.iter().map(Arc::clone).collect()
+        };
+        for slot in slots {
+            let mut state = slot.state.lock().expect("slot poisoned");
+            while !matches!(*state, SlotState::Done(_)) {
+                state = slot.done.wait(state).expect("slot poisoned");
+            }
+        }
+    }
+
+    /// Take `k` nonce powers in stream order, then schedule a background
+    /// top-up so the next batch finds the pool warm.
+    pub fn take_many(self: &Arc<Self>, k: usize) -> Vec<BigUint> {
+        let out = (0..k).map(|_| self.take()).collect();
+        self.refill();
+        out
+    }
+
+    /// The public key this pool serves.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn pk() -> PublicKey {
+        fixtures::threshold_keys(3, 128).pk
+    }
+
+    #[test]
+    fn pooled_and_inline_streams_are_identical() {
+        // Same seed, pool on vs off: identical nonce-power sequences —
+        // the determinism contract behind serial/parallel parity.
+        let inline = NoncePool::new(pk(), 42, 0);
+        let pooled = NoncePool::new(pk(), 42, 8);
+        pooled.refill();
+        for _ in 0..20 {
+            assert_eq!(inline.take(), pooled.take());
+        }
+        let stats = pooled.stats();
+        assert!(stats.hits + stats.misses == 20);
+        assert_eq!(inline.stats().hits, 0);
+    }
+
+    #[test]
+    fn take_many_matches_repeated_take() {
+        let a = NoncePool::new(pk(), 7, 4);
+        let b = NoncePool::new(pk(), 7, 4);
+        let many = a.take_many(6);
+        let singles: Vec<BigUint> = (0..6).map(|_| b.take()).collect();
+        assert_eq!(many, singles);
+    }
+
+    #[test]
+    fn disabled_pool_reports_only_misses() {
+        let p = NoncePool::new(pk(), 1, 0);
+        p.refill(); // no-op
+        let _ = p.take();
+        let stats = p.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.produced, 0);
+        assert_eq!(stats.hit_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn encryption_with_pool_matches_rng_path() {
+        // encrypt via pool nonces == encrypt via an identically seeded RNG.
+        let key = pk();
+        let pool = NoncePool::new(key.clone(), 99, 4);
+        pool.refill();
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..8u64 {
+            let x = BigUint::from_u64(i * 13);
+            let direct = key.encrypt(&x, &mut rng);
+            let via_pool = key.encrypt_with_rn(&x, &pool.take());
+            assert_eq!(direct, via_pool, "nonce {i}");
+        }
+    }
+}

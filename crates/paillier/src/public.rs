@@ -21,6 +21,12 @@ struct PkInner {
     n2: BigUint,
     half_n: BigUint,
     mont_n2: Montgomery,
+    /// `N − 1`: the negation exponent, cached so `neg` stops recomputing
+    /// it per call.
+    n_minus_1: BigUint,
+    /// The trivial encryption of zero (raw value 1), cached so vector
+    /// accumulators stop re-deriving `encrypt_trivial(&zero)` per call.
+    zero_ct: Ciphertext,
 }
 
 impl PublicKey {
@@ -30,12 +36,17 @@ impl PublicKey {
         let n2 = &n * &n;
         let half_n = n.shr_bits(1);
         let mont_n2 = Montgomery::new(&n2);
+        let n_minus_1 = &n - &BigUint::one();
+        // (1+N)^0 · 1^N = 1 mod N².
+        let zero_ct = Ciphertext::from_raw(BigUint::one());
         PublicKey {
             inner: Arc::new(PkInner {
                 n,
                 n2,
                 half_n,
                 mont_n2,
+                n_minus_1,
+                zero_ct,
             }),
         }
     }
@@ -77,20 +88,39 @@ impl PublicKey {
     /// Encrypt with caller-supplied randomness (used by ZKP provers and
     /// deterministic tests).
     pub fn encrypt_with(&self, x: &BigUint, r: &BigUint) -> Ciphertext {
-        let x = x.rem_of(self.n());
-        // (1+N)^x = 1 + xN mod N²
-        let gx = (BigUint::one() + &x * self.n()).rem_of(self.n_squared());
         // r^N mod N²
         let rn = self.mont().pow(r, self.n());
-        let c = self.mont().mul(&gx, &rn);
-        Ciphertext::from_raw(c)
+        self.encrypt_with_rn(x, &rn)
+    }
+
+    /// Encrypt with a *precomputed* nonce power `rn = r^N mod N²` (the
+    /// offline-randomness fast path): one modular multiplication plus the
+    /// binomial add — no online exponentiation.
+    pub fn encrypt_with_rn(&self, x: &BigUint, rn: &BigUint) -> Ciphertext {
+        let x = x.rem_of(self.n());
+        if x.is_zero() {
+            // (1+N)^0 = 1: the ciphertext is the nonce power itself.
+            return Ciphertext::from_raw(rn.clone());
+        }
+        // (1+N)^x = 1 + xN mod N²
+        let gx = (BigUint::one() + &x * self.n()).rem_of(self.n_squared());
+        Ciphertext::from_raw(self.mont().mul(&gx, rn))
     }
 
     /// The trivial (deterministic, randomness = 1) encryption of `x`.
     /// Used for public constants; NOT semantically secure on its own.
     pub fn encrypt_trivial(&self, x: &BigUint) -> Ciphertext {
+        if x.is_zero() {
+            return self.inner.zero_ct.clone();
+        }
         let x = x.rem_of(self.n());
         Ciphertext::from_raw((BigUint::one() + &x * self.n()).rem_of(self.n_squared()))
+    }
+
+    /// The cached trivial encryption of zero (raw value 1) — the identity
+    /// of homomorphic addition.
+    pub fn trivial_zero(&self) -> &Ciphertext {
+        &self.inner.zero_ct
     }
 
     /// Homomorphic addition (paper Eqn 1): `[x1] ⊕ [x2] = [x1 + x2]`.
@@ -112,16 +142,20 @@ impl PublicKey {
 
     /// Homomorphic negation: `[x] → [N - x]`.
     pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
-        // c^{N-1} = [ (N-1) x ] = [-x mod N]
-        let exp = self.n() - &BigUint::one();
-        self.mul_plain(a, &exp)
+        // c^{N-1} = [ (N-1) x ] = [-x mod N]; exponent cached in PkInner.
+        self.mul_plain(a, &self.inner.n_minus_1)
     }
 
     /// Re-randomize a ciphertext (multiply by a fresh encryption of zero).
     pub fn rerandomize<R: Rng + ?Sized>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
         let r = brng::gen_coprime(rng, self.n());
         let rn = self.mont().pow(&r, self.n());
-        Ciphertext::from_raw(self.mont().mul(a.raw(), &rn))
+        self.rerandomize_with_rn(a, &rn)
+    }
+
+    /// Re-randomize with a precomputed nonce power `rn = r^N mod N²`.
+    pub fn rerandomize_with_rn(&self, a: &Ciphertext, rn: &BigUint) -> Ciphertext {
+        Ciphertext::from_raw(self.mont().mul(a.raw(), rn))
     }
 }
 

@@ -41,9 +41,10 @@ pub struct Combiner {
 pub struct SecretKeyShare {
     /// 1-based party index (the Shamir evaluation point).
     pub index: usize,
-    s_i: BigUint,
     pk: PublicKey,
-    delta: Arc<BigUint>,
+    /// `2Δsᵢ` — the partial-decryption exponent, precomputed once from the
+    /// Shamir evaluation `sᵢ` instead of re-multiplied per ciphertext.
+    two_delta_s: BigUint,
 }
 
 /// A partial decryption `cᵢ`, tagged with the producing party's index.
@@ -121,11 +122,11 @@ pub fn threshold_from_safe_primes<R: Rng + ?Sized>(
     let shares = (1..=m)
         .map(|i| {
             let s_i = eval_poly(&coeffs, i as u64, &nm);
+            let two_delta_s = &(&BigUint::from_u64(2) * &*delta) * &s_i;
             SecretKeyShare {
                 index: i,
-                s_i,
                 pk: pk.clone(),
-                delta: Arc::clone(&delta),
+                two_delta_s,
             }
         })
         .collect();
@@ -166,10 +167,9 @@ fn factorial(m: usize) -> BigUint {
 impl SecretKeyShare {
     /// Produce this party's partial decryption `cᵢ = c^{2Δsᵢ} mod N²`.
     pub fn partial_decrypt(&self, c: &Ciphertext) -> PartialDecryption {
-        let exp = &(&BigUint::from_u64(2) * &*self.delta) * &self.s_i;
         PartialDecryption {
             index: self.index,
-            value: self.pk.mont().pow(c.raw(), &exp),
+            value: self.pk.mont().pow(c.raw(), &self.two_delta_s),
         }
     }
 }
@@ -203,18 +203,31 @@ impl Combiner {
         );
 
         let n2 = self.pk.n_squared();
-        let mut c_prime = BigUint::one();
+        // Split `Π cᵢ^{2λᵢ}` by coefficient sign into two simultaneous
+        // multi-exponentiations (shared squaring chain, Shamir's trick)
+        // and pay a single modular inversion for the whole negative part
+        // instead of one per negative coefficient.
+        let mut exps: Vec<(BigUint, Sign)> = Vec::with_capacity(subset.len());
         for part in subset {
             // λᵢ = Δ · Π_{j≠i} j / (j - i)  — an integer thanks to Δ = m!.
             let lambda = lagrange_at_zero(&self.delta, part.index as i128, &indices);
-            let exp2 = two_lambda_abs(&lambda);
-            let powed = self.pk.mont().pow(&part.value, &exp2);
-            let term = if lambda.sign() == Sign::Negative {
-                mod_inverse(&powed, n2).expect("partial decryption is a unit mod N²")
-            } else {
-                powed
-            };
-            c_prime = self.pk.mont().mul(&c_prime, &term);
+            exps.push((two_lambda_abs(&lambda), lambda.sign()));
+        }
+        let pairs_of = |sign: Sign| -> Vec<(&BigUint, &BigUint)> {
+            subset
+                .iter()
+                .zip(&exps)
+                .filter(|(_, (_, s))| *s == sign)
+                .map(|(p, (e, _))| (&p.value, e))
+                .collect()
+        };
+        let pos = pairs_of(Sign::Positive);
+        let neg = pairs_of(Sign::Negative);
+        let mut c_prime = self.pk.mont().multi_pow(&pos);
+        if !neg.is_empty() {
+            let neg_prod = self.pk.mont().multi_pow(&neg);
+            let inv = mod_inverse(&neg_prod, n2).expect("partial decryptions are units mod N²");
+            c_prime = self.pk.mont().mul(&c_prime, &inv);
         }
         let l = l_function(&c_prime, self.pk.n());
         (&l * &self.inv_4d2_theta).rem_of(self.pk.n())

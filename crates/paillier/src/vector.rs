@@ -19,32 +19,52 @@ pub fn encrypt_vec<R: Rng + ?Sized>(
 /// vectors selecting samples). Only ciphertext multiplications are needed.
 pub fn dot_binary(pk: &PublicKey, enc: &[Ciphertext], select: &[bool]) -> Ciphertext {
     assert_eq!(enc.len(), select.len(), "dimension mismatch in dot product");
-    let mut acc = pk.encrypt_trivial(&BigUint::zero());
+    // Seed the accumulator from the first selected element: multiplying
+    // into the trivial 1 would cost one full Montgomery multiplication
+    // per dot product for nothing (1·c ≡ c mod N²).
+    let mut acc: Option<Ciphertext> = None;
     for (c, &keep) in enc.iter().zip(select) {
         if keep {
-            acc = pk.add(&acc, c);
+            acc = Some(match acc {
+                None => c.clone(),
+                Some(a) => pk.add(&a, c),
+            });
         }
     }
-    acc
+    acc.unwrap_or_else(|| pk.trivial_zero().clone())
 }
 
 /// Homomorphic dot product `x ⊙ [v]` with an arbitrary plaintext vector
 /// (paper Eqn 3): `Π [vᵢ]^{xᵢ} = [Σ xᵢ·vᵢ]`.
 pub fn dot_plain(pk: &PublicKey, enc: &[Ciphertext], plain: &[BigUint]) -> Ciphertext {
     assert_eq!(enc.len(), plain.len(), "dimension mismatch in dot product");
-    let mut acc = pk.encrypt_trivial(&BigUint::zero());
+    // Split the product: weight-1 terms are plain multiplications; the
+    // rest form one simultaneous multi-exponentiation `Π cᵢ^{xᵢ}` whose
+    // squaring chain is shared across every term (Shamir's trick) instead
+    // of paying a full windowed `mul_plain` per ciphertext.
+    let mut pow_pairs: Vec<(&BigUint, &BigUint)> = Vec::new();
+    let mut acc: Option<Ciphertext> = None;
     for (c, x) in enc.iter().zip(plain) {
         if x.is_zero() {
             continue;
         }
-        let term = if x.is_one() {
-            c.clone()
+        if x.is_one() {
+            acc = Some(match acc {
+                None => c.clone(),
+                Some(a) => pk.add(&a, c),
+            });
         } else {
-            pk.mul_plain(c, x)
-        };
-        acc = pk.add(&acc, &term);
+            pow_pairs.push((c.raw(), x));
+        }
     }
-    acc
+    if !pow_pairs.is_empty() {
+        let product = Ciphertext::from_raw(pk.mont().multi_pow(&pow_pairs));
+        acc = Some(match acc {
+            None => product,
+            Some(a) => pk.add(&a, &product),
+        });
+    }
+    acc.unwrap_or_else(|| pk.trivial_zero().clone())
 }
 
 /// Element-wise homomorphic multiplication of an encrypted vector by a
@@ -96,11 +116,17 @@ pub fn select_plain_values(
 
 /// Homomorphic sum of an encrypted vector.
 pub fn sum(pk: &PublicKey, enc: &[Ciphertext]) -> Ciphertext {
-    let mut acc = pk.encrypt_trivial(&BigUint::zero());
-    for c in enc {
-        acc = pk.add(&acc, c);
+    // Seed the accumulator from the first element (see `dot_binary`).
+    match enc.split_first() {
+        None => pk.trivial_zero().clone(),
+        Some((first, rest)) => {
+            let mut acc = first.clone();
+            for c in rest {
+                acc = pk.add(&acc, c);
+            }
+            acc
+        }
     }
-    acc
 }
 
 #[cfg(test)]
