@@ -26,7 +26,7 @@ mod uint;
 
 pub use int::{BigInt, Sign};
 pub use modular::{egcd, gcd, lcm, mod_inverse, mod_mul, mod_pow};
-pub use montgomery::Montgomery;
+pub use montgomery::{ExponentSchedule, Montgomery};
 pub use uint::{BigUint, Limb, LIMB_BITS};
 
 #[cfg(test)]

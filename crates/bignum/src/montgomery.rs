@@ -207,6 +207,49 @@ impl Montgomery {
         acc.expect("exp is nonzero")
     }
 
+    /// Exponentiation by a *pre-recoded* exponent (see
+    /// [`ExponentSchedule::recode`]): the window scan of [`Montgomery::pow_mont`]
+    /// is done once and replayed here, so a fixed exponent shared by a whole
+    /// batch — threshold decryption's `2Δsᵢ` — pays the bit-scan once and
+    /// only tabulates the odd powers its digits actually reference. The
+    /// operation sequence is identical to `pow_mont`'s, so the result is
+    /// bit-for-bit the same.
+    pub fn pow_mont_scheduled(&self, base_m: &[Limb], sched: &ExponentSchedule) -> Vec<Limb> {
+        if sched.zero {
+            return self.r1.clone();
+        }
+        // Odd powers base^(2k+1) up to the largest digit the schedule uses.
+        let mut odd_pow = Vec::with_capacity(sched.max_index + 1);
+        odd_pow.push(base_m.to_vec());
+        if sched.max_index > 0 {
+            let base_sq = self.mont_sqr(base_m);
+            for i in 1..=sched.max_index {
+                let next = self.mont_mul(&odd_pow[i - 1], &base_sq);
+                odd_pow.push(next);
+            }
+        }
+        let mut acc = odd_pow[sched.first].clone();
+        for &(squarings, index) in &sched.steps {
+            for _ in 0..squarings {
+                acc = self.mont_sqr(&acc);
+            }
+            acc = self.mont_mul(&acc, &odd_pow[index]);
+        }
+        for _ in 0..sched.tail {
+            acc = self.mont_sqr(&acc);
+        }
+        acc
+    }
+
+    /// `base^exp mod n` through a precomputed [`ExponentSchedule`].
+    pub fn pow_scheduled(&self, base: &BigUint, sched: &ExponentSchedule) -> BigUint {
+        if sched.zero {
+            return BigUint::one().rem_of(&self.modulus());
+        }
+        let base_m = self.to_mont(base);
+        self.from_mont(&self.pow_mont_scheduled(&base_m, sched))
+    }
+
     /// Modular multiplication convenience: `a·b mod n` on plain values.
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let am = self.to_mont(a);
@@ -285,6 +328,86 @@ impl Montgomery {
             }
         }
         self.from_mont(&acc.expect("at least one nonzero exponent digit"))
+    }
+}
+
+/// A fixed exponent recoded once into the 4-bit sliding-window operation
+/// sequence of [`Montgomery::pow_mont`], shareable across every
+/// exponentiation with that exponent (the fixed-base-style precomputation
+/// of threshold decryption: the exponent `2Δsᵢ` never changes, only the
+/// ciphertext base does).
+#[derive(Clone, Debug)]
+pub struct ExponentSchedule {
+    /// Exponent was zero (result is always 1).
+    zero: bool,
+    /// Odd-power table index of the leading window (`digit >> 1`).
+    first: usize,
+    /// Then, in order: square `squarings` times, multiply by table entry.
+    /// Zero-run squarings are folded into the following window's count —
+    /// the same squaring sequence `pow_mont` performs step by step.
+    steps: Vec<(u32, usize)>,
+    /// Trailing squarings after the last multiply.
+    tail: u32,
+    /// Largest table index referenced (bounds table construction).
+    max_index: usize,
+}
+
+impl ExponentSchedule {
+    /// Recode an exponent with the exact window decomposition of
+    /// [`Montgomery::pow_mont`] (4-bit sliding windows anchored on set low
+    /// bits).
+    pub fn recode(exp: &BigUint) -> ExponentSchedule {
+        if exp.is_zero() {
+            return ExponentSchedule {
+                zero: true,
+                first: 0,
+                steps: Vec::new(),
+                tail: 0,
+                max_index: 0,
+            };
+        }
+        let bits = exp.bits();
+        let mut first: Option<usize> = None;
+        let mut steps = Vec::new();
+        let mut pending_sq: u32 = 0;
+        let mut max_index = 0usize;
+        let mut i = bits as i64 - 1;
+        while i >= 0 {
+            if !exp.bit(i as u32) {
+                pending_sq += 1;
+                i -= 1;
+                continue;
+            }
+            let mut j = (i - 3).max(0);
+            while !exp.bit(j as u32) {
+                j += 1;
+            }
+            let width = (i - j + 1) as u32;
+            let mut digit = 0usize;
+            for b in (j..=i).rev() {
+                digit = (digit << 1) | usize::from(exp.bit(b as u32));
+            }
+            debug_assert!(digit % 2 == 1 && digit < 16);
+            let index = digit >> 1;
+            max_index = max_index.max(index);
+            match first {
+                // Scan starts at the set MSB, so no squarings precede the
+                // leading window.
+                None => first = Some(index),
+                Some(_) => {
+                    steps.push((pending_sq + width, index));
+                    pending_sq = 0;
+                }
+            }
+            i = j - 1;
+        }
+        ExponentSchedule {
+            zero: false,
+            first: first.expect("nonzero exponent has a leading window"),
+            steps,
+            tail: pending_sq,
+            max_index,
+        }
     }
 }
 
@@ -417,6 +540,43 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn even_modulus_rejected() {
         Montgomery::new(&big(100));
+    }
+
+    #[test]
+    fn scheduled_pow_matches_pow_mont() {
+        let n =
+            BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+                .unwrap();
+        let ctx = Montgomery::new(&n);
+        let base = BigUint::from_hex("deadbeefcafebabe0123456789").unwrap();
+        for exp in [
+            BigUint::zero(),
+            BigUint::one(),
+            big(0x8000_0000_0000_0001),
+            big(0x1111_1111_1111_1111),
+            big(0xffff_ffff_ffff_ffff),
+            big(0b1011_0000_0000_0101),
+            big(16),
+            BigUint::from_hex("2b7e151628aed2a6abf7158809cf4f3c762e7160f38b4da56a784d90").unwrap(),
+        ] {
+            let sched = ExponentSchedule::recode(&exp);
+            assert_eq!(
+                ctx.pow_scheduled(&base, &sched),
+                ctx.pow(&base, &exp),
+                "exp {exp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_reusable_across_bases() {
+        let n = big(1_000_000_007);
+        let ctx = Montgomery::new(&n);
+        let exp = big(0xdead_beef_1234);
+        let sched = ExponentSchedule::recode(&exp);
+        for b in [2u128, 3, 12345, 999_999_999] {
+            assert_eq!(ctx.pow_scheduled(&big(b), &sched), ctx.pow(&big(b), &exp));
+        }
     }
 
     #[test]

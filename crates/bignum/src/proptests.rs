@@ -150,6 +150,19 @@ proptest! {
     }
 
     #[test]
+    fn scheduled_pow_matches_pow_mont(base in arb_biguint(), exp in arb_biguint(), m in arb_nonzero()) {
+        // The shared-recoding path (fixed exponent replayed across a batch
+        // of bases) must be bit-identical to the per-call sliding-window
+        // scan of Montgomery::pow — the partial-decryption parity contract.
+        let mut m = m;
+        if m.is_even() { m.add_assign_ref(&BigUint::one()); }
+        if m.is_one() { m = BigUint::from_u64(3); }
+        let ctx = Montgomery::new(&m);
+        let sched = crate::ExponentSchedule::recode(&exp);
+        prop_assert_eq!(ctx.pow_scheduled(&base, &sched), ctx.pow(&base, &exp));
+    }
+
+    #[test]
     fn mod_inverse_is_inverse(a in arb_nonzero(), m in arb_nonzero()) {
         let mut m = m;
         if m.is_one() { m = BigUint::from_u64(5); }

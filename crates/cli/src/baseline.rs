@@ -172,8 +172,10 @@ fn algo_json(exec: &Execution) -> Json {
                 .with("prediction", p0.stage_s[3]),
         )
         .with("bytes_sent_party0", p0.train_bytes_sent)
+        .with("stats_bytes_sent_party0", p0.stats_bytes_sent)
         .with("encryptions", p0.encryptions)
         .with("threshold_decryptions", p0.threshold_decryptions)
+        .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
         .with(
             "pool_hit_rate",
             match p0.pool.hit_rate() {

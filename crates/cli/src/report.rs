@@ -88,7 +88,29 @@ fn counters_json(exec: &Execution) -> Json {
         .with("mpc_rounds", p0.mpc_rounds)
         .with("secure_mults", p0.secure_mults)
         .with("secure_comparisons", p0.secure_comparisons)
+        .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
+        .with("packing", packing_json(p0))
         .with("randomness_pool", pool_json(&p0.pool))
+}
+
+/// Ciphertext-packing behavior of one party: how many packed ciphertexts
+/// were emitted, how many plaintext values they carried, and the slot
+/// occupancy (values / capacity; null when nothing was packed).
+fn packing_json(p: &crate::runner::PartyOutcome) -> Json {
+    let (cts, values, capacity) = p.packed;
+    Json::obj()
+        .with("ciphertexts", cts)
+        .with("values", values)
+        .with("slot_capacity", capacity)
+        .with(
+            "occupancy",
+            if capacity > 0 {
+                Json::Num(values as f64 / capacity as f64)
+            } else {
+                Json::Null
+            },
+        )
+        .with("stats_bytes_sent", p.stats_bytes_sent)
 }
 
 /// Offline randomness-pool behavior of one party (hit rate is null when
@@ -244,6 +266,7 @@ pub fn bench_report(scenario: &Scenario, axis: &str, results: &[(usize, Executio
                 .with("algorithm", exec.algo.label())
                 .with("train_wall_s", p0.train_wall_s)
                 .with("bytes_sent_party0", p0.train_bytes_sent)
+                .with("stats_bytes_sent_party0", p0.stats_bytes_sent)
                 .with(
                     "bytes_sent_all_parties",
                     exec.parties.iter().map(|p| p.train_bytes_sent).sum::<u64>(),
@@ -281,6 +304,9 @@ mod tests {
             mpc_rounds: 7,
             secure_mults: 8,
             secure_comparisons: 9,
+            split_stat_ciphertexts: 54,
+            packed: (9, 57, 63),
+            stats_bytes_sent: 640,
             pool: pivot_paillier::NonceStats {
                 hits: 6,
                 misses: 2,

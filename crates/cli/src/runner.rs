@@ -40,6 +40,12 @@ pub struct PartyOutcome {
     pub mpc_rounds: u64,
     pub secure_mults: u64,
     pub secure_comparisons: u64,
+    /// Pooled split-statistics ciphertexts (what packing divides).
+    pub split_stat_ciphertexts: u64,
+    /// Packed emissions: `(ciphertexts, values carried, slot capacity)`.
+    pub packed: (u64, u64, u64),
+    /// Bytes this party sent inside the split-statistics pipeline.
+    pub stats_bytes_sent: u64,
     /// Offline randomness-pool behavior (timing-dependent, *not* part of
     /// the cross-backend parity contract).
     pub pool: pivot_paillier::NonceStats,
@@ -191,6 +197,9 @@ pub fn run_party_protocol(
         mpc_rounds,
         secure_mults,
         secure_comparisons,
+        split_stat_ciphertexts: ctx.metrics.split_stat_ciphertexts(),
+        packed: ctx.metrics.packed(),
+        stats_bytes_sent: ctx.metrics.stats_bytes_sent(),
         pool,
         internal_nodes: model.internal_nodes(),
         tree_depth: model.depth(),

@@ -15,7 +15,7 @@
 use crate::json::Json;
 use crate::toml::{TomlDoc, TomlValue};
 use pivot_bench::Algo;
-use pivot_core::config::PivotParams;
+use pivot_core::config::{Packing, PivotParams};
 use pivot_data::{synth, Dataset, Task};
 use pivot_transport::NetConfig;
 use pivot_trees::TreeParams;
@@ -153,6 +153,33 @@ impl Default for ModelSpec {
     }
 }
 
+/// `params.packing`: `"off"`, `"auto"`, or an explicit slot count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PackingSpec {
+    #[default]
+    Off,
+    Auto,
+    Slots(usize),
+}
+
+impl PackingSpec {
+    fn to_core(self) -> Packing {
+        match self {
+            PackingSpec::Off => Packing::Off,
+            PackingSpec::Auto => Packing::Auto,
+            PackingSpec::Slots(n) => Packing::Slots(n),
+        }
+    }
+
+    fn echo(self) -> Json {
+        match self {
+            PackingSpec::Off => Json::Str("off".into()),
+            PackingSpec::Auto => Json::Str("auto".into()),
+            PackingSpec::Slots(n) => Json::Num(n as f64),
+        }
+    }
+}
+
 /// `[params]` section → [`PivotParams`].
 #[derive(Clone, Debug)]
 pub struct ParamSpec {
@@ -166,6 +193,11 @@ pub struct ParamSpec {
     pub crypto_threads: usize,
     /// Offline randomness-pool size (precomputed `r^N` nonce powers).
     pub randomness_pool: usize,
+    /// Ciphertext packing for the split-statistics pipeline: `"off"`
+    /// keeps the pre-packing transcript bit-identical, `"auto"` packs as
+    /// many audited slots as the keysize admits, an integer forces the
+    /// slot count.
+    pub packing: PackingSpec,
 }
 
 impl Default for ParamSpec {
@@ -178,6 +210,7 @@ impl Default for ParamSpec {
             parallel_decrypt: false,
             crypto_threads: 6,
             randomness_pool: 256,
+            packing: PackingSpec::Off,
         }
     }
 }
@@ -477,6 +510,7 @@ const PARAM_KEYS: &[&str] = &[
     // Deprecated alias of crypto_threads (PR-2 name, decryption-only).
     "decrypt_threads",
     "randomness_pool",
+    "packing",
 ];
 const MODEL_KEYS: &[&str] = &[
     "kind",
@@ -603,6 +637,32 @@ impl Scenario {
         };
 
         let pd = ParamSpec::default();
+        let packing = match doc.raw_kind("params", "packing")? {
+            None => pd.packing,
+            Some(RawValue::Str(s)) => match s.as_str() {
+                "off" => PackingSpec::Off,
+                "auto" => PackingSpec::Auto,
+                other => {
+                    return Err(format!(
+                        "params.packing: unknown mode {other:?} (expected \"off\", \
+                         \"auto\", or a slot count)"
+                    ))
+                }
+            },
+            // A 1-slot layout packs nothing, and the sweep axis uses the
+            // literal 1 to mean "auto" — reject the ambiguous value here.
+            Some(RawValue::Int(v)) if v >= 2 => PackingSpec::Slots(v as usize),
+            Some(RawValue::Num(v)) if v >= 2.0 && v.fract() == 0.0 => {
+                PackingSpec::Slots(v as usize)
+            }
+            Some(_) => {
+                return Err(
+                    "params.packing: expected \"off\", \"auto\", or a slot count >= 2 \
+                     (a 1-slot layout packs nothing)"
+                        .into(),
+                )
+            }
+        };
         let crypto_threads = doc.get_usize("params", "crypto_threads")?;
         let decrypt_threads = doc.get_usize("params", "decrypt_threads")?;
         if crypto_threads.is_some() && decrypt_threads.is_some() {
@@ -633,6 +693,7 @@ impl Scenario {
             randomness_pool: doc
                 .get_usize("params", "randomness_pool")?
                 .unwrap_or(pd.randomness_pool),
+            packing,
         };
 
         let md = ModelSpec::default();
@@ -673,6 +734,7 @@ impl Scenario {
                     "max_depth",
                     "latency_us",
                     "bandwidth_mbps",
+                    "packing",
                 ];
                 if !AXES.contains(&vary.as_str()) {
                     return Err(format!(
@@ -892,6 +954,7 @@ impl Scenario {
         p.parallel_decrypt |= self.params.parallel_decrypt;
         p.crypto_threads = self.params.crypto_threads;
         p.randomness_pool = self.params.randomness_pool;
+        p.packing = self.params.packing.to_core();
         p
     }
 
@@ -964,7 +1027,8 @@ impl Scenario {
                     .with("keysize", u64::from(self.params.keysize))
                     .with("parallel_decrypt", self.params.parallel_decrypt)
                     .with("crypto_threads", self.params.crypto_threads)
-                    .with("randomness_pool", self.params.randomness_pool),
+                    .with("randomness_pool", self.params.randomness_pool)
+                    .with("packing", self.params.packing.echo()),
             )
             .with("model", model)
             .with("network", {
@@ -1010,6 +1074,15 @@ impl Scenario {
             // within one process (the old env-var latch could not).
             "latency_us" => s.network.latency_us = Some(value as u64),
             "bandwidth_mbps" => s.network.bandwidth_mbps = Some(value as f64),
+            // Packing axis: 0 = off, 1 = auto, n ≥ 2 = exactly n slots —
+            // the off-vs-auto A/B the packing baseline records.
+            "packing" => {
+                s.params.packing = match value {
+                    0 => PackingSpec::Off,
+                    1 => PackingSpec::Auto,
+                    n => PackingSpec::Slots(n),
+                }
+            }
             other => panic!("unvalidated sweep axis {other:?}"),
         }
         s
@@ -1093,6 +1166,50 @@ mod tests {
         assert_eq!(
             echo.path("params.randomness_pool").unwrap().as_u64(),
             Some(64)
+        );
+    }
+
+    #[test]
+    fn packing_knob_parses_and_applies() {
+        // Default off, string modes, explicit slot counts.
+        let s = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert_eq!(s.params.packing, PackingSpec::Off);
+        assert_eq!(
+            s.pivot_params(Algo::PivotBasic).packing,
+            pivot_core::config::Packing::Off
+        );
+        let s = parse_toml("[params]\npacking = \"auto\"").unwrap();
+        assert_eq!(s.params.packing, PackingSpec::Auto);
+        assert_eq!(
+            s.pivot_params(Algo::PivotEnhancedPp).packing,
+            pivot_core::config::Packing::Auto
+        );
+        assert_eq!(
+            s.to_json().path("params.packing").unwrap().as_str(),
+            Some("auto")
+        );
+        let s = parse_toml("[params]\npacking = 4").unwrap();
+        assert_eq!(s.params.packing, PackingSpec::Slots(4));
+        assert_eq!(
+            s.to_json().path("params.packing").unwrap().as_u64(),
+            Some(4)
+        );
+        // Invalid values are hard errors (typos must not silently run),
+        // and the integer 1 is rejected as ambiguous: the sweep axis uses
+        // 1 to mean "auto" while an explicit 1-slot layout packs nothing.
+        assert!(parse_toml("[params]\npacking = \"yes\"").is_err());
+        assert!(parse_toml("[params]\npacking = 0").is_err());
+        assert!(parse_toml("[params]\npacking = 1").is_err());
+    }
+
+    #[test]
+    fn packing_axis_is_sweepable() {
+        let s = parse_toml("[sweep]\nvary = \"packing\"\nvalues = [0, 1, 3]").unwrap();
+        assert_eq!(s.with_axis("packing", 0).params.packing, PackingSpec::Off);
+        assert_eq!(s.with_axis("packing", 1).params.packing, PackingSpec::Auto);
+        assert_eq!(
+            s.with_axis("packing", 3).params.packing,
+            PackingSpec::Slots(3)
         );
     }
 

@@ -1,7 +1,8 @@
 //! Protocol configuration (paper Table 4 parameters plus implementation
 //! knobs).
 
-use pivot_mpc::FixedConfig;
+use pivot_mpc::{FixedConfig, MODULUS};
+use pivot_paillier::SlotCodec;
 use pivot_trees::TreeParams;
 
 /// Which Pivot protocol variant to run.
@@ -11,6 +12,40 @@ pub enum Protocol {
     Basic,
     /// §5: split thresholds and leaf labels stay concealed.
     Enhanced,
+}
+
+/// Ciphertext packing for the split-statistics pipeline (SecureBoost+
+/// style, see `pivot_paillier::packing`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Packing {
+    /// No packing: every statistic is its own ciphertext — bit-identical
+    /// to the pre-packing (PR-3) transcript.
+    Off,
+    /// Pack with as many slots as the keysize admits under the slot-width
+    /// audit ([`PivotParams::slot_plan`]).
+    Auto,
+    /// Pack with exactly this many slots (must not exceed the audited
+    /// maximum; rejected by [`PivotParams::assert_valid`] otherwise).
+    Slots(usize),
+}
+
+/// The audited slot layout for one run: how wide a slot must be and how
+/// many fit a ciphertext.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// Slot width in bits (no slot-sum may ever reach `2^slot_bits`).
+    pub slot_bits: u32,
+    /// Slots per ciphertext.
+    pub slots: usize,
+}
+
+impl SlotPlan {
+    /// Materialize the codec for this plan. The signedness offset is the
+    /// Algorithm-2 offset `2^(int_bits−1)` — exactly the constant the
+    /// scalar conversion adds before joint decryption.
+    pub fn codec(&self, fixed: &FixedConfig) -> SlotCodec {
+        SlotCodec::with_offset(self.slot_bits, self.slots, fixed.int_bits - 1)
+    }
 }
 
 /// Full parameter set for a Pivot training/prediction session.
@@ -41,6 +76,11 @@ pub struct PivotParams {
     /// background workers keep precomputed (0 disables precomputation).
     /// Only active under `parallel_decrypt`; has no effect on outputs.
     pub randomness_pool: usize,
+    /// Ciphertext packing for split statistics. `Off` keeps the exact
+    /// pre-packing transcript; `Auto`/`Slots(_)` train the *same tree*
+    /// (argmax parity) over packed statistics and level-wise batched
+    /// conversions.
+    pub packing: Packing,
     /// Common seed for the simulated MPC offline phase.
     pub dealer_seed: u64,
 }
@@ -55,6 +95,7 @@ impl Default for PivotParams {
             parallel_decrypt: false,
             crypto_threads: 6,
             randomness_pool: 256,
+            packing: Packing::Off,
             dealer_seed: 0x9162_07,
         }
     }
@@ -93,8 +134,70 @@ impl PivotParams {
         }
     }
 
+    /// The slot-width audit (ROADMAP: "slot-width audit against the gain
+    /// pipeline's `n²·2^f` bound"): how wide a packed slot must be so that
+    /// over a packed statistic's whole life no slot sum ever carries into
+    /// its neighbour. The worst case per slot is
+    ///
+    /// `n²·2^f` (statistic bound) `+ 2^(int_bits−1)` (Algorithm-2
+    /// signedness offset) `+ m·(p−1)` (every party's conversion mask),
+    ///
+    /// and the audited width is `bits(worst_case)`. Returns the width and
+    /// how many such slots the keysize admits (`None` under
+    /// [`Packing::Off`]).
+    pub fn slot_plan(
+        &self,
+        parties: usize,
+        n_samples: usize,
+        regression: bool,
+    ) -> Option<SlotPlan> {
+        if self.packing == Packing::Off {
+            return None;
+        }
+        let n = (n_samples as u128).max(4);
+        let m = parties as u128;
+        // Widest label multiplier per sample: class indicators are 0/1;
+        // offset regression moments reach (y+1)² · 2^f ≤ 4·2^f.
+        let label_bound: u128 = if regression {
+            1u128 << (self.fixed.frac_bits + 2)
+        } else {
+            1
+        };
+        // Per-sample mask plaintext: the basic protocol's [α] is an exact
+        // 0/1 bit, but the enhanced Eqn-10 update rebuilds [α] as a sum of
+        // m share terms, so its plaintext carries a mod-p slack multiple
+        // bounded by m·p at *every* level (the per-level conversion
+        // re-reduces, so slack never compounds across depths).
+        let alpha_bound: u128 = match self.protocol {
+            Protocol::Basic => 1,
+            Protocol::Enhanced => m * (MODULUS as u128),
+        };
+        // `max(n,4)²·2^f` keeps the documented gain-pipeline discipline as
+        // the floor even when the direct product bound is smaller.
+        let floor = (n * n) << self.fixed.frac_bits;
+        let stat_bound = (n * alpha_bound * label_bound).max(floor);
+        let offset = 1u128 << (self.fixed.int_bits - 1);
+        let mask_bound = m * (MODULUS as u128 - 1);
+        let worst = stat_bound + offset + mask_bound;
+        let slot_bits = 128 - worst.leading_zeros();
+        let max_slots = SlotCodec::max_slots(self.keysize, slot_bits);
+        let slots = match self.packing {
+            Packing::Off => unreachable!("handled above"),
+            Packing::Auto => max_slots,
+            Packing::Slots(n) => n,
+        };
+        Some(SlotPlan { slot_bits, slots })
+    }
+
     /// Validate cross-parameter invariants before running a protocol.
+    /// `assert_valid_for` additionally audits the packing plan against the
+    /// party count (the mask term of the slot-width bound grows with `m`).
     pub fn assert_valid(&self, n_samples: usize) {
+        self.assert_valid_for(n_samples, 2);
+    }
+
+    /// Full validation for a concrete party count.
+    pub fn assert_valid_for(&self, n_samples: usize, parties: usize) {
         self.fixed.assert_valid();
         // Gain-pipeline overflow bound: n²·2^f < p/2 (DESIGN.md §8).
         let n_bits = (usize::BITS - n_samples.leading_zeros()) as u64;
@@ -112,6 +215,33 @@ impl PivotParams {
             self.tree.max_splits >= 1,
             "need at least one candidate split"
         );
+        // Structural packing audit with the narrower classification
+        // bound; [`PivotParams::assert_packing`] re-audits with the real
+        // task once the data view is known (PartyContext::setup).
+        self.assert_packing(parties, n_samples, false);
+    }
+
+    /// Task-aware packing audit: the configured slot count must fit the
+    /// audited slot width for this task/party-count/sample-count.
+    pub fn assert_packing(&self, parties: usize, n_samples: usize, regression: bool) {
+        if let Some(plan) = self.slot_plan(parties, n_samples, regression) {
+            let max_slots = SlotCodec::max_slots(self.keysize, plan.slot_bits);
+            assert!(
+                max_slots >= 1,
+                "packing needs a larger keysize than {} for the audited {}-bit \
+                 slots (m = {parties}, n = {n_samples})",
+                self.keysize,
+                plan.slot_bits
+            );
+            assert!(
+                plan.slots >= 1 && plan.slots <= max_slots,
+                "packing = {} slots exceeds the audited capacity of {max_slots} \
+                 {}-bit slots for keysize {}",
+                plan.slots,
+                plan.slot_bits,
+                self.keysize
+            );
+        }
     }
 }
 
@@ -135,5 +265,68 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn too_many_samples_rejected() {
         PivotParams::default().assert_valid(1 << 25);
+    }
+
+    #[test]
+    fn slot_plan_audits_width_against_masks_and_stats() {
+        let mut p = PivotParams::default();
+        assert!(p.slot_plan(3, 100, false).is_none(), "off means no plan");
+        p.packing = Packing::Auto;
+        let plan = p.slot_plan(3, 100, false).expect("auto plan");
+        // m = 3 masks dominate: 3·(2^61 − 2) + 2^44 + 10⁴·2^20 < 2^63.
+        assert_eq!(plan.slot_bits, 63);
+        // keysize 256 → ⌊255/63⌋ = 4 slots.
+        assert_eq!(plan.slots, 4);
+        p.assert_valid_for(100, 3);
+        // More parties widen the slot: m = 8 → 8·2^61 + offsets ≳ 2^64.
+        assert_eq!(p.slot_plan(8, 100, false).unwrap().slot_bits, 65);
+        // The statistics term matters at large n·2^f: n = 2^15, f = 20
+        // gives n²·2^f = 2^50 — still below the mask term, same width.
+        assert_eq!(p.slot_plan(3, 1 << 15, false).unwrap().slot_bits, 63);
+    }
+
+    #[test]
+    fn enhanced_slack_widens_the_slot() {
+        // The enhanced protocol's Eqn-10 alpha slack multiplies the
+        // statistics bound by m·p: n = 100, m = 3 → 300·2^61 ≈ 2^69.2.
+        let mut p = PivotParams::enhanced();
+        p.packing = Packing::Auto;
+        p.keysize = 512;
+        let classification = p.slot_plan(3, 100, false).unwrap();
+        assert_eq!(classification.slot_bits, 70);
+        assert_eq!(classification.slots, 7);
+        // Regression moments add f + 2 = 22 bits on top.
+        let regression = p.slot_plan(3, 100, true).unwrap();
+        assert_eq!(regression.slot_bits, 92);
+        assert_eq!(regression.slots, 5);
+        // The basic protocol at the same shape stays mask-dominated.
+        let basic = PivotParams {
+            packing: Packing::Auto,
+            keysize: 512,
+            ..Default::default()
+        };
+        assert_eq!(basic.slot_plan(3, 100, true).unwrap().slot_bits, 63);
+    }
+
+    #[test]
+    fn explicit_slot_count_validated_against_capacity() {
+        let mut p = PivotParams {
+            packing: Packing::Slots(2),
+            ..Default::default()
+        };
+        p.assert_valid_for(100, 3);
+        p.packing = Packing::Slots(5);
+        let err = std::panic::catch_unwind(|| p.assert_valid_for(100, 3));
+        assert!(err.is_err(), "5 slots exceed the keysize-256 capacity");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the audited capacity")]
+    fn zero_slot_packing_rejected() {
+        let p = PivotParams {
+            packing: Packing::Slots(0),
+            ..Default::default()
+        };
+        p.assert_valid_for(100, 3);
     }
 }

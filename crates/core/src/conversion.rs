@@ -16,7 +16,7 @@ use crate::decrypt::joint_decrypt_vec;
 use crate::party::PartyContext;
 use pivot_bignum::BigUint;
 use pivot_mpc::{Fp, Share, MODULUS};
-use pivot_paillier::{batch, Ciphertext};
+use pivot_paillier::{batch, Ciphertext, SlotCodec};
 use rand::Rng;
 
 /// Reduce a decrypted plaintext into the share field, interpreting the
@@ -94,6 +94,99 @@ pub fn ciphers_to_shares(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<
 /// Convert one encrypted value into a share.
 pub fn cipher_to_share(ctx: &mut PartyContext<'_>, ct: &Ciphertext) -> Share {
     ciphers_to_shares(ctx, std::slice::from_ref(ct)).remove(0)
+}
+
+/// Algorithm 2 over **packed** ciphertexts: one threshold decryption
+/// yields `used[i]` shares from ciphertext `i` (the packed-to-shares
+/// unpack step). Every party masks every occupied slot with its own
+/// uniform `r ∈ [0, p)` — the masks of one ciphertext are packed into a
+/// single encryption, so the per-value mask-encryption and decryption
+/// costs drop by the packing factor. The per-slot signedness offset
+/// `2^(int_bits−1)` is added through one public packed constant, exactly
+/// mirroring the scalar path.
+///
+/// The slot-width audit (`PivotParams::slot_plan`) guarantees
+/// `value + offset + m·(p−1) < 2^slot_bits`, so slot sums never carry.
+pub fn packed_ciphers_to_shares(
+    ctx: &mut PartyContext<'_>,
+    codec: &SlotCodec,
+    cts: &[&Ciphertext],
+    used: &[usize],
+) -> Vec<Vec<Share>> {
+    assert_eq!(cts.len(), used.len(), "one slot count per ciphertext");
+    if cts.is_empty() {
+        return Vec::new();
+    }
+    let n = cts.len();
+    let k = ctx.params.fixed.int_bits;
+    let offset = BigUint::pow2(k - 1);
+
+    // Per-ciphertext packed masks: `used[i]` uniform draws, flat order.
+    let my_masks: Vec<Vec<u64>> = used
+        .iter()
+        .map(|&u| (0..u).map(|_| ctx.rng.gen_range(0..MODULUS)).collect())
+        .collect();
+    let mask_plaintexts: Vec<BigUint> = my_masks
+        .iter()
+        .map(|row| {
+            let vals: Vec<BigUint> = row.iter().map(|&r| BigUint::from_u64(r)).collect();
+            codec.pack(&vals)
+        })
+        .collect();
+    let threads = ctx.crypto_threads();
+    let my_enc_masks = batch::encrypt_batch(&ctx.pk, &mask_plaintexts, &ctx.nonces, threads);
+    ctx.metrics.add_encryptions(n as u64);
+
+    // Exchange the packed masks; assemble [e] = [x + offsets + Σ rᵢ].
+    ctx.nonces.refill();
+    let all_masks: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_enc_masks);
+    // One public offset ciphertext per distinct occupancy.
+    let max_used = used.iter().copied().max().unwrap_or(0);
+    let enc_offsets: Vec<Ciphertext> = (0..=max_used)
+        .map(|u| {
+            ctx.pk
+                .encrypt_trivial(&codec.pack(&vec![offset.clone(); u]))
+        })
+        .collect();
+    let indices: Vec<usize> = (0..n).collect();
+    let masked: Vec<Ciphertext> = pivot_runtime::global().map(threads, &indices, |&j| {
+        let mut acc = ctx.pk.add(cts[j], &enc_offsets[used[j]]);
+        for party_masks in &all_masks {
+            acc = ctx.pk.add(&acc, &party_masks[j]);
+        }
+        acc
+    });
+    ctx.metrics
+        .add_ciphertext_ops((n * (ctx.parties() + 1)) as u64);
+
+    // One joint decryption per *packed* ciphertext.
+    let opened = joint_decrypt_vec(ctx, &masked);
+
+    // Unpack: slot s of ciphertext i opens to xᵢₛ + 2^(k−1) + Σ r; party 0
+    // keeps e − r₀ − 2^(k−1) mod p, the others keep −r.
+    let p = BigUint::from_u64(MODULUS);
+    let offset_mod_p = Fp::pow2(k - 1);
+    opened
+        .iter()
+        .zip(&my_masks)
+        .zip(used)
+        .map(|((e, masks), &u)| {
+            let slots = codec.unpack(e, u);
+            slots
+                .into_iter()
+                .zip(masks)
+                .map(|(slot, &r)| {
+                    let mine = if ctx.id() == 0 {
+                        let e_mod = Fp::new(slot.rem_of(&p).to_u64().expect("reduced below p"));
+                        e_mod - Fp::new(r) - offset_mod_p
+                    } else {
+                        -Fp::new(r)
+                    };
+                    Share(mine)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// §5.2 reverse conversion: every client encrypts its own share and the

@@ -16,7 +16,7 @@
 use crate::conversion::ciphers_to_shares;
 use crate::metrics::Stage;
 use crate::party::PartyContext;
-use crate::stats::{EncryptedStats, SplitLayout};
+use crate::stats::{EncryptedStats, PackedStats, SplitLayout};
 use pivot_data::Task;
 use pivot_mpc::{Fp, Share};
 
@@ -71,6 +71,79 @@ pub fn convert_stats(
         g_totals: tail[1..].to_vec(),
     };
     if enc.offset_encoded {
+        remove_label_offset(ctx, &mut node);
+    }
+    node
+}
+
+/// Reassemble one node's [`NodeShares`] from the slot shares of its packed
+/// conversion ciphertexts (`shares[i]` aligned with the node's
+/// `stats::conversion_batch` order: chunk-major groups, then
+/// per-chunk totals). Applies the regression offset correction like
+/// [`convert_stats`].
+pub fn node_shares_from_packed(
+    ctx: &PartyContext<'_>,
+    layout: &SplitLayout,
+    packed: &PackedStats,
+    shares: &[Vec<Share>],
+) -> NodeShares {
+    let chunking = &packed.chunking;
+    let gammas = chunking.stride - 1;
+    let total = layout.total();
+    let mut n_l = vec![Share::ZERO; total];
+    let mut g_l: Vec<Vec<Share>> = vec![vec![Share::ZERO; total]; gammas];
+    let mut n_total = Share::ZERO;
+    let mut g_totals = vec![Share::ZERO; gammas];
+
+    let mut idx = 0;
+    for (c, chunk_groups) in packed.groups.iter().enumerate() {
+        let width = chunking.widths[c];
+        let base = c * chunking.chunk_width;
+        let mut split_base = 0usize;
+        for (g, _) in chunk_groups.iter().enumerate() {
+            let slot_shares = &shares[idx];
+            idx += 1;
+            let size = packed.group_sizes[g];
+            assert_eq!(slot_shares.len(), size * width, "packed share shape");
+            for t in 0..size {
+                let split = split_base + t;
+                for off in 0..width {
+                    let stride_idx = base + off;
+                    let share = slot_shares[t * width + off];
+                    if stride_idx == 0 {
+                        n_l[split] = share;
+                    } else {
+                        g_l[stride_idx - 1][split] = share;
+                    }
+                }
+            }
+            split_base += size;
+        }
+        assert_eq!(split_base, total, "groups cover every split");
+    }
+    for (c, _) in packed.totals.iter().enumerate() {
+        let width = chunking.widths[c];
+        let base = c * chunking.chunk_width;
+        let slot_shares = &shares[idx];
+        idx += 1;
+        for off in 0..width {
+            let stride_idx = base + off;
+            if stride_idx == 0 {
+                n_total = slot_shares[off];
+            } else {
+                g_totals[stride_idx - 1] = slot_shares[off];
+            }
+        }
+    }
+    assert_eq!(idx, shares.len(), "consumed every conversion ciphertext");
+
+    let mut node = NodeShares {
+        n_l,
+        g_l,
+        n_total,
+        g_totals,
+    };
+    if packed.offset_encoded {
         remove_label_offset(ctx, &mut node);
     }
     node

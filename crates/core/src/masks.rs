@@ -3,9 +3,10 @@
 
 use crate::metrics::Stage;
 use crate::party::PartyContext;
+use crate::stats::PackedChunking;
 use pivot_bignum::BigUint;
 use pivot_data::Task;
-use pivot_paillier::{batch, Ciphertext};
+use pivot_paillier::{batch, Ciphertext, SlotCodec};
 
 /// The encrypted per-class / per-moment label vectors `[L] = {[γ_k]}`.
 ///
@@ -125,6 +126,133 @@ pub fn compute_label_masks(
         LabelMasks {
             gammas,
             offset_encoded: matches!(task, Task::Regression),
+        }
+    }
+}
+
+/// The packed label vectors: per chunk of the stride, one ciphertext per
+/// sample holding `(α_j, γ_1(j), …)` in consecutive slots. Dot products
+/// against these produce whole packed statistics at once (the SecureBoost+
+/// move: the packing factor divides the per-split ciphertext work).
+pub struct PackedLabels {
+    /// `chunks[c][sample]` — slots `c·chunk_width …` of the stride.
+    pub chunks: Vec<Vec<Ciphertext>>,
+    pub chunking: PackedChunking,
+    pub samples: usize,
+    /// True when regression labels carry the +1 offset encoding.
+    pub offset_encoded: bool,
+}
+
+/// The per-sample packed label multipliers `Σ_k β_k(j)·2^(w·k)` — fixed
+/// for a whole training run (they depend only on the labels, task and
+/// codec), so [`plan_packed_labels`] builds them once and every node
+/// reuses the table. Non-super clients carry no multipliers; they only
+/// receive the broadcast ciphertexts.
+pub struct PackedLabelPlan {
+    pub chunking: PackedChunking,
+    /// `multipliers[chunk][sample]`, super client only.
+    multipliers: Option<Vec<Vec<BigUint>>>,
+    offset_encoded: bool,
+}
+
+/// Precompute the packed label-multiplier table for this run.
+pub fn plan_packed_labels(ctx: &PartyContext<'_>, codec: &SlotCodec) -> PackedLabelPlan {
+    let task = ctx.current_task();
+    let stride = 1 + match task {
+        Task::Classification { classes } => classes,
+        Task::Regression => 2,
+    };
+    let chunking = PackedChunking::new(stride, codec.slots());
+    let multipliers = ctx.is_super_client().then(|| {
+        let labels = ctx.view.labels.as_ref().expect("super client holds labels");
+        (0..chunking.chunks())
+            .map(|c| {
+                let lo = c * chunking.chunk_width;
+                let hi = lo + chunking.widths[c];
+                labels
+                    .iter()
+                    .map(|&y| {
+                        let slot_vals: Vec<BigUint> = (lo..hi)
+                            .map(|t| label_slot_value(ctx, task, y, t))
+                            .collect();
+                        codec.pack(&slot_vals)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    PackedLabelPlan {
+        chunking,
+        multipliers,
+        offset_encoded: matches!(task, Task::Regression),
+    }
+}
+
+/// Super client: build and broadcast the packed label vectors for the
+/// current node. Slot `0` carries `α_j` itself; slot `1+k` carries
+/// `γ_k(j) = β_k(j)·α_j`. Because the super client knows the plaintext
+/// multipliers `β_k(j)` (precomputed in the plan), the packed vector is
+/// one `mul_plain` of `[α_j]` by the public packed multiplier plus a
+/// re-randomization — no extra encryptions.
+pub fn compute_packed_label_masks(
+    ctx: &mut PartyContext<'_>,
+    alpha: &[Ciphertext],
+    plan: &PackedLabelPlan,
+) -> PackedLabels {
+    let chunking = plan.chunking.clone();
+    let n = alpha.len();
+    let started = std::time::Instant::now();
+    let chunks = if let Some(multipliers) = &plan.multipliers {
+        let threads = ctx.crypto_threads();
+        let mut chunks = Vec::with_capacity(chunking.chunks());
+        for chunk_multipliers in multipliers {
+            assert_eq!(chunk_multipliers.len(), n);
+            let scaled = batch::mul_plain_batch(&ctx.pk, alpha, chunk_multipliers, threads);
+            let packed = batch::rerandomize_batch(&ctx.pk, &scaled, &ctx.nonces, threads);
+            ctx.metrics.add_ciphertext_ops(2 * n as u64);
+            ctx.ep.broadcast(&packed);
+            chunks.push(packed);
+        }
+        chunks
+    } else {
+        (0..chunking.chunks())
+            .map(|_| ctx.ep.recv::<Vec<Ciphertext>>(ctx.super_client))
+            .collect()
+    };
+    ctx.metrics
+        .add_time(Stage::LocalComputation, started.elapsed());
+    PackedLabels {
+        chunks,
+        chunking,
+        samples: n,
+        offset_encoded: plan.offset_encoded,
+    }
+}
+
+/// The plaintext multiplier for stride slot `t` of sample with label `y`:
+/// `1` for the α slot, the class indicator or offset regression moment
+/// otherwise.
+fn label_slot_value(ctx: &PartyContext<'_>, task: Task, y: f64, t: usize) -> BigUint {
+    if t == 0 {
+        return BigUint::one();
+    }
+    match task {
+        Task::Classification { .. } => {
+            if y as usize == t - 1 {
+                BigUint::one()
+            } else {
+                BigUint::zero()
+            }
+        }
+        Task::Regression => {
+            assert!(
+                y.abs() <= 1.0 + 1e-9,
+                "regression labels must be normalized into [-1, 1]"
+            );
+            let scale = (1u64 << ctx.params.fixed.frac_bits) as f64;
+            let shifted = y + 1.0;
+            let v = if t == 1 { shifted } else { shifted * shifted };
+            BigUint::from_u64((v * scale).round() as u64)
         }
     }
 }

@@ -28,6 +28,11 @@ struct Inner {
     ciphertext_ops: u64,
     threshold_decryptions: u64,
     stage_time: [Duration; 4],
+    split_stat_ciphertexts: u64,
+    packed_ciphertexts: u64,
+    packed_values: u64,
+    packed_slot_capacity: u64,
+    stats_bytes_sent: u64,
 }
 
 fn stage_slot(stage: Stage) -> usize {
@@ -59,6 +64,28 @@ impl ProtocolMetrics {
         self.inner.borrow_mut().threshold_decryptions += n;
     }
 
+    /// Record `n` pooled split-statistics ciphertexts for one node (the
+    /// quantity ciphertext packing divides by the packing factor).
+    pub fn add_split_stat_ciphertexts(&self, n: u64) {
+        self.inner.borrow_mut().split_stat_ciphertexts += n;
+    }
+
+    /// Record a packed emission: `cts` ciphertexts of `capacity` slots
+    /// each, carrying `values` plaintext values (occupancy = values /
+    /// (cts·capacity)).
+    pub fn add_packed(&self, cts: u64, values: u64, capacity: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.packed_ciphertexts += cts;
+        inner.packed_values += values;
+        inner.packed_slot_capacity += cts * capacity;
+    }
+
+    /// Record bytes this party sent inside the split-statistics pipeline
+    /// (pooling + Algorithm-2 conversion) — the traffic packing compresses.
+    pub fn add_stats_bytes(&self, n: u64) {
+        self.inner.borrow_mut().stats_bytes_sent += n;
+    }
+
     /// Time a closure under a stage bucket.
     pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
@@ -82,6 +109,24 @@ impl ProtocolMetrics {
 
     pub fn threshold_decryptions(&self) -> u64 {
         self.inner.borrow().threshold_decryptions
+    }
+
+    pub fn split_stat_ciphertexts(&self) -> u64 {
+        self.inner.borrow().split_stat_ciphertexts
+    }
+
+    /// `(ciphertexts, values, slot_capacity)` of the packed emissions.
+    pub fn packed(&self) -> (u64, u64, u64) {
+        let i = self.inner.borrow();
+        (
+            i.packed_ciphertexts,
+            i.packed_values,
+            i.packed_slot_capacity,
+        )
+    }
+
+    pub fn stats_bytes_sent(&self) -> u64 {
+        self.inner.borrow().stats_bytes_sent
     }
 
     pub fn stage_time(&self, stage: Stage) -> Duration {

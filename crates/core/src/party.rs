@@ -53,7 +53,12 @@ impl<'a> PartyContext<'a> {
     /// ([`pivot_paillier::fixtures`]) — the same trusted-dealer setup the
     /// original implementation gets from libhcs.
     pub fn setup(ep: &'a Endpoint, view: VerticalView, params: PivotParams) -> Self {
-        params.assert_valid(view.num_samples());
+        params.assert_valid_for(view.num_samples(), ep.parties());
+        // assert_valid_for audits packing with the classification bound;
+        // regression widens the slots, so re-audit with the real task.
+        if matches!(view.task, pivot_data::Task::Regression) {
+            params.assert_packing(ep.parties(), view.num_samples(), true);
+        }
         let m = ep.parties();
         let keys = fixtures::threshold_keys(m, params.keysize);
         let key_share = keys.shares[ep.id()].clone();
@@ -116,6 +121,16 @@ impl<'a> PartyContext<'a> {
     /// (1 on the serial path).
     pub fn crypto_threads(&self) -> usize {
         self.params.effective_crypto_threads()
+    }
+
+    /// The packing codec for this run, when `params.packing` is enabled:
+    /// slot width audited against this run's `m`, `n`, task and protocol
+    /// (see [`PivotParams::slot_plan`]).
+    pub fn packing_codec(&self) -> Option<pivot_paillier::SlotCodec> {
+        let regression = matches!(self.current_task(), pivot_data::Task::Regression);
+        self.params
+            .slot_plan(self.parties(), self.num_samples(), regression)
+            .map(|plan| plan.codec(&self.params.fixed))
     }
 
     /// The task the *current* (sub)protocol trains for.

@@ -1,12 +1,26 @@
 //! The local computation step (§4.1/§4.2): every client derives encrypted
 //! split statistics from `[L]` and its plaintext feature columns, then the
 //! encrypted statistics are pooled for the MPC step.
+//!
+//! Two pipelines produce the pooled statistics:
+//!
+//! * **Unpacked** ([`pooled_statistics`]): one ciphertext per statistic —
+//!   `stride = K+1` ciphertexts per candidate split. This is the paper's
+//!   layout and stays bit-identical across PRs.
+//! * **Packed** ([`packed_pooled_statistics`]): the whole stride of a
+//!   split rides *one* ciphertext (slots of a
+//!   [`pivot_paillier::SlotCodec`]), and `G = ⌊slots/stride⌋` neighbouring
+//!   splits merge into a single ciphertext via homomorphic slot shifts —
+//!   each client emits `Σᵢ ⌈cᵢ/G⌉` ciphertexts instead of `Σᵢ cᵢ·stride`.
+//!   When the stride exceeds the slot capacity the stride is cut into
+//!   *chunks* of at most `slots` values and every chunk forms its own
+//!   ciphertext stream.
 
-use crate::masks::LabelMasks;
+use crate::masks::{LabelMasks, PackedLabels};
 use crate::metrics::Stage;
 use crate::party::PartyContext;
 use pivot_data::{candidate_splits, SplitCandidates};
-use pivot_paillier::{vector, Ciphertext};
+use pivot_paillier::{vector, Ciphertext, SlotCodec};
 use pivot_transport::Endpoint;
 
 /// Public split-candidate layout: how many candidate splits every client
@@ -17,19 +31,31 @@ pub struct SplitLayout {
     pub counts: Vec<Vec<usize>>,
     /// Flattened start offset of every (client, feature) block.
     offsets: Vec<Vec<usize>>,
+    /// Block starts in global order (sorted ascending), for O(log) lookup.
+    flat_starts: Vec<usize>,
+    /// `(client, feature)` of each entry of `flat_starts`.
+    flat_blocks: Vec<(usize, usize)>,
     total: usize,
 }
 
 impl SplitLayout {
     /// Exchange local candidate counts and build the global layout.
     pub fn build(ep: &Endpoint, local_counts: &[usize]) -> SplitLayout {
-        let counts = ep.exchange_all(&local_counts.to_vec());
+        SplitLayout::from_counts(ep.exchange_all(&local_counts.to_vec()))
+    }
+
+    /// Build the layout from already-known per-client counts.
+    pub fn from_counts(counts: Vec<Vec<usize>>) -> SplitLayout {
         let mut offsets = Vec::with_capacity(counts.len());
+        let mut flat_starts = Vec::new();
+        let mut flat_blocks = Vec::new();
         let mut running = 0usize;
-        for client_counts in &counts {
+        for (client, client_counts) in counts.iter().enumerate() {
             let mut row = Vec::with_capacity(client_counts.len());
-            for &c in client_counts {
+            for (feature, &c) in client_counts.iter().enumerate() {
                 row.push(running);
+                flat_starts.push(running);
+                flat_blocks.push((client, feature));
                 running += c;
             }
             offsets.push(row);
@@ -37,6 +63,8 @@ impl SplitLayout {
         SplitLayout {
             counts,
             offsets,
+            flat_starts,
+            flat_blocks,
             total: running,
         }
     }
@@ -52,18 +80,17 @@ impl SplitLayout {
         self.offsets[client][feature] + split
     }
 
-    /// Map a global split index back to `(client, local_feature, split)`.
+    /// Map a global split index back to `(client, local_feature, split)`:
+    /// binary search for the last block start at or below `global`. Empty
+    /// blocks share their start with the *following* block, so the
+    /// partition point always lands on the containing non-empty block
+    /// (trailing empties start at `total`, excluded by the range assert).
     pub fn locate(&self, global: usize) -> (usize, usize, usize) {
         assert!(global < self.total, "split index out of range");
-        for (client, row) in self.offsets.iter().enumerate() {
-            for (feature, &start) in row.iter().enumerate() {
-                let count = self.counts[client][feature];
-                if global >= start && global < start + count {
-                    return (client, feature, global - start);
-                }
-            }
-        }
-        unreachable!("covered by the total check")
+        let idx = self.flat_starts.partition_point(|&start| start <= global) - 1;
+        let (client, feature) = self.flat_blocks[idx];
+        debug_assert!(self.counts[client][feature] > 0, "landed on empty block");
+        (client, feature, global - self.flat_starts[idx])
     }
 
     /// Start/end of one (client, feature) block in global indices.
@@ -178,12 +205,213 @@ pub fn pooled_statistics(
         }
     }
     assert_eq!(per_split.len(), layout.total());
+    ctx.metrics
+        .add_split_stat_ciphertexts((layout.total() * stride) as u64);
     EncryptedStats {
         per_split,
         node_total,
         gamma_totals,
         offset_encoded: masks.offset_encoded,
     }
+}
+
+/// How a stride of `K+1` statistics maps onto packed slots: the stride is
+/// cut into chunks of at most `slots` values, and within each chunk
+/// `group` whole splits share one ciphertext.
+#[derive(Clone, Debug)]
+pub struct PackedChunking {
+    /// Statistics per split (`K+1`).
+    pub stride: usize,
+    /// Values per full chunk (`min(stride, slots)`).
+    pub chunk_width: usize,
+    /// Actual width of each chunk (the last may be narrower).
+    pub widths: Vec<usize>,
+    /// Splits merged per ciphertext (`max(1, ⌊slots/chunk_width⌋)`).
+    pub group: usize,
+}
+
+impl PackedChunking {
+    pub fn new(stride: usize, slots: usize) -> PackedChunking {
+        assert!(stride >= 1 && slots >= 1);
+        let chunk_width = stride.min(slots);
+        let chunks = stride.div_ceil(chunk_width);
+        let widths: Vec<usize> = (0..chunks)
+            .map(|c| (stride - c * chunk_width).min(chunk_width))
+            .collect();
+        PackedChunking {
+            stride,
+            chunk_width,
+            widths,
+            group: (slots / chunk_width).max(1),
+        }
+    }
+
+    /// Number of chunks the stride occupies.
+    pub fn chunks(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Per-client group sizes for `splits` local candidate splits.
+    pub fn group_sizes(&self, splits: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(splits.div_ceil(self.group));
+        let mut rest = splits;
+        while rest > 0 {
+            let g = rest.min(self.group);
+            out.push(g);
+            rest -= g;
+        }
+        out
+    }
+}
+
+/// Pooled **packed** statistics of one node: per chunk, the merged
+/// group ciphertexts in global (client-major) split order, plus the packed
+/// node totals.
+pub struct PackedStats {
+    /// `groups[chunk][g]` — group `g` of the global order.
+    pub groups: Vec<Vec<Ciphertext>>,
+    /// Splits merged into group `g` (identical across chunks).
+    pub group_sizes: Vec<usize>,
+    /// `totals[chunk]` — `[n̄]` and `[Σγ_k]` packed like a single split.
+    pub totals: Vec<Ciphertext>,
+    pub chunking: PackedChunking,
+    pub offset_encoded: bool,
+}
+
+/// Packed local computation + pooling: dot products run against the packed
+/// label vectors (one per chunk), neighbouring splits merge via slot
+/// shifts, and only the merged ciphertexts cross the network.
+pub fn packed_pooled_statistics(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    local: &LocalSplits,
+    labels: &PackedLabels,
+    codec: &SlotCodec,
+) -> PackedStats {
+    let chunking = labels.chunking.clone();
+    let n_samples = labels.samples;
+    let threads = ctx.crypto_threads();
+
+    let mine: Vec<Vec<Ciphertext>> = ctx.metrics.time(Stage::LocalComputation, || {
+        let splits: Vec<&Vec<bool>> = local.indicators.iter().flatten().collect();
+        let mut per_chunk = Vec::with_capacity(chunking.chunks());
+        for (c, chunk_labels) in labels.chunks.iter().enumerate() {
+            let width = chunking.widths[c];
+            // One packed dot product per split (the whole chunk of the
+            // stride at once), then groups merge via slot shifts.
+            let per_split: Vec<Ciphertext> = pivot_runtime::global().map(threads, &splits, |v_l| {
+                vector::dot_binary(&ctx.pk, chunk_labels, v_l)
+            });
+            let sizes = chunking.group_sizes(splits.len());
+            let bounds: Vec<(usize, usize)> = {
+                let mut start = 0;
+                sizes
+                    .iter()
+                    .map(|&g| {
+                        let b = (start, start + g);
+                        start += g;
+                        b
+                    })
+                    .collect()
+            };
+            let merged: Vec<Ciphertext> =
+                pivot_runtime::global().map(threads, &bounds, |&(start, end)| {
+                    let mut acc = per_split[start].clone();
+                    for (t, member) in per_split[start + 1..end].iter().enumerate() {
+                        let shift = codec.shift_factor((t + 1) * width);
+                        acc = ctx.pk.add(&acc, &ctx.pk.mul_plain(member, &shift));
+                    }
+                    acc
+                });
+            ctx.metrics
+                .add_ciphertext_ops((n_samples * splits.len() + splits.len()) as u64);
+            per_chunk.push(merged);
+        }
+        per_chunk
+    });
+
+    // Packed node totals: the all-true dot product per chunk.
+    let all_true = vec![true; n_samples];
+    let totals: Vec<Ciphertext> = labels
+        .chunks
+        .iter()
+        .map(|chunk_labels| vector::dot_binary(&ctx.pk, chunk_labels, &all_true))
+        .collect();
+
+    // Pool the merged ciphertexts; group sizes are public (derived from
+    // the public layout), so every party reassembles identically.
+    let all: Vec<Vec<Vec<Ciphertext>>> = ctx.ep.exchange_all(&mine);
+    let mut group_sizes = Vec::new();
+    let mut groups: Vec<Vec<Ciphertext>> = vec![Vec::new(); chunking.chunks()];
+    for (client, client_chunks) in all.iter().enumerate() {
+        let client_splits: usize = layout.counts[client].iter().sum();
+        let sizes = chunking.group_sizes(client_splits);
+        assert_eq!(client_chunks.len(), chunking.chunks());
+        for (c, chunk_groups) in client_chunks.iter().enumerate() {
+            assert_eq!(
+                chunk_groups.len(),
+                sizes.len(),
+                "packed stat shape from client {client}"
+            );
+            groups[c].extend(chunk_groups.iter().cloned());
+        }
+        group_sizes.extend(sizes);
+    }
+
+    let pooled_cts: usize = groups.iter().map(Vec::len).sum();
+    ctx.metrics.add_split_stat_ciphertexts(pooled_cts as u64);
+    ctx.metrics.add_packed(
+        (pooled_cts + totals.len()) as u64,
+        (layout.total() * chunking.stride + chunking.stride) as u64,
+        codec.slots() as u64,
+    );
+
+    PackedStats {
+        groups,
+        group_sizes,
+        totals,
+        chunking,
+        offset_encoded: labels.offset_encoded,
+    }
+}
+
+impl PackedStats {
+    /// Append this node's ciphertexts in the canonical conversion order
+    /// (chunk-major groups, then per-chunk totals) with their occupied
+    /// slot counts. Borrows — the conversion only reads the batch.
+    fn append_conversion<'a>(&'a self, cts: &mut Vec<&'a Ciphertext>, used: &mut Vec<usize>) {
+        for (c, chunk_groups) in self.groups.iter().enumerate() {
+            let width = self.chunking.widths[c];
+            for (g, ct) in chunk_groups.iter().enumerate() {
+                cts.push(ct);
+                used.push(self.group_sizes[g] * width);
+            }
+        }
+        for (c, ct) in self.totals.iter().enumerate() {
+            cts.push(ct);
+            used.push(self.chunking.widths[c]);
+        }
+    }
+
+    /// Ciphertexts this node contributes to a conversion batch.
+    pub fn conversion_len(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum::<usize>() + self.totals.len()
+    }
+}
+
+/// Flatten a whole frontier's packed statistics into one Algorithm-2
+/// batch: `(cts, used, spans)` where `spans[i]` is the offset of node
+/// `i`'s range (length [`PackedStats::conversion_len`]). Ciphertexts are
+/// borrowed, not cloned — the conversion only reads them.
+pub fn conversion_batch(per_node: &[PackedStats]) -> (Vec<&Ciphertext>, Vec<usize>, Vec<usize>) {
+    let mut cts = Vec::new();
+    let mut used = Vec::new();
+    let mut spans = Vec::with_capacity(per_node.len());
+    for ps in per_node {
+        spans.push(cts.len());
+        ps.append_conversion(&mut cts, &mut used);
+    }
+    (cts, used, spans)
 }
 
 #[cfg(test)]
@@ -193,22 +421,7 @@ mod tests {
     #[test]
     fn layout_round_trips_indices() {
         // Fake a 2-client layout directly (no network needed).
-        let counts = vec![vec![2, 3], vec![4]];
-        let mut offsets = Vec::new();
-        let mut running = 0;
-        for row in &counts {
-            let mut r = Vec::new();
-            for &c in row {
-                r.push(running);
-                running += c;
-            }
-            offsets.push(r);
-        }
-        let layout = SplitLayout {
-            counts,
-            offsets,
-            total: running,
-        };
+        let layout = SplitLayout::from_counts(vec![vec![2, 3], vec![4]]);
         assert_eq!(layout.total(), 9);
         assert_eq!(layout.global_index(0, 1, 2), 4);
         assert_eq!(layout.locate(4), (0, 1, 2));
@@ -218,13 +431,56 @@ mod tests {
     }
 
     #[test]
+    fn locate_binary_search_matches_linear_scan() {
+        // Exhaustive cross-check against the reference linear scan on a
+        // layout with empty blocks (zero-count features share starts).
+        let counts = vec![vec![0, 3], vec![2, 0, 1], vec![0], vec![4]];
+        let layout = SplitLayout::from_counts(counts.clone());
+        assert_eq!(layout.total(), 10);
+        for global in 0..layout.total() {
+            let mut expect = None;
+            'outer: for (client, row) in counts.iter().enumerate() {
+                let mut start = counts[..client]
+                    .iter()
+                    .map(|r| r.iter().sum::<usize>())
+                    .sum::<usize>();
+                for (feature, &c) in row.iter().enumerate() {
+                    if global >= start && global < start + c {
+                        expect = Some((client, feature, global - start));
+                        break 'outer;
+                    }
+                    start += c;
+                }
+            }
+            assert_eq!(layout.locate(global), expect.unwrap(), "global {global}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn locate_rejects_overflow() {
-        let layout = SplitLayout {
-            counts: vec![vec![1]],
-            offsets: vec![vec![0]],
-            total: 1,
-        };
+        let layout = SplitLayout::from_counts(vec![vec![1]]);
         layout.locate(1);
+    }
+
+    #[test]
+    fn chunking_splits_wide_strides() {
+        // stride 3 into 8 slots: one chunk, two splits per ciphertext.
+        let c = PackedChunking::new(3, 8);
+        assert_eq!(c.chunks(), 1);
+        assert_eq!(c.widths, vec![3]);
+        assert_eq!(c.group, 2);
+        assert_eq!(c.group_sizes(5), vec![2, 2, 1]);
+        // stride 5 into 2 slots: three chunks (2 + 2 + 1), no merging.
+        let c = PackedChunking::new(5, 2);
+        assert_eq!(c.chunks(), 3);
+        assert_eq!(c.widths, vec![2, 2, 1]);
+        assert_eq!(c.group, 1);
+        assert_eq!(c.group_sizes(3), vec![1, 1, 1]);
+        // stride equal to slots: one chunk, one split per ciphertext.
+        let c = PackedChunking::new(4, 4);
+        assert_eq!(c.widths, vec![4]);
+        assert_eq!(c.group, 1);
+        assert_eq!(c.group_sizes(0), Vec::<usize>::new());
     }
 }

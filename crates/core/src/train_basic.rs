@@ -11,17 +11,20 @@
 //! updates `[γ₁]`, `[γ₂]` alongside `[α]` with the same split indicator
 //! (the paper's optimization avoiding per-node ciphertext multiplications).
 
-use crate::conversion::ciphers_to_shares;
+use crate::conversion::{ciphers_to_shares, packed_ciphers_to_shares};
 use crate::gain::{
-    best_split, convert_stats, leaf_label_share, prune_decision, reveal_identifier, split_gains,
-    NodeShares,
+    best_split, convert_stats, leaf_label_share, node_shares_from_packed, prune_decision,
+    reveal_identifier, split_gains, NodeShares,
 };
-use crate::masks::{compute_label_masks, initial_mask, update_vectors_plain, LabelMasks};
+use crate::masks::{
+    compute_label_masks, compute_packed_label_masks, initial_mask, plan_packed_labels,
+    update_vectors_plain, LabelMasks,
+};
 use crate::metrics::Stage;
 use crate::party::PartyContext;
-use crate::stats::{pooled_statistics, LocalSplits, SplitLayout};
+use crate::stats::{packed_pooled_statistics, pooled_statistics, LocalSplits, SplitLayout};
 use pivot_data::Task;
-use pivot_paillier::{vector, Ciphertext};
+use pivot_paillier::{vector, Ciphertext, SlotCodec};
 use pivot_trees::{DecisionTree, Node};
 
 /// Where a node's label vectors `[L]` come from.
@@ -56,10 +59,167 @@ pub fn train_with_labels(
 ) -> DecisionTree {
     let local = LocalSplits::precompute(ctx);
     let layout = SplitLayout::build(ctx.ep, &local.counts());
-    let mut nodes = Vec::new();
     let task = ctx.current_task();
+    // Packed mode needs the super client's plaintext labels to build the
+    // packed label vectors, and GBDT residual vectors carry unbounded
+    // mod-p slack that no slot-width audit can cover — so packing applies
+    // to the SuperClient label source only and GBDT keeps the scalar path.
+    if matches!(labels, NodeLabels::SuperClient) {
+        if let Some(codec) = ctx.packing_codec() {
+            return train_level_wise(ctx, &local, &layout, root_alpha, &codec);
+        }
+    }
+    let mut nodes = Vec::new();
     let root = build_node(ctx, &local, &layout, root_alpha, labels, 0, &mut nodes);
     DecisionTree::new(nodes, root, task)
+}
+
+/// Packed training is **level-wise**: the whole tree frontier at one
+/// depth runs its local computation first, then a *single* Algorithm-2
+/// conversion covers every sibling's packed statistics — the `-PP`
+/// batches grow from `O(b·d)` per call to `O(2^h·b·d)` (the ROADMAP's
+/// pool-aware scheduling lever). Split selection and model updates stay
+/// per node. The trained tree is identical to the recursive path's
+/// (statistics are exact, so every argmax and pruning decision matches);
+/// only the transcript — ciphertext count, bytes, batch widths — differs.
+fn train_level_wise(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    root_alpha: Vec<Ciphertext>,
+    codec: &SlotCodec,
+) -> DecisionTree {
+    let task = ctx.current_task();
+    // The packed label multipliers depend only on labels/task/codec —
+    // built once here, reused by every node at every level.
+    let label_plan = plan_packed_labels(ctx, codec);
+    let mut nodes: Vec<Option<Node>> = vec![None];
+    let mut frontier: Vec<(usize, Vec<Ciphertext>)> = vec![(0, root_alpha)];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        // Depth-forced leaf levels need only the node totals — a handful
+        // of values per node, where packing has nothing to amortize. They
+        // take the scalar totals path the recursive builder uses.
+        if depth >= ctx.params.tree.max_depth || layout.total() == 0 {
+            for (slot, alpha) in frontier.drain(..) {
+                let stats_start = ctx.ep.stats().bytes_sent();
+                let masks = compute_label_masks(ctx, &alpha, true);
+                let value = leaf_value_from_totals(ctx, &alpha, &masks, stats_start);
+                nodes[slot] = Some(Node::Leaf { value });
+            }
+            break;
+        }
+        let stats_start = ctx.ep.stats().bytes_sent();
+
+        // Per-node packed label vectors (the super client broadcasts).
+        let labels: Vec<_> = frontier
+            .iter()
+            .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, &label_plan))
+            .collect();
+
+        // Per-node packed statistics.
+        let per_node: Vec<crate::stats::PackedStats> = labels
+            .iter()
+            .map(|packed_labels| packed_pooled_statistics(ctx, layout, local, packed_labels, codec))
+            .collect();
+
+        // ONE conversion for the whole frontier.
+        let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
+        let started = std::time::Instant::now();
+        let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
+        ctx.metrics
+            .add_time(Stage::MpcComputation, started.elapsed());
+        ctx.metrics
+            .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+        let mut next = Vec::new();
+        for (i, ((slot, alpha), ps)) in frontier.drain(..).zip(&per_node).enumerate() {
+            let span = &slot_shares[spans[i]..spans[i] + ps.conversion_len()];
+            let shares = node_shares_from_packed(ctx, layout, ps, span);
+            let check_purity = ctx.params.tree.stop_when_pure;
+            if prune_decision(ctx, &shares, check_purity) {
+                nodes[slot] = Some(Node::Leaf {
+                    value: open_leaf(ctx, &shares),
+                });
+                continue;
+            }
+
+            let gains = split_gains(ctx, &shares);
+            let (best_idx, _gain) = best_split(ctx, &gains);
+            let (winner, local_feature, split_idx) = reveal_identifier(ctx, layout, best_idx);
+
+            let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
+                if ctx.id() == winner {
+                    let feature_global = ctx.view.feature_indices[local_feature];
+                    let threshold = local.candidates[local_feature].thresholds[split_idx];
+                    ctx.ep.broadcast(&(feature_global, threshold));
+                    (feature_global, threshold)
+                } else {
+                    ctx.ep.recv::<(usize, f64)>(winner)
+                }
+            });
+            let indicator =
+                (ctx.id() == winner).then(|| local.indicators[local_feature][split_idx].clone());
+            let vectors = vec![alpha];
+            let started = std::time::Instant::now();
+            let (mut lefts, mut rights) =
+                update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
+            ctx.metrics.add_time(Stage::ModelUpdate, started.elapsed());
+
+            let left_slot = nodes.len();
+            nodes.push(None);
+            let right_slot = nodes.len();
+            nodes.push(None);
+            nodes[slot] = Some(Node::Internal {
+                feature: feature_global,
+                threshold,
+                left: left_slot,
+                right: right_slot,
+            });
+            next.push((left_slot, lefts.remove(0)));
+            next.push((right_slot, rights.remove(0)));
+        }
+        frontier = next;
+        depth += 1;
+    }
+    let nodes: Vec<Node> = nodes
+        .into_iter()
+        .map(|n| n.expect("every allocated node is resolved"))
+        .collect();
+    // Renumber the breadth-first arena into the recursive builder's
+    // post-order so the released model is *identical* to the unpacked
+    // path's, arena layout included.
+    let (nodes, root) = renumber_postorder(&nodes, 0);
+    DecisionTree::new(nodes, root, task)
+}
+
+/// Rewrite a node arena into post-order (left subtree, right subtree,
+/// node) — the layout the recursive builder produces.
+fn renumber_postorder(nodes: &[Node], root: usize) -> (Vec<Node>, usize) {
+    fn visit(nodes: &[Node], id: usize, out: &mut Vec<Node>) -> usize {
+        match &nodes[id] {
+            Node::Leaf { value } => out.push(Node::Leaf { value: *value }),
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let l = visit(nodes, *left, out);
+                let r = visit(nodes, *right, out);
+                out.push(Node::Internal {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+        out.len() - 1
+    }
+    let mut out = Vec::with_capacity(nodes.len());
+    let root = visit(nodes, root, &mut out);
+    (out, root)
 }
 
 fn build_node(
@@ -71,6 +231,7 @@ fn build_node(
     depth: usize,
     nodes: &mut Vec<Node>,
 ) -> usize {
+    let stats_start = ctx.ep.stats().bytes_sent();
     let masks = match &labels {
         NodeLabels::SuperClient => compute_label_masks(ctx, &alpha, true),
         // GBDT residual vectors are slack-positive share sums; they carry
@@ -84,7 +245,7 @@ fn build_node(
     // Depth pruning is public; the remaining conditions are secure.
     let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
     if force_leaf {
-        let value = leaf_value_from_totals(ctx, &alpha, &masks);
+        let value = leaf_value_from_totals(ctx, &alpha, &masks, stats_start);
         nodes.push(Node::Leaf { value });
         return nodes.len() - 1;
     }
@@ -92,6 +253,8 @@ fn build_node(
     // Local computation + pooling, then MPC conversion (Algorithm 2).
     let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
     let shares = convert_stats(ctx, layout, &enc);
+    ctx.metrics
+        .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
 
     let check_purity = ctx.params.tree.stop_when_pure && matches!(labels, NodeLabels::SuperClient);
     if prune_decision(ctx, &shares, check_purity) {
@@ -154,6 +317,7 @@ fn leaf_value_from_totals(
     ctx: &mut PartyContext<'_>,
     alpha: &[Ciphertext],
     masks: &LabelMasks,
+    stats_start: u64,
 ) -> f64 {
     let all = vec![true; alpha.len()];
     let node_total = vector::dot_binary(&ctx.pk, alpha, &all);
@@ -164,6 +328,8 @@ fn leaf_value_from_totals(
     ctx.metrics
         .add_ciphertext_ops((alpha.len() * flat.len()) as u64);
     let shares = ciphers_to_shares(ctx, &flat);
+    ctx.metrics
+        .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
     let mut node = NodeShares {
         n_l: Vec::new(),
         g_l: vec![Vec::new(); shares.len() - 1],

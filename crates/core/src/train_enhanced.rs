@@ -15,19 +15,23 @@
 //! * leaf labels are converted share→ciphertext instead of being opened.
 
 use crate::config::Protocol;
-use crate::conversion::{ciphers_to_shares, shares_to_ciphers};
+use crate::conversion::{ciphers_to_shares, packed_ciphers_to_shares, shares_to_ciphers};
 use crate::gain::{
-    best_split, convert_stats, leaf_label_share, prune_decision, reveal_block_only, split_gains,
-    NodeShares,
+    best_split, convert_stats, leaf_label_share, node_shares_from_packed, prune_decision,
+    reveal_block_only, split_gains, NodeShares,
 };
-use crate::masks::{compute_label_masks, initial_mask, LabelMasks};
+use crate::masks::{
+    compute_label_masks, compute_packed_label_masks, initial_mask, plan_packed_labels, LabelMasks,
+};
 use crate::metrics::Stage;
 use crate::model::{ConcealedNode, ConcealedTree};
 use crate::party::PartyContext;
-use crate::stats::{pooled_statistics, LocalSplits, SplitLayout};
+use crate::stats::{
+    packed_pooled_statistics, pooled_statistics, LocalSplits, PackedStats, SplitLayout,
+};
 use pivot_bignum::BigUint;
 use pivot_mpc::Share;
-use pivot_paillier::{batch, vector, Ciphertext};
+use pivot_paillier::{batch, vector, Ciphertext, SlotCodec};
 
 /// Public offset added to fixed-point thresholds before encryption so the
 /// PIR dot product only ever sees non-negative plaintexts (negative
@@ -51,6 +55,9 @@ pub fn train(ctx: &mut PartyContext<'_>) -> ConcealedTree {
     let local = LocalSplits::precompute(ctx);
     let layout = SplitLayout::build(ctx.ep, &local.counts());
     let alpha = initial_mask(ctx, &mask);
+    if let Some(codec) = ctx.packing_codec() {
+        return train_level_wise(ctx, &local, &layout, alpha, &codec);
+    }
     let mut nodes = Vec::new();
     let root = build_node(ctx, &local, &layout, alpha, 0, &mut nodes);
     ConcealedTree {
@@ -60,34 +67,165 @@ pub fn train(ctx: &mut PartyContext<'_>) -> ConcealedTree {
     }
 }
 
-fn build_node(
+/// Packed enhanced training, level-wise: one Algorithm-2 conversion per
+/// tree depth covers every sibling's packed statistics (see
+/// `train_basic::train_level_wise` for the scheduling rationale). The
+/// private split selection, Theorem-2 PIR and Eqn-10 updates stay per
+/// node and scalar — their ciphertexts are consumed element-wise.
+fn train_level_wise(
     ctx: &mut PartyContext<'_>,
     local: &LocalSplits,
     layout: &SplitLayout,
+    root_alpha: Vec<Ciphertext>,
+    codec: &SlotCodec,
+) -> ConcealedTree {
+    let task = ctx.current_task();
+    // The packed label multipliers depend only on labels/task/codec —
+    // built once here, reused by every node at every level.
+    let label_plan = plan_packed_labels(ctx, codec);
+    let mut nodes: Vec<Option<ConcealedNode>> = vec![None];
+    let mut frontier: Vec<(usize, Vec<Ciphertext>)> = vec![(0, root_alpha)];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        // Depth-forced leaf levels only need node totals; the scalar
+        // conversion handles the Eqn-10 slack without a refresh, and a
+        // handful of values per node leaves packing nothing to amortize.
+        if depth >= ctx.params.tree.max_depth || layout.total() == 0 {
+            for (slot, alpha) in frontier.drain(..) {
+                let stats_start = ctx.ep.stats().bytes_sent();
+                let masks = compute_label_masks(ctx, &alpha, true);
+                let enc_value = concealed_leaf_from_totals(ctx, &alpha, &masks, stats_start);
+                nodes[slot] = Some(ConcealedNode::Leaf { enc_value });
+            }
+            break;
+        }
+        let stats_start = ctx.ep.stats().bytes_sent();
+
+        // Eqn-10 masks carry *quadratic* mod-p slack (shares scaled by
+        // slack-carrying PIR ciphertexts reach ~m²·b·p² — the reason for
+        // the enhanced keysize floor). The slot-width audit budgets only
+        // the linear `m·p` bound, so packed levels first linearize the
+        // slack: one batched share round-trip re-encrypts every frontier
+        // mask as a plain share sum. Values are untouched mod p, so the
+        // trained tree is unaffected.
+        if depth > 0 {
+            let lens: Vec<usize> = frontier.iter().map(|(_, a)| a.len()).collect();
+            let flat: Vec<Ciphertext> = frontier
+                .iter()
+                .flat_map(|(_, a)| a.iter().cloned())
+                .collect();
+            let shares = ciphers_to_shares(ctx, &flat);
+            let fresh = shares_to_ciphers(ctx, &shares);
+            let mut rest = fresh.as_slice();
+            for ((_, alpha), len) in frontier.iter_mut().zip(lens) {
+                *alpha = rest[..len].to_vec();
+                rest = &rest[len..];
+            }
+        }
+
+        let labels: Vec<_> = frontier
+            .iter()
+            .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, &label_plan))
+            .collect();
+        let per_node: Vec<PackedStats> = labels
+            .iter()
+            .map(|packed_labels| packed_pooled_statistics(ctx, layout, local, packed_labels, codec))
+            .collect();
+
+        let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
+        let started = std::time::Instant::now();
+        let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
+        ctx.metrics
+            .add_time(Stage::MpcComputation, started.elapsed());
+        ctx.metrics
+            .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+        let mut next = Vec::new();
+        for (i, ((slot, alpha), ps)) in frontier.drain(..).zip(&per_node).enumerate() {
+            let span = &slot_shares[spans[i]..spans[i] + ps.conversion_len()];
+            let shares = node_shares_from_packed(ctx, layout, ps, span);
+            // No purity check: it would leak a concealed-label bit.
+            if prune_decision(ctx, &shares, false) {
+                let enc_value = concealed_leaf(ctx, &shares);
+                nodes[slot] = Some(ConcealedNode::Leaf { enc_value });
+                continue;
+            }
+
+            let (winner, feature_global, enc_threshold, alpha_l, alpha_r) =
+                select_and_update(ctx, local, layout, &shares, alpha);
+
+            let left_slot = nodes.len();
+            nodes.push(None);
+            let right_slot = nodes.len();
+            nodes.push(None);
+            nodes[slot] = Some(ConcealedNode::Internal {
+                client: winner,
+                feature_global,
+                enc_threshold,
+                left: left_slot,
+                right: right_slot,
+            });
+            next.push((left_slot, alpha_l));
+            next.push((right_slot, alpha_r));
+        }
+        frontier = next;
+        depth += 1;
+    }
+    let nodes: Vec<ConcealedNode> = nodes
+        .into_iter()
+        .map(|n| n.expect("every allocated node is resolved"))
+        .collect();
+    // Renumber breadth-first slots into the recursive builder's
+    // post-order so the released model matches the unpacked path's arena.
+    let (nodes, root) = renumber_postorder(&nodes, 0);
+    ConcealedTree { nodes, root, task }
+}
+
+/// Rewrite a concealed arena into post-order (the recursive layout).
+fn renumber_postorder(nodes: &[ConcealedNode], root: usize) -> (Vec<ConcealedNode>, usize) {
+    fn visit(nodes: &[ConcealedNode], id: usize, out: &mut Vec<ConcealedNode>) -> usize {
+        match &nodes[id] {
+            ConcealedNode::Leaf { enc_value } => out.push(ConcealedNode::Leaf {
+                enc_value: enc_value.clone(),
+            }),
+            ConcealedNode::Internal {
+                client,
+                feature_global,
+                enc_threshold,
+                left,
+                right,
+            } => {
+                let l = visit(nodes, *left, out);
+                let r = visit(nodes, *right, out);
+                out.push(ConcealedNode::Internal {
+                    client: *client,
+                    feature_global: *feature_global,
+                    enc_threshold: enc_threshold.clone(),
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+        out.len() - 1
+    }
+    let mut out = Vec::with_capacity(nodes.len());
+    let root = visit(nodes, root, &mut out);
+    (out, root)
+}
+
+/// The per-node tail of enhanced split selection, shared by the recursive
+/// and level-wise schedules: secure argmax, block-only reveal, the §5.2
+/// private split selection (one-hot `[λ]`, Theorem-2 PIR, encrypted
+/// threshold) and the Eqn-10 mask update. Returns the public node header
+/// and the children's masks.
+fn select_and_update(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    shares: &NodeShares,
     alpha: Vec<Ciphertext>,
-    depth: usize,
-    nodes: &mut Vec<ConcealedNode>,
-) -> usize {
-    let masks = compute_label_masks(ctx, &alpha, true);
-
-    let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
-    if force_leaf {
-        let enc_value = concealed_leaf_from_totals(ctx, &alpha, &masks);
-        nodes.push(ConcealedNode::Leaf { enc_value });
-        return nodes.len() - 1;
-    }
-
-    let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
-    let shares = convert_stats(ctx, layout, &enc);
-
-    // No purity check: it would leak a bit about the concealed labels.
-    if prune_decision(ctx, &shares, false) {
-        let enc_value = concealed_leaf(ctx, &shares);
-        nodes.push(ConcealedNode::Leaf { enc_value });
-        return nodes.len() - 1;
-    }
-
-    let gains = split_gains(ctx, &shares);
+) -> (usize, usize, Ciphertext, Vec<Ciphertext>, Vec<Ciphertext>) {
+    let gains = split_gains(ctx, shares);
     let (best_idx, _gain) = best_split(ctx, &gains);
     // Reveal only the (client, feature) block; ⟨s*⟩ stays secret.
     let (winner, local_feature, s_share) = reveal_block_only(ctx, layout, best_idx);
@@ -144,6 +282,41 @@ fn build_node(
     let alpha_l = masked_product(ctx, &alpha_shares, &v_l, winner);
     let alpha_r = masked_product(ctx, &alpha_shares, &v_r, winner);
     drop(alpha);
+    (winner, feature_global, enc_threshold, alpha_l, alpha_r)
+}
+
+fn build_node(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    alpha: Vec<Ciphertext>,
+    depth: usize,
+    nodes: &mut Vec<ConcealedNode>,
+) -> usize {
+    let stats_start = ctx.ep.stats().bytes_sent();
+    let masks = compute_label_masks(ctx, &alpha, true);
+
+    let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
+    if force_leaf {
+        let enc_value = concealed_leaf_from_totals(ctx, &alpha, &masks, stats_start);
+        nodes.push(ConcealedNode::Leaf { enc_value });
+        return nodes.len() - 1;
+    }
+
+    let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
+    let shares = convert_stats(ctx, layout, &enc);
+    ctx.metrics
+        .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+    // No purity check: it would leak a bit about the concealed labels.
+    if prune_decision(ctx, &shares, false) {
+        let enc_value = concealed_leaf(ctx, &shares);
+        nodes.push(ConcealedNode::Leaf { enc_value });
+        return nodes.len() - 1;
+    }
+
+    let (winner, feature_global, enc_threshold, alpha_l, alpha_r) =
+        select_and_update(ctx, local, layout, &shares, alpha);
 
     let left = build_node(ctx, local, layout, alpha_l, depth + 1, nodes);
     let right = build_node(ctx, local, layout, alpha_r, depth + 1, nodes);
@@ -221,6 +394,7 @@ fn concealed_leaf_from_totals(
     ctx: &mut PartyContext<'_>,
     alpha: &[Ciphertext],
     masks: &LabelMasks,
+    stats_start: u64,
 ) -> Ciphertext {
     let all = vec![true; alpha.len()];
     let node_total = vector::dot_binary(&ctx.pk, alpha, &all);
@@ -231,6 +405,8 @@ fn concealed_leaf_from_totals(
     ctx.metrics
         .add_ciphertext_ops((alpha.len() * flat.len()) as u64);
     let converted = ciphers_to_shares(ctx, &flat);
+    ctx.metrics
+        .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
     let mut node = NodeShares {
         n_l: Vec::new(),
         g_l: vec![Vec::new(); converted.len() - 1],

@@ -301,3 +301,89 @@ fn metrics_are_populated() {
         assert!(muls > 0, "secure multiplications recorded");
     }
 }
+
+#[test]
+fn packed_training_builds_the_same_tree() {
+    // Ciphertext packing changes the transcript (packed statistics, one
+    // level-wise Algorithm-2 batch per depth) but not the statistics
+    // themselves — the packed run must produce the identical tree. At
+    // keysize 128 the audit yields two 63-bit slots, so the stride of 3
+    // spans two chunks: the chunked path is exercised too.
+    let data = synth::make_classification(&synth::ClassificationSpec {
+        samples: 30,
+        features: 6,
+        informative: 4,
+        classes: 2,
+        class_sep: 1.5,
+        flip_y: 0.0,
+        seed: 77,
+    });
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        ..Default::default()
+    };
+    let unpacked = pivot_train(&data, 3, &small_params(tree_params.clone()));
+    let mut packed_params = small_params(tree_params);
+    packed_params.packing = pivot_core::config::Packing::Auto;
+    let packed = pivot_train(&data, 3, &packed_params);
+    assert_eq!(packed[0], unpacked[0], "packed tree must match unpacked");
+    for tree in &packed[1..] {
+        assert_eq!(tree, &packed[0], "all parties agree");
+    }
+}
+
+#[test]
+fn packed_regression_matches_unpacked() {
+    // Regression exercises the offset-encoded label moments through the
+    // packed pipeline (+1 offset removed after the packed conversion).
+    let data = synth::make_regression(&synth::RegressionSpec {
+        samples: 24,
+        features: 4,
+        informative: 3,
+        noise: 0.05,
+        seed: 13,
+    });
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 3,
+        ..Default::default()
+    };
+    let unpacked = pivot_train(&data, 2, &small_params(tree_params.clone()));
+    let mut packed_params = small_params(tree_params);
+    packed_params.packing = pivot_core::config::Packing::Slots(2);
+    let packed = pivot_train(&data, 2, &packed_params);
+    // Argmax parity is exact: identical structure, features, thresholds.
+    // Regression *leaf values* pass through probabilistic truncation
+    // (±1 ulp at scale 2^-f) whose dealer randomness aligns differently
+    // under the level-wise schedule, so they match to fixed-point
+    // precision rather than bit-for-bit.
+    let (p, u) = (&packed[0], &unpacked[0]);
+    assert_eq!(p.internal_count(), u.internal_count());
+    assert_eq!(p.root(), u.root());
+    for (node, ref_node) in p.nodes().iter().zip(u.nodes()) {
+        match (node, ref_node) {
+            (
+                pivot_trees::Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+                pivot_trees::Node::Internal {
+                    feature: rf,
+                    threshold: rt,
+                    left: rl,
+                    right: rr,
+                },
+            ) => {
+                assert_eq!((feature, left, right), (rf, rl, rr));
+                assert!((threshold - rt).abs() < 1e-12);
+            }
+            (pivot_trees::Node::Leaf { value }, pivot_trees::Node::Leaf { value: rv }) => {
+                assert!((value - rv).abs() < 1e-4, "leaf {value} vs {rv}");
+            }
+            _ => panic!("structure mismatch"),
+        }
+    }
+}

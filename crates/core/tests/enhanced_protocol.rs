@@ -204,3 +204,102 @@ fn enhanced_regression() {
         "tree mse {mse} should beat mean baseline {base_mse}"
     );
 }
+
+#[test]
+fn packed_enhanced_predicts_like_unpacked() {
+    // Packed (level-wise) enhanced training must release a model that
+    // predicts identically to the unpacked run's: split structure is
+    // argmax-exact, and predictions reveal leaf-label equality without
+    // opening the concealed ciphertexts.
+    //
+    // The dataset needs two properties, or the comparison is ill-posed:
+    // every split-gain argmax must have a margin ≫ the ±1-ulp
+    // probabilistic-truncation noise (whose dealer randomness aligns
+    // differently under the level-wise schedule — near-tie data flips
+    // structure even between two *unpacked* runs with different dealer
+    // seeds), and no internal node may be pure (a pure node ties every
+    // split at equal gain). A decision list with a few label flips keeps
+    // margins macroscopic and every node impure.
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..24 {
+        let x0 = if i < 16 { 10.0 } else { 0.0 };
+        let x1 = if i % 2 == 0 { -5.0 } else { 5.0 };
+        features.push(vec![x0, x1, (i % 7) as f64]);
+        labels.push(if i < 16 {
+            // Impure left group: 14×1, 2×0, the zeros isolated by x2.
+            if i == 0 || i == 7 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (i % 2) as f64
+        });
+    }
+    let data = Dataset::new(features, labels, Task::Classification { classes: 2 });
+    let m = 3;
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        stop_when_pure: false,
+        ..Default::default()
+    };
+    let run = |params: PivotParams| {
+        let partition = partition_vertically(&data, m, 0);
+        run_parties(m, |ep| {
+            let view = partition.views[ep.id()].clone();
+            let mut ctx = PartyContext::setup(&ep, view.clone(), params.clone());
+            let tree = train_enhanced::train(&mut ctx);
+            let local_samples: Vec<Vec<f64>> = (0..view.num_samples())
+                .map(|i| view.features[i].clone())
+                .collect();
+            let preds = predict_enhanced::predict_batch(&mut ctx, &tree, &local_samples);
+            (tree, preds, ctx.metrics.split_stat_ciphertexts())
+        })
+    };
+    let unpacked = run(enhanced_params(tree_params.clone()));
+    let mut packed_params = enhanced_params(tree_params);
+    packed_params.packing = pivot_core::config::Packing::Auto;
+    let packed = run(packed_params);
+
+    let (u_tree, u_preds, u_stats) = &unpacked[0];
+    let (p_tree, p_preds, p_stats) = &packed[0];
+    assert_eq!(p_preds, u_preds, "packed predictions must match");
+    assert_eq!(p_tree.internal_count(), u_tree.internal_count());
+    // Same public structure (client, feature, arena shape).
+    for (a, b) in p_tree.nodes.iter().zip(&u_tree.nodes) {
+        match (a, b) {
+            (
+                ConcealedNode::Internal {
+                    client,
+                    feature_global,
+                    left,
+                    right,
+                    ..
+                },
+                ConcealedNode::Internal {
+                    client: rc,
+                    feature_global: rfg,
+                    left: rl,
+                    right: rr,
+                    ..
+                },
+            ) => assert_eq!((client, feature_global, left, right), (rc, rfg, rl, rr)),
+            (ConcealedNode::Leaf { .. }, ConcealedNode::Leaf { .. }) => {}
+            _ => panic!("structure mismatch"),
+        }
+    }
+    // Packing cuts the pooled split-statistics ciphertext volume. (Total
+    // decryptions are scale-dependent here: the per-level slack refresh
+    // costs 2n conversions per node, which only amortizes once
+    // total·stride ≫ n — see the packing baseline scenario.)
+    assert!(
+        p_stats < u_stats,
+        "packed run should pool fewer split-stat ciphertexts ({p_stats} vs {u_stats})"
+    );
+    for (tree, preds, _) in &packed[1..] {
+        assert_eq!(preds, p_preds);
+        assert_eq!(tree.internal_count(), p_tree.internal_count());
+    }
+}

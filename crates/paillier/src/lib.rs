@@ -25,6 +25,7 @@ pub mod encoding;
 pub mod fixtures;
 mod keygen;
 pub mod nonce;
+pub mod packing;
 mod public;
 pub mod threshold;
 pub mod vector;
@@ -33,5 +34,6 @@ mod wire_impls;
 pub use ciphertext::Ciphertext;
 pub use keygen::{keygen, keypair_from_primes, KeyPair, PrivateKey};
 pub use nonce::{NoncePool, NonceStats};
+pub use packing::SlotCodec;
 pub use public::PublicKey;
 pub use threshold::{threshold_keygen, PartialDecryption, SecretKeyShare, ThresholdKeyPair};

@@ -16,7 +16,7 @@
 
 use crate::keygen::l_function;
 use crate::{Ciphertext, PublicKey};
-use pivot_bignum::{mod_inverse, prime, rng as brng, BigInt, BigUint, Sign};
+use pivot_bignum::{mod_inverse, prime, rng as brng, BigInt, BigUint, ExponentSchedule, Sign};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -45,6 +45,11 @@ pub struct SecretKeyShare {
     /// `2Δsᵢ` — the partial-decryption exponent, precomputed once from the
     /// Shamir evaluation `sᵢ` instead of re-multiplied per ciphertext.
     two_delta_s: BigUint,
+    /// The fixed exponent's sliding-window recoding, shared by every
+    /// partial decryption this share ever performs (ROADMAP lever 3): the
+    /// bit-scan happens once here, and per ciphertext only the odd-power
+    /// table the digits actually reference is built.
+    schedule: ExponentSchedule,
 }
 
 /// A partial decryption `cᵢ`, tagged with the producing party's index.
@@ -123,10 +128,12 @@ pub fn threshold_from_safe_primes<R: Rng + ?Sized>(
         .map(|i| {
             let s_i = eval_poly(&coeffs, i as u64, &nm);
             let two_delta_s = &(&BigUint::from_u64(2) * &*delta) * &s_i;
+            let schedule = ExponentSchedule::recode(&two_delta_s);
             SecretKeyShare {
                 index: i,
                 pk: pk.clone(),
                 two_delta_s,
+                schedule,
             }
         })
         .collect();
@@ -165,12 +172,19 @@ fn factorial(m: usize) -> BigUint {
 }
 
 impl SecretKeyShare {
-    /// Produce this party's partial decryption `cᵢ = c^{2Δsᵢ} mod N²`.
+    /// Produce this party's partial decryption `cᵢ = c^{2Δsᵢ} mod N²`,
+    /// replaying the share's precomputed window schedule (bit-identical
+    /// to `pow(c, 2Δsᵢ)` — asserted by unit test and bignum proptest).
     pub fn partial_decrypt(&self, c: &Ciphertext) -> PartialDecryption {
         PartialDecryption {
             index: self.index,
-            value: self.pk.mont().pow(c.raw(), &self.two_delta_s),
+            value: self.pk.mont().pow_scheduled(c.raw(), &self.schedule),
         }
+    }
+
+    /// The fixed partial-decryption exponent (exposed for parity tests).
+    pub fn exponent(&self) -> &BigUint {
+        &self.two_delta_s
     }
 }
 
@@ -348,6 +362,24 @@ mod tests {
         let c = kp.pk.encrypt(&x, &mut r);
         let partials: Vec<_> = kp.shares.iter().map(|s| s.partial_decrypt(&c)).collect();
         assert_eq!(kp.combiner.combine(&partials), x);
+    }
+
+    #[test]
+    fn scheduled_partial_decrypt_matches_direct_pow() {
+        // The shared window schedule must reproduce pow(c, 2Δsᵢ) exactly.
+        let mut r = rng();
+        let kp = small_threshold_keys(3, 3);
+        for x in [0u64, 1, 31337, 1 << 33] {
+            let c = kp.pk.encrypt(&BigUint::from_u64(x), &mut r);
+            for share in &kp.shares {
+                assert_eq!(
+                    share.partial_decrypt(&c).value,
+                    kp.pk.mont().pow(c.raw(), share.exponent()),
+                    "share {} x {x}",
+                    share.index
+                );
+            }
+        }
     }
 
     #[test]
