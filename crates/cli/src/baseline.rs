@@ -176,6 +176,7 @@ fn algo_json(exec: &Execution) -> Json {
         .with("encryptions", p0.encryptions)
         .with("threshold_decryptions", p0.threshold_decryptions)
         .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
+        .with("comparisons", crate::report::comparisons_json(p0))
         .with(
             "pool_hit_rate",
             match p0.pool.hit_rate() {

@@ -88,9 +88,48 @@ fn counters_json(exec: &Execution) -> Json {
         .with("mpc_rounds", p0.mpc_rounds)
         .with("secure_mults", p0.secure_mults)
         .with("secure_comparisons", p0.secure_comparisons)
+        .with("comparisons", comparisons_json(p0))
         .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
         .with("packing", packing_json(p0))
         .with("randomness_pool", pool_json(&p0.pool))
+}
+
+/// Comparison-pipeline telemetry of one party: what the gain pipeline's
+/// secure comparisons actually paid in rounds, opened field elements, and
+/// preprocessing material, with the per-width histogram and the offline
+/// dealer-pool behavior.
+pub(crate) fn comparisons_json(p: &crate::runner::PartyOutcome) -> Json {
+    let c = &p.comparison;
+    let mut widths = Json::obj();
+    for &(k, n) in &c.widths {
+        widths.set(&format!("{k}"), n);
+    }
+    let dp = &p.dealer_pool;
+    Json::obj()
+        .with("count", c.count)
+        .with("online_rounds", c.online_rounds)
+        .with("opened_elements", c.opened_elements)
+        .with("beaver_triples", c.beaver_triples)
+        .with("masked_bit_rows", c.masked_bit_rows)
+        .with("masked_bits", c.masked_bits)
+        .with("widths", widths)
+        .with(
+            "dealer_pool",
+            Json::obj()
+                .with("target", dp.target)
+                .with("triple_hits", dp.triple_hits)
+                .with("triple_misses", dp.triple_misses)
+                .with("masked_hits", dp.masked_hits)
+                .with("masked_misses", dp.masked_misses)
+                .with("precomputed", dp.produced)
+                .with(
+                    "hit_rate",
+                    match dp.hit_rate() {
+                        Some(r) => Json::Num(r),
+                        None => Json::Null,
+                    },
+                ),
+        )
 }
 
 /// Ciphertext-packing behavior of one party: how many packed ciphertexts
@@ -304,6 +343,23 @@ mod tests {
             mpc_rounds: 7,
             secure_mults: 8,
             secure_comparisons: 9,
+            comparison: pivot_core::ComparisonCounters {
+                count: 9,
+                online_rounds: 40,
+                opened_elements: 300,
+                beaver_triples: 120,
+                masked_bit_rows: 9,
+                masked_bits: 81,
+                widths: vec![(9, 4), (45, 5)],
+            },
+            dealer_pool: pivot_core::DealerPoolStats {
+                target: 64,
+                triple_hits: 100,
+                triple_misses: 20,
+                masked_hits: 8,
+                masked_misses: 1,
+                produced: 128,
+            },
             split_stat_ciphertexts: 54,
             packed: (9, 57, 63),
             stats_bytes_sent: 640,
@@ -382,6 +438,27 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(6)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.comparisons.opened_elements")
+                .unwrap()
+                .as_u64(),
+            Some(300)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.comparisons.widths.45")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.comparisons.dealer_pool.triple_hits")
+                .unwrap()
+                .as_u64(),
+            Some(100)
         );
         assert_eq!(
             parsed

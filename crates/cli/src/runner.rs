@@ -40,6 +40,12 @@ pub struct PartyOutcome {
     pub mpc_rounds: u64,
     pub secure_mults: u64,
     pub secure_comparisons: u64,
+    /// Comparison-pipeline telemetry: rounds, opened field elements,
+    /// consumed preprocessing material, per-width histogram.
+    pub comparison: pivot_core::ComparisonCounters,
+    /// Offline dealer-pool behavior (timing-dependent, *not* part of the
+    /// cross-backend parity contract).
+    pub dealer_pool: pivot_core::DealerPoolStats,
     /// Pooled split-statistics ciphertexts (what packing divides).
     pub split_stat_ciphertexts: u64,
     /// Packed emissions: `(ciphertexts, values carried, slot capacity)`.
@@ -173,6 +179,8 @@ pub fn run_party_protocol(
 
     let (mpc_rounds, secure_mults, secure_comparisons, _openings) =
         ctx.engine.counters().snapshot();
+    let comparison = ctx.engine.comparison_snapshot();
+    let dealer_pool = ctx.engine.dealer_pool_stats();
     let pool = ctx.nonces.stats();
     PartyOutcome {
         party: ctx.id(),
@@ -197,6 +205,8 @@ pub fn run_party_protocol(
         mpc_rounds,
         secure_mults,
         secure_comparisons,
+        comparison,
+        dealer_pool,
         split_stat_ciphertexts: ctx.metrics.split_stat_ciphertexts(),
         packed: ctx.metrics.packed(),
         stats_bytes_sent: ctx.metrics.stats_bytes_sent(),

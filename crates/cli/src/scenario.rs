@@ -16,6 +16,7 @@ use crate::json::Json;
 use crate::toml::{TomlDoc, TomlValue};
 use pivot_bench::Algo;
 use pivot_core::config::{Packing, PivotParams};
+use pivot_core::CompareBits;
 use pivot_data::{synth, Dataset, Task};
 use pivot_transport::NetConfig;
 use pivot_trees::TreeParams;
@@ -180,6 +181,33 @@ impl PackingSpec {
     }
 }
 
+/// `params.comparison_bits`: `"full"`, `"auto"`, or a width floor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ComparisonBitsSpec {
+    #[default]
+    Full,
+    Auto,
+    Floor(u32),
+}
+
+impl ComparisonBitsSpec {
+    fn to_core(self) -> CompareBits {
+        match self {
+            ComparisonBitsSpec::Full => CompareBits::Full,
+            ComparisonBitsSpec::Auto => CompareBits::Auto,
+            ComparisonBitsSpec::Floor(n) => CompareBits::Floor(n),
+        }
+    }
+
+    fn echo(self) -> Json {
+        match self {
+            ComparisonBitsSpec::Full => Json::Str("full".into()),
+            ComparisonBitsSpec::Auto => Json::Str("auto".into()),
+            ComparisonBitsSpec::Floor(n) => Json::Num(f64::from(n)),
+        }
+    }
+}
+
 /// `[params]` section → [`PivotParams`].
 #[derive(Clone, Debug)]
 pub struct ParamSpec {
@@ -198,6 +226,15 @@ pub struct ParamSpec {
     /// many audited slots as the keysize admits, an integer forces the
     /// slot count.
     pub packing: PackingSpec,
+    /// Secure-comparison width policy: `"full"` pins every comparison to
+    /// the global `int_bits` (pre-PR-5 transcript, bit for bit), `"auto"`
+    /// pays only for each call site's proven range on the log-depth
+    /// BitLT, an integer sets a minimum width under `"auto"` widths.
+    pub comparison_bits: ComparisonBitsSpec,
+    /// Offline dealer-pool size (precomputed Beaver triples / masked-bit
+    /// rows per stream; active under `parallel_decrypt` + bounded
+    /// `comparison_bits`).
+    pub dealer_pool: usize,
 }
 
 impl Default for ParamSpec {
@@ -211,6 +248,8 @@ impl Default for ParamSpec {
             crypto_threads: 6,
             randomness_pool: 256,
             packing: PackingSpec::Off,
+            comparison_bits: ComparisonBitsSpec::Full,
+            dealer_pool: 256,
         }
     }
 }
@@ -511,6 +550,8 @@ const PARAM_KEYS: &[&str] = &[
     "decrypt_threads",
     "randomness_pool",
     "packing",
+    "comparison_bits",
+    "dealer_pool",
 ];
 const MODEL_KEYS: &[&str] = &[
     "kind",
@@ -663,6 +704,37 @@ impl Scenario {
                 )
             }
         };
+        // Width floors above the fixed-point layout would only ever
+        // panic downstream (the CLI always runs the default layout), so
+        // reject them here like every other comparison_bits mistake.
+        let max_floor = i64::from(PivotParams::default().fixed.int_bits);
+        let comparison_bits = match doc.raw_kind("params", "comparison_bits")? {
+            None => pd.comparison_bits,
+            Some(RawValue::Str(s)) => match s.as_str() {
+                "full" => ComparisonBitsSpec::Full,
+                "auto" => ComparisonBitsSpec::Auto,
+                other => {
+                    return Err(format!(
+                        "params.comparison_bits: unknown mode {other:?} (expected \
+                         \"full\", \"auto\", or a width floor)"
+                    ))
+                }
+            },
+            // Width floors below 2 are meaningless; 0/1 are reserved for
+            // the sweep axis (0 = full, 1 = auto).
+            Some(RawValue::Int(v)) if (2..=max_floor).contains(&v) => {
+                ComparisonBitsSpec::Floor(v as u32)
+            }
+            Some(RawValue::Num(v)) if v.fract() == 0.0 && (2.0..=max_floor as f64).contains(&v) => {
+                ComparisonBitsSpec::Floor(v as u32)
+            }
+            Some(_) => {
+                return Err(format!(
+                    "params.comparison_bits: expected \"full\", \"auto\", or a width \
+                     floor in 2..={max_floor} (the fixed-point int_bits)"
+                ))
+            }
+        };
         let crypto_threads = doc.get_usize("params", "crypto_threads")?;
         let decrypt_threads = doc.get_usize("params", "decrypt_threads")?;
         if crypto_threads.is_some() && decrypt_threads.is_some() {
@@ -694,6 +766,10 @@ impl Scenario {
                 .get_usize("params", "randomness_pool")?
                 .unwrap_or(pd.randomness_pool),
             packing,
+            comparison_bits,
+            dealer_pool: doc
+                .get_usize("params", "dealer_pool")?
+                .unwrap_or(pd.dealer_pool),
         };
 
         let md = ModelSpec::default();
@@ -735,6 +811,7 @@ impl Scenario {
                     "latency_us",
                     "bandwidth_mbps",
                     "packing",
+                    "comparison_bits",
                 ];
                 if !AXES.contains(&vary.as_str()) {
                     return Err(format!(
@@ -818,6 +895,17 @@ impl Scenario {
         }
         if self.params.max_depth == 0 || self.params.max_splits == 0 {
             return Err("params.max_depth and params.max_splits must be >= 1".into());
+        }
+        // Re-checked per sweep point: `with_axis` can build floors the
+        // TOML-knob parser never sees (e.g. values = [46]).
+        if let ComparisonBitsSpec::Floor(n) = self.params.comparison_bits {
+            let max = PivotParams::default().fixed.int_bits;
+            if !(2..=max).contains(&n) {
+                return Err(format!(
+                    "params.comparison_bits: width floor {n} outside 2..={max} \
+                     (the fixed-point int_bits)"
+                ));
+            }
         }
         if let Some(secs) = self.network.recv_timeout_s {
             if !secs.is_finite() || secs <= 0.0 || secs > pivot_transport::MAX_RECV_TIMEOUT_SECS {
@@ -955,6 +1043,8 @@ impl Scenario {
         p.crypto_threads = self.params.crypto_threads;
         p.randomness_pool = self.params.randomness_pool;
         p.packing = self.params.packing.to_core();
+        p.comparison_bits = self.params.comparison_bits.to_core();
+        p.dealer_pool = self.params.dealer_pool;
         p
     }
 
@@ -1028,7 +1118,9 @@ impl Scenario {
                     .with("parallel_decrypt", self.params.parallel_decrypt)
                     .with("crypto_threads", self.params.crypto_threads)
                     .with("randomness_pool", self.params.randomness_pool)
-                    .with("packing", self.params.packing.echo()),
+                    .with("packing", self.params.packing.echo())
+                    .with("comparison_bits", self.params.comparison_bits.echo())
+                    .with("dealer_pool", self.params.dealer_pool),
             )
             .with("model", model)
             .with("network", {
@@ -1081,6 +1173,15 @@ impl Scenario {
                     0 => PackingSpec::Off,
                     1 => PackingSpec::Auto,
                     n => PackingSpec::Slots(n),
+                }
+            }
+            // Comparison-width axis: 0 = full, 1 = auto, n ≥ 2 = floor n —
+            // the full-vs-auto A/B the comparison baseline records.
+            "comparison_bits" => {
+                s.params.comparison_bits = match value {
+                    0 => ComparisonBitsSpec::Full,
+                    1 => ComparisonBitsSpec::Auto,
+                    n => ComparisonBitsSpec::Floor(n as u32),
                 }
             }
             other => panic!("unvalidated sweep axis {other:?}"),
@@ -1200,6 +1301,68 @@ mod tests {
         assert!(parse_toml("[params]\npacking = \"yes\"").is_err());
         assert!(parse_toml("[params]\npacking = 0").is_err());
         assert!(parse_toml("[params]\npacking = 1").is_err());
+    }
+
+    #[test]
+    fn comparison_bits_knob_parses_and_applies() {
+        let s = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert_eq!(s.params.comparison_bits, ComparisonBitsSpec::Full);
+        assert_eq!(
+            s.pivot_params(Algo::PivotBasic).comparison_bits,
+            CompareBits::Full
+        );
+        let s = parse_toml("[params]\ncomparison_bits = \"auto\"\ndealer_pool = 64").unwrap();
+        assert_eq!(s.params.comparison_bits, ComparisonBitsSpec::Auto);
+        assert_eq!(s.params.dealer_pool, 64);
+        let p = s.pivot_params(Algo::PivotEnhancedPp);
+        assert_eq!(p.comparison_bits, CompareBits::Auto);
+        assert_eq!(p.dealer_pool, 64);
+        assert_eq!(
+            s.to_json().path("params.comparison_bits").unwrap().as_str(),
+            Some("auto")
+        );
+        assert_eq!(
+            s.to_json().path("params.dealer_pool").unwrap().as_u64(),
+            Some(64)
+        );
+        let s = parse_toml("[params]\ncomparison_bits = 24").unwrap();
+        assert_eq!(s.params.comparison_bits, ComparisonBitsSpec::Floor(24));
+        assert_eq!(
+            s.to_json().path("params.comparison_bits").unwrap().as_u64(),
+            Some(24)
+        );
+        // Typos and reserved sweep values are hard errors, and floors
+        // beyond the fixed-point int_bits (45) are rejected at parse
+        // time rather than panicking downstream.
+        assert!(parse_toml("[params]\ncomparison_bits = \"fast\"").is_err());
+        assert!(parse_toml("[params]\ncomparison_bits = 0").is_err());
+        assert!(parse_toml("[params]\ncomparison_bits = 1").is_err());
+        let err = parse_toml("[params]\ncomparison_bits = 46").unwrap_err();
+        assert!(err.contains("int_bits"), "{err}");
+        assert!(parse_toml("[params]\ncomparison_bits = 45").is_ok());
+    }
+
+    #[test]
+    fn comparison_bits_axis_is_sweepable() {
+        let s = parse_toml("[sweep]\nvary = \"comparison_bits\"\nvalues = [0, 1, 16]").unwrap();
+        assert_eq!(
+            s.with_axis("comparison_bits", 0).params.comparison_bits,
+            ComparisonBitsSpec::Full
+        );
+        assert_eq!(
+            s.with_axis("comparison_bits", 1).params.comparison_bits,
+            ComparisonBitsSpec::Auto
+        );
+        assert_eq!(
+            s.with_axis("comparison_bits", 16).params.comparison_bits,
+            ComparisonBitsSpec::Floor(16)
+        );
+        // Out-of-range sweep points fail per-point validation cleanly
+        // (no mid-sweep panic), like parties = 0.
+        let bad = s.with_axis("comparison_bits", 46);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("int_bits"), "{err}");
+        assert!(s.with_axis("comparison_bits", 45).validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! End-to-end bounded-vs-full comparison parity: `comparison_bits =
+//! "auto"` must release the same model, predictions, and metric as
+//! `"full"` (comparisons stay exact, so every argmax is range-invariant)
+//! while opening measurably fewer field elements in measurably fewer
+//! comparison rounds — the PR-5 acceptance shape, for both protocols.
+//!
+//! `comparison_bits = "full"` itself is the PR-3/PR-4 path: the legacy
+//! BitLT, the legacy single-stream dealer, and full-width masks are only
+//! reachable through it, and `batch_parity.rs` / `packing_parity.rs` keep
+//! asserting that path's transcript invariants.
+
+use pivot_bench::Algo;
+use pivot_cli::runner::{execute, Execution};
+use pivot_cli::scenario::Scenario;
+
+fn scenario(tag: &str, body: &str) -> Scenario {
+    let path = std::env::temp_dir().join(format!(
+        "pivot-comparison-parity-{}-{tag}.toml",
+        std::process::id()
+    ));
+    std::fs::write(&path, body).unwrap();
+    let s = Scenario::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    s
+}
+
+/// The bounded run must release the same model and metric; the comparison
+/// transcript must shrink by the acceptance margins (opened ≥2×, rounds
+/// ≥3×) with fewer total bytes on the wire.
+fn assert_parity_and_reduction(full: &Execution, auto: &Execution) {
+    assert_eq!(full.metric, auto.metric, "test metric");
+    for (f, a) in full.parties.iter().zip(&auto.parties) {
+        assert_eq!(
+            f.predictions, a.predictions,
+            "party {} predictions",
+            f.party
+        );
+        assert_eq!(
+            f.internal_nodes, a.internal_nodes,
+            "party {} model",
+            f.party
+        );
+        assert_eq!(f.tree_depth, a.tree_depth, "party {} depth", f.party);
+    }
+    let f = &full.parties[0].comparison;
+    let a = &auto.parties[0].comparison;
+    assert_eq!(f.count, a.count, "same number of secure comparisons");
+    assert!(
+        f.opened_elements >= 2 * a.opened_elements,
+        "comparison openings must drop >=2x: full {} vs auto {}",
+        f.opened_elements,
+        a.opened_elements
+    );
+    assert!(
+        f.online_rounds >= 3 * a.online_rounds,
+        "comparison rounds must drop >=3x: full {} vs auto {}",
+        f.online_rounds,
+        a.online_rounds
+    );
+    assert!(
+        f.masked_bits >= 2 * a.masked_bits,
+        "masked-bit consumption must drop >=2x: full {} vs auto {}",
+        f.masked_bits,
+        a.masked_bits
+    );
+    // The full run compares at exactly int_bits. The auto run derives
+    // per-site widths; only comparisons without a provable range (the
+    // enhanced prediction's feature-vs-threshold tests) may stay at 45.
+    assert_eq!(f.widths.len(), 1, "full uses one width: {:?}", f.widths);
+    assert_eq!(f.widths[0].0, 45);
+    let bounded: u64 = a
+        .widths
+        .iter()
+        .filter(|&&(k, _)| k < 45)
+        .map(|&(_, n)| n)
+        .sum();
+    let unbounded: u64 = a
+        .widths
+        .iter()
+        .filter(|&&(k, _)| k >= 45)
+        .map(|&(_, n)| n)
+        .sum();
+    assert!(
+        bounded > 10 * unbounded,
+        "bounded widths must dominate: {:?}",
+        a.widths
+    );
+    assert!(a.widths.len() > 1, "auto derives per-site widths");
+    assert!(
+        auto.parties[0].train_bytes_sent < full.parties[0].train_bytes_sent,
+        "bounded comparisons must shrink total training traffic ({} vs {})",
+        auto.parties[0].train_bytes_sent,
+        full.parties[0].train_bytes_sent
+    );
+}
+
+fn run_pair(base: &str, tag: &str, algo: Algo) -> (Execution, Execution) {
+    let full = execute(
+        &scenario(
+            &format!("{tag}-full"),
+            &format!("{base}comparison_bits = \"full\"\n"),
+        ),
+        algo,
+        false,
+    )
+    .unwrap();
+    let auto = execute(
+        &scenario(
+            &format!("{tag}-auto"),
+            &format!("{base}comparison_bits = \"auto\"\n"),
+        ),
+        algo,
+        false,
+    )
+    .unwrap();
+    (full, auto)
+}
+
+/// `comparison_bits = "full"` IS the pre-PR-5 path: a run with the
+/// explicit knob must be byte-for-byte the run without it (model, metric,
+/// predictions, per-party traffic, comparison transcript). Together with
+/// `batch_parity.rs` / `packing_parity.rs` — which exercise that default —
+/// this pins the PR-3/PR-4 transcript reproduction.
+#[test]
+fn explicit_full_is_bit_identical_to_default() {
+    let base = "seed = 4242\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 36\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n";
+    let default = execute(&scenario("default", base), Algo::PivotBasic, false).unwrap();
+    let full = execute(
+        &scenario(
+            "explicit-full",
+            &format!("{base}comparison_bits = \"full\"\n"),
+        ),
+        Algo::PivotBasic,
+        false,
+    )
+    .unwrap();
+    assert_eq!(default.metric, full.metric);
+    for (d, f) in default.parties.iter().zip(&full.parties) {
+        assert_eq!(d.predictions, f.predictions, "party {}", d.party);
+        assert_eq!(d.internal_nodes, f.internal_nodes);
+        assert_eq!(d.train_bytes_sent, f.train_bytes_sent, "party {}", d.party);
+        assert_eq!(d.train_messages_sent, f.train_messages_sent);
+        assert_eq!(d.predict_bytes_sent, f.predict_bytes_sent);
+        assert_eq!(d.comparison, f.comparison, "comparison transcript");
+    }
+}
+
+#[test]
+fn basic_bounded_comparisons_match_full() {
+    // flip_y keeps internal nodes impure so every argmax has a margin far
+    // above the ±1-ulp truncation realignment between the two dealers.
+    let base = "seed = 4242\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 36\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n";
+    let (full, auto) = run_pair(base, "basic", Algo::PivotBasic);
+    assert_parity_and_reduction(&full, &auto);
+}
+
+#[test]
+fn enhanced_bounded_comparisons_match_full() {
+    // Enhanced adds the one-hot/PIR comparisons (shared-mask pairs) and
+    // the block-only reveal to the bounded surface; run under -PP so the
+    // offline dealer pool is exercised end to end.
+    let base = "seed = 99\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 30\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 256\n\
+         crypto_threads = 4\nrandomness_pool = 64\ndealer_pool = 128\n\
+         parallel_decrypt = true\n";
+    let (full, auto) = run_pair(base, "enhanced", Algo::PivotEnhanced);
+    assert_parity_and_reduction(&full, &auto);
+    // Full mode never touches the pool; the bounded -PP run must have
+    // served at least part of its preprocessing from precompute.
+    let f = &full.parties[0].dealer_pool;
+    let a = &auto.parties[0].dealer_pool;
+    assert_eq!(f.target, 0, "full mode keeps the legacy dealer: {f:?}");
+    assert_eq!(a.target, 128);
+    assert!(
+        a.triple_hits + a.triple_misses > 0 && a.masked_hits + a.masked_misses > 0,
+        "bounded mode draws from the split streams: {a:?}"
+    );
+}
+
+#[test]
+fn width_floor_sits_between_full_and_auto() {
+    let base = "seed = 7\nparties = 2\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 30\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n";
+    let (full, auto) = run_pair(base, "floor", Algo::PivotBasic);
+    let floored = execute(
+        &scenario("floor-30", &format!("{base}comparison_bits = 30\n")),
+        Algo::PivotBasic,
+        false,
+    )
+    .unwrap();
+    assert_eq!(full.metric, floored.metric);
+    assert_eq!(full.parties[0].predictions, floored.parties[0].predictions);
+    let f = full.parties[0].comparison.opened_elements;
+    let m = floored.parties[0].comparison.opened_elements;
+    let a = auto.parties[0].comparison.opened_elements;
+    assert!(
+        a < m && m < f,
+        "floor sits between: auto {a} < floor {m} < full {f}"
+    );
+    assert!(
+        floored.parties[0]
+            .comparison
+            .widths
+            .iter()
+            .all(|&(k, _)| k >= 30),
+        "floor raises every width: {:?}",
+        floored.parties[0].comparison.widths
+    );
+}
+
+/// Range-invariance proof on a *near-tie* scenario: at depth 4 with thin
+/// nodes this seed's gains carry sub-ulp margins, so the split-stream
+/// dealer's ±1-ulp truncation realignment may legitimately resolve an
+/// argmax differently from `"full"` (the PR-4 packing caveat). The widths
+/// themselves never change a comparison: a width floor of `int_bits`
+/// (full-width comparisons on the bounded machinery) must reproduce the
+/// `"auto"` run — model, metric, and predictions — exactly.
+#[test]
+fn widths_never_flip_a_comparison_even_on_near_ties() {
+    let base = "seed = 0xBE7C4\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 120\n\
+         features_per_party = 2\nclasses = 2\n\
+         [params]\nmax_depth = 4\nmax_splits = 4\nkeysize = 256\n";
+    let auto = execute(
+        &scenario("ties-auto", &format!("{base}comparison_bits = \"auto\"\n")),
+        Algo::PivotBasic,
+        false,
+    )
+    .unwrap();
+    let floored = execute(
+        &scenario("ties-floor45", &format!("{base}comparison_bits = 45\n")),
+        Algo::PivotBasic,
+        false,
+    )
+    .unwrap();
+    assert_eq!(auto.metric, floored.metric);
+    for (a, f) in auto.parties.iter().zip(&floored.parties) {
+        assert_eq!(a.predictions, f.predictions, "party {}", a.party);
+        assert_eq!(a.internal_nodes, f.internal_nodes);
+        assert_eq!(a.tree_depth, f.tree_depth);
+    }
+    // Same comparisons, narrower transcript.
+    let a = &auto.parties[0].comparison;
+    let f = &floored.parties[0].comparison;
+    assert_eq!(a.count, f.count);
+    assert!(a.opened_elements < f.opened_elements);
+}
+
+/// GBDT residual trees train on residuals that can exceed the ±1
+/// normalized-label contract, so their gain argmax must keep the full
+/// fixed-point width even under `"auto"` (`gain_width`'s `task_override`
+/// gate) — while the count-based comparisons stay bounded.
+#[test]
+fn gbdt_residual_gain_argmax_keeps_full_width() {
+    let base = "seed = 13\nparties = 2\n\
+         [data]\nkind = \"synthetic-regression\"\nsamples = 40\n\
+         features_per_party = 2\n\
+         [model]\nkind = \"gbdt\"\nrounds = 3\nlearning_rate = 0.5\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n";
+    let (full, auto) = run_pair(base, "gbdt", Algo::PivotBasic);
+    for (f, a) in full.parties.iter().zip(&auto.parties) {
+        assert_eq!(f.internal_nodes, a.internal_nodes, "model shape");
+        for (x, y) in f.predictions.iter().zip(&a.predictions) {
+            assert!(
+                (x - y).abs() < 1e-3,
+                "gbdt predictions diverged: {x} vs {y}"
+            );
+        }
+    }
+    let widths = &auto.parties[0].comparison.widths;
+    let at_full: u64 = widths
+        .iter()
+        .filter(|&&(k, _)| k == 45)
+        .map(|&(_, n)| n)
+        .sum();
+    let bounded: u64 = widths
+        .iter()
+        .filter(|&&(k, _)| k < 45)
+        .map(|&(_, n)| n)
+        .sum();
+    assert!(
+        at_full > 0,
+        "residual gain argmax must stay at int_bits: {widths:?}"
+    );
+    assert!(
+        bounded > 0,
+        "count-based comparisons must stay bounded: {widths:?}"
+    );
+    assert!(
+        auto.parties[0].comparison.opened_elements < full.parties[0].comparison.opened_elements,
+        "bounded count comparisons still shrink the transcript"
+    );
+}
+
+#[test]
+fn bounded_regression_gbdt_leaves_match_within_ulp() {
+    // Regression exercises recip_vec_int's Goldschmidt tail and the
+    // fixed-point leaf means; leaves may shift by the documented ±1-ulp
+    // truncation realignment, so compare predictions with a tolerance.
+    let base = "seed = 11\nparties = 2\n\
+         [data]\nkind = \"synthetic-regression\"\nsamples = 40\n\
+         features_per_party = 2\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n";
+    let (full, auto) = run_pair(base, "regression", Algo::PivotBasic);
+    for (f, a) in full.parties.iter().zip(&auto.parties) {
+        assert_eq!(f.internal_nodes, a.internal_nodes, "model shape");
+        for (x, y) in f.predictions.iter().zip(&a.predictions) {
+            assert!(
+                (x - y).abs() < 1e-4,
+                "regression predictions diverged: {x} vs {y}"
+            );
+        }
+    }
+    let f = &full.parties[0].comparison;
+    let a = &auto.parties[0].comparison;
+    assert!(f.opened_elements >= 2 * a.opened_elements);
+}

@@ -1,7 +1,7 @@
 //! Protocol configuration (paper Table 4 parameters plus implementation
 //! knobs).
 
-use pivot_mpc::{FixedConfig, MODULUS};
+use pivot_mpc::{CompareBits, FixedConfig, MODULUS};
 use pivot_paillier::SlotCodec;
 use pivot_trees::TreeParams;
 
@@ -81,6 +81,18 @@ pub struct PivotParams {
     /// (argmax parity) over packed statistics and level-wise batched
     /// conversions.
     pub packing: Packing,
+    /// Secure-comparison width policy. `Full` pins every comparison to
+    /// `fixed.int_bits` on the legacy linear BitLT — bit-for-bit the
+    /// PR-3/PR-4 transcript. `Auto` lets every call site pay only for its
+    /// proven value range on the log-depth BitLT ladder (same released
+    /// models: comparisons stay exact, so every argmax is unchanged).
+    /// `Floor(n)` is `Auto` with a minimum width — a conservative dial.
+    pub comparison_bits: CompareBits,
+    /// Offline dealer-pool size: how many Beaver triples / masked-bit
+    /// rows per stream background workers keep precomputed (0 disables
+    /// precomputation). Only active under `parallel_decrypt` and a
+    /// bounded `comparison_bits` policy; has no effect on outputs.
+    pub dealer_pool: usize,
     /// Common seed for the simulated MPC offline phase.
     pub dealer_seed: u64,
 }
@@ -96,6 +108,8 @@ impl Default for PivotParams {
             crypto_threads: 6,
             randomness_pool: 256,
             packing: Packing::Off,
+            comparison_bits: CompareBits::Full,
+            dealer_pool: 256,
             dealer_seed: 0x9162_07,
         }
     }
@@ -129,6 +143,17 @@ impl PivotParams {
     pub fn effective_randomness_pool(&self) -> usize {
         if self.parallel_decrypt {
             self.randomness_pool
+        } else {
+            0
+        }
+    }
+
+    /// Offline dealer-pool target: background precomputation needs the
+    /// worker pool (`parallel_decrypt`) and the split preprocessing
+    /// streams of a bounded comparison policy; 0 everywhere else.
+    pub fn effective_dealer_pool(&self) -> usize {
+        if self.parallel_decrypt && self.comparison_bits != CompareBits::Full {
+            self.dealer_pool
         } else {
             0
         }
@@ -215,6 +240,13 @@ impl PivotParams {
             self.tree.max_splits >= 1,
             "need at least one candidate split"
         );
+        if let CompareBits::Floor(n) = self.comparison_bits {
+            assert!(
+                (2..=self.fixed.int_bits).contains(&n),
+                "comparison_bits floor {n} outside 2..={}",
+                self.fixed.int_bits
+            );
+        }
         // Structural packing audit with the narrower classification
         // bound; [`PivotParams::assert_packing`] re-audits with the real
         // task once the data view is known (PartyContext::setup).

@@ -56,7 +56,9 @@ pub fn ciphers_to_shares(ctx: &mut PartyContext<'_>, cts: &[Ciphertext]) -> Vec<
     // Exchange encrypted masks; everyone assembles [e] = [x + 2^(k-1) + Σ rᵢ]
     // (line 4, plus the signedness offset). The offset ciphertext is the
     // same public constant for every value — encode it once.
+    // The exchange wait is CPU-idle: top up both offline pools.
     ctx.nonces.refill();
+    ctx.engine.dealer_refill();
     let all_masks: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_enc_masks);
     let enc_offset = ctx.pk.encrypt_trivial(&offset);
     let indices: Vec<usize> = (0..n).collect();

@@ -93,7 +93,9 @@ pub fn predict_rf(ctx: &mut PartyContext<'_>, model: &RfModel, local_sample: &[f
                     tallies[k] = tallies[k] + vote;
                 }
             }
-            let (winner, _) = ctx.engine.argmax(&tallies);
+            // Vote tallies are integers bounded by the tree count.
+            let width = pivot_mpc::width_for_magnitude(model.trees.len() as u64);
+            let (winner, _) = ctx.engine.argmax_bounded(&tallies, width);
             ctx.engine.open(winner).value() as f64
         }
     }

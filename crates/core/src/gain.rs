@@ -18,7 +18,28 @@ use crate::metrics::Stage;
 use crate::party::PartyContext;
 use crate::stats::{EncryptedStats, PackedStats, SplitLayout};
 use pivot_data::Task;
-use pivot_mpc::{Fp, Share};
+use pivot_mpc::{width_for_magnitude, Fp, Share};
+
+/// Comparison width covering integer node counts (`|v| ≤ n`).
+fn count_width(ctx: &PartyContext<'_>) -> u32 {
+    width_for_magnitude(ctx.num_samples() as u64)
+}
+
+/// Comparison width covering pairwise *differences* of gated gains: valid
+/// gains live in `(−2, n + 1]·2^f` and invalid ones are pinned to `−2^f`,
+/// so `|a − b| ≤ (n + 2)·2^f < 2^(f + width(n) + 1)`.
+///
+/// The `(n + 1)·2^f` gain bound rests on the ±1 normalized-label
+/// contract. GBDT residual trees (`task_override` set) train on
+/// residuals that can exceed it (up to `(1 + lr)^round`), so their gain
+/// argmax keeps the full fixed-point width — the same conservative gate
+/// PR-4 applies to packing residual labels.
+fn gain_width(ctx: &PartyContext<'_>) -> u32 {
+    if ctx.task_override.is_some() {
+        return ctx.params.fixed.int_bits;
+    }
+    ctx.params.fixed.frac_bits + count_width(ctx) + 1
+}
 
 /// Share-domain statistics of one tree node.
 pub struct NodeShares {
@@ -190,8 +211,8 @@ pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share
     let n_bound = ctx.num_samples() as f64;
     let task = ctx.current_task();
     let party = ctx.id();
-    let f = ctx.params.fixed.frac_bits;
     let one_fx = ctx.params.fixed.one();
+    let counts_k = count_width(ctx);
 
     ctx.metrics.time(Stage::MpcComputation, || {
         let engine = &mut ctx.engine;
@@ -204,11 +225,14 @@ pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share
             .map(|(k, row)| row.iter().map(|&l| shares.g_totals[k] - l).collect())
             .collect();
 
-        // Reciprocals of both side sizes in one batch (fixed-point).
-        let mut sides_fx: Vec<Share> = Vec::with_capacity(2 * n_splits);
-        sides_fx.extend(shares.n_l.iter().map(|s| s.scale(Fp::pow2(f))));
-        sides_fx.extend(n_r.iter().map(|s| s.scale(Fp::pow2(f))));
-        let recips = engine.recip_vec(&sides_fx, n_bound);
+        // Reciprocals of both side sizes in one batch. The sides are
+        // integer-valued counts, so the normalization comparisons run in
+        // the integer domain (`⌈log₂ n⌉`-bit widths instead of
+        // `f + ⌈log₂ n⌉`).
+        let mut sides_int: Vec<Share> = Vec::with_capacity(2 * n_splits);
+        sides_int.extend(shares.n_l.iter().copied());
+        sides_int.extend(n_r.iter().copied());
+        let recips = engine.recip_vec_int(&sides_int, n_bound);
         let (recip_l, recip_r) = recips.split_at(n_splits);
 
         let gains_raw: Vec<Share> = match task {
@@ -262,7 +286,9 @@ pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share
         let mut sides = Vec::with_capacity(2 * n_splits);
         sides.extend(shares.n_l.iter().map(|s| s.sub_public(party, Fp::ONE)));
         sides.extend(n_r.iter().map(|s| s.sub_public(party, Fp::ONE)));
-        let zero_flags = engine.ltz_vec(&sides);
+        // Side counts are integers in [0, n]: the zero tests only need
+        // count-width comparisons, not the full fixed-point layout.
+        let zero_flags = engine.ltz_vec_bounded(&sides, counts_k);
         let valid: Vec<Share> = (0..n_splits)
             .map(|s| Share::from_public(party, Fp::ONE) - zero_flags[s] - zero_flags[n_splits + s])
             .collect();
@@ -282,8 +308,10 @@ pub fn split_gains(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Vec<Share
 
 /// Secure argmax over the gains; returns `(⟨global split index⟩, ⟨gain⟩)`.
 pub fn best_split(ctx: &mut PartyContext<'_>, gains: &[Share]) -> (Share, Share) {
-    ctx.metrics
-        .time(Stage::MpcComputation, || ctx.engine.argmax(gains))
+    let k = gain_width(ctx);
+    ctx.metrics.time(Stage::MpcComputation, || {
+        ctx.engine.argmax_bounded(gains, k)
+    })
 }
 
 /// Basic protocol: open the winning index and map it to the public
@@ -322,7 +350,9 @@ pub fn reveal_block_only(
         .skip(1)
         .map(|&(_, _, (start, _))| idx.sub_public(party, Fp::new(start as u64)))
         .collect();
-    let bits = ctx.engine.ltz_vec(&diffs);
+    // idx and every block start lie in [0, total splits].
+    let k = width_for_magnitude(layout.total() as u64);
+    let bits = ctx.engine.ltz_vec_bounded(&diffs, k);
     let opened = ctx.engine.open_vec(&bits);
     // The winning block is the last one whose start ≤ idx.
     let mut winner = 0usize;
@@ -340,13 +370,13 @@ pub fn reveal_block_only(
 /// label (regression, fixed-point share).
 pub fn leaf_label_share(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Share {
     let n_bound = ctx.num_samples() as f64;
-    let f = ctx.params.fixed.frac_bits;
     let task = ctx.current_task();
+    let counts_k = count_width(ctx);
     ctx.metrics.time(Stage::MpcComputation, || match task {
-        Task::Classification { .. } => ctx.engine.argmax(&shares.g_totals).0,
+        // Class counts are integers in [0, n]: count-width argmax.
+        Task::Classification { .. } => ctx.engine.argmax_bounded(&shares.g_totals, counts_k).0,
         Task::Regression => {
-            let n_fx = shares.n_total.scale(Fp::pow2(f));
-            let recip = ctx.engine.recip_vec(&[n_fx], n_bound);
+            let recip = ctx.engine.recip_vec_int(&[shares.n_total], n_bound);
             ctx.engine.fixmul_vec(&[shares.g_totals[0]], &[recip[0]])[0]
         }
     })
@@ -358,16 +388,18 @@ pub fn prune_decision(ctx: &mut PartyContext<'_>, shares: &NodeShares, check_pur
     let party = ctx.id();
     let min_samples = ctx.params.tree.min_samples as u64;
     let is_classification = matches!(ctx.current_task(), Task::Classification { .. });
+    // All operands are integer counts bounded by max(n, min_samples).
+    let counts_k = width_for_magnitude((ctx.num_samples() as u64).max(min_samples));
     ctx.metrics.time(Stage::MpcComputation, || {
         let small = {
             let diff = shares.n_total.sub_public(party, Fp::new(min_samples));
-            ctx.engine.ltz_vec(&[diff])[0]
+            ctx.engine.ltz_vec_bounded(&[diff], counts_k)[0]
         };
         let decision = if check_purity && is_classification {
             // pure ⟺ max_k g_k = n̄ ⟺ (n̄ − max) − 1 < 0.
-            let max = ctx.engine.max_vec(&shares.g_totals);
+            let max = ctx.engine.max_vec_bounded(&shares.g_totals, counts_k);
             let diff = (shares.n_total - max).sub_public(party, Fp::ONE);
-            let pure = ctx.engine.ltz_vec(&[diff])[0];
+            let pure = ctx.engine.ltz_vec_bounded(&[diff], counts_k)[0];
             // stop = small ∨ pure = small + pure − small·pure.
             let prod = ctx.engine.mul(small, pure);
             small + pure - prod

@@ -42,3 +42,6 @@ pub use config::{PivotParams, Protocol};
 pub use metrics::ProtocolMetrics;
 pub use model::{ConcealedNode, ConcealedTree};
 pub use party::PartyContext;
+// Re-exported so report-layer consumers (CLI, bench) can name the
+// comparison policy and its telemetry without a direct pivot-mpc edge.
+pub use pivot_mpc::{CompareBits, ComparisonCounters, DealerPoolStats};

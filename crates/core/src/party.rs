@@ -87,7 +87,11 @@ impl<'a> PartyContext<'a> {
             "feature ownership must cover every column"
         );
 
-        let engine = MpcEngine::new(ep, params.dealer_seed, params.fixed);
+        let mut engine = MpcEngine::new(ep, params.dealer_seed, params.fixed);
+        engine.configure_comparisons(params.comparison_bits, params.effective_dealer_pool());
+        // Key generation / view exchange is an idle phase: start the
+        // offline dealer precompute alongside the nonce prefill below.
+        engine.dealer_refill();
         let rng =
             StdRng::seed_from_u64(params.dealer_seed ^ 0xACE0_FBA5E ^ ((ep.id() as u64 + 1) << 32));
         // Dedicated per-party nonce stream; keygen/setup is an idle phase,

@@ -346,8 +346,9 @@ fn masked_product(
             .collect();
         let my_terms = batch::mul_plain_batch(&ctx.pk, v, &share_values, threads);
         ctx.metrics.add_ciphertext_ops(my_terms.len() as u64);
-        // The gather wait is CPU-idle: top up the randomness pool.
+        // The gather wait is CPU-idle: top up the offline pools.
         ctx.nonces.refill();
+        ctx.engine.dealer_refill();
         let gathered = ctx.ep.gather(winner, &my_terms);
         if ctx.id() == winner {
             let parts = gathered.expect("winner gathers");

@@ -12,11 +12,30 @@
 //! of it (each party could recompute the others' shares from the seed). The
 //! online protocols built on top are the real ones; swapping in genuine
 //! OT/HE-based preprocessing would not change any online message.
+//!
+//! Two stream layouts coexist:
+//!
+//! * **Legacy single stream** (`comparison_bits = "full"`): every draw —
+//!   triples, masks, truncation pairs — advances one PRG in protocol call
+//!   order, reproducing the PR-3/PR-4 transcripts bit for bit. Nothing can
+//!   be precomputed ahead of time without perturbing later draws.
+//! * **Split streams** (bounded comparison modes): Beaver triples and
+//!   masked-bit rows move to *dedicated derived streams*, one per material
+//!   kind (and per mask width). Each stream is consumed FIFO, so a
+//!   [`DealerPool`] can precompute rows on background workers during idle
+//!   phases without changing a single value — the same determinism contract
+//!   as the PR-3 `NoncePool`. Order-sensitive material (probabilistic
+//!   truncation pairs, DP unit fractions, random bits/shares) stays on the
+//!   legacy stream: its values feed ±1-ulp rounding and DP draws, so
+//!   reordering would change results, not just transcripts.
 
 use crate::field::{Fp, MODULUS};
 use crate::fixed::FixedConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A Beaver multiplication triple share: `(⟨a⟩, ⟨b⟩, ⟨ab⟩)`.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +57,272 @@ pub struct MaskedBitsShare {
     pub bits: Vec<Fp>,
 }
 
+/// Draw a uniform field element from `rng` (same draw on every party).
+fn draw_uniform(rng: &mut StdRng) -> Fp {
+    Fp::new(rng.gen_range(0..MODULUS))
+}
+
+/// Split `value` into `m` additive shares and keep party `party`'s.
+/// Every party generates the identical share vector and indexes it.
+fn draw_split(rng: &mut StdRng, party: usize, m: usize, value: Fp) -> Fp {
+    let mut total = Fp::ZERO;
+    let mut mine = Fp::ZERO;
+    for i in 0..m - 1 {
+        let share = draw_uniform(rng);
+        total += share;
+        if i == party {
+            mine = share;
+        }
+    }
+    let last = value - total;
+    if party == m - 1 {
+        mine = last;
+    }
+    mine
+}
+
+fn draw_triple(rng: &mut StdRng, party: usize, m: usize) -> TripleShare {
+    let a = draw_uniform(rng);
+    let b = draw_uniform(rng);
+    let c = a * b;
+    TripleShare {
+        a: draw_split(rng, party, m, a),
+        b: draw_split(rng, party, m, b),
+        c: draw_split(rng, party, m, c),
+    }
+}
+
+/// One masked-bit row: `t` bit-decomposed low bits plus a uniform
+/// `high_bits`-bit high part. The caller fixes `high_bits = k + κ − t`
+/// for the audited comparison width `k` (legacy callers: `k = int_bits`).
+fn draw_masked_row(
+    rng: &mut StdRng,
+    party: usize,
+    m: usize,
+    t: u32,
+    high_bits: u32,
+) -> MaskedBitsShare {
+    debug_assert!(t + high_bits < 61, "mask exceeds the 61-bit field");
+    let mut low_val = 0u64;
+    let mut bit_shares = Vec::with_capacity(t as usize);
+    for i in 0..t {
+        let bit = rng.gen_range(0..2u64);
+        low_val |= bit << i;
+        bit_shares.push(draw_split(rng, party, m, Fp::new(bit)));
+    }
+    let high = rng.gen_range(0..(1u64 << high_bits));
+    let r_val = Fp::new(high << t) + Fp::new(low_val);
+    MaskedBitsShare {
+        r: draw_split(rng, party, m, r_val),
+        r_high: draw_split(rng, party, m, Fp::new(high)),
+        bits: bit_shares,
+    }
+}
+
+/// Derive a per-stream seed from the dealer seed and a material tag.
+/// SplitMix64-style finalizer: identical on every party, spreads nearby
+/// tags far apart so streams never collide.
+fn derived_seed(seed: u64, tag: u64) -> u64 {
+    let mut z = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const TRIPLE_TAG: u64 = 0x7219_7213_BEAF_E201;
+const MASKED_TAG: u64 = 0x0A5C_ED81_7500_13D7;
+
+/// Hit/miss behavior of one party's [`DealerPool`] (timing-dependent —
+/// *not* part of the cross-backend parity contract; the values drawn are).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DealerPoolStats {
+    /// Refill target per stream (0 = inline generation only).
+    pub target: u64,
+    /// Beaver triples served from the precomputed queue.
+    pub triple_hits: u64,
+    /// Beaver triples generated inline on demand.
+    pub triple_misses: u64,
+    /// Masked-bit rows served from the precomputed queues.
+    pub masked_hits: u64,
+    /// Masked-bit rows generated inline on demand.
+    pub masked_misses: u64,
+    /// Items precomputed by background workers.
+    pub produced: u64,
+}
+
+impl DealerPoolStats {
+    /// Fraction of takes served from the precomputed queues (`None` when
+    /// nothing was taken).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let hits = self.triple_hits + self.masked_hits;
+        let total = hits + self.triple_misses + self.masked_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+}
+
+/// FIFO stream of one preprocessing material kind: a dedicated seeded PRG
+/// plus a queue of precomputed items. Values depend only on how many items
+/// were drawn so far, never on *when* they were generated — the property
+/// that makes background precomputation transcript-neutral.
+struct Stream<T> {
+    rng: StdRng,
+    queue: VecDeque<T>,
+}
+
+impl<T> Stream<T> {
+    fn new(seed: u64) -> Self {
+        Stream {
+            rng: StdRng::seed_from_u64(seed),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Per-party offline pool for the split-stream dealer layout: Beaver
+/// triples and masked-bit rows precomputed on the `pivot-runtime`
+/// background queue during idle phases (mirroring the PR-3 `NoncePool`).
+pub struct DealerPool {
+    party: usize,
+    m: usize,
+    seed: u64,
+    /// Refill target per stream; 0 disables background precomputation
+    /// (everything generates inline, still from the derived streams).
+    target: usize,
+    triples: Mutex<Stream<TripleShare>>,
+    /// Masked-bit streams keyed by `(t, high_bits)` — each width draws
+    /// from its own derived seed, so widths never perturb each other.
+    masked: Mutex<HashMap<(u32, u32), Stream<MaskedBitsShare>>>,
+    refill_pending: AtomicBool,
+    triple_hits: AtomicU64,
+    triple_misses: AtomicU64,
+    masked_hits: AtomicU64,
+    masked_misses: AtomicU64,
+    produced: AtomicU64,
+}
+
+impl DealerPool {
+    pub fn new(seed: u64, party: usize, m: usize, target: usize) -> Arc<DealerPool> {
+        Arc::new(DealerPool {
+            party,
+            m,
+            seed,
+            target,
+            triples: Mutex::new(Stream::new(derived_seed(seed, TRIPLE_TAG))),
+            masked: Mutex::new(HashMap::new()),
+            refill_pending: AtomicBool::new(false),
+            triple_hits: AtomicU64::new(0),
+            triple_misses: AtomicU64::new(0),
+            masked_hits: AtomicU64::new(0),
+            masked_misses: AtomicU64::new(0),
+            produced: AtomicU64::new(0),
+        })
+    }
+
+    /// Take `n` triples: precomputed rows first (FIFO), inline generation
+    /// for the rest — the values are identical either way.
+    fn take_triples(&self, n: usize) -> Vec<TripleShare> {
+        let mut s = self.triples.lock().expect("dealer pool poisoned");
+        let mut out = Vec::with_capacity(n);
+        let hits = n.min(s.queue.len());
+        for _ in 0..hits {
+            out.push(s.queue.pop_front().expect("counted"));
+        }
+        for _ in hits..n {
+            out.push(draw_triple(&mut s.rng, self.party, self.m));
+        }
+        self.triple_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.triple_misses
+            .fetch_add((n - hits) as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Take `n` masked-bit rows of shape `(t, high_bits)`.
+    fn take_masked(&self, t: u32, high_bits: u32, n: usize) -> Vec<MaskedBitsShare> {
+        let mut map = self.masked.lock().expect("dealer pool poisoned");
+        let s = map.entry((t, high_bits)).or_insert_with(|| {
+            Stream::new(derived_seed(
+                self.seed,
+                MASKED_TAG ^ ((t as u64) << 32 | high_bits as u64),
+            ))
+        });
+        let mut out = Vec::with_capacity(n);
+        let hits = n.min(s.queue.len());
+        for _ in 0..hits {
+            out.push(s.queue.pop_front().expect("counted"));
+        }
+        for _ in hits..n {
+            out.push(draw_masked_row(
+                &mut s.rng, self.party, self.m, t, high_bits,
+            ));
+        }
+        self.masked_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.masked_misses
+            .fetch_add((n - hits) as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Top up every stream to the refill target on the shared background
+    /// queue. Cheap no-op when a refill is already pending or the target
+    /// is 0; call from protocol idle phases (setup, conversion waits).
+    pub fn refill(self: &Arc<Self>) {
+        if self.target == 0 || self.refill_pending.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let pool = Arc::clone(self);
+        pivot_runtime::global().spawn(move || {
+            // Generate in small chunks so online takes never wait long on
+            // the stream lock.
+            const CHUNK: usize = 16;
+            loop {
+                let mut s = pool.triples.lock().expect("dealer pool poisoned");
+                if s.queue.len() >= pool.target {
+                    break;
+                }
+                for _ in 0..CHUNK {
+                    let t = draw_triple(&mut s.rng, pool.party, pool.m);
+                    s.queue.push_back(t);
+                }
+                pool.produced.fetch_add(CHUNK as u64, Ordering::Relaxed);
+            }
+            // Refill every width the protocol has requested so far.
+            let keys: Vec<(u32, u32)> = {
+                let map = pool.masked.lock().expect("dealer pool poisoned");
+                map.keys().copied().collect()
+            };
+            for key in keys {
+                loop {
+                    let mut map = pool.masked.lock().expect("dealer pool poisoned");
+                    let s = map.get_mut(&key).expect("known key");
+                    if s.queue.len() >= pool.target {
+                        break;
+                    }
+                    for _ in 0..CHUNK {
+                        let row = draw_masked_row(&mut s.rng, pool.party, pool.m, key.0, key.1);
+                        s.queue.push_back(row);
+                    }
+                    pool.produced.fetch_add(CHUNK as u64, Ordering::Relaxed);
+                }
+            }
+            pool.refill_pending.store(false, Ordering::Release);
+        });
+    }
+
+    pub fn stats(&self) -> DealerPoolStats {
+        DealerPoolStats {
+            target: self.target as u64,
+            triple_hits: self.triple_hits.load(Ordering::Relaxed),
+            triple_misses: self.triple_misses.load(Ordering::Relaxed),
+            masked_hits: self.masked_hits.load(Ordering::Relaxed),
+            masked_misses: self.masked_misses.load(Ordering::Relaxed),
+            produced: self.produced.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Per-party client of the simulated dealer. All parties construct it with
 /// the same `seed` and call the same sequence of methods; each call advances
 /// an identical PRG stream and returns this party's component.
@@ -45,6 +330,10 @@ pub struct DealerClient {
     rng: StdRng,
     party: usize,
     m: usize,
+    seed: u64,
+    /// Set in bounded comparison modes: triples and masked rows come from
+    /// the pool's derived streams instead of the legacy single stream.
+    pool: Option<Arc<DealerPool>>,
 }
 
 impl DealerClient {
@@ -55,6 +344,8 @@ impl DealerClient {
             rng: StdRng::seed_from_u64(seed),
             party,
             m,
+            seed,
+            pool: None,
         }
     }
 
@@ -63,44 +354,47 @@ impl DealerClient {
         self.m
     }
 
-    fn uniform(&mut self) -> Fp {
-        Fp::new(self.rng.gen_range(0..MODULUS))
+    /// Switch triples and masked-bit rows onto dedicated derived streams
+    /// (bounded comparison modes) with `target` precomputed rows per
+    /// stream (0 = inline generation, still poolable semantics).
+    ///
+    /// Must be called before the first draw; the legacy stream keeps
+    /// serving the order-sensitive material either way.
+    pub fn enable_split_streams(&mut self, target: usize) {
+        self.pool = Some(DealerPool::new(self.seed, self.party, self.m, target));
     }
 
-    /// Split `value` into `m` additive shares and keep this party's.
-    /// Every party generates the identical share vector and indexes it.
+    /// The offline pool, when split streams are enabled.
+    pub fn pool(&self) -> Option<&Arc<DealerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Pool behavior counters (zeros under the legacy single stream).
+    pub fn pool_stats(&self) -> DealerPoolStats {
+        self.pool.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    fn uniform(&mut self) -> Fp {
+        draw_uniform(&mut self.rng)
+    }
+
     fn split(&mut self, value: Fp) -> Fp {
-        let mut total = Fp::ZERO;
-        let mut mine = Fp::ZERO;
-        for i in 0..self.m - 1 {
-            let share = self.uniform();
-            total += share;
-            if i == self.party {
-                mine = share;
-            }
-        }
-        let last = value - total;
-        if self.party == self.m - 1 {
-            mine = last;
-        }
-        mine
+        draw_split(&mut self.rng, self.party, self.m, value)
     }
 
     /// Next Beaver triple.
     pub fn triple(&mut self) -> TripleShare {
-        let a = self.uniform();
-        let b = self.uniform();
-        let c = a * b;
-        TripleShare {
-            a: self.split(a),
-            b: self.split(b),
-            c: self.split(c),
-        }
+        self.triples(1).remove(0)
     }
 
     /// A batch of Beaver triples.
     pub fn triples(&mut self, n: usize) -> Vec<TripleShare> {
-        (0..n).map(|_| self.triple()).collect()
+        match &self.pool {
+            Some(pool) => pool.take_triples(n),
+            None => (0..n)
+                .map(|_| draw_triple(&mut self.rng, self.party, self.m))
+                .collect(),
+        }
     }
 
     /// Share of a uniformly random field element (unknown to all parties).
@@ -117,31 +411,46 @@ impl DealerClient {
 
     /// Masked-truncation material for `Mod2m` with `t` low bits: the low
     /// part is bit-decomposed, the high part is uniform in
-    /// `[0, 2^(k + κ - t))` per `cfg`.
+    /// `[0, 2^(int_bits + κ - t))` per `cfg` (legacy full-width call).
     pub fn masked_bits(&mut self, t: u32, cfg: &FixedConfig) -> MaskedBitsShare {
-        let high_bits = cfg.int_bits + cfg.kappa - t;
-        debug_assert!(t + high_bits < 61);
-        let mut low_val = 0u64;
-        let mut bit_shares = Vec::with_capacity(t as usize);
-        for i in 0..t {
-            let bit = self.rng.gen_range(0..2u64);
-            low_val |= bit << i;
-            bit_shares.push(self.split(Fp::new(bit)));
-        }
-        let high = self.rng.gen_range(0..(1u64 << high_bits));
-        let r_val = Fp::new(high << t) + Fp::new(low_val);
-        let r = self.split(r_val);
-        let r_high = self.split(Fp::new(high));
-        MaskedBitsShare {
-            r,
-            r_high,
-            bits: bit_shares,
+        self.masked_rows(t, cfg.int_bits, 1, cfg).remove(0)
+    }
+
+    /// Width-aware masked-bit rows: the comparison operates on values in
+    /// `[0, 2^k)`, so the high part only needs `k + κ − t` bits — the
+    /// statistical-headroom audit scales with the *proven* range instead
+    /// of the global `int_bits`. With `k = cfg.int_bits` and the legacy
+    /// stream this is draw-for-draw identical to the PR-3/PR-4 dealer.
+    pub fn masked_rows(
+        &mut self,
+        t: u32,
+        k: u32,
+        n: usize,
+        cfg: &FixedConfig,
+    ) -> Vec<MaskedBitsShare> {
+        assert!(t <= k, "mod 2^{t} needs at least {t} value bits, got {k}");
+        assert!(
+            k + cfg.kappa < 61,
+            "comparison width {k} + κ {} = {} exceeds the 61-bit field",
+            cfg.kappa,
+            k + cfg.kappa
+        );
+        let high_bits = k + cfg.kappa - t;
+        match &self.pool {
+            Some(pool) => pool.take_masked(t, high_bits, n),
+            None => (0..n)
+                .map(|_| draw_masked_row(&mut self.rng, self.party, self.m, t, high_bits))
+                .collect(),
         }
     }
 
     /// Probabilistic-truncation mask: `(⟨r⟩, ⟨r_high⟩)` with
     /// `r = r_high·2^t + r_low`, `r_low` uniform in `[0, 2^t)` (bits not
     /// needed for the probabilistic variant).
+    ///
+    /// Always drawn from the legacy stream: the mask value decides the
+    /// ±1-ulp rounding of every probabilistic truncation, so reordering
+    /// draws would change *results*, not just transcripts.
     pub fn trunc_pair(&mut self, t: u32, cfg: &FixedConfig) -> (Fp, Fp) {
         let high_bits = cfg.int_bits + cfg.kappa - t;
         let low = self.rng.gen_range(0..(1u64 << t));
@@ -152,6 +461,7 @@ impl DealerClient {
 
     /// Shares of a uniform fixed-point value in `[0, 1)` (that is, a random
     /// `f`-bit integer at scale `2^-f`) — used by the DP samplers (Alg. 5/6).
+    /// Legacy stream: the draw *is* the DP randomness.
     pub fn random_unit_fraction(&mut self, cfg: &FixedConfig) -> Fp {
         let v = self.rng.gen_range(0..(1u64 << cfg.frac_bits));
         self.split(Fp::new(v))
@@ -215,6 +525,30 @@ mod tests {
     }
 
     #[test]
+    fn bounded_masked_rows_respect_width() {
+        let cfg = FixedConfig::default();
+        let mut cs = clients(3);
+        // Width-10 masks with t = 9 low bits: high part < 2^(10 + κ − 9).
+        let rows: Vec<Vec<MaskedBitsShare>> = cs
+            .iter_mut()
+            .map(|c| c.masked_rows(9, 10, 5, &cfg))
+            .collect();
+        for i in 0..5 {
+            let high = reconstruct(rows.iter().map(|r| r[i].r_high)).value();
+            assert!(
+                high < 1 << (10 + cfg.kappa - 9),
+                "high part {high} too wide"
+            );
+            let r = reconstruct(rows.iter().map(|r| r[i].r)).value();
+            let mut low = 0u64;
+            for b in 0..9 {
+                low |= reconstruct(rows.iter().map(|r| r[i].bits[b])).value() << b;
+            }
+            assert_eq!(r, (high << 9) + low);
+        }
+    }
+
+    #[test]
     fn trunc_pair_structure() {
         let cfg = FixedConfig::default();
         let mut cs = clients(3);
@@ -253,5 +587,72 @@ mod tests {
             let v = reconstruct(shares).value();
             assert!(v < 1 << cfg.frac_bits);
         }
+    }
+
+    #[test]
+    fn split_streams_match_inline_generation() {
+        // Pooled (precomputed) and unpooled (inline) split-stream dealers
+        // must produce identical values in identical order — the
+        // determinism contract behind background precomputation.
+        let cfg = FixedConfig::default();
+        let drain = |c: &mut DealerClient| {
+            let mut out: Vec<Fp> = Vec::new();
+            for t in c.triples(40) {
+                out.extend([t.a, t.b, t.c]);
+            }
+            for row in c.masked_rows(9, 10, 8, &cfg) {
+                out.push(row.r);
+                out.push(row.r_high);
+                out.extend(row.bits);
+            }
+            for t in c.triples(3) {
+                out.extend([t.a, t.b, t.c]);
+            }
+            out
+        };
+        let mut inline = DealerClient::new(77, 0, 2);
+        inline.enable_split_streams(0);
+        let baseline = drain(&mut inline);
+
+        let mut pooled = DealerClient::new(77, 0, 2);
+        pooled.enable_split_streams(64);
+        // Force a full precompute round and wait for it to land.
+        pooled.pool().unwrap().refill();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pooled.pool().unwrap().stats().produced < 64 {
+            assert!(std::time::Instant::now() < deadline, "refill never ran");
+            std::thread::yield_now();
+        }
+        assert_eq!(drain(&mut pooled), baseline);
+        let stats = pooled.pool().unwrap().stats();
+        assert!(
+            stats.triple_hits > 0,
+            "precomputed triples unused: {stats:?}"
+        );
+        assert!(stats.hit_rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn split_stream_draws_are_width_independent() {
+        // Draw order across widths must not perturb the per-width values.
+        let cfg = FixedConfig::default();
+        let mut a = DealerClient::new(5, 0, 2);
+        a.enable_split_streams(0);
+        let narrow_first: Vec<Fp> = a.masked_rows(5, 6, 3, &cfg).iter().map(|r| r.r).collect();
+        let _wide = a.masked_rows(20, 30, 3, &cfg);
+
+        let mut b = DealerClient::new(5, 0, 2);
+        b.enable_split_streams(0);
+        let _wide = b.masked_rows(20, 30, 3, &cfg);
+        let narrow_second: Vec<Fp> = b.masked_rows(5, 6, 3, &cfg).iter().map(|r| r.r).collect();
+        assert_eq!(narrow_first, narrow_second);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 61-bit field")]
+    fn oversized_width_rejected() {
+        let cfg = FixedConfig::default();
+        let mut c = DealerClient::new(1, 0, 2);
+        c.masked_rows(40, 50, 1, &cfg);
     }
 }

@@ -29,7 +29,8 @@ pub fn laplace_sample_vec(engine: &mut MpcEngine<'_>, mu: f64, b: f64, count: us
         .collect();
 
     // ⟨Us⟩ = sign, ⟨Ua⟩ = |U| (lines 2–8 of Algorithm 5).
-    let neg = engine.ltz_vec(&u); // 1 iff U < 0
+    // |U| ≤ 1/2 at scale 2^f, so the sign test needs f + 2 bits.
+    let neg = engine.ltz_vec_bounded(&u, cfg.frac_bits + 2); // 1 iff U < 0
     let minus_u: Vec<Share> = u.iter().map(|&x| -x).collect();
     let ua = engine.select_vec(&neg, &minus_u, &u);
 
@@ -94,7 +95,9 @@ pub fn exponential_mechanism(
     // equivalently index = (R−1) − Σ_{j<R−1} b_j  …because b is a step
     // function: b_j = 1 exactly for j ≥ selected index.
     let diffs: Vec<Share> = cums.iter().map(|&f| u - f).collect();
-    let bs = engine.ltz_vec(&diffs); // b_j = 1[U < F_j]
+    // U ∈ [0, 1) and F_j ∈ (0, 1 + ulp]: the interval tests compare
+    // bounded uniform draws, so f + 3 bits suffice.
+    let bs = engine.ltz_vec_bounded(&diffs, cfg.frac_bits + 3); // b_j = 1[U < F_j]
     let mut index = Share::from_public(party, Fp::new(r as u64 - 1));
     for b in bs.iter().take(r - 1) {
         index = index - *b;

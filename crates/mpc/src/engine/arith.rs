@@ -32,14 +32,59 @@ impl MpcEngine<'_> {
         );
         let party = self.party();
 
-        // b_j = 1[d < 2^j] for j = 1..=s, one batched comparison.
+        // b_j = 1[d < 2^j] for j = 1..=s, one batched comparison whose
+        // width only needs to cover |d − 2^(f+j)| < 2^(f+s+1).
         let mut batch = Vec::with_capacity(n * s as usize);
         for &x in d {
             for j in 1..=s {
                 batch.push(x.sub_public(party, Fp::pow2(f + j)));
             }
         }
-        let bits = self.ltz_vec(&batch);
+        let bits = self.ltz_vec_bounded(&batch, f + s + 2);
+        self.recip_tail(d, &bits, s)
+    }
+
+    /// Fixed-point reciprocal of **positive integer-valued** shares
+    /// `d ∈ [1, bound]` at scale `2^0` (e.g. node sample counts): the
+    /// normalization comparisons run in the *integer* domain
+    /// (`1[d·2^f < 2^(f+j)] = 1[d < 2^j]`, width `⌈log₂ bound⌉ + 2`
+    /// instead of `f + ⌈log₂ bound⌉ + 2`), then the Goldschmidt tail is
+    /// shared with [`Self::recip_vec`]. Returns `⟨1/d⟩` at scale `2^f`.
+    pub fn recip_vec_int(&mut self, d: &[Share], bound: f64) -> Vec<Share> {
+        let n = d.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = self.cfg.frac_bits;
+        let fixed: Vec<Share> = d.iter().map(|&x| x.scale(Fp::pow2(f))).collect();
+        if self.legacy_comparisons() {
+            // Full-width policy: take exactly the fixed-point comparison
+            // path, reproducing the PR-3/PR-4 transcript bit for bit.
+            return self.recip_vec(&fixed, bound);
+        }
+        assert!(bound >= 1.0, "bound must cover the input range");
+        let s = (bound.log2().ceil() as u32).max(1);
+        assert!(
+            s + 1 + f < self.cfg.int_bits,
+            "reciprocal bound 2^{s} too large for the fixed-point layout"
+        );
+        let party = self.party();
+        let mut batch = Vec::with_capacity(n * s as usize);
+        for &x in d {
+            for j in 1..=s {
+                batch.push(x.sub_public(party, Fp::pow2(j)));
+            }
+        }
+        let bits = self.ltz_vec_bounded(&batch, s + 2);
+        self.recip_tail(&fixed, &bits, s)
+    }
+
+    /// Shared Goldschmidt tail: normalization bits → oblivious scaling →
+    /// iterated refinement → denormalization. `d` is fixed-point at scale
+    /// `2^f`; `bits[i·s + j]` is `1[d_i < 2^(f+j+1)]`.
+    fn recip_tail(&mut self, d: &[Share], bits: &[Share], s: u32) -> Vec<Share> {
+        let n = d.len();
+        let party = self.party();
 
         // v = 2^z = Π (1 + b_j), a log-depth product tree (integer share).
         let one = Share::from_public(party, Fp::ONE);

@@ -5,7 +5,24 @@
 //! The construction is Catrina–de Hoogh style: open a statistically masked
 //! value, compare the public low bits against dealer-supplied shared bits
 //! (`BitLT`), and correct the wrap. Everything is vectorized: one `ltz_vec`
-//! call performs the whole batch in `O(t)` rounds regardless of batch size.
+//! call performs the whole batch in a bounded number of rounds regardless
+//! of batch size.
+//!
+//! **Range-aware widths.** Every protocol has a `_bounded` variant taking
+//! the caller's *proven* value range `k` (signed values of magnitude below
+//! `2^(k−1)`), so a comparison pays `O(k)` masked bits and Beaver openings
+//! instead of the global `O(int_bits)`. The policy knob
+//! ([`super::CompareBits`]) resolves requested widths: `Full` pins every
+//! width to `int_bits` *and* keeps the legacy linear BitLT, reproducing
+//! the PR-3/PR-4 transcript bit for bit; `Auto`/`Floor` run the bounded
+//! widths through the log-depth BitLT ladder below.
+//!
+//! **Log-depth BitLT.** The bounded path replaces the linear MSB-down
+//! prefix-OR (`t − 1` rounds) with a Brent–Kung style ladder:
+//! `2⌈log₂ t⌉ − 1` multiplication rounds and ≈`2t` OR gates. The final
+//! "select the shared bit at the most significant differing position" sum
+//! is free on this path: at that position `b_i = ¬a_i` with `a` public, so
+//! `1[a < b] = Σ_{i : a_i = 0} g_i` is a local linear combination.
 
 use super::MpcEngine;
 use crate::field::Fp;
@@ -14,15 +31,23 @@ use crate::share::Share;
 impl MpcEngine<'_> {
     /// Exact `y mod 2^t` for shared `y` guaranteed in `[0, 2^int_bits)`.
     pub fn mod2m_vec(&mut self, y: &[Share], t: u32) -> Vec<Share> {
+        self.mod2m_vec_bounded(y, t, self.cfg.int_bits)
+    }
+
+    /// Exact `y mod 2^t` for shared `y` guaranteed in `[0, 2^k)`: masks
+    /// (and their `k + κ − t` statistical headroom) are sized to the
+    /// proven range instead of the global `int_bits`.
+    pub fn mod2m_vec_bounded(&mut self, y: &[Share], t: u32, k: u32) -> Vec<Share> {
         let n = y.len();
         if n == 0 {
             return Vec::new();
         }
+        let k = self.effective_bits(k.max(t));
+        let was = self.enter_comparison();
         let party = self.party();
         let cfg = self.cfg;
-        let masks: Vec<_> = (0..n)
-            .map(|_| self.dealer_mut().masked_bits(t, &cfg))
-            .collect();
+        let masks = self.dealer_mut().masked_rows(t, k, n, &cfg);
+        self.bump_cmp_masked(n as u64, t);
         let masked: Vec<Share> = y.iter().zip(&masks).map(|(&x, m)| x + Share(m.r)).collect();
         let opened = self.open_vec(&masked);
 
@@ -30,9 +55,13 @@ impl MpcEngine<'_> {
         let low_mask = (1u64 << t) - 1;
         let c_lows: Vec<u64> = opened.iter().map(|c| c.value() & low_mask).collect();
         let bit_rows: Vec<&[Fp]> = masks.iter().map(|m| m.bits.as_slice()).collect();
-        let wraps = self.bitlt_pub(&c_lows, &bit_rows, t);
+        let wraps = if self.legacy_comparisons() {
+            self.bitlt_pub(&c_lows, &bit_rows, t)
+        } else {
+            self.bitlt_pub_log(&c_lows, &bit_rows, t)
+        };
 
-        c_lows
+        let out = c_lows
             .iter()
             .zip(&masks)
             .zip(wraps)
@@ -45,13 +74,16 @@ impl MpcEngine<'_> {
                 // y mod 2^t = c_low − r_low + wrap·2^t.
                 (Share::from_public(party, Fp::new(c_low)) - r_low) + wrap.scale(Fp::pow2(t))
             })
-            .collect()
+            .collect();
+        self.exit_comparison(was);
+        out
     }
 
     /// Batched `BitLT`: for each row, the shared bit `1[a < b]` where `a` is
     /// public (`t` bits) and `b` is given by shared bits (LSB first).
     ///
-    /// `O(t)` rounds for the entire batch.
+    /// Legacy linear ladder: `O(t)` rounds for the entire batch. Kept
+    /// verbatim for `CompareBits::Full` transcript parity.
     fn bitlt_pub(&mut self, pub_vals: &[u64], shared_bits: &[&[Fp]], t: u32) -> Vec<Share> {
         let n = pub_vals.len();
         let t = t as usize;
@@ -110,22 +142,158 @@ impl MpcEngine<'_> {
             .collect()
     }
 
-    /// Exact sign test: `1[x < 0]` for signed `x` with `|x| < 2^(k−1)`.
-    /// `O(int_bits)` rounds for the whole batch.
+    /// Log-depth `BitLT`: same contract as [`Self::bitlt_pub`], but the
+    /// suffix ORs come from a Brent–Kung ladder (`2⌈log₂ t⌉ − 1` rounds,
+    /// ≈`2t` gates) and the final bit-select is a local sum over the
+    /// public zero positions of `a` — no closing multiplication round.
+    fn bitlt_pub_log(&mut self, pub_vals: &[u64], shared_bits: &[&[Fp]], t: u32) -> Vec<Share> {
+        let n = pub_vals.len();
+        let t = t as usize;
+        let party = self.party();
+        if t == 0 {
+            return vec![Share::ZERO; n];
+        }
+        // d_i = a_i XOR b_i, reversed so a prefix scan yields suffix ORs.
+        let rows: Vec<Vec<Share>> = pub_vals
+            .iter()
+            .zip(shared_bits)
+            .map(|(&a, bits)| {
+                assert_eq!(bits.len(), t);
+                (0..t)
+                    .rev()
+                    .map(|i| {
+                        let b = Share(bits[i]);
+                        if (a >> i) & 1 == 1 {
+                            Share::from_public(party, Fp::ONE) - b
+                        } else {
+                            b
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let pref = self.prefix_or_rows(rows);
+        // p_i = OR of d[i..t) = pref[t−1−i]; g_i = p_i − p_{i+1} (p_t = 0)
+        // marks the most significant differing bit. There b_i = ¬a_i, so
+        // 1[a < b] = Σ_{i : a_i = 0} g_i — linear, a is public.
+        pub_vals
+            .iter()
+            .zip(&pref)
+            .map(|(&a, row)| {
+                let mut acc = Share::ZERO;
+                for i in 0..t {
+                    if (a >> i) & 1 == 0 {
+                        let p_i = row[t - 1 - i];
+                        let p_next = if i == t - 1 {
+                            Share::ZERO
+                        } else {
+                            row[t - 2 - i]
+                        };
+                        acc = acc + (p_i - p_next);
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Batched inclusive prefix-OR over equal-length bit-share rows:
+    /// Brent–Kung recursion, one `mul_vec` for the pair compression and
+    /// one for the expansion per level (`2⌈log₂ w⌉ − 1` rounds total).
+    fn prefix_or_rows(&mut self, rows: Vec<Vec<Share>>) -> Vec<Vec<Share>> {
+        let width = rows.first().map_or(0, Vec::len);
+        if width <= 1 {
+            return rows;
+        }
+        let n = rows.len();
+        let half = width / 2;
+        let odd = width % 2 == 1;
+        // Compress neighbouring pairs: b_i = a_{2i} ∨ a_{2i+1}.
+        let mut xs = Vec::with_capacity(n * half);
+        let mut ys = Vec::with_capacity(n * half);
+        for row in &rows {
+            for i in 0..half {
+                xs.push(row[2 * i]);
+                ys.push(row[2 * i + 1]);
+            }
+        }
+        let ors = self.or_pairs(&xs, &ys);
+        let compressed: Vec<Vec<Share>> = (0..n)
+            .map(|r| {
+                let mut row: Vec<Share> = ors[r * half..(r + 1) * half].to_vec();
+                if odd {
+                    row.push(rows[r][width - 1]);
+                }
+                row
+            })
+            .collect();
+        let scanned = self.prefix_or_rows(compressed);
+        // Expand: out[2i+1] = scan[i]; out[0] = a[0];
+        // out[2i] (i ≥ 1) = scan[i−1] ∨ a[2i].
+        let evens: Vec<usize> = (1..).map(|i| 2 * i).take_while(|&j| j < width).collect();
+        let fixed = if evens.is_empty() {
+            Vec::new()
+        } else {
+            let mut xs = Vec::with_capacity(n * evens.len());
+            let mut ys = Vec::with_capacity(n * evens.len());
+            for (r, row) in rows.iter().enumerate() {
+                for &j in &evens {
+                    xs.push(scanned[r][j / 2 - 1]);
+                    ys.push(row[j]);
+                }
+            }
+            self.or_pairs(&xs, &ys)
+        };
+        (0..n)
+            .map(|r| {
+                let mut out = vec![Share::ZERO; width];
+                out[0] = rows[r][0];
+                for i in 0..width / 2 {
+                    if 2 * i + 1 < width {
+                        out[2 * i + 1] = scanned[r][i];
+                    }
+                }
+                for (slot, &j) in evens.iter().enumerate() {
+                    out[j] = fixed[r * evens.len() + slot];
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Element-wise OR of bit shares: `x ∨ y = x + y − x·y` (one round).
+    fn or_pairs(&mut self, x: &[Share], y: &[Share]) -> Vec<Share> {
+        let prods = self.mul_vec(x, y);
+        x.iter()
+            .zip(y)
+            .zip(prods)
+            .map(|((&a, &b), p)| a + b - p)
+            .collect()
+    }
+
+    /// Exact sign test: `1[x < 0]` for signed `x` with `|x| < 2^(int_bits−1)`.
     pub fn ltz_vec(&mut self, x: &[Share]) -> Vec<Share> {
+        self.ltz_vec_bounded(x, self.cfg.int_bits)
+    }
+
+    /// Exact sign test with a proven range: `1[x < 0]` for signed `x` with
+    /// `|x| < 2^(k−1)`. Pays `O(k)` bits instead of `O(int_bits)` under
+    /// the bounded width policies; `O(log k)` rounds for the whole batch.
+    pub fn ltz_vec_bounded(&mut self, x: &[Share], k: u32) -> Vec<Share> {
         let n = x.len();
         if n == 0 {
             return Vec::new();
         }
         self.bump_comparisons(n as u64);
-        let k = self.cfg.int_bits;
+        let k = self.effective_bits(k);
+        self.bump_cmp_width(k, n as u64);
         let party = self.party();
         // y = x + 2^(k−1) ∈ [0, 2^k); sign(x) = 1 − bit_{k−1}(y).
         let y: Vec<Share> = x
             .iter()
             .map(|&v| v.add_public(party, Fp::pow2(k - 1)))
             .collect();
-        let low = self.mod2m_vec(&y, k - 1);
+        let low = self.mod2m_vec_bounded(&y, k - 1, k);
         let inv = Fp::inv_pow2(k - 1);
         y.iter()
             .zip(low)
@@ -136,10 +304,96 @@ impl MpcEngine<'_> {
             .collect()
     }
 
+    /// Two-sided sign test: `(1[u < 0], 1[−u < 0])` element-wise for
+    /// `|u| < 2^(k−1)`, sharing one masked opening and one masked-bit row
+    /// per element between the two sides.
+    ///
+    /// With `y = u + 2^(k−1)` and `y' = 2^k − y = −u + 2^(k−1)`, the same
+    /// opened `c = y + r` serves both: `y' = (2^k − c) + r`, so side B's
+    /// low part is an *addition* of public and masked low bits whose carry
+    /// is one more BitLT row over the *same* shared bits. This halves the
+    /// masked-bit and opening cost of every symmetric comparison pair
+    /// (one-hot expansion, interval tests).
+    pub fn ltz_pair_vec(&mut self, u: &[Share], k: u32) -> (Vec<Share>, Vec<Share>) {
+        let n = u.len();
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        if self.legacy_comparisons() {
+            // Transcript-parity path: one concatenated 2n LTZ batch,
+            // exactly the shape the call sites used pre-bounding.
+            let mut batch = u.to_vec();
+            batch.extend(u.iter().map(|&v| -v));
+            let mut signs = self.ltz_vec(&batch);
+            let pos = signs.split_off(n);
+            return (signs, pos);
+        }
+        self.bump_comparisons(2 * n as u64);
+        let k = self.effective_bits(k);
+        self.bump_cmp_width(k, 2 * n as u64);
+        let was = self.enter_comparison();
+        let party = self.party();
+        let cfg = self.cfg;
+        let t = k - 1;
+        let y: Vec<Share> = u
+            .iter()
+            .map(|&v| v.add_public(party, Fp::pow2(t)))
+            .collect();
+        let masks = self.dealer_mut().masked_rows(t, k, n, &cfg);
+        self.bump_cmp_masked(n as u64, t);
+        let masked: Vec<Share> = y.iter().zip(&masks).map(|(&x, m)| x + Share(m.r)).collect();
+        let opened = self.open_vec(&masked);
+
+        let low_mask = (1u64 << t) - 1;
+        let big_k = 1u64 << k;
+        // 2n BitLT rows over n shared bit rows: side A's wrap then side
+        // B's carry (carry = 1[c'_low + r_low ≥ 2^t] = BitLT(2^t − 1 −
+        // c'_low, r_low), with c' = 2^k − c mod 2^t).
+        let c_lows: Vec<u64> = opened.iter().map(|c| c.value() & low_mask).collect();
+        let cc_lows: Vec<u64> = opened
+            .iter()
+            .map(|c| big_k.wrapping_sub(c.value()) & low_mask)
+            .collect();
+        let mut pub_vals = c_lows.clone();
+        pub_vals.extend(cc_lows.iter().map(|&c| low_mask - c));
+        let mut bit_rows: Vec<&[Fp]> = masks.iter().map(|m| m.bits.as_slice()).collect();
+        bit_rows.extend(masks.iter().map(|m| m.bits.as_slice()));
+        let wraps = self.bitlt_pub_log(&pub_vals, &bit_rows, t);
+
+        let inv = Fp::inv_pow2(t);
+        let one = Share::from_public(party, Fp::ONE);
+        let mut neg = Vec::with_capacity(n);
+        let mut pos = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut r_low = Share::ZERO;
+            for (b, &bit) in masks[i].bits.iter().enumerate() {
+                r_low = r_low + Share(bit).scale(Fp::pow2(b as u32));
+            }
+            // Side A: y mod 2^t = c_low − r_low + wrap·2^t.
+            let low_a = (Share::from_public(party, Fp::new(c_lows[i])) - r_low)
+                + wraps[i].scale(Fp::pow2(t));
+            let high_a = (y[i] - low_a).scale(inv);
+            neg.push(one - high_a);
+            // Side B: y' mod 2^t = c'_low + r_low − carry·2^t.
+            let low_b = (Share::from_public(party, Fp::new(cc_lows[i])) + r_low)
+                - wraps[n + i].scale(Fp::pow2(t));
+            let y_b = Share::from_public(party, Fp::pow2(k)) - y[i];
+            let high_b = (y_b - low_b).scale(inv);
+            pos.push(one - high_b);
+        }
+        self.exit_comparison(was);
+        (neg, pos)
+    }
+
     /// `1[a < b]` element-wise.
     pub fn lt_vec(&mut self, a: &[Share], b: &[Share]) -> Vec<Share> {
+        self.lt_vec_bounded(a, b, self.cfg.int_bits)
+    }
+
+    /// `1[a < b]` element-wise with `|a − b| < 2^(k−1)` proven.
+    pub fn lt_vec_bounded(&mut self, a: &[Share], b: &[Share], k: u32) -> Vec<Share> {
         let diff: Vec<Share> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
-        self.ltz_vec(&diff)
+        self.ltz_vec_bounded(&diff, k)
     }
 
     /// Oblivious select: `cond·a + (1−cond)·b` element-wise (`cond ∈ {0,1}`).
@@ -153,26 +407,30 @@ impl MpcEngine<'_> {
     }
 
     /// One-hot expansion of a shared index over `0..domain`:
-    /// `eq_j = 1 − 1[idx < j] − 1[j < idx]` (linear after one batched LTZ).
+    /// `eq_j = 1 − 1[idx < j] − 1[j < idx]` (linear after one batched
+    /// two-sided LTZ). The comparisons only need `⌈log₂ domain⌉ + 1` bits,
+    /// and both sides of each `idx − j` share one masked opening.
     pub fn onehot_vec(&mut self, idx: Share, domain: usize) -> Vec<Share> {
         let party = self.party();
-        // Concatenate idx−j and j−idx into one LTZ batch.
-        let mut batch = Vec::with_capacity(2 * domain);
-        for j in 0..domain {
-            batch.push(idx.sub_public(party, Fp::new(j as u64)));
-        }
-        for j in 0..domain {
-            batch.push(Share::from_public(party, Fp::new(j as u64)) - idx);
-        }
-        let signs = self.ltz_vec(&batch);
+        let u: Vec<Share> = (0..domain)
+            .map(|j| idx.sub_public(party, Fp::new(j as u64)))
+            .collect();
+        let k = super::width_for_magnitude(domain.saturating_sub(1) as u64);
+        let (lt, gt) = self.ltz_pair_vec(&u, k);
         (0..domain)
-            .map(|j| Share::from_public(party, Fp::ONE) - signs[j] - signs[domain + j])
+            .map(|j| Share::from_public(party, Fp::ONE) - lt[j] - gt[j])
             .collect()
     }
 
     /// Secure argmax by pairwise tournament: returns `(⟨index⟩, ⟨max⟩)`.
     /// `O(log n)` comparison batches.
     pub fn argmax(&mut self, vals: &[Share]) -> (Share, Share) {
+        self.argmax_bounded(vals, self.cfg.int_bits)
+    }
+
+    /// Secure argmax with a proven range: `k` must cover the pairwise
+    /// *differences* (`|a − b| < 2^(k−1)` for any two values).
+    pub fn argmax_bounded(&mut self, vals: &[Share], k: u32) -> (Share, Share) {
         assert!(!vals.is_empty(), "argmax of empty vector");
         let party = self.party();
         let mut idx: Vec<Share> = (0..vals.len())
@@ -185,7 +443,7 @@ impl MpcEngine<'_> {
             let b_vals: Vec<Share> = (0..pairs).map(|i| cur[2 * i + 1]).collect();
             // sel = 1[a < b] → winner is b; ties keep the earlier element
             // `a`, matching the plaintext argmax and the sequential scan.
-            let sel = self.lt_vec(&a_vals, &b_vals);
+            let sel = self.lt_vec_bounded(&a_vals, &b_vals, k);
             // Batch value- and index-selection into one multiplication round.
             let mut conds = Vec::with_capacity(2 * pairs);
             let mut xs = Vec::with_capacity(2 * pairs);
@@ -235,5 +493,10 @@ impl MpcEngine<'_> {
     /// Secure maximum value only.
     pub fn max_vec(&mut self, vals: &[Share]) -> Share {
         self.argmax(vals).1
+    }
+
+    /// Secure maximum value with a proven difference range.
+    pub fn max_vec_bounded(&mut self, vals: &[Share], k: u32) -> Share {
+        self.argmax_bounded(vals, k).1
     }
 }

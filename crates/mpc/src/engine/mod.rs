@@ -11,7 +11,7 @@
 mod arith;
 mod compare;
 
-use crate::dealer::DealerClient;
+use crate::dealer::{DealerClient, DealerPoolStats};
 use crate::field::Fp;
 use crate::fixed::FixedConfig;
 use crate::share::Share;
@@ -20,9 +20,31 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Comparison width policy: how many bits a secure comparison pays for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CompareBits {
+    /// Every comparison uses the global `int_bits` width and the legacy
+    /// linear BitLT — bit-for-bit the PR-3/PR-4 transcript.
+    #[default]
+    Full,
+    /// Comparisons use the caller's proven value range (clamped to
+    /// `int_bits`) and the log-depth BitLT ladder.
+    Auto,
+    /// Like `Auto`, but derived widths never drop below the floor — a
+    /// conservative dial between `Auto` and `Full` (the floor only ever
+    /// *raises* a width, so correctness is unaffected).
+    Floor(u32),
+}
+
+/// The smallest signed comparison width `k` with `bound < 2^(k−1)` —
+/// how call sites turn a proven magnitude bound into a width request.
+pub fn width_for_magnitude(bound: u64) -> u32 {
+    (64 - bound.leading_zeros() + 1).max(2)
+}
+
 /// Operation counters backing the paper's Table 2 cost model
 /// (`Cs` = secure ops, `Cc` = secure comparisons).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OpCounters {
     /// Communication rounds executed.
     pub rounds: AtomicU64,
@@ -32,6 +54,35 @@ pub struct OpCounters {
     pub comparisons: AtomicU64,
     /// Values opened.
     pub openings: AtomicU64,
+    /// Rounds spent inside comparison protocols (mod2m/LTZ/BitLT).
+    cmp_rounds: AtomicU64,
+    /// Field elements opened inside comparison protocols.
+    cmp_opened: AtomicU64,
+    /// Beaver triples consumed inside comparison protocols.
+    cmp_triples: AtomicU64,
+    /// Masked-bit rows consumed (one per mod2m element).
+    cmp_masked_rows: AtomicU64,
+    /// Low-bit count (`t`) totals of the consumed masked rows.
+    cmp_masked_bits: AtomicU64,
+    /// Comparison counts per effective width `k` (index = width).
+    cmp_widths: [AtomicU64; 62],
+}
+
+impl Default for OpCounters {
+    fn default() -> Self {
+        OpCounters {
+            rounds: AtomicU64::new(0),
+            multiplications: AtomicU64::new(0),
+            comparisons: AtomicU64::new(0),
+            openings: AtomicU64::new(0),
+            cmp_rounds: AtomicU64::new(0),
+            cmp_opened: AtomicU64::new(0),
+            cmp_triples: AtomicU64::new(0),
+            cmp_masked_rows: AtomicU64::new(0),
+            cmp_masked_bits: AtomicU64::new(0),
+            cmp_widths: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl OpCounters {
@@ -49,6 +100,30 @@ impl OpCounters {
     }
 }
 
+/// Snapshot of the comparison-pipeline telemetry: what the secure
+/// comparisons of one run actually paid in rounds, opened field elements,
+/// and preprocessing material, with a per-width histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComparisonCounters {
+    /// Secure comparisons performed (vector elements — same count as the
+    /// legacy `comparisons` counter).
+    pub count: u64,
+    /// Communication rounds spent inside comparison protocols.
+    pub online_rounds: u64,
+    /// Field elements opened inside comparison protocols (the dominant
+    /// share of comparison `bytes_sent`: one field element per party per
+    /// opened value).
+    pub opened_elements: u64,
+    /// Beaver triples consumed by comparison multiplications.
+    pub beaver_triples: u64,
+    /// Masked-bit rows consumed (one per mod2m element).
+    pub masked_bit_rows: u64,
+    /// Total bit-decomposed low bits across the consumed rows.
+    pub masked_bits: u64,
+    /// `(width, comparisons)` histogram over effective widths, ascending.
+    pub widths: Vec<(u32, u64)>,
+}
+
 /// Per-party online engine.
 pub struct MpcEngine<'a> {
     ep: &'a Endpoint,
@@ -58,6 +133,11 @@ pub struct MpcEngine<'a> {
     counters: OpCounters,
     /// Private randomness (per party, for input sharing).
     rng: StdRng,
+    /// Comparison width policy (must match across parties).
+    cmp_bits: CompareBits,
+    /// Set while a comparison protocol is on the stack, so the generic
+    /// open/multiply layers can attribute their costs to comparisons.
+    in_comparison: bool,
 }
 
 impl<'a> MpcEngine<'a> {
@@ -76,6 +156,106 @@ impl<'a> MpcEngine<'a> {
             cfg,
             counters: OpCounters::default(),
             rng,
+            cmp_bits: CompareBits::Full,
+            in_comparison: false,
+        }
+    }
+
+    /// Set the comparison width policy and, for bounded modes, switch the
+    /// dealer onto split preprocessing streams with `dealer_pool` rows of
+    /// background precompute per stream (0 = inline generation).
+    ///
+    /// Must be called before the first collective operation and with
+    /// identical arguments on every party. `Full` keeps the legacy
+    /// single-stream dealer and the PR-3/PR-4 transcript bit for bit.
+    pub fn configure_comparisons(&mut self, mode: CompareBits, dealer_pool: usize) {
+        if let CompareBits::Floor(n) = mode {
+            assert!(
+                (2..=self.cfg.int_bits).contains(&n),
+                "comparison width floor {n} outside 2..={}",
+                self.cfg.int_bits
+            );
+        }
+        self.cmp_bits = mode;
+        if mode != CompareBits::Full {
+            self.dealer.enable_split_streams(dealer_pool);
+        }
+    }
+
+    /// The active comparison width policy.
+    pub fn compare_bits(&self) -> CompareBits {
+        self.cmp_bits
+    }
+
+    /// Whether comparisons run on the legacy full-width path.
+    pub(crate) fn legacy_comparisons(&self) -> bool {
+        self.cmp_bits == CompareBits::Full
+    }
+
+    /// Resolve a requested comparison width under the active policy.
+    pub(crate) fn effective_bits(&self, requested: u32) -> u32 {
+        let k = match self.cmp_bits {
+            CompareBits::Full => self.cfg.int_bits,
+            CompareBits::Auto => requested,
+            CompareBits::Floor(n) => requested.max(n),
+        };
+        k.clamp(2, self.cfg.int_bits)
+    }
+
+    /// Kick a background refill of the dealer's offline pool (no-op under
+    /// the legacy stream or a zero pool target). Call from protocol idle
+    /// phases, mirroring `NoncePool::refill`.
+    pub fn dealer_refill(&self) {
+        if let Some(pool) = self.dealer.pool() {
+            pool.refill();
+        }
+    }
+
+    /// Offline dealer-pool behavior (zeros under the legacy stream).
+    pub fn dealer_pool_stats(&self) -> DealerPoolStats {
+        self.dealer.pool_stats()
+    }
+
+    /// Snapshot the comparison-pipeline telemetry.
+    pub fn comparison_snapshot(&self) -> ComparisonCounters {
+        let c = &self.counters;
+        let widths: Vec<(u32, u64)> = c
+            .cmp_widths
+            .iter()
+            .enumerate()
+            .filter_map(|(k, v)| {
+                let n = v.load(Ordering::Relaxed);
+                (n > 0).then_some((k as u32, n))
+            })
+            .collect();
+        ComparisonCounters {
+            count: c.comparisons.load(Ordering::Relaxed),
+            online_rounds: c.cmp_rounds.load(Ordering::Relaxed),
+            opened_elements: c.cmp_opened.load(Ordering::Relaxed),
+            beaver_triples: c.cmp_triples.load(Ordering::Relaxed),
+            masked_bit_rows: c.cmp_masked_rows.load(Ordering::Relaxed),
+            masked_bits: c.cmp_masked_bits.load(Ordering::Relaxed),
+            widths,
+        }
+    }
+
+    /// Enter a comparison scope; returns the previous flag for nesting.
+    pub(crate) fn enter_comparison(&mut self) -> bool {
+        std::mem::replace(&mut self.in_comparison, true)
+    }
+
+    pub(crate) fn exit_comparison(&mut self, prev: bool) {
+        self.in_comparison = prev;
+    }
+
+    pub(crate) fn bump_cmp_masked(&self, rows: u64, t: u32) {
+        OpCounters::bump(&self.counters.cmp_masked_rows, rows);
+        OpCounters::bump(&self.counters.cmp_masked_bits, rows * t as u64);
+    }
+
+    pub(crate) fn bump_cmp_width(&self, k: u32, n: u64) {
+        if let Some(slot) = self.counters.cmp_widths.get(k as usize) {
+            OpCounters::bump(slot, n);
         }
     }
 
@@ -157,6 +337,10 @@ impl<'a> MpcEngine<'a> {
         let all = self.ep.exchange_all(&mine);
         OpCounters::bump(&self.counters.rounds, 1);
         OpCounters::bump(&self.counters.openings, shares.len() as u64);
+        if self.in_comparison {
+            OpCounters::bump(&self.counters.cmp_rounds, 1);
+            OpCounters::bump(&self.counters.cmp_opened, shares.len() as u64);
+        }
         let mut out = vec![Fp::ZERO; shares.len()];
         for party_vec in &all {
             assert_eq!(party_vec.len(), shares.len(), "open length mismatch");
@@ -184,6 +368,9 @@ impl<'a> MpcEngine<'a> {
             return Vec::new();
         }
         let triples = self.dealer.triples(n);
+        if self.in_comparison {
+            OpCounters::bump(&self.counters.cmp_triples, n as u64);
+        }
         // e = a - ta, f = b - tb, opened together in one round.
         let mut masked = Vec::with_capacity(2 * n);
         for i in 0..n {

@@ -27,8 +27,8 @@ mod field;
 mod fixed;
 mod share;
 
-pub use dealer::DealerClient;
-pub use engine::{MpcEngine, OpCounters};
+pub use dealer::{DealerClient, DealerPool, DealerPoolStats};
+pub use engine::{width_for_magnitude, CompareBits, ComparisonCounters, MpcEngine, OpCounters};
 pub use field::{Fp, MODULUS};
 pub use fixed::FixedConfig;
 pub use share::{add_vec, scale_vec, sub_vec, sum_shares, Share};

@@ -1,0 +1,335 @@
+//! Bounded-width comparison tests: boundary values, full-vs-bounded
+//! parity, the two-sided shared-mask LTZ, and the round/byte accounting
+//! that backs the PR-5 perf claims.
+
+use pivot_mpc::{dp, CompareBits, ComparisonCounters, FixedConfig, Fp, MpcEngine, Share};
+use pivot_transport::run_parties;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xB0DED;
+
+/// SPMD closure over `m` parties with a chosen comparison policy.
+fn mpc_mode<T: Send>(
+    m: usize,
+    mode: CompareBits,
+    f: impl Fn(&mut MpcEngine<'_>) -> T + Send + Sync,
+) -> Vec<T> {
+    run_parties(m, |ep| {
+        let mut engine = MpcEngine::new(&ep, SEED, FixedConfig::default());
+        engine.configure_comparisons(mode, 0);
+        f(&mut engine)
+    })
+}
+
+/// The values the satellite task pins: 0, ±1, ±(2^(k−1) − 1).
+fn boundary_values(k: u32) -> Vec<i64> {
+    let edge = (1i64 << (k - 1)) - 1;
+    vec![0, 1, -1, edge, -edge]
+}
+
+#[test]
+fn bounded_ltz_at_boundary_values() {
+    for mode in [CompareBits::Auto, CompareBits::Floor(8), CompareBits::Full] {
+        for k in [2u32, 3, 5, 8, 13, 21, 45] {
+            let vals = boundary_values(k);
+            let want: Vec<u64> = vals.iter().map(|&v| u64::from(v < 0)).collect();
+            let got = mpc_mode(3, mode, |e| {
+                let shares: Vec<Share> =
+                    vals.iter().map(|&v| e.constant(Fp::from_i64(v))).collect();
+                let signs = e.ltz_vec_bounded(&shares, k);
+                e.open_vec(&signs)
+                    .iter()
+                    .map(|v| v.value())
+                    .collect::<Vec<_>>()
+            });
+            for r in got {
+                assert_eq!(r, want, "mode {mode:?}, width {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_mod2m_matches_plaintext() {
+    // y ∈ [0, 2^k) at several widths, including boundary patterns.
+    for k in [4u32, 9, 16, 30] {
+        let t = k - 1;
+        let top = (1u64 << k) - 1;
+        let vals = [0u64, 1, (1 << t) - 1, 1 << t, top, 0b1011 % (top + 1)];
+        let got = mpc_mode(2, CompareBits::Auto, |e| {
+            let shares: Vec<Share> = vals.iter().map(|&v| e.constant(Fp::new(v))).collect();
+            let low = e.mod2m_vec_bounded(&shares, t, k);
+            e.open_vec(&low)
+                .iter()
+                .map(|v| v.value())
+                .collect::<Vec<_>>()
+        });
+        let want: Vec<u64> = vals.iter().map(|&v| v & ((1 << t) - 1)).collect();
+        for r in got {
+            assert_eq!(r, want, "width {k}");
+        }
+    }
+}
+
+#[test]
+fn full_and_bounded_policies_agree() {
+    let vals: Vec<i64> = vec![-200, -3, -1, 0, 1, 2, 57, 199, -128, 127];
+    let run = |mode| {
+        mpc_mode(3, mode, |e| {
+            let shares: Vec<Share> = vals.iter().map(|&v| e.constant(Fp::from_i64(v))).collect();
+            let signs = e.ltz_vec_bounded(&shares, 10);
+            e.open_vec(&signs)
+                .iter()
+                .map(|v| v.value())
+                .collect::<Vec<_>>()
+        })
+    };
+    let full = run(CompareBits::Full);
+    let auto = run(CompareBits::Auto);
+    let floor = run(CompareBits::Floor(16));
+    assert_eq!(full[0], auto[0]);
+    assert_eq!(full[0], floor[0]);
+    assert_eq!(
+        full[0],
+        vals.iter().map(|&v| u64::from(v < 0)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn ltz_pair_shares_one_mask_per_element() {
+    let vals: Vec<i64> = vec![-7, -1, 0, 1, 6, 3, -4];
+    let results = mpc_mode(2, CompareBits::Auto, |e| {
+        let shares: Vec<Share> = vals.iter().map(|&v| e.constant(Fp::from_i64(v))).collect();
+        let (neg, pos) = e.ltz_pair_vec(&shares, 5);
+        let opened_neg = e.open_vec(&neg);
+        let opened_pos = e.open_vec(&pos);
+        let snap = e.comparison_snapshot();
+        (
+            opened_neg.iter().map(|v| v.value()).collect::<Vec<_>>(),
+            opened_pos.iter().map(|v| v.value()).collect::<Vec<_>>(),
+            snap,
+        )
+    });
+    for (neg, pos, snap) in results {
+        assert_eq!(
+            neg,
+            vals.iter().map(|&v| u64::from(v < 0)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            pos,
+            vals.iter().map(|&v| u64::from(v > 0)).collect::<Vec<_>>()
+        );
+        // 2n comparison results, but only n masked rows were consumed.
+        assert_eq!(snap.count, 2 * vals.len() as u64);
+        assert_eq!(snap.masked_bit_rows, vals.len() as u64);
+    }
+}
+
+#[test]
+fn onehot_matches_legacy_and_halves_masked_rows() {
+    let domain = 9usize;
+    let run = |mode| {
+        mpc_mode(2, mode, |e| {
+            let idx = e.constant(Fp::new(4));
+            let hot = e.onehot_vec(idx, domain);
+            let opened: Vec<u64> = e.open_vec(&hot).iter().map(|v| v.value()).collect();
+            (opened, e.comparison_snapshot())
+        })
+    };
+    let full = run(CompareBits::Full);
+    let auto = run(CompareBits::Auto);
+    let mut want = vec![0u64; domain];
+    want[4] = 1;
+    assert_eq!(full[0].0, want);
+    assert_eq!(auto[0].0, want);
+    // Same comparison count (2·domain) either way, half the masked rows.
+    assert_eq!(full[0].1.count, auto[0].1.count);
+    assert_eq!(full[0].1.masked_bit_rows, 2 * domain as u64);
+    assert_eq!(auto[0].1.masked_bit_rows, domain as u64);
+}
+
+#[test]
+fn bounded_argmax_matches_full() {
+    let vals = [3.0f64, -1.0, 7.5, 7.25, 0.0, 2.0];
+    let run = |mode| {
+        mpc_mode(3, mode, |e| {
+            let shares: Vec<Share> = vals.iter().map(|&v| e.constant_f64(v)).collect();
+            // Differences bounded by 16 at scale 2^f.
+            let k = e.cfg.frac_bits + 6;
+            let (idx, max) = e.argmax_bounded(&shares, k);
+            let opened = e.open_vec(&[idx, max]);
+            (opened[0].value(), e.cfg.decode(opened[1]))
+        })
+    };
+    for (idx, max) in run(CompareBits::Full)
+        .into_iter()
+        .chain(run(CompareBits::Auto))
+    {
+        assert_eq!(idx, 2);
+        assert!((max - 7.5).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn recip_vec_int_matches_fixed_point_path() {
+    let denoms = [1u64, 2, 3, 10, 24, 100];
+    let run = |mode| {
+        mpc_mode(2, mode, |e| {
+            let d: Vec<Share> = denoms.iter().map(|&v| e.constant(Fp::new(v))).collect();
+            let r = e.recip_vec_int(&d, 128.0);
+            let opened = e.open_vec(&r);
+            opened.iter().map(|&v| e.cfg.decode(v)).collect::<Vec<_>>()
+        })
+    };
+    for r in run(CompareBits::Full)
+        .into_iter()
+        .chain(run(CompareBits::Auto))
+    {
+        for (got, want) in r.iter().zip(denoms.iter().map(|&d| 1.0 / d as f64)) {
+            assert!(
+                (got - want).abs() < 1e-3 + want * 1e-3,
+                "reciprocal got {got}, want {want}"
+            );
+        }
+    }
+}
+
+/// The PR-5 acceptance shape at the engine level: a narrow batch must cut
+/// opened elements ≥2× and comparison rounds ≥3× against the full path.
+#[test]
+fn bounded_widths_cut_opened_elements_and_rounds() {
+    let vals: Vec<i64> = (0..64).map(|i| (i % 13) - 6).collect();
+    let measure = |mode| -> ComparisonCounters {
+        mpc_mode(2, mode, |e| {
+            let shares: Vec<Share> = vals.iter().map(|&v| e.constant(Fp::from_i64(v))).collect();
+            let _ = e.ltz_vec_bounded(&shares, 6);
+            e.comparison_snapshot()
+        })
+        .remove(0)
+    };
+    let full = measure(CompareBits::Full);
+    let auto = measure(CompareBits::Auto);
+    assert_eq!(full.count, auto.count);
+    assert!(
+        full.opened_elements >= 2 * auto.opened_elements,
+        "opened: full {} vs auto {}",
+        full.opened_elements,
+        auto.opened_elements
+    );
+    assert!(
+        full.online_rounds >= 3 * auto.online_rounds,
+        "rounds: full {} vs auto {}",
+        full.online_rounds,
+        auto.online_rounds
+    );
+    assert!(
+        full.masked_bits >= 4 * auto.masked_bits,
+        "masked bits: full {} vs auto {}",
+        full.masked_bits,
+        auto.masked_bits
+    );
+    // The width histogram records the effective widths.
+    assert_eq!(full.widths, vec![(45, vals.len() as u64)]);
+    assert_eq!(auto.widths, vec![(6, vals.len() as u64)]);
+}
+
+#[test]
+fn floor_policy_raises_narrow_widths_only() {
+    let results = mpc_mode(2, CompareBits::Floor(12), |e| {
+        let a = e.constant(Fp::from_i64(-2));
+        let b = e.constant(Fp::from_i64(900));
+        let _ = e.ltz_vec_bounded(&[a], 4); // floored up to 12
+        let _ = e.ltz_vec_bounded(&[b], 20); // stays 20
+        e.comparison_snapshot().widths
+    });
+    assert_eq!(results[0], vec![(12, 1), (20, 1)]);
+}
+
+#[test]
+fn dp_samplers_agree_across_policies() {
+    // The DP mechanisms draw their uniform randomness from the legacy
+    // stream in both modes, so the samples agree up to the ±1-ulp
+    // probabilistic-truncation realignment (trunc masks sit at different
+    // legacy-stream positions once comparisons stop consuming it).
+    let run = |mode| {
+        mpc_mode(2, mode, |e| {
+            let samples = dp::laplace_sample_vec(e, 0.0, 1.0, 16);
+            let opened = e.open_vec(&samples);
+            let scores = [
+                e.constant_f64(0.1),
+                e.constant_f64(6.0),
+                e.constant_f64(0.2),
+            ];
+            let idx = dp::exponential_mechanism(e, &scores, 4.0, 1.0);
+            let idx = e.open(idx).value();
+            (
+                opened.iter().map(|&v| e.cfg.decode(v)).collect::<Vec<_>>(),
+                idx,
+            )
+        })
+    };
+    let full = run(CompareBits::Full).remove(0);
+    let auto = run(CompareBits::Auto).remove(0);
+    assert_eq!(full.1, auto.1);
+    let ulp = 1.0 / (1u64 << FixedConfig::default().frac_bits) as f64;
+    for (a, b) in full.0.iter().zip(&auto.0) {
+        assert!(
+            (a - b).abs() <= 8.0 * ulp,
+            "laplace draw diverged beyond rounding: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random signed values inside random widths: the bounded sign test
+    /// agrees with plaintext for every policy.
+    #[test]
+    fn bounded_ltz_parity(k in 2u32..24, raw in proptest::collection::vec(any::<i64>(), 1..6)) {
+        let edge = (1i64 << (k - 1)) - 1;
+        let vals: Vec<i64> = raw.iter().map(|v| v.rem_euclid(2 * edge + 1) - edge).collect();
+        let want: Vec<u64> = vals.iter().map(|&v| u64::from(v < 0)).collect();
+        for mode in [CompareBits::Auto, CompareBits::Full] {
+            let got = mpc_mode(2, mode, |e| {
+                let shares: Vec<Share> =
+                    vals.iter().map(|&v| e.constant(Fp::from_i64(v))).collect();
+                let signs = e.ltz_vec_bounded(&shares, k);
+                e.open_vec(&signs).iter().map(|v| v.value()).collect::<Vec<_>>()
+            });
+            prop_assert_eq!(&got[0], &want);
+        }
+    }
+
+    /// Two-sided LTZ agrees with two one-sided tests on random inputs.
+    #[test]
+    fn ltz_pair_parity(k in 3u32..20, raw in proptest::collection::vec(any::<i64>(), 1..6)) {
+        let edge = (1i64 << (k - 1)) - 1;
+        let vals: Vec<i64> = raw.iter().map(|v| v.rem_euclid(2 * edge + 1) - edge).collect();
+        let got = mpc_mode(2, CompareBits::Auto, |e| {
+            let shares: Vec<Share> = vals.iter().map(|&v| e.constant(Fp::from_i64(v))).collect();
+            let (neg, pos) = e.ltz_pair_vec(&shares, k);
+            let n = e.open_vec(&neg).iter().map(|v| v.value()).collect::<Vec<_>>();
+            let p = e.open_vec(&pos).iter().map(|v| v.value()).collect::<Vec<_>>();
+            (n, p)
+        });
+        let want_neg: Vec<u64> = vals.iter().map(|&v| u64::from(v < 0)).collect();
+        let want_pos: Vec<u64> = vals.iter().map(|&v| u64::from(v > 0)).collect();
+        prop_assert_eq!(&got[0].0, &want_neg);
+        prop_assert_eq!(&got[0].1, &want_pos);
+    }
+
+    /// Bounded mod2m agrees with plaintext on random inputs.
+    #[test]
+    fn bounded_mod2m_parity(k in 3u32..30, raw in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let t = k - 1;
+        let vals: Vec<u64> = raw.iter().map(|v| v % (1u64 << k)).collect();
+        let want: Vec<u64> = vals.iter().map(|&v| v & ((1 << t) - 1)).collect();
+        let got = mpc_mode(2, CompareBits::Auto, |e| {
+            let shares: Vec<Share> = vals.iter().map(|&v| e.constant(Fp::new(v))).collect();
+            let low = e.mod2m_vec_bounded(&shares, t, k);
+            e.open_vec(&low).iter().map(|v| v.value()).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(&got[0], &want);
+    }
+}
