@@ -160,7 +160,7 @@ fn micro_json(keysize: u32, threads: usize, pool_size: usize) -> Json {
 
 fn algo_json(exec: &Execution) -> Json {
     let p0 = &exec.parties[0];
-    Json::obj()
+    let mut entry = Json::obj()
         .with("algorithm", exec.algo.label())
         .with("train_wall_s", p0.train_wall_s)
         .with(
@@ -183,7 +183,14 @@ fn algo_json(exec: &Execution) -> Json {
                 Some(r) => Json::Num(r),
                 None => Json::Null,
             },
-        )
+        );
+    if let Some(trace) = p0.trace.as_ref() {
+        entry.set(
+            "phases",
+            crate::report::phase_rows_json(&pivot_trace::phase_table(trace)),
+        );
+    }
+    entry
 }
 
 /// Serial → `-PP` speedups derivable from the executed algorithm list.

@@ -20,7 +20,10 @@
 //! - `pivot party --scenario <file> --id <N> --peers <a0,a1,…>` — run
 //!   ONE party of the scenario over TCP, one process per client (the
 //!   paper's deployment shape); reports match the threaded run
-//!   bit-for-bit.
+//!   bit-for-bit;
+//! - `pivot trace <report-or-trace.json>` — print the per-phase
+//!   round/byte/wall table of a traced run (`params.trace != "off"`), or
+//!   validate a Chrome-trace export with `--check`.
 
 pub mod baseline;
 pub mod json;
@@ -29,3 +32,4 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod toml;
+pub mod trace_cmd;

@@ -14,6 +14,7 @@ USAGE:
     pivot bench --scenario <FILE> [--out <FILE>] [--baseline <FILE>] [--quiet]
     pivot party --scenario <FILE> --id <N> --peers <ADDR0,ADDR1,...>
                 [--listen <ADDR>] [--out <FILE>] [--quiet]
+    pivot trace <FILE> [--check]
     pivot --help | --version
 
 SUBCOMMANDS:
@@ -33,6 +34,13 @@ SUBCOMMANDS:
                client, the paper's deployment shape. Start m processes
                with ids 0..m-1 and the same --peers list; each writes a
                per-party report matching the in-process run bit-for-bit
+    trace      Inspect tracing output: point it at a run report (train /
+               predict / bench / party / --baseline JSON) to print the
+               embedded per-phase round/byte/wall tables, or at a
+               *-trace.json Chrome-trace export to reconstruct and print
+               the phase table plus the top round-serializing spans.
+               Traces exist when the scenario sets params.trace =
+               \"phases\" or \"full\"
 
 OPTIONS:
     --scenario <FILE>   TOML or JSON scenario (see examples/scenarios/)
@@ -46,6 +54,9 @@ OPTIONS:
                         parties in id order (same list for every process)
     --listen <ADDR>     party only: local bind address (default: the
                         --peers entry for --id)
+    --check             trace only: validate a Chrome-trace export
+                        (balanced B/E per track, monotonic timestamps,
+                        known phase names) and exit non-zero on violation
     -h, --help          Show this help
     -V, --version       Show the version
 ";
@@ -112,6 +123,26 @@ fn parse_party_args(argv: &[String]) -> Result<pivot_cli::party::PartyArgs, Stri
         peers: peers.ok_or("party needs --peers <ADDR0,ADDR1,...>")?,
         out,
         quiet,
+    })
+}
+
+fn parse_trace_args(argv: &[String]) -> Result<pivot_cli::trace_cmd::TraceArgs, String> {
+    let mut input = None;
+    let mut check = false;
+    for arg in argv.iter().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(PathBuf::from(other));
+            }
+            other => {
+                return Err(format!("unexpected argument {other:?} (see pivot --help)"));
+            }
+        }
+    }
+    Ok(pivot_cli::trace_cmd::TraceArgs {
+        input: input.ok_or("trace needs a report or trace JSON file")?,
+        check,
     })
 }
 
@@ -200,6 +231,9 @@ fn run(args: &Args) -> Result<(), String> {
                     println!("test {} = {metric:.4}", exec.metric_name);
                 }
             }
+            // Traced runs also get side-car Perfetto/Prometheus exports
+            // next to the report.
+            report::write_trace_exports(&out_path, &exec, args.quiet)?;
             if args.command == "train" {
                 report::train_report(&scenario, &exec)
             } else {
@@ -282,6 +316,16 @@ fn main() -> ExitCode {
     if argv.iter().any(|a| a == "--version" || a == "-V") {
         println!("pivot-cli {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
+    }
+    if argv.first().map(String::as_str) == Some("trace") {
+        let result = parse_trace_args(&argv).and_then(|args| pivot_cli::trace_cmd::run(&args));
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if argv.first().map(String::as_str) == Some("party") {
         let result = parse_party_args(&argv).and_then(|args| pivot_cli::party::run(&args));

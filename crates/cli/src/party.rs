@@ -80,6 +80,11 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
     );
     let wall_s = start.elapsed().as_secs_f64();
 
+    // This process hosts exactly one party, so the process-global runtime
+    // sink holds only this party's background telemetry.
+    let runtime = pivot_trace::take_runtime();
+    let runtime_trace = (!runtime.is_empty()).then_some(runtime);
+
     let task = train_set.task();
     let metric = compute_metric(task, &outcome.predictions, test_set.labels());
     let exec = Execution {
@@ -92,6 +97,7 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
         parties: vec![outcome],
         metric,
         metric_name: metric_name_for(task),
+        runtime_trace,
     };
 
     let out_path = args.out.clone().unwrap_or_else(|| {
@@ -100,6 +106,9 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
     let report = report::party_report(&scenario, args.id, &exec);
     std::fs::write(&out_path, report.to_pretty())
         .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    // Traced runs also get this party's Perfetto/Prometheus side-cars
+    // (`<out-stem>-trace.json` / `.prom`) next to the report.
+    report::write_trace_exports(&out_path, &exec, args.quiet)?;
 
     if !args.quiet {
         let p = &exec.parties[0];

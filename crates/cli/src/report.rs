@@ -81,6 +81,16 @@ fn party_json(exec: &Execution) -> Json {
 
 fn counters_json(exec: &Execution) -> Json {
     let p0 = &exec.parties[0];
+    // Field-wise cross-party aggregation: a default-initialized side (a
+    // party that never entered the comparison pipeline, or a pre-PR-5
+    // report read back with empty groups) contributes zeros instead of
+    // erasing the other side's groups.
+    let mut comparison_all = pivot_core::ComparisonCounters::default();
+    let mut dealer_all = pivot_core::DealerPoolStats::default();
+    for p in &exec.parties {
+        comparison_all.merge(&p.comparison);
+        dealer_all.merge(&p.dealer_pool);
+    }
     Json::obj()
         .with("encryptions", p0.encryptions)
         .with("ciphertext_ops", p0.ciphertext_ops)
@@ -89,9 +99,105 @@ fn counters_json(exec: &Execution) -> Json {
         .with("secure_mults", p0.secure_mults)
         .with("secure_comparisons", p0.secure_comparisons)
         .with("comparisons", comparisons_json(p0))
+        .with(
+            "comparisons_all_parties",
+            Json::obj()
+                .with("count", comparison_all.count)
+                .with("online_rounds", comparison_all.online_rounds)
+                .with("opened_elements", comparison_all.opened_elements)
+                .with("dealer_precomputed", dealer_all.produced),
+        )
         .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
         .with("packing", packing_json(p0))
         .with("randomness_pool", pool_json(&p0.pool))
+}
+
+/// Per-phase aggregate rows of one party's trace: rounds, bytes, wall and
+/// blocking-wait time per protocol phase. The counter columns bucket
+/// *every* attributed byte/round, so their sums equal the party's
+/// `NetStats` / `counters` totals exactly.
+pub(crate) fn phase_rows_json(rows: &[pivot_trace::PhaseRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .with("phase", r.phase.clone())
+                    .with("spans", r.span_count)
+                    .with("wall_s", r.wall_ns as f64 / 1e9)
+                    .with("wait_s", r.wait_ns as f64 / 1e9)
+                    .with("rounds", r.rounds)
+                    .with("bytes_sent", r.sent_bytes)
+                    .with("bytes_received", r.recv_bytes)
+            })
+            .collect(),
+    )
+}
+
+/// The `trace` report section: per-party phase tables (present only when
+/// the scenario ran with `params.trace != "off"`).
+pub(crate) fn trace_json(exec: &Execution) -> Option<Json> {
+    let tables: Vec<Json> = exec
+        .parties
+        .iter()
+        .filter_map(|p| p.trace.as_ref())
+        .map(|t| {
+            Json::obj()
+                .with("party", t.party)
+                .with("level", t.level.as_str())
+                .with("phases", phase_rows_json(&pivot_trace::phase_table(t)))
+        })
+        .collect();
+    if tables.is_empty() {
+        return None;
+    }
+    let mut section = Json::obj().with("per_party", Json::Arr(tables));
+    if let Some(rt) = &exec.runtime_trace {
+        section.set(
+            "runtime",
+            Json::obj()
+                .with("background_spans", rt.spans.len() as u64)
+                .with("gauge_samples", rt.gauges.len() as u64),
+        );
+    }
+    Some(section)
+}
+
+/// Write the side-car trace exports next to a run's report: a Chrome
+/// trace (`<report-stem>-trace.json`, loadable in Perfetto /
+/// `chrome://tracing`) and a Prometheus text snapshot
+/// (`<report-stem>-trace.prom`). No-op when the run was untraced.
+pub fn write_trace_exports(out_path: &Path, exec: &Execution, quiet: bool) -> Result<(), String> {
+    let traces: Vec<pivot_trace::PartyTrace> = exec
+        .parties
+        .iter()
+        .filter_map(|p| p.trace.clone())
+        .collect();
+    if traces.is_empty() {
+        return Ok(());
+    }
+    let stem = out_path.with_extension("");
+    let stem = stem.to_string_lossy();
+    let chrome_path = PathBuf::from(format!("{stem}-trace.json"));
+    let prom_path = PathBuf::from(format!("{stem}-trace.prom"));
+    let runtime = exec.runtime_trace.as_ref();
+    std::fs::write(
+        &chrome_path,
+        pivot_trace::chrome_trace_json(&traces, runtime),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", chrome_path.display()))?;
+    std::fs::write(
+        &prom_path,
+        pivot_trace::prometheus_snapshot(&traces, runtime),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", prom_path.display()))?;
+    if !quiet {
+        println!(
+            "trace written to {} (open in https://ui.perfetto.dev) and {}",
+            chrome_path.display(),
+            prom_path.display()
+        );
+    }
+    Ok(())
 }
 
 /// Comparison-pipeline telemetry of one party: what the gain pipeline's
@@ -206,7 +312,7 @@ fn totals_json(exec: &Execution) -> Json {
 /// Report for `pivot train`.
 pub fn train_report(scenario: &Scenario, exec: &Execution) -> Json {
     let p0 = &exec.parties[0];
-    header("train", scenario)
+    let mut report = header("train", scenario)
         .with("algorithm", exec.algo.label())
         .with("dataset", dataset_json(exec))
         .with(
@@ -225,7 +331,11 @@ pub fn train_report(scenario: &Scenario, exec: &Execution) -> Json {
         )
         .with("counters", counters_json(exec))
         .with("model", model_json(exec))
-        .with("evaluation", evaluation_json(exec))
+        .with("evaluation", evaluation_json(exec));
+    if let Some(trace) = trace_json(exec) {
+        report.set("trace", trace);
+    }
+    report
 }
 
 /// Report for `pivot predict` (same run shape, prediction-centric fields).
@@ -236,7 +346,7 @@ pub fn predict_report(scenario: &Scenario, exec: &Execution) -> Json {
     } else {
         Json::Null
     };
-    header("predict", scenario)
+    let mut report = header("predict", scenario)
         .with("algorithm", exec.algo.label())
         .with("dataset", dataset_json(exec))
         .with(
@@ -255,7 +365,11 @@ pub fn predict_report(scenario: &Scenario, exec: &Execution) -> Json {
         )
         .with("counters", counters_json(exec))
         .with("model", model_json(exec))
-        .with("evaluation", evaluation_json(exec))
+        .with("evaluation", evaluation_json(exec));
+    if let Some(trace) = trace_json(exec) {
+        report.set("trace", trace);
+    }
+    report
 }
 
 /// Report for `pivot party`: one party's view of a distributed TCP run.
@@ -267,7 +381,7 @@ pub fn predict_report(scenario: &Scenario, exec: &Execution) -> Json {
 /// computed model output bit for bit.
 pub fn party_report(scenario: &Scenario, party: usize, exec: &Execution) -> Json {
     let p = &exec.parties[0];
-    header("party", scenario)
+    let mut report = header("party", scenario)
         .with("algorithm", exec.algo.label())
         .with("party", party)
         .with("dataset", dataset_json(exec))
@@ -291,7 +405,11 @@ pub fn party_report(scenario: &Scenario, party: usize, exec: &Execution) -> Json
         .with(
             "predictions",
             Json::Arr(p.predictions.iter().map(|&v| Json::Num(v)).collect()),
-        )
+        );
+    if let Some(trace) = trace_json(exec) {
+        report.set("trace", trace);
+    }
+    report
 }
 
 /// Report for `pivot bench`: one entry per (axis value × algorithm).
@@ -300,7 +418,7 @@ pub fn bench_report(scenario: &Scenario, axis: &str, results: &[(usize, Executio
         .iter()
         .map(|(value, exec)| {
             let p0 = &exec.parties[0];
-            Json::obj()
+            let mut entry = Json::obj()
                 .with(axis, *value)
                 .with("algorithm", exec.algo.label())
                 .with("train_wall_s", p0.train_wall_s)
@@ -311,7 +429,11 @@ pub fn bench_report(scenario: &Scenario, axis: &str, results: &[(usize, Executio
                     exec.parties.iter().map(|p| p.train_bytes_sent).sum::<u64>(),
                 )
                 .with("internal_nodes", p0.internal_nodes)
-                .with("counters", counters_json(exec))
+                .with("counters", counters_json(exec));
+            if let Some(trace) = p0.trace.as_ref() {
+                entry.set("phases", phase_rows_json(&pivot_trace::phase_table(trace)));
+            }
+            entry
         })
         .collect();
     header("bench", scenario)
@@ -372,6 +494,7 @@ mod tests {
             internal_nodes: 3,
             tree_depth: Some(2),
             predictions: vec![0.0, 1.0],
+            trace: None,
         };
         Execution {
             algo: Algo::PivotBasic,
@@ -383,6 +506,7 @@ mod tests {
             parties: vec![party(0), party(1)],
             metric: Some(0.5),
             metric_name: "accuracy",
+            runtime_trace: None,
         }
     }
 
@@ -484,6 +608,65 @@ mod tests {
                 .as_u64()
                 .unwrap()
                 > 0
+        );
+    }
+
+    #[test]
+    fn trace_section_appears_only_when_traced() {
+        let scenario = scenario();
+        let plain = train_report(&scenario, &fake_exec());
+        assert!(plain.get("trace").is_none());
+
+        let mut exec = fake_exec();
+        exec.parties[0].trace = Some(pivot_trace::PartyTrace {
+            party: 0,
+            level: pivot_trace::TraceLevel::Phases,
+            spans: vec![pivot_trace::SpanRecord {
+                name: "stats".into(),
+                phase: "stats",
+                depth: 1,
+                is_phase_root: true,
+                start_ns: 10,
+                end_ns: 110,
+                sent_bytes: 64,
+                recv_bytes: 32,
+                wait_ns: 5,
+                rounds: 2,
+            }],
+            gauges: Vec::new(),
+        });
+        let traced = train_report(&scenario, &exec);
+        let parsed = crate::json::Json::parse(&traced.to_pretty()).unwrap();
+        let tables = parsed.path("trace.per_party").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), 1);
+        let rows = tables[0].get("phases").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("phase").unwrap().as_str(), Some("stats"));
+        assert_eq!(rows[0].get("rounds").unwrap().as_u64(), Some(2));
+        assert_eq!(rows[0].get("bytes_sent").unwrap().as_u64(), Some(64));
+    }
+
+    #[test]
+    fn cross_party_counter_merge_is_field_wise() {
+        // Party 1 reporting default-initialized groups must not erase
+        // party 0's values in the aggregate.
+        let mut exec = fake_exec();
+        exec.parties[1].comparison = pivot_core::ComparisonCounters::default();
+        exec.parties[1].dealer_pool = pivot_core::DealerPoolStats::default();
+        let report = train_report(&scenario(), &exec);
+        let parsed = crate::json::Json::parse(&report.to_pretty()).unwrap();
+        assert_eq!(
+            parsed
+                .path("counters.comparisons_all_parties.online_rounds")
+                .unwrap()
+                .as_u64(),
+            Some(40)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.comparisons_all_parties.dealer_precomputed")
+                .unwrap()
+                .as_u64(),
+            Some(128)
         );
     }
 

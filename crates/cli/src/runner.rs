@@ -60,6 +60,9 @@ pub struct PartyOutcome {
     pub tree_depth: Option<usize>,
     /// Test-set predictions (identical across parties by protocol).
     pub predictions: Vec<f64>,
+    /// Span timeline + gauges when `params.trace` is on (`None` when
+    /// tracing is off — the default).
+    pub trace: Option<pivot_trace::PartyTrace>,
 }
 
 /// One full scenario execution.
@@ -76,6 +79,9 @@ pub struct Execution {
     /// when the scenario holds out no test data or prediction is skipped.
     pub metric: Option<f64>,
     pub metric_name: &'static str,
+    /// Off-party-thread telemetry (worker-pool gauges, background dealer
+    /// refills) drained from the process-global sink after the run.
+    pub runtime_trace: Option<pivot_trace::RuntimeTrace>,
 }
 
 enum Trained {
@@ -125,6 +131,9 @@ pub fn run_party_protocol(
     algo: Algo,
     skip_prediction: bool,
 ) -> PartyOutcome {
+    // A no-op at the default `TraceLevel::Off`; otherwise this thread
+    // records spans until the matching `finish()` below.
+    pivot_trace::install(ep.id(), params.trace);
     let mut ctx = PartyContext::setup(ep, view, params.clone());
 
     let train_start = Instant::now();
@@ -165,6 +174,7 @@ pub fn run_party_protocol(
     let predictions = if skip_prediction || test_view.num_samples() == 0 {
         Vec::new()
     } else {
+        let _predict = pivot_trace::phase_span("predict");
         let local: Vec<Vec<f64>> = (0..test_view.num_samples())
             .map(|i| test_view.features[i].clone())
             .collect();
@@ -182,6 +192,7 @@ pub fn run_party_protocol(
     let comparison = ctx.engine.comparison_snapshot();
     let dealer_pool = ctx.engine.dealer_pool_stats();
     let pool = ctx.nonces.stats();
+    let trace = pivot_trace::finish();
     PartyOutcome {
         party: ctx.id(),
         train_bytes_sent,
@@ -214,6 +225,7 @@ pub fn run_party_protocol(
         internal_nodes: model.internal_nodes(),
         tree_depth: model.depth(),
         predictions,
+        trace,
     }
 }
 
@@ -291,6 +303,11 @@ pub fn execute(
     });
     let wall_s = start.elapsed().as_secs_f64();
 
+    // Drain the process-global runtime sink (worker gauges, background
+    // refill spans). Empty when tracing is off.
+    let runtime = pivot_trace::take_runtime();
+    let runtime_trace = (!runtime.is_empty()).then_some(runtime);
+
     let task = train_set.task();
     let metric = compute_metric(task, &outcomes[0].predictions, test_set.labels());
     let metric_name = metric_name_for(task);
@@ -305,6 +322,7 @@ pub fn execute(
         parties: outcomes,
         metric,
         metric_name,
+        runtime_trace,
     })
 }
 

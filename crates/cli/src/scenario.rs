@@ -16,7 +16,7 @@ use crate::json::Json;
 use crate::toml::{TomlDoc, TomlValue};
 use pivot_bench::Algo;
 use pivot_core::config::{Packing, PivotParams};
-use pivot_core::CompareBits;
+use pivot_core::{CompareBits, TraceLevel};
 use pivot_data::{synth, Dataset, Task};
 use pivot_transport::NetConfig;
 use pivot_trees::TreeParams;
@@ -208,6 +208,29 @@ impl ComparisonBitsSpec {
     }
 }
 
+/// `params.trace`: `"off"`, `"phases"`, or `"full"`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TraceSpec {
+    #[default]
+    Off,
+    Phases,
+    Full,
+}
+
+impl TraceSpec {
+    fn to_core(self) -> TraceLevel {
+        match self {
+            TraceSpec::Off => TraceLevel::Off,
+            TraceSpec::Phases => TraceLevel::Phases,
+            TraceSpec::Full => TraceLevel::Full,
+        }
+    }
+
+    fn echo(self) -> Json {
+        Json::Str(self.to_core().as_str().into())
+    }
+}
+
 /// `[params]` section → [`PivotParams`].
 #[derive(Clone, Debug)]
 pub struct ParamSpec {
@@ -235,6 +258,10 @@ pub struct ParamSpec {
     /// rows per stream; active under `parallel_decrypt` + bounded
     /// `comparison_bits`).
     pub dealer_pool: usize,
+    /// Protocol tracing: `"off"` (default, bit-identical transcript),
+    /// `"phases"` (phase timelines + round/byte attribution), `"full"`
+    /// (adds per-round and per-node spans).
+    pub trace: TraceSpec,
 }
 
 impl Default for ParamSpec {
@@ -250,6 +277,7 @@ impl Default for ParamSpec {
             packing: PackingSpec::Off,
             comparison_bits: ComparisonBitsSpec::Full,
             dealer_pool: 256,
+            trace: TraceSpec::Off,
         }
     }
 }
@@ -552,6 +580,7 @@ const PARAM_KEYS: &[&str] = &[
     "packing",
     "comparison_bits",
     "dealer_pool",
+    "trace",
 ];
 const MODEL_KEYS: &[&str] = &[
     "kind",
@@ -735,6 +764,18 @@ impl Scenario {
                 ))
             }
         };
+        let trace = match doc.get_str("params", "trace")?.as_deref() {
+            None => pd.trace,
+            Some("off") => TraceSpec::Off,
+            Some("phases") => TraceSpec::Phases,
+            Some("full") => TraceSpec::Full,
+            Some(other) => {
+                return Err(format!(
+                    "params.trace: unknown level {other:?} (expected \"off\", \
+                     \"phases\", or \"full\")"
+                ))
+            }
+        };
         let crypto_threads = doc.get_usize("params", "crypto_threads")?;
         let decrypt_threads = doc.get_usize("params", "decrypt_threads")?;
         if crypto_threads.is_some() && decrypt_threads.is_some() {
@@ -770,6 +811,7 @@ impl Scenario {
             dealer_pool: doc
                 .get_usize("params", "dealer_pool")?
                 .unwrap_or(pd.dealer_pool),
+            trace,
         };
 
         let md = ModelSpec::default();
@@ -1012,7 +1054,17 @@ impl Scenario {
     /// The [`NetConfig`] every endpoint of this run carries: explicit
     /// `[network]` keys over the deprecated `PIVOT_NET_*` environment
     /// fallback over "no simulation".
+    ///
+    /// When an environment variable and the scenario both set the same
+    /// knob, the scenario wins — and the overlap is reported once per
+    /// process to stderr, because a stale exported `PIVOT_NET_*` that
+    /// *looks* live is exactly the silent misconfiguration the explicit
+    /// `[network]` section was added to end.
     pub fn net_config(&self) -> NetConfig {
+        if let Some(warning) = self.env_shadow_warning() {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("{warning}"));
+        }
         let mut net = NetConfig::from_env();
         if let Some(us) = self.network.latency_us {
             net.latency = std::time::Duration::from_micros(us);
@@ -1024,6 +1076,37 @@ impl Scenario {
             net.recv_timeout = std::time::Duration::from_secs_f64(secs);
         }
         net
+    }
+
+    /// The warning [`Scenario::net_config`] prints when deprecated
+    /// `PIVOT_NET_*` variables overlap explicit `[network]` keys (the
+    /// scenario value is used; the env value is ignored). `None` when
+    /// there is no overlap. Split out so tests can assert the message
+    /// without capturing stderr.
+    pub fn env_shadow_warning(&self) -> Option<String> {
+        let overlaps = [
+            (self.network.latency_us.is_some(), "PIVOT_NET_LATENCY_US"),
+            (
+                self.network.bandwidth_mbps.is_some(),
+                "PIVOT_NET_BANDWIDTH_MBPS",
+            ),
+            (
+                self.network.recv_timeout_s.is_some(),
+                "PIVOT_NET_RECV_TIMEOUT_S",
+            ),
+        ];
+        let shadowed: Vec<&str> = overlaps
+            .iter()
+            .filter(|(explicit, var)| *explicit && std::env::var_os(var).is_some())
+            .map(|&(_, var)| var)
+            .collect();
+        (!shadowed.is_empty()).then(|| {
+            format!(
+                "warning: deprecated {} ignored — the scenario's [network] section \
+                 sets the same knob, and explicit keys win",
+                shadowed.join(", ")
+            )
+        })
     }
 
     /// [`PivotParams`] for one algorithm under this scenario. The
@@ -1045,6 +1128,7 @@ impl Scenario {
         p.packing = self.params.packing.to_core();
         p.comparison_bits = self.params.comparison_bits.to_core();
         p.dealer_pool = self.params.dealer_pool;
+        p.trace = self.params.trace.to_core();
         p
     }
 
@@ -1120,7 +1204,8 @@ impl Scenario {
                     .with("randomness_pool", self.params.randomness_pool)
                     .with("packing", self.params.packing.echo())
                     .with("comparison_bits", self.params.comparison_bits.echo())
-                    .with("dealer_pool", self.params.dealer_pool),
+                    .with("dealer_pool", self.params.dealer_pool)
+                    .with("trace", self.params.trace.echo()),
             )
             .with("model", model)
             .with("network", {
@@ -1500,6 +1585,63 @@ mod tests {
             echo.path("network.recv_timeout_s").unwrap().as_f64(),
             Some(5.0)
         );
+    }
+
+    #[test]
+    fn explicit_network_keys_win_over_env_fallback() {
+        // Env exported *before* the scenario is loaded: explicit key wins
+        // and the overlap is reported.
+        std::env::set_var("PIVOT_NET_RECV_TIMEOUT_S", "33");
+        let s = parse_toml("[network]\nrecv_timeout_s = 5").unwrap();
+        assert_eq!(
+            s.net_config().recv_timeout,
+            std::time::Duration::from_secs(5)
+        );
+        let warn = s.env_shadow_warning().expect("overlap must warn");
+        assert!(warn.contains("PIVOT_NET_RECV_TIMEOUT_S"), "{warn}");
+        std::env::remove_var("PIVOT_NET_RECV_TIMEOUT_S");
+        assert!(s.env_shadow_warning().is_none());
+
+        // Env exported *after* loading: same precedence, same warning
+        // (net_config reads the environment lazily).
+        let late = parse_toml("[network]\nrecv_timeout_s = 7").unwrap();
+        std::env::set_var("PIVOT_NET_RECV_TIMEOUT_S", "33");
+        assert_eq!(
+            late.net_config().recv_timeout,
+            std::time::Duration::from_secs(7)
+        );
+        assert!(late.env_shadow_warning().is_some());
+
+        // Without an explicit key the deprecated fallback still applies —
+        // and is not an overlap.
+        let plain = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert_eq!(
+            plain.net_config().recv_timeout,
+            std::time::Duration::from_secs(33)
+        );
+        assert!(plain.env_shadow_warning().is_none());
+        std::env::remove_var("PIVOT_NET_RECV_TIMEOUT_S");
+    }
+
+    #[test]
+    fn trace_levels_parse_and_echo() {
+        let d = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert_eq!(d.params.trace, TraceSpec::Off);
+        for (text, spec, level) in [
+            ("off", TraceSpec::Off, TraceLevel::Off),
+            ("phases", TraceSpec::Phases, TraceLevel::Phases),
+            ("full", TraceSpec::Full, TraceLevel::Full),
+        ] {
+            let s = parse_toml(&format!("[params]\ntrace = \"{text}\"")).unwrap();
+            assert_eq!(s.params.trace, spec);
+            assert_eq!(s.pivot_params(s.algorithms[0]).trace, level);
+            assert_eq!(
+                s.to_json().path("params.trace").unwrap().as_str(),
+                Some(text)
+            );
+        }
+        let err = parse_toml("[params]\ntrace = \"verbose\"").unwrap_err();
+        assert!(err.contains("trace"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Trace-overhead guard: tracing is *observability*, never protocol.
+//!
+//! Three contracts, per ISSUE PR 6:
+//! 1. `trace = "off"` (and the default, which is off) leaves the
+//!    transcript bit-identical — same bytes, messages, op counts, model,
+//!    and predictions as a build that never heard of tracing.
+//! 2. `trace = "full"` perturbs nothing observable: model, metric, and
+//!    traffic equal the untraced run exactly (only wall clocks may move).
+//! 3. The phase table is *complete*: per party, the rounds column sums to
+//!    `mpc_rounds` and the byte columns sum to the train + predict
+//!    NetStats totals — no round or byte escapes attribution.
+
+use pivot_bench::Algo;
+use pivot_cli::runner::{execute, Execution};
+use pivot_cli::scenario::Scenario;
+
+fn scenario(tag: &str, body: &str) -> Scenario {
+    let path = std::env::temp_dir().join(format!(
+        "pivot-trace-parity-{}-{tag}.toml",
+        std::process::id()
+    ));
+    std::fs::write(&path, body).unwrap();
+    let s = Scenario::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    s
+}
+
+const BASE: &str = "seed = 31337\nparties = 3\n\
+     [data]\nkind = \"synthetic-classification\"\nsamples = 30\n\
+     features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+     [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n";
+
+fn run_with(tag: &str, trace_line: &str, algo: Algo) -> Execution {
+    execute(&scenario(tag, &format!("{BASE}{trace_line}")), algo, false).unwrap()
+}
+
+/// Everything deterministic a run exposes — traffic, op counts, model,
+/// predictions. Wall clocks and pool hit rates are timing-dependent and
+/// deliberately excluded.
+fn assert_transcript_identical(a: &Execution, b: &Execution, what: &str) {
+    assert_eq!(a.metric, b.metric, "{what}: metric");
+    for (x, y) in a.parties.iter().zip(&b.parties) {
+        let p = x.party;
+        assert_eq!(
+            x.predictions, y.predictions,
+            "{what}: party {p} predictions"
+        );
+        assert_eq!(
+            x.internal_nodes, y.internal_nodes,
+            "{what}: party {p} model"
+        );
+        assert_eq!(x.tree_depth, y.tree_depth, "{what}: party {p} depth");
+        assert_eq!(
+            (
+                x.train_bytes_sent,
+                x.train_bytes_received,
+                x.train_messages_sent
+            ),
+            (
+                y.train_bytes_sent,
+                y.train_bytes_received,
+                y.train_messages_sent
+            ),
+            "{what}: party {p} train traffic"
+        );
+        assert_eq!(
+            (x.predict_bytes_sent, x.predict_bytes_received),
+            (y.predict_bytes_sent, y.predict_bytes_received),
+            "{what}: party {p} predict traffic"
+        );
+        assert_eq!(
+            (x.encryptions, x.threshold_decryptions, x.mpc_rounds),
+            (y.encryptions, y.threshold_decryptions, y.mpc_rounds),
+            "{what}: party {p} op counts"
+        );
+        assert_eq!(
+            (
+                x.secure_mults,
+                x.secure_comparisons,
+                x.split_stat_ciphertexts
+            ),
+            (
+                y.secure_mults,
+                y.secure_comparisons,
+                y.split_stat_ciphertexts
+            ),
+            "{what}: party {p} protocol counters"
+        );
+        assert_eq!(
+            x.stats_bytes_sent, y.stats_bytes_sent,
+            "{what}: party {p} stats traffic"
+        );
+    }
+}
+
+#[test]
+fn trace_off_is_bit_identical_to_default() {
+    for (algo, tag) in [(Algo::PivotBasic, "basic"), (Algo::PivotEnhancedPp, "epp")] {
+        let default = run_with(&format!("default-{tag}"), "", algo);
+        let off = run_with(&format!("off-{tag}"), "trace = \"off\"\n", algo);
+        assert_transcript_identical(&default, &off, tag);
+        for e in [&default, &off] {
+            assert!(
+                e.parties.iter().all(|p| p.trace.is_none()),
+                "{tag}: untraced runs carry no trace"
+            );
+            assert!(e.runtime_trace.is_none(), "{tag}: no runtime trace");
+        }
+    }
+}
+
+#[test]
+fn full_tracing_never_perturbs_the_protocol() {
+    for (algo, tag) in [(Algo::PivotBasic, "basic"), (Algo::PivotEnhancedPp, "epp")] {
+        let off = run_with(&format!("p-off-{tag}"), "trace = \"off\"\n", algo);
+        let full = run_with(&format!("p-full-{tag}"), "trace = \"full\"\n", algo);
+        assert_transcript_identical(&off, &full, tag);
+        assert!(
+            full.parties.iter().all(|p| p.trace.is_some()),
+            "{tag}: full tracing records every party"
+        );
+    }
+}
+
+#[test]
+fn phase_table_accounts_for_every_round_and_byte() {
+    // Both granularities must attribute *everything*: fine spans re-bucket
+    // counters inside their enclosing phase, so the column sums are
+    // invariant across "phases" and "full".
+    for (line, tag) in [
+        ("trace = \"phases\"\n", "phases"),
+        ("trace = \"full\"\n", "full"),
+    ] {
+        let exec = run_with(&format!("sum-{tag}"), line, Algo::PivotEnhancedPp);
+        for p in &exec.parties {
+            let trace = p.trace.as_ref().expect("traced run");
+            let rows = pivot_trace::phase_table(trace);
+            for row in &rows {
+                assert!(
+                    pivot_trace::PHASES.contains(&row.phase.as_str()),
+                    "{tag}: unknown phase {:?}",
+                    row.phase
+                );
+            }
+            let rounds: u64 = rows.iter().map(|r| r.rounds).sum();
+            let sent: u64 = rows.iter().map(|r| r.sent_bytes).sum();
+            let recv: u64 = rows.iter().map(|r| r.recv_bytes).sum();
+            assert_eq!(
+                rounds, p.mpc_rounds,
+                "{tag}: party {} rounds attribution",
+                p.party
+            );
+            assert_eq!(
+                sent,
+                p.train_bytes_sent + p.predict_bytes_sent,
+                "{tag}: party {} sent-byte attribution",
+                p.party
+            );
+            assert_eq!(
+                recv,
+                p.train_bytes_received + p.predict_bytes_received,
+                "{tag}: party {} recv-byte attribution",
+                p.party
+            );
+            // Named protocol phases actually ran — the table is not one
+            // big "other" bucket.
+            let named: Vec<&str> = rows
+                .iter()
+                .filter(|r| r.phase != "other")
+                .map(|r| r.phase.as_str())
+                .collect();
+            for expect in [
+                "setup",
+                "stats",
+                "conversion",
+                "gain",
+                "split_reveal",
+                "predict",
+            ] {
+                assert!(
+                    named.contains(&expect),
+                    "{tag}: party {} phase table misses {expect:?} ({named:?})",
+                    p.party
+                );
+            }
+        }
+        // The Chrome export of the same run passes its own checker (the
+        // CI smoke gate uses the identical validation path).
+        let traces: Vec<_> = exec
+            .parties
+            .iter()
+            .filter_map(|p| p.trace.clone())
+            .collect();
+        let json = pivot_trace::chrome_trace_json(&traces, exec.runtime_trace.as_ref());
+        let path = std::env::temp_dir().join(format!(
+            "pivot-trace-parity-chrome-{}-{tag}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, &json).unwrap();
+        pivot_cli::trace_cmd::run(&pivot_cli::trace_cmd::TraceArgs {
+            input: path.clone(),
+            check: true,
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -3,6 +3,7 @@
 
 use pivot_mpc::{CompareBits, FixedConfig, MODULUS};
 use pivot_paillier::SlotCodec;
+use pivot_trace::TraceLevel;
 use pivot_trees::TreeParams;
 
 /// Which Pivot protocol variant to run.
@@ -95,6 +96,12 @@ pub struct PivotParams {
     pub dealer_pool: usize,
     /// Common seed for the simulated MPC offline phase.
     pub dealer_seed: u64,
+    /// Protocol tracing level. `Off` (default) installs no collector —
+    /// the transcript is bit-identical to an untraced run and every hook
+    /// is a single atomic load. `Phases`/`Full` record span timelines
+    /// and per-phase round/byte attribution; telemetry never perturbs
+    /// the protocol (models, metrics, and traffic are unchanged).
+    pub trace: TraceLevel,
 }
 
 impl Default for PivotParams {
@@ -111,6 +118,7 @@ impl Default for PivotParams {
             comparison_bits: CompareBits::Full,
             dealer_pool: 256,
             dealer_seed: 0x9162_07,
+            trace: TraceLevel::Off,
         }
     }
 }

@@ -45,3 +45,4 @@ pub use party::PartyContext;
 // Re-exported so report-layer consumers (CLI, bench) can name the
 // comparison policy and its telemetry without a direct pivot-mpc edge.
 pub use pivot_mpc::{CompareBits, ComparisonCounters, DealerPoolStats};
+pub use pivot_trace::TraceLevel;

@@ -53,6 +53,7 @@ impl<'a> PartyContext<'a> {
     /// ([`pivot_paillier::fixtures`]) — the same trusted-dealer setup the
     /// original implementation gets from libhcs.
     pub fn setup(ep: &'a Endpoint, view: VerticalView, params: PivotParams) -> Self {
+        let _phase = pivot_trace::phase_span("setup");
         params.assert_valid_for(view.num_samples(), ep.parties());
         // assert_valid_for audits packing with the classification bound;
         // regression widens the slots, so re-audit with the real task.

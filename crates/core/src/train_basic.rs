@@ -57,8 +57,12 @@ pub fn train_with_labels(
     root_alpha: Vec<Ciphertext>,
     labels: NodeLabels,
 ) -> DecisionTree {
-    let local = LocalSplits::precompute(ctx);
-    let layout = SplitLayout::build(ctx.ep, &local.counts());
+    let (local, layout) = {
+        let _setup = pivot_trace::phase_span("setup");
+        let local = LocalSplits::precompute(ctx);
+        let layout = SplitLayout::build(ctx.ep, &local.counts());
+        (local, layout)
+    };
     let task = ctx.current_task();
     // Packed mode needs the super client's plaintext labels to build the
     // packed label vectors, and GBDT residual vectors carry unbounded
@@ -102,6 +106,7 @@ fn train_level_wise(
         // take the scalar totals path the recursive builder uses.
         if depth >= ctx.params.tree.max_depth || layout.total() == 0 {
             for (slot, alpha) in frontier.drain(..) {
+                let _leaf = pivot_trace::phase_span("leaf");
                 let stats_start = ctx.ep.stats().bytes_sent();
                 let masks = compute_label_masks(ctx, &alpha, true);
                 let value = leaf_value_from_totals(ctx, &alpha, &masks, stats_start);
@@ -109,61 +114,86 @@ fn train_level_wise(
             }
             break;
         }
+        let _level = pivot_trace::span_fn(|| format!("level {depth}"));
         let stats_start = ctx.ep.stats().bytes_sent();
 
-        // Per-node packed label vectors (the super client broadcasts).
-        let labels: Vec<_> = frontier
-            .iter()
-            .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, &label_plan))
-            .collect();
+        let per_node: Vec<crate::stats::PackedStats> = {
+            let _stats = pivot_trace::phase_span("stats");
+            // Per-node packed label vectors (the super client broadcasts).
+            let labels: Vec<_> = frontier
+                .iter()
+                .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, &label_plan))
+                .collect();
 
-        // Per-node packed statistics.
-        let per_node: Vec<crate::stats::PackedStats> = labels
-            .iter()
-            .map(|packed_labels| packed_pooled_statistics(ctx, layout, local, packed_labels, codec))
-            .collect();
+            // Per-node packed statistics.
+            labels
+                .iter()
+                .map(|packed_labels| {
+                    packed_pooled_statistics(ctx, layout, local, packed_labels, codec)
+                })
+                .collect()
+        };
 
         // ONE conversion for the whole frontier.
-        let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
-        let started = std::time::Instant::now();
-        let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
-        ctx.metrics
-            .add_time(Stage::MpcComputation, started.elapsed());
+        let (slot_shares, spans) = {
+            let _conv = pivot_trace::phase_span("conversion");
+            let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
+            let started = std::time::Instant::now();
+            let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
+            ctx.metrics
+                .add_time(Stage::MpcComputation, started.elapsed());
+            (slot_shares, spans)
+        };
         ctx.metrics
             .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
 
         let mut next = Vec::new();
         for (i, ((slot, alpha), ps)) in frontier.drain(..).zip(&per_node).enumerate() {
+            let _node = pivot_trace::span_fn(|| format!("node d{depth} #{i}"));
             let span = &slot_shares[spans[i]..spans[i] + ps.conversion_len()];
-            let shares = node_shares_from_packed(ctx, layout, ps, span);
-            let check_purity = ctx.params.tree.stop_when_pure;
-            if prune_decision(ctx, &shares, check_purity) {
+            let (pruned, shares) = {
+                let _gain = pivot_trace::phase_span("gain");
+                let shares = node_shares_from_packed(ctx, layout, ps, span);
+                let check_purity = ctx.params.tree.stop_when_pure;
+                (prune_decision(ctx, &shares, check_purity), shares)
+            };
+            if pruned {
+                let _leaf = pivot_trace::phase_span("leaf");
                 nodes[slot] = Some(Node::Leaf {
                     value: open_leaf(ctx, &shares),
                 });
                 continue;
             }
 
-            let gains = split_gains(ctx, &shares);
-            let (best_idx, _gain) = best_split(ctx, &gains);
-            let (winner, local_feature, split_idx) = reveal_identifier(ctx, layout, best_idx);
-
-            let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
-                if ctx.id() == winner {
-                    let feature_global = ctx.view.feature_indices[local_feature];
-                    let threshold = local.candidates[local_feature].thresholds[split_idx];
-                    ctx.ep.broadcast(&(feature_global, threshold));
-                    (feature_global, threshold)
-                } else {
-                    ctx.ep.recv::<(usize, f64)>(winner)
-                }
-            });
+            let best_idx = {
+                let _gain = pivot_trace::phase_span("gain");
+                let gains = split_gains(ctx, &shares);
+                let (best_idx, _gain_share) = best_split(ctx, &gains);
+                best_idx
+            };
+            let (winner, local_feature, split_idx, feature_global, threshold) = {
+                let _reveal = pivot_trace::phase_span("split_reveal");
+                let (winner, local_feature, split_idx) = reveal_identifier(ctx, layout, best_idx);
+                let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
+                    if ctx.id() == winner {
+                        let feature_global = ctx.view.feature_indices[local_feature];
+                        let threshold = local.candidates[local_feature].thresholds[split_idx];
+                        ctx.ep.broadcast(&(feature_global, threshold));
+                        (feature_global, threshold)
+                    } else {
+                        ctx.ep.recv::<(usize, f64)>(winner)
+                    }
+                });
+                (winner, local_feature, split_idx, feature_global, threshold)
+            };
             let indicator =
                 (ctx.id() == winner).then(|| local.indicators[local_feature][split_idx].clone());
             let vectors = vec![alpha];
             let started = std::time::Instant::now();
-            let (mut lefts, mut rights) =
-                update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
+            let (mut lefts, mut rights) = {
+                let _update = pivot_trace::phase_span("update");
+                update_vectors_plain(ctx, &vectors, winner, indicator.as_deref())
+            };
             ctx.metrics.add_time(Stage::ModelUpdate, started.elapsed());
 
             let left_slot = nodes.len();
@@ -231,33 +261,49 @@ fn build_node(
     depth: usize,
     nodes: &mut Vec<Node>,
 ) -> usize {
+    let _node = pivot_trace::span_fn(|| format!("node d{depth}"));
     let stats_start = ctx.ep.stats().bytes_sent();
-    let masks = match &labels {
-        NodeLabels::SuperClient => compute_label_masks(ctx, &alpha, true),
-        // GBDT residual vectors are slack-positive share sums; they carry
-        // no +1 offset (see ensemble::gbdt).
-        NodeLabels::Encrypted(gammas) => LabelMasks {
-            gammas: gammas.clone(),
-            offset_encoded: false,
-        },
+    let masks = {
+        let _stats = pivot_trace::phase_span("stats");
+        match &labels {
+            NodeLabels::SuperClient => compute_label_masks(ctx, &alpha, true),
+            // GBDT residual vectors are slack-positive share sums; they carry
+            // no +1 offset (see ensemble::gbdt).
+            NodeLabels::Encrypted(gammas) => LabelMasks {
+                gammas: gammas.clone(),
+                offset_encoded: false,
+            },
+        }
     };
 
     // Depth pruning is public; the remaining conditions are secure.
     let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
     if force_leaf {
+        let _leaf = pivot_trace::phase_span("leaf");
         let value = leaf_value_from_totals(ctx, &alpha, &masks, stats_start);
         nodes.push(Node::Leaf { value });
         return nodes.len() - 1;
     }
 
     // Local computation + pooling, then MPC conversion (Algorithm 2).
-    let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
-    let shares = convert_stats(ctx, layout, &enc);
+    let enc = {
+        let _stats = pivot_trace::phase_span("stats");
+        pooled_statistics(ctx, layout, local, &alpha, &masks)
+    };
+    let shares = {
+        let _conv = pivot_trace::phase_span("conversion");
+        convert_stats(ctx, layout, &enc)
+    };
     ctx.metrics
         .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
 
     let check_purity = ctx.params.tree.stop_when_pure && matches!(labels, NodeLabels::SuperClient);
-    if prune_decision(ctx, &shares, check_purity) {
+    let pruned = {
+        let _gain = pivot_trace::phase_span("gain");
+        prune_decision(ctx, &shares, check_purity)
+    };
+    if pruned {
+        let _leaf = pivot_trace::phase_span("leaf");
         let value = open_leaf(ctx, &shares);
         nodes.push(Node::Leaf { value });
         return nodes.len() - 1;
@@ -265,22 +311,30 @@ fn build_node(
 
     // MPC: gains + secure argmax; the identifier becomes public (§4.1
     // model update step).
-    let gains = split_gains(ctx, &shares);
-    let (best_idx, _gain) = best_split(ctx, &gains);
-    let (winner, local_feature, split_idx) = reveal_identifier(ctx, layout, best_idx);
+    let best_idx = {
+        let _gain = pivot_trace::phase_span("gain");
+        let gains = split_gains(ctx, &shares);
+        let (best_idx, _gain_share) = best_split(ctx, &gains);
+        best_idx
+    };
 
     // The winner announces the global feature id and plaintext threshold
     // (both part of the released model) and splits the masked vectors.
-    let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
-        if ctx.id() == winner {
-            let feature_global = ctx.view.feature_indices[local_feature];
-            let threshold = local.candidates[local_feature].thresholds[split_idx];
-            ctx.ep.broadcast(&(feature_global, threshold));
-            (feature_global, threshold)
-        } else {
-            ctx.ep.recv::<(usize, f64)>(winner)
-        }
-    });
+    let (winner, local_feature, split_idx, feature_global, threshold) = {
+        let _reveal = pivot_trace::phase_span("split_reveal");
+        let (winner, local_feature, split_idx) = reveal_identifier(ctx, layout, best_idx);
+        let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
+            if ctx.id() == winner {
+                let feature_global = ctx.view.feature_indices[local_feature];
+                let threshold = local.candidates[local_feature].thresholds[split_idx];
+                ctx.ep.broadcast(&(feature_global, threshold));
+                (feature_global, threshold)
+            } else {
+                ctx.ep.recv::<(usize, f64)>(winner)
+            }
+        });
+        (winner, local_feature, split_idx, feature_global, threshold)
+    };
     let indicator =
         (ctx.id() == winner).then(|| local.indicators[local_feature][split_idx].clone());
 
@@ -291,7 +345,10 @@ fn build_node(
         vectors.extend(gammas.iter().cloned());
     }
     let started = std::time::Instant::now();
-    let (mut lefts, mut rights) = update_vectors_plain(ctx, &vectors, winner, indicator.as_deref());
+    let (mut lefts, mut rights) = {
+        let _update = pivot_trace::phase_span("update");
+        update_vectors_plain(ctx, &vectors, winner, indicator.as_deref())
+    };
     ctx.metrics.add_time(Stage::ModelUpdate, started.elapsed());
     let alpha_l = lefts.remove(0);
     let alpha_r = rights.remove(0);

@@ -52,8 +52,12 @@ pub fn train(ctx: &mut PartyContext<'_>) -> ConcealedTree {
         "enhanced protocol needs keysize ≥ 192 (Eqn-10 slack headroom)"
     );
     let mask = vec![true; ctx.num_samples()];
-    let local = LocalSplits::precompute(ctx);
-    let layout = SplitLayout::build(ctx.ep, &local.counts());
+    let (local, layout) = {
+        let _setup = pivot_trace::phase_span("setup");
+        let local = LocalSplits::precompute(ctx);
+        let layout = SplitLayout::build(ctx.ep, &local.counts());
+        (local, layout)
+    };
     let alpha = initial_mask(ctx, &mask);
     if let Some(codec) = ctx.packing_codec() {
         return train_level_wise(ctx, &local, &layout, alpha, &codec);
@@ -92,6 +96,7 @@ fn train_level_wise(
         // handful of values per node leaves packing nothing to amortize.
         if depth >= ctx.params.tree.max_depth || layout.total() == 0 {
             for (slot, alpha) in frontier.drain(..) {
+                let _leaf = pivot_trace::phase_span("leaf");
                 let stats_start = ctx.ep.stats().bytes_sent();
                 let masks = compute_label_masks(ctx, &alpha, true);
                 let enc_value = concealed_leaf_from_totals(ctx, &alpha, &masks, stats_start);
@@ -99,6 +104,7 @@ fn train_level_wise(
             }
             break;
         }
+        let _level = pivot_trace::span_fn(|| format!("level {depth}"));
         let stats_start = ctx.ep.stats().bytes_sent();
 
         // Eqn-10 masks carry *quadratic* mod-p slack (shares scaled by
@@ -109,6 +115,7 @@ fn train_level_wise(
         // mask as a plain share sum. Values are untouched mod p, so the
         // trained tree is unaffected.
         if depth > 0 {
+            let _conv = pivot_trace::phase_span("conversion");
             let lens: Vec<usize> = frontier.iter().map(|(_, a)| a.len()).collect();
             let flat: Vec<Ciphertext> = frontier
                 .iter()
@@ -123,29 +130,44 @@ fn train_level_wise(
             }
         }
 
-        let labels: Vec<_> = frontier
-            .iter()
-            .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, &label_plan))
-            .collect();
-        let per_node: Vec<PackedStats> = labels
-            .iter()
-            .map(|packed_labels| packed_pooled_statistics(ctx, layout, local, packed_labels, codec))
-            .collect();
+        let per_node: Vec<PackedStats> = {
+            let _stats = pivot_trace::phase_span("stats");
+            let labels: Vec<_> = frontier
+                .iter()
+                .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, &label_plan))
+                .collect();
+            labels
+                .iter()
+                .map(|packed_labels| {
+                    packed_pooled_statistics(ctx, layout, local, packed_labels, codec)
+                })
+                .collect()
+        };
 
-        let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
-        let started = std::time::Instant::now();
-        let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
-        ctx.metrics
-            .add_time(Stage::MpcComputation, started.elapsed());
+        let (slot_shares, spans) = {
+            let _conv = pivot_trace::phase_span("conversion");
+            let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
+            let started = std::time::Instant::now();
+            let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
+            ctx.metrics
+                .add_time(Stage::MpcComputation, started.elapsed());
+            (slot_shares, spans)
+        };
         ctx.metrics
             .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
 
         let mut next = Vec::new();
         for (i, ((slot, alpha), ps)) in frontier.drain(..).zip(&per_node).enumerate() {
+            let _node = pivot_trace::span_fn(|| format!("node d{depth} #{i}"));
             let span = &slot_shares[spans[i]..spans[i] + ps.conversion_len()];
-            let shares = node_shares_from_packed(ctx, layout, ps, span);
-            // No purity check: it would leak a concealed-label bit.
-            if prune_decision(ctx, &shares, false) {
+            let (pruned, shares) = {
+                let _gain = pivot_trace::phase_span("gain");
+                let shares = node_shares_from_packed(ctx, layout, ps, span);
+                // No purity check: it would leak a concealed-label bit.
+                (prune_decision(ctx, &shares, false), shares)
+            };
+            if pruned {
+                let _leaf = pivot_trace::phase_span("leaf");
                 let enc_value = concealed_leaf(ctx, &shares);
                 nodes[slot] = Some(ConcealedNode::Leaf { enc_value });
                 continue;
@@ -225,8 +247,13 @@ fn select_and_update(
     shares: &NodeShares,
     alpha: Vec<Ciphertext>,
 ) -> (usize, usize, Ciphertext, Vec<Ciphertext>, Vec<Ciphertext>) {
-    let gains = split_gains(ctx, shares);
-    let (best_idx, _gain) = best_split(ctx, &gains);
+    let best_idx = {
+        let _gain = pivot_trace::phase_span("gain");
+        let gains = split_gains(ctx, shares);
+        let (best_idx, _gain_share) = best_split(ctx, &gains);
+        best_idx
+    };
+    let _reveal = pivot_trace::phase_span("split_reveal");
     // Reveal only the (client, feature) block; ⟨s*⟩ stays secret.
     let (winner, local_feature, s_share) = reveal_block_only(ctx, layout, best_idx);
     let n_splits = layout.counts[winner][local_feature];
@@ -277,7 +304,9 @@ fn select_and_update(
         }
     });
 
+    drop(_reveal);
     // Eqn (10): encrypted-mask updating through share conversion.
+    let _update = pivot_trace::phase_span("update");
     let alpha_shares = ciphers_to_shares(ctx, &alpha);
     let alpha_l = masked_product(ctx, &alpha_shares, &v_l, winner);
     let alpha_r = masked_product(ctx, &alpha_shares, &v_r, winner);
@@ -293,23 +322,39 @@ fn build_node(
     depth: usize,
     nodes: &mut Vec<ConcealedNode>,
 ) -> usize {
+    let _node = pivot_trace::span_fn(|| format!("node d{depth}"));
     let stats_start = ctx.ep.stats().bytes_sent();
-    let masks = compute_label_masks(ctx, &alpha, true);
+    let masks = {
+        let _stats = pivot_trace::phase_span("stats");
+        compute_label_masks(ctx, &alpha, true)
+    };
 
     let force_leaf = depth >= ctx.params.tree.max_depth || layout.total() == 0;
     if force_leaf {
+        let _leaf = pivot_trace::phase_span("leaf");
         let enc_value = concealed_leaf_from_totals(ctx, &alpha, &masks, stats_start);
         nodes.push(ConcealedNode::Leaf { enc_value });
         return nodes.len() - 1;
     }
 
-    let enc = pooled_statistics(ctx, layout, local, &alpha, &masks);
-    let shares = convert_stats(ctx, layout, &enc);
+    let enc = {
+        let _stats = pivot_trace::phase_span("stats");
+        pooled_statistics(ctx, layout, local, &alpha, &masks)
+    };
+    let shares = {
+        let _conv = pivot_trace::phase_span("conversion");
+        convert_stats(ctx, layout, &enc)
+    };
     ctx.metrics
         .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
 
     // No purity check: it would leak a bit about the concealed labels.
-    if prune_decision(ctx, &shares, false) {
+    let pruned = {
+        let _gain = pivot_trace::phase_span("gain");
+        prune_decision(ctx, &shares, false)
+    };
+    if pruned {
+        let _leaf = pivot_trace::phase_span("leaf");
         let enc_value = concealed_leaf(ctx, &shares);
         nodes.push(ConcealedNode::Leaf { enc_value });
         return nodes.len() - 1;

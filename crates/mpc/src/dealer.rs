@@ -151,6 +151,18 @@ pub struct DealerPoolStats {
 }
 
 impl DealerPoolStats {
+    /// Field-wise accumulation; `target` keeps the maximum so a
+    /// default-initialized side (mixed-version reports) never zeroes a
+    /// configured one.
+    pub fn merge(&mut self, other: &DealerPoolStats) {
+        self.target = self.target.max(other.target);
+        self.triple_hits += other.triple_hits;
+        self.triple_misses += other.triple_misses;
+        self.masked_hits += other.masked_hits;
+        self.masked_misses += other.masked_misses;
+        self.produced += other.produced;
+    }
+
     /// Fraction of takes served from the precomputed queues (`None` when
     /// nothing was taken).
     pub fn hit_rate(&self) -> Option<f64> {
@@ -237,6 +249,14 @@ impl DealerPool {
         self.triple_hits.fetch_add(hits as u64, Ordering::Relaxed);
         self.triple_misses
             .fetch_add((n - hits) as u64, Ordering::Relaxed);
+        if pivot_trace::enabled() {
+            let h = self.triple_hits.load(Ordering::Relaxed);
+            let miss = self.triple_misses.load(Ordering::Relaxed);
+            pivot_trace::gauge(
+                "dealer_triple_hit_rate",
+                h as f64 / (h + miss).max(1) as f64,
+            );
+        }
         out
     }
 
@@ -262,6 +282,14 @@ impl DealerPool {
         self.masked_hits.fetch_add(hits as u64, Ordering::Relaxed);
         self.masked_misses
             .fetch_add((n - hits) as u64, Ordering::Relaxed);
+        if pivot_trace::enabled() {
+            let h = self.masked_hits.load(Ordering::Relaxed);
+            let miss = self.masked_misses.load(Ordering::Relaxed);
+            pivot_trace::gauge(
+                "dealer_masked_hit_rate",
+                h as f64 / (h + miss).max(1) as f64,
+            );
+        }
         out
     }
 
@@ -274,6 +302,7 @@ impl DealerPool {
         }
         let pool = Arc::clone(self);
         pivot_runtime::global().spawn(move || {
+            let _span = pivot_trace::runtime_span("dealer_refill");
             // Generate in small chunks so online takes never wait long on
             // the stream lock.
             const CHUNK: usize = 16;
@@ -646,6 +675,38 @@ mod tests {
         let _wide = b.masked_rows(20, 30, 3, &cfg);
         let narrow_second: Vec<Fp> = b.masked_rows(5, 6, 3, &cfg).iter().map(|r| r.r).collect();
         assert_eq!(narrow_first, narrow_second);
+    }
+
+    #[test]
+    fn pool_stats_merge_is_field_wise() {
+        let a = DealerPoolStats {
+            target: 512,
+            triple_hits: 10,
+            triple_misses: 2,
+            masked_hits: 5,
+            masked_misses: 1,
+            produced: 16,
+        };
+        // Default side in either order leaves the configured side intact.
+        let mut m = a;
+        m.merge(&DealerPoolStats::default());
+        assert_eq!(m, a);
+        let mut m = DealerPoolStats::default();
+        m.merge(&a);
+        assert_eq!(m, a);
+        // Two configured sides add counters and keep the max target.
+        let mut m = a;
+        m.merge(&DealerPoolStats {
+            target: 64,
+            triple_hits: 1,
+            triple_misses: 1,
+            masked_hits: 1,
+            masked_misses: 1,
+            produced: 4,
+        });
+        assert_eq!(m.target, 512);
+        assert_eq!(m.triple_hits, 11);
+        assert_eq!(m.produced, 20);
     }
 
     #[test]

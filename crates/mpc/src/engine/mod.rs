@@ -124,6 +124,29 @@ pub struct ComparisonCounters {
     pub widths: Vec<(u32, u64)>,
 }
 
+impl ComparisonCounters {
+    /// Field-wise accumulation. Every scalar adds independently and the
+    /// width histograms merge by width key, so a side that is
+    /// default-initialized (e.g. a mixed-version report missing the
+    /// newer counter group) contributes zeros instead of dropping the
+    /// other side's groups.
+    pub fn merge(&mut self, other: &ComparisonCounters) {
+        self.count += other.count;
+        self.online_rounds += other.online_rounds;
+        self.opened_elements += other.opened_elements;
+        self.beaver_triples += other.beaver_triples;
+        self.masked_bit_rows += other.masked_bit_rows;
+        self.masked_bits += other.masked_bits;
+        for &(k, n) in &other.widths {
+            match self.widths.iter_mut().find(|(w, _)| *w == k) {
+                Some((_, slot)) => *slot += n,
+                None => self.widths.push((k, n)),
+            }
+        }
+        self.widths.sort_by_key(|&(k, _)| k);
+    }
+}
+
 /// Per-party online engine.
 pub struct MpcEngine<'a> {
     ep: &'a Endpoint,
@@ -303,6 +326,7 @@ impl<'a> MpcEngine<'a> {
     /// `Some(values)`, everyone else `None`; all parties receive their share
     /// vector. One round.
     pub fn share_input(&mut self, owner: usize, values: Option<&[Fp]>) -> Vec<Share> {
+        let _span = pivot_trace::span("share_input");
         let my_shares: Vec<Fp> = if self.party() == owner {
             let values = values.expect("owner must supply inputs");
             let m = self.parties();
@@ -328,14 +352,17 @@ impl<'a> MpcEngine<'a> {
             self.ep.recv(owner)
         };
         OpCounters::bump(&self.counters.rounds, 1);
+        pivot_trace::add_rounds(1);
         my_shares.into_iter().map(Share).collect()
     }
 
     /// Open a vector of shares to all parties. One round.
     pub fn open_vec(&mut self, shares: &[Share]) -> Vec<Fp> {
+        let _span = pivot_trace::span("open");
         let mine: Vec<Fp> = shares.iter().map(|s| s.0).collect();
         let all = self.ep.exchange_all(&mine);
         OpCounters::bump(&self.counters.rounds, 1);
+        pivot_trace::add_rounds(1);
         OpCounters::bump(&self.counters.openings, shares.len() as u64);
         if self.in_comparison {
             OpCounters::bump(&self.counters.cmp_rounds, 1);
@@ -451,5 +478,58 @@ impl<'a> MpcEngine<'a> {
 
     pub(crate) fn bump_comparisons(&self, n: u64) {
         OpCounters::bump(&self.counters.comparisons, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ComparisonCounters {
+        ComparisonCounters {
+            count: 10,
+            online_rounds: 4,
+            opened_elements: 30,
+            beaver_triples: 12,
+            masked_bit_rows: 8,
+            masked_bits: 64,
+            widths: vec![(5, 3), (61, 7)],
+        }
+    }
+
+    #[test]
+    fn merge_is_field_wise_with_default_side_in_both_orders() {
+        // A default-initialized side (mixed-version reports missing the
+        // newer counter group) must contribute zeros, not wipe groups.
+        let mut a = sample();
+        a.merge(&ComparisonCounters::default());
+        assert_eq!(a, sample());
+
+        let mut b = ComparisonCounters::default();
+        b.merge(&sample());
+        assert_eq!(b, sample());
+    }
+
+    #[test]
+    fn merge_adds_scalars_and_unions_width_histograms() {
+        let mut a = sample();
+        let other = ComparisonCounters {
+            count: 1,
+            online_rounds: 2,
+            opened_elements: 3,
+            beaver_triples: 4,
+            masked_bit_rows: 5,
+            masked_bits: 6,
+            widths: vec![(4, 1), (5, 2)],
+        };
+        a.merge(&other);
+        assert_eq!(a.count, 11);
+        assert_eq!(a.online_rounds, 6);
+        assert_eq!(a.opened_elements, 33);
+        assert_eq!(a.beaver_triples, 16);
+        assert_eq!(a.masked_bit_rows, 13);
+        assert_eq!(a.masked_bits, 70);
+        // Histogram merged by width key, sorted ascending.
+        assert_eq!(a.widths, vec![(4, 1), (5, 5), (61, 7)]);
     }
 }

@@ -169,6 +169,22 @@ impl NoncePool {
 
     /// Take the next nonce power `r^N mod N²` from the stream.
     pub fn take(self: &Arc<Self>) -> BigUint {
+        let out = self.take_inner();
+        // Periodic hit-rate gauge for the trace timeline (the counters
+        // themselves are wall-clock dependent and never part of the
+        // determinism contract — only the drawn values are).
+        if pivot_trace::enabled() {
+            let total = self.hits.load(Ordering::Relaxed) + self.misses.load(Ordering::Relaxed);
+            if total % 64 == 1 {
+                if let Some(rate) = self.stats().hit_rate() {
+                    pivot_trace::gauge("nonce_pool_hit_rate", rate);
+                }
+            }
+        }
+        out
+    }
+
+    fn take_inner(self: &Arc<Self>) -> BigUint {
         let slot = {
             let mut st = self.state.lock().expect("nonce pool poisoned");
             match st.queue.pop_front() {

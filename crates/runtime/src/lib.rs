@@ -134,7 +134,13 @@ impl WorkerPool {
         } else {
             q.low.push_back(job);
         }
+        let depth = q.high.len() + q.low.len();
         drop(q);
+        // Occupancy tick for the trace timeline (no-op unless a trace
+        // collector is live somewhere in the process).
+        if pivot_trace::enabled() {
+            pivot_trace::runtime_gauge("worker_queue_depth", depth as f64);
+        }
         self.shared.available.notify_one();
     }
 

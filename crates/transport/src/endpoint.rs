@@ -126,6 +126,7 @@ impl Endpoint {
     /// Account + simulate + hand one encoded message to a link.
     fn push(&self, to: usize, bytes: Vec<u8>) {
         self.stats.record_send(bytes.len());
+        pivot_trace::add_sent(bytes.len() as u64);
         self.net.charge_send(bytes.len());
         self.link(to)
             .send_bytes(bytes)
@@ -141,6 +142,9 @@ impl Endpoint {
     /// pending peer and direction if nothing arrives within the
     /// [`NetConfig::recv_timeout`] wedge deadline.
     pub fn recv<T: Wire>(&self, from: usize) -> T {
+        // Only measure the blocking wait when a trace collector is live —
+        // the `Instant` read stays off the untraced fast path.
+        let waited = pivot_trace::enabled().then(std::time::Instant::now);
         let bytes = self
             .link(from)
             .recv_bytes(self.net.recv_timeout)
@@ -151,7 +155,11 @@ impl Endpoint {
                     self.id, self.id, self.net.recv_timeout
                 )
             });
+        if let Some(start) = waited {
+            pivot_trace::add_wait_ns(start.elapsed().as_nanos() as u64);
+        }
         self.stats.record_recv(bytes.len());
+        pivot_trace::add_recv(bytes.len() as u64);
         T::from_wire(&bytes)
             .unwrap_or_else(|e| panic!("party {} got malformed message from {from}: {e}", self.id))
     }
