@@ -173,6 +173,8 @@ fn algo_json(exec: &Execution) -> Json {
         )
         .with("bytes_sent_party0", p0.train_bytes_sent)
         .with("stats_bytes_sent_party0", p0.stats_bytes_sent)
+        .with("mpc_rounds", p0.mpc_rounds)
+        .with("train_messages_party0", p0.train_messages_sent)
         .with("encryptions", p0.encryptions)
         .with("threshold_decryptions", p0.threshold_decryptions)
         .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)

@@ -15,6 +15,7 @@ USAGE:
     pivot party --scenario <FILE> --id <N> --peers <ADDR0,ADDR1,...>
                 [--listen <ADDR>] [--out <FILE>] [--quiet]
     pivot trace <FILE> [--check]
+    pivot trace --diff <FILE_A> <FILE_B>
     pivot --help | --version
 
 SUBCOMMANDS:
@@ -57,6 +58,11 @@ OPTIONS:
     --check             trace only: validate a Chrome-trace export
                         (balanced B/E per track, monotonic timestamps,
                         known phase names) and exit non-zero on violation
+    --diff              trace only: take two report / trace files and
+                        print their per-phase rounds, sent bytes, and
+                        wait_s side by side with signed deltas (B − A)
+                        and the total round ratio — e.g. a sequential
+                        run against its pipelined twin
     -h, --help          Show this help
     -V, --version       Show the version
 ";
@@ -127,22 +133,45 @@ fn parse_party_args(argv: &[String]) -> Result<pivot_cli::party::PartyArgs, Stri
 }
 
 fn parse_trace_args(argv: &[String]) -> Result<pivot_cli::trace_cmd::TraceArgs, String> {
-    let mut input = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
     let mut check = false;
+    let mut diff = false;
     for arg in argv.iter().skip(1) {
         match arg.as_str() {
             "--check" => check = true,
-            other if !other.starts_with('-') && input.is_none() => {
-                input = Some(PathBuf::from(other));
+            "--diff" => diff = true,
+            other if !other.starts_with('-') && inputs.len() < 2 => {
+                inputs.push(PathBuf::from(other));
             }
             other => {
                 return Err(format!("unexpected argument {other:?} (see pivot --help)"));
             }
         }
     }
+    if diff && check {
+        return Err("--diff and --check are mutually exclusive".into());
+    }
+    if diff {
+        if inputs.len() != 2 {
+            return Err("--diff needs exactly two report or trace files".into());
+        }
+        let b = inputs.pop().expect("two inputs");
+        let a = inputs.pop().expect("two inputs");
+        return Ok(pivot_cli::trace_cmd::TraceArgs {
+            input: a,
+            check: false,
+            diff: Some(b),
+        });
+    }
+    if inputs.len() > 1 {
+        return Err("trace takes one file (two only with --diff)".into());
+    }
     Ok(pivot_cli::trace_cmd::TraceArgs {
-        input: input.ok_or("trace needs a report or trace JSON file")?,
+        input: inputs
+            .pop()
+            .ok_or("trace needs a report or trace JSON file")?,
         check,
+        diff: None,
     })
 }
 

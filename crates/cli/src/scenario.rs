@@ -16,7 +16,7 @@ use crate::json::Json;
 use crate::toml::{TomlDoc, TomlValue};
 use pivot_bench::Algo;
 use pivot_core::config::{Packing, PivotParams};
-use pivot_core::{CompareBits, TraceLevel};
+use pivot_core::{CompareBits, Scheduling, TraceLevel};
 use pivot_data::{synth, Dataset, Task};
 use pivot_transport::NetConfig;
 use pivot_trees::TreeParams;
@@ -231,6 +231,33 @@ impl TraceSpec {
     }
 }
 
+/// `params.scheduling`: `"sequential"` or `"pipelined"`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulingSpec {
+    #[default]
+    Sequential,
+    Pipelined,
+}
+
+impl SchedulingSpec {
+    fn to_core(self) -> Scheduling {
+        match self {
+            SchedulingSpec::Sequential => Scheduling::Sequential,
+            SchedulingSpec::Pipelined => Scheduling::Pipelined,
+        }
+    }
+
+    fn echo(self) -> Json {
+        Json::Str(
+            match self {
+                SchedulingSpec::Sequential => "sequential",
+                SchedulingSpec::Pipelined => "pipelined",
+            }
+            .into(),
+        )
+    }
+}
+
 /// `[params]` section → [`PivotParams`].
 #[derive(Clone, Debug)]
 pub struct ParamSpec {
@@ -262,6 +289,11 @@ pub struct ParamSpec {
     /// `"phases"` (phase timelines + round/byte attribution), `"full"`
     /// (adds per-round and per-node spans).
     pub trace: TraceSpec,
+    /// Protocol scheduling: `"sequential"` keeps the per-node transcript
+    /// bit-identical to prior releases, `"pipelined"` turns on frame
+    /// coalescing + level-batched comparisons and deferred openings (same
+    /// released model, far fewer rounds).
+    pub scheduling: SchedulingSpec,
 }
 
 impl Default for ParamSpec {
@@ -278,6 +310,7 @@ impl Default for ParamSpec {
             comparison_bits: ComparisonBitsSpec::Full,
             dealer_pool: 256,
             trace: TraceSpec::Off,
+            scheduling: SchedulingSpec::Sequential,
         }
     }
 }
@@ -581,6 +614,7 @@ const PARAM_KEYS: &[&str] = &[
     "comparison_bits",
     "dealer_pool",
     "trace",
+    "scheduling",
 ];
 const MODEL_KEYS: &[&str] = &[
     "kind",
@@ -776,6 +810,17 @@ impl Scenario {
                 ))
             }
         };
+        let scheduling = match doc.get_str("params", "scheduling")?.as_deref() {
+            None => pd.scheduling,
+            Some("sequential") => SchedulingSpec::Sequential,
+            Some("pipelined") => SchedulingSpec::Pipelined,
+            Some(other) => {
+                return Err(format!(
+                    "params.scheduling: unknown mode {other:?} (expected \
+                     \"sequential\" or \"pipelined\")"
+                ))
+            }
+        };
         let crypto_threads = doc.get_usize("params", "crypto_threads")?;
         let decrypt_threads = doc.get_usize("params", "decrypt_threads")?;
         if crypto_threads.is_some() && decrypt_threads.is_some() {
@@ -812,6 +857,7 @@ impl Scenario {
                 .get_usize("params", "dealer_pool")?
                 .unwrap_or(pd.dealer_pool),
             trace,
+            scheduling,
         };
 
         let md = ModelSpec::default();
@@ -854,6 +900,7 @@ impl Scenario {
                     "bandwidth_mbps",
                     "packing",
                     "comparison_bits",
+                    "scheduling",
                 ];
                 if !AXES.contains(&vary.as_str()) {
                     return Err(format!(
@@ -1129,6 +1176,7 @@ impl Scenario {
         p.comparison_bits = self.params.comparison_bits.to_core();
         p.dealer_pool = self.params.dealer_pool;
         p.trace = self.params.trace.to_core();
+        p.scheduling = self.params.scheduling.to_core();
         p
     }
 
@@ -1205,7 +1253,8 @@ impl Scenario {
                     .with("packing", self.params.packing.echo())
                     .with("comparison_bits", self.params.comparison_bits.echo())
                     .with("dealer_pool", self.params.dealer_pool)
-                    .with("trace", self.params.trace.echo()),
+                    .with("trace", self.params.trace.echo())
+                    .with("scheduling", self.params.scheduling.echo()),
             )
             .with("model", model)
             .with("network", {
@@ -1267,6 +1316,14 @@ impl Scenario {
                     0 => ComparisonBitsSpec::Full,
                     1 => ComparisonBitsSpec::Auto,
                     n => ComparisonBitsSpec::Floor(n as u32),
+                }
+            }
+            // Scheduling axis: 0 = sequential, anything else = pipelined —
+            // the A/B the round-compaction baseline records.
+            "scheduling" => {
+                s.params.scheduling = match value {
+                    0 => SchedulingSpec::Sequential,
+                    _ => SchedulingSpec::Pipelined,
                 }
             }
             other => panic!("unvalidated sweep axis {other:?}"),

@@ -18,12 +18,18 @@ pub struct TraceArgs {
     /// Validate a Chrome-trace export and exit non-zero on violations
     /// instead of printing the tables (the CI smoke gate).
     pub check: bool,
+    /// Second input for `--diff`: print both phase tables side by side
+    /// with per-phase rounds/bytes/wait deltas (A = `input`, B = this).
+    pub diff: Option<PathBuf>,
 }
 
 /// How many spans the "top round-serializing spans" section prints.
 const TOP_SPANS: usize = 10;
 
 pub fn run(args: &TraceArgs) -> Result<(), String> {
+    if let Some(b) = &args.diff {
+        return run_diff(&args.input, b);
+    }
     let text = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
     let doc = Json::parse(&text)?;
@@ -282,6 +288,171 @@ fn run_report(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// One canonical phase row, whichever input kind it came from.
+#[derive(Default, Clone, Copy)]
+struct PhaseAgg {
+    wait_s: f64,
+    rounds: u64,
+    bytes_sent: u64,
+}
+
+/// Extract a `phase → (rounds, sent bytes, wait_s)` table from a run
+/// report (party-0 trace section, or the first traced bench / baseline
+/// entry) or a Chrome-trace export (aggregated over all tracks).
+fn phase_table_of(doc: &Json) -> Result<Vec<(String, PhaseAgg)>, String> {
+    if doc.get("traceEvents").is_some() {
+        let spans = parse_chrome(doc)?;
+        let mut out = Vec::new();
+        for &phase in pivot_trace::PHASES {
+            let mut agg = PhaseAgg::default();
+            let mut any = false;
+            for s in spans.iter().filter(|s| s.phase == phase) {
+                any = true;
+                agg.wait_s += s.wait_ns as f64 / 1e9;
+                agg.rounds += s.rounds;
+                agg.bytes_sent += s.sent_bytes;
+            }
+            if any {
+                out.push((phase.to_string(), agg));
+            }
+        }
+        return Ok(out);
+    }
+    let mut rows = doc
+        .path("trace.per_party")
+        .and_then(|v| v.as_array())
+        .and_then(|tables| tables.first())
+        .and_then(|t| t.get("phases"))
+        .and_then(|v| v.as_array());
+    for section in ["results", "algorithms"] {
+        if rows.is_some() {
+            break;
+        }
+        rows = doc.get(section).and_then(|v| v.as_array()).and_then(|es| {
+            es.iter()
+                .find_map(|e| e.get("phases").and_then(|v| v.as_array()))
+        });
+    }
+    let rows = rows.ok_or(
+        "no phase tables in this file — run the scenario with \
+         params.trace = \"phases\" or \"full\"",
+    )?;
+    Ok(rows
+        .iter()
+        .map(|row| {
+            let f = |k: &str| row.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let u = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+            (
+                row.get("phase")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                PhaseAgg {
+                    wait_s: f("wait_s"),
+                    rounds: u("rounds"),
+                    bytes_sent: u("bytes_sent"),
+                },
+            )
+        })
+        .collect())
+}
+
+/// `pivot trace --diff A B`: per-phase rounds/bytes/wait side by side,
+/// with signed deltas (B − A) and the total round ratio — the intended
+/// view for comparing a `sequential` run against its `pipelined` twin.
+fn run_diff(a_path: &PathBuf, b_path: &PathBuf) -> Result<(), String> {
+    let load = |p: &PathBuf| -> Result<Vec<(String, PhaseAgg)>, String> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        phase_table_of(&Json::parse(&text)?)
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+
+    // Union of phases, canonical order first, stragglers appended.
+    let mut phases: Vec<String> = pivot_trace::PHASES
+        .iter()
+        .map(|s| s.to_string())
+        .filter(|p| a.iter().any(|(ph, _)| ph == p) || b.iter().any(|(ph, _)| ph == p))
+        .collect();
+    for (ph, _) in a.iter().chain(b.iter()) {
+        if !phases.contains(ph) {
+            phases.push(ph.clone());
+        }
+    }
+    let get = |table: &[(String, PhaseAgg)], phase: &str| -> PhaseAgg {
+        table
+            .iter()
+            .find(|(ph, _)| ph == phase)
+            .map(|&(_, agg)| agg)
+            .unwrap_or_default()
+    };
+
+    println!(
+        "phase diff  A = {}  B = {}",
+        a_path.display(),
+        b_path.display()
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "phase",
+        "rounds_A",
+        "rounds_B",
+        "Δrounds",
+        "sent_A",
+        "sent_B",
+        "Δbytes",
+        "wait_A_s",
+        "wait_B_s",
+        "Δwait_s"
+    );
+    let mut tot_a = PhaseAgg::default();
+    let mut tot_b = PhaseAgg::default();
+    for phase in &phases {
+        let pa = get(&a, phase);
+        let pb = get(&b, phase);
+        tot_a.rounds += pa.rounds;
+        tot_a.bytes_sent += pa.bytes_sent;
+        tot_a.wait_s += pa.wait_s;
+        tot_b.rounds += pb.rounds;
+        tot_b.bytes_sent += pb.bytes_sent;
+        tot_b.wait_s += pb.wait_s;
+        println!(
+            "{:<14} {:>9} {:>9} {:>+9} {:>12} {:>12} {:>+12} {:>9.3} {:>9.3} {:>+9.3}",
+            phase,
+            pa.rounds,
+            pb.rounds,
+            pb.rounds as i64 - pa.rounds as i64,
+            pa.bytes_sent,
+            pb.bytes_sent,
+            pb.bytes_sent as i64 - pa.bytes_sent as i64,
+            pa.wait_s,
+            pb.wait_s,
+            pb.wait_s - pa.wait_s,
+        );
+    }
+    println!(
+        "{:<14} {:>9} {:>9} {:>+9} {:>12} {:>12} {:>+12} {:>9.3} {:>9.3} {:>+9.3}",
+        "total",
+        tot_a.rounds,
+        tot_b.rounds,
+        tot_b.rounds as i64 - tot_a.rounds as i64,
+        tot_a.bytes_sent,
+        tot_b.bytes_sent,
+        tot_b.bytes_sent as i64 - tot_a.bytes_sent as i64,
+        tot_a.wait_s,
+        tot_b.wait_s,
+        tot_b.wait_s - tot_a.wait_s,
+    );
+    if tot_a.rounds > 0 && tot_b.rounds > 0 {
+        println!(
+            "round ratio A/B = {:.2}×",
+            tot_a.rounds as f64 / tot_b.rounds as f64
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +528,36 @@ mod tests {
         ]}"#;
         let err = parse_chrome(&Json::parse(backwards).unwrap()).unwrap_err();
         assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn phase_table_extraction_covers_both_input_kinds() {
+        // Run report shape: trace.per_party[0].phases rows.
+        let report = r#"{"trace":{"per_party":[{"party":0,"level":"phases","phases":[
+            {"phase":"gain","spans":3,"wall_s":1.0,"wait_s":0.5,"rounds":300,
+             "bytes_sent":1000,"bytes_received":900},
+            {"phase":"leaf","spans":1,"wall_s":0.1,"wait_s":0.01,"rounds":28,
+             "bytes_sent":50,"bytes_received":40}
+        ]}]}}"#;
+        let table = phase_table_of(&Json::parse(report).unwrap()).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].0, "gain");
+        assert_eq!(table[0].1.rounds, 300);
+        assert_eq!(table[0].1.bytes_sent, 1000);
+
+        // Chrome-trace shape aggregates spans per phase across tracks.
+        let chrome = pivot_trace::chrome_trace_json(&[sample_trace()], None);
+        let table = phase_table_of(&Json::parse(&chrome).unwrap()).unwrap();
+        let stats = table.iter().find(|(p, _)| p == "stats").unwrap();
+        assert_eq!(stats.1.rounds, 2);
+        assert_eq!(stats.1.bytes_sent, 64);
+
+        // Bench entry fallback.
+        let bench = r#"{"results":[{"algorithm":"Pivot-Basic","phases":[
+            {"phase":"stats","rounds":7,"bytes_sent":11,"wait_s":0.2}
+        ]}]}"#;
+        let table = phase_table_of(&Json::parse(bench).unwrap()).unwrap();
+        assert_eq!(table[0].1.rounds, 7);
     }
 
     #[test]

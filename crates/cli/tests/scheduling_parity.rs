@@ -1,0 +1,290 @@
+//! Scheduling parity: `scheduling = "pipelined"` must release the same
+//! model, predictions, and test metric as `scheduling = "sequential"` —
+//! while spending measurably fewer protocol rounds — for the basic,
+//! enhanced(-PP), and GBDT pipelines at m = 3, both in-process and over
+//! real loopback TCP processes.
+//!
+//! `scheduling = "sequential"` itself stays bit-identical to the
+//! pre-scheduler transcript (covered by `batch_parity.rs` /
+//! `comparison_parity.rs`); what this file pins down is that the
+//! level-wise round compaction is a pure re-ordering of the same
+//! protocol messages.
+
+use pivot_bench::Algo;
+use pivot_cli::json::Json;
+use pivot_cli::runner::{execute, Execution};
+use pivot_cli::scenario::Scenario;
+use pivot_transport::tcp::loopback_peers;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+
+fn scenario(tag: &str, body: &str) -> Scenario {
+    let path = std::env::temp_dir().join(format!(
+        "pivot-scheduling-parity-{}-{tag}.toml",
+        std::process::id()
+    ));
+    std::fs::write(&path, body).unwrap();
+    let s = Scenario::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    s
+}
+
+fn run_pair(base: &str, tag: &str, algo: Algo) -> (Execution, Execution) {
+    let seq = execute(
+        &scenario(
+            &format!("{tag}-seq"),
+            &format!("{base}scheduling = \"sequential\"\n"),
+        ),
+        algo,
+        false,
+    )
+    .unwrap();
+    let pipe = execute(
+        &scenario(
+            &format!("{tag}-pipe"),
+            &format!("{base}scheduling = \"pipelined\"\n"),
+        ),
+        algo,
+        false,
+    )
+    .unwrap();
+    (seq, pipe)
+}
+
+/// The pipelined run must release the same model and metric; the
+/// transcript (round structure, staging bytes) legitimately differs.
+fn assert_model_parity(seq: &Execution, pipe: &Execution) {
+    assert_eq!(seq.metric, pipe.metric, "test metric");
+    for (s, p) in seq.parties.iter().zip(&pipe.parties) {
+        assert_eq!(
+            s.predictions, p.predictions,
+            "party {} predictions",
+            s.party
+        );
+        assert_eq!(
+            s.internal_nodes, p.internal_nodes,
+            "party {} model",
+            s.party
+        );
+        assert_eq!(s.tree_depth, p.tree_depth, "party {} depth", s.party);
+    }
+}
+
+/// Training-phase rounds attributed to the gain pipeline (split
+/// statistics → conversion → gain → argmax), from party 0's phase table.
+/// Requires `trace = "phases"` in the scenario.
+fn gain_rounds(exec: &Execution) -> u64 {
+    let trace = exec.parties[0]
+        .trace
+        .as_ref()
+        .expect("scenario must set trace = \"phases\"");
+    pivot_trace::phase_table(trace)
+        .iter()
+        .filter(|row| row.phase == "gain")
+        .map(|row| row.rounds)
+        .sum()
+}
+
+fn assert_round_compaction(seq: &Execution, pipe: &Execution, min_gain_ratio: f64) {
+    let (seq_total, pipe_total) = (seq.parties[0].mpc_rounds, pipe.parties[0].mpc_rounds);
+    assert!(
+        pipe_total < seq_total,
+        "pipelined must lower total rounds ({pipe_total} vs {seq_total})"
+    );
+    let (seq_gain, pipe_gain) = (gain_rounds(seq), gain_rounds(pipe));
+    assert!(
+        seq_gain as f64 >= min_gain_ratio * pipe_gain as f64,
+        "gain-phase rounds must drop >= {min_gain_ratio}x ({seq_gain} vs {pipe_gain})"
+    );
+}
+
+#[test]
+fn basic_pipelined_matches_sequential() {
+    let base = "seed = 4242\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 36\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n\
+         trace = \"phases\"\n";
+    let (seq, pipe) = run_pair(base, "basic", Algo::PivotBasic);
+    assert_model_parity(&seq, &pipe);
+    assert_round_compaction(&seq, &pipe, 2.0);
+}
+
+#[test]
+fn enhanced_pp_pipelined_matches_sequential() {
+    // Enhanced-PP with an offline dealer pool: besides model parity and
+    // the >=2x gain-phase compaction, the level-wide refill points must
+    // keep the dealer-pool hit rate no worse than the sequential run's.
+    // The pool only feeds the bounded-width comparison streams, so the
+    // scenario runs with `comparison_bits = "auto"`. Depth 3 gives the
+    // burst-sized barrier refills two warm levels to amortize the
+    // level-1 cold start.
+    let base = "seed = 99\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 30\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         [params]\nmax_depth = 3\nmax_splits = 3\nkeysize = 256\n\
+         crypto_threads = 4\nrandomness_pool = 64\nparallel_decrypt = true\n\
+         comparison_bits = \"auto\"\ndealer_pool = 256\ntrace = \"phases\"\n";
+    let (seq, pipe) = run_pair(base, "enhanced", Algo::PivotEnhancedPp);
+    assert_model_parity(&seq, &pipe);
+    assert_round_compaction(&seq, &pipe, 2.0);
+    let seq_rate = seq.parties[0].dealer_pool.hit_rate();
+    let pipe_rate = pipe.parties[0].dealer_pool.hit_rate();
+    let (seq_rate, pipe_rate) = (
+        seq_rate.expect("dealer pool active"),
+        pipe_rate.expect("dealer pool active"),
+    );
+    assert!(
+        pipe_rate >= seq_rate - 0.01,
+        "pipelined dealer-pool hit rate regressed ({pipe_rate:.3} vs {seq_rate:.3})"
+    );
+}
+
+#[test]
+fn gbdt_pipelined_matches_sequential() {
+    // Two boosting rounds of residual trees: the per-tree gain pipeline
+    // compacts round-for-round like the plain basic protocol, and the
+    // clamped secure softmax must not move any released probability.
+    let base = "seed = 11\nparties = 3\n\
+         [data]\nkind = \"synthetic-classification\"\nsamples = 24\n\
+         features_per_party = 2\nclasses = 2\nflip_y = 0.05\n\
+         test_fraction = 0.2\n\
+         [model]\nkind = \"gbdt\"\nrounds = 2\nlearning_rate = 0.5\n\
+         [params]\nmax_depth = 2\nmax_splits = 3\nkeysize = 128\n\
+         trace = \"phases\"\n";
+    let (seq, pipe) = run_pair(base, "gbdt", Algo::PivotBasic);
+    assert_model_parity(&seq, &pipe);
+    assert_round_compaction(&seq, &pipe, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// TCP loopback: the pipelined scheduler must survive real process and
+// socket boundaries — same coalesced frames, same released artifacts.
+// ---------------------------------------------------------------------
+
+fn pivot_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pivot")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pivot-sched-tcp-{}-{name}", std::process::id()))
+}
+
+fn spawn_party(scenario: &str, id: usize, peers: &[String], out: &str) -> Child {
+    Command::new(pivot_bin())
+        .args([
+            "party",
+            "--scenario",
+            scenario,
+            "--id",
+            &id.to_string(),
+            "--peers",
+            &peers.join(","),
+            "--out",
+            out,
+            "--quiet",
+        ])
+        .spawn()
+        .expect("spawn pivot party")
+}
+
+fn run_train(scenario: &str, out: &str) {
+    let result = Command::new(pivot_bin())
+        .args(["train", "--scenario", scenario, "--out", out, "--quiet"])
+        .output()
+        .expect("spawn pivot train");
+    assert!(
+        result.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+}
+
+#[test]
+fn tcp_pipelined_parties_reproduce_in_process_run() {
+    let m = 3;
+    let scenario_path = temp_path("pipelined.toml");
+    std::fs::write(
+        &scenario_path,
+        r#"
+name = "tcp pipelined parity"
+seed = 4242
+parties = 3
+algorithm = "pivot-basic"
+
+[data]
+kind = "synthetic-classification"
+samples = 36
+features_per_party = 2
+classes = 2
+flip_y = 0.05
+test_fraction = 0.2
+
+[params]
+max_depth = 2
+max_splits = 3
+keysize = 128
+scheduling = "pipelined"
+"#,
+    )
+    .unwrap();
+    let scenario_str = scenario_path.to_str().unwrap();
+
+    let train_out = temp_path("pipelined-train.json");
+    run_train(scenario_str, train_out.to_str().unwrap());
+    let in_process = Json::parse(&std::fs::read_to_string(&train_out).unwrap()).unwrap();
+    let expect_metric = in_process.path("evaluation.value").unwrap().as_f64();
+    let expect_nodes = in_process.path("model.internal_nodes").unwrap().as_u64();
+    let per_party = in_process
+        .path("network.per_party")
+        .unwrap()
+        .as_array()
+        .unwrap();
+
+    let peers = loopback_peers(m);
+    let party_outs: Vec<PathBuf> = (0..m)
+        .map(|i| temp_path(&format!("pipelined-party{i}.json")))
+        .collect();
+    let children: Vec<Child> = (0..m)
+        .map(|i| spawn_party(scenario_str, i, &peers, party_outs[i].to_str().unwrap()))
+        .collect();
+    for (i, child) in children.into_iter().enumerate() {
+        let status = child.wait_with_output().expect("party process");
+        assert!(status.status.success(), "party {i} failed");
+    }
+
+    let mut all_predictions = Vec::new();
+    for (i, out) in party_outs.iter().enumerate() {
+        let report = Json::parse(&std::fs::read_to_string(out).unwrap())
+            .unwrap_or_else(|e| panic!("party {i} report unparseable: {e}"));
+        assert_eq!(
+            report.path("evaluation.value").unwrap().as_f64(),
+            expect_metric,
+            "party {i} metric"
+        );
+        assert_eq!(
+            report.path("model.internal_nodes").unwrap().as_u64(),
+            expect_nodes,
+            "party {i} model"
+        );
+        // Coalescing is transport-internal: the payload byte accounting
+        // over TCP must equal the in-process backend's, field for field.
+        for phase in ["train", "predict"] {
+            for field in ["bytes_sent", "bytes_received"] {
+                assert_eq!(
+                    report.path(&format!("network.{phase}.{field}")).unwrap(),
+                    per_party[i].path(&format!("{phase}.{field}")).unwrap(),
+                    "party {i} {phase}.{field}"
+                );
+            }
+        }
+        all_predictions.push(report.get("predictions").unwrap().clone());
+        std::fs::remove_file(out).ok();
+    }
+    for (i, preds) in all_predictions.iter().enumerate() {
+        assert_eq!(preds, &all_predictions[0], "party {i} predictions differ");
+        assert!(!preds.as_array().unwrap().is_empty());
+    }
+    std::fs::remove_file(&train_out).ok();
+    std::fs::remove_file(&scenario_path).ok();
+}

@@ -200,6 +200,7 @@ fn phase_table_accounts_for_every_round_and_byte() {
         pivot_cli::trace_cmd::run(&pivot_cli::trace_cmd::TraceArgs {
             input: path.clone(),
             check: true,
+            diff: None,
         })
         .unwrap();
         std::fs::remove_file(&path).ok();

@@ -30,6 +30,22 @@ pub enum Packing {
     Slots(usize),
 }
 
+/// Protocol scheduling policy: how the trainers order independent
+/// protocol stages and how the transport frames their messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// One node at a time, one opening per call, per-message frames —
+    /// bit-identical transcript to the pre-scheduler (PR-6) code.
+    Sequential,
+    /// Round-compacted: frame coalescing on the transport, level-wide
+    /// batched comparisons/openings in the trainers (deferred opens,
+    /// lockstep argmax ladders), and dealer/nonce refill kicks in the
+    /// wait-free windows between tree levels. Released models,
+    /// predictions, and metrics are identical to `Sequential`; only the
+    /// communication schedule (rounds, frames, wait time) changes.
+    Pipelined,
+}
+
 /// The audited slot layout for one run: how wide a slot must be and how
 /// many fit a ciphertext.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +112,10 @@ pub struct PivotParams {
     pub dealer_pool: usize,
     /// Common seed for the simulated MPC offline phase.
     pub dealer_seed: u64,
+    /// Protocol scheduling policy. `Sequential` (default) keeps the
+    /// exact PR-6 communication schedule; `Pipelined` compacts rounds
+    /// (same released models/predictions/metrics, fewer round-trips).
+    pub scheduling: Scheduling,
     /// Protocol tracing level. `Off` (default) installs no collector —
     /// the transcript is bit-identical to an untraced run and every hook
     /// is a single atomic load. `Phases`/`Full` record span timelines
@@ -118,6 +138,7 @@ impl Default for PivotParams {
             comparison_bits: CompareBits::Full,
             dealer_pool: 256,
             dealer_seed: 0x9162_07,
+            scheduling: Scheduling::Sequential,
             trace: TraceLevel::Off,
         }
     }

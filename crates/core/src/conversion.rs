@@ -16,7 +16,7 @@ use crate::decrypt::joint_decrypt_vec;
 use crate::party::PartyContext;
 use pivot_bignum::BigUint;
 use pivot_mpc::{Fp, Share, MODULUS};
-use pivot_paillier::{batch, Ciphertext, SlotCodec};
+use pivot_paillier::{batch, vector, Ciphertext, SlotCodec};
 use rand::Rng;
 
 /// Reduce a decrypted plaintext into the share field, interpreting the
@@ -189,6 +189,141 @@ pub fn packed_ciphers_to_shares(
                 .collect()
         })
         .collect()
+}
+
+/// Algorithm 2 over **dynamically packed** scalar ciphertexts, with one
+/// audited slot width per group.
+///
+/// Each group supplies a bound `2^bound_bits` on its plaintexts' signed
+/// magnitude — *including* any mod-p slack the ciphertexts carry (§5.2
+/// sums, Eqn-10 products). The conversion shift-adds as many scalars as
+/// the audited width admits into each packed ciphertext before the usual
+/// mask → threshold-decrypt → share dance, so one joint decryption yields
+/// up to `slots` shares instead of one. All groups settle in a single
+/// exchange and a single decryption round.
+///
+/// Slot audit: a slot accumulates `x + 2^bound_bits` (the signedness
+/// offset is applied homomorphically *before* the shift-add, so negative
+/// encodings `N − |x|` never borrow from a neighbour slot) plus every
+/// party's conversion mask `< m·(p−1)`; the slot width is the bit length
+/// of that worst case. Share semantics are identical to
+/// [`ciphers_to_shares`]: values are recovered mod p, slack reduces away.
+pub fn packed_share_conversion_groups(
+    ctx: &mut PartyContext<'_>,
+    groups: &[(&[Ciphertext], u32)],
+) -> Vec<Vec<Share>> {
+    let total: usize = groups.iter().map(|(cts, _)| cts.len()).sum();
+    if total == 0 {
+        return groups.iter().map(|_| Vec::new()).collect();
+    }
+    let threads = ctx.crypto_threads();
+    let mask_bound = &BigUint::from_u64(ctx.parties() as u64) * &BigUint::from_u64(MODULUS - 1);
+
+    // Audited codec per group, then the flat chunk list (group-major, so
+    // unpacking below walks the same order).
+    let codecs: Vec<SlotCodec> = groups
+        .iter()
+        .map(|&(_, bound_bits)| {
+            let worst = &BigUint::pow2(bound_bits + 1) + &mask_bound;
+            let slot_bits = worst.bits();
+            let slots = SlotCodec::max_slots(ctx.params.keysize, slot_bits).max(1);
+            SlotCodec::with_offset(slot_bits, slots, bound_bits)
+        })
+        .collect();
+    let jobs: Vec<(usize, &[Ciphertext])> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(g, &(cts, _))| cts.chunks(codecs[g].slots()).map(move |c| (g, c)))
+        .collect();
+
+    // Offset every scalar into non-negative range, then shift-add each
+    // chunk into one packed ciphertext (`Σ (cᵢ + [2^b]) · 2^(w·i)`).
+    let packed: Vec<Ciphertext> = pivot_runtime::global().map(threads, &jobs, |&(g, chunk)| {
+        let codec = &codecs[g];
+        let enc_off = ctx.pk.encrypt_trivial(&codec.offset());
+        let shifted: Vec<Ciphertext> = chunk.iter().map(|c| ctx.pk.add(c, &enc_off)).collect();
+        let weights: Vec<BigUint> = (0..chunk.len()).map(|i| codec.shift_factor(i)).collect();
+        vector::dot_plain(&ctx.pk, &shifted, &weights)
+    });
+    ctx.metrics.add_ciphertext_ops(2 * total as u64);
+
+    // Per-chunk packed masks, one encryption per packed ciphertext.
+    let my_masks: Vec<Vec<u64>> = jobs
+        .iter()
+        .map(|(_, chunk)| {
+            (0..chunk.len())
+                .map(|_| ctx.rng.gen_range(0..MODULUS))
+                .collect()
+        })
+        .collect();
+    let mask_plaintexts: Vec<BigUint> = my_masks
+        .iter()
+        .zip(&jobs)
+        .map(|(row, &(g, _))| {
+            let vals: Vec<BigUint> = row.iter().map(|&r| BigUint::from_u64(r)).collect();
+            codecs[g].pack(&vals)
+        })
+        .collect();
+    let my_enc_masks = batch::encrypt_batch(&ctx.pk, &mask_plaintexts, &ctx.nonces, threads);
+    ctx.metrics.add_encryptions(packed.len() as u64);
+
+    // Exchange the packed masks; the wait is CPU-idle, top up the pools.
+    ctx.nonces.refill();
+    ctx.engine.dealer_refill();
+    let all_masks: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&my_enc_masks);
+    let indices: Vec<usize> = (0..packed.len()).collect();
+    let masked: Vec<Ciphertext> = pivot_runtime::global().map(threads, &indices, |&j| {
+        let mut acc = packed[j].clone();
+        for party_masks in &all_masks {
+            acc = ctx.pk.add(&acc, &party_masks[j]);
+        }
+        acc
+    });
+    ctx.metrics
+        .add_ciphertext_ops((packed.len() * ctx.parties()) as u64);
+
+    // One joint decryption per *packed* ciphertext.
+    let opened = joint_decrypt_vec(ctx, &masked);
+
+    // Decode: slot ≡ x + 2^b + Σ r (mod p); party 0 subtracts its own
+    // mask and the offset, the rest keep their mask negations.
+    let p = BigUint::from_u64(MODULUS);
+    let mut out: Vec<Vec<Share>> = groups
+        .iter()
+        .map(|(cts, _)| Vec::with_capacity(cts.len()))
+        .collect();
+    for ((e, masks), &(g, _)) in opened.iter().zip(&my_masks).zip(&jobs) {
+        let codec = &codecs[g];
+        let offset_mod_p = Fp::new(codec.offset().rem_of(&p).to_u64().expect("reduced below p"));
+        for (slot, &r) in codec.unpack(e, masks.len()).into_iter().zip(masks) {
+            let mine = if ctx.id() == 0 {
+                let e_mod = Fp::new(slot.rem_of(&p).to_u64().expect("reduced below p"));
+                e_mod - Fp::new(r) - offset_mod_p
+            } else {
+                -Fp::new(r)
+            };
+            out[g].push(Share(mine));
+        }
+    }
+    out
+}
+
+/// Single-group [`packed_share_conversion_groups`]: pack `cts` under one
+/// magnitude bound. Falls back to the scalar conversion when the audited
+/// width admits fewer than two slots (packing would only add work).
+pub fn packed_share_conversion(
+    ctx: &mut PartyContext<'_>,
+    cts: &[Ciphertext],
+    bound_bits: u32,
+) -> Vec<Share> {
+    let mask_bound = &BigUint::from_u64(ctx.parties() as u64) * &BigUint::from_u64(MODULUS - 1);
+    let worst = &BigUint::pow2(bound_bits + 1) + &mask_bound;
+    if SlotCodec::max_slots(ctx.params.keysize, worst.bits()) < 2 {
+        return ciphers_to_shares(ctx, cts);
+    }
+    packed_share_conversion_groups(ctx, &[(cts, bound_bits)])
+        .pop()
+        .expect("one group in, one group out")
 }
 
 /// §5.2 reverse conversion: every client encrypts its own share and the

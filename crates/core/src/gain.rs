@@ -54,13 +54,10 @@ pub struct NodeShares {
     pub g_totals: Vec<Share>,
 }
 
-/// Convert the pooled encrypted statistics into shares in one batched
-/// Algorithm-2 invocation.
-pub fn convert_stats(
-    ctx: &mut PartyContext<'_>,
-    layout: &SplitLayout,
-    enc: &EncryptedStats,
-) -> NodeShares {
+/// Flatten one node's pooled statistics into the conversion order
+/// ([`convert_stats`]' layout: per-split stride chunks, then the totals
+/// tail).
+fn stats_flat(enc: &EncryptedStats, layout: &SplitLayout) -> Vec<pivot_paillier::Ciphertext> {
     let stride = enc.gamma_totals.len() + 1;
     let mut flat = Vec::with_capacity(layout.total() * stride + stride);
     for split in &enc.per_split {
@@ -68,12 +65,18 @@ pub fn convert_stats(
     }
     flat.push(enc.node_total.clone());
     flat.extend(enc.gamma_totals.iter().cloned());
+    flat
+}
 
-    let started = std::time::Instant::now();
-    let shares = ciphers_to_shares(ctx, &flat);
-    ctx.metrics
-        .add_time(Stage::MpcComputation, started.elapsed());
-
+/// Reassemble one node's [`NodeShares`] from the flat conversion shares
+/// (inverse of [`stats_flat`]'s ordering) and undo the regression offset.
+fn node_shares_from_flat(
+    ctx: &PartyContext<'_>,
+    layout: &SplitLayout,
+    enc: &EncryptedStats,
+    shares: &[Share],
+) -> NodeShares {
+    let stride = enc.gamma_totals.len() + 1;
     let gammas = stride - 1;
     let mut n_l = Vec::with_capacity(layout.total());
     let mut g_l: Vec<Vec<Share>> = vec![Vec::with_capacity(layout.total()); gammas];
@@ -95,6 +98,52 @@ pub fn convert_stats(
         remove_label_offset(ctx, &mut node);
     }
     node
+}
+
+/// Convert the pooled encrypted statistics into shares in one batched
+/// Algorithm-2 invocation.
+pub fn convert_stats(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    enc: &EncryptedStats,
+) -> NodeShares {
+    let flat = stats_flat(enc, layout);
+    let started = std::time::Instant::now();
+    let shares = ciphers_to_shares(ctx, &flat);
+    ctx.metrics
+        .add_time(Stage::MpcComputation, started.elapsed());
+    node_shares_from_flat(ctx, layout, enc, &shares)
+}
+
+/// Convert every frontier node's pooled statistics in **one** Algorithm-2
+/// invocation (the scalar counterpart of the packed level-wise
+/// `conversion_batch`): all flats concatenate, a single
+/// [`ciphers_to_shares`] covers the level, and each node's span
+/// reassembles exactly like [`convert_stats`].
+pub fn convert_stats_batch(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    encs: &[&EncryptedStats],
+) -> Vec<NodeShares> {
+    let flats: Vec<Vec<pivot_paillier::Ciphertext>> =
+        encs.iter().map(|enc| stats_flat(enc, layout)).collect();
+    let all: Vec<pivot_paillier::Ciphertext> = flats.iter().flatten().cloned().collect();
+    let started = std::time::Instant::now();
+    let shares = ciphers_to_shares(ctx, &all);
+    ctx.metrics
+        .add_time(Stage::MpcComputation, started.elapsed());
+    let mut out = Vec::with_capacity(encs.len());
+    let mut at = 0;
+    for (enc, flat) in encs.iter().zip(&flats) {
+        out.push(node_shares_from_flat(
+            ctx,
+            layout,
+            enc,
+            &shares[at..at + flat.len()],
+        ));
+        at += flat.len();
+    }
+    out
 }
 
 /// Reassemble one node's [`NodeShares`] from the slot shares of its packed
@@ -380,6 +429,315 @@ pub fn leaf_label_share(ctx: &mut PartyContext<'_>, shares: &NodeShares) -> Shar
             ctx.engine.fixmul_vec(&[shares.g_totals[0]], &[recip[0]])[0]
         }
     })
+}
+
+// ---------------------------------------------------------------------
+// Level-batched variants (pipelined scheduling)
+//
+// Each helper runs one protocol stage for a whole tree-level frontier in
+// the rounds of a single node: lanes of every node concatenate into one
+// comparison/multiplication batch, and final openings queue through the
+// engine's deferred-open API so independent results settle together.
+// Values are identical to looping the per-node functions — comparisons
+// and Beaver multiplications are exact regardless of batching, so every
+// argmax and prune bit matches the sequential schedule.
+// ---------------------------------------------------------------------
+
+/// Batched [`prune_decision`]: one comparison unit and one opening round
+/// for the entire frontier (small tests, and — when `check_purity` —
+/// purity maxima in a lockstep tournament sharing the same rounds).
+pub fn prune_decisions_batch(
+    ctx: &mut PartyContext<'_>,
+    nodes: &[&NodeShares],
+    check_purity: bool,
+) -> Vec<bool> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let party = ctx.id();
+    let min_samples = ctx.params.tree.min_samples as u64;
+    let is_classification = matches!(ctx.current_task(), Task::Classification { .. });
+    let counts_k = width_for_magnitude((ctx.num_samples() as u64).max(min_samples));
+    let purity = check_purity && is_classification;
+    ctx.metrics.time(Stage::MpcComputation, || {
+        let engine = &mut ctx.engine;
+        let maxes = if purity {
+            let rows: Vec<Vec<Share>> = nodes.iter().map(|n| n.g_totals.clone()).collect();
+            engine
+                .argmax_many_bounded(&rows, counts_k)
+                .into_iter()
+                .map(|(_, max)| max)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // One mixed batch: every node's small test, then every purity test.
+        let mut lanes: Vec<Share> = nodes
+            .iter()
+            .map(|n| n.n_total.sub_public(party, Fp::new(min_samples)))
+            .collect();
+        if purity {
+            lanes.extend(
+                nodes
+                    .iter()
+                    .zip(&maxes)
+                    .map(|(n, &max)| (n.n_total - max).sub_public(party, Fp::ONE)),
+            );
+        }
+        let bits = engine.ltz_vec_bounded(&lanes, counts_k);
+        let decisions: Vec<Share> = if purity {
+            // stop = small ∨ pure, one multiplication round for the level.
+            let smalls = &bits[..nodes.len()];
+            let pures = &bits[nodes.len()..];
+            let prods = engine.mul_vec(smalls, pures);
+            (0..nodes.len())
+                .map(|i| smalls[i] + pures[i] - prods[i])
+                .collect()
+        } else {
+            bits
+        };
+        engine
+            .open_vec(&decisions)
+            .iter()
+            .map(|v| v.value() == 1)
+            .collect()
+    })
+}
+
+/// Batched [`split_gains`]: the reciprocal pipeline, gain multiplications,
+/// validity tests, and gating of every frontier node concatenate into the
+/// per-stage batches of one node. Within-node lane order matches the
+/// scalar function, so per-lane values agree up to the shared truncation
+/// semantics.
+pub fn split_gains_batch(ctx: &mut PartyContext<'_>, nodes: &[&NodeShares]) -> Vec<Vec<Share>> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let n_bound = ctx.num_samples() as f64;
+    let task = ctx.current_task();
+    let party = ctx.id();
+    let one_fx = ctx.params.fixed.one();
+    let counts_k = count_width(ctx);
+    let splits_per_node: Vec<usize> = nodes.iter().map(|n| n.n_l.len()).collect();
+    let lanes: usize = splits_per_node.iter().sum();
+
+    ctx.metrics.time(Stage::MpcComputation, || {
+        let engine = &mut ctx.engine;
+        // Per node: right sides by subtraction, lanes node-major.
+        let n_r: Vec<Vec<Share>> = nodes
+            .iter()
+            .map(|n| n.n_l.iter().map(|&l| n.n_total - l).collect())
+            .collect();
+        let g_r: Vec<Vec<Vec<Share>>> = nodes
+            .iter()
+            .map(|n| {
+                n.g_l
+                    .iter()
+                    .enumerate()
+                    .map(|(k, row)| row.iter().map(|&l| n.g_totals[k] - l).collect())
+                    .collect()
+            })
+            .collect();
+
+        // One reciprocal pipeline over every side of every node.
+        let mut sides_int: Vec<Share> = Vec::with_capacity(2 * lanes);
+        for (node, rights) in nodes.iter().zip(&n_r) {
+            sides_int.extend(node.n_l.iter().copied());
+            sides_int.extend(rights.iter().copied());
+        }
+        let recips = engine.recip_vec_int(&sides_int, n_bound);
+
+        let mut gains_raw: Vec<Vec<Share>> = Vec::with_capacity(nodes.len());
+        match task {
+            Task::Classification { .. } => {
+                let mut gs = Vec::new();
+                let mut rs = Vec::new();
+                let mut at = 0;
+                for (i, node) in nodes.iter().enumerate() {
+                    let n_splits = splits_per_node[i];
+                    let (recip_l, recip_r) = recips[at..at + 2 * n_splits].split_at(n_splits);
+                    at += 2 * n_splits;
+                    for k in 0..node.g_l.len() {
+                        for s in 0..n_splits {
+                            gs.push(node.g_l[k][s]);
+                            rs.push(recip_l[s]);
+                        }
+                        for s in 0..n_splits {
+                            gs.push(g_r[i][k][s]);
+                            rs.push(recip_r[s]);
+                        }
+                    }
+                }
+                let ps = engine.mul_vec(&gs, &rs);
+                let terms = engine.mul_vec(&ps, &gs);
+                let mut base = 0;
+                for (i, node) in nodes.iter().enumerate() {
+                    let n_splits = splits_per_node[i];
+                    let classes = node.g_l.len();
+                    let mut gains = vec![Share::ZERO; n_splits];
+                    for k in 0..classes {
+                        let row = base + 2 * k * n_splits;
+                        for (s, gain) in gains.iter_mut().enumerate() {
+                            *gain = *gain + terms[row + s] + terms[row + n_splits + s];
+                        }
+                    }
+                    base += 2 * classes * n_splits;
+                    gains_raw.push(gains);
+                }
+            }
+            Task::Regression => {
+                let mut g1 = Vec::with_capacity(2 * lanes);
+                let mut recs = Vec::with_capacity(2 * lanes);
+                let mut counts = Vec::with_capacity(2 * lanes);
+                let mut at = 0;
+                for (i, node) in nodes.iter().enumerate() {
+                    let n_splits = splits_per_node[i];
+                    g1.extend(node.g_l[0].iter().copied());
+                    g1.extend(g_r[i][0].iter().copied());
+                    recs.extend_from_slice(&recips[at..at + 2 * n_splits]);
+                    counts.extend(node.n_l.iter().copied());
+                    counts.extend(n_r[i].iter().copied());
+                    at += 2 * n_splits;
+                }
+                let means = engine.fixmul_vec(&g1, &recs);
+                let m2 = engine.fixmul_vec(&means, &means);
+                let terms = engine.mul_vec(&m2, &counts);
+                let mut at = 0;
+                for &n_splits in &splits_per_node {
+                    gains_raw.push(
+                        (0..n_splits)
+                            .map(|s| terms[at + s] + terms[at + n_splits + s])
+                            .collect(),
+                    );
+                    at += 2 * n_splits;
+                }
+            }
+        }
+
+        // Validity lanes of every node in one zero-test batch.
+        let mut sides = Vec::with_capacity(2 * lanes);
+        for (node, rights) in nodes.iter().zip(&n_r) {
+            sides.extend(node.n_l.iter().map(|s| s.sub_public(party, Fp::ONE)));
+            sides.extend(rights.iter().map(|s| s.sub_public(party, Fp::ONE)));
+        }
+        let zero_flags = engine.ltz_vec_bounded(&sides, counts_k);
+        let mut shifted = Vec::with_capacity(lanes);
+        let mut valid = Vec::with_capacity(lanes);
+        let mut at = 0;
+        for (i, gains) in gains_raw.iter().enumerate() {
+            let n_splits = splits_per_node[i];
+            for (s, &g) in gains.iter().enumerate() {
+                valid.push(
+                    Share::from_public(party, Fp::ONE)
+                        - zero_flags[at + s]
+                        - zero_flags[at + n_splits + s],
+                );
+                shifted.push(g.add_public(party, one_fx));
+            }
+            at += 2 * n_splits;
+        }
+        let gated = engine.mul_vec(&valid, &shifted);
+        let mut out = Vec::with_capacity(nodes.len());
+        let mut at = 0;
+        for &n_splits in &splits_per_node {
+            out.push(
+                gated[at..at + n_splits]
+                    .iter()
+                    .map(|g| g.sub_public(party, one_fx))
+                    .collect(),
+            );
+            at += n_splits;
+        }
+        out
+    })
+}
+
+/// Batched [`best_split`]: every frontier node's argmax ladder runs in
+/// lockstep (shared comparison rounds, all-pairs tail).
+pub fn best_split_batch(ctx: &mut PartyContext<'_>, gains: &[Vec<Share>]) -> Vec<(Share, Share)> {
+    if gains.is_empty() {
+        return Vec::new();
+    }
+    let k = gain_width(ctx);
+    ctx.metrics.time(Stage::MpcComputation, || {
+        ctx.engine.argmax_many_bounded(gains, k)
+    })
+}
+
+/// Batched [`leaf_label_share`]: one lockstep argmax (classification) or
+/// one reciprocal/multiply batch (regression) for every leaf of a level.
+pub fn leaf_label_shares_batch(ctx: &mut PartyContext<'_>, nodes: &[&NodeShares]) -> Vec<Share> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let n_bound = ctx.num_samples() as f64;
+    let task = ctx.current_task();
+    let counts_k = count_width(ctx);
+    ctx.metrics.time(Stage::MpcComputation, || match task {
+        Task::Classification { .. } => {
+            let rows: Vec<Vec<Share>> = nodes.iter().map(|n| n.g_totals.clone()).collect();
+            ctx.engine
+                .argmax_many_bounded(&rows, counts_k)
+                .into_iter()
+                .map(|(idx, _)| idx)
+                .collect()
+        }
+        Task::Regression => {
+            let totals: Vec<Share> = nodes.iter().map(|n| n.n_total).collect();
+            let recips = ctx.engine.recip_vec_int(&totals, n_bound);
+            let g1: Vec<Share> = nodes.iter().map(|n| n.g_totals[0]).collect();
+            ctx.engine.fixmul_vec(&g1, &recips)
+        }
+    })
+}
+
+/// Batched [`reveal_block_only`]: the boundary comparisons of every
+/// winner concatenate into one bounded batch and their bits open in one
+/// round; each `⟨s*⟩` stays secret.
+pub fn reveal_blocks_batch(
+    ctx: &mut PartyContext<'_>,
+    layout: &SplitLayout,
+    idxs: &[Share],
+) -> Vec<(usize, usize, Share)> {
+    if idxs.is_empty() {
+        return Vec::new();
+    }
+    let party = ctx.id();
+    let mut blocks = Vec::new();
+    for (client, row) in layout.counts.iter().enumerate() {
+        for feature in 0..row.len() {
+            if row[feature] > 0 {
+                blocks.push((client, feature, layout.block(client, feature)));
+            }
+        }
+    }
+    let per_node = blocks.len() - 1;
+    let mut diffs = Vec::with_capacity(idxs.len() * per_node);
+    for &idx in idxs {
+        diffs.extend(
+            blocks
+                .iter()
+                .skip(1)
+                .map(|&(_, _, (start, _))| idx.sub_public(party, Fp::new(start as u64))),
+        );
+    }
+    let k = width_for_magnitude(layout.total() as u64);
+    let bits = ctx.engine.ltz_vec_bounded(&diffs, k);
+    let opened = ctx.engine.open_vec(&bits);
+    idxs.iter()
+        .enumerate()
+        .map(|(i, &idx)| {
+            let mut winner = 0usize;
+            for (t, bit) in opened[i * per_node..(i + 1) * per_node].iter().enumerate() {
+                if bit.value() == 0 {
+                    winner = t + 1;
+                }
+            }
+            let (client, feature, (start, _)) = blocks[winner];
+            let s_star = idx.sub_public(party, Fp::new(start as u64));
+            (client, feature, s_star)
+        })
+        .collect()
 }
 
 /// Secure pruning decision (opened bit): node too small, or — basic

@@ -38,7 +38,7 @@ pub mod stats;
 pub mod train_basic;
 pub mod train_enhanced;
 
-pub use config::{PivotParams, Protocol};
+pub use config::{PivotParams, Protocol, Scheduling};
 pub use metrics::ProtocolMetrics;
 pub use model::{ConcealedNode, ConcealedTree};
 pub use party::PartyContext;

@@ -11,10 +11,12 @@
 //! updates `[γ₁]`, `[γ₂]` alongside `[α]` with the same split indicator
 //! (the paper's optimization avoiding per-node ciphertext multiplications).
 
+use crate::config::Scheduling;
 use crate::conversion::{ciphers_to_shares, packed_ciphers_to_shares};
 use crate::gain::{
-    best_split, convert_stats, leaf_label_share, node_shares_from_packed, prune_decision,
-    reveal_identifier, split_gains, NodeShares,
+    best_split, best_split_batch, convert_stats, convert_stats_batch, leaf_label_share,
+    leaf_label_shares_batch, node_shares_from_packed, prune_decision, prune_decisions_batch,
+    reveal_identifier, split_gains, split_gains_batch, NodeShares,
 };
 use crate::masks::{
     compute_label_masks, compute_packed_label_masks, initial_mask, plan_packed_labels,
@@ -22,7 +24,9 @@ use crate::masks::{
 };
 use crate::metrics::Stage;
 use crate::party::PartyContext;
-use crate::stats::{packed_pooled_statistics, pooled_statistics, LocalSplits, SplitLayout};
+use crate::stats::{
+    packed_pooled_statistics, pooled_statistics, EncryptedStats, LocalSplits, SplitLayout,
+};
 use pivot_data::Task;
 use pivot_paillier::{vector, Ciphertext, SlotCodec};
 use pivot_trees::{DecisionTree, Node};
@@ -68,10 +72,22 @@ pub fn train_with_labels(
     // packed label vectors, and GBDT residual vectors carry unbounded
     // mod-p slack that no slot-width audit can cover — so packing applies
     // to the SuperClient label source only and GBDT keeps the scalar path.
-    if matches!(labels, NodeLabels::SuperClient) {
-        if let Some(codec) = ctx.packing_codec() {
-            return train_level_wise(ctx, &local, &layout, root_alpha, &codec);
-        }
+    let codec = match &labels {
+        NodeLabels::SuperClient => ctx.packing_codec(),
+        NodeLabels::Encrypted(_) => None,
+    };
+    if ctx.params.scheduling == Scheduling::Pipelined {
+        return train_level_wise_pipelined(
+            ctx,
+            &local,
+            &layout,
+            root_alpha,
+            labels,
+            codec.as_ref(),
+        );
+    }
+    if let Some(codec) = codec {
+        return train_level_wise(ctx, &local, &layout, root_alpha, &codec);
     }
     let mut nodes = Vec::new();
     let root = build_node(ctx, &local, &layout, root_alpha, labels, 0, &mut nodes);
@@ -250,6 +266,287 @@ fn renumber_postorder(nodes: &[Node], root: usize) -> (Vec<Node>, usize) {
     let mut out = Vec::with_capacity(nodes.len());
     let root = visit(nodes, root, &mut out);
     (out, root)
+}
+
+/// Pipelined scheduling (§ROADMAP "round compaction"): the whole tree
+/// frontier advances level-by-level through **batched** protocol stages —
+/// one statistics conversion, one prune-comparison unit, one gain
+/// pipeline, one lockstep argmax ladder, and one deferred-open settlement
+/// round per level, instead of per node. Works with packed or scalar
+/// statistics and with either label source (the GBDT residual path
+/// included). Statistics, comparisons, and Beaver products are exact, so
+/// the released tree matches the sequential schedule's; only the
+/// transcript (round structure, batch widths) differs.
+fn train_level_wise_pipelined(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    root_alpha: Vec<Ciphertext>,
+    labels: NodeLabels,
+    codec: Option<&SlotCodec>,
+) -> DecisionTree {
+    let task = ctx.current_task();
+    let super_client = matches!(labels, NodeLabels::SuperClient);
+    let label_plan = codec.map(|c| plan_packed_labels(ctx, c));
+    let root_gammas = match labels {
+        NodeLabels::SuperClient => None,
+        NodeLabels::Encrypted(gammas) => Some(gammas),
+    };
+    let mut nodes: Vec<Option<Node>> = vec![None];
+    // (arena slot, [α], encrypted label vectors when not the super client)
+    type Frontier = (usize, Vec<Ciphertext>, Option<Vec<Vec<Ciphertext>>>);
+    let mut frontier: Vec<Frontier> = vec![(0, root_alpha, root_gammas)];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        if depth >= ctx.params.tree.max_depth || layout.total() == 0 {
+            forced_leaves_batch(ctx, &mut nodes, std::mem::take(&mut frontier));
+            break;
+        }
+        let _level = pivot_trace::span_fn(|| format!("level {depth}"));
+        let stats_start = ctx.ep.stats().bytes_sent();
+
+        // Statistics and ONE Algorithm-2 conversion for the level.
+        let node_shares: Vec<NodeShares> = if let (Some(codec), Some(plan)) = (codec, &label_plan) {
+            let per_node: Vec<crate::stats::PackedStats> = {
+                let _stats = pivot_trace::phase_span("stats");
+                let labels: Vec<_> = frontier
+                    .iter()
+                    .map(|(_, alpha, _)| compute_packed_label_masks(ctx, alpha, plan))
+                    .collect();
+                labels
+                    .iter()
+                    .map(|packed| packed_pooled_statistics(ctx, layout, local, packed, codec))
+                    .collect()
+            };
+            let _conv = pivot_trace::phase_span("conversion");
+            let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
+            let started = std::time::Instant::now();
+            let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
+            ctx.metrics
+                .add_time(Stage::MpcComputation, started.elapsed());
+            per_node
+                .iter()
+                .enumerate()
+                .map(|(i, ps)| {
+                    let span = &slot_shares[spans[i]..spans[i] + ps.conversion_len()];
+                    node_shares_from_packed(ctx, layout, ps, span)
+                })
+                .collect()
+        } else {
+            let encs: Vec<EncryptedStats> = {
+                let _stats = pivot_trace::phase_span("stats");
+                frontier
+                    .iter()
+                    .map(|(_, alpha, gammas)| {
+                        let masks = match gammas {
+                            None => compute_label_masks(ctx, alpha, true),
+                            Some(g) => LabelMasks {
+                                gammas: g.clone(),
+                                offset_encoded: false,
+                            },
+                        };
+                        pooled_statistics(ctx, layout, local, alpha, &masks)
+                    })
+                    .collect()
+            };
+            let _conv = pivot_trace::phase_span("conversion");
+            let refs: Vec<&EncryptedStats> = encs.iter().collect();
+            convert_stats_batch(ctx, layout, &refs)
+        };
+        ctx.metrics
+            .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+        // One prune unit for the frontier.
+        let pruned = {
+            let _gain = pivot_trace::phase_span("gain");
+            let refs: Vec<&NodeShares> = node_shares.iter().collect();
+            let check_purity = ctx.params.tree.stop_when_pure && super_client;
+            prune_decisions_batch(ctx, &refs, check_purity)
+        };
+
+        // Pruned nodes: leaf labels in one batch, opened later via the
+        // deferred queue (settles together with the winner indices).
+        let leaf_tickets: Vec<(usize, usize)> = {
+            let _leaf = pivot_trace::phase_span("leaf");
+            let idxs: Vec<usize> = (0..frontier.len()).filter(|&i| pruned[i]).collect();
+            let sel: Vec<&NodeShares> = idxs.iter().map(|&i| &node_shares[i]).collect();
+            let shares = leaf_label_shares_batch(ctx, &sel);
+            idxs.into_iter()
+                .zip(shares)
+                .map(|(i, s)| (i, ctx.engine.open_deferred(&[s])))
+                .collect()
+        };
+
+        // Survivors: gains, lockstep argmax, winner indices deferred.
+        let live: Vec<usize> = (0..frontier.len()).filter(|&i| !pruned[i]).collect();
+        let idx_tickets: Vec<usize> = {
+            let _gain = pivot_trace::phase_span("gain");
+            let sel: Vec<&NodeShares> = live.iter().map(|&i| &node_shares[i]).collect();
+            let gains = split_gains_batch(ctx, &sel);
+            best_split_batch(ctx, &gains)
+                .into_iter()
+                .map(|(idx, _)| ctx.engine.open_deferred(&[idx]))
+                .collect()
+        };
+
+        // ONE opening round settles every leaf label and winner index.
+        let resolved = {
+            let _reveal = pivot_trace::phase_span("split_reveal");
+            let started = std::time::Instant::now();
+            let resolved = ctx.engine.resolve();
+            ctx.metrics
+                .add_time(Stage::MpcComputation, started.elapsed());
+            resolved
+        };
+
+        let mut items: Vec<Option<Frontier>> = frontier.drain(..).map(Some).collect();
+        for &(i, ticket) in &leaf_tickets {
+            let (slot, _, _) = items[i].take().expect("pruned node unconsumed");
+            let opened = resolved[ticket][0];
+            let value = match task {
+                Task::Classification { .. } => opened.value() as f64,
+                Task::Regression => ctx.params.fixed.decode(opened),
+            };
+            nodes[slot] = Some(Node::Leaf { value });
+        }
+
+        // Winner announcements and mask updates; the per-node frames of
+        // this stage coalesce at the transport layer.
+        let mut next: Vec<Frontier> = Vec::new();
+        for (t, &i) in live.iter().enumerate() {
+            let (slot, alpha, gammas) = items[i].take().expect("live node unconsumed");
+            let (winner, local_feature, split_idx, feature_global, threshold) = {
+                let _reveal = pivot_trace::phase_span("split_reveal");
+                let opened = resolved[idx_tickets[t]][0].value() as usize;
+                let (winner, local_feature, split_idx) = layout.locate(opened);
+                let (feature_global, threshold) = ctx.metrics.time(Stage::ModelUpdate, || {
+                    if ctx.id() == winner {
+                        let feature_global = ctx.view.feature_indices[local_feature];
+                        let threshold = local.candidates[local_feature].thresholds[split_idx];
+                        ctx.ep.broadcast(&(feature_global, threshold));
+                        (feature_global, threshold)
+                    } else {
+                        ctx.ep.recv::<(usize, f64)>(winner)
+                    }
+                });
+                (winner, local_feature, split_idx, feature_global, threshold)
+            };
+            let indicator =
+                (ctx.id() == winner).then(|| local.indicators[local_feature][split_idx].clone());
+            let mut vectors = vec![alpha];
+            let has_gammas = gammas.is_some();
+            if let Some(gammas) = gammas {
+                vectors.extend(gammas);
+            }
+            let started = std::time::Instant::now();
+            let (mut lefts, mut rights) = {
+                let _update = pivot_trace::phase_span("update");
+                update_vectors_plain(ctx, &vectors, winner, indicator.as_deref())
+            };
+            ctx.metrics.add_time(Stage::ModelUpdate, started.elapsed());
+
+            let alpha_l = lefts.remove(0);
+            let alpha_r = rights.remove(0);
+            let (gammas_l, gammas_r) = if has_gammas {
+                (Some(lefts), Some(rights))
+            } else {
+                (None, None)
+            };
+            let left_slot = nodes.len();
+            nodes.push(None);
+            let right_slot = nodes.len();
+            nodes.push(None);
+            nodes[slot] = Some(Node::Internal {
+                feature: feature_global,
+                threshold,
+                left: left_slot,
+                right: right_slot,
+            });
+            next.push((left_slot, alpha_l, gammas_l));
+            next.push((right_slot, alpha_r, gammas_r));
+        }
+        frontier = next;
+        depth += 1;
+        // Latency-hiding refill window: the dealer pool and decryption
+        // nonce pool top up between levels while no protocol round is in
+        // flight, so the next level's comparisons hit warm pools. The
+        // dealer top-up is blocking and burst-sized — the next level
+        // drains its whole preprocessing demand at once.
+        if !frontier.is_empty() {
+            ctx.engine
+                .dealer_refill_blocking(frontier.len(), live.len().max(1));
+            ctx.nonces.refill();
+        }
+    }
+    let nodes: Vec<Node> = nodes
+        .into_iter()
+        .map(|n| n.expect("every allocated node is resolved"))
+        .collect();
+    let (nodes, root) = renumber_postorder(&nodes, 0);
+    DecisionTree::new(nodes, root, task)
+}
+
+/// Depth-forced leaf level: every node's totals convert in one
+/// Algorithm-2 batch and every leaf label opens in one round.
+fn forced_leaves_batch(
+    ctx: &mut PartyContext<'_>,
+    nodes: &mut [Option<Node>],
+    frontier: Vec<(usize, Vec<Ciphertext>, Option<Vec<Vec<Ciphertext>>>)>,
+) {
+    let _leaf = pivot_trace::phase_span("leaf");
+    let task = ctx.current_task();
+    let stats_start = ctx.ep.stats().bytes_sent();
+    let mut flats: Vec<Vec<Ciphertext>> = Vec::with_capacity(frontier.len());
+    let mut offsets: Vec<bool> = Vec::with_capacity(frontier.len());
+    for (_, alpha, gammas) in &frontier {
+        let masks = match gammas {
+            None => compute_label_masks(ctx, alpha, true),
+            Some(g) => LabelMasks {
+                gammas: g.clone(),
+                offset_encoded: false,
+            },
+        };
+        let all = vec![true; alpha.len()];
+        let mut flat = vec![vector::dot_binary(&ctx.pk, alpha, &all)];
+        for gamma in &masks.gammas {
+            flat.push(vector::dot_binary(&ctx.pk, gamma, &all));
+        }
+        ctx.metrics
+            .add_ciphertext_ops((alpha.len() * flat.len()) as u64);
+        flats.push(flat);
+        offsets.push(masks.offset_encoded);
+    }
+    let all_flat: Vec<Ciphertext> = flats.iter().flatten().cloned().collect();
+    let shares = ciphers_to_shares(ctx, &all_flat);
+    ctx.metrics
+        .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+    let mut totals: Vec<NodeShares> = Vec::with_capacity(frontier.len());
+    let mut at = 0;
+    for (flat, &offset_encoded) in flats.iter().zip(&offsets) {
+        let chunk = &shares[at..at + flat.len()];
+        at += flat.len();
+        let mut node = NodeShares {
+            n_l: Vec::new(),
+            g_l: vec![Vec::new(); flat.len() - 1],
+            n_total: chunk[0],
+            g_totals: chunk[1..].to_vec(),
+        };
+        if offset_encoded {
+            crate::gain::remove_totals_offset(ctx, &mut node);
+        }
+        totals.push(node);
+    }
+    let refs: Vec<&NodeShares> = totals.iter().collect();
+    let labels = leaf_label_shares_batch(ctx, &refs);
+    let opened = ctx.engine.open_vec(&labels);
+    for ((slot, _, _), value) in frontier.iter().zip(&opened) {
+        let value = match task {
+            Task::Classification { .. } => value.value() as f64,
+            Task::Regression => ctx.params.fixed.decode(*value),
+        };
+        nodes[*slot] = Some(Node::Leaf { value });
+    }
 }
 
 fn build_node(

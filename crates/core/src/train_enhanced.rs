@@ -14,11 +14,14 @@
 //!   separates Pivot-Enhanced from Pivot-Basic in Figures 4–5;
 //! * leaf labels are converted share→ciphertext instead of being opened.
 
-use crate::config::Protocol;
-use crate::conversion::{ciphers_to_shares, packed_ciphers_to_shares, shares_to_ciphers};
+use crate::config::{Protocol, Scheduling};
+use crate::conversion::{
+    ciphers_to_shares, packed_ciphers_to_shares, packed_share_conversion, shares_to_ciphers,
+};
 use crate::gain::{
-    best_split, convert_stats, leaf_label_share, node_shares_from_packed, prune_decision,
-    reveal_block_only, split_gains, NodeShares,
+    best_split, best_split_batch, convert_stats, convert_stats_batch, leaf_label_share,
+    leaf_label_shares_batch, node_shares_from_packed, prune_decision, prune_decisions_batch,
+    reveal_block_only, reveal_blocks_batch, split_gains, split_gains_batch, NodeShares,
 };
 use crate::masks::{
     compute_label_masks, compute_packed_label_masks, initial_mask, plan_packed_labels, LabelMasks,
@@ -27,7 +30,8 @@ use crate::metrics::Stage;
 use crate::model::{ConcealedNode, ConcealedTree};
 use crate::party::PartyContext;
 use crate::stats::{
-    packed_pooled_statistics, pooled_statistics, LocalSplits, PackedStats, SplitLayout,
+    packed_pooled_statistics, pooled_statistics, EncryptedStats, LocalSplits, PackedStats,
+    SplitLayout,
 };
 use pivot_bignum::BigUint;
 use pivot_mpc::Share;
@@ -38,6 +42,26 @@ use pivot_paillier::{batch, vector, Ciphertext, SlotCodec};
 /// encodings would wrap mod `N` and break the mod-`p` slack discipline).
 pub fn threshold_offset_bits(ctx: &PartyContext<'_>) -> u32 {
     ctx.params.fixed.int_bits - 2
+}
+
+/// Audited magnitude bound (in bits) on an Eqn-10 mask plaintext: after a
+/// masked-product update, `[α'] = Σ_m ⟨α⟩·[v]` where each `⟨α⟩ < p` and
+/// the PIR-selected `[v]` plaintext is a `≤ b`-term sum of λ-ciphertexts
+/// each carrying `< m·p` slack — worst case `m²·b·p²` (the quadratic
+/// slack behind the enhanced keysize floor).
+fn eqn10_alpha_bound_bits(ctx: &PartyContext<'_>, layout: &SplitLayout) -> u32 {
+    let m = BigUint::from_u64(ctx.parties() as u64);
+    let p = BigUint::from_u64(pivot_mpc::MODULUS);
+    let b = layout
+        .counts
+        .iter()
+        .flat_map(|per_feature| per_feature.iter())
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let worst = &(&(&m * &m) * &BigUint::from_u64(b as u64)) * &(&p * &p);
+    worst.bits()
 }
 
 /// Train a single concealed decision tree (enhanced protocol).
@@ -59,7 +83,11 @@ pub fn train(ctx: &mut PartyContext<'_>) -> ConcealedTree {
         (local, layout)
     };
     let alpha = initial_mask(ctx, &mask);
-    if let Some(codec) = ctx.packing_codec() {
+    let codec = ctx.packing_codec();
+    if ctx.params.scheduling == Scheduling::Pipelined {
+        return train_level_wise_pipelined(ctx, &local, &layout, alpha, codec.as_ref());
+    }
+    if let Some(codec) = codec {
         return train_level_wise(ctx, &local, &layout, alpha, &codec);
     }
     let mut nodes = Vec::new();
@@ -235,6 +263,231 @@ fn renumber_postorder(nodes: &[ConcealedNode], root: usize) -> (Vec<ConcealedNod
     (out, root)
 }
 
+/// Pipelined enhanced training: the whole frontier advances through
+/// batched stages — one prune unit, one gain pipeline, one lockstep
+/// argmax, one batched block reveal, one one-hot batch, one `[λ]`
+/// re-encryption, and one Eqn-10 share conversion per level. Per-winner
+/// PIR selection and masked products stay per node (their broadcasts and
+/// gathers coalesce at the transport layer). The released concealed tree
+/// matches the sequential schedule's.
+fn train_level_wise_pipelined(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    layout: &SplitLayout,
+    root_alpha: Vec<Ciphertext>,
+    codec: Option<&SlotCodec>,
+) -> ConcealedTree {
+    let task = ctx.current_task();
+    let label_plan = codec.map(|c| plan_packed_labels(ctx, c));
+    let mut nodes: Vec<Option<ConcealedNode>> = vec![None];
+    let mut frontier: Vec<(usize, Vec<Ciphertext>)> = vec![(0, root_alpha)];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        if depth >= ctx.params.tree.max_depth || layout.total() == 0 {
+            forced_concealed_leaves_batch(ctx, &mut nodes, std::mem::take(&mut frontier));
+            break;
+        }
+        let _level = pivot_trace::span_fn(|| format!("level {depth}"));
+        let stats_start = ctx.ep.stats().bytes_sent();
+
+        // Packed levels linearize the quadratic Eqn-10 slack first (see
+        // `train_level_wise`); the scalar conversion needs no refresh.
+        if codec.is_some() && depth > 0 {
+            let _conv = pivot_trace::phase_span("conversion");
+            let lens: Vec<usize> = frontier.iter().map(|(_, a)| a.len()).collect();
+            let flat: Vec<Ciphertext> = frontier
+                .iter()
+                .flat_map(|(_, a)| a.iter().cloned())
+                .collect();
+            let shares = ciphers_to_shares(ctx, &flat);
+            let fresh = shares_to_ciphers(ctx, &shares);
+            let mut rest = fresh.as_slice();
+            for ((_, alpha), len) in frontier.iter_mut().zip(lens) {
+                *alpha = rest[..len].to_vec();
+                rest = &rest[len..];
+            }
+        }
+
+        let node_shares: Vec<NodeShares> = if let (Some(codec), Some(plan)) = (codec, &label_plan) {
+            let per_node: Vec<PackedStats> = {
+                let _stats = pivot_trace::phase_span("stats");
+                let labels: Vec<_> = frontier
+                    .iter()
+                    .map(|(_, alpha)| compute_packed_label_masks(ctx, alpha, plan))
+                    .collect();
+                labels
+                    .iter()
+                    .map(|packed| packed_pooled_statistics(ctx, layout, local, packed, codec))
+                    .collect()
+            };
+            let _conv = pivot_trace::phase_span("conversion");
+            let (cts, used, spans) = crate::stats::conversion_batch(&per_node);
+            let started = std::time::Instant::now();
+            let slot_shares = packed_ciphers_to_shares(ctx, codec, &cts, &used);
+            ctx.metrics
+                .add_time(Stage::MpcComputation, started.elapsed());
+            per_node
+                .iter()
+                .enumerate()
+                .map(|(i, ps)| {
+                    let span = &slot_shares[spans[i]..spans[i] + ps.conversion_len()];
+                    node_shares_from_packed(ctx, layout, ps, span)
+                })
+                .collect()
+        } else {
+            let encs: Vec<EncryptedStats> = {
+                let _stats = pivot_trace::phase_span("stats");
+                frontier
+                    .iter()
+                    .map(|(_, alpha)| {
+                        let masks = compute_label_masks(ctx, alpha, true);
+                        pooled_statistics(ctx, layout, local, alpha, &masks)
+                    })
+                    .collect()
+            };
+            let _conv = pivot_trace::phase_span("conversion");
+            let refs: Vec<&EncryptedStats> = encs.iter().collect();
+            convert_stats_batch(ctx, layout, &refs)
+        };
+        ctx.metrics
+            .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+        // One prune unit (no purity check: concealed labels).
+        let pruned = {
+            let _gain = pivot_trace::phase_span("gain");
+            let refs: Vec<&NodeShares> = node_shares.iter().collect();
+            prune_decisions_batch(ctx, &refs, false)
+        };
+
+        // Pruned nodes: one leaf-label batch, ONE share→cipher conversion.
+        {
+            let _leaf = pivot_trace::phase_span("leaf");
+            let idxs: Vec<usize> = (0..frontier.len()).filter(|&i| pruned[i]).collect();
+            if !idxs.is_empty() {
+                let sel: Vec<&NodeShares> = idxs.iter().map(|&i| &node_shares[i]).collect();
+                let shares = leaf_label_shares_batch(ctx, &sel);
+                let encs = shares_to_ciphers(ctx, &shares);
+                for (&i, enc_value) in idxs.iter().zip(encs) {
+                    nodes[frontier[i].0] = Some(ConcealedNode::Leaf { enc_value });
+                }
+            }
+        }
+
+        // Survivors: gains + lockstep argmax.
+        let live: Vec<usize> = (0..frontier.len()).filter(|&i| !pruned[i]).collect();
+        let best = {
+            let _gain = pivot_trace::phase_span("gain");
+            let sel: Vec<&NodeShares> = live.iter().map(|&i| &node_shares[i]).collect();
+            let gains = split_gains_batch(ctx, &sel);
+            best_split_batch(ctx, &gains)
+        };
+
+        // Batched block reveal + one-hot expansion + ONE [λ] re-encryption.
+        let (blocks, lambda_encs) = {
+            let _reveal = pivot_trace::phase_span("split_reveal");
+            let idxs: Vec<Share> = best.iter().map(|&(idx, _)| idx).collect();
+            let blocks = if idxs.is_empty() {
+                Vec::new()
+            } else {
+                reveal_blocks_batch(ctx, layout, &idxs)
+            };
+            let items: Vec<(Share, usize)> = blocks
+                .iter()
+                .map(|&(w, f, s)| (s, layout.counts[w][f]))
+                .collect();
+            let lambdas = ctx
+                .metrics
+                .time(Stage::MpcComputation, || ctx.engine.onehot_many(&items));
+            let lens: Vec<usize> = lambdas.iter().map(|l| l.len()).collect();
+            let flat: Vec<Share> = lambdas.into_iter().flatten().collect();
+            let fresh = shares_to_ciphers(ctx, &flat);
+            let mut lambda_encs = Vec::with_capacity(lens.len());
+            let mut rest = fresh.as_slice();
+            for len in lens {
+                lambda_encs.push(rest[..len].to_vec());
+                rest = &rest[len..];
+            }
+            (blocks, lambda_encs)
+        };
+
+        // Per-winner PIR selection (coalesced broadcast frames).
+        let headers: Vec<(Vec<Ciphertext>, Vec<Ciphertext>, Ciphertext, usize)> = {
+            let _reveal = pivot_trace::phase_span("split_reveal");
+            blocks
+                .iter()
+                .zip(&lambda_encs)
+                .map(|(&(winner, local_feature, _), lambda_enc)| {
+                    let n_splits = layout.counts[winner][local_feature];
+                    pir_select(ctx, local, winner, local_feature, n_splits, lambda_enc)
+                })
+                .collect()
+        };
+
+        // Eqn-10: ONE share conversion for every survivor's mask, then
+        // per-node masked products (both sides share one gather round).
+        let _update = pivot_trace::phase_span("update");
+        let live_items: Vec<(usize, Vec<Ciphertext>)> = frontier
+            .drain(..)
+            .enumerate()
+            .filter(|(i, _)| !pruned[*i])
+            .map(|(_, item)| item)
+            .collect();
+        let lens: Vec<usize> = live_items.iter().map(|(_, a)| a.len()).collect();
+        let flat: Vec<Ciphertext> = live_items
+            .iter()
+            .flat_map(|(_, a)| a.iter().cloned())
+            .collect();
+        let all_shares = if flat.is_empty() {
+            Vec::new()
+        } else {
+            // Packed under the Eqn-10 slack bound: only pays off at large
+            // keysizes (the quadratic slack needs ~2·61-bit slots), and
+            // degrades to the scalar conversion otherwise.
+            packed_share_conversion(ctx, &flat, eqn10_alpha_bound_bits(ctx, layout))
+        };
+        let mut next = Vec::new();
+        let mut at = 0;
+        for (t, &(slot, _)) in live_items.iter().enumerate() {
+            let alpha_shares = &all_shares[at..at + lens[t]];
+            at += lens[t];
+            let (winner, _, _) = blocks[t];
+            let (v_l, v_r, enc_threshold, feature_global) = headers[t].clone();
+            let (alpha_l, alpha_r) = masked_product_pair(ctx, alpha_shares, &v_l, &v_r, winner);
+            let left_slot = nodes.len();
+            nodes.push(None);
+            let right_slot = nodes.len();
+            nodes.push(None);
+            nodes[slot] = Some(ConcealedNode::Internal {
+                client: winner,
+                feature_global,
+                enc_threshold,
+                left: left_slot,
+                right: right_slot,
+            });
+            next.push((left_slot, alpha_l));
+            next.push((right_slot, alpha_r));
+        }
+        drop(_update);
+        frontier = next;
+        depth += 1;
+        // Latency-hiding refill window between levels: the next level
+        // drains a whole burst of preprocessing at once, so top the pool
+        // up synchronously to the burst shape at the barrier, scaled by
+        // the frontier growth.
+        if !frontier.is_empty() {
+            ctx.engine
+                .dealer_refill_blocking(frontier.len(), live_items.len().max(1));
+            ctx.nonces.refill();
+        }
+    }
+    let nodes: Vec<ConcealedNode> = nodes
+        .into_iter()
+        .map(|n| n.expect("every allocated node is resolved"))
+        .collect();
+    let (nodes, root) = renumber_postorder(&nodes, 0);
+    ConcealedTree { nodes, root, task }
+}
+
 /// The per-node tail of enhanced split selection, shared by the recursive
 /// and level-wise schedules: secure argmax, block-only reveal, the §5.2
 /// private split selection (one-hot `[λ]`, Theorem-2 PIR, encrypted
@@ -265,44 +518,8 @@ fn select_and_update(
     let lambda_enc = shares_to_ciphers(ctx, &lambda_shares);
 
     // Winner: PIR-select [v_l], [v_r] and the encrypted threshold.
-    let (v_l, v_r, enc_threshold, feature_global) = ctx.metrics.time(Stage::ModelUpdate, || {
-        if ctx.id() == winner {
-            let inds = &local.indicators[local_feature];
-            let n = ctx.view.num_samples();
-            // Theorem-2 PIR selection per sample: independent dot
-            // products, batched over the worker pool.
-            let samples: Vec<usize> = (0..n).collect();
-            let pairs: Vec<(Ciphertext, Ciphertext)> =
-                pivot_runtime::global().map(ctx.crypto_threads(), &samples, |&j| {
-                    let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
-                    let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
-                    (
-                        vector::dot_binary(&ctx.pk, &lambda_enc, &row),
-                        vector::dot_binary(&ctx.pk, &lambda_enc, &comp),
-                    )
-                });
-            let (v_l, v_r): (Vec<Ciphertext>, Vec<Ciphertext>) = pairs.into_iter().unzip();
-            ctx.metrics.add_ciphertext_ops((2 * n * n_splits) as u64);
-            let enc_vals: Vec<BigUint> = local.candidates[local_feature]
-                .thresholds
-                .iter()
-                .map(|&t| encode_threshold(ctx, t))
-                .collect();
-            let enc_threshold = vector::dot_plain(&ctx.pk, &lambda_enc, &enc_vals);
-            let feature_global = ctx.view.feature_indices[local_feature];
-            ctx.ep.broadcast(&v_l);
-            ctx.ep.broadcast(&v_r);
-            ctx.ep.broadcast(&enc_threshold);
-            ctx.ep.broadcast(&feature_global);
-            (v_l, v_r, enc_threshold, feature_global)
-        } else {
-            let v_l: Vec<Ciphertext> = ctx.ep.recv(winner);
-            let v_r: Vec<Ciphertext> = ctx.ep.recv(winner);
-            let enc_threshold: Ciphertext = ctx.ep.recv(winner);
-            let feature_global: usize = ctx.ep.recv(winner);
-            (v_l, v_r, enc_threshold, feature_global)
-        }
-    });
+    let (v_l, v_r, enc_threshold, feature_global) =
+        pir_select(ctx, local, winner, local_feature, n_splits, &lambda_enc);
 
     drop(_reveal);
     // Eqn (10): encrypted-mask updating through share conversion.
@@ -375,6 +592,58 @@ fn build_node(
     nodes.len() - 1
 }
 
+/// §5.2 private split selection at the winner: Theorem-2 PIR selection of
+/// the split-indicator columns `[v_l]`, `[v_r]` and the encrypted
+/// threshold, broadcast to everyone (shared by the sequential and
+/// pipelined schedules — byte-identical transcript).
+fn pir_select(
+    ctx: &mut PartyContext<'_>,
+    local: &LocalSplits,
+    winner: usize,
+    local_feature: usize,
+    n_splits: usize,
+    lambda_enc: &[Ciphertext],
+) -> (Vec<Ciphertext>, Vec<Ciphertext>, Ciphertext, usize) {
+    ctx.metrics.time(Stage::ModelUpdate, || {
+        if ctx.id() == winner {
+            let inds = &local.indicators[local_feature];
+            let n = ctx.view.num_samples();
+            // Theorem-2 PIR selection per sample: independent dot
+            // products, batched over the worker pool.
+            let samples: Vec<usize> = (0..n).collect();
+            let pairs: Vec<(Ciphertext, Ciphertext)> =
+                pivot_runtime::global().map(ctx.crypto_threads(), &samples, |&j| {
+                    let row: Vec<bool> = (0..n_splits).map(|t| inds[t][j]).collect();
+                    let comp: Vec<bool> = row.iter().map(|&b| !b).collect();
+                    (
+                        vector::dot_binary(&ctx.pk, lambda_enc, &row),
+                        vector::dot_binary(&ctx.pk, lambda_enc, &comp),
+                    )
+                });
+            let (v_l, v_r): (Vec<Ciphertext>, Vec<Ciphertext>) = pairs.into_iter().unzip();
+            ctx.metrics.add_ciphertext_ops((2 * n * n_splits) as u64);
+            let enc_vals: Vec<BigUint> = local.candidates[local_feature]
+                .thresholds
+                .iter()
+                .map(|&t| encode_threshold(ctx, t))
+                .collect();
+            let enc_threshold = vector::dot_plain(&ctx.pk, lambda_enc, &enc_vals);
+            let feature_global = ctx.view.feature_indices[local_feature];
+            ctx.ep.broadcast(&v_l);
+            ctx.ep.broadcast(&v_r);
+            ctx.ep.broadcast(&enc_threshold);
+            ctx.ep.broadcast(&feature_global);
+            (v_l, v_r, enc_threshold, feature_global)
+        } else {
+            let v_l: Vec<Ciphertext> = ctx.ep.recv(winner);
+            let v_r: Vec<Ciphertext> = ctx.ep.recv(winner);
+            let enc_threshold: Ciphertext = ctx.ep.recv(winner);
+            let feature_global: usize = ctx.ep.recv(winner);
+            (v_l, v_r, enc_threshold, feature_global)
+        }
+    })
+}
+
 /// `[α'_j] = Σᵢ [⟨α_j⟩ᵢ · v_j]` — every client scales the encrypted split
 /// indicator by its own share; the winner aggregates and broadcasts.
 fn masked_product(
@@ -413,6 +682,110 @@ fn masked_product(
             ctx.ep.recv(winner)
         }
     })
+}
+
+/// Both Eqn-10 masked products of one node in a single gather round: the
+/// left and right indicator vectors concatenate, so the winner aggregates
+/// and broadcasts once. Values match two [`masked_product`] calls.
+fn masked_product_pair(
+    ctx: &mut PartyContext<'_>,
+    alpha_shares: &[Share],
+    v_l: &[Ciphertext],
+    v_r: &[Ciphertext],
+    winner: usize,
+) -> (Vec<Ciphertext>, Vec<Ciphertext>) {
+    ctx.metrics.time(Stage::ModelUpdate, || {
+        let threads = ctx.crypto_threads();
+        let n = alpha_shares.len();
+        let share_values: Vec<BigUint> = alpha_shares
+            .iter()
+            .map(|s| BigUint::from_u64(s.0.value()))
+            .collect();
+        let v: Vec<Ciphertext> = v_l.iter().chain(v_r.iter()).cloned().collect();
+        let doubled: Vec<BigUint> = share_values
+            .iter()
+            .chain(share_values.iter())
+            .cloned()
+            .collect();
+        let my_terms = batch::mul_plain_batch(&ctx.pk, &v, &doubled, threads);
+        ctx.metrics.add_ciphertext_ops(my_terms.len() as u64);
+        // The gather wait is CPU-idle: top up the offline pools.
+        ctx.nonces.refill();
+        ctx.engine.dealer_refill();
+        let gathered = ctx.ep.gather(winner, &my_terms);
+        let sums = if ctx.id() == winner {
+            let parts = gathered.expect("winner gathers");
+            let indices: Vec<usize> = (0..2 * n).collect();
+            let sums: Vec<Ciphertext> = pivot_runtime::global().map(threads, &indices, |&j| {
+                let mut acc = parts[0][j].clone();
+                for part in parts.iter().skip(1) {
+                    acc = ctx.pk.add(&acc, &part[j]);
+                }
+                acc
+            });
+            ctx.metrics
+                .add_ciphertext_ops((2 * n * ctx.parties()) as u64);
+            ctx.ep.broadcast(&sums);
+            sums
+        } else {
+            ctx.ep.recv(winner)
+        };
+        let (l, r) = sums.split_at(n);
+        (l.to_vec(), r.to_vec())
+    })
+}
+
+/// Depth-forced concealed leaf level: every node's totals convert in one
+/// Algorithm-2 batch and every leaf label re-encrypts in one
+/// share→cipher conversion.
+fn forced_concealed_leaves_batch(
+    ctx: &mut PartyContext<'_>,
+    nodes: &mut [Option<ConcealedNode>],
+    frontier: Vec<(usize, Vec<Ciphertext>)>,
+) {
+    let _leaf = pivot_trace::phase_span("leaf");
+    let stats_start = ctx.ep.stats().bytes_sent();
+    let mut flats: Vec<Vec<Ciphertext>> = Vec::with_capacity(frontier.len());
+    let mut offsets: Vec<bool> = Vec::with_capacity(frontier.len());
+    for (_, alpha) in &frontier {
+        let masks = compute_label_masks(ctx, alpha, true);
+        let all = vec![true; alpha.len()];
+        let mut flat = vec![vector::dot_binary(&ctx.pk, alpha, &all)];
+        for gamma in &masks.gammas {
+            flat.push(vector::dot_binary(&ctx.pk, gamma, &all));
+        }
+        ctx.metrics
+            .add_ciphertext_ops((alpha.len() * flat.len()) as u64);
+        flats.push(flat);
+        offsets.push(masks.offset_encoded);
+    }
+    let all_flat: Vec<Ciphertext> = flats.iter().flatten().cloned().collect();
+    let shares = ciphers_to_shares(ctx, &all_flat);
+    ctx.metrics
+        .add_stats_bytes(ctx.ep.stats().bytes_sent() - stats_start);
+
+    let mut totals: Vec<NodeShares> = Vec::with_capacity(frontier.len());
+    let mut at = 0;
+    for (flat, &offset_encoded) in flats.iter().zip(&offsets) {
+        let chunk = &shares[at..at + flat.len()];
+        at += flat.len();
+        let mut node = NodeShares {
+            n_l: Vec::new(),
+            g_l: vec![Vec::new(); flat.len() - 1],
+            n_total: chunk[0],
+            g_totals: chunk[1..].to_vec(),
+        };
+        if offset_encoded {
+            crate::gain::remove_totals_offset(ctx, &mut node);
+        }
+        totals.push(node);
+    }
+    let refs: Vec<&NodeShares> = totals.iter().collect();
+    let labels = leaf_label_shares_batch(ctx, &refs);
+    let encs = shares_to_ciphers(ctx, &labels);
+    for ((slot, _), enc_value) in frontier.iter().zip(encs) {
+        nodes[*slot] = Some(ConcealedNode::Leaf { enc_value });
+    }
 }
 
 /// Encode a plaintext threshold for PIR selection: fixed-point plus the

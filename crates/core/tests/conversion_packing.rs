@@ -1,0 +1,133 @@
+//! Dynamically packed Algorithm-2 conversion: several scalar ciphertexts
+//! ride one threshold decryption through audited slots, and the recovered
+//! additive shares must sum to the plaintexts mod p — including negative
+//! encodings and the mod-p slack the enhanced protocol's ciphertexts
+//! carry.
+
+use pivot_bignum::BigUint;
+use pivot_core::conversion::{packed_share_conversion, packed_share_conversion_groups};
+use pivot_core::{config::PivotParams, party::PartyContext};
+use pivot_data::{Dataset, Task, VerticalView};
+use pivot_mpc::{Fp, Share, MODULUS};
+use pivot_transport::run_parties;
+
+fn toy_view(client: usize, m: usize) -> VerticalView {
+    let data = Dataset::new(
+        vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+        vec![0.0, 1.0],
+        Task::Classification { classes: 2 },
+    );
+    let part = pivot_data::partition_vertically(&data, m, 0);
+    part.views[client].clone()
+}
+
+/// Deterministic ciphertext every party can rebuild locally: trivial
+/// encryption of a signed value (negatives encode as `N − |x|`).
+fn trivial_signed(ctx: &PartyContext<'_>, v: i128) -> pivot_paillier::Ciphertext {
+    let pt = if v >= 0 {
+        BigUint::from_u128(v as u128)
+    } else {
+        ctx.pk.n() - &BigUint::from_u128(v.unsigned_abs())
+    };
+    ctx.pk.encrypt_trivial(&pt)
+}
+
+fn expected_share(v: i128) -> Fp {
+    let p = MODULUS as i128;
+    Fp::new(v.rem_euclid(p) as u64)
+}
+
+fn open(per_party: &[Vec<Share>], idx: usize) -> Fp {
+    per_party
+        .iter()
+        .map(|shares| shares[idx].0)
+        .fold(Fp::ZERO, |acc, x| acc + x)
+}
+
+#[test]
+fn packed_conversion_recovers_values_mod_p() {
+    // keysize 512 with a 100-bit bound: slot audit gives ~102-bit slots,
+    // so the conversion genuinely packs (4 slots) rather than falling
+    // back to the scalar path.
+    let params = PivotParams {
+        keysize: 512,
+        ..Default::default()
+    };
+    let m = 3;
+    // Signed magnitudes below 2^100, including a slack multiple of p
+    // (reduces away mod p) and values spilling across chunk boundaries.
+    let values: Vec<i128> = vec![
+        -12_345,
+        777,
+        5 * MODULUS as i128 + 42,
+        (1i128 << 99) + 9,
+        -(1i128 << 98),
+        0,
+        1,
+    ];
+    let results = run_parties(m, |ep| {
+        let view = toy_view(ep.id(), m);
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        let cts: Vec<_> = values.iter().map(|&v| trivial_signed(&ctx, v)).collect();
+        packed_share_conversion(&mut ctx, &cts, 100)
+    });
+    for (i, &v) in values.iter().enumerate() {
+        assert_eq!(open(&results, i), expected_share(v), "value {i}");
+    }
+}
+
+#[test]
+fn grouped_conversion_audits_each_width_separately() {
+    let params = PivotParams {
+        keysize: 512,
+        ..Default::default()
+    };
+    let m = 2;
+    // A wide group (Eqn-10-like quadratic slack, ~130 bits) and a narrow
+    // one (§5.2 share sums, < m·p) settle in the same decryption round
+    // with different slot widths.
+    let wide: Vec<i128> = vec![(1i128 << 125) + 3, -(1i128 << 124)];
+    let narrow: Vec<i128> = vec![MODULUS as i128 + 17, -99, 123_456];
+    let results = run_parties(m, |ep| {
+        let view = toy_view(ep.id(), m);
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        let wide_cts: Vec<_> = wide.iter().map(|&v| trivial_signed(&ctx, v)).collect();
+        let narrow_cts: Vec<_> = narrow.iter().map(|&v| trivial_signed(&ctx, v)).collect();
+        packed_share_conversion_groups(&mut ctx, &[(&wide_cts, 126), (&narrow_cts, 63)])
+    });
+    for (i, &v) in wide.iter().enumerate() {
+        let opened = results
+            .iter()
+            .map(|g| g[0][i].0)
+            .fold(Fp::ZERO, |a, x| a + x);
+        assert_eq!(opened, expected_share(v), "wide value {i}");
+    }
+    for (i, &v) in narrow.iter().enumerate() {
+        let opened = results
+            .iter()
+            .map(|g| g[1][i].0)
+            .fold(Fp::ZERO, |a, x| a + x);
+        assert_eq!(opened, expected_share(v), "narrow value {i}");
+    }
+}
+
+#[test]
+fn scalar_fallback_when_slots_too_narrow() {
+    // keysize 128 cannot fit two ~102-bit slots: the single-group entry
+    // point must fall back to the scalar conversion and stay correct.
+    let params = PivotParams {
+        keysize: 128,
+        ..Default::default()
+    };
+    let m = 2;
+    let values: Vec<i128> = vec![-4242, 31_337];
+    let results = run_parties(m, |ep| {
+        let view = toy_view(ep.id(), m);
+        let mut ctx = PartyContext::setup(&ep, view, params.clone());
+        let cts: Vec<_> = values.iter().map(|&v| trivial_signed(&ctx, v)).collect();
+        packed_share_conversion(&mut ctx, &cts, 100)
+    });
+    for (i, &v) in values.iter().enumerate() {
+        assert_eq!(open(&results, i), expected_share(v), "value {i}");
+    }
+}

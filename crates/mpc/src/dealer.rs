@@ -183,6 +183,17 @@ impl DealerPoolStats {
 struct Stream<T> {
     rng: StdRng,
     queue: VecDeque<T>,
+    /// Items drawn since the last background refill sized this stream
+    /// (the trickle window the async worker adapts to).
+    demand: u64,
+    /// Largest inter-refill window drain observed.
+    burst: u64,
+    /// Items drawn since the last *barrier* refill — accumulates across
+    /// background refills so the level barrier sees the whole level's
+    /// demand even when async triggers split the window.
+    level_demand: u64,
+    /// Largest full-level drain observed at a barrier.
+    level_burst: u64,
 }
 
 impl<T> Stream<T> {
@@ -190,6 +201,10 @@ impl<T> Stream<T> {
         Stream {
             rng: StdRng::seed_from_u64(seed),
             queue: VecDeque::new(),
+            demand: 0,
+            burst: 0,
+            level_demand: 0,
+            level_burst: 0,
         }
     }
 }
@@ -238,6 +253,8 @@ impl DealerPool {
     /// for the rest — the values are identical either way.
     fn take_triples(&self, n: usize) -> Vec<TripleShare> {
         let mut s = self.triples.lock().expect("dealer pool poisoned");
+        s.demand += n as u64;
+        s.level_demand += n as u64;
         let mut out = Vec::with_capacity(n);
         let hits = n.min(s.queue.len());
         for _ in 0..hits {
@@ -269,6 +286,8 @@ impl DealerPool {
                 MASKED_TAG ^ ((t as u64) << 32 | high_bits as u64),
             ))
         });
+        s.demand += n as u64;
+        s.level_demand += n as u64;
         let mut out = Vec::with_capacity(n);
         let hits = n.min(s.queue.len());
         for _ in 0..hits {
@@ -293,9 +312,16 @@ impl DealerPool {
         out
     }
 
-    /// Top up every stream to the refill target on the shared background
-    /// queue. Cheap no-op when a refill is already pending or the target
-    /// is 0; call from protocol idle phases (setup, conversion waits).
+    /// Top up every stream on the shared background queue. Cheap no-op
+    /// when a refill is already pending or the target is 0; call from
+    /// protocol idle phases (setup, conversion waits, level barriers).
+    ///
+    /// Each stream fills to `max(target, demand since its last refill)`:
+    /// the pipelined scheduler drains whole level-bursts at once, far
+    /// past any fixed floor, and the next level's burst has the same
+    /// shape — so sizing to the observed drain keeps the pool ahead of
+    /// bursty consumers without changing a single drawn value (rows are
+    /// FIFO; values depend only on draw order).
     pub fn refill(self: &Arc<Self>) {
         if self.target == 0 || self.refill_pending.swap(true, Ordering::AcqRel) {
             return;
@@ -306,9 +332,14 @@ impl DealerPool {
             // Generate in small chunks so online takes never wait long on
             // the stream lock.
             const CHUNK: usize = 16;
+            let triple_goal = {
+                let mut s = pool.triples.lock().expect("dealer pool poisoned");
+                s.burst = s.burst.max(std::mem::take(&mut s.demand));
+                pool.target.max(s.burst.max(s.level_burst) as usize)
+            };
             loop {
                 let mut s = pool.triples.lock().expect("dealer pool poisoned");
-                if s.queue.len() >= pool.target {
+                if s.queue.len() >= triple_goal {
                     break;
                 }
                 for _ in 0..CHUNK {
@@ -323,10 +354,16 @@ impl DealerPool {
                 map.keys().copied().collect()
             };
             for key in keys {
+                let goal = {
+                    let mut map = pool.masked.lock().expect("dealer pool poisoned");
+                    let s = map.get_mut(&key).expect("known key");
+                    s.burst = s.burst.max(std::mem::take(&mut s.demand));
+                    pool.target.max(s.burst.max(s.level_burst) as usize)
+                };
                 loop {
                     let mut map = pool.masked.lock().expect("dealer pool poisoned");
                     let s = map.get_mut(&key).expect("known key");
-                    if s.queue.len() >= pool.target {
+                    if s.queue.len() >= goal {
                         break;
                     }
                     for _ in 0..CHUNK {
@@ -338,6 +375,56 @@ impl DealerPool {
             }
             pool.refill_pending.store(false, Ordering::Release);
         });
+    }
+
+    /// Synchronously top up every stream to its burst-informed goal on
+    /// the caller's thread. The pipelined scheduler calls this at level
+    /// barriers: the next level replays this level's burst shape scaled
+    /// by the frontier growth `grow_num / grow_den` (next-level node
+    /// count over this level's demanding node count), far past what the
+    /// background worker can stage between a trigger and a drain — so
+    /// the barrier, the protocol's designated idle point, absorbs the
+    /// generation instead of the online takes. Values are unchanged
+    /// either way (FIFO streams).
+    pub fn refill_blocking(&self, grow_num: usize, grow_den: usize) {
+        if self.target == 0 {
+            return;
+        }
+        let scaled = |burst: u64| -> usize {
+            let num = burst as u128 * grow_num.max(1) as u128;
+            num.div_ceil(grow_den.max(1) as u128) as usize
+        };
+        {
+            let mut s = self.triples.lock().expect("dealer pool poisoned");
+            s.burst = s.burst.max(std::mem::take(&mut s.demand));
+            s.level_burst = s.level_burst.max(std::mem::take(&mut s.level_demand));
+            let goal = self.target.max(scaled(s.level_burst));
+            let mut made = 0u64;
+            while s.queue.len() < goal {
+                let t = draw_triple(&mut s.rng, self.party, self.m);
+                s.queue.push_back(t);
+                made += 1;
+            }
+            self.produced.fetch_add(made, Ordering::Relaxed);
+        }
+        let keys: Vec<(u32, u32)> = {
+            let map = self.masked.lock().expect("dealer pool poisoned");
+            map.keys().copied().collect()
+        };
+        for key in keys {
+            let mut map = self.masked.lock().expect("dealer pool poisoned");
+            let s = map.get_mut(&key).expect("known key");
+            s.burst = s.burst.max(std::mem::take(&mut s.demand));
+            s.level_burst = s.level_burst.max(std::mem::take(&mut s.level_demand));
+            let goal = self.target.max(scaled(s.level_burst));
+            let mut made = 0u64;
+            while s.queue.len() < goal {
+                let row = draw_masked_row(&mut s.rng, self.party, self.m, key.0, key.1);
+                s.queue.push_back(row);
+                made += 1;
+            }
+            self.produced.fetch_add(made, Ordering::Relaxed);
+        }
     }
 
     pub fn stats(&self) -> DealerPoolStats {

@@ -158,6 +158,26 @@ impl MpcEngine<'_> {
     /// (≈13% at the clamp edge, <1% for |x| ≤ 2) — adequate for the secure
     /// softmax of §7.2 (probabilities, not gradients, are consumed).
     pub fn exp_vec(&mut self, x: &[Share]) -> Vec<Share> {
+        self.exp_vec_impl(x, self.cfg.int_bits)
+    }
+
+    /// [`Self::exp_vec`] with a caller-proven input bound `|x| ≤ bound`
+    /// (real value): the clamp comparisons run at the width the bound
+    /// justifies instead of the full `int_bits`, cutting their bit cost.
+    /// Results are identical — the clamp is exact at any proven width.
+    pub fn exp_vec_clamped(&mut self, x: &[Share], bound: f64) -> Vec<Share> {
+        let k = self.clamp_width(bound.abs() + 8.0);
+        self.exp_vec_impl(x, k)
+    }
+
+    /// Comparison width justified by a real-valued magnitude bound on the
+    /// clamp differences, never wider than the engine's default.
+    fn clamp_width(&self, magnitude: f64) -> u32 {
+        let mag = (magnitude.abs() * (1u64 << self.cfg.frac_bits) as f64).ceil() as u64;
+        super::width_for_magnitude(mag).min(self.cfg.int_bits)
+    }
+
+    fn exp_vec_impl(&mut self, x: &[Share], k: u32) -> Vec<Share> {
         let n = x.len();
         if n == 0 {
             return Vec::new();
@@ -173,7 +193,7 @@ impl MpcEngine<'_> {
         for &v in x {
             batch.push(v - lo); // 1[v < lo] → too small
         }
-        let signs = self.ltz_vec(&batch);
+        let signs = self.ltz_vec_bounded(&batch, k);
         let mut conds = Vec::with_capacity(2 * n);
         let mut thens = Vec::with_capacity(2 * n);
         let mut elses = Vec::with_capacity(2 * n);
@@ -237,6 +257,29 @@ impl MpcEngine<'_> {
     /// the standard max-shift, exponential, and normalization — all secret
     /// shared (§7.2's "secure softmax").
     pub fn softmax_rows(&mut self, logits: &[Share], classes: usize) -> Vec<Share> {
+        self.softmax_rows_impl(logits, classes, None)
+    }
+
+    /// [`Self::softmax_rows`] with a caller-proven logit bound
+    /// `|logit| ≤ bound` (real value): the row-max tournament compares at
+    /// the width a `2·bound` difference justifies, and the max-shifted
+    /// exponentials clamp through [`Self::exp_vec_clamped`]. Identical
+    /// probabilities, narrower comparisons.
+    pub fn softmax_rows_clamped(
+        &mut self,
+        logits: &[Share],
+        classes: usize,
+        bound: f64,
+    ) -> Vec<Share> {
+        self.softmax_rows_impl(logits, classes, Some(bound.abs()))
+    }
+
+    fn softmax_rows_impl(
+        &mut self,
+        logits: &[Share],
+        classes: usize,
+        bound: Option<f64>,
+    ) -> Vec<Share> {
         assert!(classes >= 1 && logits.len() % classes == 0);
         let rows = logits.len() / classes;
         if rows == 0 {
@@ -257,7 +300,14 @@ impl MpcEngine<'_> {
                     b.push(row[2 * i + 1]);
                 }
             }
-            let sel = self.lt_vec(&b, &a);
+            let sel = match bound {
+                // Tournament operands are logits: |a − b| ≤ 2·bound.
+                Some(bd) => {
+                    let k = self.clamp_width(2.0 * bd);
+                    self.lt_vec_bounded(&b, &a, k)
+                }
+                None => self.lt_vec(&b, &a),
+            };
             let picked = self.select_vec(&sel, &a, &b);
             for (r, row) in cur.iter_mut().enumerate() {
                 let mut next: Vec<Share> = picked[r * half..(r + 1) * half].to_vec();
@@ -279,7 +329,11 @@ impl MpcEngine<'_> {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let exps = self.exp_vec(&shifted);
+        let exps = match bound {
+            // After the max shift the inputs lie in [−2·bound, 0].
+            Some(bd) => self.exp_vec_clamped(&shifted, 2.0 * bd),
+            None => self.exp_vec(&shifted),
+        };
         let sums: Vec<Share> = (0..rows)
             .map(|r| {
                 exps[r * classes..(r + 1) * classes]

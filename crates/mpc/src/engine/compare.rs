@@ -28,6 +28,14 @@ use super::MpcEngine;
 use crate::field::Fp;
 use crate::share::Share;
 
+/// Tournament→all-pairs switchover for [`MpcEngine::argmax_many_bounded`]:
+/// rows at or below this many candidates finish via the all-pairs product.
+/// The lane count grows as `L(L−1)/2`, so the threshold keeps the batch
+/// width modest while replacing ~`log₂ L` full comparison units (each
+/// costing a masked opening plus a prefix-OR ladder) with one batch and a
+/// short multiplication tree.
+const ALL_PAIRS_TAIL: usize = 24;
+
 impl MpcEngine<'_> {
     /// Exact `y mod 2^t` for shared `y` guaranteed in `[0, 2^int_bits)`.
     pub fn mod2m_vec(&mut self, y: &[Share], t: u32) -> Vec<Share> {
@@ -422,6 +430,34 @@ impl MpcEngine<'_> {
             .collect()
     }
 
+    /// Batched [`Self::onehot_vec`]: every row's equality tests share one
+    /// paired-comparison batch, at the widest row's bound (a wider `k`
+    /// still covers every row, so each row matches its scalar expansion).
+    pub fn onehot_many(&mut self, items: &[(Share, usize)]) -> Vec<Vec<Share>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let party = self.party();
+        let mut u = Vec::new();
+        let mut k = 2;
+        for &(idx, domain) in items {
+            u.extend((0..domain).map(|j| idx.sub_public(party, Fp::new(j as u64))));
+            k = k.max(super::width_for_magnitude(domain.saturating_sub(1) as u64));
+        }
+        let (lt, gt) = self.ltz_pair_vec(&u, k);
+        let mut out = Vec::with_capacity(items.len());
+        let mut at = 0;
+        for &(_, domain) in items {
+            out.push(
+                (0..domain)
+                    .map(|j| Share::from_public(party, Fp::ONE) - lt[at + j] - gt[at + j])
+                    .collect(),
+            );
+            at += domain;
+        }
+        out
+    }
+
     /// Secure argmax by pairwise tournament: returns `(⟨index⟩, ⟨max⟩)`.
     /// `O(log n)` comparison batches.
     pub fn argmax(&mut self, vals: &[Share]) -> (Share, Share) {
@@ -469,6 +505,188 @@ impl MpcEngine<'_> {
             idx = next_idx;
         }
         (idx[0], cur[0])
+    }
+
+    /// Lockstep multi-instance argmax: runs one tournament per row but
+    /// shares every comparison/selection round across all rows, so `r`
+    /// independent argmax ladders cost the rounds of one. Once a row is
+    /// down to [`ALL_PAIRS_TAIL`] candidates the tournament switches to an
+    /// all-pairs finish: every unordered candidate pair is compared in a
+    /// single batch, the first-maximum indicator is the product
+    /// `w_i = ∏_{j<i} 1[v_j < v_i] · ∏_{j>i} (1 − 1[v_i < v_j])`
+    /// (⌈log₂(L−1)⌉ multiplication rounds instead of ~⌈log₂ L⌉ full
+    /// comparison units), and `(⟨index⟩, ⟨max⟩)` are weighted sums.
+    ///
+    /// Results are identical to per-row [`Self::argmax_bounded`]: both
+    /// resolve ties to the *first* maximum (the tournament keeps the
+    /// earlier element on ties; `w_i` demands all earlier values strictly
+    /// smaller). `k` must cover the pairwise differences of every row.
+    pub fn argmax_many_bounded(&mut self, rows: &[Vec<Share>], k: u32) -> Vec<(Share, Share)> {
+        let party = self.party();
+        let mut idxs: Vec<Vec<Share>> = rows
+            .iter()
+            .map(|row| {
+                (0..row.len())
+                    .map(|j| Share::from_public(party, Fp::new(j as u64)))
+                    .collect()
+            })
+            .collect();
+        let mut vals: Vec<Vec<Share>> = rows.to_vec();
+        for row in &vals {
+            assert!(!row.is_empty(), "argmax of empty row");
+        }
+
+        // Tournament rounds, batched across every row still above the
+        // all-pairs threshold.
+        while vals.iter().any(|row| row.len() > ALL_PAIRS_TAIL) {
+            let active: Vec<usize> = (0..vals.len())
+                .filter(|&r| vals[r].len() > ALL_PAIRS_TAIL)
+                .collect();
+            let mut a_vals = Vec::new();
+            let mut b_vals = Vec::new();
+            for &r in &active {
+                let pairs = vals[r].len() / 2;
+                for i in 0..pairs {
+                    a_vals.push(vals[r][2 * i]);
+                    b_vals.push(vals[r][2 * i + 1]);
+                }
+            }
+            // sel = 1[a < b] → winner b; ties keep the earlier element.
+            let sel = self.lt_vec_bounded(&a_vals, &b_vals, k);
+            let mut conds = Vec::with_capacity(2 * sel.len());
+            let mut xs = Vec::with_capacity(2 * sel.len());
+            let mut ys = Vec::with_capacity(2 * sel.len());
+            let mut lane = 0;
+            for &r in &active {
+                let pairs = vals[r].len() / 2;
+                for i in 0..pairs {
+                    conds.push(sel[lane + i]);
+                    xs.push(vals[r][2 * i + 1]);
+                    ys.push(vals[r][2 * i]);
+                }
+                for i in 0..pairs {
+                    conds.push(sel[lane + i]);
+                    xs.push(idxs[r][2 * i + 1]);
+                    ys.push(idxs[r][2 * i]);
+                }
+                lane += pairs;
+            }
+            let chosen = self.select_vec(&conds, &xs, &ys);
+            let mut at = 0;
+            for &r in &active {
+                let pairs = vals[r].len() / 2;
+                let odd = vals[r].len() % 2 == 1;
+                let mut next_vals: Vec<Share> = chosen[at..at + pairs].to_vec();
+                let mut next_idx: Vec<Share> = chosen[at + pairs..at + 2 * pairs].to_vec();
+                if odd {
+                    next_vals.push(*vals[r].last().expect("odd leftover"));
+                    next_idx.push(*idxs[r].last().expect("odd leftover"));
+                }
+                at += 2 * pairs;
+                vals[r] = next_vals;
+                idxs[r] = next_idx;
+            }
+        }
+
+        // All-pairs tail: one comparison batch over every unordered pair
+        // of every remaining multi-candidate row.
+        let mut diffs = Vec::new();
+        for row in &vals {
+            let len = row.len();
+            for i in 0..len {
+                for j in i + 1..len {
+                    diffs.push(row[i] - row[j]);
+                }
+            }
+        }
+        let lt = self.ltz_vec_bounded(&diffs, k);
+        // Factor lists per candidate: earlier strictly smaller, later not
+        // greater. `lt[(i,j)]` (i < j) serves both sides.
+        let mut factors: Vec<Vec<Share>> = Vec::new();
+        let one = Share::from_public(party, Fp::ONE);
+        let mut lane = 0;
+        for row in &vals {
+            let len = row.len();
+            let pair = |a: usize, b: usize| {
+                // Lane of unordered pair (a,b), a < b, within this row.
+                a * len - a * (a + 1) / 2 + (b - a - 1)
+            };
+            for i in 0..len {
+                let mut f = Vec::with_capacity(len.saturating_sub(1));
+                for j in 0..len {
+                    match j.cmp(&i) {
+                        std::cmp::Ordering::Less => f.push(lt[lane + pair(j, i)]),
+                        std::cmp::Ordering::Greater => f.push(one - lt[lane + pair(i, j)]),
+                        std::cmp::Ordering::Equal => {}
+                    }
+                }
+                factors.push(f);
+            }
+            lane += len * (len - 1) / 2;
+        }
+        // Product trees, batched across every candidate of every row.
+        while factors.iter().any(|f| f.len() > 1) {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for f in &factors {
+                for pair in f.chunks(2) {
+                    if pair.len() == 2 {
+                        xs.push(pair[0]);
+                        ys.push(pair[1]);
+                    }
+                }
+            }
+            let prods = self.mul_vec(&xs, &ys);
+            let mut at = 0;
+            for f in factors.iter_mut() {
+                let mut next = Vec::with_capacity(f.len().div_ceil(2));
+                for pair in f.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(prods[at]);
+                        at += 1;
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                *f = next;
+            }
+        }
+        // (⟨index⟩, ⟨max⟩) = (Σ w_i·idx_i, Σ w_i·v_i) in one batch.
+        let mut ws = Vec::new();
+        let mut targets = Vec::new();
+        for (r, row) in vals.iter().enumerate() {
+            if row.len() == 1 {
+                continue;
+            }
+            let base = vals[..r].iter().map(Vec::len).sum::<usize>();
+            for (i, _) in row.iter().enumerate() {
+                ws.push(factors[base + i][0]);
+                targets.push(idxs[r][i]);
+            }
+            for (i, &v) in row.iter().enumerate() {
+                ws.push(factors[base + i][0]);
+                targets.push(v);
+            }
+        }
+        let weighted = self.mul_vec(&ws, &targets);
+        let mut out = Vec::with_capacity(vals.len());
+        let mut at = 0;
+        for (r, row) in vals.iter().enumerate() {
+            if row.len() == 1 {
+                out.push((idxs[r][0], row[0]));
+                continue;
+            }
+            let len = row.len();
+            let idx = weighted[at..at + len]
+                .iter()
+                .fold(Share::ZERO, |acc, &x| acc + x);
+            let val = weighted[at + len..at + 2 * len]
+                .iter()
+                .fold(Share::ZERO, |acc, &x| acc + x);
+            at += 2 * len;
+            out.push((idx, val));
+        }
+        out
     }
 
     /// Paper-faithful sequential secure maximum (§4.1): scans splits one by

@@ -170,6 +170,115 @@ fn bounded_argmax_matches_full() {
     }
 }
 
+/// The lockstep multi-row argmax (tournament + all-pairs tail) must
+/// return exactly what per-row `argmax_bounded` returns — including
+/// first-maximum tie resolution — in every width policy.
+#[test]
+fn argmax_many_matches_per_row_argmax() {
+    // Row shapes: long (exercises tournament rounds + tail), tie-heavy
+    // (first maximum must win), tiny, and singleton.
+    let rows: Vec<Vec<i64>> = vec![
+        (0..60).map(|i| (i * 37) % 53 - 26).collect(),
+        vec![5, 3, 5, 5, -2],
+        vec![-4, -4],
+        vec![7],
+        (0..30).map(|i| 29 - i).collect(),
+    ];
+    for mode in [CompareBits::Full, CompareBits::Auto] {
+        let got = mpc_mode(3, mode, |e| {
+            let shares: Vec<Vec<Share>> = rows
+                .iter()
+                .map(|row| row.iter().map(|&v| e.constant(Fp::from_i64(v))).collect())
+                .collect();
+            let many = e.argmax_many_bounded(&shares, 8);
+            let single: Vec<(Share, Share)> =
+                shares.iter().map(|row| e.argmax_bounded(row, 8)).collect();
+            let flat: Vec<Share> = many
+                .iter()
+                .chain(&single)
+                .flat_map(|&(i, v)| [i, v])
+                .collect();
+            e.open_vec(&flat)
+                .iter()
+                .map(|v| v.value())
+                .collect::<Vec<_>>()
+        });
+        for opened in got {
+            let (m, s) = opened.split_at(2 * rows.len());
+            assert_eq!(m, s, "lockstep vs per-row mismatch in {mode:?}");
+            for (r, row) in rows.iter().enumerate() {
+                let best = row.iter().max().unwrap();
+                let want_idx = row.iter().position(|v| v == best).unwrap() as u64;
+                assert_eq!(m[2 * r], want_idx, "row {r} idx in {mode:?}");
+            }
+        }
+    }
+}
+
+/// Sharing rounds across rows is the point: r lockstep ladders must cost
+/// far fewer rounds than r sequential ones.
+#[test]
+fn argmax_many_shares_rounds_across_rows() {
+    let rows: Vec<Vec<i64>> = (0..6)
+        .map(|r| {
+            (0..48)
+                .map(|i| ((i * 31 + r * 7) % 97) as i64 - 48)
+                .collect()
+        })
+        .collect();
+    let run = |lockstep: bool| {
+        mpc_mode(2, CompareBits::Auto, |e| {
+            let shares: Vec<Vec<Share>> = rows
+                .iter()
+                .map(|row| row.iter().map(|&v| e.constant(Fp::from_i64(v))).collect())
+                .collect();
+            let before = e.counters().snapshot().0;
+            if lockstep {
+                let _ = e.argmax_many_bounded(&shares, 9);
+            } else {
+                for row in &shares {
+                    let _ = e.argmax_bounded(row, 9);
+                }
+            }
+            e.counters().snapshot().0 - before
+        })
+        .remove(0)
+    };
+    let lockstep = run(true);
+    let sequential = run(false);
+    assert!(
+        2 * lockstep <= sequential,
+        "lockstep {lockstep} rounds vs sequential {sequential}"
+    );
+}
+
+/// Deferred openings settle in one round regardless of ticket count.
+#[test]
+fn deferred_opens_settle_in_one_round() {
+    let results = mpc_mode(2, CompareBits::Auto, |e| {
+        let a = [e.constant(Fp::from_i64(-3)), e.constant(Fp::new(11))];
+        let b = [e.constant(Fp::new(42))];
+        let before = e.counters().snapshot().0;
+        let t_a = e.open_deferred(&a);
+        let t_b = e.open_deferred(&b);
+        assert_eq!(e.deferred_pending(), 2);
+        let opened = e.resolve();
+        let rounds = e.counters().snapshot().0 - before;
+        assert_eq!(e.deferred_pending(), 0);
+        assert!(e.resolve().is_empty(), "second resolve is a no-op");
+        (
+            opened[t_a].iter().map(|v| v.value()).collect::<Vec<_>>(),
+            opened[t_b][0].value(),
+            rounds,
+        )
+    });
+    for (a, b, rounds) in results {
+        assert_eq!(a, vec![Fp::from_i64(-3).value(), 11]);
+        assert_eq!(b, 42);
+        assert_eq!(rounds, 1);
+    }
+}
+
 #[test]
 fn recip_vec_int_matches_fixed_point_path() {
     let denoms = [1u64, 2, 3, 10, 24, 100];

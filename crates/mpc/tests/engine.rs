@@ -295,6 +295,66 @@ fn softmax_sums_to_one() {
 }
 
 #[test]
+fn clamped_softmax_matches_full_width_and_narrows_comparisons() {
+    let logits = [1.0f64, 2.0, 0.5, -1.0, -0.25, 1.5, 0.0, 0.75];
+    // |logit| ≤ 2: the clamp runs at the width that bound justifies. The
+    // narrowing only engages under a bounded-width policy — the Full
+    // policy pins every comparison to `int_bits`.
+    let results = mpc(2, |e| {
+        e.configure_comparisons(pivot_mpc::CompareBits::Auto, 64);
+        let shares: Vec<Share> = logits.iter().map(|&v| e.constant_f64(v)).collect();
+        let bits = |e: &pivot_mpc::MpcEngine<'_>| -> u64 {
+            e.comparison_snapshot()
+                .widths
+                .iter()
+                .map(|&(k, n)| k as u64 * n)
+                .sum()
+        };
+        let full = e.softmax_rows(&shares, 4);
+        let width_before = bits(e);
+        let clamped = e.softmax_rows_clamped(&shares, 4, 2.0);
+        let width_clamped = bits(e) - width_before;
+        let opened_full = e.open_vec(&full);
+        let opened_clamped = e.open_vec(&clamped);
+        let full: Vec<f64> = opened_full.iter().map(|&v| e.cfg.decode(v)).collect();
+        let clamped: Vec<f64> = opened_clamped.iter().map(|&v| e.cfg.decode(v)).collect();
+        (full, clamped, width_before, width_clamped)
+    });
+    for (full, clamped, width_full, width_clamped) in results {
+        for (a, b) in full.iter().zip(&clamped) {
+            assert!((a - b).abs() < 5e-4, "clamped {b} vs full {a}");
+        }
+        let total: f64 = clamped.iter().take(4).sum();
+        assert!((total - 1.0).abs() < 0.02, "row sums to {total}");
+        assert!(
+            width_clamped < width_full,
+            "bounded clamp must compare fewer bits ({width_clamped} vs {width_full})"
+        );
+    }
+}
+
+#[test]
+fn clamped_exp_matches_full_width() {
+    let xs = [-3.0f64, -1.0, 0.0, 0.5, 2.0];
+    let results = mpc(2, |e| {
+        let shares: Vec<Share> = xs.iter().map(|&v| e.constant_f64(v)).collect();
+        let full = e.exp_vec(&shares);
+        let clamped = e.exp_vec_clamped(&shares, 3.0);
+        let a = e.open_vec(&full);
+        let b = e.open_vec(&clamped);
+        (
+            a.iter().map(|&v| e.cfg.decode(v)).collect::<Vec<_>>(),
+            b.iter().map(|&v| e.cfg.decode(v)).collect::<Vec<_>>(),
+        )
+    });
+    for (full, clamped) in results {
+        for (a, b) in full.iter().zip(&clamped) {
+            assert!((a - b).abs() < 5e-4, "clamped {b} vs full {a}");
+        }
+    }
+}
+
+#[test]
 fn laplace_sampler_statistics() {
     // Draw a batch of Laplace(0, 1) samples and sanity-check moments.
     let results = mpc(2, |e| {

@@ -10,8 +10,10 @@
 use crate::config::NetConfig;
 use crate::link::{ChannelLink, Link};
 use crate::stats::NetStats;
-use crate::wire::Wire;
-use std::sync::Arc;
+use crate::wire::{decode_envelope, encode_envelope, Wire};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A fully connected `m`-party in-process network. Construct once, then
 /// hand one [`Endpoint`] to each party thread.
@@ -21,6 +23,29 @@ pub struct Network {
 
 /// One party's connection to all peers: `m - 1` links plus traffic
 /// accounting and the per-endpoint [`NetConfig`].
+///
+/// # Frame coalescing
+///
+/// With [`Endpoint::set_coalescing`] on, sends are *staged* per peer
+/// instead of hitting the link immediately, and every staged batch
+/// travels as one envelope frame ([`crate::wire::encode_envelope`]) — so
+/// the k independent messages a protocol step queues for the same peer
+/// cost one link round-trip (and one simulated-latency charge) instead
+/// of k. Three rules keep this transparent to the SPMD protocols:
+///
+/// 1. **Flush before blocking.** Every receive first flushes all staged
+///    frames to all peers. Any cross-party wait chain passes through a
+///    receive, so no dependency cycle can form on staged data.
+/// 2. **Exact member accounting.** Each staged message is counted in
+///    [`NetStats`] (and attributed to the *calling* trace span) at stage
+///    time, byte-for-byte as the non-coalesced path would; envelope
+///    framing is accounted separately as overhead bytes with no message
+///    count.
+/// 3. **Symmetry.** Both sides of a link must agree on the mode before
+///    protocol bytes flow: the receiver demuxes envelopes, a raw frame
+///    would be misparsed. Callers flip the knob at the same protocol
+///    point on every party (in practice: from shared run parameters,
+///    before the first message).
 pub struct Endpoint {
     id: usize,
     m: usize,
@@ -28,6 +53,13 @@ pub struct Endpoint {
     links: Vec<Option<Box<dyn Link>>>,
     stats: Arc<NetStats>,
     net: NetConfig,
+    /// Whether sends are staged and framed as envelopes.
+    coalescing: AtomicBool,
+    /// Outbound staging buffers, one per peer (unused slot `id`).
+    staged: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Inbound demux queues: member messages of already-received
+    /// envelopes waiting for their `recv` call, one queue per peer.
+    inbox: Vec<Mutex<VecDeque<Vec<u8>>>>,
 }
 
 impl Network {
@@ -89,6 +121,9 @@ impl Endpoint {
             links,
             stats: NetStats::new(),
             net,
+            coalescing: AtomicBool::new(false),
+            staged: (0..m).map(|_| Mutex::new(Vec::new())).collect(),
+            inbox: (0..m).map(|_| Mutex::new(VecDeque::new())).collect(),
         }
     }
 
@@ -123,10 +158,73 @@ impl Endpoint {
         self.links[to].as_deref().expect("validated in from_links")
     }
 
-    /// Account + simulate + hand one encoded message to a link.
+    /// Whether frame coalescing is active.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing.load(Ordering::Relaxed)
+    }
+
+    /// Switch frame coalescing on or off. Must be flipped at the same
+    /// protocol point on every party (see the type-level docs); turning
+    /// it off flushes anything still staged.
+    pub fn set_coalescing(&self, on: bool) {
+        if !on && self.coalescing() {
+            self.flush();
+        }
+        self.coalescing.store(on, Ordering::Relaxed);
+    }
+
+    /// Push every staged frame onto its link, one envelope per peer.
+    /// Called automatically before any blocking receive (rule 1 of the
+    /// coalescing contract) and from `Drop`; call sites may also flush
+    /// explicitly at phase boundaries, e.g. before reading [`NetStats`]
+    /// snapshots.
+    pub fn flush(&self) {
+        self.flush_staged(false);
+    }
+
+    fn flush_staged(&self, best_effort: bool) {
+        if !self.coalescing() {
+            return;
+        }
+        for to in 0..self.m {
+            if to == self.id {
+                continue;
+            }
+            let staged = std::mem::take(&mut *self.staged[to].lock().expect("staging poisoned"));
+            if staged.is_empty() {
+                continue;
+            }
+            let frame = encode_envelope(&staged);
+            let overhead = frame.len() - staged.iter().map(Vec::len).sum::<usize>();
+            self.stats.record_send_overhead(overhead);
+            pivot_trace::add_sent(overhead as u64);
+            // One latency charge for the whole envelope — this is the
+            // round-trip the coalescing saves over per-message sends.
+            self.net.charge_send(frame.len());
+            match self.link(to).send_bytes(frame) {
+                Ok(()) => {}
+                Err(_) if best_effort => {}
+                Err(e) => {
+                    panic!("party {} wedged: send to party {to} failed: {e}", self.id)
+                }
+            }
+        }
+    }
+
+    /// Account + simulate + hand one encoded message to a link — or, in
+    /// coalescing mode, stage it for the next flush. Stats and trace
+    /// bytes are attributed here either way, so the message is charged
+    /// to the protocol span that produced it, not to the flush site.
     fn push(&self, to: usize, bytes: Vec<u8>) {
         self.stats.record_send(bytes.len());
         pivot_trace::add_sent(bytes.len() as u64);
+        if self.coalescing() {
+            self.staged[to]
+                .lock()
+                .expect("staging poisoned")
+                .push(bytes);
+            return;
+        }
         self.net.charge_send(bytes.len());
         self.link(to)
             .send_bytes(bytes)
@@ -138,12 +236,19 @@ impl Endpoint {
         self.push(to, msg.to_wire());
     }
 
-    /// Blocking receive of one message from party `from`. Panics with the
-    /// pending peer and direction if nothing arrives within the
-    /// [`NetConfig::recv_timeout`] wedge deadline.
-    pub fn recv<T: Wire>(&self, from: usize) -> T {
-        // Only measure the blocking wait when a trace collector is live —
-        // the `Instant` read stays off the untraced fast path.
+    /// Receive the next raw payload from `from`, demuxing envelopes in
+    /// coalescing mode. The blocking wait (if any) is what trace
+    /// `wait_ns` measures — messages already demuxed into the inbox are
+    /// free, which is exactly the latency hiding coalescing buys.
+    fn recv_raw(&self, from: usize) -> Vec<u8> {
+        if self.coalescing() {
+            // Never block while holding our own unsent messages: a peer
+            // may need them before it can produce what we wait for.
+            self.flush_staged(false);
+            if let Some(msg) = self.inbox[from].lock().expect("inbox poisoned").pop_front() {
+                return msg;
+            }
+        }
         let waited = pivot_trace::enabled().then(std::time::Instant::now);
         let bytes = self
             .link(from)
@@ -158,6 +263,36 @@ impl Endpoint {
         if let Some(start) = waited {
             pivot_trace::add_wait_ns(start.elapsed().as_nanos() as u64);
         }
+        if !self.coalescing() {
+            return bytes;
+        }
+        let mut msgs = decode_envelope(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "party {} got malformed envelope from {from}: {e} \
+                 (coalescing must be enabled symmetrically on all parties)",
+                self.id
+            )
+        });
+        assert!(
+            !msgs.is_empty(),
+            "party {} got empty envelope from {from}",
+            self.id
+        );
+        let overhead = bytes.len() - msgs.iter().map(Vec::len).sum::<usize>();
+        self.stats.record_recv_overhead(overhead);
+        let first = msgs.remove(0);
+        self.inbox[from]
+            .lock()
+            .expect("inbox poisoned")
+            .extend(msgs);
+        first
+    }
+
+    /// Blocking receive of one message from party `from`. Panics with the
+    /// pending peer and direction if nothing arrives within the
+    /// [`NetConfig::recv_timeout`] wedge deadline.
+    pub fn recv<T: Wire>(&self, from: usize) -> T {
+        let bytes = self.recv_raw(from);
         self.stats.record_recv(bytes.len());
         pivot_trace::add_recv(bytes.len() as u64);
         T::from_wire(&bytes)
@@ -238,6 +373,15 @@ impl Endpoint {
         } else {
             self.recv(root)
         }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // End-of-run safety net: a party whose final protocol act is a
+        // send (e.g. the last gather contribution) would otherwise strand
+        // it in staging. Best-effort — peers may already be gone.
+        self.flush_staged(true);
     }
 }
 
@@ -475,6 +619,96 @@ mod tests {
         assert!(msg.contains("receive from party 0"), "{msg}");
         assert!(msg.contains("direction 0 -> 1"), "{msg}");
         assert!(msg.contains("30ms"), "{msg}");
+    }
+
+    /// Coalescing mode must be protocol-transparent: same results, same
+    /// member byte/message counts, envelope overhead accounted on top.
+    #[test]
+    fn coalescing_preserves_results_and_member_accounting() {
+        let run = |coalesce: bool| {
+            run_parties(3, move |ep| {
+                ep.set_coalescing(coalesce);
+                // Several independent exchanges back-to-back, like the
+                // opening bursts a batched protocol step issues.
+                let a = ep.exchange_all(&(ep.id() as u64));
+                let b = ep.exchange_all(&vec![ep.id() as u64; 4]);
+                let sent = ep.stats().messages_sent();
+                let recvd = ep.stats().messages_received();
+                (a, b, sent, recvd)
+            })
+        };
+        let plain = run(false);
+        let coalesced = run(true);
+        for (p, c) in plain.iter().zip(&coalesced) {
+            assert_eq!(p.0, c.0);
+            assert_eq!(p.1, c.1);
+            // Member message counts identical across modes.
+            assert_eq!(p.2, c.2);
+            assert_eq!(p.3, c.3);
+        }
+    }
+
+    #[test]
+    fn coalescing_accounts_envelope_overhead_as_bytes_only() {
+        let results = run_parties(2, |ep| {
+            ep.set_coalescing(true);
+            if ep.id() == 0 {
+                ep.send(1, &1u64);
+                ep.send(1, &2u64);
+                ep.flush();
+                (ep.stats().bytes_sent(), ep.stats().messages_sent())
+            } else {
+                let x: u64 = ep.recv(0);
+                let y: u64 = ep.recv(0);
+                assert_eq!((x, y), (1, 2));
+                (ep.stats().bytes_received(), ep.stats().messages_received())
+            }
+        });
+        // 2 member messages of 8 bytes + envelope header 8 + 2×8 len words.
+        let expected_bytes = 16 + crate::wire::envelope_overhead(2) as u64;
+        assert_eq!(results[0], (expected_bytes, 2));
+        assert_eq!(results[1], (expected_bytes, 2));
+    }
+
+    #[test]
+    fn coalescing_charges_latency_once_per_envelope() {
+        // 10 messages to the same peer at 5 ms latency: per-message
+        // charging would sleep ≥50 ms, one envelope sleeps ~5 ms.
+        let net = NetConfig {
+            latency: Duration::from_millis(5),
+            ..NetConfig::default()
+        };
+        let start = std::time::Instant::now();
+        run_parties_with(2, net, |ep| {
+            ep.set_coalescing(true);
+            if ep.id() == 0 {
+                for i in 0..10u64 {
+                    ep.send(1, &i);
+                }
+            } else {
+                for want in 0..10u64 {
+                    assert_eq!(ep.recv::<u64>(0), want);
+                }
+            }
+        });
+        assert!(
+            start.elapsed() < Duration::from_millis(30),
+            "coalesced burst took {:?}, envelope latency not merged",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn coalescing_gather_then_scatter_does_not_deadlock() {
+        // Root blocks on contributions that peers have only staged; the
+        // flush-before-recv rule must release them.
+        let results = run_parties(3, |ep| {
+            ep.set_coalescing(true);
+            let gathered = ep.gather(0, &(ep.id() as u64 + 1));
+            let vals = gathered.map(|v| v.iter().map(|x| x * 10).collect::<Vec<u64>>());
+            ep.scatter(0, vals.as_deref())
+        });
+        assert_eq!(results, vec![10, 20, 30]);
     }
 
     #[test]

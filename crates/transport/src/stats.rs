@@ -29,6 +29,19 @@ impl NetStats {
         self.messages_received.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account coalesced-envelope framing on the send side: bytes only —
+    /// the member messages were already counted individually when staged,
+    /// so message counts stay comparable across scheduling modes.
+    pub(crate) fn record_send_overhead(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Receive-side counterpart of [`NetStats::record_send_overhead`].
+    pub(crate) fn record_recv_overhead(&self, bytes: usize) {
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Total bytes this party put on the wire.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)

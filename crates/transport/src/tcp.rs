@@ -372,3 +372,26 @@ where
         f(ep)
     })
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coalesced envelopes are ordinary payloads to the TCP framing: the
+    /// sockets carry whatever bytes the endpoint hands them, so flipping
+    /// the endpoint-level knob must be invisible to the mesh.
+    #[test]
+    fn tcp_mesh_carries_coalesced_envelopes() {
+        let results = run_parties_tcp(3, NetConfig::default(), |ep| {
+            ep.set_coalescing(true);
+            let ids = ep.exchange_all(&(ep.id() as u64));
+            let gathered = ep.gather(0, &vec![ep.id() as u64; 3]);
+            let total = gathered.map(|rows| rows.iter().flatten().sum::<u64>());
+            ep.scatter(0, total.map(|t| vec![t; 3]).as_deref());
+            ids
+        });
+        for ids in results {
+            assert_eq!(ids, vec![0, 1, 2]);
+        }
+    }
+}

@@ -196,6 +196,56 @@ impl Wire for BigUint {
     }
 }
 
+/// Coalesced-frame envelope: `[u64 count][u64 len, payload]…`.
+///
+/// When an endpoint runs in coalescing mode, every link frame is one
+/// envelope holding the independent protocol messages staged for that
+/// peer since the last flush. The member payloads are byte-identical to
+/// what the non-coalesced path would have sent as separate frames, so
+/// [`crate::NetStats`] can account members and envelope overhead
+/// separately and the per-message byte totals stay comparable across
+/// scheduling modes.
+pub fn encode_envelope(msgs: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
+        envelope_overhead(msgs.len()) + msgs.iter().map(Vec::len).sum::<usize>(),
+    );
+    buf.put_u64_le(msgs.len() as u64);
+    for msg in msgs {
+        buf.put_u64_le(msg.len() as u64);
+        buf.put_slice(msg);
+    }
+    buf
+}
+
+/// Split an envelope back into its member payloads. The whole frame must
+/// be consumed — trailing bytes mean a desynced stream, same contract as
+/// [`Wire::from_wire`].
+pub fn decode_envelope(frame: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+    let mut buf = frame;
+    need(buf, 8)?;
+    let count = buf.get_u64_le() as usize;
+    if count > buf.len() / 8 + 1 {
+        return Err(WireError("implausible envelope count"));
+    }
+    let mut msgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(buf, 8)?;
+        let len = buf.get_u64_le() as usize;
+        need(buf, len)?;
+        msgs.push(buf[..len].to_vec());
+        buf.advance(len);
+    }
+    if !buf.is_empty() {
+        return Err(WireError("trailing bytes after envelope"));
+    }
+    Ok(msgs)
+}
+
+/// Framing bytes an envelope adds on top of its member payloads.
+pub fn envelope_overhead(count: usize) -> usize {
+    8 * (count + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +308,30 @@ mod tests {
     #[test]
     fn invalid_bool_rejected() {
         assert!(bool::from_wire(&[7]).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let msgs = vec![vec![1u8, 2, 3], vec![], vec![9u8; 100]];
+        let frame = encode_envelope(&msgs);
+        assert_eq!(
+            frame.len(),
+            envelope_overhead(3) + msgs.iter().map(Vec::len).sum::<usize>()
+        );
+        assert_eq!(decode_envelope(&frame).unwrap(), msgs);
+        assert_eq!(
+            decode_envelope(&encode_envelope(&[])).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_trailing_and_truncated() {
+        let mut frame = encode_envelope(&[vec![1u8, 2]]);
+        frame.push(0);
+        assert!(decode_envelope(&frame).is_err());
+        let frame = encode_envelope(&[vec![1u8, 2]]);
+        assert!(decode_envelope(&frame[..frame.len() - 1]).is_err());
+        assert!(decode_envelope(&[]).is_err());
     }
 }
