@@ -34,7 +34,11 @@ SUBCOMMANDS:
     party      Run ONE party of the scenario over TCP — one process per
                client, the paper's deployment shape. Start m processes
                with ids 0..m-1 and the same --peers list; each writes a
-               per-party report matching the in-process run bit-for-bit
+               per-party report matching the in-process run bit-for-bit.
+               Lost connections are resumed transparently (replayed from
+               a retransmit ring); unrecoverable failures write a
+               structured error report and exit 10 (transport failure)
+               or 11 (this party's own [faults] crash_party fired)
     trace      Inspect tracing output: point it at a run report (train /
                predict / bench / party / --baseline JSON) to print the
                embedded per-phase round/byte/wall tables, or at a
@@ -357,12 +361,22 @@ fn main() -> ExitCode {
         };
     }
     if argv.first().map(String::as_str) == Some("party") {
-        let result = parse_party_args(&argv).and_then(|args| pivot_cli::party::run(&args));
-        return match result {
-            Ok(()) => ExitCode::SUCCESS,
+        let args = match parse_party_args(&argv) {
+            Ok(args) => args,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
+            }
+        };
+        return match pivot_cli::party::run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            // Transport failures get distinct exit codes (10 = network,
+            // 11 = this party's own injected crash) so a harness can
+            // classify a dead run without parsing stderr; the structured
+            // error report has already been written by `party::run`.
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
             }
         };
     }

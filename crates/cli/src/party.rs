@@ -17,9 +17,55 @@ use crate::report;
 use crate::runner::{compute_metric, metric_name_for, prepare, run_party_protocol, Execution};
 use crate::scenario::Scenario;
 use pivot_data::partition_vertically;
-use pivot_transport::tcp::connect_mesh;
+use pivot_transport::tcp::connect_mesh_with;
+use pivot_transport::{catch_transport, FaultInjector, TransportError, TransportErrorKind};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Exit code for a transport failure (peer dead, wedge, unresumable
+/// link) — distinct from `1` so a harness can tell "the run died on the
+/// network" from "the invocation was wrong".
+pub const EXIT_TRANSPORT_FAILURE: u8 = 10;
+/// Exit code when this party's own `crash_party` fault fired.
+pub const EXIT_INJECTED_CRASH: u8 = 11;
+
+/// How a `pivot party` run failed.
+pub enum PartyError {
+    /// Bad invocation / scenario / IO — exit code 1.
+    Usage(String),
+    /// The distributed run died on the network. A structured error
+    /// report has already been written; exit code 10 (or 11 when the
+    /// failure is this party's own injected crash).
+    Transport(Box<TransportError>),
+}
+
+impl PartyError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            PartyError::Usage(_) => 1,
+            PartyError::Transport(err) if err.kind == TransportErrorKind::InjectedCrash => {
+                EXIT_INJECTED_CRASH
+            }
+            PartyError::Transport(_) => EXIT_TRANSPORT_FAILURE,
+        }
+    }
+}
+
+impl std::fmt::Display for PartyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartyError::Usage(e) => write!(f, "{e}"),
+            PartyError::Transport(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl From<String> for PartyError {
+    fn from(e: String) -> PartyError {
+        PartyError::Usage(e)
+    }
+}
 
 /// Parsed arguments of the `party` subcommand.
 pub struct PartyArgs {
@@ -33,8 +79,11 @@ pub struct PartyArgs {
     pub quiet: bool,
 }
 
-/// Execute one party end to end and write its JSON report.
-pub fn run(args: &PartyArgs) -> Result<(), String> {
+/// Execute one party end to end and write its JSON report. On a
+/// transport failure the report is replaced by a structured *error*
+/// report (kind, peer, direction, phase, elapsed) and the returned
+/// [`PartyError`] maps to a distinct exit code.
+pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
     let scenario = Scenario::load(&args.scenario)?;
     let algo = scenario.sole_algorithm()?;
     let m = scenario.parties;
@@ -42,10 +91,11 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
         return Err(format!(
             "--peers lists {} addresses but the scenario has {m} parties",
             args.peers.len()
-        ));
+        )
+        .into());
     }
     if args.id >= m {
-        return Err(format!("--id {} out of range for {m} parties", args.id));
+        return Err(format!("--id {} out of range for {m} parties", args.id).into());
     }
 
     // Same deterministic pipeline as the threaded runner: every process
@@ -54,6 +104,8 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
     let (train_set, test_set, params) = prepare(&scenario, algo)?;
     let train_part = partition_vertically(&train_set, m, 0);
     let test_part = partition_vertically(&test_set, m, 0);
+    let plan = scenario.fault_plan()?;
+    let injector = (!plan.is_empty()).then(|| FaultInjector::new(args.id, m, &plan));
 
     let listen = args
         .listen
@@ -67,18 +119,57 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
             args.peers
         );
     }
+    let out_path = args.out.clone().unwrap_or_else(|| {
+        report::default_report_path(&args.scenario, &format!("-party{}", args.id))
+    });
     let start = Instant::now();
-    let ep = connect_mesh(args.id, &listen, &args.peers, scenario.net_config())?;
-    let outcome = run_party_protocol(
-        &ep,
-        train_part.views[args.id].clone(),
-        &test_part.views[args.id],
-        &params,
-        &scenario.model,
-        algo,
-        false,
-    );
+    let result = connect_mesh_with(
+        args.id,
+        &listen,
+        &args.peers,
+        scenario.net_config(),
+        injector,
+    )
+    .map_err(|e| {
+        // Rendezvous failures are transport failures too: same
+        // structured report, same exit code.
+        let kind = if e.kind() == std::io::ErrorKind::TimedOut {
+            TransportErrorKind::Timeout
+        } else {
+            TransportErrorKind::Disconnected
+        };
+        let mut err = TransportError::new(kind, args.id, e.to_string());
+        err.phase = "connect".into();
+        err
+    })
+    .and_then(|ep| {
+        catch_transport(|| {
+            run_party_protocol(
+                &ep,
+                train_part.views[args.id].clone(),
+                &test_part.views[args.id],
+                &params,
+                &scenario.model,
+                algo,
+                false,
+            )
+        })
+    });
     let wall_s = start.elapsed().as_secs_f64();
+
+    let outcome = match result {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            let report = report::party_error_report(&scenario, args.id, &err, wall_s);
+            std::fs::write(&out_path, report.to_pretty())
+                .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+            if !args.quiet {
+                eprintln!("party {} failed: {err}", args.id);
+                eprintln!("error report written to {}", out_path.display());
+            }
+            return Err(PartyError::Transport(Box::new(err)));
+        }
+    };
 
     // This process hosts exactly one party, so the process-global runtime
     // sink holds only this party's background telemetry.
@@ -100,9 +191,6 @@ pub fn run(args: &PartyArgs) -> Result<(), String> {
         runtime_trace,
     };
 
-    let out_path = args.out.clone().unwrap_or_else(|| {
-        report::default_report_path(&args.scenario, &format!("-party{}", args.id))
-    });
     let report = report::party_report(&scenario, args.id, &exec);
     std::fs::write(&out_path, report.to_pretty())
         .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;

@@ -55,6 +55,18 @@ fn predict_traffic_json(p: &crate::runner::PartyOutcome) -> Json {
         .with("bytes_received", p.predict_bytes_received)
 }
 
+/// Session-layer health of one party: whole-run dial/reconnect/replay
+/// and fault-injection totals. All zeros in an undisturbed run — the
+/// cross-backend parity contract extends to these (a transparently
+/// recovered drop shows up here and *only* here).
+fn session_json(p: &crate::runner::PartyOutcome) -> Json {
+    Json::obj()
+        .with("connect_retries", p.connect_retries)
+        .with("reconnects", p.reconnects)
+        .with("replayed_frames", p.replayed_frames)
+        .with("faults_injected", p.faults_injected)
+}
+
 /// The paper's four protocol stages, in seconds.
 fn stages_json(stage_s: &[f64; 4]) -> Json {
     Json::obj()
@@ -73,6 +85,7 @@ fn party_json(exec: &Execution) -> Json {
                     .with("party", p.party)
                     .with("train", train_traffic_json(p))
                     .with("predict", predict_traffic_json(p))
+                    .with("session", session_json(p))
                     .with("stages_s", stages_json(&p.stage_s))
             })
             .collect(),
@@ -397,7 +410,8 @@ pub fn party_report(scenario: &Scenario, party: usize, exec: &Execution) -> Json
             "network",
             Json::obj()
                 .with("train", train_traffic_json(p))
-                .with("predict", predict_traffic_json(p)),
+                .with("predict", predict_traffic_json(p))
+                .with("session", session_json(p)),
         )
         .with("counters", counters_json(exec))
         .with("model", model_json(exec))
@@ -410,6 +424,36 @@ pub fn party_report(scenario: &Scenario, party: usize, exec: &Execution) -> Json
         report.set("trace", trace);
     }
     report
+}
+
+/// Failure report for `pivot party`: written in place of the normal
+/// report when the run dies on a transport failure, so a harness can
+/// read *what* failed (kind, peer, direction, protocol phase, elapsed
+/// wait) as data instead of scraping stderr. The scenario echo — which
+/// includes the effective `connect_timeout_s` — rides along as in every
+/// other report.
+pub fn party_error_report(
+    scenario: &Scenario,
+    party: usize,
+    err: &pivot_transport::TransportError,
+    wall_s: f64,
+) -> Json {
+    header("party", scenario)
+        .with("party", party)
+        .with("status", "failed")
+        .with("wall_total_s", wall_s)
+        .with(
+            "error",
+            Json::obj()
+                .with("kind", err.kind.as_str())
+                .with("party", err.party as u64)
+                .with("peer", err.peer.map(|p| p as u64))
+                .with("direction", err.direction.map(|d| d.as_str()))
+                .with("phase", err.phase.clone())
+                .with("elapsed_s", err.elapsed.as_secs_f64())
+                .with("detail", err.detail.clone())
+                .with("message", err.to_string()),
+        )
 }
 
 /// Report for `pivot bench`: one entry per (axis value × algorithm).
@@ -491,6 +535,10 @@ mod tests {
                 produced: 8,
                 target: 16,
             },
+            connect_retries: 1,
+            reconnects: 2,
+            replayed_frames: 3,
+            faults_injected: 1,
             internal_nodes: 3,
             tree_depth: Some(2),
             predictions: vec![0.0, 1.0],

@@ -14,7 +14,7 @@ use pivot_core::model::ConcealedTree;
 use pivot_core::party::PartyContext;
 use pivot_core::{predict_basic, predict_enhanced, train_basic, train_enhanced};
 use pivot_data::{metrics, partition_vertically, Task, VerticalView};
-use pivot_transport::Endpoint;
+use pivot_transport::{faulty_network, try_run_parties_on, Endpoint, Network};
 use pivot_trees::DecisionTree;
 use std::time::Instant;
 
@@ -55,6 +55,14 @@ pub struct PartyOutcome {
     /// Offline randomness-pool behavior (timing-dependent, *not* part of
     /// the cross-backend parity contract).
     pub pool: pivot_paillier::NonceStats,
+    /// Session-layer health over the whole run (these survive the
+    /// between-phase stats reset): dial attempts beyond the first,
+    /// sessions resumed after a connection loss, frames retransmitted
+    /// from the ring during resumes, and scenario faults fired here.
+    pub connect_retries: u64,
+    pub reconnects: u64,
+    pub replayed_frames: u64,
+    pub faults_injected: u64,
     /// Trained-model shape.
     pub internal_nodes: usize,
     pub tree_depth: Option<usize>,
@@ -232,6 +240,10 @@ pub fn run_party_protocol(
         packed: ctx.metrics.packed(),
         stats_bytes_sent: ctx.metrics.stats_bytes_sent(),
         pool,
+        connect_retries: stats.connect_retries(),
+        reconnects: stats.reconnects(),
+        replayed_frames: stats.replayed_frames(),
+        faults_injected: stats.faults_injected(),
         internal_nodes: model.internal_nodes(),
         tree_depth: model.depth(),
         predictions,
@@ -284,6 +296,11 @@ pub fn compute_metric(task: Task, preds: &[f64], truth: &[f64]) -> Option<f64> {
 
 /// Run one scenario end to end: train on every party thread, then (unless
 /// `skip_prediction`) jointly predict the held-out test split.
+///
+/// Transport failures (a wedged or crashed party, an injected
+/// `crash_party` fault) do not panic the process: every party's outcome
+/// is collected, and the error lists *all* failed parties with their
+/// structured failure (kind, peer, phase, elapsed).
 pub fn execute(
     scenario: &Scenario,
     algo: Algo,
@@ -296,9 +313,16 @@ pub fn execute(
     let train_part = partition_vertically(&train_set, m, 0);
     let test_part = partition_vertically(&test_set, m, 0);
     let model_spec = scenario.model.clone();
+    let plan = scenario.fault_plan()?;
+    let net = scenario.net_config();
+    let endpoints = if plan.is_empty() {
+        Network::with_config(m, net).into_endpoints()
+    } else {
+        faulty_network(m, net, &plan)
+    };
 
     let start = Instant::now();
-    let outcomes = pivot_transport::run_parties_with(m, scenario.net_config(), |ep| {
+    let results = try_run_parties_on(endpoints, |ep| {
         let view = train_part.views[ep.id()].clone();
         let test_view = &test_part.views[ep.id()];
         run_party_protocol(
@@ -312,6 +336,20 @@ pub fn execute(
         )
     });
     let wall_s = start.elapsed().as_secs_f64();
+
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .map(|e| e.to_string())
+        .collect();
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {m} parties failed: {}",
+            failures.len(),
+            failures.join("; ")
+        ));
+    }
+    let outcomes: Vec<PartyOutcome> = results.into_iter().map(|r| r.unwrap()).collect();
 
     // Drain the process-global runtime sink (worker gauges, background
     // refill spans). Empty when tracing is off.
@@ -386,6 +424,46 @@ mod tests {
         assert!(exec.metric.is_none());
         assert_eq!(exec.parties[0].predict_bytes_sent, 0);
         assert!(exec.parties[0].train_bytes_sent > 0);
+    }
+
+    #[test]
+    fn injected_drop_keeps_results_bit_identical() {
+        let clean = execute(&tiny_scenario("dropclean", ""), Algo::PivotBasic, false).unwrap();
+        let faulty = execute(
+            &tiny_scenario(
+                "dropfault",
+                "[faults]\nplan = [\"drop_link 0-1 at_bytes=4096\"]\nseed = 5\n",
+            ),
+            Algo::PivotBasic,
+            false,
+        )
+        .unwrap();
+        // A transparently recovered drop changes nothing observable about
+        // the protocol: same predictions, same metric, same traffic.
+        assert_eq!(clean.parties[0].predictions, faulty.parties[0].predictions);
+        assert_eq!(clean.metric, faulty.metric);
+        assert_eq!(
+            clean.parties[0].train_bytes_sent,
+            faulty.parties[0].train_bytes_sent
+        );
+        // ...but the session-health counters show the recovery happened.
+        let p0 = &faulty.parties[0];
+        assert!(p0.faults_injected >= 1, "fault fired");
+        assert!(p0.reconnects >= 1 && p0.replayed_frames >= 1, "recovered");
+        assert_eq!(clean.parties[0].faults_injected, 0);
+    }
+
+    #[test]
+    fn crash_party_fails_the_run_with_a_structured_error() {
+        let s = tiny_scenario(
+            "crashfault",
+            "[faults]\nplan = [\"crash_party 1 at_round=1\"]\n\
+             [network]\nrecv_timeout_s = 0.5\n",
+        );
+        let err = execute(&s, Algo::PivotBasic, false).unwrap_err();
+        assert!(err.contains("parties failed"), "{err}");
+        assert!(err.contains("injected_crash"), "{err}");
+        assert!(err.contains("crash_party 1"), "{err}");
     }
 
     #[test]

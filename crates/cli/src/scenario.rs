@@ -330,6 +330,22 @@ pub struct NetworkSpec {
     pub bandwidth_mbps: Option<f64>,
     /// Wedge timeout for every blocking receive (default 120 s).
     pub recv_timeout_s: Option<f64>,
+    /// Total dial budget: initial rendezvous retries and, after a
+    /// connection loss, how long the redial backoff keeps trying before
+    /// the link is declared dead (default 60 s).
+    pub connect_timeout_s: Option<f64>,
+}
+
+/// `[faults]` section: a deterministic chaos plan for robustness runs.
+///
+/// `plan` entries use the [`pivot_transport::FaultSpec`] grammar
+/// (`drop_link 0-1 at_round=8`, `delay_spike 0-2 at_bytes=4096 ms=250`,
+/// `crash_party 1 at_round=10`); `seed` derandomizes reconnect backoff
+/// jitter so chaos runs are repeatable.
+#[derive(Clone, Debug, Default)]
+pub struct FaultsSpec {
+    pub plan: Vec<String>,
+    pub seed: Option<u64>,
 }
 
 /// `[sweep]` section (the `bench` subcommand).
@@ -352,6 +368,7 @@ pub struct Scenario {
     pub params: ParamSpec,
     pub model: ModelSpec,
     pub network: NetworkSpec,
+    pub faults: FaultsSpec,
     pub sweep: Option<SweepSpec>,
 }
 
@@ -623,7 +640,13 @@ const MODEL_KEYS: &[&str] = &[
     "trees",
     "sample_fraction",
 ];
-const NETWORK_KEYS: &[&str] = &["latency_us", "bandwidth_mbps", "recv_timeout_s"];
+const NETWORK_KEYS: &[&str] = &[
+    "latency_us",
+    "bandwidth_mbps",
+    "recv_timeout_s",
+    "connect_timeout_s",
+];
+const FAULTS_KEYS: &[&str] = &["plan", "seed"];
 const SWEEP_KEYS: &[&str] = &["vary", "values"];
 const SECTIONS: &[(&str, &[&str])] = &[
     ("", ROOT_KEYS),
@@ -631,6 +654,7 @@ const SECTIONS: &[(&str, &[&str])] = &[
     ("params", PARAM_KEYS),
     ("model", MODEL_KEYS),
     ("network", NETWORK_KEYS),
+    ("faults", FAULTS_KEYS),
     ("sweep", SWEEP_KEYS),
 ];
 
@@ -880,6 +904,12 @@ impl Scenario {
             latency_us: doc.get_u64("network", "latency_us")?,
             bandwidth_mbps: doc.get_f64("network", "bandwidth_mbps")?,
             recv_timeout_s: doc.get_f64("network", "recv_timeout_s")?,
+            connect_timeout_s: doc.get_f64("network", "connect_timeout_s")?,
+        };
+
+        let faults = FaultsSpec {
+            plan: doc.get_str_array("faults", "plan")?.unwrap_or_default(),
+            seed: doc.get_u64("faults", "seed")?,
         };
 
         let sweep = match doc.get_str("sweep", "vary")? {
@@ -929,6 +959,7 @@ impl Scenario {
             params,
             model,
             network,
+            faults,
             sweep,
         };
         scenario.validate()?;
@@ -1010,7 +1041,35 @@ impl Scenario {
                 return Err("network.bandwidth_mbps must be >= 0 (0 means unlimited)".into());
             }
         }
+        if let Some(secs) = self.network.connect_timeout_s {
+            if !secs.is_finite() || secs <= 0.0 || secs > pivot_transport::MAX_RECV_TIMEOUT_SECS {
+                return Err(format!(
+                    "network.connect_timeout_s must be a positive number of seconds \
+                     (at most {:e})",
+                    pivot_transport::MAX_RECV_TIMEOUT_SECS
+                ));
+            }
+        }
+        let plan = self.fault_plan().map_err(|e| format!("faults.plan: {e}"))?;
+        for spec in &plan.specs {
+            let parties = match spec.kind {
+                pivot_transport::FaultKind::DropLink { a, b }
+                | pivot_transport::FaultKind::DelaySpike { a, b, .. } => [a, b],
+                pivot_transport::FaultKind::CrashParty { party } => [party, party],
+            };
+            if let Some(p) = parties.iter().find(|&&p| p >= self.parties) {
+                return Err(format!(
+                    "faults.plan: party {p} out of range (scenario has {} parties)",
+                    self.parties
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The parsed `[faults]` plan (empty when the section is absent).
+    pub fn fault_plan(&self) -> Result<pivot_transport::FaultPlan, String> {
+        pivot_transport::FaultPlan::parse(&self.faults.plan, self.faults.seed.unwrap_or(0))
     }
 
     /// The single algorithm of a train/predict scenario.
@@ -1122,6 +1181,9 @@ impl Scenario {
         if let Some(secs) = self.network.recv_timeout_s {
             net.recv_timeout = std::time::Duration::from_secs_f64(secs);
         }
+        if let Some(secs) = self.network.connect_timeout_s {
+            net.connect_timeout = std::time::Duration::from_secs_f64(secs);
+        }
         net
     }
 
@@ -1140,6 +1202,10 @@ impl Scenario {
             (
                 self.network.recv_timeout_s.is_some(),
                 "PIVOT_NET_RECV_TIMEOUT_S",
+            ),
+            (
+                self.network.connect_timeout_s.is_some(),
+                "PIVOT_NET_CONNECT_TIMEOUT_S",
             ),
         ];
         let shadowed: Vec<&str> = overlaps
@@ -1273,7 +1339,16 @@ impl Scenario {
                         },
                     )
                     .with("recv_timeout_s", net.recv_timeout.as_secs_f64())
+                    .with("connect_timeout_s", net.connect_timeout.as_secs_f64())
             });
+        if !self.faults.plan.is_empty() {
+            root.set(
+                "faults",
+                Json::obj()
+                    .with("plan", self.faults.plan.clone())
+                    .with("seed", self.faults.seed.unwrap_or(0)),
+            );
+        }
         if let Some(sweep) = &self.sweep {
             root.set(
                 "sweep",
@@ -1726,6 +1801,54 @@ mod tests {
         assert!(err.contains("bandwidth_mbps"), "{err}");
         let err = parse_toml("[network]\nlatency = 5").unwrap_err();
         assert!(err.contains("latency"), "{err}");
+        let err = parse_toml("[network]\nconnect_timeout_s = 0").unwrap_err();
+        assert!(err.contains("connect_timeout_s"), "{err}");
+    }
+
+    #[test]
+    fn connect_timeout_flows_into_net_config_and_echo() {
+        let s = parse_toml("[network]\nconnect_timeout_s = 2.5").unwrap();
+        let net = s.net_config();
+        assert_eq!(net.connect_timeout, std::time::Duration::from_secs_f64(2.5));
+        let echo = s.to_json();
+        assert_eq!(
+            echo.path("network.connect_timeout_s").unwrap().as_f64(),
+            Some(2.5)
+        );
+        // Unset leaves the transport default.
+        let s = parse_toml("").unwrap();
+        assert_eq!(
+            s.net_config().connect_timeout,
+            pivot_transport::DEFAULT_CONNECT_TIMEOUT
+        );
+    }
+
+    #[test]
+    fn faults_section_parses_into_a_plan() {
+        let s = parse_toml(
+            "[faults]\nplan = [\"drop_link 0-1 at_round=4\", \"crash_party 2 at_bytes=100\"]\nseed = 9",
+        )
+        .unwrap();
+        let plan = s.fault_plan().unwrap();
+        assert_eq!(plan.specs.len(), 2);
+        assert_eq!(plan.seed, 9);
+        let echo = s.to_json();
+        assert_eq!(echo.path("faults.seed").unwrap().as_u64(), Some(9));
+        // No [faults] section: empty plan, no echo.
+        let s = parse_toml("").unwrap();
+        assert!(s.fault_plan().unwrap().is_empty());
+        assert!(s.to_json().path("faults").is_none());
+    }
+
+    #[test]
+    fn invalid_faults_rejected() {
+        let err = parse_toml("[faults]\nplan = [\"meteor_strike 0-1 at_round=1\"]").unwrap_err();
+        assert!(err.contains("meteor_strike"), "{err}");
+        // Party ids must fit the scenario's party count (default 3).
+        let err = parse_toml("[faults]\nplan = [\"crash_party 7 at_round=1\"]").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_toml("[faults]\nchaos = true").unwrap_err();
+        assert!(err.contains("chaos"), "{err}");
     }
 
     #[test]

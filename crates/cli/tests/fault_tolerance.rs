@@ -1,0 +1,257 @@
+//! Chaos integration tests: real `pivot party` processes on loopback
+//! TCP with a deterministic `[faults]` plan.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Transparent recovery** — a mid-training link drop is invisible
+//!    to the protocol: the distributed run's model, metric, predictions,
+//!    and payload byte counts are bit-identical to a *fault-free*
+//!    in-process run of the same scenario, and the recovery shows up
+//!    only in the report's `network.session` counters.
+//! 2. **Failures are data** — a `crash_party` fault kills one process
+//!    with exit code 11 and a structured error report; every surviving
+//!    party exits 10 (not 0, not a panic) with its own structured report
+//!    naming the failure kind, peer, phase, and elapsed wait.
+
+use pivot_cli::json::Json;
+use pivot_transport::tcp::loopback_peers;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+
+fn pivot_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pivot")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pivot-fault-it-{}-{name}", std::process::id()))
+}
+
+fn spawn_party(scenario: &str, id: usize, peers: &[String], out: &str) -> Child {
+    Command::new(pivot_bin())
+        .args([
+            "party",
+            "--scenario",
+            scenario,
+            "--id",
+            &id.to_string(),
+            "--peers",
+            &peers.join(","),
+            "--out",
+            out,
+            "--quiet",
+        ])
+        .spawn()
+        .expect("spawn pivot party")
+}
+
+fn run_train(scenario: &str, out: &str) {
+    let result = Command::new(pivot_bin())
+        .args(["train", "--scenario", scenario, "--out", out, "--quiet"])
+        .output()
+        .expect("spawn pivot train");
+    assert!(
+        result.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+}
+
+#[test]
+fn injected_tcp_drop_recovers_bit_identically() {
+    let chaos = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scenarios/fault_baseline.toml");
+    let chaos_text = std::fs::read_to_string(&chaos).unwrap();
+    let m = 3;
+
+    // Fault-free twin: the same scenario with the [faults] section
+    // stripped, run on the in-process backend. This is the strong form
+    // of the parity gate — faulty TCP against fault-free threads.
+    let clean = temp_path("clean.toml");
+    // Split at the section header itself (line start), not at the first
+    // mention of "[faults]" — the scenario's comments use that string.
+    let clean_text = chaos_text
+        .split("\n[faults]")
+        .next()
+        .expect("scenario has a [faults] section");
+    assert!(clean_text.contains("[network]"), "strip kept the config");
+    std::fs::write(&clean, clean_text).unwrap();
+    let train_out = temp_path("clean-train.json");
+    run_train(clean.to_str().unwrap(), train_out.to_str().unwrap());
+    let baseline = Json::parse(&std::fs::read_to_string(&train_out).unwrap()).unwrap();
+    let per_party = baseline
+        .path("network.per_party")
+        .unwrap()
+        .as_array()
+        .unwrap();
+
+    let peers = loopback_peers(m);
+    let party_outs: Vec<PathBuf> = (0..m)
+        .map(|i| temp_path(&format!("chaos-party{i}.json")))
+        .collect();
+    let children: Vec<Child> = (0..m)
+        .map(|i| {
+            spawn_party(
+                chaos.to_str().unwrap(),
+                i,
+                &peers,
+                party_outs[i].to_str().unwrap(),
+            )
+        })
+        .collect();
+    for (i, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("party process");
+        assert!(
+            out.status.success(),
+            "party {i} failed despite recoverable fault: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let mut all_predictions = Vec::new();
+    for (i, out) in party_outs.iter().enumerate() {
+        let report = Json::parse(&std::fs::read_to_string(out).unwrap())
+            .unwrap_or_else(|e| panic!("party {i} report unparseable: {e}"));
+        // Model, metric, and traffic: bit-identical to the fault-free run.
+        assert_eq!(
+            report.path("evaluation.value").unwrap().as_f64(),
+            baseline.path("evaluation.value").unwrap().as_f64(),
+            "party {i} metric"
+        );
+        assert_eq!(
+            report.path("model.internal_nodes").unwrap().as_u64(),
+            baseline.path("model.internal_nodes").unwrap().as_u64(),
+            "party {i} model"
+        );
+        for phase in ["train", "predict"] {
+            for field in ["bytes_sent", "bytes_received"] {
+                assert_eq!(
+                    report.path(&format!("network.{phase}.{field}")).unwrap(),
+                    per_party[i].path(&format!("{phase}.{field}")).unwrap(),
+                    "party {i} {phase}.{field}"
+                );
+            }
+        }
+        all_predictions.push(report.get("predictions").unwrap().clone());
+
+        // The recovery is visible in the session counters — and only on
+        // party 0, the lower id of the dropped link (it injects, severs,
+        // and redials; the protocol transcript stays symmetric).
+        let session = |field: &str| {
+            report
+                .path(&format!("network.session.{field}"))
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        if i == 0 {
+            assert!(session("faults_injected") >= 1, "party 0 fired the fault");
+            assert!(session("reconnects") >= 1, "party 0 resumed the session");
+            assert!(session("replayed_frames") >= 1, "party 0 replayed frames");
+        }
+        std::fs::remove_file(out).ok();
+    }
+    for (i, preds) in all_predictions.iter().enumerate() {
+        assert_eq!(preds, &all_predictions[0], "party {i} predictions differ");
+        assert!(!preds.as_array().unwrap().is_empty());
+    }
+    std::fs::remove_file(&train_out).ok();
+    std::fs::remove_file(&clean).ok();
+}
+
+#[test]
+fn crash_party_kills_the_run_with_structured_reports() {
+    let scenario = temp_path("crash.toml");
+    std::fs::write(
+        &scenario,
+        r#"
+name = "chaos crash"
+seed = 13
+parties = 2
+algorithm = "pivot-basic"
+
+[data]
+kind = "synthetic-classification"
+samples = 40
+features_per_party = 2
+classes = 2
+test_fraction = 0.2
+
+[params]
+max_depth = 2
+max_splits = 3
+keysize = 128
+
+[network]
+# Tight liveness budgets so the surviving party fails fast.
+recv_timeout_s = 2
+connect_timeout_s = 2
+
+[faults]
+plan = ["crash_party 1 at_bytes=1"]
+"#,
+    )
+    .unwrap();
+
+    let peers = loopback_peers(2);
+    let outs: Vec<PathBuf> = (0..2)
+        .map(|i| temp_path(&format!("crash-party{i}.json")))
+        .collect();
+    let children: Vec<Child> = (0..2)
+        .map(|i| {
+            spawn_party(
+                scenario.to_str().unwrap(),
+                i,
+                &peers,
+                outs[i].to_str().unwrap(),
+            )
+        })
+        .collect();
+    let statuses: Vec<_> = children
+        .into_iter()
+        .map(|c| c.wait_with_output().expect("party process"))
+        .collect();
+
+    // The crashed party exits 11 (its own injected crash); the survivor
+    // exits 10 (transport failure). Nobody exits 0, nobody panics.
+    assert_eq!(statuses[1].status.code(), Some(11), "crashed party");
+    assert_eq!(statuses[0].status.code(), Some(10), "surviving party");
+
+    // Both wrote structured error reports instead of result reports.
+    let crashed = Json::parse(&std::fs::read_to_string(&outs[1]).unwrap()).unwrap();
+    assert_eq!(crashed.get("status").unwrap().as_str(), Some("failed"));
+    assert_eq!(
+        crashed.path("error.kind").unwrap().as_str(),
+        Some("injected_crash")
+    );
+    assert_eq!(crashed.path("error.party").unwrap().as_u64(), Some(1));
+    assert!(crashed
+        .path("error.detail")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("crash_party 1"));
+
+    let survivor = Json::parse(&std::fs::read_to_string(&outs[0]).unwrap()).unwrap();
+    assert_eq!(survivor.get("status").unwrap().as_str(), Some("failed"));
+    let kind = survivor.path("error.kind").unwrap().as_str().unwrap();
+    assert!(
+        kind == "timeout" || kind == "disconnected",
+        "survivor kind {kind}"
+    );
+    assert_eq!(survivor.path("error.peer").unwrap().as_u64(), Some(1));
+    assert!(survivor.path("error.phase").unwrap().as_str().is_some());
+    assert!(survivor.path("error.elapsed_s").unwrap().as_f64().unwrap() > 0.0);
+    // The scenario echo makes the liveness budget auditable from the
+    // report alone.
+    assert_eq!(
+        survivor
+            .path("scenario.network.connect_timeout_s")
+            .unwrap()
+            .as_f64(),
+        Some(2.0)
+    );
+
+    for p in outs.iter().chain([&scenario]) {
+        std::fs::remove_file(p).ok();
+    }
+}

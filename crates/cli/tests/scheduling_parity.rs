@@ -134,8 +134,12 @@ fn enhanced_pp_pipelined_matches_sequential() {
         seq_rate.expect("dealer pool active"),
         pipe_rate.expect("dealer pool active"),
     );
+    // Hit rates depend on background-worker timing, so under a loaded
+    // test host the two runs can legitimately differ by a few percent.
+    // The tolerance only needs to catch a real refill regression (the
+    // fixed-target bug this pins collapsed the rate to ~0.04).
     assert!(
-        pipe_rate >= seq_rate - 0.01,
+        pipe_rate >= seq_rate - 0.05,
         "pipelined dealer-pool hit rate regressed ({pipe_rate:.3} vs {seq_rate:.3})"
     );
 }

@@ -370,6 +370,7 @@ impl<'a> MpcEngine<'a> {
         };
         OpCounters::bump(&self.counters.rounds, 1);
         pivot_trace::add_rounds(1);
+        self.ep.note_round();
         my_shares.into_iter().map(Share).collect()
     }
 
@@ -380,6 +381,7 @@ impl<'a> MpcEngine<'a> {
         let all = self.ep.exchange_all(&mine);
         OpCounters::bump(&self.counters.rounds, 1);
         pivot_trace::add_rounds(1);
+        self.ep.note_round();
         OpCounters::bump(&self.counters.openings, shares.len() as u64);
         if self.in_comparison {
             OpCounters::bump(&self.counters.cmp_rounds, 1);

@@ -20,6 +20,8 @@
 //! results to the serial run whenever the per-item closure is a pure
 //! function of its input.
 
+pub mod idle;
+
 use crossbeam::channel::unbounded;
 use std::any::Any;
 use std::collections::VecDeque;

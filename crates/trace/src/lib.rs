@@ -71,6 +71,7 @@ pub const PHASES: &[&str] = &[
     "update",
     "leaf",
     "predict",
+    "reconnect",
     "other",
 ];
 
@@ -225,6 +226,17 @@ impl Collector {
 
 thread_local! {
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// Phase names currently open on this thread, maintained by
+    /// [`phase_span`] even when no collector is installed — error paths
+    /// (transport failures) read [`current_phase`] to label where a run
+    /// died without requiring tracing to be on.
+    static PHASE_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost phase open on this thread (`"other"` outside any phase
+/// span). Always tracked, independent of the trace level.
+pub fn current_phase() -> &'static str {
+    PHASE_STACK.with(|s| s.borrow().last().copied().unwrap_or("other"))
 }
 
 /// Install a collector on the current (party) thread and open the
@@ -288,12 +300,19 @@ fn with_collector(f: impl FnOnce(&mut Collector)) {
 #[must_use = "the span closes when the guard drops"]
 pub struct SpanGuard {
     active: bool,
+    /// Whether this guard pushed onto the always-on phase stack.
+    phase_tracked: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.active {
             with_collector(|col| col.close());
+        }
+        if self.phase_tracked {
+            PHASE_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
         }
     }
 }
@@ -304,7 +323,10 @@ fn open_span(
     name: impl FnOnce() -> String,
 ) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { active: false };
+        return SpanGuard {
+            active: false,
+            phase_tracked: false,
+        };
     }
     let mut active = false;
     COLLECTOR.with(|c| {
@@ -320,16 +342,23 @@ fn open_span(
             }
         }
     });
-    SpanGuard { active }
+    SpanGuard {
+        active,
+        phase_tracked: false,
+    }
 }
 
 /// Open a phase span (recorded at `Phases` and `Full`). `phase` must be
 /// one of [`PHASES`]; counters accrued while this span is innermost are
 /// bucketed under it in the phase table, and its wall time counts toward
-/// the phase.
+/// the phase. The phase name is also pushed onto the always-on
+/// [`current_phase`] stack regardless of trace level.
 pub fn phase_span(phase: &'static str) -> SpanGuard {
     debug_assert!(PHASES.contains(&phase), "unknown phase {phase:?}");
-    open_span(TraceLevel::Phases, Some(phase), || phase.to_string())
+    let mut guard = open_span(TraceLevel::Phases, Some(phase), || phase.to_string());
+    PHASE_STACK.with(|s| s.borrow_mut().push(phase));
+    guard.phase_tracked = true;
+    guard
 }
 
 /// Open a fine-grained span (recorded at `Full` only). Inherits the
@@ -1027,6 +1056,24 @@ mod tests {
         assert_eq!(merged[0].phase, "stats");
         assert_eq!((merged[0].sent_bytes, merged[0].span_count), (15, 2));
         assert_eq!(merged[1].rounds, 7);
+    }
+
+    #[test]
+    fn current_phase_tracks_without_a_collector() {
+        on_thread(|| {
+            // No install: tracing is off, the phase stack still works.
+            assert_eq!(current_phase(), "other");
+            {
+                let _p = phase_span("gain");
+                assert_eq!(current_phase(), "gain");
+                {
+                    let _q = phase_span("reconnect");
+                    assert_eq!(current_phase(), "reconnect");
+                }
+                assert_eq!(current_phase(), "gain");
+            }
+            assert_eq!(current_phase(), "other");
+        });
     }
 
     #[test]

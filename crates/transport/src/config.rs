@@ -23,13 +23,20 @@ pub struct NetConfig {
     /// Link bandwidth in Mbit/s; `0.0` (or any non-finite / non-positive
     /// value) means unlimited.
     pub bandwidth_mbps: f64,
-    /// How long a blocking receive waits before panicking with a wedge
-    /// diagnostic naming the pending peer.
+    /// How long a blocking receive waits before raising a typed wedge
+    /// error naming the pending peer.
     pub recv_timeout: Duration,
+    /// Total dial budget: how long rendezvous keeps retrying an
+    /// unreachable peer, and how long a broken session's redial backoff
+    /// keeps trying before the link is declared dead.
+    pub connect_timeout: Duration,
 }
 
 /// Default wedge timeout (the old hard-coded `RECV_TIMEOUT`).
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Default dial budget (the old hard-coded `RENDEZVOUS_TIMEOUT`).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Largest accepted wedge timeout, in seconds (~31 years). Anything
 /// bigger is a configuration mistake, and values beyond ~5.8e19 would
@@ -43,6 +50,7 @@ impl Default for NetConfig {
             latency: Duration::ZERO,
             bandwidth_mbps: 0.0,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
         }
     }
 }
@@ -65,6 +73,11 @@ impl NetConfig {
         if let Some(secs) = read_env::<f64>("PIVOT_NET_RECV_TIMEOUT_S") {
             if secs.is_finite() && secs > 0.0 {
                 cfg.recv_timeout = Duration::from_secs_f64(secs.min(MAX_RECV_TIMEOUT_SECS));
+            }
+        }
+        if let Some(secs) = read_env::<f64>("PIVOT_NET_CONNECT_TIMEOUT_S") {
+            if secs.is_finite() && secs > 0.0 {
+                cfg.connect_timeout = Duration::from_secs_f64(secs.min(MAX_RECV_TIMEOUT_SECS));
             }
         }
         cfg
@@ -109,6 +122,7 @@ mod tests {
         assert!(!cfg.simulates());
         assert_eq!(cfg.secs_per_byte(), 0.0);
         assert_eq!(cfg.recv_timeout, DEFAULT_RECV_TIMEOUT);
+        assert_eq!(cfg.connect_timeout, DEFAULT_CONNECT_TIMEOUT);
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! byte counts and protocol behaviour are identical across deployments.
 
 use crate::config::NetConfig;
-use crate::link::{ChannelLink, Link};
+use crate::error::{catch_transport, panic_message, Direction, TransportError, TransportErrorKind};
+use crate::fault::FaultInjector;
+use crate::link::{ChannelLink, Link, LinkError};
 use crate::stats::NetStats;
 use crate::wire::{decode_envelope, encode_envelope, Wire};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A fully connected `m`-party in-process network. Construct once, then
 /// hand one [`Endpoint`] to each party thread.
@@ -60,6 +62,9 @@ pub struct Endpoint {
     /// Inbound demux queues: member messages of already-received
     /// envelopes waiting for their `recv` call, one queue per peer.
     inbox: Vec<Mutex<VecDeque<Vec<u8>>>>,
+    /// Scenario fault plan hook ([`Endpoint::set_fault_injector`]);
+    /// `note_round` feeds it the deterministic round trigger.
+    fault: OnceLock<Arc<FaultInjector>>,
 }
 
 impl Network {
@@ -115,16 +120,62 @@ impl Endpoint {
                 }
             }
         }
+        let stats = NetStats::new();
+        for link in links.iter().flatten() {
+            link.attach_stats(&stats);
+        }
         Endpoint {
             id,
             m,
             links,
-            stats: NetStats::new(),
+            stats,
             net,
             coalescing: AtomicBool::new(false),
             staged: (0..m).map(|_| Mutex::new(Vec::new())).collect(),
             inbox: (0..m).map(|_| Mutex::new(VecDeque::new())).collect(),
+            fault: OnceLock::new(),
         }
+    }
+
+    /// Attach a scenario fault injector. Links carrying their own
+    /// injector hook (TCP sessions, [`crate::fault::FaultyLink`]) handle
+    /// link faults; the endpoint only drives the round trigger and
+    /// `crash_party at_round` firings via [`Endpoint::note_round`].
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        let _ = self.fault.set(injector);
+    }
+
+    /// Notify the fault plan that one MPC communication round completed.
+    /// Called by the MPC engine at its round-counter bumps; a no-op
+    /// without an installed injector. Raises a typed
+    /// [`TransportErrorKind::InjectedCrash`] when a `crash_party`
+    /// fault's round trigger fires on this party.
+    pub fn note_round(&self) {
+        if let Some(injector) = self.fault.get() {
+            if let Some(reason) = injector.note_round() {
+                self.stats.record_fault_injected();
+                TransportError::new(TransportErrorKind::InjectedCrash, self.id, reason).raise();
+            }
+        }
+    }
+
+    /// Map a failed link operation into a typed raise.
+    fn raise_link_error(
+        &self,
+        peer: usize,
+        direction: Direction,
+        err: LinkError,
+        elapsed: std::time::Duration,
+    ) -> ! {
+        let kind = match err {
+            LinkError::Timeout(_) => TransportErrorKind::Timeout,
+            LinkError::Disconnected(_) => TransportErrorKind::Disconnected,
+            LinkError::Malformed(_) => TransportErrorKind::Malformed,
+        };
+        TransportError::new(kind, self.id, err.to_string())
+            .on_link(peer, direction)
+            .after(elapsed)
+            .raise()
     }
 
     /// This party's id in `0..m`.
@@ -204,9 +255,7 @@ impl Endpoint {
             match self.link(to).send_bytes(frame) {
                 Ok(()) => {}
                 Err(_) if best_effort => {}
-                Err(e) => {
-                    panic!("party {} wedged: send to party {to} failed: {e}", self.id)
-                }
+                Err(e) => self.raise_link_error(to, Direction::Send, e, std::time::Duration::ZERO),
             }
         }
     }
@@ -226,9 +275,9 @@ impl Endpoint {
             return;
         }
         self.net.charge_send(bytes.len());
-        self.link(to)
-            .send_bytes(bytes)
-            .unwrap_or_else(|e| panic!("party {} wedged: send to party {to} failed: {e}", self.id));
+        if let Err(e) = self.link(to).send_bytes(bytes) {
+            self.raise_link_error(to, Direction::Send, e, std::time::Duration::ZERO);
+        }
     }
 
     /// Send a message to party `to`.
@@ -249,35 +298,34 @@ impl Endpoint {
                 return msg;
             }
         }
-        let waited = pivot_trace::enabled().then(std::time::Instant::now);
-        let bytes = self
-            .link(from)
-            .recv_bytes(self.net.recv_timeout)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "party {} wedged: receive from party {from} failed: {e} \
-                     (direction {from} -> {}, recv_timeout {:?})",
-                    self.id, self.id, self.net.recv_timeout
-                )
-            });
-        if let Some(start) = waited {
+        let start = std::time::Instant::now();
+        let bytes = match self.link(from).recv_bytes(self.net.recv_timeout) {
+            Ok(bytes) => bytes,
+            Err(e) => self.raise_link_error(from, Direction::Recv, e, start.elapsed()),
+        };
+        if pivot_trace::enabled() {
             pivot_trace::add_wait_ns(start.elapsed().as_nanos() as u64);
         }
         if !self.coalescing() {
             return bytes;
         }
-        let mut msgs = decode_envelope(&bytes).unwrap_or_else(|e| {
-            panic!(
-                "party {} got malformed envelope from {from}: {e} \
-                 (coalescing must be enabled symmetrically on all parties)",
-                self.id
-            )
-        });
-        assert!(
-            !msgs.is_empty(),
-            "party {} got empty envelope from {from}",
-            self.id
-        );
+        let mut msgs = match decode_envelope(&bytes) {
+            Ok(msgs) if !msgs.is_empty() => msgs,
+            Ok(_) => self.raise_link_error(
+                from,
+                Direction::Recv,
+                LinkError::Malformed("empty envelope".into()),
+                start.elapsed(),
+            ),
+            Err(e) => self.raise_link_error(
+                from,
+                Direction::Recv,
+                LinkError::Malformed(format!(
+                    "{e} (coalescing must be enabled symmetrically on all parties)"
+                )),
+                start.elapsed(),
+            ),
+        };
         let overhead = bytes.len() - msgs.iter().map(Vec::len).sum::<usize>();
         self.stats.record_recv_overhead(overhead);
         let first = msgs.remove(0);
@@ -288,15 +336,24 @@ impl Endpoint {
         first
     }
 
-    /// Blocking receive of one message from party `from`. Panics with the
-    /// pending peer and direction if nothing arrives within the
-    /// [`NetConfig::recv_timeout`] wedge deadline.
+    /// Blocking receive of one message from party `from`. If nothing
+    /// arrives within the [`NetConfig::recv_timeout`] wedge deadline (or
+    /// the bytes do not parse), raises a typed [`TransportError`] naming
+    /// the pending peer, direction, and phase — catch it at the protocol
+    /// boundary with [`crate::catch_transport`].
     pub fn recv<T: Wire>(&self, from: usize) -> T {
         let bytes = self.recv_raw(from);
         self.stats.record_recv(bytes.len());
         pivot_trace::add_recv(bytes.len() as u64);
-        T::from_wire(&bytes)
-            .unwrap_or_else(|e| panic!("party {} got malformed message from {from}: {e}", self.id))
+        match T::from_wire(&bytes) {
+            Ok(v) => v,
+            Err(e) => self.raise_link_error(
+                from,
+                Direction::Recv,
+                LinkError::Malformed(e.to_string()),
+                std::time::Duration::ZERO,
+            ),
+        }
     }
 
     /// Send `msg` to every other party.
@@ -405,32 +462,76 @@ where
     T: Send,
     F: Fn(Endpoint) -> T + Send + Sync,
 {
-    let endpoints: Vec<std::sync::Mutex<Option<Endpoint>>> = Network::with_config(m, net)
-        .into_endpoints()
-        .into_iter()
-        .map(|ep| std::sync::Mutex::new(Some(ep)))
-        .collect();
-    join_parties(m, |i| {
-        let ep = endpoints[i]
-            .lock()
-            .expect("endpoint slot poisoned")
-            .take()
-            .expect("each slot taken once");
-        f(ep)
+    run_parties_on(Network::with_config(m, net).into_endpoints(), f)
+}
+
+/// Run the SPMD closure over pre-built endpoints (one thread per
+/// endpoint), panicking with every failed party's original payload if
+/// any thread fails.
+pub fn run_parties_on<T, F>(endpoints: Vec<Endpoint>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Send + Sync,
+{
+    let slots = endpoint_slots(endpoints);
+    join_parties(slots.len(), |i| f(take_endpoint(&slots, i)))
+}
+
+/// Fault-tolerant SPMD harness: every party's outcome is collected — a
+/// party that dies with a typed [`TransportError`] yields `Err` in its
+/// slot instead of aborting the whole run, so callers see *all* failures
+/// as data. Non-transport panics (real bugs) still abort, re-raised with
+/// every failing party's original payload.
+pub fn try_run_parties_with<T, F>(m: usize, net: NetConfig, f: F) -> Vec<Result<T, TransportError>>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Send + Sync,
+{
+    try_run_parties_on(Network::with_config(m, net).into_endpoints(), f)
+}
+
+/// [`try_run_parties_with`] over pre-built endpoints (e.g. a faulty
+/// network from [`crate::fault`]).
+pub fn try_run_parties_on<T, F>(endpoints: Vec<Endpoint>, f: F) -> Vec<Result<T, TransportError>>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Send + Sync,
+{
+    let slots = endpoint_slots(endpoints);
+    join_parties(slots.len(), |i| {
+        catch_transport(|| f(take_endpoint(&slots, i)))
     })
 }
 
+fn endpoint_slots(endpoints: Vec<Endpoint>) -> Vec<Mutex<Option<Endpoint>>> {
+    endpoints
+        .into_iter()
+        .map(|ep| Mutex::new(Some(ep)))
+        .collect()
+}
+
+fn take_endpoint(slots: &[Mutex<Option<Endpoint>>], i: usize) -> Endpoint {
+    slots[i]
+        .lock()
+        .expect("endpoint slot poisoned")
+        .take()
+        .expect("each slot taken once")
+}
+
 /// Shared SPMD scaffolding: one thread per party running `run(i)`,
-/// results collected in party order, with a `party N panicked` diagnostic
-/// on failure. Both the in-process backend and the loopback-TCP helper
-/// ([`crate::tcp::run_parties_tcp`]) drive their threads through this one
-/// definition.
+/// results collected in party order. A panicking party no longer masks
+/// the rest: every thread is joined, and the harness re-panics with the
+/// original payload message of *every* failed party, not just the lowest
+/// index. Both the in-process backend and the loopback-TCP helper
+/// ([`crate::tcp::run_parties_tcp`]) drive their threads through this
+/// one definition.
 pub(crate) fn join_parties<T, R>(m: usize, run: R) -> Vec<T>
 where
     T: Send,
     R: Fn(usize) -> T + Send + Sync,
 {
     let mut slots: Vec<Option<T>> = (0..m).map(|_| None).collect();
+    let mut failures: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(m);
         for (i, slot) in slots.iter_mut().enumerate() {
@@ -438,9 +539,14 @@ where
             handles.push(scope.spawn(move || *slot = Some(run(i))));
         }
         for (i, h) in handles.into_iter().enumerate() {
-            h.join().unwrap_or_else(|_| panic!("party {i} panicked"));
+            if let Err(payload) = h.join() {
+                failures.push(format!("party {i} panicked: {}", panic_message(&*payload)));
+            }
         }
     });
+    if !failures.is_empty() {
+        panic!("{}", failures.join("; "));
+    }
     slots
         .into_iter()
         .map(|s| s.expect("all parties joined"))
@@ -603,22 +709,84 @@ mod tests {
     }
 
     #[test]
-    fn wedge_panic_names_pending_peer_and_direction() {
+    fn wedge_raises_typed_error_naming_peer_and_direction() {
         let net = NetConfig {
             recv_timeout: Duration::from_millis(30),
             ..NetConfig::default()
         };
         let mut endpoints = Network::with_config(2, net).into_endpoints();
         let ep1 = endpoints.remove(1);
-        let handle = std::thread::spawn(move || ep1.recv::<u64>(0));
-        let payload = handle.join().expect_err("recv must panic on wedge");
-        let msg = payload
-            .downcast_ref::<String>()
-            .expect("panic payload is a String");
-        assert!(msg.contains("party 1 wedged"), "{msg}");
-        assert!(msg.contains("receive from party 0"), "{msg}");
-        assert!(msg.contains("direction 0 -> 1"), "{msg}");
-        assert!(msg.contains("30ms"), "{msg}");
+        let err = catch_transport(|| ep1.recv::<u64>(0)).expect_err("recv must fail on wedge");
+        assert_eq!(err.kind, TransportErrorKind::Timeout);
+        assert_eq!(err.party, 1);
+        assert_eq!(err.peer, Some(0));
+        assert_eq!(err.direction, Some(Direction::Recv));
+        assert!(
+            err.elapsed >= Duration::from_millis(30),
+            "{:?}",
+            err.elapsed
+        );
+        assert!(err.detail.contains("30ms"), "{}", err.detail);
+    }
+
+    #[test]
+    fn dropped_peer_raises_typed_disconnect() {
+        let mut endpoints = Network::with_config(2, NetConfig::default()).into_endpoints();
+        let ep1 = endpoints.remove(1);
+        drop(endpoints); // party 0's endpoint (and its channel halves) gone
+        let err = catch_transport(|| ep1.recv::<u64>(0)).expect_err("recv must fail");
+        assert_eq!(err.kind, TransportErrorKind::Disconnected);
+        let err = catch_transport(|| ep1.send(0, &1u64)).expect_err("send must fail");
+        assert_eq!(err.kind, TransportErrorKind::Disconnected);
+        assert_eq!(err.direction, Some(Direction::Send));
+    }
+
+    #[test]
+    fn malformed_payload_raises_typed_error_not_panic() {
+        let endpoints = Network::with_config(2, NetConfig::default()).into_endpoints();
+        let ep1 = &endpoints[1];
+        endpoints[0].send(1, &7u8); // one byte: not a valid u64
+        let err = catch_transport(|| ep1.recv::<u64>(0)).expect_err("decode must fail");
+        assert_eq!(err.kind, TransportErrorKind::Malformed);
+        assert_eq!(err.peer, Some(0));
+    }
+
+    #[test]
+    fn join_reports_all_failed_parties_with_payloads() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_parties(3, |ep| match ep.id() {
+                0 => panic!("boom zero"),
+                2 => panic!("boom two"),
+                _ => (),
+            })
+        });
+        let payload = outcome.expect_err("harness must propagate failures");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("party 0 panicked: boom zero"), "{msg}");
+        assert!(msg.contains("party 2 panicked: boom two"), "{msg}");
+    }
+
+    #[test]
+    fn try_run_collects_every_party_outcome() {
+        let net = NetConfig {
+            recv_timeout: Duration::from_millis(50),
+            ..NetConfig::default()
+        };
+        // Party 0 exits immediately; 1 and 2 wait on it and both fail —
+        // and both failures surface, not just the lowest index.
+        let results = try_run_parties_with(3, net, |ep| {
+            if ep.id() == 0 {
+                7u64
+            } else {
+                ep.recv::<u64>(0)
+            }
+        });
+        assert_eq!(results[0], Ok(7));
+        for (i, r) in results.iter().enumerate().skip(1) {
+            let err = r.as_ref().expect_err("waiting parties must fail");
+            assert_eq!(err.party, i);
+            assert_eq!(err.peer, Some(0));
+        }
     }
 
     /// Coalescing mode must be protocol-transparent: same results, same

@@ -1,0 +1,581 @@
+//! Deterministic fault injection driven by a scenario `[faults]` plan.
+//!
+//! A plan is a seeded list of [`FaultSpec`]s parsed from strings like
+//! `drop_link 0-1 at_round=8` — each names a fault kind, a target (a
+//! link pair or a party), and a deterministic trigger (`at_round=N`,
+//! counted by MPC engine round bumps, or `at_bytes=N`, counted over
+//! payload bytes sent on the target link). Every spec fires at most
+//! once.
+//!
+//! Injection points sit on the *protocol thread*, so the decision is a
+//! pure function of protocol progress, not of writer-thread timing:
+//!
+//! - `drop_link`: the lower-id side of the pair tags its next frame on
+//!   that link; the TCP session layer ring-buffers the frame *without
+//!   writing it* and severs the socket — guaranteeing the resume
+//!   handshake replays at least that frame. The in-process
+//!   [`FaultyLink`] simulates the same observable outcome (outage span,
+//!   reconnect/replay counters, then delivery).
+//! - `delay_spike`: the lower-id sender sleeps `ms` before the frame.
+//! - `crash_party`: the target party raises a typed
+//!   [`TransportError`] with [`TransportErrorKind::InjectedCrash`] at
+//!   the trigger point; peers observe a dead link and fail with their
+//!   own typed errors within the recv-timeout + backoff budget.
+
+use crate::config::NetConfig;
+use crate::endpoint::Endpoint;
+use crate::error::{TransportError, TransportErrorKind};
+use crate::link::{ChannelLink, Link, LinkError};
+use crate::stats::NetStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// What a fault does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sever the `a`–`b` link once; the session layer must recover
+    /// transparently (reconnect + replay).
+    DropLink { a: usize, b: usize },
+    /// Stall the lower-id sender on the `a`–`b` link for `delay` once.
+    DelaySpike { a: usize, b: usize, delay: Duration },
+    /// Kill party `party` with a typed `InjectedCrash` error.
+    CrashParty { party: usize },
+}
+
+/// When a fault fires (first opportunity at or after the threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// After the party has passed `N` MPC communication rounds.
+    AtRound(u64),
+    /// After cumulative payload bytes sent on the target link reach `N`.
+    AtBytes(u64),
+}
+
+/// One parsed fault: kind + trigger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub kind: FaultKind,
+    pub trigger: FaultTrigger,
+}
+
+impl FaultSpec {
+    /// Parse one plan entry. Grammar (whitespace-separated):
+    ///
+    /// ```text
+    /// drop_link   <a>-<b> at_round=<N> | at_bytes=<N>
+    /// delay_spike <a>-<b> at_round=<N> | at_bytes=<N> ms=<M>
+    /// crash_party <p>     at_round=<N> | at_bytes=<N>
+    /// ```
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut tokens = s.split_whitespace();
+        let kind_tok = tokens
+            .next()
+            .ok_or_else(|| "empty fault spec".to_string())?;
+        let target = tokens
+            .next()
+            .ok_or_else(|| format!("fault `{s}`: missing target"))?;
+        let mut trigger = None;
+        let mut ms = None;
+        for tok in tokens {
+            if let Some(v) = tok.strip_prefix("at_round=") {
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{s}`: bad at_round value `{v}`"))?;
+                trigger = Some(FaultTrigger::AtRound(n));
+            } else if let Some(v) = tok.strip_prefix("at_bytes=") {
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{s}`: bad at_bytes value `{v}`"))?;
+                trigger = Some(FaultTrigger::AtBytes(n));
+            } else if let Some(v) = tok.strip_prefix("ms=") {
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{s}`: bad ms value `{v}`"))?;
+                ms = Some(Duration::from_millis(n));
+            } else {
+                return Err(format!("fault `{s}`: unknown token `{tok}`"));
+            }
+        }
+        let trigger =
+            trigger.ok_or_else(|| format!("fault `{s}`: needs at_round=N or at_bytes=N"))?;
+        let parse_pair = |t: &str| -> Result<(usize, usize), String> {
+            let (a, b) = t
+                .split_once('-')
+                .ok_or_else(|| format!("fault `{s}`: link target must be `a-b`, got `{t}`"))?;
+            let a = a
+                .parse::<usize>()
+                .map_err(|_| format!("fault `{s}`: bad party id `{a}`"))?;
+            let b = b
+                .parse::<usize>()
+                .map_err(|_| format!("fault `{s}`: bad party id `{b}`"))?;
+            if a == b {
+                return Err(format!("fault `{s}`: a link connects two distinct parties"));
+            }
+            Ok((a.min(b), a.max(b)))
+        };
+        let kind = match kind_tok {
+            "drop_link" => {
+                let (a, b) = parse_pair(target)?;
+                FaultKind::DropLink { a, b }
+            }
+            "delay_spike" => {
+                let (a, b) = parse_pair(target)?;
+                let delay = ms.ok_or_else(|| format!("fault `{s}`: delay_spike needs ms=N"))?;
+                FaultKind::DelaySpike { a, b, delay }
+            }
+            "crash_party" => {
+                let party = target
+                    .parse::<usize>()
+                    .map_err(|_| format!("fault `{s}`: bad party id `{target}`"))?;
+                FaultKind::CrashParty { party }
+            }
+            other => return Err(format!("fault `{s}`: unknown fault kind `{other}`")),
+        };
+        if ms.is_some() && !matches!(kind, FaultKind::DelaySpike { .. }) {
+            return Err(format!("fault `{s}`: ms= only applies to delay_spike"));
+        }
+        Ok(FaultSpec { kind, trigger })
+    }
+}
+
+/// A parsed `[faults]` section: the specs plus the plan seed (used to
+/// derandomize reconnect backoff jitter so chaos runs are repeatable).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    pub specs: Vec<FaultSpec>,
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parse every plan entry; `seed` defaults to 0.
+    pub fn parse(entries: &[String], seed: u64) -> Result<FaultPlan, String> {
+        let specs = entries
+            .iter()
+            .map(|e| FaultSpec::parse(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan { specs, seed })
+    }
+
+    /// Whether the plan does anything.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// What the injector asks the sender to do for one outgoing frame.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct SendFault {
+    /// Sleep this long before the frame.
+    pub delay: Option<Duration>,
+    /// Sever the connection instead of writing this frame (the session
+    /// layer must recover it via replay).
+    pub drop_link: bool,
+    /// Raise an `InjectedCrash` carrying this description.
+    pub crash: Option<String>,
+}
+
+struct Armed {
+    spec: FaultSpec,
+    fired: AtomicBool,
+}
+
+impl Armed {
+    /// Fire-once latch.
+    fn try_fire(&self) -> bool {
+        !self.fired.swap(true, Ordering::Relaxed)
+    }
+}
+
+/// One party's view of the fault plan: deterministic trigger state
+/// (round counter, per-link byte counters) plus the armed specs this
+/// party is responsible for injecting. Link faults are injected by the
+/// *lower-id* side of the pair — the same side that owns reconnection —
+/// so exactly one party acts per fault.
+pub struct FaultInjector {
+    party: usize,
+    seed: u64,
+    round: AtomicU64,
+    sent_to: Vec<AtomicU64>,
+    armed: Vec<Armed>,
+}
+
+impl FaultInjector {
+    /// Build party `party`'s injector for an `m`-party run. Specs that
+    /// this party does not inject are filtered out here.
+    pub fn new(party: usize, m: usize, plan: &FaultPlan) -> Arc<FaultInjector> {
+        let armed = plan
+            .specs
+            .iter()
+            .filter(|spec| match spec.kind {
+                FaultKind::DropLink { a, b } | FaultKind::DelaySpike { a, b, .. } => {
+                    party == a.min(b) && a.max(b) < m
+                }
+                FaultKind::CrashParty { party: p } => p == party,
+            })
+            .map(|spec| Armed {
+                spec: spec.clone(),
+                fired: AtomicBool::new(false),
+            })
+            .collect();
+        Arc::new(FaultInjector {
+            party,
+            seed: plan.seed,
+            round: AtomicU64::new(0),
+            sent_to: (0..m).map(|_| AtomicU64::new(0)).collect(),
+            armed,
+        })
+    }
+
+    /// The plan seed (jitter derandomization).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The party this injector acts for.
+    pub fn party(&self) -> usize {
+        self.party
+    }
+
+    /// Called by the MPC engine at every communication-round bump.
+    /// Returns the description of a `crash_party` fault that fires at
+    /// this round boundary, if any.
+    pub fn note_round(&self) -> Option<String> {
+        let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
+        for armed in &self.armed {
+            if let FaultKind::CrashParty { party } = armed.spec.kind {
+                if let FaultTrigger::AtRound(r) = armed.spec.trigger {
+                    if round >= r && armed.try_fire() {
+                        return Some(format!(
+                            "crash_party {party} at_round={r} fired at round {round}"
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Called on the protocol thread for every frame about to go to
+    /// `peer` (`len` payload bytes). Accumulates the deterministic byte
+    /// trigger state and returns the actions of any fault firing now.
+    pub fn on_send(&self, peer: usize, len: usize) -> SendFault {
+        let total = self.sent_to[peer].fetch_add(len as u64, Ordering::Relaxed) + len as u64;
+        let round = self.round.load(Ordering::Relaxed);
+        let mut out = SendFault::default();
+        for armed in &self.armed {
+            let triggered = match armed.spec.trigger {
+                FaultTrigger::AtRound(r) => round >= r,
+                FaultTrigger::AtBytes(b) => total >= b,
+            };
+            if !triggered {
+                continue;
+            }
+            match armed.spec.kind {
+                FaultKind::DropLink { a, b } => {
+                    if peer == a.max(b) && armed.try_fire() {
+                        out.drop_link = true;
+                    }
+                }
+                FaultKind::DelaySpike { a, b, delay } => {
+                    if peer == a.max(b) && armed.try_fire() {
+                        out.delay = Some(delay);
+                    }
+                }
+                FaultKind::CrashParty { party } => {
+                    // Round-triggered crashes fire from `note_round`;
+                    // byte-triggered ones fire here on any link.
+                    if matches!(armed.spec.trigger, FaultTrigger::AtBytes(_)) && armed.try_fire() {
+                        out.crash = Some(format!(
+                            "crash_party {party} {:?} fired after {total} bytes to peer {peer}",
+                            armed.spec.trigger
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// In-process fault wrapper around a [`Link`]. Crash and delay faults
+/// behave exactly as over TCP; a `drop_link` is *simulated* — channels
+/// cannot actually sever — by recording the same observable outcome the
+/// TCP session layer produces (a `reconnect` trace span, `reconnects`
+/// and `replayed_frames` counters) and then delivering the frame, which
+/// is precisely what a transparent reconnect+replay delivers.
+pub struct FaultyLink {
+    inner: Box<dyn Link>,
+    injector: Arc<FaultInjector>,
+    stats: OnceLock<Arc<NetStats>>,
+}
+
+impl FaultyLink {
+    /// Wrap `inner` with `injector`'s plan.
+    pub fn new(inner: Box<dyn Link>, injector: Arc<FaultInjector>) -> FaultyLink {
+        FaultyLink {
+            inner,
+            injector,
+            stats: OnceLock::new(),
+        }
+    }
+
+    fn record(&self, f: impl Fn(&NetStats)) {
+        if let Some(stats) = self.stats.get() {
+            f(stats);
+        }
+    }
+}
+
+impl Link for FaultyLink {
+    fn peer(&self) -> usize {
+        self.inner.peer()
+    }
+
+    fn send_bytes(&self, bytes: Vec<u8>) -> Result<(), LinkError> {
+        let fault = self.injector.on_send(self.peer(), bytes.len());
+        if let Some(reason) = fault.crash {
+            self.record(|s| s.record_fault_injected());
+            TransportError::new(
+                TransportErrorKind::InjectedCrash,
+                self.injector.party(),
+                reason,
+            )
+            .raise();
+        }
+        if let Some(delay) = fault.delay {
+            self.record(|s| s.record_fault_injected());
+            std::thread::sleep(delay);
+        }
+        if fault.drop_link {
+            self.record(|s| {
+                s.record_fault_injected();
+                s.record_reconnect();
+                s.record_replayed_frames(1);
+            });
+            // The outage window the TCP session layer would spend
+            // redialing, visible as a reconnect span on this party.
+            let _span = pivot_trace::phase_span("reconnect");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.inner.send_bytes(bytes)
+    }
+
+    fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, LinkError> {
+        self.inner.recv_bytes(timeout)
+    }
+
+    fn attach_stats(&self, stats: &Arc<NetStats>) {
+        let _ = self.stats.set(Arc::clone(stats));
+        self.inner.attach_stats(stats);
+    }
+}
+
+/// Build an in-process `m`-party network with `plan` injected on every
+/// link: the fault-plan equivalent of `Network::with_config(m,
+/// net).into_endpoints()`. Each party gets its own [`FaultInjector`]
+/// (wired into its links *and* its endpoint, so `at_round` triggers
+/// fire), and every [`ChannelLink`] is wrapped in a [`FaultyLink`].
+pub fn faulty_network(m: usize, net: NetConfig, plan: &FaultPlan) -> Vec<Endpoint> {
+    let injectors: Vec<Arc<FaultInjector>> =
+        (0..m).map(|p| FaultInjector::new(p, m, plan)).collect();
+    let mut slots: Vec<Vec<Option<Box<dyn Link>>>> =
+        (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let (at_a, at_b) = ChannelLink::pair(a, b);
+            slots[a][b] = Some(Box::new(FaultyLink::new(
+                Box::new(at_a),
+                Arc::clone(&injectors[a]),
+            )));
+            slots[b][a] = Some(Box::new(FaultyLink::new(
+                Box::new(at_b),
+                Arc::clone(&injectors[b]),
+            )));
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(id, links)| {
+            let ep = Endpoint::from_links(id, links, net.clone());
+            ep.set_fault_injector(Arc::clone(&injectors[id]));
+            ep
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::try_run_parties_on;
+
+    #[test]
+    fn parses_every_fault_kind() {
+        assert_eq!(
+            FaultSpec::parse("drop_link 0-1 at_round=8").unwrap(),
+            FaultSpec {
+                kind: FaultKind::DropLink { a: 0, b: 1 },
+                trigger: FaultTrigger::AtRound(8),
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("delay_spike 2-1 at_bytes=4096 ms=250").unwrap(),
+            FaultSpec {
+                kind: FaultKind::DelaySpike {
+                    a: 1,
+                    b: 2,
+                    delay: Duration::from_millis(250),
+                },
+                trigger: FaultTrigger::AtBytes(4096),
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("crash_party 2 at_round=10").unwrap(),
+            FaultSpec {
+                kind: FaultKind::CrashParty { party: 2 },
+                trigger: FaultTrigger::AtRound(10),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "drop_link",
+            "drop_link 0-0 at_round=1",
+            "drop_link 0-1",
+            "drop_link 0-1 at_round=x",
+            "drop_link 01 at_round=1",
+            "delay_spike 0-1 at_round=1",
+            "crash_party 1 at_round=1 ms=5",
+            "meteor_strike 0-1 at_round=1",
+            "drop_link 0-1 at_round=1 whenever",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn link_faults_arm_only_on_the_lower_id_side() {
+        let plan = FaultPlan::parse(&["drop_link 1-2 at_round=3".into()], 0).unwrap();
+        let at_0 = FaultInjector::new(0, 3, &plan);
+        let at_1 = FaultInjector::new(1, 3, &plan);
+        let at_2 = FaultInjector::new(2, 3, &plan);
+        assert!(at_0.armed.is_empty());
+        assert_eq!(at_1.armed.len(), 1);
+        assert!(at_2.armed.is_empty());
+    }
+
+    #[test]
+    fn round_trigger_fires_once_at_threshold() {
+        let plan = FaultPlan::parse(&["drop_link 0-1 at_round=2".into()], 0).unwrap();
+        let inj = FaultInjector::new(0, 2, &plan);
+        assert_eq!(inj.on_send(1, 100), SendFault::default());
+        assert!(inj.note_round().is_none());
+        assert!(inj.note_round().is_none());
+        // Round counter reached 2: next send on the link drops it.
+        let fault = inj.on_send(1, 100);
+        assert!(fault.drop_link);
+        // Fire-once.
+        assert_eq!(inj.on_send(1, 100), SendFault::default());
+    }
+
+    #[test]
+    fn byte_trigger_counts_per_link() {
+        let plan = FaultPlan::parse(&["delay_spike 0-2 at_bytes=300 ms=1".into()], 0).unwrap();
+        let inj = FaultInjector::new(0, 3, &plan);
+        // Traffic to peer 1 never triggers the 0-2 fault.
+        assert_eq!(inj.on_send(1, 1000), SendFault::default());
+        assert_eq!(inj.on_send(2, 200), SendFault::default());
+        let fault = inj.on_send(2, 200);
+        assert_eq!(fault.delay, Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn crash_fires_at_round_boundary() {
+        let plan = FaultPlan::parse(&["crash_party 1 at_round=2".into()], 7).unwrap();
+        let inj = FaultInjector::new(1, 2, &plan);
+        assert!(inj.note_round().is_none());
+        let fired = inj.note_round().expect("crash at round 2");
+        assert!(fired.contains("crash_party 1"), "{fired}");
+        assert!(inj.note_round().is_none(), "fires once");
+        assert_eq!(inj.seed(), 7);
+    }
+
+    #[test]
+    fn in_process_drop_is_transparent_and_counted() {
+        let plan = FaultPlan::parse(&["drop_link 0-1 at_bytes=1".into()], 3).unwrap();
+        let eps = faulty_network(2, NetConfig::default(), &plan);
+        let results = try_run_parties_on(eps, |ep| {
+            if ep.id() == 0 {
+                for i in 0..10u64 {
+                    ep.send(1, &i);
+                }
+                let echoed: u64 = ep.recv(1);
+                let stats = ep.stats();
+                (
+                    echoed,
+                    stats.faults_injected(),
+                    stats.reconnects(),
+                    stats.replayed_frames(),
+                )
+            } else {
+                let mut sum = 0u64;
+                for _ in 0..10 {
+                    sum += ep.recv::<u64>(0);
+                }
+                ep.send(0, &sum);
+                (sum, 0, 0, 0)
+            }
+        });
+        let (echoed, faults, reconnects, replayed) =
+            *results[0].as_ref().expect("party 0 survives the drop");
+        assert_eq!(echoed, 45);
+        assert_eq!(results[1].as_ref().unwrap().0, 45);
+        assert!(faults >= 1 && reconnects >= 1 && replayed >= 1);
+    }
+
+    #[test]
+    fn crash_party_surfaces_typed_errors_everywhere() {
+        let plan = FaultPlan::parse(&["crash_party 0 at_bytes=1".into()], 0).unwrap();
+        // Short wedge timeout so the surviving party fails fast once the
+        // crasher is gone.
+        let net = NetConfig {
+            recv_timeout: Duration::from_millis(300),
+            ..NetConfig::default()
+        };
+        let eps = faulty_network(2, net, &plan);
+        let results = try_run_parties_on(eps, |ep| {
+            if ep.id() == 0 {
+                ep.send(1, &1u64); // crashes here
+            } else {
+                let _: u64 = ep.recv(0);
+                let _: u64 = ep.recv(0); // never arrives
+            }
+            ep.id()
+        });
+        let crash = results[0].as_ref().expect_err("party 0 crashes");
+        assert_eq!(crash.kind, TransportErrorKind::InjectedCrash);
+        assert_eq!(crash.party, 0);
+        assert!(crash.detail.contains("crash_party 0"), "{}", crash.detail);
+        let survivor = results[1].as_ref().expect_err("party 1 wedges");
+        assert_eq!(survivor.party, 1);
+        assert_eq!(survivor.peer, Some(0));
+    }
+
+    #[test]
+    fn note_round_crash_raises_on_endpoint() {
+        let plan = FaultPlan::parse(&["crash_party 1 at_round=1".into()], 0).unwrap();
+        let eps = faulty_network(2, NetConfig::default(), &plan);
+        let results = try_run_parties_on(eps, |ep| {
+            ep.note_round();
+            ep.id()
+        });
+        assert_eq!(*results[0].as_ref().unwrap(), 0);
+        let crash = results[1].as_ref().expect_err("party 1 crashes at round 1");
+        assert_eq!(crash.kind, TransportErrorKind::InjectedCrash);
+        assert_eq!(crash.party, 1);
+    }
+}

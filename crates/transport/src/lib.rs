@@ -21,13 +21,22 @@
 
 mod config;
 mod endpoint;
+mod error;
+pub mod fault;
 mod link;
 mod stats;
 pub mod tcp;
 pub mod wire;
 
-pub use config::{NetConfig, DEFAULT_RECV_TIMEOUT, MAX_RECV_TIMEOUT_SECS};
-pub use endpoint::{run_parties, run_parties_with, Endpoint, Network};
+pub use config::{NetConfig, DEFAULT_CONNECT_TIMEOUT, DEFAULT_RECV_TIMEOUT, MAX_RECV_TIMEOUT_SECS};
+pub use endpoint::{
+    run_parties, run_parties_on, run_parties_with, try_run_parties_on, try_run_parties_with,
+    Endpoint, Network,
+};
+pub use error::{catch_transport, panic_message, Direction, TransportError, TransportErrorKind};
+pub use fault::{
+    faulty_network, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger, FaultyLink,
+};
 pub use link::{ChannelLink, Link, LinkError};
 pub use stats::NetStats;
 pub use wire::{Wire, WireError};

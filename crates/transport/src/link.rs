@@ -10,8 +10,10 @@
 //! Shipped backends: [`ChannelLink`] (in-process, crossbeam channels) and
 //! [`crate::tcp::TcpLink`] (one socket per peer, length-prefixed frames).
 
+use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Why a link operation failed.
@@ -22,6 +24,10 @@ pub enum LinkError {
     Timeout(Duration),
     /// The peer hung up or the underlying connection broke.
     Disconnected(String),
+    /// The peer sent bytes that cannot be a valid frame (implausible
+    /// length, bad tag, sequence gap) — a desynced or hostile stream, not
+    /// a liveness problem, so reconnecting would not help.
+    Malformed(String),
 }
 
 impl fmt::Display for LinkError {
@@ -29,6 +35,7 @@ impl fmt::Display for LinkError {
         match self {
             LinkError::Timeout(after) => write!(f, "no message within {after:?}"),
             LinkError::Disconnected(why) => write!(f, "peer disconnected ({why})"),
+            LinkError::Malformed(why) => write!(f, "malformed frame ({why})"),
         }
     }
 }
@@ -51,6 +58,14 @@ pub trait Link: Send {
 
     /// Block until the next message from the peer arrives, up to `timeout`.
     fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, LinkError>;
+
+    /// Hand the owning endpoint's traffic counters to the link, so
+    /// backends with internal machinery (reconnect sessions, fault
+    /// wrappers) can record session-health events (`reconnects`,
+    /// `replayed_frames`, …) against the party's [`NetStats`]. Called
+    /// once from `Endpoint::from_links`; backends with nothing to report
+    /// keep the default no-op.
+    fn attach_stats(&self, _stats: &Arc<NetStats>) {}
 }
 
 /// In-process backend: a pair of unbounded channels per peer.

@@ -11,6 +11,13 @@ pub struct NetStats {
     bytes_received: AtomicU64,
     messages_sent: AtomicU64,
     messages_received: AtomicU64,
+    // Session-layer health counters. Unlike the traffic counters these
+    // describe the whole run, not a phase: `reset` (called between
+    // train/predict snapshots) leaves them alone.
+    connect_retries: AtomicU64,
+    reconnects: AtomicU64,
+    replayed_frames: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 impl NetStats {
@@ -62,11 +69,77 @@ impl NetStats {
         self.messages_received.load(Ordering::Relaxed)
     }
 
-    /// Reset all counters (between benchmark phases).
+    /// Record one failed dial attempt (rendezvous or reconnect backoff).
+    pub(crate) fn record_connect_retry(&self) {
+        self.connect_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one successfully resumed session after a link drop.
+    pub(crate) fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record frames retransmitted from the ring during a resume.
+    pub(crate) fn record_replayed_frames(&self, n: u64) {
+        self.replayed_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one fault fired from a scenario `[faults]` plan.
+    pub(crate) fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failed dial attempts across rendezvous and reconnects.
+    pub fn connect_retries(&self) -> u64 {
+        self.connect_retries.load(Ordering::Relaxed)
+    }
+
+    /// Sessions resumed after a link drop.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Frames retransmitted from the ring during resumes.
+    pub fn replayed_frames(&self) -> u64 {
+        self.replayed_frames.load(Ordering::Relaxed)
+    }
+
+    /// Faults fired from the scenario `[faults]` plan on this party.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Reset the traffic counters (between benchmark phases). The
+    /// session-layer health counters (`connect_retries`, `reconnects`,
+    /// `replayed_frames`, `faults_injected`) are whole-run totals and
+    /// deliberately survive.
     pub fn reset(&self) {
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
         self.messages_sent.store(0, Ordering::Relaxed);
         self.messages_received.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_preserves_session_health_counters() {
+        let stats = NetStats::new();
+        stats.record_send(10);
+        stats.record_recv(10);
+        stats.record_connect_retry();
+        stats.record_reconnect();
+        stats.record_replayed_frames(3);
+        stats.record_fault_injected();
+        stats.reset();
+        assert_eq!(stats.bytes_sent(), 0);
+        assert_eq!(stats.messages_received(), 0);
+        assert_eq!(stats.connect_retries(), 1);
+        assert_eq!(stats.reconnects(), 1);
+        assert_eq!(stats.replayed_frames(), 3);
+        assert_eq!(stats.faults_injected(), 1);
     }
 }
