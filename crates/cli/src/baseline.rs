@@ -180,6 +180,10 @@ fn algo_json(exec: &Execution) -> Json {
         .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
         .with("comparisons", crate::report::comparisons_json(p0))
         .with(
+            "verification",
+            crate::report::verification_json(&p0.verification),
+        )
+        .with(
             "pool_hit_rate",
             match p0.pool.hit_rate() {
                 Some(r) => Json::Num(r),

@@ -37,8 +37,10 @@ SUBCOMMANDS:
                per-party report matching the in-process run bit-for-bit.
                Lost connections are resumed transparently (replayed from
                a retransmit ring); unrecoverable failures write a
-               structured error report and exit 10 (transport failure)
-               or 11 (this party's own [faults] crash_party fired)
+               structured error report and exit 10 (transport failure),
+               11 (this party's own [faults] crash_party fired), or 12
+               (a zero-knowledge proof was rejected — the report names
+               the accused party)
     trace      Inspect tracing output: point it at a run report (train /
                predict / bench / party / --baseline JSON) to print the
                embedded per-phase round/byte/wall tables, or at a
@@ -370,10 +372,11 @@ fn main() -> ExitCode {
         };
         return match pivot_cli::party::run(&args) {
             Ok(()) => ExitCode::SUCCESS,
-            // Transport failures get distinct exit codes (10 = network,
-            // 11 = this party's own injected crash) so a harness can
-            // classify a dead run without parsing stderr; the structured
-            // error report has already been written by `party::run`.
+            // Failures get distinct exit codes (10 = network, 11 = this
+            // party's own injected crash, 12 = rejected proof) so a
+            // harness can classify a dead run without parsing stderr;
+            // the structured error report has already been written by
+            // `party::run`.
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(e.exit_code())

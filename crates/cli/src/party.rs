@@ -18,7 +18,9 @@ use crate::runner::{compute_metric, metric_name_for, prepare, run_party_protocol
 use crate::scenario::Scenario;
 use pivot_data::partition_vertically;
 use pivot_transport::tcp::connect_mesh_with;
-use pivot_transport::{catch_transport, FaultInjector, TransportError, TransportErrorKind};
+use pivot_transport::{
+    catch_failures, FaultInjector, ProtocolError, RunFailure, TransportError, TransportErrorKind,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -28,6 +30,10 @@ use std::time::Instant;
 pub const EXIT_TRANSPORT_FAILURE: u8 = 10;
 /// Exit code when this party's own `crash_party` fault fired.
 pub const EXIT_INJECTED_CRASH: u8 = 11;
+/// Exit code when the verification plane rejected a zero-knowledge
+/// proof: the protocol *content* failed, not the network — the
+/// structured error report names the accused cheater.
+pub const EXIT_PROOF_REJECTED: u8 = 12;
 
 /// How a `pivot party` run failed.
 pub enum PartyError {
@@ -37,6 +43,10 @@ pub enum PartyError {
     /// report has already been written; exit code 10 (or 11 when the
     /// failure is this party's own injected crash).
     Transport(Box<TransportError>),
+    /// The verification plane rejected a proof. A structured error
+    /// report naming the accused party has already been written; exit
+    /// code 12.
+    Protocol(Box<ProtocolError>),
 }
 
 impl PartyError {
@@ -48,6 +58,7 @@ impl PartyError {
                 EXIT_INJECTED_CRASH
             }
             PartyError::Transport(_) => EXIT_TRANSPORT_FAILURE,
+            PartyError::Protocol(_) => EXIT_PROOF_REJECTED,
         }
     }
 }
@@ -57,6 +68,7 @@ impl std::fmt::Display for PartyError {
         match self {
             PartyError::Usage(e) => write!(f, "{e}"),
             PartyError::Transport(err) => write!(f, "{err}"),
+            PartyError::Protocol(err) => write!(f, "{err}"),
         }
     }
 }
@@ -140,10 +152,10 @@ pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
         };
         let mut err = TransportError::new(kind, args.id, e.to_string());
         err.phase = "connect".into();
-        err
+        RunFailure::Transport(err)
     })
     .and_then(|ep| {
-        catch_transport(|| {
+        catch_failures(|| {
             run_party_protocol(
                 &ep,
                 train_part.views[args.id].clone(),
@@ -159,15 +171,24 @@ pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
 
     let outcome = match result {
         Ok(outcome) => outcome,
-        Err(err) => {
-            let report = report::party_error_report(&scenario, args.id, &err, wall_s);
+        Err(failure) => {
+            let (report, party_err) = match failure {
+                RunFailure::Transport(err) => (
+                    report::party_error_report(&scenario, args.id, &err, wall_s),
+                    PartyError::Transport(Box::new(err)),
+                ),
+                RunFailure::Protocol(err) => (
+                    report::party_protocol_error_report(&scenario, args.id, &err, wall_s),
+                    PartyError::Protocol(Box::new(err)),
+                ),
+            };
             std::fs::write(&out_path, report.to_pretty())
                 .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
             if !args.quiet {
-                eprintln!("party {} failed: {err}", args.id);
+                eprintln!("party {} failed: {party_err}", args.id);
                 eprintln!("error report written to {}", out_path.display());
             }
-            return Err(PartyError::Transport(Box::new(err)));
+            return Err(party_err);
         }
     };
 

@@ -123,6 +123,30 @@ fn counters_json(exec: &Execution) -> Json {
         .with("split_stat_ciphertexts", p0.split_stat_ciphertexts)
         .with("packing", packing_json(p0))
         .with("randomness_pool", pool_json(&p0.pool))
+        .with("verification", verification_json(&p0.verification))
+}
+
+/// Malicious-model verification counters of one party: proof
+/// generation/check volume, spot-check skip ratio, wire bytes the proof
+/// bundles added, and verification wall time. All zeros under
+/// `params.verification = "off"`.
+pub(crate) fn verification_json(v: &pivot_core::VerificationCounters) -> Json {
+    let checked = v.proofs_verified + v.proofs_skipped;
+    Json::obj()
+        .with("proofs_generated", v.proofs_generated)
+        .with("proofs_verified", v.proofs_verified)
+        .with("proofs_skipped", v.proofs_skipped)
+        .with("proofs_rejected", v.proofs_rejected)
+        .with("proof_bytes", v.proof_bytes)
+        .with("wall_s", v.wall.as_secs_f64())
+        .with(
+            "verified_fraction",
+            if checked > 0 {
+                Json::Num(v.proofs_verified as f64 / checked as f64)
+            } else {
+                Json::Null
+            },
+        )
 }
 
 /// Per-phase aggregate rows of one party's trace: rounds, bytes, wall and
@@ -456,6 +480,41 @@ pub fn party_error_report(
         )
 }
 
+/// Failure report for `pivot party` when the run died on a *protocol*
+/// failure — a rejected zero-knowledge proof. Unlike a transport error
+/// it names the accused cheater (`accused`) separately from the party
+/// that observed the rejection, so a harness reads the attribution as
+/// data.
+pub fn party_protocol_error_report(
+    scenario: &Scenario,
+    party: usize,
+    err: &pivot_transport::ProtocolError,
+    wall_s: f64,
+) -> Json {
+    let pivot_transport::ProtocolError::ProofRejected {
+        party: accused,
+        observer,
+        phase,
+        proof_kind,
+        detail,
+    } = err;
+    header("party", scenario)
+        .with("party", party)
+        .with("status", "failed")
+        .with("wall_total_s", wall_s)
+        .with(
+            "error",
+            Json::obj()
+                .with("kind", "proof_rejected")
+                .with("accused", *accused as u64)
+                .with("observer", *observer as u64)
+                .with("phase", phase.clone())
+                .with("proof_kind", proof_kind.clone())
+                .with("detail", detail.clone())
+                .with("message", err.to_string()),
+        )
+}
+
 /// Report for `pivot bench`: one entry per (axis value × algorithm).
 pub fn bench_report(scenario: &Scenario, axis: &str, results: &[(usize, Execution)]) -> Json {
     let entries: Vec<Json> = results
@@ -525,6 +584,14 @@ mod tests {
                 masked_hits: 8,
                 masked_misses: 1,
                 produced: 128,
+            },
+            verification: pivot_core::VerificationCounters {
+                proofs_generated: 20,
+                proofs_verified: 5,
+                proofs_skipped: 15,
+                proofs_rejected: 0,
+                proof_bytes: 4096,
+                wall: std::time::Duration::from_millis(12),
             },
             split_stat_ciphertexts: 54,
             packed: (9, 57, 63),
@@ -638,6 +705,45 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(0.75)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.verification.proofs_generated")
+                .unwrap()
+                .as_u64(),
+            Some(20)
+        );
+        assert_eq!(
+            parsed
+                .path("counters.verification.verified_fraction")
+                .unwrap()
+                .as_f64(),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn protocol_error_report_names_the_accused() {
+        let err = pivot_transport::ProtocolError::ProofRejected {
+            party: 1,
+            observer: 0,
+            phase: "stats".into(),
+            proof_kind: "pohdp".into(),
+            detail: "commit index 3".into(),
+        };
+        let report = party_protocol_error_report(&scenario(), 0, &err, 0.5);
+        let parsed = crate::json::Json::parse(&report.to_pretty()).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("failed"));
+        assert_eq!(
+            parsed.path("error.kind").unwrap().as_str(),
+            Some("proof_rejected")
+        );
+        assert_eq!(parsed.path("error.accused").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.path("error.observer").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed.path("error.phase").unwrap().as_str(), Some("stats"));
+        assert_eq!(
+            parsed.path("error.proof_kind").unwrap().as_str(),
+            Some("pohdp")
         );
     }
 

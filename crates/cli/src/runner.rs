@@ -46,6 +46,10 @@ pub struct PartyOutcome {
     /// Offline dealer-pool behavior (timing-dependent, *not* part of the
     /// cross-backend parity contract).
     pub dealer_pool: pivot_core::DealerPoolStats,
+    /// Malicious-model verification plane: proofs generated / verified /
+    /// skipped / rejected, proof bytes, and verification wall time. All
+    /// zeros when `params.verification = "off"`.
+    pub verification: pivot_core::VerificationCounters,
     /// Pooled split-statistics ciphertexts (what packing divides).
     pub split_stat_ciphertexts: u64,
     /// Packed emissions: `(ciphertexts, values carried, slot capacity)`.
@@ -236,6 +240,7 @@ pub fn run_party_protocol(
         secure_comparisons,
         comparison,
         dealer_pool,
+        verification: ctx.metrics.verification(),
         split_stat_ciphertexts: ctx.metrics.split_stat_ciphertexts(),
         packed: ctx.metrics.packed(),
         stats_bytes_sent: ctx.metrics.stats_bytes_sent(),

@@ -16,7 +16,7 @@ use crate::json::Json;
 use crate::toml::{TomlDoc, TomlValue};
 use pivot_bench::Algo;
 use pivot_core::config::{Packing, PivotParams};
-use pivot_core::{CompareBits, Scheduling, TraceLevel};
+use pivot_core::{AdversarySpec, CompareBits, Scheduling, TraceLevel, Verification};
 use pivot_data::{synth, Dataset, Task};
 use pivot_transport::NetConfig;
 use pivot_trees::TreeParams;
@@ -208,6 +208,58 @@ impl ComparisonBitsSpec {
     }
 }
 
+/// `params.verification`: `"off"`, `"spot(p)"`, or `"full"`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum VerificationSpec {
+    #[default]
+    Off,
+    Spot(f64),
+    Full,
+}
+
+impl VerificationSpec {
+    fn parse(s: &str) -> Result<VerificationSpec, String> {
+        match s {
+            "off" => Ok(VerificationSpec::Off),
+            "full" => Ok(VerificationSpec::Full),
+            other => {
+                let p = other
+                    .strip_prefix("spot(")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .and_then(|p| p.trim().parse::<f64>().ok())
+                    .filter(|p| (0.0..=1.0).contains(p));
+                match p {
+                    Some(p) => Ok(VerificationSpec::Spot(p)),
+                    None => Err(format!(
+                        "params.verification: unknown mode {other:?} (expected \
+                         \"off\", \"full\", or \"spot(p)\" with p in [0, 1])"
+                    )),
+                }
+            }
+        }
+    }
+
+    fn to_core(self) -> Verification {
+        match self {
+            VerificationSpec::Off => Verification::Off,
+            VerificationSpec::Spot(p) => Verification::Spot(p),
+            VerificationSpec::Full => Verification::Full,
+        }
+    }
+
+    fn is_on(self) -> bool {
+        self != VerificationSpec::Off
+    }
+
+    fn echo(self) -> Json {
+        match self {
+            VerificationSpec::Off => Json::Str("off".into()),
+            VerificationSpec::Spot(p) => Json::Str(format!("spot({p})")),
+            VerificationSpec::Full => Json::Str("full".into()),
+        }
+    }
+}
+
 /// `params.trace`: `"off"`, `"phases"`, or `"full"`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum TraceSpec {
@@ -294,6 +346,10 @@ pub struct ParamSpec {
     /// coalescing + level-batched comparisons and deferred openings (same
     /// released model, far fewer rounds).
     pub scheduling: SchedulingSpec,
+    /// Malicious-model verification: `"off"` (default, bit-identical
+    /// transcript), `"spot(p)"` (proofs on every commit, a seeded
+    /// p-fraction verified), `"full"` (every proof verified).
+    pub verification: VerificationSpec,
 }
 
 impl Default for ParamSpec {
@@ -311,6 +367,7 @@ impl Default for ParamSpec {
             dealer_pool: 256,
             trace: TraceSpec::Off,
             scheduling: SchedulingSpec::Sequential,
+            verification: VerificationSpec::Off,
         }
     }
 }
@@ -348,6 +405,18 @@ pub struct FaultsSpec {
     pub seed: Option<u64>,
 }
 
+/// `[adversary]` section: a deterministic malicious-party injection for
+/// verification runs, mirroring `[faults]`. `tamper` uses the
+/// [`pivot_core::AdversarySpec`] grammar
+/// (`party <id> phase=<name> index=<k>`): after generating its proof over
+/// the honest value, `party` multiplies the `index`-th ciphertext of its
+/// cumulative `phase` commit stream by `1 + N` (adding 1 to the
+/// plaintext), so verification must catch and attribute the mismatch.
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryCliSpec {
+    pub tamper: Option<String>,
+}
+
 /// `[sweep]` section (the `bench` subcommand).
 #[derive(Clone, Debug)]
 pub struct SweepSpec {
@@ -369,6 +438,7 @@ pub struct Scenario {
     pub model: ModelSpec,
     pub network: NetworkSpec,
     pub faults: FaultsSpec,
+    pub adversary: AdversaryCliSpec,
     pub sweep: Option<SweepSpec>,
 }
 
@@ -632,6 +702,7 @@ const PARAM_KEYS: &[&str] = &[
     "dealer_pool",
     "trace",
     "scheduling",
+    "verification",
 ];
 const MODEL_KEYS: &[&str] = &[
     "kind",
@@ -647,6 +718,7 @@ const NETWORK_KEYS: &[&str] = &[
     "connect_timeout_s",
 ];
 const FAULTS_KEYS: &[&str] = &["plan", "seed"];
+const ADVERSARY_KEYS: &[&str] = &["tamper"];
 const SWEEP_KEYS: &[&str] = &["vary", "values"];
 const SECTIONS: &[(&str, &[&str])] = &[
     ("", ROOT_KEYS),
@@ -655,6 +727,7 @@ const SECTIONS: &[(&str, &[&str])] = &[
     ("model", MODEL_KEYS),
     ("network", NETWORK_KEYS),
     ("faults", FAULTS_KEYS),
+    ("adversary", ADVERSARY_KEYS),
     ("sweep", SWEEP_KEYS),
 ];
 
@@ -845,6 +918,10 @@ impl Scenario {
                 ))
             }
         };
+        let verification = match doc.get_str("params", "verification")? {
+            None => pd.verification,
+            Some(s) => VerificationSpec::parse(&s)?,
+        };
         let crypto_threads = doc.get_usize("params", "crypto_threads")?;
         let decrypt_threads = doc.get_usize("params", "decrypt_threads")?;
         if crypto_threads.is_some() && decrypt_threads.is_some() {
@@ -882,6 +959,7 @@ impl Scenario {
                 .unwrap_or(pd.dealer_pool),
             trace,
             scheduling,
+            verification,
         };
 
         let md = ModelSpec::default();
@@ -910,6 +988,10 @@ impl Scenario {
         let faults = FaultsSpec {
             plan: doc.get_str_array("faults", "plan")?.unwrap_or_default(),
             seed: doc.get_u64("faults", "seed")?,
+        };
+
+        let adversary = AdversaryCliSpec {
+            tamper: doc.get_str("adversary", "tamper")?,
         };
 
         let sweep = match doc.get_str("sweep", "vary")? {
@@ -960,6 +1042,7 @@ impl Scenario {
             model,
             network,
             faults,
+            adversary,
             sweep,
         };
         scenario.validate()?;
@@ -1050,6 +1133,39 @@ impl Scenario {
                 ));
             }
         }
+        if self.params.verification.is_on() {
+            for algo in &self.algorithms {
+                if !matches!(algo, Algo::PivotBasic | Algo::PivotBasicPp) {
+                    return Err(format!(
+                        "params.verification covers the basic protocol's commit \
+                         points (§4 + Algorithm 4); algorithm {} carries no proofs \
+                         — run pivot-basic or pivot-basic-pp, or set \
+                         verification = \"off\"",
+                        algo.label()
+                    ));
+                }
+            }
+            if self.params.packing != PackingSpec::Off {
+                return Err("params.verification needs packing = \"off\" (the packed \
+                     statistics pipeline carries no proofs)"
+                    .into());
+            }
+        }
+        if let Some(adv) = self.adversary_spec()? {
+            if !self.params.verification.is_on() {
+                return Err("an [adversary] injection needs params.verification on \
+                     to be observable (the honest-but-curious transcript checks \
+                     nothing)"
+                    .into());
+            }
+            if adv.party >= self.parties {
+                return Err(format!(
+                    "adversary.tamper: party {} out of range (scenario has {} \
+                     parties)",
+                    adv.party, self.parties
+                ));
+            }
+        }
         let plan = self.fault_plan().map_err(|e| format!("faults.plan: {e}"))?;
         for spec in &plan.specs {
             let parties = match spec.kind {
@@ -1070,6 +1186,16 @@ impl Scenario {
     /// The parsed `[faults]` plan (empty when the section is absent).
     pub fn fault_plan(&self) -> Result<pivot_transport::FaultPlan, String> {
         pivot_transport::FaultPlan::parse(&self.faults.plan, self.faults.seed.unwrap_or(0))
+    }
+
+    /// The parsed `[adversary]` injection (`None` when the section is
+    /// absent).
+    pub fn adversary_spec(&self) -> Result<Option<AdversarySpec>, String> {
+        self.adversary
+            .tamper
+            .as_deref()
+            .map(|t| AdversarySpec::parse(t).map_err(|e| format!("adversary.tamper: {e}")))
+            .transpose()
     }
 
     /// The single algorithm of a train/predict scenario.
@@ -1243,6 +1369,10 @@ impl Scenario {
         p.dealer_pool = self.params.dealer_pool;
         p.trace = self.params.trace.to_core();
         p.scheduling = self.params.scheduling.to_core();
+        p.verification = self.params.verification.to_core();
+        // The scenario is validated before execution, so a malformed
+        // tamper spec never reaches this unwrap.
+        p.adversary = self.adversary_spec().expect("validated adversary spec");
         p
     }
 
@@ -1320,7 +1450,8 @@ impl Scenario {
                     .with("comparison_bits", self.params.comparison_bits.echo())
                     .with("dealer_pool", self.params.dealer_pool)
                     .with("trace", self.params.trace.echo())
-                    .with("scheduling", self.params.scheduling.echo()),
+                    .with("scheduling", self.params.scheduling.echo())
+                    .with("verification", self.params.verification.echo()),
             )
             .with("model", model)
             .with("network", {
@@ -1348,6 +1479,9 @@ impl Scenario {
                     .with("plan", self.faults.plan.clone())
                     .with("seed", self.faults.seed.unwrap_or(0)),
             );
+        }
+        if let Some(tamper) = &self.adversary.tamper {
+            root.set("adversary", Json::obj().with("tamper", tamper.clone()));
         }
         if let Some(sweep) = &self.sweep {
             root.set(
@@ -1913,5 +2047,79 @@ mod tests {
         assert_eq!(s.parties, 2);
         assert_eq!(s.data.samples, 40);
         assert_eq!(s.params.max_depth, 2);
+    }
+
+    #[test]
+    fn verification_knob_parses_and_applies() {
+        // Default off: the honest-but-curious transcript is untouched.
+        let s = parse_toml("[data]\nkind = \"synthetic-classification\"").unwrap();
+        assert_eq!(s.params.verification, VerificationSpec::Off);
+        assert_eq!(
+            s.pivot_params(Algo::PivotBasic).verification,
+            pivot_core::Verification::Off
+        );
+        let s = parse_toml("[params]\nverification = \"full\"").unwrap();
+        assert_eq!(s.params.verification, VerificationSpec::Full);
+        assert_eq!(
+            s.pivot_params(Algo::PivotBasic).verification,
+            pivot_core::Verification::Full
+        );
+        assert_eq!(
+            s.to_json().path("params.verification").unwrap().as_str(),
+            Some("full")
+        );
+        let s = parse_toml("[params]\nverification = \"spot(0.25)\"").unwrap();
+        assert_eq!(s.params.verification, VerificationSpec::Spot(0.25));
+        assert_eq!(
+            s.to_json().path("params.verification").unwrap().as_str(),
+            Some("spot(0.25)")
+        );
+        // Typos and out-of-range probabilities are hard errors.
+        assert!(parse_toml("[params]\nverification = \"on\"").is_err());
+        assert!(parse_toml("[params]\nverification = \"spot(1.5)\"").is_err());
+        assert!(parse_toml("[params]\nverification = \"spot(-0.1)\"").is_err());
+    }
+
+    #[test]
+    fn verification_only_covers_proved_paths() {
+        // Enhanced algorithms carry no proofs.
+        let err = parse_toml("algorithm = \"pivot-enhanced\"\n[params]\nverification = \"full\"")
+            .unwrap_err();
+        assert!(err.contains("carries no proofs"), "{err}");
+        // Neither does the packed statistics pipeline.
+        let err = parse_toml("[params]\nverification = \"full\"\npacking = \"auto\"").unwrap_err();
+        assert!(err.contains("packing"), "{err}");
+    }
+
+    #[test]
+    fn adversary_section_parses_and_validates() {
+        let s = parse_toml(
+            "[params]\nverification = \"spot(1.0)\"\n\
+             [adversary]\ntamper = \"party 1 phase=stats index=3\"",
+        )
+        .unwrap();
+        let adv = s.adversary_spec().unwrap().unwrap();
+        assert_eq!(adv.party, 1);
+        assert_eq!(adv.phase, "stats");
+        assert_eq!(adv.index, 3);
+        let p = s.pivot_params(Algo::PivotBasic);
+        assert_eq!(p.adversary.as_ref(), Some(&adv));
+        assert_eq!(
+            s.to_json().path("adversary.tamper").unwrap().as_str(),
+            Some("party 1 phase=stats index=3")
+        );
+        // Tampering without verification on is unobservable — rejected.
+        let err = parse_toml("[adversary]\ntamper = \"party 1 phase=stats\"").unwrap_err();
+        assert!(err.contains("verification"), "{err}");
+        // Out-of-range party and malformed specs are rejected.
+        let err = parse_toml(
+            "[params]\nverification = \"full\"\n[adversary]\ntamper = \"party 7 phase=stats\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(parse_toml(
+            "[params]\nverification = \"full\"\n[adversary]\ntamper = \"phase=stats\"",
+        )
+        .is_err());
     }
 }

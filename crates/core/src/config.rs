@@ -46,6 +46,98 @@ pub enum Scheduling {
     Pipelined,
 }
 
+/// Malicious-model verification policy (§9.1): whether parties attach and
+/// check Σ-protocol proofs on their ciphertext commitments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Verification {
+    /// No proofs generated or checked — bit-identical transcript to the
+    /// honest-but-curious protocol (the same contract as `trace`).
+    Off,
+    /// Proofs are attached to every commit; a seeded-deterministic
+    /// `p`-fraction per phase is verified, so honest runs pay ~`p` of the
+    /// full verification cost and any tampered commit is caught with
+    /// probability ≥ `p`. `Spot(1.0)` is equivalent to [`Self::Full`].
+    Spot(f64),
+    /// Every proof is verified by every party.
+    Full,
+}
+
+impl Verification {
+    /// Whether any proofs are generated at all.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, Verification::Off)
+    }
+
+    /// The fraction of proofs each party verifies.
+    pub fn probability(&self) -> f64 {
+        match self {
+            Verification::Off => 0.0,
+            Verification::Spot(p) => *p,
+            Verification::Full => 1.0,
+        }
+    }
+}
+
+/// A deterministic malicious-party injection (the `[adversary]` scenario
+/// section, mirroring the `[faults]` plan): `party` tampers the
+/// ciphertext at `index` of its `phase` commit — *after* generating its
+/// proof over the honest value, so the published proof no longer matches
+/// the published ciphertext and verification must catch and attribute it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdversarySpec {
+    /// The tampering party.
+    pub party: usize,
+    /// Which verification phase to tamper (`setup`, `label_masks`,
+    /// `stats`, `update`, `predict`).
+    pub phase: String,
+    /// Which committed ciphertext of that phase to tamper: a 0-based
+    /// index into the party's *cumulative* commit stream for the phase
+    /// (phases that commit repeatedly — per class, per tree level —
+    /// keep counting, so every commit of a run is addressable exactly
+    /// once).
+    pub index: usize,
+}
+
+impl AdversarySpec {
+    /// Parse the scenario grammar: `party <id> phase=<name> index=<k>`.
+    pub fn parse(spec: &str) -> Result<AdversarySpec, String> {
+        let mut phase = None;
+        let mut index = 0usize;
+        let mut words = spec.split_whitespace().peekable();
+        let party = match (words.next(), words.peek()) {
+            (Some("party"), Some(_)) => {
+                let id = words.next().expect("peeked");
+                id.parse::<usize>()
+                    .map_err(|_| format!("adversary: bad party id {id:?}"))?
+            }
+            _ => return Err(format!("adversary: expected `party <id> …`, got {spec:?}")),
+        };
+        for word in words {
+            match word.split_once('=') {
+                Some(("phase", v)) => phase = Some(v.to_string()),
+                Some(("index", v)) => {
+                    index = v
+                        .parse()
+                        .map_err(|_| format!("adversary: bad index {v:?}"))?;
+                }
+                _ => return Err(format!("adversary: unknown clause {word:?}")),
+            }
+        }
+        let phase = phase.ok_or_else(|| format!("adversary: missing phase= in {spec:?}"))?;
+        const PHASES: [&str; 5] = ["setup", "label_masks", "stats", "update", "predict"];
+        if !PHASES.contains(&phase.as_str()) {
+            return Err(format!(
+                "adversary: unknown phase {phase:?} (expected one of {PHASES:?})"
+            ));
+        }
+        Ok(AdversarySpec {
+            party,
+            phase,
+            index,
+        })
+    }
+}
+
 /// The audited slot layout for one run: how wide a slot must be and how
 /// many fit a ciphertext.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +208,17 @@ pub struct PivotParams {
     /// exact PR-6 communication schedule; `Pipelined` compacts rounds
     /// (same released models/predictions/metrics, fewer round-trips).
     pub scheduling: Scheduling,
+    /// Malicious-model verification policy. `Off` (default) generates
+    /// and checks nothing — bit-identical transcript. `Spot(p)`/`Full`
+    /// attach Σ-protocol proofs to every ciphertext commit and verify a
+    /// deterministic fraction; a rejected proof raises
+    /// `ProtocolError::ProofRejected` naming the prover. Requires
+    /// `packing = Off` (the packed statistics pipeline carries no
+    /// proofs).
+    pub verification: Verification,
+    /// Deterministic malicious-party injection for CI/testing; only
+    /// meaningful with `verification` on.
+    pub adversary: Option<AdversarySpec>,
     /// Protocol tracing level. `Off` (default) installs no collector —
     /// the transcript is bit-identical to an untraced run and every hook
     /// is a single atomic load. `Phases`/`Full` record span timelines
@@ -139,6 +242,8 @@ impl Default for PivotParams {
             dealer_pool: 256,
             dealer_seed: 0x9162_07,
             scheduling: Scheduling::Sequential,
+            verification: Verification::Off,
+            adversary: None,
             trace: TraceLevel::Off,
         }
     }
@@ -269,6 +374,30 @@ impl PivotParams {
             self.tree.max_splits >= 1,
             "need at least one candidate split"
         );
+        if let Verification::Spot(p) = self.verification {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "verification spot probability {p} outside [0, 1]"
+            );
+        }
+        if self.verification.is_on() {
+            assert!(
+                self.packing == Packing::Off,
+                "verification requires packing = off (the packed statistics \
+                 pipeline carries no proofs)"
+            );
+        }
+        if let Some(adv) = &self.adversary {
+            assert!(
+                self.verification.is_on(),
+                "an [adversary] injection needs verification on to be observable"
+            );
+            assert!(
+                adv.party < parties,
+                "adversary party {} out of range for {parties} parties",
+                adv.party
+            );
+        }
         if let CompareBits::Floor(n) = self.comparison_bits {
             assert!(
                 (2..=self.fixed.int_bits).contains(&n),
@@ -326,6 +455,54 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn too_many_samples_rejected() {
         PivotParams::default().assert_valid(1 << 25);
+    }
+
+    #[test]
+    fn adversary_spec_parses_and_rejects() {
+        let adv = AdversarySpec::parse("party 2 phase=stats index=3").unwrap();
+        assert_eq!(adv.party, 2);
+        assert_eq!(adv.phase, "stats");
+        assert_eq!(adv.index, 3);
+        // index defaults to 0.
+        let adv = AdversarySpec::parse("party 0 phase=setup").unwrap();
+        assert_eq!(adv.index, 0);
+        assert!(AdversarySpec::parse("phase=setup").is_err());
+        assert!(AdversarySpec::parse("party x phase=setup").is_err());
+        assert!(AdversarySpec::parse("party 1").is_err());
+        assert!(AdversarySpec::parse("party 1 phase=bogus").is_err());
+        assert!(AdversarySpec::parse("party 1 phase=setup round=2").is_err());
+    }
+
+    #[test]
+    fn verification_knob_validates() {
+        let mut p = PivotParams {
+            verification: Verification::Spot(0.25),
+            ..Default::default()
+        };
+        p.assert_valid_for(100, 3);
+        assert!(p.verification.is_on());
+        assert!((p.verification.probability() - 0.25).abs() < 1e-12);
+        assert_eq!(Verification::Full.probability(), 1.0);
+        assert!(!Verification::Off.is_on());
+        // Packing and verification are mutually exclusive.
+        p.packing = Packing::Auto;
+        assert!(std::panic::catch_unwind(|| p.assert_valid_for(100, 3)).is_err());
+        // Spot probability outside [0,1] is rejected.
+        let bad = PivotParams {
+            verification: Verification::Spot(1.5),
+            ..Default::default()
+        };
+        assert!(std::panic::catch_unwind(|| bad.assert_valid_for(100, 3)).is_err());
+        // Adversary needs verification on and an in-range party.
+        let adv = AdversarySpec::parse("party 2 phase=stats").unwrap();
+        let mut p = PivotParams {
+            adversary: Some(adv),
+            ..Default::default()
+        };
+        assert!(std::panic::catch_unwind(|| p.assert_valid_for(100, 3)).is_err());
+        p.verification = Verification::Full;
+        p.assert_valid_for(100, 3);
+        assert!(std::panic::catch_unwind(|| p.assert_valid_for(100, 2)).is_err());
     }
 
     #[test]

@@ -37,9 +37,10 @@ pub mod predict_enhanced;
 pub mod stats;
 pub mod train_basic;
 pub mod train_enhanced;
+pub mod verify;
 
-pub use config::{PivotParams, Protocol, Scheduling};
-pub use metrics::ProtocolMetrics;
+pub use config::{AdversarySpec, PivotParams, Protocol, Scheduling, Verification};
+pub use metrics::{ProtocolMetrics, VerificationCounters};
 pub use model::{ConcealedNode, ConcealedTree};
 pub use party::PartyContext;
 // Re-exported so report-layer consumers (CLI, bench) can name the

@@ -4,6 +4,7 @@
 use crate::metrics::Stage;
 use crate::party::PartyContext;
 use crate::stats::PackedChunking;
+use crate::verify;
 use pivot_bignum::BigUint;
 use pivot_data::Task;
 use pivot_paillier::{batch, Ciphertext, SlotCodec};
@@ -32,18 +33,21 @@ pub struct LabelMasks {
 /// decryption combines partial decryptions of what must be one ciphertext.
 pub fn initial_mask(ctx: &mut PartyContext<'_>, included: &[bool]) -> Vec<Ciphertext> {
     let started = std::time::Instant::now();
-    let cts = if ctx.is_super_client() {
+    let (cts, bundle) = if ctx.is_super_client() {
         let values: Vec<BigUint> = included
             .iter()
             .map(|&b| BigUint::from_u64(u64::from(b)))
             .collect();
-        let cts = batch::encrypt_batch(&ctx.pk, &values, &ctx.nonces, ctx.crypto_threads());
+        verify::scrub_witnesses(ctx);
+        let mut cts = batch::encrypt_batch(&ctx.pk, &values, &ctx.nonces, ctx.crypto_threads());
         ctx.metrics.add_encryptions(included.len() as u64);
+        let bundle = verify::prove_popk(ctx, "setup", &mut cts, &values);
         ctx.ep.broadcast(&cts);
-        cts
+        (cts, bundle)
     } else {
-        ctx.ep.recv(ctx.super_client)
+        (ctx.ep.recv(ctx.super_client), None)
     };
+    verify::check_popk(ctx, "setup", ctx.super_client, &cts, bundle);
     ctx.metrics
         .add_time(Stage::LocalComputation, started.elapsed());
     cts
@@ -64,11 +68,13 @@ pub fn compute_label_masks(
     if ctx.is_super_client() {
         let labels = ctx.view.labels.clone().expect("super client holds labels");
         let mut gammas = Vec::with_capacity(class_vectors);
+        let mut bundles = Vec::with_capacity(class_vectors);
         match task {
             Task::Classification { classes } => {
                 for k in 0..classes {
                     let beta: Vec<bool> = labels.iter().map(|&y| y as usize == k).collect();
-                    let gamma = batch::mask_binary_batch(
+                    verify::scrub_witnesses(ctx);
+                    let mut gamma = batch::mask_binary_batch(
                         &ctx.pk,
                         alpha,
                         &beta,
@@ -76,6 +82,17 @@ pub fn compute_label_masks(
                         ctx.crypto_threads(),
                     );
                     ctx.metrics.add_encryptions(alpha.len() as u64);
+                    let xs: Vec<BigUint> = beta
+                        .iter()
+                        .map(|&b| BigUint::from_u64(u64::from(b)))
+                        .collect();
+                    bundles.push(verify::prove_popcm(
+                        ctx,
+                        "label_masks",
+                        alpha,
+                        &mut gamma,
+                        &xs,
+                    ));
                     gammas.push(gamma);
                 }
             }
@@ -105,9 +122,18 @@ pub fn compute_label_masks(
                         })
                         .collect();
                     let threads = ctx.crypto_threads();
+                    verify::scrub_witnesses(ctx);
                     let scaled = batch::mul_plain_batch(&ctx.pk, alpha, &encodings, threads);
-                    let gamma = batch::rerandomize_batch(&ctx.pk, &scaled, &ctx.nonces, threads);
+                    let mut gamma =
+                        batch::rerandomize_batch(&ctx.pk, &scaled, &ctx.nonces, threads);
                     ctx.metrics.add_ciphertext_ops(2 * alpha.len() as u64);
+                    bundles.push(verify::prove_popcm(
+                        ctx,
+                        "label_masks",
+                        alpha,
+                        &mut gamma,
+                        &encodings,
+                    ));
                     gammas.push(gamma);
                 }
             }
@@ -115,14 +141,20 @@ pub fn compute_label_masks(
         for gamma in &gammas {
             ctx.ep.broadcast(gamma);
         }
+        for (gamma, bundle) in gammas.iter().zip(bundles) {
+            verify::check_popcm(ctx, "label_masks", ctx.super_client, alpha, gamma, bundle);
+        }
         LabelMasks {
             gammas,
             offset_encoded: matches!(task, Task::Regression),
         }
     } else {
-        let gammas = (0..class_vectors)
+        let gammas: Vec<Vec<Ciphertext>> = (0..class_vectors)
             .map(|_| ctx.ep.recv::<Vec<Ciphertext>>(ctx.super_client))
             .collect();
+        for gamma in &gammas {
+            verify::check_popcm(ctx, "label_masks", ctx.super_client, alpha, gamma, None);
+        }
         LabelMasks {
             gammas,
             offset_encoded: matches!(task, Task::Regression),
@@ -286,22 +318,35 @@ pub fn update_vectors_plain(
     winner: usize,
     left_indicator: Option<&[bool]>,
 ) -> (Vec<Vec<Ciphertext>>, Vec<Vec<Ciphertext>>) {
-    if ctx.id() == winner {
+    let (lefts, rights, bundles) = if ctx.id() == winner {
         let v_l = left_indicator.expect("winner knows its split indicator");
         let v_r: Vec<bool> = v_l.iter().map(|&b| !b).collect();
+        let xs_l: Vec<BigUint> = v_l
+            .iter()
+            .map(|&b| BigUint::from_u64(u64::from(b)))
+            .collect();
+        let xs_r: Vec<BigUint> = v_r
+            .iter()
+            .map(|&b| BigUint::from_u64(u64::from(b)))
+            .collect();
         let mut lefts = Vec::with_capacity(vectors.len());
         let mut rights = Vec::with_capacity(vectors.len());
+        let mut bundles = Vec::with_capacity(2 * vectors.len());
         let threads = ctx.crypto_threads();
         for vec in vectors {
-            let l = batch::mask_binary_batch(&ctx.pk, vec, v_l, &ctx.nonces, threads);
-            let r = batch::mask_binary_batch(&ctx.pk, vec, &v_r, &ctx.nonces, threads);
+            verify::scrub_witnesses(ctx);
+            let mut l = batch::mask_binary_batch(&ctx.pk, vec, v_l, &ctx.nonces, threads);
+            bundles.push(verify::prove_popcm(ctx, "update", vec, &mut l, &xs_l));
+            verify::scrub_witnesses(ctx);
+            let mut r = batch::mask_binary_batch(&ctx.pk, vec, &v_r, &ctx.nonces, threads);
+            bundles.push(verify::prove_popcm(ctx, "update", vec, &mut r, &xs_r));
             ctx.metrics.add_encryptions(2 * vec.len() as u64);
             ctx.ep.broadcast(&l);
             ctx.ep.broadcast(&r);
             lefts.push(l);
             rights.push(r);
         }
-        (lefts, rights)
+        (lefts, rights, bundles)
     } else {
         let mut lefts = Vec::with_capacity(vectors.len());
         let mut rights = Vec::with_capacity(vectors.len());
@@ -309,8 +354,14 @@ pub fn update_vectors_plain(
             lefts.push(ctx.ep.recv::<Vec<Ciphertext>>(winner));
             rights.push(ctx.ep.recv::<Vec<Ciphertext>>(winner));
         }
-        (lefts, rights)
+        (lefts, rights, vec![None; 2 * vectors.len()])
+    };
+    let mut bundles = bundles.into_iter();
+    for (vec, (l, r)) in vectors.iter().zip(lefts.iter().zip(&rights)) {
+        verify::check_popcm(ctx, "update", winner, vec, l, bundles.next().unwrap());
+        verify::check_popcm(ctx, "update", winner, vec, r, bundles.next().unwrap());
     }
+    (lefts, rights)
 }
 
 /// Encode a signed real as a Paillier plaintext (upper half = negative).

@@ -22,6 +22,22 @@ pub struct ProtocolMetrics {
     inner: RefCell<Inner>,
 }
 
+/// Verification-plane counters (`counters.verification` in reports): how
+/// many Σ-protocol proofs this party generated, checked, spot-skipped and
+/// rejected, the proof bytes it put on the wire, and the wall time spent
+/// proving + verifying.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VerificationCounters {
+    pub proofs_generated: u64,
+    pub proofs_verified: u64,
+    pub proofs_skipped: u64,
+    pub proofs_rejected: u64,
+    /// Bytes of proof material this party broadcast.
+    pub proof_bytes: u64,
+    /// Wall time spent generating and verifying proofs.
+    pub wall: Duration,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     encryptions: u64,
@@ -33,6 +49,7 @@ struct Inner {
     packed_values: u64,
     packed_slot_capacity: u64,
     stats_bytes_sent: u64,
+    verification: VerificationCounters,
 }
 
 fn stage_slot(stage: Stage) -> usize {
@@ -84,6 +101,32 @@ impl ProtocolMetrics {
     /// (pooling + Algorithm-2 conversion) — the traffic packing compresses.
     pub fn add_stats_bytes(&self, n: u64) {
         self.inner.borrow_mut().stats_bytes_sent += n;
+    }
+
+    /// Record generated proofs and the bytes they cost on the wire.
+    pub fn add_proofs_generated(&self, n: u64, bytes: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.verification.proofs_generated += n;
+        inner.verification.proof_bytes += bytes;
+    }
+
+    /// Record the outcome of one verification pass: `verified` checked
+    /// (of which `rejected` failed), `skipped` spot-skipped.
+    pub fn add_proofs_checked(&self, verified: u64, skipped: u64, rejected: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.verification.proofs_verified += verified;
+        inner.verification.proofs_skipped += skipped;
+        inner.verification.proofs_rejected += rejected;
+    }
+
+    /// Add wall time spent in the verification plane.
+    pub fn add_verification_time(&self, d: Duration) {
+        self.inner.borrow_mut().verification.wall += d;
+    }
+
+    /// Snapshot of the verification-plane counters.
+    pub fn verification(&self) -> VerificationCounters {
+        self.inner.borrow().verification
     }
 
     /// Time a closure under a stage bucket.

@@ -43,6 +43,10 @@ pub struct PartyContext<'a> {
     /// Task override for subprotocols (GBDT trains *regression* trees on
     /// residuals even when the outer task is classification).
     pub task_override: Option<pivot_data::Task>,
+    /// The malicious-model verification plane ([`crate::verify`]), built
+    /// when `params.verification` is on. `None` means every hook is a
+    /// no-op and the transcript is bit-identical to honest-but-curious.
+    pub verify: Option<crate::verify::VerifyPlane>,
 }
 
 impl<'a> PartyContext<'a> {
@@ -105,6 +109,12 @@ impl<'a> PartyContext<'a> {
             params.effective_randomness_pool(),
         );
         nonces.refill();
+        // Verification needs the encryption nonces as proof witnesses:
+        // turn on retention before the first protocol encryption.
+        let verify = params.verification.is_on().then(|| {
+            nonces.retain_witnesses(true);
+            crate::verify::VerifyPlane::new(&params, ep.id())
+        });
         PartyContext {
             ep,
             pk: keys.pk,
@@ -119,6 +129,7 @@ impl<'a> PartyContext<'a> {
             rng,
             nonces,
             task_override: None,
+            verify,
         }
     }
 

@@ -8,6 +8,7 @@ use crate::decrypt::joint_decrypt_vec;
 use crate::masks::encode_signed;
 use crate::metrics::Stage;
 use crate::party::PartyContext;
+use crate::verify;
 use pivot_bignum::BigUint;
 use pivot_data::Task;
 use pivot_paillier::{batch, vector, Ciphertext};
@@ -75,8 +76,16 @@ pub fn predict_batch_encrypted(
             })
             .collect();
 
-        // Ring pass from party m−1 down to 0 (paper's u_m → u_1).
+        // Ring pass from party m−1 down to 0 (paper's u_m → u_1). With
+        // verification on, my flattened η contribution, the proof bundle
+        // over it, and the upstream transfer are kept for the
+        // verification passes after the ring completes.
+        let verification = ctx.verify.is_some();
         let threads = ctx.crypto_threads();
+        let mut my_flat: Vec<Ciphertext> = Vec::new();
+        let mut received_flat: Vec<Ciphertext> = Vec::new();
+        let mut popk_bundle = None;
+        let mut popcm_bundle = None;
         let mut eta: Vec<Vec<Ciphertext>> = if me == m - 1 {
             // Initialize [η] = ([1],…,[1]) masked by my own bits. Batched
             // over the flattened (sample-major) layout — the same nonce
@@ -86,29 +95,58 @@ pub fn predict_batch_encrypted(
                 .flatten()
                 .map(|&b| BigUint::from_u64(u64::from(b)))
                 .collect();
-            let flat = batch::encrypt_batch(&ctx.pk, &values, &ctx.nonces, threads);
+            verify::scrub_witnesses(ctx);
+            let mut flat = batch::encrypt_batch(&ctx.pk, &values, &ctx.nonces, threads);
+            popk_bundle = verify::prove_popk(ctx, "predict", &mut flat, &values);
+            ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
             let out = flat
                 .chunks(n_leaves.max(1))
                 .map(<[Ciphertext]>::to_vec)
                 .collect();
-            ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
+            if verification {
+                my_flat = flat;
+            }
             out
         } else {
             // Receive from the next-higher party and apply my mask.
             let received: Vec<Vec<Ciphertext>> =
                 (0..n_samples).map(|_| ctx.ep.recv(me + 1)).collect();
-            let out: Vec<Vec<Ciphertext>> = received
-                .iter()
-                .zip(&my_bits)
-                .map(|(cts, bits)| {
-                    batch::mask_binary_batch(&ctx.pk, cts, bits, &ctx.nonces, threads)
-                })
-                .collect();
+            verify::scrub_witnesses(ctx);
+            let mut flat: Vec<Ciphertext> = Vec::with_capacity(n_samples * n_leaves);
+            for (cts, bits) in received.iter().zip(&my_bits) {
+                flat.extend(batch::mask_binary_batch(
+                    &ctx.pk,
+                    cts,
+                    bits,
+                    &ctx.nonces,
+                    threads,
+                ));
+            }
             ctx.metrics.add_encryptions((n_samples * n_leaves) as u64);
+            if verification {
+                received_flat = received.into_iter().flatten().collect();
+                let xs: Vec<BigUint> = my_bits
+                    .iter()
+                    .flatten()
+                    .map(|&b| BigUint::from_u64(u64::from(b)))
+                    .collect();
+                popcm_bundle = verify::prove_popcm(ctx, "predict", &received_flat, &mut flat, &xs);
+            }
+            let out = flat
+                .chunks(n_leaves.max(1))
+                .map(<[Ciphertext]>::to_vec)
+                .collect();
+            if verification {
+                my_flat = flat;
+            }
             out
         };
 
-        if me > 0 {
+        let z: Vec<BigUint> = paths
+            .iter()
+            .map(|&(value, _)| encode_leaf(ctx, value))
+            .collect();
+        let outputs: Vec<Ciphertext> = if me > 0 {
             for sample_eta in &eta {
                 ctx.ep.send(me - 1, sample_eta);
             }
@@ -116,22 +154,59 @@ pub fn predict_batch_encrypted(
             (0..n_samples).map(|_| ctx.ep.recv(0)).collect()
         } else {
             // Party 0: [k̄] = z ⊙ [η] per sample, then broadcast.
-            let z: Vec<BigUint> = paths
-                .iter()
-                .map(|&(value, _)| encode_leaf(ctx, value))
-                .collect();
-            let outputs: Vec<Ciphertext> =
+            let mut outputs: Vec<Ciphertext> =
                 pivot_runtime::global().map(threads, &eta, |sample_eta| {
                     vector::dot_plain(&ctx.pk, sample_eta, &z)
                 });
             eta.clear();
+            verify::tamper_outputs(ctx, "predict", &mut outputs);
             ctx.metrics
                 .add_ciphertext_ops((n_samples * n_leaves) as u64);
             for output in &outputs {
                 ctx.ep.broadcast(output);
             }
             outputs
+        };
+
+        if verification {
+            // Verification passes, ring order m−1 → 0: each prover
+            // broadcasts the flattened η stage it committed to and every
+            // party spot-checks it — popk for the initializer, popcm (over
+            // the upstream broadcast) for every masking stage. The direct
+            // ring recipient additionally checks the broadcast matches
+            // what came down the ring (equivocation guard).
+            let mut upstream: Vec<Ciphertext> = Vec::new();
+            for prover in (0..m).rev() {
+                let flat: Vec<Ciphertext> = if me == prover {
+                    ctx.ep.broadcast(&my_flat);
+                    my_flat.clone()
+                } else {
+                    ctx.ep.recv(prover)
+                };
+                if me + 1 == prover {
+                    verify::check_equivocation(ctx, "predict", prover, &received_flat, &flat);
+                }
+                if prover == m - 1 {
+                    let own = (me == prover).then(|| popk_bundle.take()).flatten();
+                    verify::check_popk(ctx, "predict", prover, &flat, own);
+                } else {
+                    let own = (me == prover).then(|| popcm_bundle.take()).flatten();
+                    verify::check_popcm(ctx, "predict", prover, &upstream, &flat, own);
+                }
+                upstream = flat;
+            }
+            // Party 0's final dot products are deterministic in its
+            // broadcast η and the public leaf vector: recompute and
+            // compare against what it published.
+            let expected: Vec<Ciphertext> = {
+                let chunks: Vec<&[Ciphertext]> = upstream.chunks(n_leaves.max(1)).collect();
+                pivot_runtime::global().map(threads, &chunks, |sample_eta| {
+                    vector::dot_plain(&ctx.pk, sample_eta, &z)
+                })
+            };
+            verify::check_recompute(ctx, "predict", 0, &expected, &outputs);
         }
+        outputs
     };
     ctx.metrics.add_time(Stage::Prediction, started.elapsed());
     result

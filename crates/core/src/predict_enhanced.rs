@@ -12,8 +12,8 @@ use crate::party::PartyContext;
 use crate::train_enhanced::threshold_offset_bits;
 use pivot_bignum::BigUint;
 use pivot_data::Task;
-use pivot_mpc::{Fp, Share};
-use std::collections::HashMap;
+use pivot_mpc::{CompareBits, Fp, Share};
+use std::collections::{BTreeMap, HashMap};
 
 /// Jointly predict one sample on a concealed tree.
 pub fn predict(ctx: &mut PartyContext<'_>, tree: &ConcealedTree, local_sample: &[f64]) -> f64 {
@@ -129,7 +129,11 @@ pub fn predict_batch(
                 diffs.push(*t - node_feature_shares[pos][s]);
             }
         }
-        let rights = ctx.engine.ltz_vec(&diffs);
+        let rights = if ctx.params.comparison_bits == CompareBits::Full {
+            ctx.engine.ltz_vec(&diffs)
+        } else {
+            bounded_node_comparisons(ctx, &internals, local_samples, &diffs, n_samples)
+        };
         let party = ctx.id();
         let one = Share::from_public(party, Fp::ONE);
 
@@ -210,4 +214,73 @@ pub fn predict_batch(
     };
     ctx.metrics.add_time(Stage::Prediction, started.elapsed());
     result
+}
+
+/// Node comparisons under a public per-feature range contract. Each split
+/// owner publishes a power-of-two magnitude bound on its feature's scaled
+/// values — training column (every candidate threshold is a training value
+/// or a midpoint of two) plus the prediction batch — so `τ − x` provably
+/// fits in `bound + 2` signed bits and the sign test pays the contract
+/// width instead of the full `int_bits` ladder. The contract reveals only
+/// a coarse range of each split feature, whose identity the enhanced
+/// protocol already discloses (§5.2). Nodes sharing a width run as one
+/// batch; distinct widths run in ascending order on every party.
+fn bounded_node_comparisons(
+    ctx: &mut PartyContext<'_>,
+    internals: &[(usize, usize, usize, &pivot_paillier::Ciphertext)],
+    local_samples: &[Vec<f64>],
+    diffs: &[Share],
+    n_samples: usize,
+) -> Vec<Share> {
+    let me = ctx.id();
+    let f = ctx.params.fixed.frac_bits;
+    let mine: Vec<usize> = internals
+        .iter()
+        .map(|&(_, owner, feature_global, _)| {
+            if owner != me {
+                return 0;
+            }
+            let local_idx = ctx
+                .view
+                .feature_indices
+                .iter()
+                .position(|&g| g == feature_global)
+                .expect("owner holds the feature");
+            let col_max = (0..ctx.view.num_samples())
+                .map(|i| ctx.view.features[i][local_idx].abs())
+                .chain(local_samples.iter().map(|s| s[local_idx].abs()))
+                .fold(0.0_f64, f64::max);
+            let scaled = (col_max * (1u64 << f) as f64).round() as u64;
+            (u64::BITS - scaled.leading_zeros()) as usize
+        })
+        .collect();
+    // Element-wise max over the published contracts: only the owner's slot
+    // is non-zero, but taking the max keeps the reduction symmetric.
+    let all = ctx.ep.exchange_all(&mine);
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for pos in 0..internals.len() {
+        let bound = all
+            .iter()
+            .map(|per_party| per_party[pos])
+            .max()
+            .unwrap_or(0);
+        groups.entry(bound as u32 + 2).or_default().push(pos);
+    }
+    let mut rights = vec![Share::ZERO; diffs.len()];
+    for (k, positions) in groups {
+        let batch: Vec<Share> = positions
+            .iter()
+            .flat_map(|&pos| {
+                diffs[pos * n_samples..(pos + 1) * n_samples]
+                    .iter()
+                    .copied()
+            })
+            .collect();
+        let res = ctx.engine.ltz_vec_bounded(&batch, k);
+        for (i, &pos) in positions.iter().enumerate() {
+            rights[pos * n_samples..(pos + 1) * n_samples]
+                .copy_from_slice(&res[i * n_samples..(i + 1) * n_samples]);
+        }
+    }
+    rights
 }

@@ -19,6 +19,7 @@
 use crate::masks::{LabelMasks, PackedLabels};
 use crate::metrics::Stage;
 use crate::party::PartyContext;
+use crate::verify;
 use pivot_data::{candidate_splits, SplitCandidates};
 use pivot_paillier::{vector, Ciphertext, SlotCodec};
 use pivot_transport::Endpoint;
@@ -160,12 +161,12 @@ pub fn pooled_statistics(
     masks: &LabelMasks,
 ) -> EncryptedStats {
     let stride = 1 + masks.gammas.len();
+    let splits: Vec<&Vec<bool>> = local.indicators.iter().flatten().collect();
     // Local stats, flattened in local split order. Every split's dot
     // products are independent, so the batch runs on the shared worker
     // pool (order-preserving: the flattened layout is identical to the
     // serial loop's).
-    let mine: Vec<Ciphertext> = ctx.metrics.time(Stage::LocalComputation, || {
-        let splits: Vec<&Vec<bool>> = local.indicators.iter().flatten().collect();
+    let mut mine: Vec<Ciphertext> = ctx.metrics.time(Stage::LocalComputation, || {
         let per_split: Vec<Vec<Ciphertext>> =
             pivot_runtime::global().map(ctx.crypto_threads(), &splits, |v_l| {
                 let mut stats = Vec::with_capacity(stride);
@@ -180,6 +181,12 @@ pub fn pooled_statistics(
             .add_ciphertext_ops((alpha.len() * flat.len().max(1)) as u64);
         flat
     });
+    // Verification: commit the indicator bits and prove every pooled dot
+    // product against those commitments (pohdp, Eqn 7).
+    let sets: Vec<&[Ciphertext]> = std::iter::once(alpha)
+        .chain(masks.gammas.iter().map(Vec::as_slice))
+        .collect();
+    let mut bundle = verify::prove_pohdp(ctx, "stats", &sets, &splits, &mut mine);
 
     // Node totals (every client can compute them from [α] and [L]).
     let all_true = vec![true; alpha.len()];
@@ -192,6 +199,12 @@ pub fn pooled_statistics(
 
     // Pool everyone's statistics (ciphertexts are safe to publish).
     let all: Vec<Vec<Ciphertext>> = ctx.ep.exchange_all(&mine);
+    // Every party proves its own pooled statistics and spot-checks every
+    // prover's (its own included) in client order.
+    for (prover, client_stats) in all.iter().enumerate() {
+        let own = (prover == ctx.id()).then(|| bundle.take()).flatten();
+        verify::check_pohdp(ctx, "stats", prover, &sets, client_stats, own);
+    }
     let mut per_split = Vec::with_capacity(layout.total());
     for (client, client_stats) in all.iter().enumerate() {
         let expected: usize = layout.counts[client].iter().sum::<usize>() * stride;

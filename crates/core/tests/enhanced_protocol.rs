@@ -303,3 +303,68 @@ fn packed_enhanced_predicts_like_unpacked() {
         assert_eq!(tree.internal_count(), p_tree.internal_count());
     }
 }
+
+#[test]
+fn bounded_prediction_comparisons_match_full_width() {
+    // Under a bounded comparison policy the per-feature range contract
+    // drives `ltz_vec_bounded` at prediction time; the predictions must
+    // be identical to the full-width path while the predict-phase
+    // comparison widths stay below `int_bits`.
+    let data = crisp_dataset();
+    let m = 2;
+    let tree_params = TreeParams {
+        max_depth: 2,
+        max_splits: 4,
+        stop_when_pure: false,
+        ..Default::default()
+    };
+    let partition = partition_vertically(&data, m, 0);
+    let run = |params: PivotParams| {
+        run_parties(m, |ep| {
+            let view = partition.views[ep.id()].clone();
+            let mut ctx = PartyContext::setup(&ep, view.clone(), params.clone());
+            let tree = train_enhanced::train(&mut ctx);
+            let local_samples: Vec<Vec<f64>> = (0..view.num_samples())
+                .map(|i| view.features[i].clone())
+                .collect();
+            let before = ctx.engine.comparison_snapshot();
+            let preds = predict_enhanced::predict_batch(&mut ctx, &tree, &local_samples);
+            let after = ctx.engine.comparison_snapshot();
+            // Widths exercised during prediction only.
+            let predict_widths: Vec<u32> = after
+                .widths
+                .iter()
+                .filter_map(|&(w, n)| {
+                    let prior = before
+                        .widths
+                        .iter()
+                        .find(|&&(pw, _)| pw == w)
+                        .map_or(0, |&(_, pn)| pn);
+                    (n > prior).then_some(w)
+                })
+                .collect();
+            (preds, predict_widths)
+        })
+    };
+
+    let full = run(enhanced_params(tree_params.clone()));
+    let mut bounded_params = enhanced_params(tree_params);
+    bounded_params.comparison_bits = pivot_core::CompareBits::Auto;
+    let bounded = run(bounded_params);
+
+    let int_bits = enhanced_params(TreeParams::default()).fixed.int_bits;
+    for ((f_preds, f_widths), (b_preds, b_widths)) in full.iter().zip(&bounded) {
+        assert_eq!(
+            f_preds, b_preds,
+            "range-contract comparisons changed a prediction"
+        );
+        assert!(
+            f_widths.iter().all(|&w| w == int_bits),
+            "full-width run used widths {f_widths:?}"
+        );
+        assert!(
+            !b_widths.is_empty() && b_widths.iter().all(|&w| w < int_bits),
+            "bounded run paid widths {b_widths:?} (int_bits = {int_bits})"
+        );
+    }
+}

@@ -57,8 +57,9 @@ enum SlotState {
     Pending(BigUint),
     /// A thread is computing `r^N` right now.
     Computing,
-    /// Ready for pickup.
-    Done(BigUint),
+    /// Ready for pickup: the power and the raw nonce it was derived from
+    /// (kept so witness retention can hand `r` to ZKP provers).
+    Done(BigUint, BigUint),
 }
 
 struct Slot {
@@ -84,6 +85,12 @@ pub struct NoncePool {
     hits: AtomicU64,
     misses: AtomicU64,
     produced: AtomicU64,
+    /// When set, every take also appends the *raw* nonce `r` to the
+    /// witness log (in take order) so ZKP provers can open the
+    /// ciphertexts built from this stream. Retention never changes the
+    /// drawn values — the determinism contract is untouched.
+    retain: std::sync::atomic::AtomicBool,
+    witnesses: Mutex<Vec<BigUint>>,
 }
 
 impl NoncePool {
@@ -99,7 +106,30 @@ impl NoncePool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             produced: AtomicU64::new(0),
+            retain: std::sync::atomic::AtomicBool::new(false),
+            witnesses: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Toggle witness retention: while on, [`Self::take`] logs each raw
+    /// nonce `r` (take order) for [`Self::drain_witnesses`].
+    pub fn retain_witnesses(&self, on: bool) {
+        self.retain.store(on, Ordering::Relaxed);
+    }
+
+    /// Drain the retained raw nonces logged since the previous drain, in
+    /// take order.
+    pub fn drain_witnesses(&self) -> Vec<BigUint> {
+        std::mem::take(&mut *self.witnesses.lock().expect("nonce pool poisoned"))
+    }
+
+    fn log_witness(&self, r: &BigUint) {
+        if self.retain.load(Ordering::Relaxed) {
+            self.witnesses
+                .lock()
+                .expect("nonce pool poisoned")
+                .push(r.clone());
+        }
     }
 
     /// Configured pool size.
@@ -159,8 +189,8 @@ impl NoncePool {
                         }
                     }
                 };
-                let rn = pool.pk.mont().pow(&r, pool.pk.n());
-                *slot.state.lock().expect("slot poisoned") = SlotState::Done(rn);
+                let rn = pool.pk.pow_n(&r);
+                *slot.state.lock().expect("slot poisoned") = SlotState::Done(rn, r);
                 slot.done.notify_all();
                 pool.produced.fetch_add(1, Ordering::Relaxed);
             });
@@ -197,8 +227,9 @@ impl NoncePool {
             Ok(slot) => {
                 let mut state = slot.state.lock().expect("slot poisoned");
                 match std::mem::replace(&mut *state, SlotState::Computing) {
-                    SlotState::Done(rn) => {
+                    SlotState::Done(rn, r) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.log_witness(&r);
                         rn
                     }
                     SlotState::Pending(r) => {
@@ -208,14 +239,18 @@ impl NoncePool {
                         // no waiting behind the worker queue.
                         drop(state);
                         self.misses.fetch_add(1, Ordering::Relaxed);
-                        self.pk.mont().pow(&r, self.pk.n())
+                        self.log_witness(&r);
+                        self.pk.pow_n(&r)
                     }
                     SlotState::Computing => {
                         // A worker is mid-exponentiation: wait for it.
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         loop {
                             match std::mem::replace(&mut *state, SlotState::Computing) {
-                                SlotState::Done(rn) => break rn,
+                                SlotState::Done(rn, r) => {
+                                    self.log_witness(&r);
+                                    break rn;
+                                }
                                 _ => {
                                     state = slot.done.wait(state).expect("slot poisoned");
                                 }
@@ -226,7 +261,8 @@ impl NoncePool {
             }
             Err(r) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                self.pk.mont().pow(&r, self.pk.n())
+                self.log_witness(&r);
+                self.pk.pow_n(&r)
             }
         }
     }
@@ -241,7 +277,7 @@ impl NoncePool {
         };
         for slot in slots {
             let mut state = slot.state.lock().expect("slot poisoned");
-            while !matches!(*state, SlotState::Done(_)) {
+            while !matches!(*state, SlotState::Done(..)) {
                 state = slot.done.wait(state).expect("slot poisoned");
             }
         }
@@ -304,6 +340,40 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.produced, 0);
         assert_eq!(stats.hit_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn retained_witnesses_open_the_delivered_powers() {
+        // With retention on, the i-th drained witness r must satisfy
+        // r^N = the i-th delivered power — across hit, steal and inline
+        // paths — and retention must not perturb the stream.
+        let key = pk();
+        let plain = NoncePool::new(key.clone(), 5, 4);
+        let retaining = NoncePool::new(key.clone(), 5, 4);
+        retaining.retain_witnesses(true);
+        retaining.refill(); // mix of worker-filled and inline takes
+        let mut powers = Vec::new();
+        for _ in 0..6 {
+            let rn = retaining.take();
+            assert_eq!(rn, plain.take(), "retention changed the stream");
+            powers.push(rn);
+        }
+        let witnesses = retaining.drain_witnesses();
+        assert_eq!(witnesses.len(), 6);
+        for (r, rn) in witnesses.iter().zip(&powers) {
+            assert_eq!(&key.pow_n(r), rn);
+        }
+        assert!(retaining.drain_witnesses().is_empty(), "drain must clear");
+        retaining.retain_witnesses(false);
+        let _ = retaining.take();
+        assert!(
+            retaining.drain_witnesses().is_empty(),
+            "retention off logs nothing"
+        );
+        assert!(
+            plain.drain_witnesses().is_empty(),
+            "default pool logs nothing"
+        );
     }
 
     #[test]

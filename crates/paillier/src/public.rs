@@ -1,7 +1,7 @@
 //! The Paillier public key and encryption.
 
 use crate::Ciphertext;
-use pivot_bignum::{rng as brng, BigUint, Montgomery};
+use pivot_bignum::{rng as brng, BigUint, ExponentSchedule, Montgomery};
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
@@ -24,6 +24,11 @@ struct PkInner {
     /// `N − 1`: the negation exponent, cached so `neg` stops recomputing
     /// it per call.
     n_minus_1: BigUint,
+    /// Window recoding of the fixed exponent `N`, precomputed once so the
+    /// nonce power `r^N mod N²` — the dominant cost of every encryption,
+    /// re-randomization and ZKP commitment — skips per-call exponent
+    /// scanning ([`Montgomery::pow_scheduled`]).
+    n_schedule: ExponentSchedule,
     /// The trivial encryption of zero (raw value 1), cached so vector
     /// accumulators stop re-deriving `encrypt_trivial(&zero)` per call.
     zero_ct: Ciphertext,
@@ -37,6 +42,7 @@ impl PublicKey {
         let half_n = n.shr_bits(1);
         let mont_n2 = Montgomery::new(&n2);
         let n_minus_1 = &n - &BigUint::one();
+        let n_schedule = ExponentSchedule::recode(&n);
         // (1+N)^0 · 1^N = 1 mod N².
         let zero_ct = Ciphertext::from_raw(BigUint::one());
         PublicKey {
@@ -46,6 +52,7 @@ impl PublicKey {
                 half_n,
                 mont_n2,
                 n_minus_1,
+                n_schedule,
                 zero_ct,
             }),
         }
@@ -76,6 +83,12 @@ impl PublicKey {
         self.inner.n.bits()
     }
 
+    /// The nonce power `r^N mod N²` via the cached window recoding of the
+    /// fixed exponent `N` — bit-identical to `mont().pow(r, n)`.
+    pub fn pow_n(&self, r: &BigUint) -> BigUint {
+        self.inner.mont_n2.pow_scheduled(r, &self.inner.n_schedule)
+    }
+
     /// Encrypt a plaintext in `[0, N)`.
     ///
     /// `c = (1+N)^x · r^N mod N²`, using the binomial identity
@@ -88,8 +101,8 @@ impl PublicKey {
     /// Encrypt with caller-supplied randomness (used by ZKP provers and
     /// deterministic tests).
     pub fn encrypt_with(&self, x: &BigUint, r: &BigUint) -> Ciphertext {
-        // r^N mod N²
-        let rn = self.mont().pow(r, self.n());
+        // r^N mod N² via the cached fixed-exponent schedule.
+        let rn = self.pow_n(r);
         self.encrypt_with_rn(x, &rn)
     }
 
@@ -149,7 +162,7 @@ impl PublicKey {
     /// Re-randomize a ciphertext (multiply by a fresh encryption of zero).
     pub fn rerandomize<R: Rng + ?Sized>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
         let r = brng::gen_coprime(rng, self.n());
-        let rn = self.mont().pow(&r, self.n());
+        let rn = self.pow_n(&r);
         self.rerandomize_with_rn(a, &rn)
     }
 

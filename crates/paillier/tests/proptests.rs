@@ -63,6 +63,19 @@ proptest! {
     }
 
     #[test]
+    fn pow_n_matches_generic_pow_mont(seed in any::<u64>()) {
+        // The fixed-exponent schedule for r^N must be bit-identical to the
+        // generic Montgomery ladder — `verification = "off"` transcripts
+        // depend on it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = &kp().pk;
+        let r = pivot_bignum::rng::gen_coprime(&mut rng, pk.n());
+        let scheduled = pk.pow_n(&r);
+        let generic = pivot_bignum::mod_pow(&r, pk.n(), pk.n_squared());
+        prop_assert_eq!(scheduled, generic);
+    }
+
+    #[test]
     fn rerandomization_invariant(x in any::<u32>(), seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let kp = kp();

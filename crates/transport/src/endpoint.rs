@@ -8,7 +8,9 @@
 //! byte counts and protocol behaviour are identical across deployments.
 
 use crate::config::NetConfig;
-use crate::error::{catch_transport, panic_message, Direction, TransportError, TransportErrorKind};
+use crate::error::{
+    catch_failures, panic_message, Direction, RunFailure, TransportError, TransportErrorKind,
+};
 use crate::fault::FaultInjector;
 use crate::link::{ChannelLink, Link, LinkError};
 use crate::stats::NetStats;
@@ -478,11 +480,12 @@ where
 }
 
 /// Fault-tolerant SPMD harness: every party's outcome is collected — a
-/// party that dies with a typed [`TransportError`] yields `Err` in its
-/// slot instead of aborting the whole run, so callers see *all* failures
-/// as data. Non-transport panics (real bugs) still abort, re-raised with
-/// every failing party's original payload.
-pub fn try_run_parties_with<T, F>(m: usize, net: NetConfig, f: F) -> Vec<Result<T, TransportError>>
+/// party that dies with a typed [`TransportError`] or
+/// [`crate::ProtocolError`] yields `Err` in its slot instead of aborting
+/// the whole run, so callers see *all* failures as data. Untyped panics
+/// (real bugs) still abort, re-raised with every failing party's
+/// original payload.
+pub fn try_run_parties_with<T, F>(m: usize, net: NetConfig, f: F) -> Vec<Result<T, RunFailure>>
 where
     T: Send,
     F: Fn(Endpoint) -> T + Send + Sync,
@@ -492,14 +495,14 @@ where
 
 /// [`try_run_parties_with`] over pre-built endpoints (e.g. a faulty
 /// network from [`crate::fault`]).
-pub fn try_run_parties_on<T, F>(endpoints: Vec<Endpoint>, f: F) -> Vec<Result<T, TransportError>>
+pub fn try_run_parties_on<T, F>(endpoints: Vec<Endpoint>, f: F) -> Vec<Result<T, RunFailure>>
 where
     T: Send,
     F: Fn(Endpoint) -> T + Send + Sync,
 {
     let slots = endpoint_slots(endpoints);
     join_parties(slots.len(), |i| {
-        catch_transport(|| f(take_endpoint(&slots, i)))
+        catch_failures(|| f(take_endpoint(&slots, i)))
     })
 }
 
@@ -556,6 +559,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::catch_transport;
     use std::time::Duration;
 
     #[test]
@@ -784,6 +788,9 @@ mod tests {
         assert_eq!(results[0], Ok(7));
         for (i, r) in results.iter().enumerate().skip(1) {
             let err = r.as_ref().expect_err("waiting parties must fail");
+            let RunFailure::Transport(err) = err else {
+                panic!("expected transport failure, got {err:?}");
+            };
             assert_eq!(err.party, i);
             assert_eq!(err.peer, Some(0));
         }

@@ -150,6 +150,114 @@ impl TransportError {
     }
 }
 
+/// A typed *protocol-level* failure: the transport delivered the bytes,
+/// but what they claim about the computation is wrong. Raised by the
+/// verification plane when a Σ-protocol proof fails to verify; unlike a
+/// [`TransportError`], it names the party whose *proof* was rejected —
+/// the accused cheater — not (only) the party that observed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A zero-knowledge proof failed verification: `party` is the prover
+    /// being accused, `observer` is the verifying party raising the
+    /// error.
+    ProofRejected {
+        /// The prover whose proof did not verify — the accused cheater.
+        party: usize,
+        /// The verifying party that observed the rejection.
+        observer: usize,
+        /// The protocol phase the proof belongs to.
+        phase: String,
+        /// Which Σ-protocol failed (`popk` / `popcm` / `pohdp`).
+        proof_kind: String,
+        /// What exactly was rejected (proof index, commit point).
+        detail: String,
+    },
+}
+
+impl ProtocolError {
+    /// The accused party.
+    pub fn party(&self) -> usize {
+        match self {
+            ProtocolError::ProofRejected { party, .. } => *party,
+        }
+    }
+
+    /// The protocol phase the failure belongs to.
+    pub fn phase(&self) -> &str {
+        match self {
+            ProtocolError::ProofRejected { phase, .. } => phase,
+        }
+    }
+
+    /// Raise as a typed unwind toward the nearest [`catch_failures`].
+    pub fn raise(self) -> ! {
+        install_quiet_hook();
+        std::panic::panic_any(self)
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::ProofRejected {
+                party,
+                observer,
+                phase,
+                proof_kind,
+                detail,
+            } => write!(
+                f,
+                "party {party} proof rejected ({proof_kind}) in phase {phase}, \
+                 observed by party {observer}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Either kind of typed run-ending failure a party can raise: the
+/// transport broke, or the protocol content did not verify.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunFailure {
+    Transport(TransportError),
+    Protocol(ProtocolError),
+}
+
+impl RunFailure {
+    /// The party a report should blame: the observer for transport
+    /// failures, the *accused prover* for protocol failures.
+    pub fn blamed_party(&self) -> usize {
+        match self {
+            RunFailure::Transport(e) => e.party,
+            RunFailure::Protocol(e) => e.party(),
+        }
+    }
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFailure::Transport(e) => e.fmt(f),
+            RunFailure::Protocol(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+impl From<TransportError> for RunFailure {
+    fn from(e: TransportError) -> Self {
+        RunFailure::Transport(e)
+    }
+}
+
+impl From<ProtocolError> for RunFailure {
+    fn from(e: ProtocolError) -> Self {
+        RunFailure::Protocol(e)
+    }
+}
+
 /// Run `f`, converting a raised [`TransportError`] into `Err`. Any other
 /// unwind (assertion failures, index panics — real bugs) resumes
 /// untouched.
@@ -164,6 +272,23 @@ pub fn catch_transport<T>(f: impl FnOnce() -> T) -> Result<T, TransportError> {
     }
 }
 
+/// Run `f`, converting a raised [`TransportError`] *or*
+/// [`ProtocolError`] into `Err(RunFailure)`. Any other unwind keeps
+/// unwinding — real bugs still abort loudly.
+pub fn catch_failures<T>(f: impl FnOnce() -> T) -> Result<T, RunFailure> {
+    install_quiet_hook();
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<TransportError>() {
+            Ok(err) => Err(RunFailure::Transport(*err)),
+            Err(payload) => match payload.downcast::<ProtocolError>() {
+                Ok(err) => Err(RunFailure::Protocol(*err)),
+                Err(payload) => resume_unwind(payload),
+            },
+        },
+    }
+}
+
 /// Wrap the process panic hook once so `TransportError` unwinds travel
 /// silently (they are data, reported by whoever catches them); every
 /// other panic goes to the previously installed hook unchanged.
@@ -173,7 +298,9 @@ fn install_quiet_hook() {
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<TransportError>().is_none() {
+            let typed = info.payload().downcast_ref::<TransportError>().is_some()
+                || info.payload().downcast_ref::<ProtocolError>().is_some();
+            if !typed {
                 previous(info);
             }
         }));
@@ -190,6 +317,8 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else if let Some(e) = payload.downcast_ref::<TransportError>() {
+        e.to_string()
+    } else if let Some(e) = payload.downcast_ref::<ProtocolError>() {
         e.to_string()
     } else {
         "opaque panic payload".to_string()
@@ -240,6 +369,44 @@ mod tests {
             TransportError::new(TransportErrorKind::Disconnected, 0, "peer gone")
         };
         assert_eq!(err.phase, "gain");
+    }
+
+    #[test]
+    fn catch_failures_surfaces_both_error_kinds() {
+        let err = catch_failures(|| {
+            ProtocolError::ProofRejected {
+                party: 2,
+                observer: 0,
+                phase: "stats".to_string(),
+                proof_kind: "pohdp".to_string(),
+                detail: "split 3, proof 1 of 4".to_string(),
+            }
+            .raise();
+        })
+        .expect_err("raise must surface as Err");
+        let RunFailure::Protocol(p) = &err else {
+            panic!("expected protocol failure, got {err:?}");
+        };
+        assert_eq!(p.party(), 2);
+        assert_eq!(p.phase(), "stats");
+        assert_eq!(err.blamed_party(), 2);
+        let text = err.to_string();
+        assert!(text.contains("party 2 proof rejected (pohdp)"), "{text}");
+        assert!(text.contains("observed by party 0"), "{text}");
+
+        let err = catch_failures(|| {
+            TransportError::new(TransportErrorKind::Timeout, 1, "wedged").raise();
+        })
+        .expect_err("transport raise must surface too");
+        assert!(matches!(&err, RunFailure::Transport(t) if t.party == 1));
+        assert_eq!(err.blamed_party(), 1);
+    }
+
+    #[test]
+    fn catch_failures_lets_real_bugs_unwind() {
+        let outer = std::panic::catch_unwind(|| catch_failures(|| panic!("real bug")));
+        let payload = outer.expect_err("foreign panic must resume");
+        assert_eq!(panic_message(payload.as_ref()), "real bug");
     }
 
     #[test]

@@ -556,11 +556,18 @@ mod tests {
             }
             ep.id()
         });
-        let crash = results[0].as_ref().expect_err("party 0 crashes");
+        let crate::RunFailure::Transport(crash) = results[0].as_ref().expect_err("party 0 crashes")
+        else {
+            panic!("expected transport failure");
+        };
         assert_eq!(crash.kind, TransportErrorKind::InjectedCrash);
         assert_eq!(crash.party, 0);
         assert!(crash.detail.contains("crash_party 0"), "{}", crash.detail);
-        let survivor = results[1].as_ref().expect_err("party 1 wedges");
+        let crate::RunFailure::Transport(survivor) =
+            results[1].as_ref().expect_err("party 1 wedges")
+        else {
+            panic!("expected transport failure");
+        };
         assert_eq!(survivor.party, 1);
         assert_eq!(survivor.peer, Some(0));
     }
@@ -574,7 +581,11 @@ mod tests {
             ep.id()
         });
         assert_eq!(*results[0].as_ref().unwrap(), 0);
-        let crash = results[1].as_ref().expect_err("party 1 crashes at round 1");
+        let crate::RunFailure::Transport(crash) =
+            results[1].as_ref().expect_err("party 1 crashes at round 1")
+        else {
+            panic!("expected transport failure");
+        };
         assert_eq!(crash.kind, TransportErrorKind::InjectedCrash);
         assert_eq!(crash.party, 1);
     }

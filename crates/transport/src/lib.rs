@@ -33,7 +33,10 @@ pub use endpoint::{
     run_parties, run_parties_on, run_parties_with, try_run_parties_on, try_run_parties_with,
     Endpoint, Network,
 };
-pub use error::{catch_transport, panic_message, Direction, TransportError, TransportErrorKind};
+pub use error::{
+    catch_failures, catch_transport, panic_message, Direction, ProtocolError, RunFailure,
+    TransportError, TransportErrorKind,
+};
 pub use fault::{
     faulty_network, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger, FaultyLink,
 };

@@ -1,0 +1,207 @@
+//! Tamper-soundness properties: every proof kind must *reject* (never
+//! panic on) arbitrary mutations of its statement or response fields —
+//! the contract the verification plane's `ProofRejected` error relies on.
+
+use pivot_bignum::BigUint;
+use pivot_paillier::{keygen, Ciphertext, KeyPair, PublicKey};
+use pivot_zkp::{challenge_bits, DotProductProof, MultiplicationProof, PlaintextProof};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared 128-bit key pair (keygen dominates test time otherwise).
+fn kp() -> &'static KeyPair {
+    static KP: OnceLock<KeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(909);
+        keygen(&mut rng, 128)
+    })
+}
+
+/// Add a non-zero delta to `v` modulo `m` — guaranteed to change the
+/// residue, the canonical "one mutated byte" of a wire-borne field.
+fn perturb(v: &BigUint, delta: u64, m: &BigUint) -> BigUint {
+    let delta = BigUint::from_u64(delta.max(1));
+    (v + &delta).rem_of(m)
+}
+
+fn coprime(rng: &mut StdRng, pk: &PublicKey) -> BigUint {
+    pivot_bignum::rng::gen_coprime(rng, pk.n())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn popk_rejects_any_mutation(
+        x in any::<u64>(),
+        seed in any::<u64>(),
+        field in 0usize..4,
+        delta in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = &kp().pk;
+        let x = BigUint::from_u64(x);
+        let r = coprime(&mut rng, pk);
+        let c = pk.encrypt_with(&x, &r);
+        let mut proof = PlaintextProof::prove(pk, &c, &x, &r, &mut rng);
+        prop_assert!(proof.verify(pk, &c));
+        let mut c = c;
+        match field {
+            0 => proof.commitment = perturb(&proof.commitment, delta, pk.n_squared()),
+            1 => proof.z = perturb(&proof.z, delta, pk.n()),
+            2 => proof.w = perturb(&proof.w, delta, pk.n()),
+            // Statement mutation: the tampered-ciphertext case.
+            _ => c = Ciphertext::from_raw(perturb(c.raw(), delta, pk.n_squared())),
+        }
+        prop_assert!(!proof.verify(pk, &c));
+    }
+
+    #[test]
+    fn popk_rejects_out_of_range_fields(
+        x in any::<u64>(),
+        seed in any::<u64>(),
+        field in 0usize..2,
+        excess in any::<u64>(),
+    ) {
+        // Fields past their modulus must fail the range check, not wrap
+        // or panic.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = &kp().pk;
+        let x = BigUint::from_u64(x);
+        let r = coprime(&mut rng, pk);
+        let c = pk.encrypt_with(&x, &r);
+        let mut proof = PlaintextProof::prove(pk, &c, &x, &r, &mut rng);
+        let bump = pk.n() + &BigUint::from_u64(excess);
+        match field {
+            0 => proof.z = bump,
+            _ => proof.w = bump,
+        }
+        prop_assert!(!proof.verify(pk, &c));
+    }
+
+    #[test]
+    fn popcm_rejects_any_mutation(
+        x in any::<u32>(),
+        y in any::<u32>(),
+        seed in any::<u64>(),
+        field in 0usize..8,
+        delta in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = &kp().pk;
+        let x = BigUint::from_u64(x as u64);
+        let r1 = coprime(&mut rng, pk);
+        let c1 = pk.encrypt_with(&x, &r1);
+        let c2 = pk.encrypt(&BigUint::from_u64(y as u64), &mut rng);
+        let (c3, s) = MultiplicationProof::multiply(pk, &c2, &x, &mut rng);
+        let mut proof = MultiplicationProof::prove(pk, &c1, &c2, &c3, &x, &r1, &s, &mut rng);
+        prop_assert!(proof.verify(pk, &c1, &c2, &c3));
+        let (mut c1, mut c2, mut c3) = (c1, c2, c3);
+        let n2 = pk.n_squared();
+        match field {
+            0 => proof.a = perturb(&proof.a, delta, n2),
+            1 => proof.b = perturb(&proof.b, delta, n2),
+            2 => proof.z = perturb(&proof.z, delta, pk.n()),
+            3 => proof.w1 = perturb(&proof.w1, delta, pk.n()),
+            4 => proof.w2 = perturb(&proof.w2, delta, pk.n()),
+            5 => c1 = Ciphertext::from_raw(perturb(c1.raw(), delta, n2)),
+            6 => c2 = Ciphertext::from_raw(perturb(c2.raw(), delta, n2)),
+            _ => c3 = Ciphertext::from_raw(perturb(c3.raw(), delta, n2)),
+        }
+        prop_assert!(!proof.verify(pk, &c1, &c2, &c3));
+    }
+
+    #[test]
+    fn pohdp_rejects_any_mutation(
+        bits in proptest::collection::vec(any::<bool>(), 1..4),
+        vals in proptest::collection::vec(any::<u32>(), 3..4),
+        seed in any::<u64>(),
+        field in 0usize..8,
+        delta in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = &kp().pk;
+        let len = bits.len();
+        let x: Vec<BigUint> = bits
+            .iter()
+            .map(|&b| BigUint::from_u64(u64::from(b)))
+            .collect();
+        let r: Vec<BigUint> = (0..len).map(|_| coprime(&mut rng, pk)).collect();
+        let commitments: Vec<Ciphertext> =
+            x.iter().zip(&r).map(|(xi, ri)| pk.encrypt_with(xi, ri)).collect();
+        let inputs: Vec<Ciphertext> = (0..len)
+            .map(|i| pk.encrypt(&BigUint::from_u64(vals[i % vals.len()] as u64), &mut rng))
+            .collect();
+        let (output, s) = DotProductProof::dot(pk, &inputs, &x, &mut rng);
+        let mut proof =
+            DotProductProof::prove(pk, &commitments, &inputs, &output, &x, &r, &s, &mut rng);
+        prop_assert!(proof.verify(pk, &commitments, &inputs, &output));
+        let (mut commitments, mut inputs, mut output) = (commitments, inputs, output);
+        let n2 = pk.n_squared();
+        let i = (delta as usize) % len;
+        match field {
+            0 => proof.a[i] = perturb(&proof.a[i], delta, n2),
+            1 => proof.b = perturb(&proof.b, delta, n2),
+            2 => proof.z[i] = perturb(&proof.z[i], delta, pk.n()),
+            3 => proof.w1[i] = perturb(&proof.w1[i], delta, pk.n()),
+            4 => proof.w2 = perturb(&proof.w2, delta, pk.n()),
+            5 => commitments[i] = Ciphertext::from_raw(perturb(commitments[i].raw(), delta, n2)),
+            6 => inputs[i] = Ciphertext::from_raw(perturb(inputs[i].raw(), delta, n2)),
+            _ => output = Ciphertext::from_raw(perturb(output.raw(), delta, n2)),
+        }
+        prop_assert!(!proof.verify(pk, &commitments, &inputs, &output));
+    }
+
+    #[test]
+    fn pohdp_never_panics_on_length_mismatch(
+        extra in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = &kp().pk;
+        let x = vec![BigUint::one()];
+        let r = vec![coprime(&mut rng, pk)];
+        let commitments = vec![pk.encrypt_with(&x[0], &r[0])];
+        let inputs = vec![pk.encrypt(&BigUint::from_u64(5), &mut rng)];
+        let (output, s) = DotProductProof::dot(pk, &inputs, &x, &mut rng);
+        let proof =
+            DotProductProof::prove(pk, &commitments, &inputs, &output, &x, &r, &s, &mut rng);
+        let padded: Vec<Ciphertext> =
+            std::iter::repeat_with(|| commitments[0].clone()).take(1 + extra).collect();
+        let ok = proof.verify(pk, &padded, &inputs, &output);
+        prop_assert_eq!(ok, extra == 0);
+    }
+}
+
+#[test]
+fn challenge_bits_clamps_tiny_and_huge_keys() {
+    // 16-bit modulus: keysize/2 − 8 = 0 → clamped up to the 16-bit floor.
+    let tiny = PublicKey::from_n(BigUint::from_u64(0xC00D));
+    assert_eq!(tiny.keysize(), 16);
+    assert_eq!(challenge_bits(&tiny), 16);
+    // 64-bit modulus: in the linear region (64/2 − 8 = 24).
+    let mid = PublicKey::from_n(BigUint::from_u64(0x8000_0000_0000_000Du64));
+    assert_eq!(challenge_bits(&mid), 24);
+    // 512-bit modulus: capped at 128.
+    let mut rng = StdRng::seed_from_u64(77);
+    let big = keygen(&mut rng, 512);
+    assert_eq!(challenge_bits(&big.pk), 128);
+}
+
+#[test]
+fn tiny_key_proofs_still_round_trip() {
+    // The clamp floor (challenge wider than the factors) breaks the
+    // soundness *bound*, not completeness: honest proofs must verify and
+    // tampered ones must still reject without panicking.
+    let mut rng = StdRng::seed_from_u64(55);
+    let kp = keygen(&mut rng, 32);
+    let x = BigUint::from_u64(9);
+    let r = pivot_bignum::rng::gen_coprime(&mut rng, kp.pk.n());
+    let c = kp.pk.encrypt_with(&x, &r);
+    let mut proof = PlaintextProof::prove(&kp.pk, &c, &x, &r, &mut rng);
+    assert!(proof.verify(&kp.pk, &c));
+    proof.z = (&proof.z + &BigUint::one()).rem_of(kp.pk.n());
+    assert!(!proof.verify(&kp.pk, &c));
+}
