@@ -26,6 +26,7 @@
 //!   validate a Chrome-trace export with `--check`.
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod json;
 pub mod party;
 pub mod report;

@@ -14,6 +14,7 @@ USAGE:
     pivot bench --scenario <FILE> [--out <FILE>] [--baseline <FILE>] [--quiet]
     pivot party --scenario <FILE> --id <N> --peers <ADDR0,ADDR1,...>
                 [--listen <ADDR>] [--out <FILE>] [--quiet]
+                [--resume] [--supervise]
     pivot trace <FILE> [--check]
     pivot trace --diff <FILE_A> <FILE_B>
     pivot --help | --version
@@ -36,11 +37,15 @@ SUBCOMMANDS:
                with ids 0..m-1 and the same --peers list; each writes a
                per-party report matching the in-process run bit-for-bit.
                Lost connections are resumed transparently (replayed from
-               a retransmit ring); unrecoverable failures write a
-               structured error report and exit 10 (transport failure),
-               11 (this party's own [faults] crash_party fired), or 12
-               (a zero-knowledge proof was rejected — the report names
-               the accused party)
+               a retransmit ring); with a [checkpoint] section each
+               party also writes durable checkpoints it can restart
+               from. Unrecoverable failures write a structured error
+               report and exit 10 (transport failure, incl. a peer lost
+               past the rejoin deadline or an unreplayable resume gap),
+               11 (this party's own [faults] crash_party fired), 12 (a
+               zero-knowledge proof was rejected — the report names the
+               accused party), or 13 (checkpoint state unreadable,
+               corrupt, mismatched, or unwritable)
     trace      Inspect tracing output: point it at a run report (train /
                predict / bench / party / --baseline JSON) to print the
                embedded per-phase round/byte/wall tables, or at a
@@ -61,6 +66,14 @@ OPTIONS:
                         parties in id order (same list for every process)
     --listen <ADDR>     party only: local bind address (default: the
                         --peers entry for --id)
+    --resume            party only: restart from the newest checkpoint in
+                        the scenario's checkpoint.dir (fresh start when
+                        none exists yet); peers splice the restarted
+                        party back in and replay what it missed
+    --supervise         party only: wrap the party in a supervisor child
+                        process to drive a [faults] kill_party entry —
+                        really SIGKILLs the child at the configured
+                        level, then relaunches it with --resume
     --check             trace only: validate a Chrome-trace export
                         (balanced B/E per track, monotonic timestamps,
                         known phase names) and exit non-zero on violation
@@ -88,6 +101,8 @@ fn parse_party_args(argv: &[String]) -> Result<pivot_cli::party::PartyArgs, Stri
     let mut peers = None;
     let mut out = None;
     let mut quiet = false;
+    let mut resume = false;
+    let mut supervise = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -123,6 +138,8 @@ fn parse_party_args(argv: &[String]) -> Result<pivot_cli::party::PartyArgs, Stri
                 out = Some(PathBuf::from(v));
             }
             "--quiet" => quiet = true,
+            "--resume" => resume = true,
+            "--supervise" => supervise = true,
             other => {
                 return Err(format!("unexpected argument {other:?} (see pivot --help)"));
             }
@@ -135,6 +152,8 @@ fn parse_party_args(argv: &[String]) -> Result<pivot_cli::party::PartyArgs, Stri
         peers: peers.ok_or("party needs --peers <ADDR0,ADDR1,...>")?,
         out,
         quiet,
+        resume,
+        supervise,
     })
 }
 
@@ -373,10 +392,10 @@ fn main() -> ExitCode {
         return match pivot_cli::party::run(&args) {
             Ok(()) => ExitCode::SUCCESS,
             // Failures get distinct exit codes (10 = network, 11 = this
-            // party's own injected crash, 12 = rejected proof) so a
-            // harness can classify a dead run without parsing stderr;
-            // the structured error report has already been written by
-            // `party::run`.
+            // party's own injected crash, 12 = rejected proof, 13 =
+            // checkpoint failure) so a harness can classify a dead run
+            // without parsing stderr; the structured error report has
+            // already been written by `party::run`.
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(e.exit_code())

@@ -12,17 +12,27 @@
 //! Rendezvous: `--peers` lists all `m` addresses in party-id order
 //! (identical across processes); each process binds `--listen` (default:
 //! its own `--peers` entry), dials lower ids, and accepts higher ids.
+//!
+//! Crash recovery: with a `[checkpoint]` section, `--resume` restarts a
+//! killed party from its newest durable checkpoint (replaying the
+//! recorded inbound transcript through the deterministic protocol), and
+//! `--supervise` wraps the party in a small supervisor that drives the
+//! `kill_party` chaos fault — really SIGKILLing the child at the
+//! configured level and relaunching it with `--resume`.
 
+use crate::checkpoint::{load_latest, scenario_fingerprint, CheckpointError, CliCheckpointSink};
 use crate::report;
-use crate::runner::{compute_metric, metric_name_for, prepare, run_party_protocol, Execution};
+use crate::runner::{
+    compute_metric, metric_name_for, prepare, run_party_protocol, CheckpointInstall, Execution,
+};
 use crate::scenario::Scenario;
 use pivot_data::partition_vertically;
-use pivot_transport::tcp::connect_mesh_with;
+use pivot_transport::tcp::{connect_mesh_restart, connect_mesh_with};
 use pivot_transport::{
     catch_failures, FaultInjector, ProtocolError, RunFailure, TransportError, TransportErrorKind,
 };
-use std::path::PathBuf;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Exit code for a transport failure (peer dead, wedge, unresumable
 /// link) — distinct from `1` so a harness can tell "the run died on the
@@ -34,6 +44,11 @@ pub const EXIT_INJECTED_CRASH: u8 = 11;
 /// proof: the protocol *content* failed, not the network — the
 /// structured error report names the accused cheater.
 pub const EXIT_PROOF_REJECTED: u8 = 12;
+/// Exit code for a checkpoint failure: unreadable/corrupt/mismatched
+/// checkpoint state under `--resume`, or a durable write that failed
+/// mid-run. The durability plane failed, not the network or the
+/// protocol.
+pub const EXIT_CHECKPOINT_ERROR: u8 = 13;
 
 /// How a `pivot party` run failed.
 pub enum PartyError {
@@ -47,6 +62,12 @@ pub enum PartyError {
     /// report naming the accused party has already been written; exit
     /// code 12.
     Protocol(Box<ProtocolError>),
+    /// The crash-recovery plane failed (see [`CheckpointError`]). A
+    /// structured error report has already been written; exit code 13.
+    Checkpoint(Box<CheckpointError>),
+    /// `--supervise` only: the supervised child exited non-zero and the
+    /// supervisor mirrors its code.
+    Child { code: u8 },
 }
 
 impl PartyError {
@@ -59,6 +80,8 @@ impl PartyError {
             }
             PartyError::Transport(_) => EXIT_TRANSPORT_FAILURE,
             PartyError::Protocol(_) => EXIT_PROOF_REJECTED,
+            PartyError::Checkpoint(_) => EXIT_CHECKPOINT_ERROR,
+            PartyError::Child { code } => *code,
         }
     }
 }
@@ -69,6 +92,8 @@ impl std::fmt::Display for PartyError {
             PartyError::Usage(e) => write!(f, "{e}"),
             PartyError::Transport(err) => write!(f, "{err}"),
             PartyError::Protocol(err) => write!(f, "{err}"),
+            PartyError::Checkpoint(err) => write!(f, "{err}"),
+            PartyError::Child { code } => write!(f, "supervised party exited with code {code}"),
         }
     }
 }
@@ -89,16 +114,32 @@ pub struct PartyArgs {
     pub peers: Vec<String>,
     pub out: Option<PathBuf>,
     pub quiet: bool,
+    /// Restart from the newest checkpoint in the scenario's
+    /// `checkpoint.dir` (fresh start when none exists yet).
+    pub resume: bool,
+    /// Run as a supervisor: spawn the real party as a child process and
+    /// drive the scenario's `kill_party` fault (SIGKILL + relaunch with
+    /// `--resume`).
+    pub supervise: bool,
 }
 
 /// Execute one party end to end and write its JSON report. On a
 /// transport failure the report is replaced by a structured *error*
 /// report (kind, peer, direction, phase, elapsed) and the returned
-/// [`PartyError`] maps to a distinct exit code.
+/// [`PartyError`] maps to a distinct exit code. With `--supervise` this
+/// instead runs the supervisor loop around a child party process.
 pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
+    if args.supervise {
+        return run_supervised(args);
+    }
     let scenario = Scenario::load(&args.scenario)?;
     let algo = scenario.sole_algorithm()?;
     let m = scenario.parties;
+    if args.resume && scenario.checkpoint.is_none() {
+        return Err("--resume needs a [checkpoint] section in the scenario"
+            .to_string()
+            .into());
+    }
     if args.peers.len() != m {
         return Err(format!(
             "--peers lists {} addresses but the scenario has {m} parties",
@@ -135,38 +176,131 @@ pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
         report::default_report_path(&args.scenario, &format!("-party{}", args.id))
     });
     let start = Instant::now();
-    let result = connect_mesh_with(
-        args.id,
-        &listen,
-        &args.peers,
-        scenario.net_config(),
-        injector,
-    )
-    .map_err(|e| {
-        // Rendezvous failures are transport failures too: same
-        // structured report, same exit code.
-        let kind = if e.kind() == std::io::ErrorKind::TimedOut {
-            TransportErrorKind::Timeout
-        } else {
-            TransportErrorKind::Disconnected
-        };
-        let mut err = TransportError::new(kind, args.id, e.to_string());
-        err.phase = "connect".into();
-        RunFailure::Transport(err)
-    })
-    .and_then(|ep| {
-        catch_failures(|| {
-            run_party_protocol(
-                &ep,
-                train_part.views[args.id].clone(),
-                &test_part.views[args.id],
-                &params,
-                &scenario.model,
-                algo,
-                false,
-            )
+
+    // `--resume`: load the newest durable checkpoint (if any) before
+    // dialing, so the restart handshake can present per-peer delivery
+    // cursors and the recorded transcript can be replayed.
+    let mut delivered = vec![0u64; m];
+    let mut preload: Vec<(usize, Vec<Vec<u8>>)> = Vec::new();
+    let mut resume_verify = None;
+    if args.resume {
+        let spec = scenario.checkpoint.as_ref().expect("checked above");
+        let fingerprint = scenario_fingerprint(&scenario);
+        match load_latest(Path::new(&spec.dir), args.id as u64, m as u64, fingerprint) {
+            Ok(Some(file)) => {
+                if !args.quiet {
+                    println!(
+                        "party {} resuming from checkpoint ordinal {} (level {}, \
+                         {} recorded peer frames)",
+                        args.id,
+                        file.ordinal,
+                        file.level,
+                        file.peers.iter().map(|(_, f)| f.len()).sum::<usize>(),
+                    );
+                }
+                resume_verify = Some((file.ordinal, file.cursors));
+                for (peer, frames) in file.peers {
+                    delivered[peer as usize] = frames.len() as u64;
+                    preload.push((peer as usize, frames));
+                }
+            }
+            // Killed before the first barrier: a fresh start is the
+            // correct resume (peers roll back to cursor 0 and replay).
+            Ok(None) => {
+                if !args.quiet {
+                    println!(
+                        "party {}: no checkpoint in {} yet, resuming from genesis",
+                        args.id, spec.dir
+                    );
+                }
+            }
+            Err(err) => {
+                let wall_s = start.elapsed().as_secs_f64();
+                let report =
+                    report::party_checkpoint_error_report(&scenario, args.id, &err, wall_s);
+                std::fs::write(&out_path, report.to_pretty())
+                    .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+                if !args.quiet {
+                    eprintln!("party {} failed: {err}", args.id);
+                    eprintln!("error report written to {}", out_path.display());
+                }
+                return Err(PartyError::Checkpoint(Box::new(err)));
+            }
+        }
+    }
+
+    let connect = if args.resume {
+        connect_mesh_restart(
+            args.id,
+            &listen,
+            &args.peers,
+            scenario.net_config(),
+            injector,
+            &delivered,
+        )
+    } else {
+        connect_mesh_with(
+            args.id,
+            &listen,
+            &args.peers,
+            scenario.net_config(),
+            injector,
+        )
+    };
+    let mut checkpoint_handle = None;
+    let result = connect
+        .map_err(|e| {
+            // Rendezvous failures are transport failures too: same
+            // structured report, same exit code.
+            let kind = if e.kind() == std::io::ErrorKind::TimedOut {
+                TransportErrorKind::Timeout
+            } else {
+                TransportErrorKind::Disconnected
+            };
+            let mut err = TransportError::new(kind, args.id, e.to_string());
+            err.phase = "connect".into();
+            RunFailure::Transport(err)
         })
-    });
+        .and_then(|ep| {
+            let checkpoint = if let Some((ordinal, cursors)) = resume_verify {
+                // Replay frames must be queued before the first protocol
+                // receive; the sink then cross-checks the recomputed
+                // cursors against the checkpoint when replay catches up.
+                ep.enable_transcript();
+                for (peer, frames) in preload.drain(..) {
+                    ep.preload_replay(peer, frames);
+                }
+                let spec = scenario.checkpoint.as_ref().expect("checked above");
+                let sink = CliCheckpointSink::new(
+                    PathBuf::from(&spec.dir),
+                    spec.every_levels,
+                    args.id as u64,
+                    m as u64,
+                    scenario_fingerprint(&scenario),
+                )
+                .with_resume_verify(ordinal, cursors);
+                let handle = sink.handle();
+                Some(CheckpointInstall {
+                    sink: Box::new(sink),
+                    handle,
+                })
+            } else {
+                CheckpointInstall::for_party(&scenario, args.id)
+            };
+            checkpoint_handle = checkpoint.as_ref().map(|c| c.handle.clone());
+            catch_failures(|| {
+                run_party_protocol(
+                    &ep,
+                    train_part.views[args.id].clone(),
+                    &test_part.views[args.id],
+                    &params,
+                    &scenario.model,
+                    algo,
+                    false,
+                    checkpoint,
+                )
+            })
+        });
     let wall_s = start.elapsed().as_secs_f64();
 
     let outcome = match result {
@@ -191,6 +325,19 @@ pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
             return Err(party_err);
         }
     };
+
+    // A run that finished but could not persist its checkpoints is not a
+    // durable run: surface the first write failure as exit code 13.
+    if let Some(err) = checkpoint_handle.as_ref().and_then(|h| h.take_error()) {
+        let report = report::party_checkpoint_error_report(&scenario, args.id, &err, wall_s);
+        std::fs::write(&out_path, report.to_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+        if !args.quiet {
+            eprintln!("party {} failed: {err}", args.id);
+            eprintln!("error report written to {}", out_path.display());
+        }
+        return Err(PartyError::Checkpoint(Box::new(err)));
+    }
 
     // This process hosts exactly one party, so the process-global runtime
     // sink holds only this party's background telemetry.
@@ -237,4 +384,133 @@ pub fn run(args: &PartyArgs) -> Result<(), PartyError> {
         println!("report written to {}", out_path.display());
     }
     Ok(())
+}
+
+/// Rebuild the child's `party` argv from the parsed arguments (everything
+/// except `--supervise`, plus `--resume` on relaunch).
+fn child_argv(args: &PartyArgs, resume: bool) -> Vec<String> {
+    let mut argv = vec![
+        "party".to_string(),
+        "--scenario".to_string(),
+        args.scenario.display().to_string(),
+        "--id".to_string(),
+        args.id.to_string(),
+        "--peers".to_string(),
+        args.peers.join(","),
+    ];
+    if let Some(listen) = &args.listen {
+        argv.push("--listen".to_string());
+        argv.push(listen.clone());
+    }
+    if let Some(out) = &args.out {
+        argv.push("--out".to_string());
+        argv.push(out.display().to_string());
+    }
+    if args.quiet {
+        argv.push("--quiet".to_string());
+    }
+    if resume {
+        argv.push("--resume".to_string());
+    }
+    argv
+}
+
+/// The level recorded in a checkpoint filename
+/// (`party<p>-<ordinal>-l<level>.ckpt`), when `name` is one of `party`'s.
+fn ckpt_file_level(name: &str, party: usize) -> Option<u64> {
+    let rest = name
+        .strip_prefix(&format!("party{party}-"))?
+        .strip_suffix(".ckpt")?;
+    rest.rsplit_once("-l")?.1.parse().ok()
+}
+
+/// `--supervise`: run the real party as a child process and drive the
+/// scenario's `kill_party` fault against it — wait for the child to write
+/// a checkpoint at (or past) the configured level, SIGKILL it, sleep
+/// `restart_after`, relaunch with `--resume`, and mirror the final exit.
+/// Without a `kill_party` entry for this id the supervisor degenerates to
+/// a plain wrapper that forwards the child's exit code.
+fn run_supervised(args: &PartyArgs) -> Result<(), PartyError> {
+    let scenario = Scenario::load(&args.scenario)?;
+    let plan = scenario.fault_plan()?;
+    let kill = plan.kill_spec(args.id);
+    if kill.is_some() && scenario.checkpoint.is_none() {
+        // Also caught by scenario validation; keep the supervisor safe
+        // against programmatic callers.
+        return Err("kill_party needs a [checkpoint] section".to_string().into());
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the pivot binary for the child: {e}"))?;
+    let spawn = |resume: bool| {
+        std::process::Command::new(&exe)
+            .args(child_argv(args, resume))
+            .spawn()
+            .map_err(|e| PartyError::Usage(format!("cannot spawn child party: {e}")))
+    };
+    let mirror = |status: std::process::ExitStatus| -> Result<(), PartyError> {
+        if status.success() {
+            Ok(())
+        } else {
+            Err(PartyError::Child {
+                // A signal death (no code) is reported as a transport
+                // failure: the mesh lost this party.
+                code: status.code().map_or(EXIT_TRANSPORT_FAILURE, |c| c as u8),
+            })
+        }
+    };
+
+    let mut child = spawn(args.resume)?;
+    let Some((at_level, restart_after)) = kill else {
+        let status = child
+            .wait()
+            .map_err(|e| format!("cannot wait for child party: {e}"))?;
+        return mirror(status);
+    };
+
+    let dir = PathBuf::from(&scenario.checkpoint.as_ref().expect("checked above").dir);
+    if !args.quiet {
+        println!(
+            "supervisor {}: will SIGKILL at checkpoint level >= {at_level}, \
+             restart after {restart_after:?}",
+            args.id
+        );
+    }
+    // Watch the checkpoint directory until the child has durably reached
+    // the kill level (or exits first — then just mirror it).
+    loop {
+        if let Some(status) = child
+            .try_wait()
+            .map_err(|e| PartyError::Usage(format!("cannot poll child party: {e}")))?
+        {
+            return mirror(status);
+        }
+        let reached = std::fs::read_dir(&dir)
+            .ok()
+            .into_iter()
+            .flatten()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| ckpt_file_level(&e.file_name().to_string_lossy(), args.id))
+            .any(|level| level >= at_level);
+        if reached {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+        .kill()
+        .map_err(|e| PartyError::Usage(format!("cannot kill child party: {e}")))?;
+    let _ = child.wait();
+    if !args.quiet {
+        println!(
+            "supervisor {}: child killed at level {at_level}, relaunching with \
+             --resume in {restart_after:?}",
+            args.id
+        );
+    }
+    std::thread::sleep(restart_after);
+    let mut relaunched = spawn(true)?;
+    let status = relaunched
+        .wait()
+        .map_err(|e| format!("cannot wait for resumed child party: {e}"))?;
+    mirror(status)
 }

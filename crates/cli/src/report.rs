@@ -64,6 +64,7 @@ fn session_json(p: &crate::runner::PartyOutcome) -> Json {
         .with("connect_retries", p.connect_retries)
         .with("reconnects", p.reconnects)
         .with("replayed_frames", p.replayed_frames)
+        .with("rejoins", p.rejoins)
         .with("faults_injected", p.faults_injected)
 }
 
@@ -124,6 +125,21 @@ fn counters_json(exec: &Execution) -> Json {
         .with("packing", packing_json(p0))
         .with("randomness_pool", pool_json(&p0.pool))
         .with("verification", verification_json(&p0.verification))
+        .with(
+            "checkpoint",
+            Json::obj()
+                .with(
+                    "written",
+                    exec.parties
+                        .iter()
+                        .map(|p| p.checkpoints_written)
+                        .sum::<u64>(),
+                )
+                .with(
+                    "bytes",
+                    exec.parties.iter().map(|p| p.checkpoint_bytes).sum::<u64>(),
+                ),
+        )
 }
 
 /// Malicious-model verification counters of one party: proof
@@ -462,6 +478,36 @@ pub fn party_error_report(
     err: &pivot_transport::TransportError,
     wall_s: f64,
 ) -> Json {
+    let mut error = Json::obj()
+        .with("kind", err.kind.as_str())
+        .with("party", err.party as u64)
+        .with("peer", err.peer.map(|p| p as u64))
+        .with("direction", err.direction.map(|d| d.as_str()))
+        .with("phase", err.phase.clone())
+        .with("elapsed_s", err.elapsed.as_secs_f64())
+        .with("detail", err.detail.clone())
+        .with("message", err.to_string());
+    // A resume gap names the first frame the retransmit ring could not
+    // replay, so a harness can see how far eviction outran the peer.
+    if let Some(seq) = err.missing_seq {
+        error.set("missing_seq", seq);
+    }
+    header("party", scenario)
+        .with("party", party)
+        .with("status", "failed")
+        .with("wall_total_s", wall_s)
+        .with("error", error)
+}
+
+/// Failure report for `pivot party` when the crash-recovery plane failed:
+/// an unreadable, corrupt, or mismatched checkpoint under `--resume`, or
+/// a durable write failure mid-run (exit code 13 either way).
+pub fn party_checkpoint_error_report(
+    scenario: &Scenario,
+    party: usize,
+    err: &crate::checkpoint::CheckpointError,
+    wall_s: f64,
+) -> Json {
     header("party", scenario)
         .with("party", party)
         .with("status", "failed")
@@ -469,13 +515,9 @@ pub fn party_error_report(
         .with(
             "error",
             Json::obj()
-                .with("kind", err.kind.as_str())
-                .with("party", err.party as u64)
-                .with("peer", err.peer.map(|p| p as u64))
-                .with("direction", err.direction.map(|d| d.as_str()))
-                .with("phase", err.phase.clone())
-                .with("elapsed_s", err.elapsed.as_secs_f64())
-                .with("detail", err.detail.clone())
+                .with("kind", "checkpoint")
+                .with("party", party as u64)
+                .with("detail", format!("{err:?}"))
                 .with("message", err.to_string()),
         )
 }
@@ -605,7 +647,10 @@ mod tests {
             connect_retries: 1,
             reconnects: 2,
             replayed_frames: 3,
+            rejoins: 1,
             faults_injected: 1,
+            checkpoints_written: 2,
+            checkpoint_bytes: 2048,
             internal_nodes: 3,
             tree_depth: Some(2),
             predictions: vec![0.0, 1.0],

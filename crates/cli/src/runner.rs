@@ -62,11 +62,17 @@ pub struct PartyOutcome {
     /// Session-layer health over the whole run (these survive the
     /// between-phase stats reset): dial attempts beyond the first,
     /// sessions resumed after a connection loss, frames retransmitted
-    /// from the ring during resumes, and scenario faults fired here.
+    /// from the ring during resumes, peers spliced back in after a full
+    /// process restart, and scenario faults fired here.
     pub connect_retries: u64,
     pub reconnects: u64,
     pub replayed_frames: u64,
+    pub rejoins: u64,
     pub faults_injected: u64,
+    /// Crash-recovery checkpoints durably written by this party and their
+    /// total encoded size (zero without a `[checkpoint]` section).
+    pub checkpoints_written: u64,
+    pub checkpoint_bytes: u64,
     /// Trained-model shape.
     pub internal_nodes: usize,
     pub tree_depth: Option<usize>,
@@ -94,6 +100,33 @@ pub struct Execution {
     /// Off-party-thread telemetry (worker-pool gauges, background dealer
     /// refills) drained from the process-global sink after the run.
     pub runtime_trace: Option<pivot_trace::RuntimeTrace>,
+}
+
+/// A checkpoint sink ready to install on a party, paired with the shared
+/// handle the report plumbing reads counters (and the first write error)
+/// from after the run.
+pub struct CheckpointInstall {
+    pub sink: Box<dyn pivot_core::checkpoint::CheckpointSink>,
+    pub handle: crate::checkpoint::CheckpointHandle,
+}
+
+impl CheckpointInstall {
+    /// The production sink for one party of `scenario`.
+    pub fn for_party(scenario: &Scenario, party: usize) -> Option<CheckpointInstall> {
+        let spec = scenario.checkpoint.as_ref()?;
+        let sink = crate::checkpoint::CliCheckpointSink::new(
+            std::path::PathBuf::from(&spec.dir),
+            spec.every_levels,
+            party as u64,
+            scenario.parties as u64,
+            crate::checkpoint::scenario_fingerprint(scenario),
+        );
+        let handle = sink.handle();
+        Some(CheckpointInstall {
+            sink: Box::new(sink),
+            handle,
+        })
+    }
 }
 
 enum Trained {
@@ -134,6 +167,7 @@ impl Trained {
 /// `execute` calls it from `m` threads over in-process channels, and
 /// `pivot party` calls it once per OS process over a TCP endpoint — so a
 /// distributed run is byte-for-byte the run the threaded backend performs.
+#[allow(clippy::too_many_arguments)]
 pub fn run_party_protocol(
     ep: &Endpoint,
     view: VerticalView,
@@ -142,6 +176,7 @@ pub fn run_party_protocol(
     model_spec: &ModelSpec,
     algo: Algo,
     skip_prediction: bool,
+    checkpoint: Option<CheckpointInstall>,
 ) -> PartyOutcome {
     // A no-op at the default `TraceLevel::Off`; otherwise this thread
     // records spans until the matching `finish()` below.
@@ -152,7 +187,15 @@ pub fn run_party_protocol(
     if params.scheduling == pivot_core::Scheduling::Pipelined {
         ep.set_coalescing(true);
     }
+    // Checkpoints snapshot the *inbound transcript*, so recording must
+    // start before the first setup exchange ever touches the endpoint
+    // (idempotent when `--resume` already enabled it to preload replay).
+    let checkpoint_handle = checkpoint.as_ref().map(|c| c.handle.clone());
+    if checkpoint.is_some() {
+        ep.enable_transcript();
+    }
     let mut ctx = PartyContext::setup(ep, view, params.clone());
+    ctx.checkpoint = checkpoint.map(|c| c.sink);
 
     let train_start = Instant::now();
     let model = match (&model_spec.kind, algo) {
@@ -248,7 +291,10 @@ pub fn run_party_protocol(
         connect_retries: stats.connect_retries(),
         reconnects: stats.reconnects(),
         replayed_frames: stats.replayed_frames(),
+        rejoins: stats.rejoins(),
         faults_injected: stats.faults_injected(),
+        checkpoints_written: checkpoint_handle.as_ref().map_or(0, |h| h.written()),
+        checkpoint_bytes: checkpoint_handle.as_ref().map_or(0, |h| h.bytes()),
         internal_nodes: model.internal_nodes(),
         tree_depth: model.depth(),
         predictions,
@@ -319,6 +365,14 @@ pub fn execute(
     let test_part = partition_vertically(&test_set, m, 0);
     let model_spec = scenario.model.clone();
     let plan = scenario.fault_plan()?;
+    if plan.has_kill() {
+        return Err(
+            "faults.plan: kill_party needs the process-per-party backend \
+             (`pivot party --supervise`) — the in-process runner cannot SIGKILL \
+             and relaunch one of its own threads"
+                .into(),
+        );
+    }
     let net = scenario.net_config();
     let endpoints = if plan.is_empty() {
         Network::with_config(m, net).into_endpoints()
@@ -330,6 +384,7 @@ pub fn execute(
     let results = try_run_parties_on(endpoints, |ep| {
         let view = train_part.views[ep.id()].clone();
         let test_view = &test_part.views[ep.id()];
+        let checkpoint = CheckpointInstall::for_party(scenario, ep.id());
         run_party_protocol(
             &ep,
             view,
@@ -338,6 +393,7 @@ pub fn execute(
             &model_spec,
             algo,
             skip_prediction,
+            checkpoint,
         )
     });
     let wall_s = start.elapsed().as_secs_f64();

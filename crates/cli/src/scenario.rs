@@ -391,14 +391,39 @@ pub struct NetworkSpec {
     /// connection loss, how long the redial backoff keeps trying before
     /// the link is declared dead (default 60 s).
     pub connect_timeout_s: Option<f64>,
+    /// Liveness heartbeat cadence per TCP link (off when unset). A link
+    /// silent for 3 heartbeat periods is declared broken.
+    pub heartbeat_s: Option<f64>,
+    /// After a peer's link breaks, how long survivors park at the current
+    /// protocol point waiting for it to rejoin before raising
+    /// `TransportError::PeerLost` (off when unset: the connect-timeout
+    /// redial budget governs alone).
+    pub rejoin_deadline_s: Option<f64>,
+}
+
+/// `[checkpoint]` section: durable crash-recovery state (see
+/// [`crate::checkpoint`]). At every `every_levels`-th level/tree barrier
+/// each party writes a versioned, checksummed `PVCK` file under `dir`;
+/// `pivot party --resume` restarts from the newest one bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointSpec {
+    /// Barrier cadence: checkpoint every N level/tree barriers (>= 1).
+    pub every_levels: u64,
+    /// Checkpoint directory (relative paths resolve against the scenario
+    /// file's directory, like `data.path`).
+    pub dir: String,
 }
 
 /// `[faults]` section: a deterministic chaos plan for robustness runs.
 ///
 /// `plan` entries use the [`pivot_transport::FaultSpec`] grammar
 /// (`drop_link 0-1 at_round=8`, `delay_spike 0-2 at_bytes=4096 ms=250`,
-/// `crash_party 1 at_round=10`); `seed` derandomizes reconnect backoff
-/// jitter so chaos runs are repeatable.
+/// `crash_party 1 at_round=10`,
+/// `kill_party 1 at_level=2 restart_after_ms=500`); `seed` derandomizes
+/// reconnect backoff jitter so chaos runs are repeatable. `kill_party` is
+/// special: it is never armed in-process — `pivot party --supervise`
+/// drives it by really SIGKILLing and relaunching the child process, and
+/// it requires a `[checkpoint]` section for the relaunch to resume from.
 #[derive(Clone, Debug, Default)]
 pub struct FaultsSpec {
     pub plan: Vec<String>,
@@ -437,6 +462,7 @@ pub struct Scenario {
     pub params: ParamSpec,
     pub model: ModelSpec,
     pub network: NetworkSpec,
+    pub checkpoint: Option<CheckpointSpec>,
     pub faults: FaultsSpec,
     pub adversary: AdversaryCliSpec,
     pub sweep: Option<SweepSpec>,
@@ -716,7 +742,10 @@ const NETWORK_KEYS: &[&str] = &[
     "bandwidth_mbps",
     "recv_timeout_s",
     "connect_timeout_s",
+    "heartbeat_s",
+    "rejoin_deadline_s",
 ];
+const CHECKPOINT_KEYS: &[&str] = &["every_levels", "dir"];
 const FAULTS_KEYS: &[&str] = &["plan", "seed"];
 const ADVERSARY_KEYS: &[&str] = &["tamper"];
 const SWEEP_KEYS: &[&str] = &["vary", "values"];
@@ -726,6 +755,7 @@ const SECTIONS: &[(&str, &[&str])] = &[
     ("params", PARAM_KEYS),
     ("model", MODEL_KEYS),
     ("network", NETWORK_KEYS),
+    ("checkpoint", CHECKPOINT_KEYS),
     ("faults", FAULTS_KEYS),
     ("adversary", ADVERSARY_KEYS),
     ("sweep", SWEEP_KEYS),
@@ -758,6 +788,17 @@ impl Scenario {
             if csv_path.is_relative() {
                 if let Some(dir) = path.parent() {
                     scenario.data.path = Some(dir.join(csv_path).to_string_lossy().into_owned());
+                }
+            }
+        }
+        // Same for the checkpoint directory: every party of the run must
+        // resolve `dir` identically regardless of its own working
+        // directory.
+        if let Some(ckpt) = &mut scenario.checkpoint {
+            let ckpt_dir = Path::new(&ckpt.dir);
+            if ckpt_dir.is_relative() {
+                if let Some(dir) = path.parent() {
+                    ckpt.dir = dir.join(ckpt_dir).to_string_lossy().into_owned();
                 }
             }
         }
@@ -983,6 +1024,22 @@ impl Scenario {
             bandwidth_mbps: doc.get_f64("network", "bandwidth_mbps")?,
             recv_timeout_s: doc.get_f64("network", "recv_timeout_s")?,
             connect_timeout_s: doc.get_f64("network", "connect_timeout_s")?,
+            heartbeat_s: doc.get_f64("network", "heartbeat_s")?,
+            rejoin_deadline_s: doc.get_f64("network", "rejoin_deadline_s")?,
+        };
+
+        let checkpoint = if doc.sections().iter().any(|s| s == "checkpoint") {
+            let dir = doc.get_str("checkpoint", "dir")?.ok_or(
+                "checkpoint.dir is required (the directory checkpoint files \
+                     are written to and resumed from)",
+            )?;
+            let every_levels = doc.get_u64("checkpoint", "every_levels")?.unwrap_or(1);
+            if every_levels == 0 {
+                return Err("checkpoint.every_levels must be >= 1".into());
+            }
+            Some(CheckpointSpec { every_levels, dir })
+        } else {
+            None
         };
 
         let faults = FaultsSpec {
@@ -1013,6 +1070,7 @@ impl Scenario {
                     "packing",
                     "comparison_bits",
                     "scheduling",
+                    "checkpoint_every_levels",
                 ];
                 if !AXES.contains(&vary.as_str()) {
                     return Err(format!(
@@ -1041,6 +1099,7 @@ impl Scenario {
             params,
             model,
             network,
+            checkpoint,
             faults,
             adversary,
             sweep,
@@ -1133,6 +1192,43 @@ impl Scenario {
                 ));
             }
         }
+        for (value, key) in [
+            (self.network.heartbeat_s, "network.heartbeat_s"),
+            (self.network.rejoin_deadline_s, "network.rejoin_deadline_s"),
+        ] {
+            if let Some(secs) = value {
+                if !secs.is_finite() || secs <= 0.0 || secs > pivot_transport::MAX_RECV_TIMEOUT_SECS
+                {
+                    return Err(format!(
+                        "{key} must be a positive number of seconds (at most {:e})",
+                        pivot_transport::MAX_RECV_TIMEOUT_SECS
+                    ));
+                }
+            }
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.every_levels == 0 {
+                return Err("checkpoint.every_levels must be >= 1".into());
+            }
+            if ckpt.dir.is_empty() {
+                return Err("checkpoint.dir must not be empty".into());
+            }
+            // Recovery replays the transcript through the deterministic
+            // protocol; the pipelined scheduler is the deployment shape
+            // that replay is defined (and tested) against.
+            if self.params.scheduling != SchedulingSpec::Pipelined {
+                return Err("[checkpoint] requires params.scheduling = \"pipelined\" \
+                     (resume replay is defined against the pipelined scheduler)"
+                    .into());
+            }
+        }
+        if let Some(sweep) = &self.sweep {
+            if sweep.vary == "checkpoint_every_levels" && self.checkpoint.is_none() {
+                return Err("sweep.vary = \"checkpoint_every_levels\" needs a \
+                     [checkpoint] section to supply the directory"
+                    .into());
+            }
+        }
         if self.params.verification.is_on() {
             for algo in &self.algorithms {
                 if !matches!(algo, Algo::PivotBasic | Algo::PivotBasicPp) {
@@ -1171,7 +1267,8 @@ impl Scenario {
             let parties = match spec.kind {
                 pivot_transport::FaultKind::DropLink { a, b }
                 | pivot_transport::FaultKind::DelaySpike { a, b, .. } => [a, b],
-                pivot_transport::FaultKind::CrashParty { party } => [party, party],
+                pivot_transport::FaultKind::CrashParty { party }
+                | pivot_transport::FaultKind::KillParty { party, .. } => [party, party],
             };
             if let Some(p) = parties.iter().find(|&&p| p >= self.parties) {
                 return Err(format!(
@@ -1179,6 +1276,13 @@ impl Scenario {
                     self.parties
                 ));
             }
+        }
+        if plan.has_kill() && self.checkpoint.is_none() {
+            return Err(
+                "faults.plan: kill_party needs a [checkpoint] section — the \
+                 relaunched party resumes from its newest checkpoint"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -1310,6 +1414,19 @@ impl Scenario {
         if let Some(secs) = self.network.connect_timeout_s {
             net.connect_timeout = std::time::Duration::from_secs_f64(secs);
         }
+        if let Some(secs) = self.network.heartbeat_s {
+            net.heartbeat = Some(std::time::Duration::from_secs_f64(secs));
+        }
+        if let Some(secs) = self.network.rejoin_deadline_s {
+            net.rejoin_deadline = Some(std::time::Duration::from_secs_f64(secs));
+        }
+        // Deterministic retry/backoff schedules: derived per link from the
+        // scenario seed and the party ids (timing only — never bytes).
+        net.seed = self.seed;
+        // Checkpointed runs pin retransmit-ring retention to the barrier
+        // cursor instead of the pure LRU caps, so a restarted party can
+        // always be replayed forward from its last durable checkpoint.
+        net.durable_sessions = self.checkpoint.is_some();
         net
     }
 
@@ -1459,7 +1576,7 @@ impl Scenario {
                 // the deprecated env fallback) so reports are
                 // self-contained.
                 let net = self.net_config();
-                Json::obj()
+                let mut echo = Json::obj()
                     .with("latency_us", net.latency.as_micros() as u64)
                     .with(
                         "bandwidth_mbps",
@@ -1470,8 +1587,25 @@ impl Scenario {
                         },
                     )
                     .with("recv_timeout_s", net.recv_timeout.as_secs_f64())
-                    .with("connect_timeout_s", net.connect_timeout.as_secs_f64())
+                    .with("connect_timeout_s", net.connect_timeout.as_secs_f64());
+                // Liveness knobs are echoed only when armed, so reports
+                // from heartbeat-free runs keep their PR-9 shape.
+                if let Some(d) = net.heartbeat {
+                    echo.set("heartbeat_s", d.as_secs_f64());
+                }
+                if let Some(d) = net.rejoin_deadline {
+                    echo.set("rejoin_deadline_s", d.as_secs_f64());
+                }
+                echo
             });
+        if let Some(ckpt) = &self.checkpoint {
+            root.set(
+                "checkpoint",
+                Json::obj()
+                    .with("every_levels", ckpt.every_levels)
+                    .with("dir", ckpt.dir.clone()),
+            );
+        }
         if !self.faults.plan.is_empty() {
             root.set(
                 "faults",
@@ -1535,6 +1669,17 @@ impl Scenario {
                     _ => SchedulingSpec::Pipelined,
                 }
             }
+            // Checkpoint-cadence axis: 0 = checkpointing off, n >= 1 =
+            // every n barriers (keeping the scenario's dir) — the
+            // durability-overhead A/B BENCH_PR10.json records.
+            "checkpoint_every_levels" => match (value, &mut s.checkpoint) {
+                (0, ckpt) => *ckpt = None,
+                (n, Some(ckpt)) => ckpt.every_levels = n as u64,
+                (_, None) => panic!(
+                    "sweep over checkpoint_every_levels needs a [checkpoint] section \
+                     to supply the directory"
+                ),
+            },
             other => panic!("unvalidated sweep axis {other:?}"),
         }
         s

@@ -65,6 +65,7 @@ fn train_gbdt_regression(ctx: &mut PartyContext<'_>, gbdt: &GbdtProtocolParams) 
         let tree = train_residual_tree(ctx, &residuals);
         accumulate_predictions(ctx, &tree, gbdt.learning_rate, &mut cumulative);
         trees.push(tree);
+        ctx.tree_barrier();
     }
     GbdtModel {
         forests: vec![trees],
@@ -111,6 +112,7 @@ fn train_gbdt_classification(
             let tree = train_residual_tree(ctx, &residuals);
             accumulate_predictions(ctx, &tree, gbdt.learning_rate, &mut scores[k]);
             forest.push(tree);
+            ctx.tree_barrier();
         }
     }
     GbdtModel {

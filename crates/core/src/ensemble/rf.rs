@@ -54,7 +54,9 @@ pub fn train_rf(ctx: &mut PartyContext<'_>, rf: &RfProtocolParams) -> RfModel {
             for _ in 0..draws {
                 mask[rng.gen_range(0..n)] = true;
             }
-            train_with_mask(ctx, &mask)
+            let tree = train_with_mask(ctx, &mask);
+            ctx.tree_barrier();
+            tree
         })
         .collect();
     RfModel { trees }

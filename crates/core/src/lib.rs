@@ -22,6 +22,7 @@
 //! the `tests/` directory for end-to-end drivers.
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod config;
 pub mod conversion;
 pub mod decrypt;
@@ -39,6 +40,7 @@ pub mod train_basic;
 pub mod train_enhanced;
 pub mod verify;
 
+pub use checkpoint::{BarrierMeta, CheckpointSink, StateCursors};
 pub use config::{AdversarySpec, PivotParams, Protocol, Scheduling, Verification};
 pub use metrics::{ProtocolMetrics, VerificationCounters};
 pub use model::{ConcealedNode, ConcealedTree};

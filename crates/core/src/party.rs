@@ -47,6 +47,12 @@ pub struct PartyContext<'a> {
     /// when `params.verification` is on. `None` means every hook is a
     /// no-op and the transcript is bit-identical to honest-but-curious.
     pub verify: Option<crate::verify::VerifyPlane>,
+    /// Crash-recovery sink notified at level/tree barriers
+    /// ([`crate::checkpoint`]). `None` (the default) keeps every barrier a
+    /// no-op and the transcript bit-identical to a checkpoint-free run.
+    pub checkpoint: Option<Box<dyn crate::checkpoint::CheckpointSink>>,
+    /// Barriers fired so far (the checkpoint ordinal clock).
+    checkpoint_ordinal: u64,
 }
 
 impl<'a> PartyContext<'a> {
@@ -130,6 +136,53 @@ impl<'a> PartyContext<'a> {
             nonces,
             task_override: None,
             verify,
+            checkpoint: None,
+            checkpoint_ordinal: 0,
+        }
+    }
+
+    /// Fire the barrier hook at the end of a tree level. Called by both
+    /// trainers after the inter-level pool refill; a no-op without a
+    /// [`crate::checkpoint::CheckpointSink`] installed.
+    pub fn level_barrier(&mut self, level: u64) {
+        self.fire_barrier(level);
+    }
+
+    /// Fire the barrier hook after one ensemble member (RF tree / GBDT
+    /// round tree) finishes. The "level" reported is the running barrier
+    /// ordinal, since ensemble members have no level of their own.
+    pub fn tree_barrier(&mut self) {
+        self.fire_barrier(self.checkpoint_ordinal + 1);
+    }
+
+    fn fire_barrier(&mut self, level: u64) {
+        if self.checkpoint.is_none() {
+            return;
+        }
+        let _phase = pivot_trace::phase_span("checkpoint");
+        let (mpc_rounds, secure_mults, secure_comparisons, _) = self.engine.counters().snapshot();
+        let nonce = self.nonces.stats();
+        let dealer = self.engine.dealer_pool_stats();
+        let cursors = crate::checkpoint::StateCursors {
+            mpc_rounds,
+            secure_mults,
+            secure_comparisons,
+            nonces_drawn: nonce.hits + nonce.misses,
+            dealer_rows: dealer.triple_hits
+                + dealer.triple_misses
+                + dealer.masked_hits
+                + dealer.masked_misses,
+            bytes_sent: self.ep.stats().bytes_sent(),
+        };
+        self.checkpoint_ordinal += 1;
+        let meta = crate::checkpoint::BarrierMeta {
+            ordinal: self.checkpoint_ordinal,
+            level,
+            cursors,
+        };
+        let ep = self.ep;
+        if let Some(sink) = self.checkpoint.as_mut() {
+            sink.at_barrier(ep, &meta);
         }
     }
 

@@ -477,6 +477,10 @@ fn train_level_wise_pipelined(
                 .dealer_refill_blocking(frontier.len(), live.len().max(1));
             ctx.nonces.refill();
         }
+        // Level barrier: every party reaches this point with identical
+        // depth/frontier state, so the checkpoint sink (when installed)
+        // snapshots the same ordinal everywhere.
+        ctx.level_barrier(depth as u64);
     }
     let nodes: Vec<Node> = nodes
         .into_iter()

@@ -479,6 +479,9 @@ fn train_level_wise_pipelined(
                 .dealer_refill_blocking(frontier.len(), live_items.len().max(1));
             ctx.nonces.refill();
         }
+        // Level barrier: identical depth/frontier state on every party,
+        // so checkpoint ordinals agree across the mesh.
+        ctx.level_barrier(depth as u64);
     }
     let nodes: Vec<ConcealedNode> = nodes
         .into_iter()

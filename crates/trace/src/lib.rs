@@ -72,6 +72,8 @@ pub const PHASES: &[&str] = &[
     "leaf",
     "predict",
     "reconnect",
+    "checkpoint",
+    "rejoin_wait",
     "other",
 ];
 

@@ -30,6 +30,29 @@ pub struct NetConfig {
     /// unreachable peer, and how long a broken session's redial backoff
     /// keeps trying before the link is declared dead.
     pub connect_timeout: Duration,
+    /// Per-link liveness heartbeat period (`[network] heartbeat_s`).
+    /// `None` disables heartbeats entirely — no extra control frames, no
+    /// staleness checks — which keeps the transcript byte-identical to
+    /// configurations that predate the knob.
+    pub heartbeat: Option<Duration>,
+    /// How long a broken session waits for the peer to come back —
+    /// covering a full process restart, not just a socket redial —
+    /// before the link is declared dead with a typed `PeerLost`
+    /// (`[network] rejoin_deadline_s`). `None` keeps the pre-checkpoint
+    /// behaviour: broken sessions ride `connect_timeout` and die with a
+    /// plain disconnect.
+    pub rejoin_deadline: Option<Duration>,
+    /// Deterministic seed for transport-internal jitter (dial/redial
+    /// backoff schedules). Scenario runs set this from the scenario seed
+    /// so chaos-run retry schedules are reproducible across hosts; `0`
+    /// keeps the legacy fixed-constant seeding.
+    pub seed: u64,
+    /// Durable-session mode: retransmit rings keep frames past their ack
+    /// up to the peer's announced checkpoint cursor (barrier-aligned
+    /// retention), so a peer restarting from its last durable checkpoint
+    /// can be replayed forward. Set when the scenario has a
+    /// `[checkpoint]` section; off by default.
+    pub durable_sessions: bool,
 }
 
 /// Default wedge timeout (the old hard-coded `RECV_TIMEOUT`).
@@ -51,6 +74,10 @@ impl Default for NetConfig {
             bandwidth_mbps: 0.0,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            heartbeat: None,
+            rejoin_deadline: None,
+            seed: 0,
+            durable_sessions: false,
         }
     }
 }

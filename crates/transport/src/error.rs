@@ -48,6 +48,16 @@ pub enum TransportErrorKind {
     /// A `crash_party` fault from the scenario `[faults]` plan fired on
     /// this party.
     InjectedCrash,
+    /// A peer stayed gone past the `[network] rejoin_deadline_s` budget:
+    /// the session parked at the barrier waiting for a restart that
+    /// never came. Names the dead party via `peer`.
+    PeerLost,
+    /// A session resume/restart needed a frame the retransmit ring no
+    /// longer holds (eviction outran the peer, or the peer restarted
+    /// from a checkpoint older than the retention floor). The first
+    /// missing sequence number is in
+    /// [`TransportError::missing_seq`].
+    ResumeGap,
 }
 
 impl TransportErrorKind {
@@ -58,6 +68,8 @@ impl TransportErrorKind {
             TransportErrorKind::Disconnected => "disconnected",
             TransportErrorKind::Malformed => "malformed",
             TransportErrorKind::InjectedCrash => "injected_crash",
+            TransportErrorKind::PeerLost => "peer_lost",
+            TransportErrorKind::ResumeGap => "resume_gap",
         }
     }
 }
@@ -82,6 +94,9 @@ pub struct TransportError {
     /// Backend-specific detail (the underlying [`crate::LinkError`] or
     /// fault-plan text).
     pub detail: String,
+    /// For [`TransportErrorKind::ResumeGap`]: the first sequence number
+    /// the retransmit ring could not replay.
+    pub missing_seq: Option<u64>,
 }
 
 impl fmt::Display for TransportError {
@@ -124,7 +139,14 @@ impl TransportError {
             phase: pivot_trace::current_phase().to_string(),
             elapsed: Duration::ZERO,
             detail: detail.into(),
+            missing_seq: None,
         }
+    }
+
+    /// Attach the first unreplayable sequence number of a resume gap.
+    pub fn with_missing_seq(mut self, seq: u64) -> TransportError {
+        self.missing_seq = Some(seq);
+        self
     }
 
     /// Attach the peer and direction of the failing link operation.

@@ -41,6 +41,14 @@ pub enum FaultKind {
     DelaySpike { a: usize, b: usize, delay: Duration },
     /// Kill party `party` with a typed `InjectedCrash` error.
     CrashParty { party: usize },
+    /// SIGKILL party `party`'s *process* once it checkpoints the trigger
+    /// level, then relaunch it with `--resume` after `restart_after`.
+    /// Never armed in-process: only the `pivot party --supervise` parent
+    /// interprets this spec (an OS kill cannot be simulated on threads).
+    KillParty {
+        party: usize,
+        restart_after: Duration,
+    },
 }
 
 /// When a fault fires (first opportunity at or after the threshold).
@@ -50,6 +58,10 @@ pub enum FaultTrigger {
     AtRound(u64),
     /// After cumulative payload bytes sent on the target link reach `N`.
     AtBytes(u64),
+    /// After the party has durably checkpointed tree level `L`
+    /// (`kill_party` only; observed by the supervisor via checkpoint
+    /// files, so it never fires through the in-process injector).
+    AtLevel(u64),
 }
 
 /// One parsed fault: kind + trigger.
@@ -66,6 +78,7 @@ impl FaultSpec {
     /// drop_link   <a>-<b> at_round=<N> | at_bytes=<N>
     /// delay_spike <a>-<b> at_round=<N> | at_bytes=<N> ms=<M>
     /// crash_party <p>     at_round=<N> | at_bytes=<N>
+    /// kill_party  <p>     at_level=<L> restart_after_ms=<M>
     /// ```
     pub fn parse(s: &str) -> Result<FaultSpec, String> {
         let mut tokens = s.split_whitespace();
@@ -77,6 +90,7 @@ impl FaultSpec {
             .ok_or_else(|| format!("fault `{s}`: missing target"))?;
         let mut trigger = None;
         let mut ms = None;
+        let mut restart_after = None;
         for tok in tokens {
             if let Some(v) = tok.strip_prefix("at_round=") {
                 let n = v
@@ -88,6 +102,16 @@ impl FaultSpec {
                     .parse::<u64>()
                     .map_err(|_| format!("fault `{s}`: bad at_bytes value `{v}`"))?;
                 trigger = Some(FaultTrigger::AtBytes(n));
+            } else if let Some(v) = tok.strip_prefix("at_level=") {
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{s}`: bad at_level value `{v}`"))?;
+                trigger = Some(FaultTrigger::AtLevel(n));
+            } else if let Some(v) = tok.strip_prefix("restart_after_ms=") {
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{s}`: bad restart_after_ms value `{v}`"))?;
+                restart_after = Some(Duration::from_millis(n));
             } else if let Some(v) = tok.strip_prefix("ms=") {
                 let n = v
                     .parse::<u64>()
@@ -130,10 +154,36 @@ impl FaultSpec {
                     .map_err(|_| format!("fault `{s}`: bad party id `{target}`"))?;
                 FaultKind::CrashParty { party }
             }
+            "kill_party" => {
+                let party = target
+                    .parse::<usize>()
+                    .map_err(|_| format!("fault `{s}`: bad party id `{target}`"))?;
+                let restart_after = restart_after
+                    .ok_or_else(|| format!("fault `{s}`: kill_party needs restart_after_ms=M"))?;
+                FaultKind::KillParty {
+                    party,
+                    restart_after,
+                }
+            }
             other => return Err(format!("fault `{s}`: unknown fault kind `{other}`")),
         };
         if ms.is_some() && !matches!(kind, FaultKind::DelaySpike { .. }) {
             return Err(format!("fault `{s}`: ms= only applies to delay_spike"));
+        }
+        if restart_after.is_some() && !matches!(kind, FaultKind::KillParty { .. }) {
+            return Err(format!(
+                "fault `{s}`: restart_after_ms= only applies to kill_party"
+            ));
+        }
+        match (&kind, trigger) {
+            (FaultKind::KillParty { .. }, FaultTrigger::AtLevel(_)) => {}
+            (FaultKind::KillParty { .. }, _) => {
+                return Err(format!("fault `{s}`: kill_party needs at_level=L"));
+            }
+            (_, FaultTrigger::AtLevel(_)) => {
+                return Err(format!("fault `{s}`: at_level= only applies to kill_party"));
+            }
+            _ => {}
         }
         Ok(FaultSpec { kind, trigger })
     }
@@ -160,6 +210,30 @@ impl FaultPlan {
     /// Whether the plan does anything.
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// Whether the plan contains any `kill_party` spec. Process kills
+    /// require one OS process per party plus a supervisor; in-process
+    /// harnesses reject such plans up front.
+    pub fn has_kill(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| matches!(s.kind, FaultKind::KillParty { .. }))
+    }
+
+    /// The supervisor-facing kill spec for `party`, if any:
+    /// `(at_level, restart_after)`.
+    pub fn kill_spec(&self, party: usize) -> Option<(u64, Duration)> {
+        self.specs.iter().find_map(|s| match (&s.kind, s.trigger) {
+            (
+                FaultKind::KillParty {
+                    party: p,
+                    restart_after,
+                },
+                FaultTrigger::AtLevel(level),
+            ) if *p == party => Some((level, *restart_after)),
+            _ => None,
+        })
     }
 }
 
@@ -212,6 +286,8 @@ impl FaultInjector {
                     party == a.min(b) && a.max(b) < m
                 }
                 FaultKind::CrashParty { party: p } => p == party,
+                // Supervisor-only: the in-process injector never arms it.
+                FaultKind::KillParty { .. } => false,
             })
             .map(|spec| Armed {
                 spec: spec.clone(),
@@ -267,6 +343,8 @@ impl FaultInjector {
             let triggered = match armed.spec.trigger {
                 FaultTrigger::AtRound(r) => round >= r,
                 FaultTrigger::AtBytes(b) => total >= b,
+                // Supervisor-only trigger; nothing with it is ever armed.
+                FaultTrigger::AtLevel(_) => false,
             };
             if !triggered {
                 continue;
@@ -292,6 +370,7 @@ impl FaultInjector {
                         ));
                     }
                 }
+                FaultKind::KillParty { .. } => unreachable!("kill_party is never armed in-process"),
             }
         }
         out
@@ -437,6 +516,36 @@ mod tests {
                 trigger: FaultTrigger::AtRound(10),
             }
         );
+    }
+
+    #[test]
+    fn parses_and_gates_kill_party() {
+        let spec = FaultSpec::parse("kill_party 1 at_level=2 restart_after_ms=500").unwrap();
+        assert_eq!(
+            spec,
+            FaultSpec {
+                kind: FaultKind::KillParty {
+                    party: 1,
+                    restart_after: Duration::from_millis(500),
+                },
+                trigger: FaultTrigger::AtLevel(2),
+            }
+        );
+        for bad in [
+            "kill_party 1 at_round=2 restart_after_ms=500",
+            "kill_party 1 at_level=2",
+            "drop_link 0-1 at_level=2",
+            "crash_party 1 at_round=1 restart_after_ms=5",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted `{bad}`");
+        }
+        let plan =
+            FaultPlan::parse(&["kill_party 1 at_level=2 restart_after_ms=500".into()], 0).unwrap();
+        assert!(plan.has_kill());
+        assert_eq!(plan.kill_spec(1), Some((2, Duration::from_millis(500))));
+        assert_eq!(plan.kill_spec(0), None);
+        // Supervisor-only: the in-process injector never arms it.
+        assert!(FaultInjector::new(1, 3, &plan).armed.is_empty());
     }
 
     #[test]

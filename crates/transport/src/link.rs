@@ -28,6 +28,14 @@ pub enum LinkError {
     /// length, bad tag, sequence gap) — a desynced or hostile stream, not
     /// a liveness problem, so reconnecting would not help.
     Malformed(String),
+    /// The peer stayed gone past the configured rejoin deadline: the
+    /// session parked at the barrier waiting for a restart that never
+    /// came.
+    PeerLost { peer: usize, waited: Duration },
+    /// A resume/restart needed a frame the retransmit ring no longer
+    /// holds; `missing_seq` is the first sequence number that cannot be
+    /// replayed.
+    ResumeGap { peer: usize, missing_seq: u64 },
 }
 
 impl fmt::Display for LinkError {
@@ -36,6 +44,14 @@ impl fmt::Display for LinkError {
             LinkError::Timeout(after) => write!(f, "no message within {after:?}"),
             LinkError::Disconnected(why) => write!(f, "peer disconnected ({why})"),
             LinkError::Malformed(why) => write!(f, "malformed frame ({why})"),
+            LinkError::PeerLost { peer, waited } => write!(
+                f,
+                "party {peer} did not rejoin within {waited:?} (rejoin deadline expired)"
+            ),
+            LinkError::ResumeGap { peer, missing_seq } => write!(
+                f,
+                "replay gap: party {peer} needs seq {missing_seq} but the retransmit ring starts later"
+            ),
         }
     }
 }
@@ -66,6 +82,14 @@ pub trait Link: Send {
     /// once from `Endpoint::from_links`; backends with nothing to report
     /// keep the default no-op.
     fn attach_stats(&self, _stats: &Arc<NetStats>) {}
+
+    /// Announce a durable checkpoint to the peer: the endpoint has
+    /// durably recorded the first `_delivered` frames of the peer's
+    /// stream, so retransmit retention may roll forward. Best-effort and
+    /// transport-internal — backends without barrier-aligned retention
+    /// (in-process channels) keep the default no-op, and a lost
+    /// announcement merely makes the peer retain frames longer.
+    fn checkpoint_mark(&self, _delivered: u64) {}
 }
 
 /// In-process backend: a pair of unbounded channels per peer.

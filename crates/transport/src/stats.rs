@@ -18,6 +18,7 @@ pub struct NetStats {
     reconnects: AtomicU64,
     replayed_frames: AtomicU64,
     faults_injected: AtomicU64,
+    rejoins: AtomicU64,
 }
 
 impl NetStats {
@@ -89,6 +90,12 @@ impl NetStats {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one session spliced back together across a full process
+    /// restart (checkpoint resume), as opposed to a plain socket redial.
+    pub(crate) fn record_rejoin(&self) {
+        self.rejoins.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Failed dial attempts across rendezvous and reconnects.
     pub fn connect_retries(&self) -> u64 {
         self.connect_retries.load(Ordering::Relaxed)
@@ -107,6 +114,11 @@ impl NetStats {
     /// Faults fired from the scenario `[faults]` plan on this party.
     pub fn faults_injected(&self) -> u64 {
         self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Sessions spliced across a full process restart.
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins.load(Ordering::Relaxed)
     }
 
     /// Reset the traffic counters (between benchmark phases). The
@@ -134,6 +146,7 @@ mod tests {
         stats.record_reconnect();
         stats.record_replayed_frames(3);
         stats.record_fault_injected();
+        stats.record_rejoin();
         stats.reset();
         assert_eq!(stats.bytes_sent(), 0);
         assert_eq!(stats.messages_received(), 0);
@@ -141,5 +154,6 @@ mod tests {
         assert_eq!(stats.reconnects(), 1);
         assert_eq!(stats.replayed_frames(), 3);
         assert_eq!(stats.faults_injected(), 1);
+        assert_eq!(stats.rejoins(), 1);
     }
 }

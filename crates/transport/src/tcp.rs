@@ -27,6 +27,24 @@
 //! If a peer never comes back, the blocked party surfaces a typed
 //! [`LinkError::Disconnected`] (never a panic) once the redial budget or
 //! the resume-wait deadline expires.
+//!
+//! # Crash recovery (restart splice)
+//!
+//! A session also survives a full process restart of the peer. The
+//! restarted process dials *every* peer (its own listen port may still be
+//! pinned by the dead incarnation's sockets) with a `HELLO_RESTART`
+//! presenting the durable delivery cursor from its checkpoint. The live
+//! side rolls its retransmit ring back to that barrier and replays
+//! forward; the restarted side re-executes the protocol from scratch and
+//! re-sends its whole outbound stream from seq 1, which the live side
+//! silently dedups by sequence number. Durable-session mode
+//! ([`NetConfig::durable_sessions`]) keeps rings retained past their acks
+//! up to the peer's last-but-one announced checkpoint (`TAG_CKPT`), so
+//! the rollback never hits an evicted frame; if it does anyway, the
+//! session dies loudly with a typed [`LinkError::ResumeGap`]. An optional
+//! per-link heartbeat ([`NetConfig::heartbeat`]) detects silent peers,
+//! and [`NetConfig::rejoin_deadline`] bounds how long survivors park at
+//! the barrier before raising [`LinkError::PeerLost`].
 
 use crate::config::NetConfig;
 use crate::endpoint::{join_parties, Endpoint};
@@ -49,13 +67,26 @@ const MAGIC: [u8; 4] = *b"PVT2";
 const HELLO_LEN: usize = 21;
 const HELLO_INITIAL: u8 = 0;
 const HELLO_RESUME: u8 = 1;
+/// Process-restart splice: the dialer presents its checkpoint's durable
+/// delivery cursor; the live peer rolls its ring back to that barrier
+/// and replays forward, while the dialer's own stream restarts at seq 1
+/// (the peer dedups by sequence number).
+const HELLO_RESTART: u8 = 2;
 /// Stream frame tags.
 const TAG_DATA: u8 = 0;
 const TAG_ACK: u8 = 1;
+/// Checkpoint announcement: out-of-band like an ack, carrying the
+/// sender's durable delivery cursor for this link. Drives barrier-aligned
+/// ring retention on the receiver (durable-session mode only).
+const TAG_CKPT: u8 = 2;
+/// Liveness heartbeat; carries no state, just resets the staleness clock.
+const TAG_HEARTBEAT: u8 = 3;
 /// Data frame header: tag(1) + seq u64 + len u64.
 const DATA_HEADER: usize = 17;
-/// Ack frame: tag(1) + delivered u64.
+/// Control frame (ack / checkpoint / heartbeat): tag(1) + value u64.
 const ACK_FRAME: usize = 9;
+/// A peer silent for this many heartbeat periods is treated as broken.
+const HEARTBEAT_STALE_FACTOR: u32 = 3;
 /// Largest plausible single frame; anything bigger is a desynced or
 /// hostile stream and surfaces as [`LinkError::Malformed`].
 const MAX_FRAME_BYTES: u64 = 1 << 32;
@@ -145,7 +176,7 @@ fn read_hello(stream: &mut TcpStream, max_wait: Duration) -> io::Result<Hello> {
         ));
     }
     let kind = buf[12];
-    if kind != HELLO_INITIAL && kind != HELLO_RESUME {
+    if kind != HELLO_INITIAL && kind != HELLO_RESUME && kind != HELLO_RESTART {
         return Err(io::Error::new(
             ErrorKind::InvalidData,
             format!("unknown hello kind {kind}"),
@@ -186,6 +217,17 @@ struct SessionState {
     /// Unacked outbound frames, for replay on resume.
     ring: VecDeque<(u64, Arc<Vec<u8>>)>,
     ring_bytes: usize,
+    /// Barrier-aligned retention floor (durable-session mode): frames
+    /// with `seq <= retain_floor` may be pruned, everything above must
+    /// stay ringed for a possible peer restart. Lags one checkpoint
+    /// behind `pending_floor` because the peer keeps its last *two*
+    /// checkpoints and may fall back to the older one.
+    retain_floor: u64,
+    /// The peer's most recent `TAG_CKPT` cursor; promoted to
+    /// `retain_floor` when the next announcement arrives.
+    pending_floor: u64,
+    /// Last time any bytes arrived from the peer (heartbeat staleness).
+    last_heard: Instant,
 }
 
 struct SessionShared {
@@ -256,10 +298,11 @@ fn write_data_frame(stream: &mut TcpStream, seq: u64, payload: &[u8]) -> io::Res
     stream.write_all(payload)
 }
 
-fn write_ack_frame(stream: &mut TcpStream, delivered: u64) -> io::Result<()> {
+/// Write one 9-byte control frame (ack / checkpoint / heartbeat).
+fn write_ctrl_frame(stream: &mut TcpStream, tag: u8, value: u64) -> io::Result<()> {
     let mut buf = [0u8; ACK_FRAME];
-    buf[0] = TAG_ACK;
-    buf[1..9].copy_from_slice(&delivered.to_le_bytes());
+    buf[0] = tag;
+    buf[1..9].copy_from_slice(&value.to_le_bytes());
     stream.write_all(&buf)
 }
 
@@ -294,6 +337,18 @@ fn writer_loop(shared: &Arc<SessionShared>, rx: Receiver<OutJob>) {
             while st.ring.len() > 1
                 && (st.ring.len() > RING_MAX_FRAMES || st.ring_bytes > RING_MAX_BYTES)
             {
+                // Durable sessions: frames above the retention floor may
+                // still be needed by a peer restarting from its durable
+                // checkpoint — the caps go soft rather than create a
+                // future resume gap.
+                if shared.net.durable_sessions
+                    && st
+                        .ring
+                        .front()
+                        .is_some_and(|(seq, _)| *seq > st.retain_floor)
+                {
+                    break;
+                }
                 if let Some((_, old)) = st.ring.pop_front() {
                     st.ring_bytes -= old.len();
                 }
@@ -410,11 +465,47 @@ fn drain_frames(
                 if delivered > st.peer_acked {
                     st.peer_acked = delivered;
                 }
-                while st.ring.front().is_some_and(|(seq, _)| *seq <= delivered) {
+                let prune_to = if shared.net.durable_sessions {
+                    delivered.min(st.retain_floor)
+                } else {
+                    delivered
+                };
+                while st.ring.front().is_some_and(|(seq, _)| *seq <= prune_to) {
                     if let Some((_, old)) = st.ring.pop_front() {
                         st.ring_bytes -= old.len();
                     }
                 }
+            }
+            TAG_CKPT => {
+                if buf.len() < ACK_FRAME {
+                    break;
+                }
+                let cursor = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+                consumed += ACK_FRAME;
+                let mut st = shared.state.lock().unwrap();
+                // The peer keeps its last two checkpoints: retention must
+                // cover the *previous* one, so the floor lags one
+                // announcement behind the newest cursor.
+                let released = st.pending_floor;
+                if released > st.retain_floor {
+                    st.retain_floor = released;
+                }
+                if cursor > st.pending_floor {
+                    st.pending_floor = cursor;
+                }
+                let prune_to = st.peer_acked.min(st.retain_floor);
+                while st.ring.front().is_some_and(|(seq, _)| *seq <= prune_to) {
+                    if let Some((_, old)) = st.ring.pop_front() {
+                        st.ring_bytes -= old.len();
+                    }
+                }
+            }
+            TAG_HEARTBEAT => {
+                if buf.len() < ACK_FRAME {
+                    break;
+                }
+                // Liveness only; receipt already refreshed `last_heard`.
+                consumed += ACK_FRAME;
             }
             tag => {
                 return Err(LinkError::Malformed(format!("unknown frame tag {tag}")));
@@ -437,7 +528,7 @@ fn send_ack(shared: &SessionShared, delivered: u64) {
     };
     if let Some(mut stream) = stream {
         let _w = shared.write_lock.lock().unwrap();
-        let _ = write_ack_frame(&mut stream, delivered);
+        let _ = write_ctrl_frame(&mut stream, TAG_ACK, delivered);
     }
 }
 
@@ -458,17 +549,31 @@ fn reader_loop(shared: &Arc<SessionShared>, in_tx: Sender<Vec<u8>>) {
                         redial(shared);
                         continue 'outer;
                     }
-                    // Acceptor side: wait for the peer to redial us.
+                    // Acceptor side: wait for the peer to redial us. A
+                    // configured rejoin deadline widens the budget to
+                    // cover a full process restart and types the failure.
+                    let budget = shared
+                        .net
+                        .rejoin_deadline
+                        .unwrap_or(shared.net.connect_timeout);
                     let deadline = st
                         .broken_since
-                        .map(|t| t + shared.net.connect_timeout)
-                        .unwrap_or_else(|| Instant::now() + shared.net.connect_timeout);
+                        .map(|t| t + budget)
+                        .unwrap_or_else(|| Instant::now() + budget);
                     if Instant::now() >= deadline {
                         drop(st);
-                        shared.set_dead(LinkError::Disconnected(format!(
-                            "party {} did not resume within {:?}",
-                            shared.peer, shared.net.connect_timeout
-                        )));
+                        let err = if shared.net.rejoin_deadline.is_some() {
+                            LinkError::PeerLost {
+                                peer: shared.peer,
+                                waited: budget,
+                            }
+                        } else {
+                            LinkError::Disconnected(format!(
+                                "party {} did not resume within {budget:?}",
+                                shared.peer
+                            ))
+                        };
+                        shared.set_dead(err);
                         return;
                     }
                     let (next, _) = shared.cond.wait_timeout(st, READER_POLL).unwrap();
@@ -507,6 +612,9 @@ fn reader_loop(shared: &Arc<SessionShared>, in_tx: Sender<Vec<u8>>) {
                     continue 'outer;
                 }
                 Ok(n) => {
+                    if shared.net.heartbeat.is_some() {
+                        shared.state.lock().unwrap().last_heard = Instant::now();
+                    }
                     pending.extend_from_slice(&chunk[..n]);
                     match drain_frames(shared, &mut pending, &in_tx) {
                         Ok(true) => {}
@@ -538,14 +646,25 @@ fn reader_loop(shared: &Arc<SessionShared>, in_tx: Sender<Vec<u8>>) {
 fn redial(shared: &Arc<SessionShared>) {
     let _span = pivot_trace::runtime_span("reconnect");
     let addr = shared.redial_addr.as_ref().expect("redial without addr");
-    let seed = shared
-        .injector
-        .as_ref()
-        .map(|i| i.seed())
-        .unwrap_or(0x9e3779b97f4a7c15)
+    let seed = shared.net.seed
+        ^ shared
+            .injector
+            .as_ref()
+            .map(|i| i.seed())
+            .unwrap_or(0x9e3779b97f4a7c15)
         ^ (((shared.local as u64) << 32) | shared.peer as u64);
     let mut rng = XorShift::new(seed);
-    let deadline = Instant::now() + shared.net.connect_timeout;
+    // A configured rejoin deadline widens the redial budget to cover a
+    // full process restart of the peer (checkpoint load + re-execution
+    // up to the barrier), anchored at the moment the socket broke.
+    let budget = shared
+        .net
+        .rejoin_deadline
+        .unwrap_or(shared.net.connect_timeout);
+    let deadline = {
+        let st = shared.state.lock().unwrap();
+        st.broken_since.unwrap_or_else(Instant::now) + budget
+    };
     let mut delay = BACKOFF_BASE;
     loop {
         {
@@ -559,10 +678,18 @@ fn redial(shared: &Arc<SessionShared>) {
             Err(_) => {
                 shared.with_stats(|s| s.record_connect_retry());
                 if Instant::now() >= deadline {
-                    shared.set_dead(LinkError::Disconnected(format!(
-                        "could not resume session with party {} within {:?}",
-                        shared.peer, shared.net.connect_timeout
-                    )));
+                    let err = if shared.net.rejoin_deadline.is_some() {
+                        LinkError::PeerLost {
+                            peer: shared.peer,
+                            waited: budget,
+                        }
+                    } else {
+                        LinkError::Disconnected(format!(
+                            "could not resume session with party {} within {budget:?}",
+                            shared.peer
+                        ))
+                    };
+                    shared.set_dead(err);
                     return;
                 }
                 // Interruptible backoff: Drop trips the gate.
@@ -612,13 +739,34 @@ fn try_resume(shared: &Arc<SessionShared>, addr: &str, deadline: Instant) -> io:
     finish_resume(shared, stream, hello.delivered)
 }
 
-/// Splice a fresh socket into the session (both sides): prune the ring
-/// to what the peer already delivered, replay the rest, and flip the
-/// session back to healthy.
+/// Splice a fresh socket into the session after a plain socket resume.
 fn finish_resume(
+    shared: &Arc<SessionShared>,
+    stream: TcpStream,
+    peer_delivered: u64,
+) -> io::Result<()> {
+    splice_session(shared, stream, peer_delivered, false)
+}
+
+/// Splice a fresh socket into the session after the peer restarted from
+/// a durable checkpoint: the ack horizon rolls *back* to the checkpoint
+/// cursor and everything past it is replayed.
+fn finish_restart(
+    shared: &Arc<SessionShared>,
+    stream: TcpStream,
+    peer_delivered: u64,
+) -> io::Result<()> {
+    splice_session(shared, stream, peer_delivered, true)
+}
+
+/// Splice a fresh socket into the session (both sides): prune the ring
+/// to what the peer can never ask for again, replay everything past the
+/// peer's delivery horizon, and flip the session back to healthy.
+fn splice_session(
     shared: &Arc<SessionShared>,
     mut stream: TcpStream,
     peer_delivered: u64,
+    restart: bool,
 ) -> io::Result<()> {
     // Lock order: write_lock before state (the only place both are held)
     // so no data or ack frame interleaves with the replay.
@@ -630,44 +778,61 @@ fn finish_resume(
     if let Some(old) = st.stream.take() {
         let _ = old.shutdown(Shutdown::Both);
     }
-    while st
-        .ring
-        .front()
-        .is_some_and(|(seq, _)| *seq <= peer_delivered)
-    {
+    // In durable mode the peer may later restart from a checkpoint older
+    // than its live delivery cursor, so pruning stays bounded by the
+    // retention floor even when the cursor is ahead of it.
+    let prune_to = if shared.net.durable_sessions {
+        peer_delivered.min(st.retain_floor)
+    } else {
+        peer_delivered
+    };
+    while st.ring.front().is_some_and(|(seq, _)| *seq <= prune_to) {
         if let Some((_, old)) = st.ring.pop_front() {
             st.ring_bytes -= old.len();
         }
     }
-    if st.peer_acked < peer_delivered {
+    if restart {
+        // The peer restarted from its checkpoint: roll the ack horizon
+        // back so its re-sent cumulative acks grow monotonically again.
+        st.peer_acked = peer_delivered;
+    } else if st.peer_acked < peer_delivered {
         st.peer_acked = peer_delivered;
     }
     // The ring must cover everything past the peer's delivery horizon;
     // if eviction outran the peer the transcript is unrecoverable.
-    let gap = match st.ring.front() {
-        Some((seq, _)) => *seq != peer_delivered + 1,
-        None => st.next_seq - 1 > peer_delivered,
-    };
+    let sent_up_to = st.next_seq - 1;
+    let gap = sent_up_to > peer_delivered
+        && st
+            .ring
+            .front()
+            .is_none_or(|(seq, _)| *seq > peer_delivered + 1);
     if gap {
-        let err = LinkError::Disconnected(format!(
-            "replay gap: party {} resumed at seq {} but the retransmit ring starts later",
-            shared.peer,
-            peer_delivered + 1
-        ));
+        let err = LinkError::ResumeGap {
+            peer: shared.peer,
+            missing_seq: peer_delivered + 1,
+        };
         st.dead = Some(err);
         shared.cond.notify_all();
         return Err(io::Error::other("replay gap"));
     }
-    let replayed = st.ring.len() as u64;
+    let mut replayed = 0u64;
     for (seq, payload) in st.ring.iter() {
+        if *seq <= peer_delivered {
+            continue; // retained only for older checkpoints
+        }
         write_data_frame(&mut stream, *seq, payload)?;
+        replayed += 1;
     }
     st.stream = Some(stream);
     st.epoch += 1;
     st.broken = false;
     st.broken_since = None;
+    st.last_heard = Instant::now();
     shared.with_stats(|s| {
         s.record_reconnect();
+        if restart {
+            s.record_rejoin();
+        }
         if replayed > 0 {
             s.record_replayed_frames(replayed);
         }
@@ -688,9 +853,14 @@ pub struct SessionLink {
     in_rx: Receiver<Vec<u8>>,
     writer: Option<JoinHandle<()>>,
     reader: Option<JoinHandle<()>>,
+    heartbeat: Option<JoinHandle<()>>,
 }
 
 impl SessionLink {
+    /// `resume_from` is the inbound delivery cursor this session starts
+    /// at: `0` for a fresh rendezvous, the checkpoint's per-peer cursor
+    /// when rebuilding a mesh after a process restart (the peer replays
+    /// its stream from `resume_from + 1`).
     fn new(
         local: usize,
         peer: usize,
@@ -698,9 +868,11 @@ impl SessionLink {
         redial_addr: Option<String>,
         net: NetConfig,
         injector: Option<Arc<FaultInjector>>,
+        resume_from: u64,
     ) -> io::Result<SessionLink> {
         stream.set_nodelay(true)?;
         stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT))?;
+        let heartbeat_period = net.heartbeat;
         let shared = Arc::new(SessionShared {
             local,
             peer,
@@ -714,11 +886,14 @@ impl SessionLink {
                 closing: false,
                 dead: None,
                 next_seq: 1,
-                delivered: 0,
-                acked_out: 0,
+                delivered: resume_from,
+                acked_out: resume_from,
                 peer_acked: 0,
                 ring: VecDeque::new(),
                 ring_bytes: 0,
+                retain_floor: 0,
+                pending_floor: 0,
+                last_heard: Instant::now(),
             }),
             cond: Condvar::new(),
             write_lock: Mutex::new(()),
@@ -736,13 +911,63 @@ impl SessionLink {
         let reader = thread::Builder::new()
             .name(format!("pvt-r-{local}-{peer}"))
             .spawn(move || reader_loop(&r_shared, in_tx))?;
+        let heartbeat = match heartbeat_period {
+            Some(period) if !period.is_zero() => {
+                let h_shared = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name(format!("pvt-hb-{local}-{peer}"))
+                        .spawn(move || heartbeat_loop(&h_shared, period))?,
+                )
+            }
+            _ => None,
+        };
         Ok(SessionLink {
             shared,
             out_tx: Some(out_tx),
             in_rx,
             writer: Some(writer),
             reader: Some(reader),
+            heartbeat,
         })
+    }
+}
+
+/// Per-link liveness watchdog: send a heartbeat every period and treat a
+/// peer silent for [`HEARTBEAT_STALE_FACTOR`] periods as broken, so the
+/// session rides the reconnect/rejoin path instead of wedging until the
+/// receive timeout.
+fn heartbeat_loop(shared: &Arc<SessionShared>, period: Duration) {
+    let stale_after = period * HEARTBEAT_STALE_FACTOR;
+    while shared.gate.wait_for(period) {
+        let (stream, epoch, stale) = {
+            let st = shared.state.lock().unwrap();
+            if st.closing || st.dead.is_some() {
+                return;
+            }
+            if st.broken {
+                continue;
+            }
+            (
+                st.stream.as_ref().and_then(|s| s.try_clone().ok()),
+                st.epoch,
+                st.last_heard.elapsed() > stale_after,
+            )
+        };
+        if stale {
+            mark_broken(shared, epoch);
+            continue;
+        }
+        let Some(mut stream) = stream else {
+            continue;
+        };
+        let res = {
+            let _w = shared.write_lock.lock().unwrap();
+            write_ctrl_frame(&mut stream, TAG_HEARTBEAT, 0)
+        };
+        if res.is_err() {
+            mark_broken(shared, epoch);
+        }
     }
 }
 
@@ -786,21 +1011,75 @@ impl Link for SessionLink {
     }
 
     fn recv_bytes(&self, timeout: Duration) -> Result<Vec<u8>, LinkError> {
-        match self.in_rx.recv_timeout(timeout) {
-            Ok(bytes) => Ok(bytes),
-            Err(RecvTimeoutError::Timeout) => Err(self
-                .shared
-                .dead_reason()
-                .unwrap_or(LinkError::Timeout(timeout))),
-            Err(RecvTimeoutError::Disconnected) => Err(self
-                .shared
-                .dead_reason()
-                .unwrap_or_else(|| LinkError::Disconnected("session closed".into()))),
+        // Poll in short chunks instead of one blocking wait: a broken
+        // session with a rejoin budget must outlast `recv_timeout` while
+        // the peer restarts from its checkpoint, and the wait surfaces as
+        // a `waiting_for_rejoin` gauge so survivors are observable.
+        let deadline = Instant::now() + timeout;
+        let mut waiting_rejoin = false;
+        loop {
+            match self.in_rx.recv_timeout(READER_POLL.min(timeout)) {
+                Ok(bytes) => {
+                    if waiting_rejoin {
+                        pivot_trace::runtime_gauge("waiting_for_rejoin", 0.0);
+                    }
+                    return Ok(bytes);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(err) = self.shared.dead_reason() {
+                        return Err(err);
+                    }
+                    let rejoin_until = {
+                        let st = self.shared.state.lock().unwrap();
+                        match (st.broken, st.broken_since, self.shared.net.rejoin_deadline) {
+                            (true, Some(since), Some(budget)) => Some(since + budget),
+                            _ => None,
+                        }
+                    };
+                    if let Some(until) = rejoin_until {
+                        if !waiting_rejoin {
+                            waiting_rejoin = true;
+                            pivot_trace::runtime_gauge("waiting_for_rejoin", 1.0);
+                        }
+                        // Park at the barrier until the rejoin budget is
+                        // spent (plus a grace period for the session's
+                        // own watchdog to raise the typed `PeerLost`).
+                        if Instant::now() < until + 2 * READER_POLL {
+                            continue;
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(LinkError::Timeout(timeout));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self
+                        .shared
+                        .dead_reason()
+                        .unwrap_or_else(|| LinkError::Disconnected("session closed".into())))
+                }
+            }
         }
     }
 
     fn attach_stats(&self, stats: &Arc<NetStats>) {
         let _ = self.shared.stats.set(Arc::clone(stats));
+    }
+
+    fn checkpoint_mark(&self, delivered: u64) {
+        // Best-effort out-of-band announcement, like an ack: a lost mark
+        // only means the peer retains ringed frames a little longer.
+        let stream = {
+            let st = self.shared.state.lock().unwrap();
+            if st.broken || st.dead.is_some() {
+                return;
+            }
+            st.stream.as_ref().and_then(|s| s.try_clone().ok())
+        };
+        if let Some(mut stream) = stream {
+            let _w = self.shared.write_lock.lock().unwrap();
+            let _ = write_ctrl_frame(&mut stream, TAG_CKPT, delivered);
+        }
     }
 }
 
@@ -825,6 +1104,9 @@ impl Drop for SessionLink {
         }
         if let Some(r) = self.reader.take() {
             let _ = r.join();
+        }
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
         }
     }
 }
@@ -917,7 +1199,7 @@ fn handle_inbound(mut stream: TcpStream, registry: &ResumeRegistry) {
     let Ok(hello) = read_hello(&mut stream, INBOUND_HANDSHAKE_TIMEOUT) else {
         return;
     };
-    if hello.kind != HELLO_RESUME {
+    if hello.kind != HELLO_RESUME && hello.kind != HELLO_RESTART {
         return;
     }
     let Some(shared) = registry
@@ -933,10 +1215,14 @@ fn handle_inbound(mut stream: TcpStream, registry: &ResumeRegistry) {
         return;
     }
     let delivered = shared.state.lock().unwrap().delivered;
-    if send_hello(&mut stream, shared.local, HELLO_RESUME, delivered).is_err() {
+    if send_hello(&mut stream, shared.local, hello.kind, delivered).is_err() {
         return;
     }
-    let _ = finish_resume(&shared, stream, hello.delivered);
+    if hello.kind == HELLO_RESTART {
+        let _ = finish_restart(&shared, stream, hello.delivered);
+    } else {
+        let _ = finish_resume(&shared, stream, hello.delivered);
+    }
 }
 
 /// Establish the full mesh for party `id`: bind `listen`, dial every
@@ -970,10 +1256,11 @@ pub fn connect_mesh_with(
     let mut links: Vec<Option<Box<dyn Link>>> = (0..m).map(|_| None).collect();
     let mut registry: ResumeRegistry = Vec::new();
     let mut dial_retries = 0u64;
-    let seed_base = injector
-        .as_ref()
-        .map(|i| i.seed())
-        .unwrap_or(0x5851f42d4c957f2d);
+    let seed_base = net.seed
+        ^ injector
+            .as_ref()
+            .map(|i| i.seed())
+            .unwrap_or(0x5851f42d4c957f2d);
 
     // Dial every lower id (their listeners are up or will be shortly;
     // retry with backoff either way). We are the higher id on these
@@ -993,7 +1280,7 @@ pub fn connect_mesh_with(
                 ),
             ));
         }
-        let link = SessionLink::new(id, peer, stream, None, net.clone(), injector.clone())?;
+        let link = SessionLink::new(id, peer, stream, None, net.clone(), injector.clone(), 0)?;
         registry.push((peer, Arc::downgrade(&link.shared)));
         links[peer] = Some(Box::new(link));
     }
@@ -1034,7 +1321,13 @@ pub fn connect_mesh_with(
             Some(peers[peer].clone()),
             net.clone(),
             injector.clone(),
+            0,
         )?;
+        // Higher-id peers never send a plain RESUME to us (we redial
+        // them), but after a full process restart they dial everyone with
+        // a RESTART hello — so these sessions register with the acceptor
+        // too.
+        registry.push((peer, Arc::downgrade(&link.shared)));
         links[peer] = Some(Box::new(link));
         pending -= 1;
     }
@@ -1049,6 +1342,112 @@ pub fn connect_mesh_with(
     let ep = Endpoint::from_links(id, links, net);
     for _ in 0..dial_retries {
         ep.stats().record_connect_retry();
+    }
+    if let Some(inj) = injector {
+        ep.set_fault_injector(inj);
+    }
+    Ok(ep)
+}
+
+/// Re-establish the full mesh after a process restart (`pivot party
+/// --resume`).
+///
+/// The restarted process holds no live sockets and its own listen port
+/// may still be pinned by the dead incarnation's connections, so it
+/// always plays the dialer: every peer's rendezvous address is dialed
+/// with a `HELLO_RESTART` presenting `delivered[peer]` — how many frames
+/// of that peer's stream this party had durably consumed at its
+/// checkpoint. Live peers roll their retransmit rings back to that
+/// cursor and replay forward; this side starts each session with the
+/// cursor preloaded and its own outbound stream restarting at seq 1
+/// (peers dedup re-sent frames by sequence number, so deterministic
+/// re-execution converges on the fault-free transcript).
+pub fn connect_mesh_restart(
+    id: usize,
+    listen: &str,
+    peers: &[String],
+    net: NetConfig,
+    injector: Option<Arc<FaultInjector>>,
+    delivered: &[u64],
+) -> io::Result<Endpoint> {
+    let m = peers.len();
+    assert!(id < m, "party id {id} out of range for {m} peers");
+    assert_eq!(delivered.len(), m, "one delivery cursor per party");
+    let deadline = Instant::now() + net.connect_timeout;
+    let mut links: Vec<Option<Box<dyn Link>>> = (0..m).map(|_| None).collect();
+    let mut registry: ResumeRegistry = Vec::new();
+    let mut dial_retries = 0u64;
+    let seed_base = net.seed
+        ^ injector
+            .as_ref()
+            .map(|i| i.seed())
+            .unwrap_or(0x5851f42d4c957f2d);
+
+    for peer in 0..m {
+        if peer == id {
+            continue;
+        }
+        let seed = seed_base ^ (((id as u64) << 32) | peer as u64);
+        let mut stream = connect_with_retry(&peers[peer], deadline, &mut dial_retries, seed)?;
+        send_hello(&mut stream, id, HELLO_RESTART, delivered[peer])?;
+        let hello = read_hello(&mut stream, INBOUND_HANDSHAKE_TIMEOUT)?;
+        if hello.peer as usize != peer || hello.kind != HELLO_RESTART {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "restart dial to party {peer} was answered by party {} (kind {})",
+                    hello.peer, hello.kind
+                ),
+            ));
+        }
+        // Normal redial rule resumes after the splice: the lower id
+        // redials on future breaks.
+        let redial_addr = (peer > id).then(|| peers[peer].clone());
+        let link = SessionLink::new(
+            id,
+            peer,
+            stream,
+            redial_addr,
+            net.clone(),
+            injector.clone(),
+            delivered[peer],
+        )?;
+        registry.push((peer, Arc::downgrade(&link.shared)));
+        links[peer] = Some(Box::new(link));
+    }
+
+    // Best-effort listener re-bind in the background: the mesh is
+    // already healed, so the listener only matters if another socket
+    // breaks later with this party on the accepting side. The dead
+    // incarnation's sockets can pin the port (TIME_WAIT) for a while;
+    // retry quietly and give up without failing the resume.
+    let listen_addr = listen.to_string();
+    let rebind_registry = registry;
+    let rebind_deadline = Instant::now() + net.connect_timeout;
+    thread::Builder::new()
+        .name(format!("pvt-rebind-{id}"))
+        .spawn(move || {
+            let listener = loop {
+                if !rebind_registry.iter().any(|(_, w)| w.strong_count() > 0) {
+                    return;
+                }
+                match TcpListener::bind(&listen_addr) {
+                    Ok(l) => break l,
+                    Err(_) if Instant::now() < rebind_deadline => thread::sleep(ACCEPT_POLL * 4),
+                    Err(_) => return,
+                }
+            };
+            acceptor_loop(listener, rebind_registry);
+        })?;
+
+    let ep = Endpoint::from_links(id, links, net);
+    for _ in 0..dial_retries {
+        ep.stats().record_connect_retry();
+    }
+    // Each dialed splice is one session re-joined across the restart;
+    // survivors count the mirror image in `finish_restart`.
+    for _ in 0..m - 1 {
+        ep.stats().record_rejoin();
     }
     if let Some(inj) = injector {
         ep.set_fault_injector(inj);
@@ -1203,7 +1602,7 @@ mod tests {
         send_hello(&mut stream, 0, HELLO_INITIAL, 0).unwrap();
         let hello = read_hello(&mut stream, Duration::from_secs(5)).unwrap();
         assert_eq!(hello.peer, 1);
-        let link = SessionLink::new(0, 1, stream, None, NetConfig::default(), None).unwrap();
+        let link = SessionLink::new(0, 1, stream, None, NetConfig::default(), None, 0).unwrap();
         let err = link.recv_bytes(Duration::from_secs(5)).unwrap_err();
         assert!(
             matches!(err, LinkError::Malformed(_)),
@@ -1234,7 +1633,7 @@ mod tests {
         .unwrap();
         send_hello(&mut stream, 0, HELLO_INITIAL, 0).unwrap();
         read_hello(&mut stream, Duration::from_secs(5)).unwrap();
-        let link = SessionLink::new(0, 1, stream, None, NetConfig::default(), None).unwrap();
+        let link = SessionLink::new(0, 1, stream, None, NetConfig::default(), None, 0).unwrap();
         let err = link.recv_bytes(Duration::from_secs(5)).unwrap_err();
         assert!(matches!(err, LinkError::Malformed(_)), "{err:?}");
         server.join().unwrap();
@@ -1288,6 +1687,143 @@ mod tests {
         let err = res.expect_err("recv from dead peer must fail");
         assert_eq!(err.party, 0);
         assert_eq!(err.peer, Some(1));
+    }
+
+    #[test]
+    fn process_restart_splices_with_replay_from_cursor() {
+        // Party 1 consumes 30 frames, "crashes" (drops its endpoint),
+        // then rebuilds the mesh via the restart handshake presenting
+        // cursor 30. Party 0 must roll back and replay 31..=100, and both
+        // sides must count the rejoin.
+        let base = ports(4);
+        let peers = loopback_peers_at(2, base);
+        let net = NetConfig {
+            durable_sessions: true,
+            recv_timeout: Duration::from_secs(20),
+            connect_timeout: Duration::from_secs(10),
+            ..NetConfig::default()
+        };
+        let peers0 = peers.clone();
+        let net0 = net.clone();
+        let p0 = thread::spawn(move || {
+            let ep = connect_mesh(0, &peers0[0], &peers0, net0).expect("party 0 mesh");
+            for i in 0..100u64 {
+                ep.send(1, &i);
+            }
+            let sum: u64 = ep.recv(1);
+            (sum, ep.stats().rejoins())
+        });
+        let p1 = thread::spawn(move || {
+            let ep = connect_mesh(1, &peers[1], &peers, net.clone()).expect("party 1 mesh");
+            let mut sum = 0u64;
+            for _ in 0..30 {
+                sum += ep.recv::<u64>(0);
+            }
+            drop(ep); // simulated crash after durably consuming 30 frames
+            let ep = connect_mesh_restart(1, &peers[1], &peers, net, None, &[30, 0])
+                .expect("party 1 restart mesh");
+            for _ in 0..70 {
+                sum += ep.recv::<u64>(0);
+            }
+            ep.send(0, &sum);
+            (sum, ep.stats().rejoins())
+        });
+        let (echoed, rejoins0) = p0.join().unwrap();
+        let (sum, rejoins1) = p1.join().unwrap();
+        assert_eq!(sum, 4950, "restart must not lose or duplicate frames");
+        assert_eq!(echoed, 4950);
+        assert!(rejoins0 >= 1, "survivor should count the rejoin");
+        assert_eq!(rejoins1, 1, "restarted party counts one spliced session");
+    }
+
+    #[test]
+    fn restart_past_evicted_frames_is_typed_resume_gap() {
+        // Without durable sessions the ring is pruned by cumulative acks;
+        // a restart presenting cursor 0 then needs seq 1, which is gone.
+        let base = ports(4);
+        let peers = loopback_peers_at(2, base);
+        let net = NetConfig {
+            recv_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+            ..NetConfig::default()
+        };
+        let peers0 = peers.clone();
+        let net0 = net.clone();
+        let p0 = thread::spawn(move || {
+            let ep = connect_mesh(0, &peers0[0], &peers0, net0).expect("party 0 mesh");
+            for i in 0..200u64 {
+                ep.send(1, &i);
+            }
+            catch_transport(|| ep.recv::<u64>(1))
+        });
+        let p1 = thread::spawn(move || {
+            let ep = connect_mesh(1, &peers[1], &peers, net.clone()).expect("party 1 mesh");
+            for _ in 0..200 {
+                ep.recv::<u64>(0);
+            }
+            drop(ep);
+            // Cursor 0 despite 200 delivered: the ring was ack-pruned, so
+            // the survivor must refuse with a typed gap, not replay junk.
+            let ep = connect_mesh_restart(1, &peers[1], &peers, net, None, &[0, 0])
+                .expect("restart dial itself succeeds");
+            catch_transport(|| ep.recv::<u64>(0))
+        });
+        let res0 = p0.join().unwrap();
+        let _ = p1.join().unwrap(); // restarted side just errors out
+        let err = res0.expect_err("survivor must fail on the gap");
+        assert_eq!(err.kind, crate::error::TransportErrorKind::ResumeGap);
+        assert_eq!(err.missing_seq, Some(1));
+        assert_eq!(err.peer, Some(1));
+    }
+
+    #[test]
+    fn silent_peer_trips_heartbeat_watchdog_into_peer_lost() {
+        // A raw fake peer that handshakes and then goes silent forever:
+        // the heartbeat watchdog must mark the session broken and the
+        // rejoin deadline must surface a typed PeerLost.
+        let base = ports(2);
+        let addr = format!("127.0.0.1:{base}");
+        let listener = TcpListener::bind(&addr).unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_hello(&mut stream, Duration::from_secs(5)).unwrap();
+            send_hello(&mut stream, 1, HELLO_INITIAL, 0).unwrap();
+            // Silence: no heartbeats, no data. Keep the socket open so
+            // the client sees staleness rather than EOF.
+            thread::sleep(Duration::from_secs(3));
+        });
+        let mut retries = 0;
+        let mut stream = connect_with_retry(
+            &addr,
+            Instant::now() + Duration::from_secs(5),
+            &mut retries,
+            1,
+        )
+        .unwrap();
+        send_hello(&mut stream, 0, HELLO_INITIAL, 0).unwrap();
+        read_hello(&mut stream, Duration::from_secs(5)).unwrap();
+        let net = NetConfig {
+            heartbeat: Some(Duration::from_millis(50)),
+            rejoin_deadline: Some(Duration::from_millis(300)),
+            recv_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(10),
+            ..NetConfig::default()
+        };
+        // Acceptor side (no redial_addr): parks at the barrier, then
+        // raises PeerLost once the rejoin budget is spent.
+        let link = SessionLink::new(0, 1, stream, None, net, None, 0).unwrap();
+        let start = Instant::now();
+        let err = link.recv_bytes(Duration::from_secs(8)).unwrap_err();
+        assert!(
+            matches!(err, LinkError::PeerLost { peer: 1, .. }),
+            "expected PeerLost, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "watchdog too slow: {:?}",
+            start.elapsed()
+        );
+        server.join().unwrap();
     }
 
     #[test]
